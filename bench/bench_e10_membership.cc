@@ -1,0 +1,65 @@
+// E10 — §5: membership change (flush) cost vs group size. One member
+// crashes mid-traffic; survivors run the flush protocol: exchange unstable
+// messages, agree a cut, install the view — while application sends stay
+// blocked. Control messages, re-forwarded bytes, and blocked time all grow
+// with N.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/group.h"
+
+int main() {
+  benchutil::Header("E10 — membership change cost vs group size (§5)",
+                    "flush control messages, flush payload bytes, and send-blocked time "
+                    "grow with N; the whole group pauses for one failure");
+  benchutil::Row("%-6s %-14s %-14s %-16s %-18s %s", "N", "flush_msgs", "flush_KB",
+                 "mean_blocked_ms", "max_blocked_ms", "view_change_ok");
+  for (uint32_t members : {4u, 8u, 16u, 32u}) {
+    sim::Simulator s(500 + members);
+    catocs::FabricConfig cfg;
+    cfg.num_members = members;
+    cfg.group.enable_membership = true;
+    cfg.group.heartbeat_interval = sim::Duration::Millis(20);
+    cfg.group.failure_timeout = sim::Duration::Millis(100);
+    catocs::GroupFabric fabric(&s, cfg);
+    fabric.StartAll();
+    // Background causal traffic so the flush has unstable messages to carry.
+    std::vector<std::unique_ptr<sim::PeriodicTimer>> senders;
+    for (uint32_t m = 0; m < members; ++m) {
+      senders.push_back(
+          std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(15), [&fabric, m] {
+            fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
+          }));
+      senders.back()->Start(sim::Duration::Micros(700 * (m + 1)));
+    }
+    s.ScheduleAfter(sim::Duration::Millis(500), [&] { fabric.CrashMember(members - 1); });
+    s.RunFor(sim::Duration::Seconds(5));
+    for (auto& sender : senders) {
+      sender->Stop();
+    }
+    s.RunFor(sim::Duration::Seconds(2));
+
+    uint64_t flush_msgs = 0;
+    uint64_t flush_bytes = 0;
+    double blocked_sum_ms = 0;
+    double blocked_max_ms = 0;
+    bool all_installed = true;
+    for (size_t i = 0; i + 1 < fabric.size(); ++i) {
+      const auto& stats = fabric.member(i).stats();
+      flush_msgs += stats.flush_control_msgs;
+      flush_bytes += stats.flush_payload_bytes;
+      const double blocked_ms = static_cast<double>(stats.blocked_time.nanos()) / 1e6;
+      blocked_sum_ms += blocked_ms;
+      blocked_max_ms = std::max(blocked_max_ms, blocked_ms);
+      all_installed &= fabric.member(i).view().members.size() == members - 1;
+    }
+    benchutil::Row("%-6u %-14llu %-14.1f %-16.2f %-18.2f %s", members,
+                   static_cast<unsigned long long>(flush_msgs),
+                   static_cast<double>(flush_bytes) / 1024.0,
+                   blocked_sum_ms / static_cast<double>(members - 1), blocked_max_ms,
+                   all_installed ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E11 — Appendix 9.1: drilling cell control. Message cost of the
+// causal/total-order distributed design vs the central-controller design,
+// swept over the number of drillers (holes = 10 x drillers). Both are
+// correct (every hole drilled exactly once); the distributed design's
+// completion multicasts make its traffic grow ~quadratically.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/drilling.h"
+
+int main() {
+  benchutil::Header("E11 — drilling cell traffic (Appendix 9.1)",
+                    "app messages: CATOCS design ~ D^2 (completion multicasts), central "
+                    "controller ~ D (holes scale with D); both drill each hole once");
+  benchutil::Row("%-20s %-10s %-8s %-12s %-14s %-12s %-10s %s", "design", "drillers", "holes",
+                 "app_msgs", "net_packets", "net_KB", "makespan_ms", "correct");
+  std::vector<double> ds;
+  std::vector<double> catocs_msgs;
+  std::vector<double> central_msgs;
+  for (int drillers : {2, 4, 8, 12, 16}) {
+    for (apps::DrillStrategy strategy :
+         {apps::DrillStrategy::kCatocsDistributed, apps::DrillStrategy::kCentralController}) {
+      apps::DrillingConfig config;
+      config.strategy = strategy;
+      config.drillers = drillers;
+      config.holes = 10 * drillers;
+      config.seed = 17;
+      const apps::DrillingResult result = RunDrillingScenario(config);
+      const bool catocs = strategy == apps::DrillStrategy::kCatocsDistributed;
+      if (catocs) {
+        ds.push_back(drillers);
+        catocs_msgs.push_back(static_cast<double>(result.app_messages));
+      } else {
+        central_msgs.push_back(static_cast<double>(result.app_messages));
+      }
+      benchutil::Row("%-20s %-10d %-8d %-12llu %-14llu %-12.1f %-10.0f %s",
+                     catocs ? "catocs-distributed" : "central-controller", drillers,
+                     result.holes, static_cast<unsigned long long>(result.app_messages),
+                     static_cast<unsigned long long>(result.network_packets),
+                     static_cast<double>(result.network_bytes) / 1024.0, result.makespan_ms,
+                     result.holes_completed == result.holes && result.holes_double_drilled == 0
+                         ? "yes"
+                         : "NO");
+    }
+    benchutil::Row("");
+  }
+  benchutil::Row("fitted exponent: catocs app messages ~ D^%.2f   (paper: ~2)",
+                 benchutil::FitGrowthExponent(ds, catocs_msgs));
+  benchutil::Row("fitted exponent: central app messages ~ D^%.2f  (paper: ~1)",
+                 benchutil::FitGrowthExponent(ds, central_msgs));
+  return 0;
+}

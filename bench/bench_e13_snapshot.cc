@@ -1,0 +1,247 @@
+// E13 — §4.2: global predicate evaluation (token conservation / loss
+// detection). Three ways to get a consistent global view of a token-passing
+// system:
+//   baseline          — plain transport, no detection (cost floor);
+//   marker-snapshot   — Chandy–Lamport markers at 1 Hz over plain FIFO
+//                       transport (the state-level design);
+//   catocs-everywhere — every token move becomes a totally ordered group
+//                       multicast so a "snapshot now" message yields a
+//                       consistent cut; elegant, but CATOCS must carry all
+//                       application traffic, detection or not.
+// All detecting modes must report token-conserving (consistent) cuts; the
+// table shows what each pays for that consistency.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/group.h"
+#include "src/statelevel/snapshot.h"
+
+namespace {
+
+constexpr int kNodes = 8;
+constexpr int kTokens = 3;
+constexpr auto kRunTime = sim::Duration::Seconds(20);
+constexpr auto kMoveInterval = sim::Duration::Millis(5);
+
+struct Outcome {
+  int snapshots = 0;
+  int consistent = 0;
+  uint64_t network_bytes = 0;
+  uint64_t network_packets = 0;
+};
+
+// Token move announced to the whole group; state changes on delivery.
+class TokenMove : public net::Payload {
+ public:
+  TokenMove(int from, int to) : from_(from), to_(to) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "token-move"; }
+  int from() const { return from_; }
+  int to() const { return to_; }
+
+ private:
+  int from_;
+  int to_;
+};
+
+class SnapNow : public net::Payload {
+ public:
+  explicit SnapNow(uint64_t id) : id_(id) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "snap-now"; }
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_;
+};
+
+Outcome RunPlain(bool with_markers) {
+  sim::Simulator s(91);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                                 sim::Duration::Millis(5)));
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<statelv::SnapshotNode>> nodes;
+  std::vector<int64_t> tokens(kNodes, 0);
+  for (int t = 0; t < kTokens; ++t) {
+    tokens[t] = 1;
+  }
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    ids.push_back(static_cast<net::NodeId>(i + 1));
+  }
+  for (int i = 0; i < kNodes; ++i) {
+    transports.push_back(std::make_unique<net::Transport>(&s, &network, ids[i]));
+    nodes.push_back(std::make_unique<statelv::SnapshotNode>(
+        &s, transports[i].get(), ids,
+        [&tokens, i] { return tokens[i]; },
+        [&tokens, i](net::NodeId, const net::PayloadPtr&) { ++tokens[i]; }));
+  }
+
+  Outcome outcome;
+  statelv::SnapshotCollector collector(
+      transports[0].get(), kNodes, [&outcome](const std::vector<statelv::LocalSnapshot>& all) {
+        ++outcome.snapshots;
+        int64_t sum = 0;
+        for (const auto& snap : all) {
+          sum += snap.state;
+          for (const auto& [channel, msgs] : snap.channel_messages) {
+            sum += static_cast<int64_t>(msgs.size());
+          }
+        }
+        if (sum == kTokens) {
+          ++outcome.consistent;
+        }
+      });
+  for (int i = 0; i < kNodes; ++i) {
+    auto* transport = transports[i].get();
+    nodes[i]->SetCompleteHandler([transport](const statelv::LocalSnapshot& snap) {
+      statelv::SnapshotCollector::Report(transport, 1, snap);
+    });
+  }
+
+  // Token movers: each node passes any token it holds to a random peer.
+  sim::Rng mover_rng = s.rng().Fork();
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> movers;
+  for (int i = 0; i < kNodes; ++i) {
+    movers.push_back(std::make_unique<sim::PeriodicTimer>(&s, kMoveInterval, [&, i] {
+      if (tokens[i] > 0) {
+        int to = static_cast<int>(mover_rng.NextBelow(kNodes));
+        if (to == i) {
+          to = (to + 1) % kNodes;
+        }
+        --tokens[i];
+        nodes[static_cast<size_t>(i)]->SendApp(static_cast<net::NodeId>(to + 1),
+                                               std::make_shared<net::BlobPayload>("token", 16));
+      }
+    }));
+    movers.back()->Start(sim::Duration::Micros(600 * (i + 1)));
+  }
+  std::unique_ptr<sim::PeriodicTimer> snapper;
+  if (with_markers) {
+    uint64_t next_id = 1;
+    snapper = std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Seconds(1),
+                                                   [&nodes, next_id]() mutable {
+                                                     nodes[0]->Initiate(next_id++);
+                                                   });
+    snapper->Start(sim::Duration::Seconds(1));
+  }
+  s.RunUntil(sim::TimePoint::Zero() + kRunTime);
+  for (auto& mover : movers) {
+    mover->Stop();
+  }
+  if (snapper) {
+    snapper->Stop();
+  }
+  s.RunFor(sim::Duration::Seconds(1));
+  outcome.network_bytes = network.bytes_sent();
+  outcome.network_packets = network.packets_sent();
+  return outcome;
+}
+
+Outcome RunCatocs() {
+  sim::Simulator s(91);
+  catocs::FabricConfig cfg;
+  cfg.num_members = kNodes;
+  catocs::GroupFabric fabric(&s, cfg);
+
+  // Replicated state machine: everyone applies every move on delivery, so a
+  // totally ordered "snapshot now" message cuts consistently. Each member
+  // tracks every node's token count.
+  std::vector<std::vector<int64_t>> counts(kNodes, std::vector<int64_t>(kNodes, 0));
+  for (int m = 0; m < kNodes; ++m) {
+    for (int t = 0; t < kTokens; ++t) {
+      counts[m][t] = 1;
+    }
+  }
+
+  Outcome outcome;
+  // A node must not issue another move for a token whose previous move it
+  // has not yet delivered to itself (state changes happen at delivery).
+  std::vector<bool> pending_move(kNodes, false);
+  std::map<uint64_t, std::pair<int, int64_t>> cut_reports;  // id -> (reports, sum)
+  for (int m = 0; m < kNodes; ++m) {
+    fabric.member(static_cast<size_t>(m)).SetDeliveryHandler([&, m](const catocs::Delivery& d) {
+      if (const auto* move = net::PayloadCast<TokenMove>(d.payload)) {
+        --counts[m][move->from()];
+        ++counts[m][move->to()];
+        if (move->from() == m) {
+          pending_move[static_cast<size_t>(m)] = false;
+        }
+        return;
+      }
+      if (const auto* snap = net::PayloadCast<SnapNow>(d.payload)) {
+        // Report own count at the cut (member m's own slot).
+        auto& [reports, sum] = cut_reports[snap->id()];
+        ++reports;
+        sum += counts[m][m];
+        if (reports == kNodes) {
+          ++outcome.snapshots;
+          if (sum == kTokens) {
+            ++outcome.consistent;
+          }
+        }
+      }
+    });
+  }
+  fabric.StartAll();
+
+  sim::Rng mover_rng = s.rng().Fork();
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> movers;
+  for (int i = 0; i < kNodes; ++i) {
+    movers.push_back(std::make_unique<sim::PeriodicTimer>(&s, kMoveInterval, [&, i] {
+      if (counts[i][i] > 0 && !pending_move[static_cast<size_t>(i)]) {
+        int to = static_cast<int>(mover_rng.NextBelow(kNodes));
+        if (to == i) {
+          to = (to + 1) % kNodes;
+        }
+        pending_move[static_cast<size_t>(i)] = true;
+        fabric.member(static_cast<size_t>(i)).TotalSend(std::make_shared<TokenMove>(i, to));
+      }
+    }));
+    movers.back()->Start(sim::Duration::Micros(600 * (i + 1)));
+  }
+  uint64_t next_id = 1;
+  sim::PeriodicTimer snapper(&s, sim::Duration::Seconds(1), [&fabric, next_id]() mutable {
+    fabric.member(0).TotalSend(std::make_shared<SnapNow>(next_id++));
+  });
+  snapper.Start(sim::Duration::Seconds(1));
+  s.RunUntil(sim::TimePoint::Zero() + kRunTime);
+  for (auto& mover : movers) {
+    mover->Stop();
+  }
+  snapper.Stop();
+  s.RunFor(sim::Duration::Seconds(1));
+  outcome.network_bytes = fabric.network().bytes_sent();
+  outcome.network_packets = fabric.network().packets_sent();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Header(
+      "E13 — consistent cuts without CATOCS (§4.2)",
+      "marker snapshots pay only when detecting; CATOCS-everywhere pays ordering on "
+      "every application message, detection or not");
+  const Outcome baseline = RunPlain(false);
+  const Outcome markers = RunPlain(true);
+  const Outcome catocs = RunCatocs();
+  benchutil::Row("%-20s %-11s %-12s %-10s %-12s %-18s %s", "mode", "snapshots", "consistent",
+                 "net_MB", "net_pkts", "overhead_vs_base", "KB_per_snapshot");
+  auto print = [&](const char* name, const Outcome& o) {
+    const double mb = static_cast<double>(o.network_bytes) / (1024.0 * 1024.0);
+    const double overhead =
+        static_cast<double>(o.network_bytes) - static_cast<double>(baseline.network_bytes);
+    benchutil::Row("%-20s %-11d %-12d %-10.2f %-12llu %-18.2f %.1f", name, o.snapshots,
+                   o.consistent, mb, static_cast<unsigned long long>(o.network_packets),
+                   overhead / (1024.0 * 1024.0),
+                   o.snapshots ? overhead / 1024.0 / o.snapshots : 0.0);
+  };
+  print("baseline", baseline);
+  print("marker-snapshot", markers);
+  print("catocs-everywhere", catocs);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E4 — Figure 4 / §4.1 limitation 3: the trading constraint ("a theoretical
+// price before all subsequent changes of its base") is stronger than
+// happens-before; causal and total multicast both show false crossings.
+// The dependency-field display never does. Sweeps the theoretical pricer's
+// compute delay (larger delay -> wider anomaly window).
+
+#include "bench/bench_util.h"
+#include "src/apps/trading.h"
+
+int main() {
+  benchutil::Header("E4 — trading false crossings (Figure 4)",
+                    "inconsistent displays and false crossings > 0 under causal/total order; "
+                    "0 for the dependency-paired display, which pays with lag instead");
+  benchutil::Row("%-10s %-12s %-10s %-14s %-12s %-14s %-12s %s", "mode", "compute_ms", "updates",
+                 "raw_incons", "raw_cross", "paired_cross", "paired_lag", "per_1k_updates");
+  for (catocs::OrderingMode mode : {catocs::OrderingMode::kCausal, catocs::OrderingMode::kTotal}) {
+    for (int64_t compute_ms : {1, 2, 4, 8, 16}) {
+      apps::TradingConfig config;
+      config.price_updates = 2000;
+      config.mode = mode;
+      config.compute_delay = sim::Duration::Millis(compute_ms);
+      config.seed = 5;
+      const apps::TradingResult result = RunTradingScenario(config);
+      benchutil::Row("%-10s %-12lld %-10d %-14llu %-12llu %-14llu %-12llu %.1f",
+                     mode == catocs::OrderingMode::kCausal ? "causal" : "total",
+                     static_cast<long long>(compute_ms), result.price_updates,
+                     static_cast<unsigned long long>(result.raw_inconsistent_displays),
+                     static_cast<unsigned long long>(result.raw_false_crossings),
+                     static_cast<unsigned long long>(result.paired_false_crossings),
+                     static_cast<unsigned long long>(result.paired_lagging_displays),
+                     1000.0 * static_cast<double>(result.raw_false_crossings) /
+                         result.price_updates);
+    }
+  }
+  return 0;
+}

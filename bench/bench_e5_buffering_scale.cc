@@ -1,0 +1,124 @@
+// E5 — §5: CATOCS message buffering for atomic delivery grows roughly
+// linearly per node and quadratically system-wide with the number of
+// processes. All-to-all causal traffic at a fixed per-process rate over a
+// clustered (LAN/WAN) topology; buffer occupancy is sampled in steady state
+// and the growth exponent of the system total is fitted.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/group.h"
+#include "src/sim/metrics.h"
+
+namespace {
+
+struct Sample {
+  double per_node_mean = 0;
+  double per_node_peak = 0;
+  double total_mean = 0;
+  double total_bytes_mean = 0;
+};
+
+Sample RunOne(uint32_t members, sim::Duration gossip_interval = sim::Duration::Millis(50),
+              uint64_t* ack_msgs = nullptr) {
+  sim::Simulator s(1000 + members);
+  catocs::FabricConfig cfg;
+  cfg.num_members = members;
+  cfg.group.ack_gossip_interval = gossip_interval;
+  // Two-tier topology: clusters of 8 on a fast LAN, 10-30ms between
+  // clusters — the paper's "diameter grows with scale".
+  auto latency = std::make_unique<net::ClusteredLatency>(
+      8, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1), sim::Duration::Millis(5)),
+      std::make_unique<net::UniformLatency>(sim::Duration::Millis(10),
+                                            sim::Duration::Millis(30)));
+  catocs::GroupFabric fabric(&s, cfg, std::move(latency));
+  fabric.StartAll();
+
+  // Fixed per-process rate: one causal multicast every 25ms.
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> senders;
+  for (uint32_t m = 0; m < members; ++m) {
+    senders.push_back(std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(25), [&fabric,
+                                                                                           m] {
+      fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
+    }));
+    senders.back()->Start(sim::Duration::Micros(500 + 400 * m));
+  }
+
+  // Steady-state sampling (skip 2s warmup).
+  sim::Histogram per_node;
+  sim::Histogram total;
+  sim::Histogram total_bytes;
+  sim::PeriodicTimer sampler(&s, sim::Duration::Millis(10), [&] {
+    double run_total = 0;
+    double run_bytes = 0;
+    for (size_t i = 0; i < fabric.size(); ++i) {
+      const double count = static_cast<double>(fabric.member(i).buffered_messages());
+      per_node.Record(count);
+      run_total += count;
+      run_bytes += static_cast<double>(fabric.member(i).buffered_bytes());
+    }
+    total.Record(run_total);
+    total_bytes.Record(run_bytes);
+  });
+  s.RunFor(sim::Duration::Seconds(1));
+  sampler.Start(sim::Duration::Millis(10));
+  s.RunFor(sim::Duration::Seconds(6));
+  sampler.Stop();
+  for (auto& sender : senders) {
+    sender->Stop();
+  }
+
+  double peak = 0;
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    peak = std::max(peak, static_cast<double>(fabric.member(i).peak_buffered_messages()));
+    if (ack_msgs != nullptr) {
+      *ack_msgs += fabric.member(i).stats().ack_msgs_sent;
+    }
+  }
+  return Sample{per_node.mean(), peak, total.mean(), total_bytes.mean()};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Header(
+      "E5 — buffering vs group size (§5)",
+      "per-node buffered messages grow ~linearly in N, system total ~quadratically "
+      "(fixed per-process send rate, atomic delivery retention)");
+  benchutil::Row("%-8s %-18s %-16s %-16s %s", "N", "per_node_mean_msgs", "per_node_peak",
+                 "total_mean_msgs", "total_mean_KB");
+  std::vector<double> ns;
+  std::vector<double> totals;
+  std::vector<double> per_node_means;
+  for (uint32_t members : {4u, 8u, 16u, 32u, 48u, 64u}) {
+    const Sample sample = RunOne(members);
+    ns.push_back(members);
+    totals.push_back(sample.total_mean);
+    per_node_means.push_back(sample.per_node_mean);
+    benchutil::Row("%-8u %-18.1f %-16.0f %-16.1f %.1f", members, sample.per_node_mean,
+                   sample.per_node_peak, sample.total_mean, sample.total_bytes_mean / 1024.0);
+  }
+  benchutil::Row("");
+  benchutil::Row("fitted growth exponent, system-total buffered messages ~ N^%.2f  (paper: ~2)",
+                 benchutil::FitGrowthExponent(ns, totals));
+  benchutil::Row("fitted growth exponent, per-node buffered messages   ~ N^%.2f  (paper: ~1)",
+                 benchutil::FitGrowthExponent(ns, per_node_means));
+
+  // Ablation (DESIGN.md §4): the stability-gossip interval trades buffer
+  // occupancy against control traffic. More frequent acks shrink buffers but
+  // add messages — and neither end of the knob changes the N^2 system-level
+  // growth, which is the paper's point.
+  benchutil::Row("");
+  benchutil::Row("ablation: ack gossip interval at N=16 (buffering vs control traffic)");
+  benchutil::Row("%-14s %-20s %-16s %s", "gossip_ms", "per_node_mean_msgs", "total_mean_msgs",
+                 "ack_msgs_sent");
+  for (int64_t gossip_ms : {10, 25, 50, 100, 200}) {
+    uint64_t ack_msgs = 0;
+    const Sample sample = RunOne(16, sim::Duration::Millis(gossip_ms), &ack_msgs);
+    benchutil::Row("%-14lld %-20.1f %-16.1f %llu", static_cast<long long>(gossip_ms),
+                   sample.per_node_mean, sample.total_mean,
+                   static_cast<unsigned long long>(ack_msgs));
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) for the protocol hot paths: the
+// per-message costs the paper argues will dominate as networks get faster
+// (§3.4): vector clock updates/comparison, the causal deliverability check,
+// delay-queue processing, and the state-level alternatives (version compare,
+// ordered-cache apply) for contrast.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/catocs/group.h"
+#include "src/catocs/vector_clock.h"
+#include "src/statelevel/ordered_cache.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/occ.h"
+
+namespace {
+
+void BM_VectorClockIncrement(benchmark::State& state) {
+  catocs::VectorClock vc;
+  for (int m = 0; m < state.range(0); ++m) {
+    vc.Set(static_cast<catocs::MemberId>(m + 1), 1);
+  }
+  catocs::MemberId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vc.Increment(id));
+  }
+}
+BENCHMARK(BM_VectorClockIncrement)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VectorClockCompare(benchmark::State& state) {
+  catocs::VectorClock a;
+  catocs::VectorClock b;
+  for (int m = 0; m < state.range(0); ++m) {
+    a.Set(static_cast<catocs::MemberId>(m + 1), static_cast<uint64_t>(m));
+    b.Set(static_cast<catocs::MemberId>(m + 1), static_cast<uint64_t>(m + (m % 2)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(b));
+  }
+}
+BENCHMARK(BM_VectorClockCompare)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  catocs::VectorClock a;
+  catocs::VectorClock b;
+  for (int m = 0; m < state.range(0); ++m) {
+    a.Set(static_cast<catocs::MemberId>(m + 1), static_cast<uint64_t>(m));
+    b.Set(static_cast<catocs::MemberId>(m + 1), static_cast<uint64_t>(2 * m));
+  }
+  for (auto _ : state) {
+    catocs::VectorClock c = a;
+    c.Merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockMerge)->Arg(4)->Arg(16)->Arg(64);
+
+// Versus: the state-level "ordering check" is one integer compare.
+void BM_StateLevelVersionCompare(benchmark::State& state) {
+  uint64_t current = 41;
+  uint64_t incoming = 42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(incoming > current);
+    benchmark::DoNotOptimize(current);
+  }
+}
+BENCHMARK(BM_StateLevelVersionCompare);
+
+void BM_OrderedCacheApply(benchmark::State& state) {
+  statelv::OrderedCache cache;
+  uint64_t version = 0;
+  statelv::VersionedUpdate update;
+  update.object = "obj";
+  for (auto _ : state) {
+    update.version = ++version;
+    benchmark::DoNotOptimize(cache.Apply(update));
+  }
+}
+BENCHMARK(BM_OrderedCacheApply);
+
+// End-to-end simulated group round: N members, one causal multicast each,
+// run to quiescence. Measures simulator+protocol cost per delivered message.
+void BM_GroupRoundCausal(benchmark::State& state) {
+  const uint32_t members = static_cast<uint32_t>(state.range(0));
+  uint64_t delivered = 0;
+  for (auto _ : state) {
+    sim::Simulator s(7);
+    catocs::FabricConfig cfg;
+    cfg.num_members = members;
+    cfg.group.ack_gossip_interval = sim::Duration::Zero();
+    catocs::GroupFabric fabric(&s, cfg);
+    fabric.StartAll();
+    for (uint32_t m = 0; m < members; ++m) {
+      s.ScheduleAfter(sim::Duration::Millis(1), [&fabric, m] {
+        fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("b", 64));
+      });
+    }
+    s.RunFor(sim::Duration::Seconds(2));
+    for (size_t i = 0; i < fabric.size(); ++i) {
+      delivered += fabric.member(i).stats().app_delivered;
+    }
+  }
+  state.counters["deliveries"] =
+      benchmark::Counter(static_cast<double>(delivered), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GroupRoundCausal)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_LockManagerAcquireRelease(benchmark::State& state) {
+  txn::LockManager lm;
+  txn::TxnId id = 1;
+  for (auto _ : state) {
+    lm.Acquire(id, "x", txn::LockMode::kExclusive, nullptr);
+    lm.ReleaseAll(id);
+    ++id;
+  }
+}
+BENCHMARK(BM_LockManagerAcquireRelease);
+
+void BM_OccCommitCycle(benchmark::State& state) {
+  txn::OccManager occ;
+  for (auto _ : state) {
+    txn::TxnId t = occ.Begin();
+    occ.Write(t, "x", 1.0);
+    benchmark::DoNotOptimize(occ.Commit(t));
+  }
+}
+BENCHMARK(BM_OccCommitCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

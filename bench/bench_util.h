@@ -1,0 +1,59 @@
+// Shared table-printing helpers for the experiment benches. Each bench binary
+// regenerates one figure/claim of the paper as a fixed-format table on
+// stdout; EXPERIMENTS.md records the expected shapes.
+
+#ifndef REPRO_BENCH_BENCH_UTIL_H_
+#define REPRO_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+inline void Header(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  %s\n", claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Least-squares slope of log(y) on log(x): the growth exponent of y ~ x^k.
+inline double FitGrowthExponent(const std::vector<double>& xs, const std::vector<double>& ys) {
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) {
+      continue;
+    }
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) {
+    return 0.0;
+  }
+  const double d = static_cast<double>(n) * sxx - sx * sx;
+  return d == 0.0 ? 0.0 : (static_cast<double>(n) * sxy - sx * sy) / d;
+}
+
+}  // namespace benchutil
+
+#endif  // REPRO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Distributed deadlock monitor example (Appendix 9.2 of the paper).
+//
+// Two transaction managers run 2PL lock tables; their transactions acquire
+// locks in opposite orders, creating a cross-node deadlock. Each node
+// periodically multicasts its local wait-for edges (with a plain sequence
+// number) to a monitor, which assembles the global graph and reports the
+// cycle. No causal communication anywhere — 2PL wait-for deadlock is a
+// locally stable property, so edge arrival order cannot matter and no false
+// deadlock can be reported.
+//
+// Run: ./build/examples/deadlock_monitor
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/txn/deadlock_detector.h"
+#include "src/txn/lock_manager.h"
+
+int main() {
+  sim::Simulator s(21);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                                 sim::Duration::Millis(5)));
+  net::Transport node_a(&s, &network, 1);
+  net::Transport node_b(&s, &network, 2);
+  net::Transport monitor_node(&s, &network, 9);
+
+  // Each node has its own lock manager; global transaction ids are disjoint.
+  txn::LockManager locks_a;
+  txn::LockManager locks_b;
+
+  // Reporters push each node's current local wait-for edges every 20ms.
+  txn::WaitForReporter reporter_a(&s, &node_a, {9}, sim::Duration::Millis(20),
+                                  [&] { return locks_a.WaitForEdges(); });
+  txn::WaitForReporter reporter_b(&s, &node_b, {9}, sim::Duration::Millis(20),
+                                  [&] { return locks_b.WaitForEdges(); });
+  txn::DeadlockMonitor monitor(&s, &monitor_node);
+  monitor.SetDeadlockHandler([&](const std::vector<uint64_t>& cycle) {
+    std::printf("  [%s] monitor: DEADLOCK ", s.now().ToString().c_str());
+    for (uint64_t node : cycle) {
+      std::printf("T%llu -> ", static_cast<unsigned long long>(node));
+    }
+    std::printf("T%llu\n", static_cast<unsigned long long>(cycle.front()));
+    // Resolution: abort the youngest transaction (largest id).
+    uint64_t victim = 0;
+    for (uint64_t t : cycle) {
+      victim = std::max(victim, t);
+    }
+    std::printf("  monitor: aborting T%llu\n", static_cast<unsigned long long>(victim));
+    locks_a.ReleaseAll(victim);
+    locks_b.ReleaseAll(victim);
+    reporter_a.ReportNow();
+    reporter_b.ReportNow();
+  });
+  reporter_a.Start();
+  reporter_b.Start();
+
+  // The classic two-resource deadlock: T1 locks x (on A) then wants y (on
+  // B); T2 locks y then wants x.
+  std::printf("T1 locks x@A, T2 locks y@B...\n");
+  locks_a.Acquire(1, "x", txn::LockMode::kExclusive, nullptr);
+  locks_b.Acquire(2, "y", txn::LockMode::kExclusive, nullptr);
+  s.ScheduleAfter(sim::Duration::Millis(30), [&] {
+    std::printf("T1 requests y@B, T2 requests x@A — cross wait\n");
+    locks_b.Acquire(1, "y", txn::LockMode::kExclusive,
+                    [] { std::printf("  T1 finally got y\n"); });
+    locks_a.Acquire(2, "x", txn::LockMode::kExclusive,
+                    [] { std::printf("  T2 finally got x\n"); });
+  });
+  s.RunFor(sim::Duration::Seconds(1));
+  reporter_a.Stop();
+  reporter_b.Stop();
+  std::printf("\nreports sent: %llu + %llu, deadlocks detected: %llu, "
+              "graph edges remaining: %zu\n",
+              static_cast<unsigned long long>(reporter_a.reports_sent()),
+              static_cast<unsigned long long>(reporter_b.reports_sent()),
+              static_cast<unsigned long long>(monitor.detections()),
+              monitor.graph().edge_count());
+  return 0;
+}

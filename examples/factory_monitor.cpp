@@ -1,0 +1,47 @@
+// Factory monitoring example (§4.6 of the paper).
+//
+// An oven's temperature is monitored over a lossy factory network. The same
+// physical process and the same loss rate are monitored two ways:
+//   * through a CATOCS causal group (every reading reliable and ordered —
+//     and therefore late whenever anything is retransmitted);
+//   * as timestamped datagrams where the monitor keeps the freshest reading
+//     and simply drops stale or lost ones ("sufficient consistency").
+// Prints the tracking error of both, which is what correctness means for a
+// monitoring system.
+//
+// Run: ./build/examples/factory_monitor
+
+#include <cstdio>
+
+#include "src/apps/oven.h"
+
+int main() {
+  std::printf("Oven temperature monitoring, 10ms sampling, 4 chatter sensors sharing the\n"
+              "group, 10%% packet loss, 30 simulated seconds per strategy.\n\n");
+  apps::OvenConfig config;
+  config.duration = sim::Duration::Seconds(30);
+  config.drop_probability = 0.10;
+  config.seed = 5;
+
+  config.strategy = apps::OvenStrategy::kCatocsCausal;
+  const apps::OvenResult catocs = RunOvenScenario(config);
+  config.strategy = apps::OvenStrategy::kTimestampFreshest;
+  const apps::OvenResult fresh = RunOvenScenario(config);
+
+  std::printf("%-26s %12s %12s %12s %14s\n", "strategy", "mean err", "p99 err", "max err",
+              "mean delay");
+  std::printf("%-26s %10.2f C %10.2f C %10.2f C %11.1f us\n", "catocs-causal",
+              catocs.mean_abs_error, catocs.p99_abs_error, catocs.max_abs_error,
+              catocs.mean_delivery_delay_us);
+  std::printf("%-26s %10.2f C %10.2f C %10.2f C %11.1f us\n", "timestamp-freshest",
+              fresh.mean_abs_error, fresh.p99_abs_error, fresh.max_abs_error,
+              fresh.mean_delivery_delay_us);
+  std::printf("\nreadings applied: catocs %llu/%llu (all, eventually), freshest %llu/%llu\n",
+              static_cast<unsigned long long>(catocs.readings_applied),
+              static_cast<unsigned long long>(catocs.readings_sent),
+              static_cast<unsigned long long>(fresh.readings_applied),
+              static_cast<unsigned long long>(fresh.readings_sent));
+  std::printf("\nThe ordered view is consistent with message history; the timestamped view is\n"
+              "consistent with the oven. For a control system only the second one matters.\n");
+  return 0;
+}

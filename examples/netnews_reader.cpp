@@ -1,0 +1,55 @@
+// Netnews reader example (§4.1 of the paper).
+//
+// Runs the same Usenet-style flooding workload twice — first with a raw
+// arrival-order display, then with the paper's application-level fix: the
+// local news database holds a response until the article named in its
+// References field has arrived. Prints the summary the paper's argument
+// predicts: misordered displays in the raw run, none in the References run,
+// with the ordering state proportional to the inquiries actually involved.
+//
+// Run: ./build/examples/netnews_reader
+
+#include <cstdio>
+
+#include "src/apps/netnews.h"
+
+int main() {
+  apps::NetnewsConfig config;
+  config.inquiries = 120;
+  config.response_probability = 0.7;
+  config.seed = 3;
+
+  std::printf("Usenet flooding network: %d servers, %d inquiries, responses posted at\n"
+              "remote sites, per-link batching up to %s.\n\n",
+              config.servers, config.inquiries, config.forward_delay_max.ToString().c_str());
+
+  config.strategy = apps::NewsStrategy::kFloodingRaw;
+  const apps::NetnewsResult raw = RunNetnewsScenario(config);
+  std::printf("1. Raw display (today's Usenet):\n");
+  std::printf("   responses: %d, displayed before their inquiry: %d\n", raw.responses,
+              raw.out_of_order_displays);
+  std::printf("   mean display latency: %.1f ms (p99 %.1f ms)\n\n", raw.mean_display_latency_ms,
+              raw.p99_display_latency_ms);
+
+  config.strategy = apps::NewsStrategy::kFloodingReferences;
+  const apps::NetnewsResult refs = RunNetnewsScenario(config);
+  std::printf("2. References-field display (the paper's state-level fix):\n");
+  std::printf("   responses: %d, displayed before their inquiry: %d\n", refs.responses,
+              refs.out_of_order_displays);
+  std::printf("   responses held until their inquiry arrived: %llu\n",
+              static_cast<unsigned long long>(refs.gate_holds));
+  std::printf("   mean display latency: %.1f ms (p99 %.1f ms)\n\n", refs.mean_display_latency_ms,
+              refs.p99_display_latency_ms);
+
+  config.strategy = apps::NewsStrategy::kCatocsGroup;
+  const apps::NetnewsResult group = RunNetnewsScenario(config);
+  std::printf("3. One causal group for the whole newsgroup (the CATOCS proposal):\n");
+  std::printf("   responses: %d, displayed before their inquiry: %d\n", group.responses,
+              group.out_of_order_displays);
+  std::printf("   network bytes: %.1f KB vs %.1f KB for flooding — and the communication\n"
+              "   system now tracks ordering state for every message, not just the\n"
+              "   inquiries this reader cares about (the paper's scaling objection).\n",
+              static_cast<double>(group.network_bytes) / 1024.0,
+              static_cast<double>(raw.network_bytes) / 1024.0);
+  return 0;
+}

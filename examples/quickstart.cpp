@@ -1,0 +1,103 @@
+// Quickstart: a tour of the library's public API.
+//
+// Builds a five-member CATOCS process group on a simulated lossy network,
+// demonstrates causal and totally ordered multicast (and what each does and
+// does not guarantee), inspects the protocol's cost counters, and then shows
+// the state-level alternative the paper advocates: an order-preserving cache
+// driven by version numbers — no ordered multicast anywhere.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/catocs/group.h"
+#include "src/statelevel/ordered_cache.h"
+
+namespace {
+
+net::PayloadPtr Msg(const std::string& text) {
+  return std::make_shared<net::BlobPayload>(text, text.size());
+}
+
+std::string TextOf(const catocs::Delivery& d) {
+  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload);
+  return blob ? blob->tag() : "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== 1. A process group over a jittery, lossy network ==\n");
+  // The simulator is deterministic: same seed, same run, everywhere.
+  sim::Simulator s(/*seed=*/2024);
+
+  catocs::FabricConfig config;
+  config.num_members = 5;
+  config.network.drop_probability = 0.05;               // 5%% packet loss
+  config.latency_lo = sim::Duration::Millis(1);          // per-packet delay
+  config.latency_hi = sim::Duration::Millis(12);         // (uniform jitter)
+  catocs::GroupFabric fabric(&s, config);
+
+  // Every member gets a delivery handler. Member 0 also *reacts* to what it
+  // receives, creating a genuine causal chain.
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    const auto id = catocs::GroupFabric::IdOf(i);
+    fabric.member(i).SetDeliveryHandler([&, id, i](const catocs::Delivery& d) {
+      if (i == 4) {  // narrate one member's view
+        std::printf("  member %u delivered %-22s (mode=%s, waited %s in delay queue)\n", id,
+                    TextOf(d).c_str(), ToString(d.mode), d.causal_delay.ToString().c_str());
+      }
+      if (i == 0 && TextOf(d) == "question") {
+        fabric.member(0).CausalSend(Msg("answer"));  // caused by "question"
+      }
+    });
+  }
+  fabric.StartAll();
+
+  // Causal multicast: "answer" can never arrive before "question" anywhere.
+  s.ScheduleAfter(sim::Duration::Millis(5), [&] { fabric.member(1).CausalSend(Msg("question")); });
+  s.RunFor(sim::Duration::Seconds(2));
+
+  std::printf("\n== 2. Totally ordered multicast ==\n");
+  // Five concurrent sends: causal multicast would impose no order at all;
+  // abcast delivers them in one agreed sequence everywhere.
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    fabric.member(i).TotalSend(Msg("bid-from-" + std::to_string(i + 1)));
+  }
+  s.RunFor(sim::Duration::Seconds(2));
+
+  std::printf("\n== 3. What the ordering machinery cost ==\n");
+  const auto& stats = fabric.member(4).stats();
+  std::printf("  member 5: %llu delivered, %llu held back for causal predecessors "
+              "(%.1f ms total), %llu ordering-header bytes sent\n",
+              static_cast<unsigned long long>(stats.app_delivered),
+              static_cast<unsigned long long>(stats.delayed_deliveries),
+              static_cast<double>(stats.total_causal_delay.nanos()) / 1e6,
+              static_cast<unsigned long long>(stats.ordering_header_bytes));
+  std::printf("  peak atomic-delivery buffer: %zu messages (%zu bytes)\n",
+              fabric.member(4).peak_buffered_messages(), fabric.member(4).peak_buffered_bytes());
+
+  std::printf("\n== 4. The state-level alternative: versioned updates ==\n");
+  // No ordered multicast: receivers order by the version number carried in
+  // the state itself. Arrival order is irrelevant by construction.
+  statelv::OrderedCache cache;
+  statelv::VersionedUpdate stop;
+  stop.object = "lot-A";
+  stop.version = 2;
+  stop.value = 0.0;  // 0 = stopped
+  statelv::VersionedUpdate start;
+  start.object = "lot-A";
+  start.version = 1;
+  start.value = 1.0;  // 1 = processing
+  cache.Apply(stop);   // the *later* update arrives first...
+  cache.Apply(start);  // ...and the stale one is simply dropped
+  std::printf("  applied out of order; cache shows lot-A version %llu (stale drops: %llu)\n",
+              static_cast<unsigned long long>(cache.Get("lot-A")->version),
+              static_cast<unsigned long long>(cache.stats().stale_dropped));
+  std::printf("\nDone. See examples/trading_floor.cpp and examples/replicated_kv.cpp for the\n"
+              "paper's application scenarios, and bench/ for the full experiment suite.\n");
+  return 0;
+}

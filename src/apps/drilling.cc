@@ -1,0 +1,384 @@
+#include "src/apps/drilling.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/catocs/group.h"
+
+namespace apps {
+
+namespace {
+
+class ScheduleMsg : public net::Payload {
+ public:
+  explicit ScheduleMsg(int holes) : holes_(holes) {}
+  size_t SizeBytes() const override { return 8 + static_cast<size_t>(holes_) * 4; }
+  std::string Describe() const override { return "schedule"; }
+  int holes() const { return holes_; }
+
+ private:
+  int holes_;
+};
+
+class CompleteMsg : public net::Payload {
+ public:
+  CompleteMsg(int hole, int driller) : hole_(hole), driller_(driller) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "complete"; }
+  int hole() const { return hole_; }
+  int driller() const { return driller_; }
+
+ private:
+  int hole_;
+  int driller_;
+};
+
+class AssignMsg : public net::Payload {
+ public:
+  explicit AssignMsg(std::vector<int> holes) : holes_(std::move(holes)) {}
+  size_t SizeBytes() const override { return holes_.size() * 4; }
+  std::string Describe() const override { return "assign"; }
+  const std::vector<int>& holes() const { return holes_; }
+
+ private:
+  std::vector<int> holes_;
+};
+
+class ProgressPing : public net::Payload {
+ public:
+  size_t SizeBytes() const override { return 4; }
+  std::string Describe() const override { return "ping"; }
+};
+
+constexpr uint32_t kAssignPort = 0xD1110001;
+constexpr uint32_t kCompletePort = 0xD1110002;
+constexpr uint32_t kBackupPort = 0xD1110003;
+constexpr uint32_t kPingPort = 0xD1110004;
+
+DrillingResult Summarize(const DrillingConfig& config, const std::map<int, int>& completions,
+                         const std::set<int>& checklist, sim::TimePoint last_complete,
+                         uint64_t app_messages, uint64_t packets, uint64_t bytes) {
+  DrillingResult result;
+  result.holes = config.holes;
+  result.app_messages = app_messages;
+  result.network_packets = packets;
+  result.network_bytes = bytes;
+  for (const auto& [hole, count] : completions) {
+    if (count >= 1) {
+      ++result.holes_completed;
+    }
+    if (count > 1) {
+      ++result.holes_double_drilled;
+    }
+  }
+  result.checklist_size = static_cast<int>(checklist.size());
+  result.all_accounted = result.holes_completed + result.checklist_size == config.holes;
+  result.makespan_ms = static_cast<double>(last_complete.nanos()) / 1e6;
+  return result;
+}
+
+DrillingResult RunCatocs(const DrillingConfig& config) {
+  sim::Simulator s(config.seed);
+  const int drillers = config.drillers;
+  catocs::FabricConfig fabric_config;
+  fabric_config.num_members = static_cast<uint32_t>(drillers + 1);  // + cell controller
+  fabric_config.latency_lo = config.latency_lo;
+  fabric_config.latency_hi = config.latency_hi;
+  fabric_config.group.enable_membership = config.crash_driller_at > sim::Duration::Zero();
+  catocs::GroupFabric fabric(&s, fabric_config);
+  const size_t controller = static_cast<size_t>(drillers);  // last member
+
+  // Shared bookkeeping (evaluated at the controller's view of the world).
+  std::map<int, int> completions;
+  std::set<int> checklist;
+  sim::TimePoint last_complete = sim::TimePoint::Zero();
+  uint64_t app_messages = 0;
+  sim::Rng drill_rng = s.rng().Fork();
+
+  // Per-driller work state.
+  struct DrillerState {
+    std::vector<int> queue;
+    bool busy = false;
+    bool alive = true;
+    std::set<int> done;  // completions this driller has delivered
+  };
+  std::vector<DrillerState> states(static_cast<size_t>(drillers));
+
+  // Work loop: drill the next queued hole, then multicast completion.
+  std::function<void(size_t)> work = [&](size_t d) {
+    DrillerState& st = states[d];
+    if (!st.alive || st.busy || st.queue.empty()) {
+      return;
+    }
+    st.busy = true;
+    const int hole = st.queue.front();
+    st.queue.erase(st.queue.begin());
+    const sim::Duration drill =
+        drill_rng.NextDuration(config.drill_time_lo, config.drill_time_hi);
+    s.ScheduleAfter(drill, [&, d, hole] {
+      DrillerState& inner = states[d];
+      inner.busy = false;
+      if (!inner.alive) {
+        return;  // crashed mid-drill: the hole stays incomplete
+      }
+      app_messages += fabric.member(d).view().members.size() - 1;
+      fabric.member(d).CausalSend(std::make_shared<CompleteMsg>(hole, static_cast<int>(d)));
+      work(d);
+    });
+  };
+
+  for (size_t member = 0; member < fabric.size(); ++member) {
+    fabric.member(member).SetDeliveryHandler([&, member](const catocs::Delivery& del) {
+      if (const auto* schedule = net::PayloadCast<ScheduleMsg>(del.payload)) {
+        // Every driller derives its assignment from the same ordered
+        // schedule: hole h belongs to driller h mod D.
+        if (member < static_cast<size_t>(drillers)) {
+          for (int h = 0; h < schedule->holes(); ++h) {
+            if (h % drillers == static_cast<int>(member)) {
+              states[member].queue.push_back(h);
+            }
+          }
+          work(member);
+        }
+        return;
+      }
+      if (const auto* complete = net::PayloadCast<CompleteMsg>(del.payload)) {
+        if (member < static_cast<size_t>(drillers)) {
+          states[member].done.insert(complete->hole());
+        }
+        if (member == controller) {
+          ++completions[complete->hole()];
+          last_complete = s.now();
+        }
+      }
+    });
+    // On a view change, survivors move the failed driller's unfinished holes
+    // to the checklist (they may be partially drilled).
+    fabric.member(member).SetViewHandler([&, member](const catocs::View& view) {
+      if (member != controller) {
+        return;
+      }
+      for (int d = 0; d < drillers; ++d) {
+        const catocs::MemberId id = catocs::GroupFabric::IdOf(static_cast<size_t>(d));
+        if (std::find(view.members.begin(), view.members.end(), id) != view.members.end()) {
+          continue;
+        }
+        for (int h = 0; h < config.holes; ++h) {
+          if (h % drillers == d && completions[h] == 0) {
+            checklist.insert(h);
+          }
+        }
+      }
+    });
+  }
+
+  fabric.StartAll();
+  s.ScheduleAfter(sim::Duration::Millis(1), [&] {
+    app_messages += fabric.member(controller).view().members.size() - 1;
+    fabric.member(controller).TotalSend(std::make_shared<ScheduleMsg>(config.holes));
+  });
+  if (config.crash_driller_at > sim::Duration::Zero()) {
+    s.ScheduleAfter(config.crash_driller_at, [&] {
+      states[0].alive = false;
+      fabric.CrashMember(0);
+    });
+  }
+  // End the run (after a settle delay for in-flight traffic) once every hole
+  // is completed or checklisted, so idle background timers don't run on.
+  sim::PeriodicTimer finish_watch(&s, sim::Duration::Millis(50), [&] {
+    int accounted = static_cast<int>(checklist.size());
+    for (const auto& [hole, count] : completions) {
+      if (count > 0 && !checklist.count(hole)) {
+        ++accounted;
+      }
+    }
+    if (accounted >= config.holes) {
+      s.ScheduleAfter(sim::Duration::Millis(200), [&] { s.RequestStop(); });
+    }
+  });
+  finish_watch.Start(sim::Duration::Millis(100));
+  s.RunFor(sim::Duration::Seconds(60));
+  finish_watch.Stop();
+  // Clean up uncounted completions map entries with zero count.
+  for (auto it = completions.begin(); it != completions.end();) {
+    it = it->second == 0 ? completions.erase(it) : std::next(it);
+  }
+  return Summarize(config, completions, checklist, last_complete, app_messages,
+                   fabric.network().packets_sent(), fabric.network().bytes_sent());
+}
+
+DrillingResult RunCentral(const DrillingConfig& config) {
+  sim::Simulator s(config.seed);
+  const int drillers = config.drillers;
+  net::Network network(&s, std::make_unique<net::UniformLatency>(config.latency_lo,
+                                                                 config.latency_hi));
+  // Node ids: 1..D drillers, D+1 controller, D+2 backup.
+  const net::NodeId controller_id = static_cast<net::NodeId>(drillers + 1);
+  const net::NodeId backup_id = static_cast<net::NodeId>(drillers + 2);
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  for (int d = 0; d < drillers; ++d) {
+    transports.push_back(
+        std::make_unique<net::Transport>(&s, &network, static_cast<net::NodeId>(d + 1)));
+  }
+  net::Transport controller(&s, &network, controller_id);
+  net::Transport backup(&s, &network, backup_id);
+  backup.RegisterReceiver(kBackupPort, [](net::NodeId, uint32_t, const net::PayloadPtr&) {});
+
+  std::map<int, int> completions;
+  std::set<int> checklist;
+  sim::TimePoint last_complete = sim::TimePoint::Zero();
+  uint64_t app_messages = 0;
+  sim::Rng drill_rng = s.rng().Fork();
+
+  struct DrillerState {
+    std::vector<int> queue;
+    bool busy = false;
+    bool alive = true;
+  };
+  std::vector<DrillerState> states(static_cast<size_t>(drillers));
+  std::vector<sim::TimePoint> last_ping(static_cast<size_t>(drillers), sim::TimePoint::Zero());
+  std::vector<std::vector<int>> assigned(static_cast<size_t>(drillers));
+
+  std::function<void(size_t)> work = [&](size_t d) {
+    DrillerState& st = states[d];
+    if (!st.alive || st.busy || st.queue.empty()) {
+      return;
+    }
+    st.busy = true;
+    const int hole = st.queue.front();
+    st.queue.erase(st.queue.begin());
+    const sim::Duration drill =
+        drill_rng.NextDuration(config.drill_time_lo, config.drill_time_hi);
+    s.ScheduleAfter(drill, [&, d, hole] {
+      DrillerState& inner = states[d];
+      inner.busy = false;
+      if (!inner.alive) {
+        return;
+      }
+      ++app_messages;
+      transports[d]->SendReliable(controller_id, kCompletePort,
+                                  std::make_shared<CompleteMsg>(hole, static_cast<int>(d)));
+      work(d);
+    });
+  };
+
+  for (int d = 0; d < drillers; ++d) {
+    transports[static_cast<size_t>(d)]->RegisterReceiver(
+        kAssignPort, [&, d](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+          const auto* assign = net::PayloadCast<AssignMsg>(p);
+          if (assign == nullptr) {
+            return;
+          }
+          auto& st = states[static_cast<size_t>(d)];
+          st.queue.insert(st.queue.end(), assign->holes().begin(), assign->holes().end());
+          work(static_cast<size_t>(d));
+        });
+  }
+  controller.RegisterReceiver(kCompletePort,
+                              [&](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+                                const auto* complete = net::PayloadCast<CompleteMsg>(p);
+                                if (complete == nullptr) {
+                                  return;
+                                }
+                                ++completions[complete->hole()];
+                                last_complete = s.now();
+                                // Mirror to the backup for controller fault
+                                // tolerance (one extra linear message).
+                                ++app_messages;
+                                controller.SendReliable(backup_id, kBackupPort, p);
+                              });
+  controller.RegisterReceiver(kPingPort, [&](net::NodeId src, uint32_t, const net::PayloadPtr&) {
+    if (src >= 1 && src <= static_cast<net::NodeId>(drillers)) {
+      last_ping[src - 1] = s.now();
+    }
+  });
+
+  // Drillers ping the controller so it can detect failures.
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> pingers;
+  for (int d = 0; d < drillers; ++d) {
+    pingers.push_back(std::make_unique<sim::PeriodicTimer>(
+        &s, sim::Duration::Millis(100), [&, d] {
+          if (states[static_cast<size_t>(d)].alive) {
+            ++app_messages;
+            transports[static_cast<size_t>(d)]->SendUnreliable(controller_id, kPingPort,
+                                                               std::make_shared<ProgressPing>());
+          }
+        }));
+    pingers.back()->Start(sim::Duration::Millis(5));
+  }
+  // Controller failure check: a silent driller's unfinished holes go to the
+  // checklist.
+  sim::PeriodicTimer failure_check(&s, sim::Duration::Millis(100), [&] {
+    for (int d = 0; d < drillers; ++d) {
+      if (last_ping[static_cast<size_t>(d)] != sim::TimePoint::Zero() &&
+          s.now() - last_ping[static_cast<size_t>(d)] > sim::Duration::Millis(400)) {
+        for (int hole : assigned[static_cast<size_t>(d)]) {
+          if (completions[hole] == 0) {
+            checklist.insert(hole);
+          }
+        }
+      }
+    }
+  });
+  failure_check.Start(sim::Duration::Millis(500));
+
+  // Assign all holes round-robin, one batch message per driller.
+  s.ScheduleAfter(sim::Duration::Millis(1), [&] {
+    for (int d = 0; d < drillers; ++d) {
+      std::vector<int> holes;
+      for (int h = 0; h < config.holes; ++h) {
+        if (h % drillers == d) {
+          holes.push_back(h);
+        }
+      }
+      assigned[static_cast<size_t>(d)] = holes;
+      ++app_messages;
+      controller.SendReliable(static_cast<net::NodeId>(d + 1), kAssignPort,
+                              std::make_shared<AssignMsg>(std::move(holes)));
+    }
+  });
+  if (config.crash_driller_at > sim::Duration::Zero()) {
+    s.ScheduleAfter(config.crash_driller_at, [&] {
+      states[0].alive = false;
+      pingers[0]->Stop();
+      network.SetNodeUp(1, false);
+    });
+  }
+  sim::PeriodicTimer finish_watch(&s, sim::Duration::Millis(50), [&] {
+    int accounted = static_cast<int>(checklist.size());
+    for (const auto& [hole, count] : completions) {
+      if (count > 0 && !checklist.count(hole)) {
+        ++accounted;
+      }
+    }
+    if (accounted >= config.holes) {
+      s.ScheduleAfter(sim::Duration::Millis(200), [&] { s.RequestStop(); });
+    }
+  });
+  finish_watch.Start(sim::Duration::Millis(100));
+  s.RunFor(sim::Duration::Seconds(60));
+  finish_watch.Stop();
+  for (auto it = completions.begin(); it != completions.end();) {
+    it = it->second == 0 ? completions.erase(it) : std::next(it);
+  }
+  for (auto& pinger : pingers) {
+    pinger->Stop();
+  }
+  failure_check.Stop();
+  return Summarize(config, completions, checklist, last_complete, app_messages,
+                   network.packets_sent(), network.bytes_sent());
+}
+
+}  // namespace
+
+DrillingResult RunDrillingScenario(const DrillingConfig& config) {
+  if (config.strategy == DrillStrategy::kCatocsDistributed) {
+    return RunCatocs(config);
+  }
+  return RunCentral(config);
+}
+
+}  // namespace apps

@@ -1,0 +1,69 @@
+// Appendix 9.1 scenario: drilling cell control.
+//
+// H holes must each be drilled exactly once by D driller controllers; the
+// product is a checklist of holes to re-inspect because a drill may have
+// failed partway. Two designs:
+//
+//   * kCatocsDistributed — Birman's design: the cell controller abcasts the
+//     drilling request; every driller derives its own assignment from the
+//     totally ordered schedule and causally multicasts each completion to
+//     the whole group so all schedules stay consistent. Traffic per
+//     completion is proportional to D (quadratic-ish total); a driller crash
+//     is handled by the membership flush, after which survivors move the
+//     failed driller's unfinished holes to the checklist.
+//
+//   * kCentralController — the paper's alternative: a central controller
+//     assigns holes and receives per-hole completions over plain reliable
+//     transport, mirroring state to one backup. Traffic is linear in H; a
+//     crashed driller's unfinished holes go to the checklist when its
+//     progress times out.
+//
+// Both must account for every hole (completed + checklist == H) and never
+// drill a hole twice.
+
+#ifndef REPRO_SRC_APPS_DRILLING_H_
+#define REPRO_SRC_APPS_DRILLING_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace apps {
+
+enum class DrillStrategy {
+  kCatocsDistributed,
+  kCentralController,
+};
+
+struct DrillingConfig {
+  DrillStrategy strategy = DrillStrategy::kCatocsDistributed;
+  int holes = 120;
+  int drillers = 6;
+  sim::Duration drill_time_lo = sim::Duration::Millis(20);
+  sim::Duration drill_time_hi = sim::Duration::Millis(50);
+  sim::Duration latency_lo = sim::Duration::Millis(1);
+  sim::Duration latency_hi = sim::Duration::Millis(5);
+  // Crash one driller at this time; Zero disables the failure.
+  sim::Duration crash_driller_at = sim::Duration::Zero();
+  uint64_t seed = 1;
+};
+
+struct DrillingResult {
+  int holes = 0;
+  int holes_completed = 0;
+  int checklist_size = 0;
+  int holes_double_drilled = 0;  // must be 0
+  bool all_accounted = false;    // completed + checklist == holes
+  // Application-level message transmissions (multicast counted per copy).
+  uint64_t app_messages = 0;
+  // All packets the network carried (including protocol overhead traffic).
+  uint64_t network_packets = 0;
+  uint64_t network_bytes = 0;
+  double makespan_ms = 0.0;
+};
+
+DrillingResult RunDrillingScenario(const DrillingConfig& config);
+
+}  // namespace apps
+
+#endif  // REPRO_SRC_APPS_DRILLING_H_

@@ -1,0 +1,135 @@
+#include "src/apps/firealarm.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/catocs/group.h"
+#include "src/net/clock.h"
+
+namespace apps {
+
+namespace {
+
+class FireReport : public net::Payload {
+ public:
+  FireReport(int round, bool burning, sim::TimePoint stamped_at)
+      : round_(round), burning_(burning), stamped_at_(stamped_at) {}
+  size_t SizeBytes() const override { return 17; }
+  std::string Describe() const override { return burning_ ? "fire" : "fire-out"; }
+  int round() const { return round_; }
+  bool burning() const { return burning_; }
+  sim::TimePoint stamped_at() const { return stamped_at_; }
+
+ private:
+  int round_;
+  bool burning_;
+  sim::TimePoint stamped_at_;
+};
+
+constexpr net::NodeId kTimeServerNode = 20;
+
+}  // namespace
+
+FireAlarmResult RunFireAlarmScenario(const FireAlarmConfig& config) {
+  sim::Simulator s(config.seed);
+
+  // Members: 1 = furnace process P, 2 = monitor M, 3 = observer Q.
+  catocs::FabricConfig fabric_config;
+  fabric_config.num_members = 3;
+  fabric_config.latency_lo = config.latency_lo;
+  fabric_config.latency_hi = config.latency_hi;
+  catocs::GroupFabric fabric(&s, fabric_config);
+
+  // Time service: a reference server plus imperfect-but-synced clocks for
+  // the two sensors.
+  net::Transport time_server_transport(&s, &fabric.network(), kTimeServerNode);
+  net::ClockSyncServer time_server(&s, &time_server_transport);
+  net::HardwareClock p_hw(&s, config.clock_offset, config.clock_drift_ppm);
+  net::HardwareClock m_hw(&s, -config.clock_offset, -config.clock_drift_ppm);
+  net::SyncedClock p_clock(&p_hw);
+  net::SyncedClock m_clock(&m_hw);
+  net::ClockSyncClient p_sync(&s, &fabric.transport(0), kTimeServerNode, &p_hw, &p_clock,
+                              sim::Duration::Millis(200));
+  net::ClockSyncClient m_sync(&s, &fabric.transport(1), kTimeServerNode, &m_hw, &m_clock,
+                              sim::Duration::Millis(200));
+  p_sync.Start();
+  m_sync.Start();
+
+  // The external environment: whether the furnace is burning, per round.
+  std::map<int, bool> env_burning;
+
+  // Observer Q's two belief strategies.
+  struct Belief {
+    bool valid = false;
+    bool burning = false;
+    sim::TimePoint stamp;
+  };
+  std::map<int, Belief> raw_belief;  // last delivered wins
+  std::map<int, Belief> ts_belief;   // greatest timestamp wins
+
+  fabric.member(2).SetDeliveryHandler([&](const catocs::Delivery& d) {
+    const auto* report = net::PayloadCast<FireReport>(d.payload);
+    if (report == nullptr) {
+      return;
+    }
+    Belief& raw = raw_belief[report->round()];
+    raw.valid = true;
+    raw.burning = report->burning();
+    Belief& ts = ts_belief[report->round()];
+    if (!ts.valid || report->stamped_at() > ts.stamp) {
+      ts.valid = true;
+      ts.burning = report->burning();
+      ts.stamp = report->stamped_at();
+    }
+  });
+
+  fabric.StartAll();
+
+  // Drive the rounds: fire (P), fire out (M), fire again (P).
+  sim::Rng gaps = s.rng().Fork();
+  for (int round = 0; round < config.rounds; ++round) {
+    const sim::TimePoint base = sim::TimePoint::Zero() + config.round_gap * round +
+                                sim::Duration::Seconds(2);  // let clock sync settle first
+    const sim::Duration g1 = gaps.NextDuration(config.gap_lo, config.gap_hi);
+    const sim::Duration g2 = gaps.NextDuration(config.gap_lo, config.gap_hi);
+    s.ScheduleAt(base, [&, round] {
+      env_burning[round] = true;
+      fabric.member(0).Send(config.mode,
+                            std::make_shared<FireReport>(round, true, p_clock.Now()));
+    });
+    s.ScheduleAt(base + g1, [&, round] {
+      env_burning[round] = false;
+      fabric.member(1).Send(config.mode,
+                            std::make_shared<FireReport>(round, false, m_clock.Now()));
+    });
+    s.ScheduleAt(base + g1 + g2, [&, round] {
+      env_burning[round] = true;
+      fabric.member(0).Send(config.mode,
+                            std::make_shared<FireReport>(round, true, p_clock.Now()));
+    });
+  }
+  s.RunFor(config.round_gap * config.rounds + sim::Duration::Seconds(4));
+  p_sync.Stop();
+  m_sync.Stop();
+
+  FireAlarmResult result;
+  result.rounds = config.rounds;
+  for (int round = 0; round < config.rounds; ++round) {
+    const bool truth = env_burning[round];  // true: the fire reignited
+    const Belief& raw = raw_belief[round];
+    const Belief& ts = ts_belief[round];
+    if (raw.valid && raw.burning != truth) {
+      ++result.raw_anomalies;
+    }
+    if (ts.valid && ts.burning != truth) {
+      ++result.timestamp_anomalies;
+    }
+  }
+  const sim::Duration bound =
+      p_sync.error_bound() > m_sync.error_bound() ? p_sync.error_bound() : m_sync.error_bound();
+  result.clock_error_bound_us = static_cast<double>(bound.nanos()) / 1000.0;
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,325 @@
+#include "src/apps/nameservice.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catocs/group.h"
+#include "src/catocs/vector_clock.h"
+#include "src/sim/metrics.h"
+
+namespace apps {
+
+namespace {
+
+// A name binding as stored and gossiped: last-writer-wins on
+// (lamport timestamp, origin site).
+struct BindingEntry {
+  std::string name;
+  std::string value;
+  uint64_t ts = 0;
+  int origin = 0;
+
+  // Deterministic dominance for conflict resolution.
+  bool Beats(const BindingEntry& other) const {
+    if (ts != other.ts) {
+      return ts > other.ts;
+    }
+    return origin > other.origin;
+  }
+};
+
+class GossipDelta : public net::Payload {
+ public:
+  explicit GossipDelta(std::vector<BindingEntry> entries) : entries_(std::move(entries)) {}
+  size_t SizeBytes() const override {
+    size_t total = 4;
+    for (const auto& e : entries_) {
+      total += e.name.size() + e.value.size() + 16;
+    }
+    return total;
+  }
+  std::string Describe() const override { return "gossip"; }
+  const std::vector<BindingEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<BindingEntry> entries_;
+};
+
+class BindMsg : public net::Payload {
+ public:
+  BindMsg(std::string name, std::string value, int origin, sim::TimePoint issued_at)
+      : name_(std::move(name)), value_(std::move(value)), origin_(origin), issued_at_(issued_at) {}
+  size_t SizeBytes() const override { return name_.size() + value_.size() + 12; }
+  std::string Describe() const override { return "bind:" + name_; }
+  const std::string& name() const { return name_; }
+  const std::string& value() const { return value_; }
+  int origin() const { return origin_; }
+  sim::TimePoint issued_at() const { return issued_at_; }
+
+ private:
+  std::string name_;
+  std::string value_;
+  int origin_;
+  sim::TimePoint issued_at_;
+};
+
+constexpr uint32_t kGossipPort = 0x6A7E0001;
+
+// Generates the binding workload: (site, name, value) triples with a tunable
+// fraction of cross-site duplicate names.
+struct Workload {
+  struct Op {
+    int site;
+    std::string name;
+    std::string value;
+  };
+  std::vector<Op> ops;
+
+  Workload(const NameServiceConfig& config, sim::Rng& rng) {
+    for (int k = 0; k < config.bindings; ++k) {
+      Op op;
+      op.site = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(config.sites)));
+      if (k > 0 && rng.NextBool(config.conflict_fraction)) {
+        // Rebind a recent name from (usually) another site: a duplicate.
+        op.name = ops[ops.size() - 1 - rng.NextBelow(std::min<uint64_t>(5, ops.size()))].name;
+      } else {
+        op.name = "name-" + std::to_string(k);
+      }
+      op.value = "v" + std::to_string(k) + "@s" + std::to_string(op.site);
+      ops.push_back(std::move(op));
+    }
+  }
+};
+
+void SplitPartition(int sites, std::vector<std::set<net::NodeId>>* components) {
+  std::set<net::NodeId> a;
+  std::set<net::NodeId> b;
+  for (int i = 0; i < sites; ++i) {
+    (i < sites / 2 ? a : b).insert(static_cast<net::NodeId>(i + 1));
+  }
+  components->push_back(std::move(a));
+  components->push_back(std::move(b));
+}
+
+int CountDivergent(const std::vector<std::map<std::string, std::string>>& directories) {
+  std::set<std::string> all_names;
+  for (const auto& dir : directories) {
+    for (const auto& [name, value] : dir) {
+      all_names.insert(name);
+    }
+  }
+  int divergent = 0;
+  for (const std::string& name : all_names) {
+    std::set<std::string> values;
+    for (const auto& dir : directories) {
+      auto it = dir.find(name);
+      values.insert(it == dir.end() ? "<absent>" : it->second);
+    }
+    if (values.size() > 1) {
+      ++divergent;
+    }
+  }
+  return divergent;
+}
+
+NameServiceResult RunOptimistic(const NameServiceConfig& config) {
+  sim::Simulator s(config.seed);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(config.latency_lo,
+                                                                 config.latency_hi));
+  const int sites = config.sites;
+  // Anti-entropy keeps retrying across partitions: the delta push marks a
+  // peer as up-to-date when it sends, so the channel must not give up.
+  net::TransportConfig transport_config;
+  transport_config.max_retries = 2000;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  for (int i = 0; i < sites; ++i) {
+    transports.push_back(std::make_unique<net::Transport>(
+        &s, &network, static_cast<net::NodeId>(i + 1), transport_config));
+  }
+
+  // Per-site replica state.
+  std::vector<std::map<std::string, BindingEntry>> directories(sites);
+  std::vector<catocs::LamportClock> clocks(sites);
+  std::vector<std::vector<BindingEntry>> logs(sites);  // updates to gossip
+  // Per (site, peer): index into the site's log already pushed to that peer.
+  std::vector<std::vector<size_t>> pushed(sites, std::vector<size_t>(sites, 0));
+
+  NameServiceResult result;
+  result.bindings_attempted = config.bindings;
+
+  // Applying an entry; counts conflicts once (at site 0's replica).
+  auto apply = [&](int site, const BindingEntry& entry) {
+    auto it = directories[site].find(entry.name);
+    clocks[site].Witness(entry.ts);
+    if (it == directories[site].end()) {
+      directories[site][entry.name] = entry;
+      logs[site].push_back(entry);
+      return;
+    }
+    if (entry.Beats(it->second)) {
+      if (site == 0 && it->second.origin != entry.origin) {
+        ++result.conflicts_undone;  // a concurrent duplicate gets undone
+      }
+      it->second = entry;
+      logs[site].push_back(entry);
+    }
+  };
+
+  for (int i = 0; i < sites; ++i) {
+    transports[static_cast<size_t>(i)]->RegisterReceiver(
+        kGossipPort, [&, i](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+          const auto* delta = net::PayloadCast<GossipDelta>(p);
+          if (delta == nullptr) {
+            return;
+          }
+          for (const auto& entry : delta->entries()) {
+            apply(i, entry);
+          }
+        });
+  }
+
+  // Anti-entropy push: each site forwards its new log entries to every peer.
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> gossipers;
+  for (int i = 0; i < sites; ++i) {
+    gossipers.push_back(std::make_unique<sim::PeriodicTimer>(&s, config.gossip_interval, [&, i] {
+      for (int peer = 0; peer < sites; ++peer) {
+        if (peer == i) {
+          continue;
+        }
+        size_t& mark = pushed[static_cast<size_t>(i)][static_cast<size_t>(peer)];
+        if (mark >= logs[static_cast<size_t>(i)].size()) {
+          continue;
+        }
+        std::vector<BindingEntry> delta(logs[static_cast<size_t>(i)].begin() + mark,
+                                        logs[static_cast<size_t>(i)].end());
+        mark = logs[static_cast<size_t>(i)].size();
+        transports[static_cast<size_t>(i)]->SendReliable(
+            static_cast<net::NodeId>(peer + 1), kGossipPort,
+            std::make_shared<GossipDelta>(std::move(delta)));
+      }
+    }));
+    gossipers.back()->Start(config.gossip_interval + sim::Duration::Micros(700 * i));
+  }
+
+  // Workload + partition schedule.
+  sim::Rng workload_rng = s.rng().Fork();
+  Workload workload(config, workload_rng);
+  for (int k = 0; k < config.bindings; ++k) {
+    const auto& op = workload.ops[static_cast<size_t>(k)];
+    s.ScheduleAt(sim::TimePoint::Zero() + config.bind_interval * (k + 1), [&, op] {
+      BindingEntry entry{op.name, op.value, clocks[static_cast<size_t>(op.site)].Tick(), op.site};
+      apply(op.site, entry);
+      // Locally visible at once: the optimistic design never stalls.
+      ++result.accepted_immediately;
+    });
+  }
+  s.ScheduleAt(sim::TimePoint::Zero() + config.partition_start, [&] {
+    std::vector<std::set<net::NodeId>> components;
+    SplitPartition(sites, &components);
+    network.Partition(components);
+  });
+  s.ScheduleAt(sim::TimePoint::Zero() + config.partition_start + config.partition_duration,
+               [&] { network.HealPartition(); });
+
+  s.RunFor(config.bind_interval * config.bindings + config.partition_duration +
+           sim::Duration::Seconds(5));
+  for (auto& g : gossipers) {
+    g->Stop();
+  }
+
+  std::vector<std::map<std::string, std::string>> final_dirs(sites);
+  for (int i = 0; i < sites; ++i) {
+    for (const auto& [name, entry] : directories[static_cast<size_t>(i)]) {
+      final_dirs[static_cast<size_t>(i)][name] = entry.value;
+    }
+  }
+  result.divergent_names = CountDivergent(final_dirs);
+  result.converged = result.divergent_names == 0;
+  result.mean_commit_latency_ms = 0.0;  // bindings commit locally, instantly
+  result.network_bytes = network.bytes_sent();
+  return result;
+}
+
+NameServiceResult RunCatocs(const NameServiceConfig& config) {
+  sim::Simulator s(config.seed);
+  catocs::FabricConfig fabric_config;
+  fabric_config.num_members = static_cast<uint32_t>(config.sites);
+  fabric_config.latency_lo = config.latency_lo;
+  fabric_config.latency_hi = config.latency_hi;
+  // The partition outlives the default retransmission budget; keep trying.
+  fabric_config.transport.max_retries = 2000;
+  catocs::GroupFabric fabric(&s, fabric_config);
+
+  NameServiceResult result;
+  result.bindings_attempted = config.bindings;
+  const int sites = config.sites;
+  std::vector<std::map<std::string, std::string>> directories(sites);
+  sim::Histogram commit_latency_ms;
+
+  for (int i = 0; i < sites; ++i) {
+    fabric.member(static_cast<size_t>(i)).SetDeliveryHandler([&, i](const catocs::Delivery& d) {
+      const auto* bind = net::PayloadCast<BindMsg>(d.payload);
+      if (bind == nullptr) {
+        return;
+      }
+      // Applied in total order: later binding of a name wins; no undo
+      // concept is needed (or possible) — the order *is* the resolution.
+      directories[static_cast<size_t>(i)][bind->name()] = bind->value();
+      if (i == bind->origin()) {
+        const double latency_ms =
+            static_cast<double>((s.now() - bind->issued_at()).nanos()) / 1e6;
+        commit_latency_ms.Record(latency_ms);
+        // "Stalled" means partition-scale, not the ordinary WAN round trips
+        // total ordering always costs (which the mean-commit column shows).
+        constexpr double kStallThresholdMs = 250.0;
+        if (latency_ms <= kStallThresholdMs) {
+          ++result.accepted_immediately;
+        } else {
+          ++result.stalled;
+          result.max_stall_ms = std::max(result.max_stall_ms, latency_ms);
+        }
+      }
+    });
+  }
+  fabric.StartAll();
+
+  sim::Rng workload_rng = s.rng().Fork();
+  Workload workload(config, workload_rng);
+  for (int k = 0; k < config.bindings; ++k) {
+    const auto& op = workload.ops[static_cast<size_t>(k)];
+    s.ScheduleAt(sim::TimePoint::Zero() + config.bind_interval * (k + 1), [&fabric, &s, op] {
+      fabric.member(static_cast<size_t>(op.site))
+          .TotalSend(std::make_shared<BindMsg>(op.name, op.value, op.site, s.now()));
+    });
+  }
+  s.ScheduleAt(sim::TimePoint::Zero() + config.partition_start, [&] {
+    std::vector<std::set<net::NodeId>> components;
+    SplitPartition(sites, &components);
+    fabric.network().Partition(components);
+  });
+  s.ScheduleAt(sim::TimePoint::Zero() + config.partition_start + config.partition_duration,
+               [&] { fabric.network().HealPartition(); });
+
+  s.RunFor(config.bind_interval * config.bindings + config.partition_duration +
+           sim::Duration::Seconds(20));
+
+  result.mean_commit_latency_ms = commit_latency_ms.mean();
+  result.divergent_names = CountDivergent(directories);
+  result.converged = result.divergent_names == 0;
+  result.network_bytes = fabric.network().bytes_sent();
+  return result;
+}
+
+}  // namespace
+
+NameServiceResult RunNameServiceScenario(const NameServiceConfig& config) {
+  if (config.strategy == NameServiceStrategy::kOptimisticAntiEntropy) {
+    return RunOptimistic(config);
+  }
+  return RunCatocs(config);
+}
+
+}  // namespace apps

@@ -1,0 +1,74 @@
+// §4.5 scenario: replication in the large (Lampson's global name service).
+//
+// A name service replicated across WAN sites. Two designs:
+//
+//   * kOptimisticAntiEntropy — the paper's (and Lampson's) design: every
+//     replica accepts bindings locally and immediately; replicas exchange
+//     state by periodic anti-entropy gossip; concurrent duplicate bindings
+//     of the same name are resolved deterministically by "undoing" one
+//     (last-writer-wins on a Lamport timestamp with site id as tiebreak).
+//     Availability is total — even during a partition — at the price of
+//     occasional undos and temporary divergence.
+//
+//   * kCatocsTotalOrder — bindings are abcast through a group spanning all
+//     sites, giving one agreed order (no undos ever). During a partition,
+//     sites cut off from the sequencer cannot get bindings ordered: their
+//     operations stall until the partition heals.
+//
+// The scenario drives binding traffic, partitions the network for a window,
+// heals it, and reports: operations accepted immediately, operations stalled
+// (and for how long), conflicts undone, and whether all replicas converge to
+// identical directories.
+
+#ifndef REPRO_SRC_APPS_NAMESERVICE_H_
+#define REPRO_SRC_APPS_NAMESERVICE_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace apps {
+
+enum class NameServiceStrategy {
+  kOptimisticAntiEntropy,
+  kCatocsTotalOrder,
+};
+
+struct NameServiceConfig {
+  NameServiceStrategy strategy = NameServiceStrategy::kOptimisticAntiEntropy;
+  int sites = 6;
+  int bindings = 300;
+  // Fraction of bindings that deliberately reuse a recently bound name from
+  // another site (creating genuine conflicts for the optimistic design).
+  double conflict_fraction = 0.05;
+  sim::Duration bind_interval = sim::Duration::Millis(10);
+  sim::Duration gossip_interval = sim::Duration::Millis(100);
+  // Partition [start, start+duration): sites split into two halves.
+  sim::Duration partition_start = sim::Duration::Seconds(1);
+  sim::Duration partition_duration = sim::Duration::Seconds(1);
+  sim::Duration latency_lo = sim::Duration::Millis(5);
+  sim::Duration latency_hi = sim::Duration::Millis(40);
+  uint64_t seed = 1;
+};
+
+struct NameServiceResult {
+  int bindings_attempted = 0;
+  // Bindings visible to the issuing client within one bind_interval.
+  int accepted_immediately = 0;
+  // Bindings that stalled (ordered/visible only later), and their worst wait.
+  int stalled = 0;
+  double max_stall_ms = 0.0;
+  double mean_commit_latency_ms = 0.0;
+  // Optimistic design only: duplicate bindings resolved by undo.
+  int conflicts_undone = 0;
+  // After healing + settle time: do all replicas hold identical directories?
+  bool converged = false;
+  int divergent_names = 0;
+  uint64_t network_bytes = 0;
+};
+
+NameServiceResult RunNameServiceScenario(const NameServiceConfig& config);
+
+}  // namespace apps
+
+#endif  // REPRO_SRC_APPS_NAMESERVICE_H_

@@ -1,0 +1,208 @@
+#include "src/apps/netnews.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/catocs/group.h"
+#include "src/sim/metrics.h"
+#include "src/statelevel/prescriptive.h"
+
+namespace apps {
+
+namespace {
+
+class Article : public net::Payload {
+ public:
+  Article(uint64_t id, uint64_t references, int origin, sim::TimePoint posted_at)
+      : id_(id), references_(references), origin_(origin), posted_at_(posted_at) {}
+  size_t SizeBytes() const override { return 512; }  // a short posting
+  std::string Describe() const override { return "article"; }
+  uint64_t id() const { return id_; }
+  uint64_t references() const { return references_; }  // 0 = inquiry
+  int origin() const { return origin_; }               // posting server
+  sim::TimePoint posted_at() const { return posted_at_; }
+
+ private:
+  uint64_t id_;
+  uint64_t references_;
+  int origin_;
+  sim::TimePoint posted_at_;
+};
+
+constexpr uint32_t kFeedPort = 0xA7010001;
+
+}  // namespace
+
+NetnewsResult RunNetnewsScenario(const NetnewsConfig& config) {
+  sim::Simulator s(config.seed);
+  NetnewsResult result;
+  result.inquiries = config.inquiries;
+
+  sim::Histogram display_latency;
+  std::set<uint64_t> displayed;          // at the reader
+  std::map<uint64_t, uint64_t> refs_of;  // article -> referenced inquiry
+  int out_of_order = 0;
+  uint64_t next_article_id = 1;
+  sim::Rng workload = s.rng().Fork();
+
+  // The reader sits at server 0 in flooding modes, member 0 in group mode.
+  auto display = [&](uint64_t id, sim::TimePoint posted_at) {
+    if (!displayed.insert(id).second) {
+      return;
+    }
+    const uint64_t ref = refs_of.count(id) ? refs_of[id] : 0;
+    if (ref != 0 && !displayed.count(ref)) {
+      ++out_of_order;
+    }
+    display_latency.Record(static_cast<double>((s.now() - posted_at).nanos()) / 1e6);
+  };
+
+  // Response generation, shared by both transports: when an inquiry first
+  // reaches a server, a local user may post a response there after thinking.
+  std::map<uint64_t, bool> response_spawned;
+  // Responses come from *other* sites than the inquiry's origin (that is
+  // what makes reordering possible in the real Usenet).
+  auto maybe_respond = [&](uint64_t inquiry_id, int server, int inquiry_origin,
+                           const std::function<void(int, uint64_t, uint64_t)>& post) {
+    if (server == inquiry_origin || response_spawned[inquiry_id] ||
+        !workload.NextBool(config.response_probability)) {
+      return;
+    }
+    response_spawned[inquiry_id] = true;
+    const uint64_t response_id = next_article_id++;
+    refs_of[response_id] = inquiry_id;
+    ++result.responses;
+    s.ScheduleAfter(config.think_time, [post, server, response_id, inquiry_id] {
+      post(server, response_id, inquiry_id);
+    });
+  };
+
+  if (config.strategy == NewsStrategy::kCatocsGroup) {
+    catocs::FabricConfig fabric_config;
+    fabric_config.num_members = static_cast<uint32_t>(config.servers);
+    fabric_config.latency_lo = config.latency_lo;
+    fabric_config.latency_hi = config.latency_hi;
+    fabric_config.network.drop_probability = config.drop_probability;
+    catocs::GroupFabric fabric(&s, fabric_config);
+
+    auto post = [&fabric, &s](int server, uint64_t id, uint64_t ref) {
+      fabric.member(static_cast<size_t>(server))
+          .CausalSend(std::make_shared<Article>(id, ref, server, s.now()));
+    };
+    std::function<void(int, uint64_t, uint64_t)> post_fn = post;
+
+    for (size_t member = 0; member < fabric.size(); ++member) {
+      fabric.member(member).SetDeliveryHandler([&, member](const catocs::Delivery& d) {
+        const auto* article = net::PayloadCast<Article>(d.payload);
+        if (article == nullptr) {
+          return;
+        }
+        if (member == 0) {
+          display(article->id(), article->posted_at());
+        }
+        if (article->references() == 0) {
+          maybe_respond(article->id(), static_cast<int>(member), article->origin(), post_fn);
+        }
+      });
+    }
+    fabric.StartAll();
+    for (int i = 0; i < config.inquiries; ++i) {
+      const int origin = static_cast<int>(workload.NextBelow(config.servers));
+      const uint64_t id = next_article_id++;
+      s.ScheduleAt(sim::TimePoint::Zero() + config.post_interval * (i + 1),
+                   [&, origin, id] {
+                     refs_of[id] = 0;
+                     post(origin, id, 0);
+                     if (origin == 0) {
+                       display(id, s.now());
+                     }
+                   });
+    }
+    s.RunFor(config.post_interval * config.inquiries + sim::Duration::Seconds(10));
+    result.network_bytes = fabric.network().bytes_sent();
+  } else {
+    // Flooding over a ring-with-chords peering graph.
+    net::NetworkConfig net_config;
+    net_config.drop_probability = config.drop_probability;
+    net::Network network(&s,
+                         std::make_unique<net::UniformLatency>(config.latency_lo,
+                                                               config.latency_hi),
+                         net_config);
+    std::vector<std::unique_ptr<net::Transport>> transports;
+    std::vector<std::vector<int>> peers(config.servers);
+    for (int server = 0; server < config.servers; ++server) {
+      transports.push_back(std::make_unique<net::Transport>(
+          &s, &network, static_cast<net::NodeId>(server + 1)));
+      peers[server] = {(server + 1) % config.servers,
+                       (server + config.servers - 1) % config.servers,
+                       (server + config.servers / 2) % config.servers};
+    }
+    std::vector<std::set<uint64_t>> seen(config.servers);
+
+    // Reference gate at the reader (only consulted in kFloodingReferences).
+    statelv::PrescriptiveGate gate([&](const statelv::StreamKey& key, const net::PayloadPtr& p) {
+      const auto* article = net::PayloadCast<Article>(p);
+      display(key.seq, article != nullptr ? article->posted_at() : s.now());
+    });
+
+    std::function<void(int, const net::PayloadPtr&)> ingest =
+        [&](int server, const net::PayloadPtr& payload) {
+          const auto* article = net::PayloadCast<Article>(payload);
+          if (article == nullptr || !seen[server].insert(article->id()).second) {
+            return;
+          }
+          if (server == 0) {
+            if (config.strategy == NewsStrategy::kFloodingReferences &&
+                article->references() != 0) {
+              gate.Submit({1, article->id()}, {{1, article->references()}}, payload);
+            } else if (config.strategy == NewsStrategy::kFloodingReferences) {
+              gate.Submit({1, article->id()}, {}, payload);
+            } else {
+              display(article->id(), article->posted_at());
+            }
+          }
+          for (int peer : peers[server]) {
+            // Store-and-forward with per-peer batching delay.
+            const sim::Duration batch =
+                workload.NextDuration(sim::Duration::Zero(), config.forward_delay_max);
+            s.ScheduleAfter(batch, [&transports, server, peer, payload] {
+              transports[static_cast<size_t>(server)]->SendReliable(
+                  static_cast<net::NodeId>(peer + 1), kFeedPort, payload);
+            });
+          }
+          if (article->references() == 0) {
+            maybe_respond(article->id(), server, article->origin(),
+                          [&](int at, uint64_t id, uint64_t ref) {
+                            ingest(at, std::make_shared<Article>(id, ref, at, s.now()));
+                          });
+          }
+        };
+
+    for (int server = 0; server < config.servers; ++server) {
+      transports[static_cast<size_t>(server)]->RegisterReceiver(
+          kFeedPort, [&, server](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+            ingest(server, p);
+          });
+    }
+    for (int i = 0; i < config.inquiries; ++i) {
+      const int origin = static_cast<int>(workload.NextBelow(config.servers));
+      const uint64_t id = next_article_id++;
+      s.ScheduleAt(sim::TimePoint::Zero() + config.post_interval * (i + 1), [&, origin, id] {
+        refs_of[id] = 0;
+        ingest(origin, std::make_shared<Article>(id, 0, origin, s.now()));
+      });
+    }
+    s.RunFor(config.post_interval * config.inquiries + sim::Duration::Seconds(10));
+    result.gate_holds = gate.stats().delayed;
+    result.network_bytes = network.bytes_sent();
+  }
+
+  result.out_of_order_displays = out_of_order;
+  result.mean_display_latency_ms = display_latency.mean();
+  result.p99_display_latency_ms = display_latency.Quantile(0.99);
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,139 @@
+#include "src/apps/oven.h"
+
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "src/catocs/group.h"
+#include "src/sim/metrics.h"
+
+namespace apps {
+
+namespace {
+
+class SensorReading : public net::Payload {
+ public:
+  SensorReading(int sensor, double value, sim::TimePoint stamped_at)
+      : sensor_(sensor), value_(value), stamped_at_(stamped_at) {}
+  size_t SizeBytes() const override { return 20; }
+  std::string Describe() const override { return "reading"; }
+  int sensor() const { return sensor_; }
+  double value() const { return value_; }
+  sim::TimePoint stamped_at() const { return stamped_at_; }
+
+ private:
+  int sensor_;
+  double value_;
+  sim::TimePoint stamped_at_;
+};
+
+constexpr uint32_t kReadingPort = 0x07E50001;
+
+}  // namespace
+
+OvenResult RunOvenScenario(const OvenConfig& config) {
+  sim::Simulator s(config.seed);
+  const uint32_t members = static_cast<uint32_t>(2 + config.chatter_sensors);
+
+  catocs::FabricConfig fabric_config;
+  fabric_config.num_members = members;  // 1 = oven sensor, last = monitor, rest = chatter
+  fabric_config.latency_lo = config.latency_lo;
+  fabric_config.latency_hi = config.latency_hi;
+  fabric_config.network.drop_probability = config.drop_probability;
+  catocs::GroupFabric fabric(&s, fabric_config);
+  const size_t monitor_index = members - 1;
+
+  // The physical oven: a bounded random walk stepped every millisecond.
+  double true_temp = 250.0;
+  sim::Rng env = s.rng().Fork();
+  sim::PeriodicTimer oven_walk(&s, sim::Duration::Millis(1), [&] {
+    true_temp += env.NextGaussian() * 0.8;
+    true_temp = std::min(400.0, std::max(100.0, true_temp));
+  });
+  oven_walk.Start(sim::Duration::Millis(1));
+
+  // Monitor state.
+  std::optional<double> stored;
+  sim::TimePoint stored_stamp = sim::TimePoint::Zero();
+  OvenResult result;
+  sim::Histogram error_hist;
+  sim::Histogram delay_hist;
+
+  auto apply_reading = [&](const SensorReading& reading, sim::TimePoint sent_at) {
+    if (config.strategy == OvenStrategy::kTimestampFreshest) {
+      // Keep only the freshest reading by source timestamp.
+      if (stored && reading.stamped_at() <= stored_stamp) {
+        return;
+      }
+      stored_stamp = reading.stamped_at();
+    }
+    stored = reading.value();
+    ++result.readings_applied;
+    delay_hist.Record(static_cast<double>((s.now() - sent_at).nanos()) / 1000.0);
+  };
+
+  if (config.strategy == OvenStrategy::kCatocsCausal) {
+    fabric.member(monitor_index).SetDeliveryHandler([&](const catocs::Delivery& d) {
+      const auto* reading = net::PayloadCast<SensorReading>(d.payload);
+      if (reading != nullptr && reading->sensor() == 0) {
+        apply_reading(*reading, d.sent_at);
+      }
+    });
+  } else {
+    fabric.transport(monitor_index)
+        .RegisterReceiver(kReadingPort,
+                          [&](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+                            const auto* reading = net::PayloadCast<SensorReading>(p);
+                            if (reading != nullptr && reading->sensor() == 0) {
+                              apply_reading(*reading, reading->stamped_at());
+                            }
+                          });
+  }
+
+  fabric.StartAll();
+
+  // Sensors: the oven sensor plus chatter sensors, all sampling on the same
+  // period (offset to avoid lockstep).
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> sensors;
+  for (int sensor = 0; sensor <= config.chatter_sensors; ++sensor) {
+    const size_t index = static_cast<size_t>(sensor);
+    sensors.push_back(std::make_unique<sim::PeriodicTimer>(
+        &s, config.sample_interval, [&, sensor, index] {
+          const double value = sensor == 0 ? true_temp : 0.0;
+          auto reading = std::make_shared<SensorReading>(sensor, value, s.now());
+          if (config.strategy == OvenStrategy::kCatocsCausal) {
+            fabric.member(index).CausalSend(reading);
+          } else {
+            fabric.transport(index).SendUnreliable(
+                catocs::GroupFabric::IdOf(monitor_index), kReadingPort, reading);
+          }
+          if (sensor == 0) {
+            ++result.readings_sent;
+          }
+        }));
+    sensors.back()->Start(sim::Duration::Micros(500 + 1700 * sensor));
+  }
+
+  // Sample the tracking error every millisecond.
+  sim::PeriodicTimer sampler(&s, sim::Duration::Millis(1), [&] {
+    if (stored) {
+      error_hist.Record(std::fabs(*stored - true_temp));
+    }
+  });
+  sampler.Start(sim::Duration::Millis(2));
+
+  s.RunUntil(sim::TimePoint::Zero() + config.duration);
+  oven_walk.Stop();
+  sampler.Stop();
+  for (auto& sensor : sensors) {
+    sensor->Stop();
+  }
+
+  result.mean_abs_error = error_hist.mean();
+  result.p99_abs_error = error_hist.Quantile(0.99);
+  result.max_abs_error = error_hist.max();
+  result.mean_delivery_delay_us = delay_hist.mean();
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,577 @@
+#include "src/apps/rpc_deadlock.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/catocs/group.h"
+#include "src/txn/deadlock_detector.h"
+#include "src/txn/wait_for_graph.h"
+
+namespace apps {
+
+namespace {
+
+class CallMsg : public net::Payload {
+ public:
+  CallMsg(uint64_t id, int caller, int nest_target)
+      : id_(id), caller_(caller), nest_target_(nest_target) {}
+  size_t SizeBytes() const override { return 64; }
+  std::string Describe() const override { return "rpc-call"; }
+  uint64_t id() const { return id_; }
+  int caller() const { return caller_; }
+  // >= 0: the handler must issue a nested (blocking) call into this process
+  // — how the scenario scripts deadlock cycles.
+  int nest_target() const { return nest_target_; }
+
+ private:
+  uint64_t id_;
+  int caller_;
+  int nest_target_;
+};
+
+class ReplyMsg : public net::Payload {
+ public:
+  explicit ReplyMsg(uint64_t id) : id_(id) {}
+  size_t SizeBytes() const override { return 32; }
+  std::string Describe() const override { return "rpc-reply"; }
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_;
+};
+
+// van Renesse event stream payloads.
+class InvokeEvent : public net::Payload {
+ public:
+  InvokeEvent(uint64_t parent, uint64_t child, int target)
+      : parent_(parent), child_(child), target_(target) {}
+  size_t SizeBytes() const override { return 20; }
+  std::string Describe() const override { return "invoke-evt"; }
+  uint64_t parent() const { return parent_; }
+  uint64_t child() const { return child_; }
+  int target() const { return target_; }
+
+ private:
+  uint64_t parent_;
+  uint64_t child_;
+  int target_;
+};
+
+class ServeEvent : public net::Payload {
+ public:
+  ServeEvent(uint64_t call, int at) : call_(call), at_(at) {}
+  size_t SizeBytes() const override { return 12; }
+  std::string Describe() const override { return "serve-evt"; }
+  uint64_t call() const { return call_; }
+  int at() const { return at_; }
+
+ private:
+  uint64_t call_;
+  int at_;
+};
+
+class ReturnEvent : public net::Payload {
+ public:
+  ReturnEvent(uint64_t call, int at) : call_(call), at_(at) {}
+  size_t SizeBytes() const override { return 12; }
+  std::string Describe() const override { return "return-evt"; }
+  uint64_t call() const { return call_; }
+  int at() const { return at_; }
+
+ private:
+  uint64_t call_;
+  int at_;
+};
+
+constexpr uint32_t kCallPort = 0xCA110001;
+constexpr uint32_t kReplyPort = 0xCA110002;
+
+// The RPC engine: single-threaded servers, FIFO request queues, blocking
+// nested calls. Transport-agnostic: the harness supplies send functions.
+class RpcEngine {
+ public:
+  using SendFn = std::function<void(int dst, const net::PayloadPtr&)>;
+  // (caller_proc or -1, parent, child, target) on invoke; (call, at) on
+  // serve/return.
+  using InvokeHook = std::function<void(int, uint64_t, uint64_t, int)>;
+  using ServeHook = std::function<void(uint64_t, int)>;
+  using ReturnHook = std::function<void(uint64_t, int)>;
+
+  RpcEngine(sim::Simulator* s, int processes, SendFn send_call, SendFn send_reply)
+      : s_(s), send_call_(std::move(send_call)), send_reply_(std::move(send_reply)),
+        procs_(static_cast<size_t>(processes)) {}
+
+  void SetHooks(InvokeHook on_invoke, ServeHook on_serve, ReturnHook on_return) {
+    on_invoke_ = std::move(on_invoke);
+    on_serve_ = std::move(on_serve);
+    on_return_ = std::move(on_return);
+  }
+
+  // A client call arriving at `proc` from outside (parent 0). nest_target
+  // >= 0 scripts the handler to issue a blocking nested call into that
+  // process.
+  uint64_t ClientCall(int proc, int nest_target = -1) {
+    return Issue(/*caller_proc=*/-1, /*parent=*/0, proc, nest_target);
+  }
+
+  void OnCall(int at, const CallMsg& msg) {
+    calls_[msg.id()].nest_target = msg.nest_target();
+    calls_[msg.id()].caller_proc = msg.caller();
+    procs_[at].queue.push_back(msg.id());
+    TryServe(at);
+  }
+
+  void OnReply(int at, const ReplyMsg& msg) {
+    Proc& p = procs_[at];
+    if (p.blocked_on != msg.id()) {
+      return;  // stale (aborted) reply
+    }
+    p.blocked_on = 0;
+    // Nested work done: finish the serving call.
+    Finish(at);
+  }
+
+  // Removes a queued call and completes its caller with an error — the
+  // deadlock-resolution victim. Returns false if the call is not queued
+  // anywhere yet (still in flight); the caller should retry.
+  bool ForceAbort(uint64_t call_id) {
+    for (size_t at = 0; at < procs_.size(); ++at) {
+      auto& queue = procs_[at].queue;
+      auto it = std::find(queue.begin(), queue.end(), call_id);
+      if (it != queue.end()) {
+        queue.erase(it);
+        if (on_return_) {
+          on_return_(call_id, static_cast<int>(at));
+        }
+        CompleteCaller(call_id);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Instance-level wait-for edges local to `proc` (for reporters).
+  std::vector<txn::WaitEdge> LocalEdges(int proc) const {
+    std::vector<txn::WaitEdge> edges;
+    const Proc& p = procs_[static_cast<size_t>(proc)];
+    if (p.serving != 0 && p.blocked_on != 0) {
+      edges.emplace_back(p.serving, p.blocked_on);
+    }
+    if (p.serving != 0) {
+      for (uint64_t queued : p.queue) {
+        edges.emplace_back(queued, p.serving);
+      }
+    }
+    return edges;
+  }
+
+  bool Blocked(int proc) const { return procs_[static_cast<size_t>(proc)].blocked_on != 0; }
+  uint64_t Serving(int proc) const { return procs_[static_cast<size_t>(proc)].serving; }
+  uint64_t BlockedOn(int proc) const { return procs_[static_cast<size_t>(proc)].blocked_on; }
+  uint64_t completed() const { return completed_; }
+  int ProcOfQueuedCall(uint64_t call_id) const {
+    for (size_t at = 0; at < procs_.size(); ++at) {
+      const auto& queue = procs_[at].queue;
+      if (std::find(queue.begin(), queue.end(), call_id) != queue.end()) {
+        return static_cast<int>(at);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  struct CallInfo {
+    int caller_proc = -1;  // -1: external client
+    uint64_t parent = 0;
+    int nest_target = -1;
+  };
+  struct Proc {
+    std::deque<uint64_t> queue;
+    uint64_t serving = 0;
+    uint64_t blocked_on = 0;
+  };
+
+  uint64_t Issue(int caller_proc, uint64_t parent, int target, int nest_target) {
+    const uint64_t id = next_call_++;
+    calls_[id] = CallInfo{caller_proc, parent, nest_target};
+    if (on_invoke_) {
+      on_invoke_(caller_proc, parent, id, target);
+    }
+    send_call_(target, std::make_shared<CallMsg>(id, caller_proc, nest_target));
+    return id;
+  }
+
+  void TryServe(int at) {
+    Proc& p = procs_[static_cast<size_t>(at)];
+    if (p.serving != 0 || p.queue.empty()) {
+      return;
+    }
+    p.serving = p.queue.front();
+    p.queue.pop_front();
+    if (on_serve_) {
+      on_serve_(p.serving, at);
+    }
+    const CallInfo& info = calls_[p.serving];
+    if (info.nest_target >= 0) {
+      // Scripted nesting: call into the named process and block on the
+      // reply.
+      p.blocked_on = Issue(at, p.serving, info.nest_target, /*nest_target=*/-1);
+      return;
+    }
+    // Plain local work, then reply.
+    const uint64_t expected = p.serving;
+    s_->ScheduleAfter(sim::Duration::Millis(2), [this, at, expected] {
+      if (procs_[static_cast<size_t>(at)].serving == expected &&
+          procs_[static_cast<size_t>(at)].blocked_on == 0) {
+        Finish(at);
+      }
+    });
+  }
+
+  void Finish(int at) {
+    Proc& p = procs_[static_cast<size_t>(at)];
+    const uint64_t done = p.serving;
+    p.serving = 0;
+    if (on_return_) {
+      on_return_(done, at);
+    }
+    CompleteCaller(done);
+    TryServe(at);
+  }
+
+  void CompleteCaller(uint64_t call_id) {
+    ++completed_;
+    const CallInfo& info = calls_[call_id];
+    if (info.caller_proc >= 0) {
+      send_reply_(info.caller_proc, std::make_shared<ReplyMsg>(call_id));
+    }
+  }
+
+  sim::Simulator* s_;
+  SendFn send_call_;
+  SendFn send_reply_;
+  InvokeHook on_invoke_;
+  ServeHook on_serve_;
+  ReturnHook on_return_;
+  std::vector<Proc> procs_;
+  std::map<uint64_t, CallInfo> calls_;
+  uint64_t next_call_ = 1;
+  uint64_t completed_ = 0;
+};
+
+// The van Renesse monitor: rebuilds the wait-for graph from the causally
+// delivered invoke/serve/return event stream.
+class VanRenesseMonitor {
+ public:
+  using DetectFn = std::function<void(const std::vector<uint64_t>&)>;
+
+  explicit VanRenesseMonitor(DetectFn on_detect) : on_detect_(std::move(on_detect)) {}
+
+  void OnInvoke(uint64_t parent, uint64_t child, int target) {
+    outstanding_[child] = Outstanding{parent, target};
+    Recompute();
+  }
+
+  void OnServe(uint64_t call, int at) {
+    serving_[at] = call;
+    Recompute();
+  }
+
+  void OnReturn(uint64_t call, int at) {
+    outstanding_.erase(call);
+    if (serving_[at] == call) {
+      serving_[at] = 0;
+    }
+    Recompute();
+  }
+
+ private:
+  struct Outstanding {
+    uint64_t parent = 0;
+    int target = 0;
+  };
+
+  void Recompute() {
+    graph_.Clear();
+    for (const auto& [child, info] : outstanding_) {
+      // Parent waits for child while the child is outstanding.
+      if (info.parent != 0) {
+        graph_.AddEdge(info.parent, child);
+      }
+      // An outstanding call waits for whatever its target is serving.
+      auto it = serving_.find(info.target);
+      if (it != serving_.end() && it->second != 0 && it->second != child) {
+        graph_.AddEdge(child, it->second);
+      }
+    }
+    if (auto cycle = graph_.FindCycle()) {
+      on_detect_(*cycle);
+    }
+  }
+
+  DetectFn on_detect_;
+  txn::WaitForGraph graph_;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::map<int, uint64_t> serving_;
+};
+
+}  // namespace
+
+RpcDeadlockResult RunRpcDeadlockScenario(const RpcDeadlockConfig& config) {
+  sim::Simulator s(config.seed);
+  const int n = config.processes;
+  RpcDeadlockResult result;
+  result.injected = config.injected_deadlocks;
+
+  // Injection bookkeeping shared across modes. Detections are attributed to
+  // an injection by matching the reported cycle against the injected call
+  // ids (the client calls c1/c2 and their nested children).
+  struct Injection {
+    int a = 0;
+    int b = 0;
+    uint64_t c1 = 0;
+    uint64_t c2 = 0;
+    sim::TimePoint born = sim::TimePoint::Zero();
+    bool born_known = false;
+    bool detected = false;
+    bool resolved = false;
+  };
+  std::vector<Injection> injections(static_cast<size_t>(config.injected_deadlocks));
+  sim::TimePoint last_resolved = sim::TimePoint::Zero();
+  double detection_latency_sum_ms = 0.0;
+
+  RpcEngine* engine_ptr = nullptr;
+  // Resolution: abort the nested call process `a` is blocked on. The abort
+  // may race the call still being in flight to the peer's queue; retry until
+  // it lands.
+  std::function<void(uint64_t)> abort_until_done = [&](uint64_t victim) {
+    if (!engine_ptr->ForceAbort(victim)) {
+      s.ScheduleAfter(sim::Duration::Millis(2), [&abort_until_done, victim] {
+        abort_until_done(victim);
+      });
+    }
+  };
+  auto handle_detection = [&](const std::vector<uint64_t>& cycle) {
+    for (auto& injection : injections) {
+      if (injection.resolved || injection.c1 == 0) {
+        continue;
+      }
+      const bool matches =
+          std::find(cycle.begin(), cycle.end(), injection.c1) != cycle.end() ||
+          std::find(cycle.begin(), cycle.end(), injection.c2) != cycle.end();
+      if (!matches) {
+        continue;
+      }
+      if (!injection.detected) {
+        injection.detected = true;
+        ++result.detected;
+        const sim::TimePoint born = injection.born_known ? injection.born : s.now();
+        detection_latency_sum_ms += static_cast<double>((s.now() - born).nanos()) / 1e6;
+      }
+      injection.resolved = true;
+      last_resolved = s.now();
+      const uint64_t victim = engine_ptr->BlockedOn(injection.a);
+      if (victim != 0) {
+        abort_until_done(victim);
+      }
+      return;
+    }
+    // A cycle matching no live injection: stale re-detection shortly after a
+    // resolution is expected; anything else is a false positive.
+    if (s.now() - last_resolved > sim::Duration::Millis(500)) {
+      ++result.false_positives;
+    }
+  };
+
+  // Workload driver, common to all modes.
+  auto drive = [&](RpcEngine& engine) {
+    engine_ptr = &engine;
+    sim::Rng workload = s.rng().Fork();
+    for (int i = 0; i < config.background_calls; ++i) {
+      const int target = static_cast<int>(workload.NextBelow(static_cast<uint64_t>(n)));
+      s.ScheduleAt(sim::TimePoint::Zero() + config.background_spacing * (i + 1),
+                   [&engine, target] { engine.ClientCall(target); });
+    }
+    for (int k = 0; k < config.injected_deadlocks; ++k) {
+      const int a = static_cast<int>(workload.NextBelow(static_cast<uint64_t>(n)));
+      const int b = static_cast<int>((a + 1 + workload.NextBelow(static_cast<uint64_t>(n - 1))) %
+                                     n);
+      const sim::TimePoint at = sim::TimePoint::Zero() + config.injection_spacing * (k + 1);
+      s.ScheduleAt(at, [&engine, &injections, &s, k, a, b] {
+        // Two clients hit A and B "simultaneously"; A's handler nests into
+        // B's process and vice versa: a four-call wait cycle
+        // (ca -> na -> cb -> nb -> ca).
+        auto& injection = injections[static_cast<size_t>(k)];
+        injection.a = a;
+        injection.b = b;
+        injection.c1 = engine.ClientCall(a, /*nest_target=*/b);
+        injection.c2 = engine.ClientCall(b, /*nest_target=*/a);
+        // The deadlock is born once both processes are blocked on their
+        // nested calls; poll for that instant to record ground truth.
+        auto poll = std::make_shared<std::function<void()>>();
+        *poll = [&engine, &injection, &s, poll, a, b] {
+          if (injection.resolved) {
+            return;
+          }
+          if (engine.Blocked(a) && engine.Blocked(b)) {
+            injection.born = s.now();
+            injection.born_known = true;
+            return;
+          }
+          s.ScheduleAfter(sim::Duration::Millis(2), *poll);
+        };
+        s.ScheduleAfter(sim::Duration::Millis(2), *poll);
+      });
+      // Rescue: if never detected, clear it by timeout so the run finishes.
+      s.ScheduleAt(at + config.rescue_timeout,
+                   [&injections, &engine, &last_resolved, &abort_until_done, &s, k] {
+                     auto& injection = injections[static_cast<size_t>(k)];
+                     if (!injection.resolved) {
+                       injection.resolved = true;
+                       last_resolved = s.now();
+                       const uint64_t victim = engine.BlockedOn(injection.a);
+                       if (victim != 0) {
+                         abort_until_done(victim);
+                       }
+                     }
+                   });
+    }
+  };
+
+  const sim::Duration run_time = config.injection_spacing * (config.injected_deadlocks + 1) +
+                                 config.rescue_timeout + sim::Duration::Seconds(2);
+
+  if (config.detector == DeadlockDetectorKind::kVanRenesseCausal) {
+    catocs::FabricConfig fabric_config;
+    fabric_config.num_members = static_cast<uint32_t>(n + 1);  // + monitor
+    fabric_config.latency_lo = config.latency_lo;
+    fabric_config.latency_hi = config.latency_hi;
+    catocs::GroupFabric fabric(&s, fabric_config);
+    const size_t monitor_index = static_cast<size_t>(n);
+
+    RpcEngine engine(
+        &s, n,
+        [&fabric](int dst, const net::PayloadPtr& p) {
+          // RPC calls ride the plain transport; route through node dst+1.
+          fabric.transport(0).SendReliable(catocs::GroupFabric::IdOf(static_cast<size_t>(dst)),
+                                           kCallPort, p);
+        },
+        [&fabric](int dst, const net::PayloadPtr& p) {
+          fabric.transport(0).SendReliable(catocs::GroupFabric::IdOf(static_cast<size_t>(dst)),
+                                           kReplyPort, p);
+        });
+    for (int proc = 0; proc < n; ++proc) {
+      fabric.transport(static_cast<size_t>(proc))
+          .RegisterReceiver(kCallPort, [&engine, proc](net::NodeId, uint32_t,
+                                                       const net::PayloadPtr& p) {
+            if (const auto* call = net::PayloadCast<CallMsg>(p)) {
+              engine.OnCall(proc, *call);
+            }
+          });
+      fabric.transport(static_cast<size_t>(proc))
+          .RegisterReceiver(kReplyPort, [&engine, proc](net::NodeId, uint32_t,
+                                                        const net::PayloadPtr& p) {
+            if (const auto* reply = net::PayloadCast<ReplyMsg>(p)) {
+              engine.OnReply(proc, *reply);
+            }
+          });
+    }
+    // Every invoke, serve, and return is causally multicast to the whole
+    // group by the acting process (client-issued calls are announced by
+    // process 0, the stand-in client gateway). The serve event carries the
+    // information the monitor cannot infer from invoke order alone: which
+    // call each single-threaded server is actually executing.
+    engine.SetHooks(
+        [&fabric](int caller, uint64_t parent, uint64_t child, int target) {
+          const size_t actor = caller >= 0 ? static_cast<size_t>(caller) : 0;
+          fabric.member(actor).CausalSend(std::make_shared<InvokeEvent>(parent, child, target));
+        },
+        [&fabric](uint64_t call, int at) {
+          fabric.member(static_cast<size_t>(at))
+              .CausalSend(std::make_shared<ServeEvent>(call, at));
+        },
+        [&fabric](uint64_t call, int at) {
+          fabric.member(static_cast<size_t>(at))
+              .CausalSend(std::make_shared<ReturnEvent>(call, at));
+        });
+    VanRenesseMonitor monitor(handle_detection);
+    fabric.member(monitor_index).SetDeliveryHandler([&monitor](const catocs::Delivery& d) {
+      if (const auto* invoke = net::PayloadCast<InvokeEvent>(d.payload)) {
+        monitor.OnInvoke(invoke->parent(), invoke->child(), invoke->target());
+      } else if (const auto* serve = net::PayloadCast<ServeEvent>(d.payload)) {
+        monitor.OnServe(serve->call(), serve->at());
+      } else if (const auto* ret = net::PayloadCast<ReturnEvent>(d.payload)) {
+        monitor.OnReturn(ret->call(), ret->at());
+      }
+    });
+    fabric.StartAll();
+    drive(engine);
+    s.RunFor(run_time);
+    result.app_calls_completed = engine.completed();
+    result.network_packets = fabric.network().packets_sent();
+    result.network_bytes = fabric.network().bytes_sent();
+  } else {
+    net::Network network(&s, std::make_unique<net::UniformLatency>(config.latency_lo,
+                                                                   config.latency_hi));
+    std::vector<std::unique_ptr<net::Transport>> transports;
+    for (int proc = 0; proc <= n; ++proc) {  // last = monitor node
+      transports.push_back(std::make_unique<net::Transport>(
+          &s, &network, static_cast<net::NodeId>(proc + 1)));
+    }
+    RpcEngine engine(
+        &s, n,
+        [&transports](int dst, const net::PayloadPtr& p) {
+          transports[0]->SendReliable(static_cast<net::NodeId>(dst + 1), kCallPort, p);
+        },
+        [&transports](int dst, const net::PayloadPtr& p) {
+          transports[0]->SendReliable(static_cast<net::NodeId>(dst + 1), kReplyPort, p);
+        });
+    for (int proc = 0; proc < n; ++proc) {
+      transports[static_cast<size_t>(proc)]->RegisterReceiver(
+          kCallPort, [&engine, proc](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+            if (const auto* call = net::PayloadCast<CallMsg>(p)) {
+              engine.OnCall(proc, *call);
+            }
+          });
+      transports[static_cast<size_t>(proc)]->RegisterReceiver(
+          kReplyPort, [&engine, proc](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+            if (const auto* reply = net::PayloadCast<ReplyMsg>(p)) {
+              engine.OnReply(proc, *reply);
+            }
+          });
+    }
+    std::vector<std::unique_ptr<txn::WaitForReporter>> reporters;
+    std::unique_ptr<txn::DeadlockMonitor> monitor;
+    if (config.detector == DeadlockDetectorKind::kWaitForMulticast) {
+      monitor = std::make_unique<txn::DeadlockMonitor>(&s, transports.back().get());
+      monitor->SetDeadlockHandler(handle_detection);
+      for (int proc = 0; proc < n; ++proc) {
+        reporters.push_back(std::make_unique<txn::WaitForReporter>(
+            &s, transports[static_cast<size_t>(proc)].get(),
+            std::vector<net::NodeId>{static_cast<net::NodeId>(n + 1)}, config.report_period,
+            [&engine, proc] { return engine.LocalEdges(proc); }));
+        reporters.back()->Start();
+      }
+    }
+    drive(engine);
+    s.RunFor(run_time);
+    for (auto& reporter : reporters) {
+      reporter->Stop();
+    }
+    result.app_calls_completed = engine.completed();
+    result.network_packets = network.packets_sent();
+    result.network_bytes = network.bytes_sent();
+  }
+
+  if (result.detected > 0) {
+    result.mean_detection_latency_ms = detection_latency_sum_ms / result.detected;
+  }
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,201 @@
+#include "src/apps/shopfloor.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/catocs/group.h"
+#include "src/statelevel/ordered_cache.h"
+
+namespace apps {
+
+namespace {
+
+// A lot-status update disseminated to the group: the lot, the action, and
+// the version the database assigned (the state-level logical clock).
+class LotUpdate : public net::Payload {
+ public:
+  LotUpdate(int round, std::string action, uint64_t version)
+      : round_(round), action_(std::move(action)), version_(version) {}
+  size_t SizeBytes() const override { return 24 + action_.size(); }
+  std::string Describe() const override { return action_; }
+  int round() const { return round_; }
+  const std::string& action() const { return action_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  int round_;
+  std::string action_;
+  uint64_t version_;
+};
+
+class DbRequest : public net::Payload {
+ public:
+  DbRequest(int round, std::string action) : round_(round), action_(std::move(action)) {}
+  size_t SizeBytes() const override { return 16 + action_.size(); }
+  std::string Describe() const override { return "db-req:" + action_; }
+  int round() const { return round_; }
+  const std::string& action() const { return action_; }
+
+ private:
+  int round_;
+  std::string action_;
+};
+
+class DbReply : public net::Payload {
+ public:
+  DbReply(int round, std::string action, uint64_t version)
+      : round_(round), action_(std::move(action)), version_(version) {}
+  size_t SizeBytes() const override { return 24; }
+  std::string Describe() const override { return "db-reply"; }
+  int round() const { return round_; }
+  const std::string& action() const { return action_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  int round_;
+  std::string action_;
+  uint64_t version_;
+};
+
+constexpr uint32_t kDbPort = 0xDB000001;
+constexpr net::NodeId kDbNode = 10;
+
+// Group links jitter; the database link (the hidden channel) is a fast fixed
+// connection, per the paper's footnote that computer channels are much
+// faster than the external ones.
+class ShopFloorLatency : public net::LatencyModel {
+ public:
+  ShopFloorLatency(sim::Duration lo, sim::Duration hi, sim::Duration db)
+      : group_(lo, hi), db_(db) {}
+  sim::Duration SampleDelay(net::NodeId src, net::NodeId dst, sim::Rng& rng) override {
+    if (src == kDbNode || dst == kDbNode) {
+      return db_.SampleDelay(src, dst, rng);
+    }
+    return group_.SampleDelay(src, dst, rng);
+  }
+
+ private:
+  net::UniformLatency group_;
+  net::FixedLatency db_;
+};
+
+}  // namespace
+
+ShopFloorResult RunShopFloorScenario(const ShopFloorConfig& config) {
+  sim::Simulator s(config.seed);
+
+  // Group: member 1 = observer (client B's display), members 2 and 3 = the
+  // SFC instances. The observer holds the lowest id so that in total-order
+  // mode the sequencer role sits with a third party, as it would in a large
+  // deployment — neither SFC instance gets to pre-order its own update.
+  catocs::FabricConfig fabric_config;
+  fabric_config.num_members = 3;
+  catocs::GroupFabric fabric(&s, fabric_config,
+                             std::make_unique<ShopFloorLatency>(
+                                 config.latency_lo, config.latency_hi, config.db_latency));
+
+  // The shared database lives on its own node, connected by the fast link
+  // the group layer never sees.
+  net::Transport db_transport(&s, &fabric.network(), kDbNode);
+  // Per-round versions: each round uses a fresh lot record; "start" is
+  // version 1, "stop" version 2 because the database serializes them.
+  std::map<int, uint64_t> lot_versions;
+  db_transport.RegisterReceiver(
+      kDbPort, [&](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
+        const auto* req = net::PayloadCast<DbRequest>(p);
+        if (req == nullptr) {
+          return;
+        }
+        const uint64_t version = ++lot_versions[req->round()];
+        db_transport.SendReliable(src, kDbPort,
+                                  std::make_shared<DbReply>(req->round(), req->action(), version));
+      });
+
+  // SFC instances (members at indexes 1 and 2): on DB reply, multicast the
+  // versioned result to the group.
+  for (size_t instance = 1; instance <= 2; ++instance) {
+    fabric.transport(instance).RegisterReceiver(
+        kDbPort, [&fabric, &config, instance](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+          const auto* reply = net::PayloadCast<DbReply>(p);
+          if (reply == nullptr) {
+            return;
+          }
+          fabric.member(instance).Send(
+              config.mode,
+              std::make_shared<LotUpdate>(reply->round(), reply->action(), reply->version()));
+        });
+  }
+
+  // Observer: raw view and version-filtered view, evaluated per round.
+  ShopFloorResult result;
+  result.rounds = config.rounds;
+  std::map<int, uint64_t> raw_last_version;
+  std::map<int, bool> raw_anomaly;
+  statelv::OrderedCache filtered;
+  std::map<int, uint64_t> filtered_last_version;
+  std::map<int, bool> filtered_anomaly;
+  double latency_sum_us = 0.0;
+  uint64_t latency_count = 0;
+
+  fabric.member(0).SetDeliveryHandler([&](const catocs::Delivery& d) {
+    const auto* update = net::PayloadCast<LotUpdate>(d.payload);
+    if (update == nullptr) {
+      return;
+    }
+    latency_sum_us += static_cast<double>((d.delivered_at - d.sent_at).nanos()) / 1000.0;
+    ++latency_count;
+    // Raw CATOCS display: believe deliveries in the order they arrive.
+    uint64_t& last = raw_last_version[update->round()];
+    if (update->version() < last) {
+      raw_anomaly[update->round()] = true;
+    }
+    last = std::max(last, update->version());
+    // State-level display: the ordered cache drops stale versions.
+    statelv::VersionedUpdate vu;
+    vu.object = "lot-" + std::to_string(update->round());
+    vu.version = update->version();
+    vu.value = update->action() == "stop" ? 0.0 : 1.0;
+    filtered.Apply(vu);
+    const statelv::VersionedUpdate* current = filtered.Get(vu.object);
+    if (current != nullptr) {
+      uint64_t& flast = filtered_last_version[update->round()];
+      if (current->version < flast) {
+        filtered_anomaly[update->round()] = true;
+      }
+      flast = current->version;
+    }
+  });
+
+  fabric.StartAll();
+
+  // Drive the rounds: "start" to instance 1, then "stop" to instance 2.
+  for (int round = 0; round < config.rounds; ++round) {
+    const sim::Duration at = config.round_gap * round;
+    s.ScheduleAt(sim::TimePoint::Zero() + at, [&fabric, round] {
+      fabric.transport(1).SendReliable(kDbNode, kDbPort,
+                                       std::make_shared<DbRequest>(round, "start"));
+    });
+    s.ScheduleAt(sim::TimePoint::Zero() + at + config.request_gap, [&fabric, round] {
+      fabric.transport(2).SendReliable(kDbNode, kDbPort,
+                                       std::make_shared<DbRequest>(round, "stop"));
+    });
+  }
+  s.RunFor(config.round_gap * config.rounds + sim::Duration::Seconds(2));
+
+  for (const auto& [round, bad] : raw_anomaly) {
+    if (bad) {
+      ++result.raw_anomalies;
+    }
+  }
+  for (const auto& [round, bad] : filtered_anomaly) {
+    if (bad) {
+      ++result.filtered_anomalies;
+    }
+  }
+  result.stale_drops = filtered.stats().stale_dropped;
+  result.mean_delivery_latency_us = latency_count ? latency_sum_us / latency_count : 0.0;
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,61 @@
+// Figure 4 scenario: semantic ordering constraints stronger than
+// happens-before ("can't say the whole story").
+//
+// An option-pricing server multicasts the option price stream; a
+// theoretical-pricing server derives a theoretical price from each option
+// price (after a compute delay) and multicasts it with a dependency field
+// naming the base version. The required semantic order — a theoretical
+// price after its base price and *before all subsequent changes to that
+// base* — cannot be expressed in happens-before: the new option price v+1
+// and the theoretical price derived from v are concurrent messages, so both
+// causal and total multicast may show a monitor the new option price paired
+// with the stale theoretical price. With truth theo = option + premium, the
+// stale pairing can display theo <= option: the "false crossing" of Fig. 4.
+//
+// The state-level fix: the monitor keeps option prices by version and
+// presents each theoretical price with the base price named in its
+// dependency field — a consistent pair by construction.
+
+#ifndef REPRO_SRC_APPS_TRADING_H_
+#define REPRO_SRC_APPS_TRADING_H_
+
+#include <cstdint>
+
+#include "src/catocs/message.h"
+#include "src/sim/time.h"
+
+namespace apps {
+
+struct TradingConfig {
+  int price_updates = 500;
+  sim::Duration price_interval = sim::Duration::Millis(10);
+  // Time the theoretical pricer computes before publishing.
+  sim::Duration compute_delay = sim::Duration::Millis(4);
+  sim::Duration latency_lo = sim::Duration::Millis(1);
+  sim::Duration latency_hi = sim::Duration::Millis(8);
+  catocs::OrderingMode mode = catocs::OrderingMode::kCausal;
+  double premium = 0.75;  // true theo = option + premium (> 0)
+  uint64_t seed = 1;
+};
+
+struct TradingResult {
+  int price_updates = 0;
+  // Delivery events where the raw display paired a theoretical price with a
+  // newer option price than it was derived from.
+  uint64_t raw_inconsistent_displays = 0;
+  // Of those, events where the displayed relation inverted (theo <= option):
+  // the false crossing a trader would act on.
+  uint64_t raw_false_crossings = 0;
+  // Same measures for the dependency-aware display (must be 0).
+  uint64_t paired_inconsistent_displays = 0;
+  uint64_t paired_false_crossings = 0;
+  // How often the dependency display lagged (showed an older base than the
+  // newest delivered option price) — the honesty cost of consistency.
+  uint64_t paired_lagging_displays = 0;
+};
+
+TradingResult RunTradingScenario(const TradingConfig& config);
+
+}  // namespace apps
+
+#endif  // REPRO_SRC_APPS_TRADING_H_

@@ -1,0 +1,146 @@
+#include "src/catocs/group.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace catocs {
+
+GroupFabric::GroupFabric(sim::Simulator* simulator, FabricConfig config)
+    : GroupFabric(simulator, config,
+                  std::make_unique<net::UniformLatency>(config.latency_lo, config.latency_hi)) {}
+
+GroupFabric::GroupFabric(sim::Simulator* simulator, FabricConfig config,
+                         std::unique_ptr<net::LatencyModel> latency)
+    : simulator_(simulator), config_(std::move(config)) {
+  network_ = std::make_unique<net::Network>(simulator_, std::move(latency), config_.network);
+  std::vector<MemberId> ids;
+  ids.reserve(config_.num_members);
+  for (uint32_t i = 0; i < config_.num_members; ++i) {
+    ids.push_back(IdOf(i));
+  }
+  for (uint32_t i = 0; i < config_.num_members; ++i) {
+    transports_.push_back(
+        std::make_unique<net::Transport>(simulator_, network_.get(), ids[i], config_.transport));
+    members_.push_back(std::make_unique<GroupMember>(simulator_, transports_.back().get(),
+                                                     config_.group, ids[i], ids));
+  }
+}
+
+GroupFabric::~GroupFabric() = default;
+
+void GroupFabric::StartAll() {
+  for (auto& member : members_) {
+    member->Start();
+  }
+}
+
+void GroupFabric::CrashMember(size_t index) {
+  members_[index]->Stop();
+  network_->SetNodeUp(IdOf(index), false);
+  transports_[index]->ResetPeerState();
+}
+
+void GroupFabric::RecordDeliveries() {
+  records_.clear();
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const MemberId id = IdOf(i);
+    members_[i]->SetDeliveryHandler(
+        [this, id](const Delivery& delivery) { records_.push_back(Record{id, delivery}); });
+  }
+}
+
+std::vector<MessageId> GroupFabric::DeliveryOrderAt(size_t index) const {
+  std::vector<MessageId> out;
+  const MemberId id = IdOf(index);
+  for (const auto& record : records_) {
+    if (record.at == id) {
+      out.push_back(record.delivery.id);
+    }
+  }
+  return out;
+}
+
+std::string CheckCausalDeliveryInvariant(const std::vector<GroupFabric::Record>& records) {
+  // Group records by member, preserving delivery order.
+  std::map<MemberId, std::vector<const GroupFabric::Record*>> by_member;
+  for (const auto& record : records) {
+    if (record.delivery.mode == OrderingMode::kUnordered) {
+      continue;
+    }
+    by_member[record.at].push_back(&record);
+  }
+  for (const auto& [member, sequence] : by_member) {
+    for (size_t later = 0; later < sequence.size(); ++later) {
+      for (size_t earlier = later + 1; earlier < sequence.size(); ++earlier) {
+        // sequence[earlier] was delivered after sequence[later]; it must not
+        // happen-before it.
+        const CausalOrder order =
+            sequence[earlier]->delivery.vt.Compare(sequence[later]->delivery.vt);
+        if (order == CausalOrder::kBefore) {
+          std::ostringstream out;
+          out << "member " << member << ": " << sequence[earlier]->delivery.id.ToString()
+              << " happens-before " << sequence[later]->delivery.id.ToString()
+              << " but was delivered after it";
+          return out.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckTotalOrderInvariant(const std::vector<GroupFabric::Record>& records) {
+  std::map<MemberId, std::vector<std::pair<uint64_t, MessageId>>> by_member;
+  for (const auto& record : records) {
+    if (record.delivery.mode != OrderingMode::kTotal) {
+      continue;
+    }
+    by_member[record.at].emplace_back(record.delivery.total_seq, record.delivery.id);
+  }
+  // 1. Each member's total sequence must be strictly increasing (delivery in
+  //    sequence order).
+  for (const auto& [member, sequence] : by_member) {
+    for (size_t i = 1; i < sequence.size(); ++i) {
+      if (sequence[i].first <= sequence[i - 1].first) {
+        std::ostringstream out;
+        out << "member " << member << ": total seq not increasing at position " << i;
+        return out.str();
+      }
+    }
+  }
+  // 2. The same sequence number maps to the same message everywhere.
+  std::map<uint64_t, MessageId> seq_to_id;
+  for (const auto& [member, sequence] : by_member) {
+    for (const auto& [seq, id] : sequence) {
+      auto [it, inserted] = seq_to_id.emplace(seq, id);
+      if (!inserted && !(it->second == id)) {
+        std::ostringstream out;
+        out << "total seq " << seq << " delivered as " << id.ToString() << " at member " << member
+            << " but as " << it->second.ToString() << " elsewhere";
+        return out.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckFifoInvariant(const std::vector<GroupFabric::Record>& records) {
+  std::map<std::pair<MemberId, MemberId>, uint64_t> last_seq;  // (at, sender) -> seq
+  for (const auto& record : records) {
+    if (record.delivery.mode == OrderingMode::kUnordered) {
+      continue;
+    }
+    uint64_t& last = last_seq[{record.at, record.delivery.id.sender}];
+    if (record.delivery.id.seq <= last) {
+      std::ostringstream out;
+      out << "member " << record.at << ": message " << record.delivery.id.ToString()
+          << " delivered after seq " << last << " from the same sender";
+      return out.str();
+    }
+    last = record.delivery.id.seq;
+  }
+  return "";
+}
+
+}  // namespace catocs

@@ -1,0 +1,287 @@
+// GroupMember: one process's endpoint in a CATOCS process group.
+//
+// Implements the full protocol stack the paper critiques:
+//   * causal multicast (cbcast) — Birman–Schiper–Stephenson vector-clock
+//     delay queue; a message is delivered only when everything that
+//     happens-before it has been delivered;
+//   * totally ordered multicast (abcast) — causal delivery plus a single
+//     group-wide sequence, assigned either by a fixed sequencer (lowest
+//     member id) or by a rotating token;
+//   * atomic delivery — every member buffers delivered messages until they
+//     are known stable (delivered everywhere), learning progress from ack
+//     vectors piggybacked on data and/or periodic gossip;
+//   * view-synchronous membership — heartbeat failure detection and a flush
+//     protocol that blocks sending, brings survivors to a common delivery
+//     cut, and installs a new view with an ordered view-change notification;
+//   * the footnote-4 variant — instead of delaying at receivers, carry
+//     copies of unstable causal predecessors on each message.
+//
+// Every cost the paper attributes to CATOCS (delay queues, buffering, header
+// bytes, blocked time during flush) is measured and exposed via stats().
+
+#ifndef REPRO_SRC_CATOCS_GROUP_MEMBER_H_
+#define REPRO_SRC_CATOCS_GROUP_MEMBER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/catocs/message.h"
+#include "src/catocs/stability.h"
+#include "src/catocs/vector_clock.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace catocs {
+
+enum class TotalOrderMode {
+  kSequencer,  // fixed sequencer: lowest member id in the current view
+  kToken,      // rotating token assigns sequence numbers
+};
+
+struct GroupConfig {
+  GroupId group_id = 1;
+
+  // Stability: piggyback the sender's delivered-vector on every data message,
+  // and/or gossip it periodically (Zero disables gossip).
+  bool piggyback_acks = true;
+  sim::Duration ack_gossip_interval = sim::Duration::Millis(50);
+
+  // Footnote-4 causal variant: attach unstable causal predecessors to each
+  // message instead of relying on receiver-side delay alone.
+  bool piggyback_causal = false;
+
+  TotalOrderMode total_order_mode = TotalOrderMode::kSequencer;
+  // Delay before the token is passed on (models token processing).
+  sim::Duration token_pass_delay = sim::Duration::Micros(200);
+
+  // How often (in simulated time) a member recomputes stability and prunes
+  // its retention buffer. Pruning walks the member matrix, so it is
+  // throttled off the per-message path.
+  sim::Duration prune_interval = sim::Duration::Millis(25);
+
+  // Membership (off by default; most experiments use static groups).
+  bool enable_membership = false;
+  sim::Duration heartbeat_interval = sim::Duration::Millis(20);
+  sim::Duration failure_timeout = sim::Duration::Millis(100);
+};
+
+struct View {
+  uint64_t id = 1;
+  std::vector<MemberId> members;  // sorted
+};
+
+// What the application sees on delivery.
+struct Delivery {
+  MessageId id;
+  OrderingMode mode = OrderingMode::kCausal;
+  uint64_t total_seq = 0;  // assigned group-wide sequence; 0 unless kTotal
+  net::PayloadPtr payload;
+  sim::TimePoint sent_at;
+  sim::TimePoint delivered_at;
+  // Time the message spent waiting in this member's delay queue for causal
+  // predecessors (the cost of potential/false causality).
+  sim::Duration causal_delay;
+  VectorClock vt;
+};
+
+using DeliveryHandler = std::function<void(const Delivery&)>;
+using ViewHandler = std::function<void(const View&)>;
+
+struct GroupStats {
+  uint64_t sent = 0;
+  uint64_t causal_delivered = 0;  // passed the vector-clock condition
+  uint64_t app_delivered = 0;     // handed to the application
+  uint64_t delayed_deliveries = 0;
+  sim::Duration total_causal_delay = sim::Duration::Zero();
+  uint64_t order_msgs_sent = 0;
+  uint64_t ack_msgs_sent = 0;
+  uint64_t token_passes = 0;
+  uint64_t ordering_header_bytes = 0;  // VT + ack headers on data we sent
+  uint64_t piggyback_msgs_carried = 0;
+  uint64_t piggyback_bytes = 0;
+  uint64_t flushes_completed = 0;
+  uint64_t flush_control_msgs = 0;
+  uint64_t flush_payload_bytes = 0;
+  sim::Duration blocked_time = sim::Duration::Zero();
+  // Messages from a failed sender abandoned at a view change because no
+  // survivor held a copy (atomic-but-not-durable delivery, §2).
+  uint64_t messages_dropped_at_view_change = 0;
+};
+
+class GroupMember {
+ public:
+  GroupMember(sim::Simulator* simulator, net::Transport* transport, GroupConfig config,
+              MemberId self, std::vector<MemberId> members);
+  ~GroupMember();
+
+  GroupMember(const GroupMember&) = delete;
+  GroupMember& operator=(const GroupMember&) = delete;
+
+  void SetDeliveryHandler(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
+  void SetViewHandler(ViewHandler handler) { view_handler_ = std::move(handler); }
+
+  // Starts background machinery (ack gossip, heartbeats, token circulation).
+  // Must be called once before the first Send.
+  void Start();
+  // Halts background machinery (e.g. when the owning process crashes).
+  void Stop();
+
+  // Joins an existing group through `contact` (any current member). The
+  // caller must have been constructed with members = {self} and Start()ed;
+  // sends stay blocked until the join view installs. The joiner adopts the
+  // group's delivery cut: it sees messages sent after the join, not history
+  // (application state transfer is the application's job). A crashed member
+  // must rejoin under a fresh member id.
+  void JoinGroup(MemberId contact);
+
+  // Multicasts to the group. kCausal and kTotal self-deliver per protocol;
+  // kUnordered is a plain multicast with no guarantees. During a flush, sends
+  // are queued and released when the new view is installed.
+  void Send(OrderingMode mode, net::PayloadPtr payload);
+  void CausalSend(net::PayloadPtr payload) { Send(OrderingMode::kCausal, std::move(payload)); }
+  void TotalSend(net::PayloadPtr payload) { Send(OrderingMode::kTotal, std::move(payload)); }
+
+  MemberId self() const { return self_; }
+  const View& view() const { return view_; }
+  const GroupStats& stats() const { return stats_; }
+  bool flush_in_progress() const { return flushing_; }
+  size_t delay_queue_length() const { return pending_.size(); }
+  size_t buffered_messages() const { return stability_.buffered_count(); }
+  size_t buffered_bytes() const { return stability_.buffered_bytes(); }
+  size_t peak_buffered_messages() const { return stability_.peak_buffered_count(); }
+  size_t peak_buffered_bytes() const { return stability_.peak_buffered_bytes(); }
+  const StabilityTracker& stability() const { return stability_; }
+
+  // Port layout: each group uses a contiguous block so several groups can
+  // share a transport.
+  static uint32_t DataPort(GroupId g) { return 0x0C000000u + g * 8; }
+  static uint32_t OrderPort(GroupId g) { return 0x0C000001u + g * 8; }
+  static uint32_t AckPort(GroupId g) { return 0x0C000002u + g * 8; }
+  static uint32_t TokenPort(GroupId g) { return 0x0C000003u + g * 8; }
+  static uint32_t MembershipPort(GroupId g) { return 0x0C000004u + g * 8; }
+
+ private:
+  struct PendingMessage {
+    GroupDataPtr data;
+    sim::TimePoint arrived_at;
+  };
+
+  bool IsSequencer() const;
+  MemberId Sequencer() const;
+
+  // --- data path -----------------------------------------------------------
+  void OnData(MemberId src, const net::PayloadPtr& payload);
+  void IngestData(const GroupDataPtr& data);
+  bool CausallyDeliverable(const GroupData& data) const;
+  void TryDeliverPending();
+  void CausalDeliver(const PendingMessage& pending);
+  // Final delivery gate: app delivery respects causality *at the app level*
+  // (a cbcast never overtakes an abcast it depends on), and abcasts deliver
+  // in global sequence order. Deadlock-free because the total order is a
+  // linear extension of happens-before.
+  bool AppDeliverable(const GroupData& data) const;
+  void TryDeliverApp();
+  void DeliverToApp(const GroupDataPtr& data, uint64_t total_seq, sim::Duration causal_delay);
+  std::map<MemberId, uint64_t> DeliveredVector() const;
+  void NoteLocalProgress(MemberId sender, uint64_t count);
+
+  // --- total order ---------------------------------------------------------
+  void OnOrder(const net::PayloadPtr& payload);
+  void ApplyAssignments(const std::vector<std::pair<MessageId, uint64_t>>& assignments);
+  void SequencerAssign(const MessageId& id);
+  std::vector<std::pair<MessageId, uint64_t>> AssignPendingUnorderedTotals();
+  void OnToken(const net::PayloadPtr& payload);
+  void PassToken(uint64_t next_total_seq);
+
+  // --- stability -----------------------------------------------------------
+  void OnAckVector(MemberId src, const net::PayloadPtr& payload);
+  void GossipAcks();
+
+  // --- membership / flush (membership.cc) -----------------------------------
+  void OnMembership(MemberId src, const net::PayloadPtr& payload);
+  void OnJoinRequest(const JoinRequest& request);
+  void SendHeartbeats();
+  void CheckFailures();
+  void HandleSuspicion(MemberId suspect);
+  void InitiateFlush();
+  void OnFlushRequest(MemberId src, const FlushRequest& req);
+  void OnFlushState(MemberId src, const FlushState& state);
+  void MaybeCompleteFlush();
+  void OnViewInstall(const ViewInstall& install);
+  void SendFlushStateTo(MemberId coordinator, uint64_t new_view_id);
+  void FinishBlockedSends();
+
+  void BroadcastReliable(uint32_t port, const net::PayloadPtr& payload);
+
+  sim::Simulator* simulator_;
+  net::Transport* transport_;
+  GroupConfig config_;
+  MemberId self_;
+  View view_;
+  DeliveryHandler delivery_handler_;
+  ViewHandler view_handler_;
+  GroupStats stats_;
+  bool started_ = false;
+
+  // Causal machinery (stage 1: the vector-clock condition).
+  uint64_t send_seq_ = 0;
+  std::map<MemberId, uint64_t> vd_;  // contiguous causally-delivered count per sender
+  std::deque<PendingMessage> pending_;
+  std::set<MessageId> pending_ids_;  // fast duplicate check for pending_
+
+  // App gate (stage 2): stage-1 output, FIFO per sender, awaiting app-level
+  // causal clearance (and, for kTotal, the global sequence turn).
+  struct AppPending {
+    GroupDataPtr data;
+    sim::Duration causal_delay;
+  };
+  std::deque<AppPending> app_pending_;
+  std::map<MemberId, uint64_t> ad_;  // app-delivered (or skipped) count per sender
+
+  // Total-order machinery.
+  uint64_t next_total_assign_ = 1;    // sequencer/token holder only
+  uint64_t next_total_deliver_ = 1;
+  std::map<uint64_t, MessageId> order_by_seq_;
+  std::map<MessageId, uint64_t> seq_by_id_;
+  // Rolling window of recent assignments carried by the token so the next
+  // holder cannot double-assign a message whose OrderAssignment broadcast is
+  // still in flight. Older assignments have long since been delivered by the
+  // reliable broadcast, so a bounded window suffices.
+  static constexpr uint64_t kTokenAssignmentWindow = 512;
+  std::map<uint64_t, MessageId> recent_assignments_;
+  // Causally delivered kTotal messages waiting for their global sequence.
+  // Token mode: causally delivered kTotal messages not yet sequenced, in
+  // local causal delivery order (a linear extension of happens-before).
+  std::deque<MessageId> unassigned_total_;
+  bool holding_token_ = false;
+
+  // Stability. Pruning is throttled on the per-message path (it walks the
+  // whole buffer and the member matrix); the periodic gossip path prunes
+  // unconditionally so buffers always drain at quiescence.
+  void MaybePrune();
+  StabilityTracker stability_;
+  sim::TimePoint last_prune_ = sim::TimePoint::Zero();
+  std::unique_ptr<sim::PeriodicTimer> gossip_timer_;
+
+  // Membership.
+  std::unique_ptr<sim::PeriodicTimer> heartbeat_timer_;
+  std::unique_ptr<sim::PeriodicTimer> failure_check_timer_;
+  std::map<MemberId, sim::TimePoint> last_heard_;
+  std::set<MemberId> suspected_;
+  bool flushing_ = false;
+  uint64_t flush_view_id_ = 0;
+  sim::TimePoint flush_started_;
+  std::map<MemberId, FlushState> flush_states_;  // coordinator only
+  std::set<MemberId> pending_joiners_;           // coordinator only
+  bool joining_ = false;                         // joiner side
+  std::deque<std::pair<OrderingMode, net::PayloadPtr>> blocked_sends_;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_GROUP_MEMBER_H_

@@ -1,0 +1,443 @@
+// View-synchronous membership: heartbeat failure detection and the flush
+// protocol. On suspicion, the surviving member with the lowest id
+// coordinates: all survivors stop sending, contribute their unstable
+// messages and delivery state, the coordinator computes a common delivery
+// cut and redistributes whatever any survivor is missing, and finally a new
+// view is installed consistently everywhere. The cost of all of this —
+// control messages, re-forwarded payload bytes, and the time sends stay
+// blocked — is what experiment E10 measures.
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/catocs/group_member.h"
+
+namespace catocs {
+
+void GroupMember::OnMembership(MemberId src, const net::PayloadPtr& payload) {
+  if (const auto* hb = net::PayloadCast<Heartbeat>(payload)) {
+    if (hb->group() == config_.group_id) {
+      last_heard_[src] = simulator_->now();
+    }
+    return;
+  }
+  if (const auto* join = net::PayloadCast<JoinRequest>(payload)) {
+    if (join->group() == config_.group_id) {
+      OnJoinRequest(*join);
+    }
+    return;
+  }
+  if (const auto* suspect = net::PayloadCast<SuspectNotice>(payload)) {
+    if (suspect->group() == config_.group_id) {
+      HandleSuspicion(suspect->suspect());
+    }
+    return;
+  }
+  if (const auto* req = net::PayloadCast<FlushRequest>(payload)) {
+    if (req->group() == config_.group_id) {
+      OnFlushRequest(src, *req);
+    }
+    return;
+  }
+  if (const auto* state = net::PayloadCast<FlushState>(payload)) {
+    if (state->group() == config_.group_id) {
+      OnFlushState(src, *state);
+    }
+    return;
+  }
+  if (const auto* install = net::PayloadCast<ViewInstall>(payload)) {
+    if (install->group() == config_.group_id) {
+      OnViewInstall(*install);
+    }
+    return;
+  }
+}
+
+void GroupMember::JoinGroup(MemberId contact) {
+  // Block application sends until the join view installs.
+  joining_ = true;
+  flushing_ = true;
+  flush_started_ = simulator_->now();
+  transport_->SendReliable(contact, MembershipPort(config_.group_id),
+                           std::make_shared<JoinRequest>(config_.group_id, self_));
+}
+
+void GroupMember::OnJoinRequest(const JoinRequest& request) {
+  if (std::binary_search(view_.members.begin(), view_.members.end(), request.joiner())) {
+    return;  // already a member
+  }
+  // Route to the coordinator (lowest live member); the coordinator folds the
+  // join into a flush among the *current* members.
+  MemberId coordinator = view_.members.front();
+  for (MemberId member : view_.members) {
+    if (!suspected_.count(member)) {
+      coordinator = member;
+      break;
+    }
+  }
+  if (coordinator != self_) {
+    ++stats_.flush_control_msgs;
+    transport_->SendReliable(coordinator, MembershipPort(config_.group_id),
+                             std::make_shared<JoinRequest>(config_.group_id, request.joiner()));
+    return;
+  }
+  if (pending_joiners_.insert(request.joiner()).second) {
+    InitiateFlush();
+  }
+}
+
+void GroupMember::SendHeartbeats() {
+  auto hb = std::make_shared<Heartbeat>(config_.group_id, view_.id);
+  for (MemberId member : view_.members) {
+    if (member != self_) {
+      transport_->SendUnreliable(member, MembershipPort(config_.group_id), hb);
+    }
+  }
+}
+
+void GroupMember::CheckFailures() {
+  const sim::TimePoint now = simulator_->now();
+  for (MemberId member : view_.members) {
+    if (member == self_ || suspected_.count(member)) {
+      continue;
+    }
+    auto it = last_heard_.find(member);
+    if (it == last_heard_.end()) {
+      // Never heard from it; give it a full timeout from when we started
+      // checking by seeding the map lazily.
+      last_heard_[member] = now;
+      continue;
+    }
+    if (now - it->second > config_.failure_timeout) {
+      HandleSuspicion(member);
+    }
+  }
+}
+
+void GroupMember::HandleSuspicion(MemberId suspect) {
+  if (suspect == self_ ||
+      !std::binary_search(view_.members.begin(), view_.members.end(), suspect)) {
+    return;
+  }
+  if (!suspected_.insert(suspect).second) {
+    return;  // already known
+  }
+  // Survivor with the lowest id coordinates the flush.
+  MemberId coordinator = self_;
+  for (MemberId member : view_.members) {
+    if (!suspected_.count(member)) {
+      coordinator = member;
+      break;
+    }
+  }
+  if (coordinator == self_) {
+    InitiateFlush();
+  } else {
+    ++stats_.flush_control_msgs;
+    transport_->SendReliable(coordinator, MembershipPort(config_.group_id),
+                             std::make_shared<SuspectNotice>(config_.group_id, suspect));
+    // Also stop sending application traffic; the flush request will arrive.
+  }
+}
+
+void GroupMember::InitiateFlush() {
+  const uint64_t new_view_id = std::max(view_.id, flush_view_id_) + 1;
+  flush_view_id_ = new_view_id;
+  if (!flushing_) {
+    flushing_ = true;
+    flush_started_ = simulator_->now();
+  }
+  flush_states_.clear();
+
+  std::vector<MemberId> survivors;
+  for (MemberId member : view_.members) {
+    if (!suspected_.count(member)) {
+      survivors.push_back(member);
+    }
+  }
+  auto req = std::make_shared<FlushRequest>(config_.group_id, new_view_id, survivors);
+  for (MemberId member : survivors) {
+    if (member != self_) {
+      ++stats_.flush_control_msgs;
+      transport_->SendReliable(member, MembershipPort(config_.group_id), req);
+    }
+  }
+  // Contribute our own state directly.
+  std::vector<std::pair<MessageId, uint64_t>> assignments(seq_by_id_.begin(), seq_by_id_.end());
+  FlushState own(config_.group_id, new_view_id, vd_, stability_.UnstableMessages(),
+                 std::move(assignments), next_total_deliver_);
+  OnFlushState(self_, own);
+}
+
+void GroupMember::OnFlushRequest(MemberId src, const FlushRequest& req) {
+  if (req.new_view_id() <= view_.id) {
+    return;  // stale
+  }
+  flush_view_id_ = std::max(flush_view_id_, req.new_view_id());
+  if (!flushing_) {
+    flushing_ = true;
+    flush_started_ = simulator_->now();
+  }
+  // Adopt the coordinator's suspicion set.
+  for (MemberId member : view_.members) {
+    if (std::find(req.survivors().begin(), req.survivors().end(), member) ==
+        req.survivors().end()) {
+      suspected_.insert(member);
+    }
+  }
+  SendFlushStateTo(src, req.new_view_id());
+}
+
+void GroupMember::SendFlushStateTo(MemberId coordinator, uint64_t new_view_id) {
+  std::vector<std::pair<MessageId, uint64_t>> assignments(seq_by_id_.begin(), seq_by_id_.end());
+  auto state = std::make_shared<FlushState>(config_.group_id, new_view_id, vd_,
+                                            stability_.UnstableMessages(), std::move(assignments),
+                                            next_total_deliver_);
+  ++stats_.flush_control_msgs;
+  stats_.flush_payload_bytes += state->SizeBytes();
+  transport_->SendReliable(coordinator, MembershipPort(config_.group_id), state);
+}
+
+void GroupMember::OnFlushState(MemberId src, const FlushState& state) {
+  if (state.new_view_id() != flush_view_id_ || !flushing_) {
+    return;  // belongs to an abandoned round
+  }
+  flush_states_.insert_or_assign(src, state);
+  MaybeCompleteFlush();
+}
+
+void GroupMember::MaybeCompleteFlush() {
+  // Only the coordinator aggregates.
+  std::vector<MemberId> survivors;
+  for (MemberId member : view_.members) {
+    if (!suspected_.count(member)) {
+      survivors.push_back(member);
+    }
+  }
+  if (survivors.empty() || survivors.front() != self_) {
+    return;
+  }
+  for (MemberId member : survivors) {
+    if (!flush_states_.count(member)) {
+      return;  // still waiting
+    }
+  }
+
+  // 1. Union of all unstable messages any survivor holds.
+  std::map<MessageId, GroupDataPtr> message_union;
+  for (const auto& [member, state] : flush_states_) {
+    for (const auto& msg : state.unstable()) {
+      message_union.emplace(msg->id(), msg);
+    }
+  }
+
+  // 2. The common delivery cut: per sender, the furthest any survivor got.
+  //    Everything at or below the cut is either already delivered at a given
+  //    survivor or present in the union (if a survivor delivered it and it
+  //    was pruned as stable, then by definition of stability everyone
+  //    delivered it already).
+  std::map<MemberId, uint64_t> final_cut;
+  for (const auto& [member, state] : flush_states_) {
+    for (const auto& [sender, count] : state.delivered()) {
+      uint64_t& cut = final_cut[sender];
+      cut = std::max(cut, count);
+    }
+  }
+
+  // 3. Consolidate total-order assignments. Assignments below `base` are
+  //    fixed (some survivor may have delivered at that sequence). Assignments
+  //    at or above `base` were issued but delivered nowhere; renumber them
+  //    densely so a sequence assigned only by the failed sequencer cannot
+  //    leave a permanent gap.
+  uint64_t base = 1;
+  for (const auto& [member, state] : flush_states_) {
+    base = std::max(base, state.next_total_deliver());
+  }
+  std::map<MessageId, uint64_t> merged;
+  std::map<uint64_t, MessageId> above_base;
+  for (const auto& [member, state] : flush_states_) {
+    for (const auto& [id, seq] : state.known_assignments()) {
+      if (seq < base) {
+        merged.emplace(id, seq);
+      } else {
+        above_base.emplace(seq, id);
+      }
+    }
+  }
+  uint64_t next_seq = base;
+  for (const auto& [old_seq, id] : above_base) {
+    if (!merged.count(id)) {
+      merged.emplace(id, next_seq++);
+    }
+  }
+  std::vector<std::pair<MessageId, uint64_t>> merged_vec(merged.begin(), merged.end());
+
+  // 4. Per-survivor ViewInstall with exactly the messages it is missing.
+  //    The self-install mutates flush state, so it runs last. Joiners become
+  //    members of the new view; they adopt the delivery cut rather than
+  //    receiving history.
+  const uint64_t new_view_id = flush_view_id_;
+  std::vector<MemberId> new_members = survivors;
+  for (MemberId joiner : pending_joiners_) {
+    new_members.push_back(joiner);
+  }
+  std::sort(new_members.begin(), new_members.end());
+  for (MemberId joiner : pending_joiners_) {
+    auto install = std::make_shared<ViewInstall>(config_.group_id, new_view_id, new_members,
+                                                 std::vector<GroupDataPtr>{}, merged_vec,
+                                                 next_seq, final_cut);
+    ++stats_.flush_control_msgs;
+    stats_.flush_payload_bytes += install->SizeBytes();
+    transport_->SendReliable(joiner, MembershipPort(config_.group_id), install);
+  }
+  pending_joiners_.clear();
+  std::shared_ptr<ViewInstall> own_install;
+  for (MemberId member : survivors) {
+    const FlushState& state = flush_states_.at(member);
+    std::vector<GroupDataPtr> missing;
+    for (const auto& [id, msg] : message_union) {
+      auto it = state.delivered().find(id.sender);
+      const uint64_t have = it == state.delivered().end() ? 0 : it->second;
+      if (id.seq > have) {
+        missing.push_back(msg);
+      }
+    }
+    auto install = std::make_shared<ViewInstall>(config_.group_id, new_view_id, new_members,
+                                                 std::move(missing), merged_vec, next_seq,
+                                                 final_cut);
+    if (member == self_) {
+      own_install = std::move(install);
+    } else {
+      ++stats_.flush_control_msgs;
+      stats_.flush_payload_bytes += install->SizeBytes();
+      transport_->SendReliable(member, MembershipPort(config_.group_id), install);
+    }
+  }
+  if (own_install) {
+    OnViewInstall(*own_install);
+  }
+}
+
+void GroupMember::OnViewInstall(const ViewInstall& install) {
+  if (install.view_id() <= view_.id) {
+    return;
+  }
+
+  // Ingest redistributed messages through the normal causal path.
+  for (const auto& msg : install.missing()) {
+    IngestData(msg);
+  }
+
+  // A joiner starts at the group's delivery cut: everything before it is
+  // history it never sees (by design); everything after flows normally.
+  if (joining_) {
+    for (const auto& [sender, cut] : install.final_cut()) {
+      uint64_t& have = vd_[sender];
+      have = std::max(have, cut);
+      uint64_t& app_have = ad_[sender];
+      app_have = std::max(app_have, cut);
+    }
+    next_total_deliver_ = std::max(next_total_deliver_, install.next_total_seq());
+    joining_ = false;
+  }
+
+  // Close gaps left by failed senders: messages beyond what any survivor
+  // holds are lost for good. Skipping their sequence numbers is the protocol
+  // admitting non-durability.
+  for (const auto& [sender, cut] : install.final_cut()) {
+    if (std::find(install.members().begin(), install.members().end(), sender) !=
+        install.members().end()) {
+      continue;  // live senders have reliable FIFO channels; no gaps
+    }
+    uint64_t& have = vd_[sender];
+    if (have < cut) {
+      stats_.messages_dropped_at_view_change += cut - have;
+      have = cut;
+    }
+    // The app gate must also treat the skipped messages as "seen", or
+    // anything causally dependent on them would block forever. Messages from
+    // the dead sender still sitting in app_pending_ are unaffected: the gate
+    // never compares a message against its own sender's entry.
+    uint64_t& app_have = ad_[sender];
+    app_have = std::max(app_have, cut);
+    // Pending messages from the failed sender beyond the cut can never be
+    // delivered; drop them.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->data->id().sender == sender && it->data->id().seq > cut) {
+        ++stats_.messages_dropped_at_view_change;
+        pending_ids_.erase(it->data->id());
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  TryDeliverPending();
+
+  // Adopt the consolidated total order *authoritatively*. The coordinator
+  // merged every survivor's known assignments (renumbering those at or above
+  // the delivery base to close gaps left by a dead sequencer), so the merged
+  // map supersedes anything we hold — including a stale in-flight assignment
+  // from the old sequencer that the renumbering moved.
+  seq_by_id_.clear();
+  order_by_seq_.clear();
+  recent_assignments_.clear();
+  ApplyAssignments(install.assignments());
+  next_total_assign_ = std::max(next_total_assign_, install.next_total_seq());
+
+  // Install the view.
+  view_.id = install.view_id();
+  view_.members = install.members();
+  std::sort(view_.members.begin(), view_.members.end());
+  stability_.SetMembers(view_.members);
+  stability_.Prune();
+  for (MemberId gone : suspected_) {
+    last_heard_.erase(gone);
+  }
+  suspected_.clear();
+  flush_states_.clear();
+
+  // The new sequencer orders any held messages that lost their assignment
+  // with the old sequencer, in its local causal delivery order.
+  if (config_.total_order_mode == TotalOrderMode::kSequencer && IsSequencer()) {
+    std::vector<std::pair<MessageId, uint64_t>> batch = AssignPendingUnorderedTotals();
+    if (!batch.empty()) {
+      auto order = std::make_shared<OrderAssignment>(config_.group_id, batch);
+      ++stats_.order_msgs_sent;
+      BroadcastReliable(OrderPort(config_.group_id), order);
+      ApplyAssignments(batch);
+    }
+  }
+  // Token regeneration: the lowest survivor re-seeds the token.
+  if (config_.total_order_mode == TotalOrderMode::kToken && IsSequencer() && started_) {
+    holding_token_ = true;
+    simulator_->ScheduleAfter(config_.token_pass_delay, [this] {
+      if (holding_token_ && started_) {
+        PassToken(next_total_assign_);
+      }
+    });
+  }
+  TryDeliverApp();
+
+  // Unblock.
+  if (flushing_) {
+    flushing_ = false;
+    ++stats_.flushes_completed;
+    stats_.blocked_time += simulator_->now() - flush_started_;
+  }
+  if (view_handler_) {
+    view_handler_(view_);
+  }
+  FinishBlockedSends();
+}
+
+void GroupMember::FinishBlockedSends() {
+  while (!blocked_sends_.empty() && !flushing_) {
+    auto [mode, payload] = std::move(blocked_sends_.front());
+    blocked_sends_.pop_front();
+    Send(mode, std::move(payload));
+  }
+}
+
+}  // namespace catocs

@@ -1,0 +1,71 @@
+#include "src/catocs/message.h"
+
+#include <sstream>
+
+namespace catocs {
+
+const char* ToString(OrderingMode mode) {
+  switch (mode) {
+    case OrderingMode::kUnordered:
+      return "unordered";
+    case OrderingMode::kCausal:
+      return "causal";
+    case OrderingMode::kTotal:
+      return "total";
+  }
+  return "?";
+}
+
+std::string MessageId::ToString() const {
+  std::ostringstream out;
+  out << sender << "#" << seq;
+  return out.str();
+}
+
+GroupDataPtr StripPiggyback(const GroupDataPtr& data) {
+  if (data->piggyback().empty()) {
+    return data;
+  }
+  auto stripped = std::make_shared<GroupData>(data->group(), data->id(), data->mode(), data->vt(),
+                                              data->app_payload(), data->sent_at());
+  stripped->set_acks(data->acks());
+  return stripped;
+}
+
+size_t GroupData::SizeBytes() const {
+  size_t total = app_payload_->SizeBytes();
+  for (const auto& msg : piggyback_) {
+    total += msg->SizeBytes() + msg->HeaderBytes();
+  }
+  return total;
+}
+
+size_t GroupData::HeaderBytes() const {
+  // group(4) + sender(4) + seq(8) + mode(1) + timestamps.
+  return 17 + vt_.SizeBytes() + acks_.size() * VectorClock::kEntryBytes;
+}
+
+std::string GroupData::Describe() const {
+  std::ostringstream out;
+  out << ToString(mode_) << " " << id_.ToString() << " vt=" << vt_.ToString() << " ["
+      << app_payload_->Describe() << "]";
+  return out.str();
+}
+
+size_t FlushState::SizeBytes() const {
+  size_t total = delivered_.size() * VectorClock::kEntryBytes + known_assignments_.size() * 20 + 8;
+  for (const auto& msg : unstable_) {
+    total += msg->SizeBytes() + msg->HeaderBytes();
+  }
+  return total;
+}
+
+size_t ViewInstall::SizeBytes() const {
+  size_t total = 20 + members_.size() * 4 + assignments_.size() * 20;
+  for (const auto& msg : missing_) {
+    total += msg->SizeBytes() + msg->HeaderBytes();
+  }
+  return total;
+}
+
+}  // namespace catocs

@@ -1,0 +1,297 @@
+// Wire-level message types exchanged by the CATOCS protocol machines:
+// application data with vector timestamps, total-order assignments from the
+// sequencer/token holder, stability (ack-vector) gossip, and membership /
+// flush control traffic. Each type reports honest header sizes so the
+// benches can account for CATOCS's per-message ordering overhead (§3.4, E12).
+
+#ifndef REPRO_SRC_CATOCS_MESSAGE_H_
+#define REPRO_SRC_CATOCS_MESSAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catocs/vector_clock.h"
+#include "src/net/payload.h"
+#include "src/sim/time.h"
+
+namespace catocs {
+
+using GroupId = uint32_t;
+
+// How a message asked to be delivered.
+enum class OrderingMode {
+  kUnordered,  // plain multicast; no delivery constraint
+  kCausal,     // happens-before preserving (cbcast)
+  kTotal,      // single total order, consistent with causality (abcast)
+};
+
+const char* ToString(OrderingMode mode);
+
+// A group message is identified by (original sender, per-sender sequence).
+struct MessageId {
+  MemberId sender = 0;
+  uint64_t seq = 0;
+
+  bool operator==(const MessageId&) const = default;
+  auto operator<=>(const MessageId&) const = default;
+  std::string ToString() const;
+};
+
+// Application data wrapped with CATOCS ordering metadata.
+class GroupData : public net::Payload {
+ public:
+  GroupData(GroupId group, MessageId id, OrderingMode mode, VectorClock vt,
+            net::PayloadPtr app_payload, sim::TimePoint sent_at)
+      : group_(group),
+        id_(id),
+        mode_(mode),
+        vt_(std::move(vt)),
+        app_payload_(std::move(app_payload)),
+        sent_at_(sent_at) {}
+
+  size_t SizeBytes() const override;
+  std::string Describe() const override;
+
+  // Ordering metadata charged as header bytes: message id + mode + vector
+  // timestamp + piggybacked ack vector.
+  size_t HeaderBytes() const;
+
+  GroupId group() const { return group_; }
+  const MessageId& id() const { return id_; }
+  OrderingMode mode() const { return mode_; }
+  const VectorClock& vt() const { return vt_; }
+  const net::PayloadPtr& app_payload() const { return app_payload_; }
+  sim::TimePoint sent_at() const { return sent_at_; }
+
+  // Ack vector (the sender's delivered-vector) piggybacked for stability
+  // tracking. Set once before first transmission.
+  void set_acks(std::map<MemberId, uint64_t> acks) { acks_ = std::move(acks); }
+  const std::map<MemberId, uint64_t>& acks() const { return acks_; }
+
+  // Footnote-4 variant: copies of causally preceding messages carried along
+  // instead of delaying at the receiver.
+  void set_piggyback(std::vector<std::shared_ptr<const GroupData>> msgs) {
+    piggyback_ = std::move(msgs);
+  }
+  const std::vector<std::shared_ptr<const GroupData>>& piggyback() const { return piggyback_; }
+
+ private:
+  GroupId group_;
+  MessageId id_;
+  OrderingMode mode_;
+  VectorClock vt_;
+  net::PayloadPtr app_payload_;
+  sim::TimePoint sent_at_;
+  std::map<MemberId, uint64_t> acks_;
+  std::vector<std::shared_ptr<const GroupData>> piggyback_;
+};
+
+using GroupDataPtr = std::shared_ptr<const GroupData>;
+
+// A copy of `data` without its piggybacked predecessors (shares the app
+// payload). Buffered/retransmitted copies must be stripped: retaining the
+// piggyback lists would chain buffered messages into an ever-deepening
+// structure.
+GroupDataPtr StripPiggyback(const GroupDataPtr& data);
+
+// Total-order assignments from the sequencer (or token holder): a batch of
+// (message id -> global sequence number).
+class OrderAssignment : public net::Payload {
+ public:
+  OrderAssignment(GroupId group, std::vector<std::pair<MessageId, uint64_t>> assignments)
+      : group_(group), assignments_(std::move(assignments)) {}
+
+  size_t SizeBytes() const override { return assignments_.size() * 20; }
+  std::string Describe() const override { return "order"; }
+
+  GroupId group() const { return group_; }
+  const std::vector<std::pair<MessageId, uint64_t>>& assignments() const { return assignments_; }
+
+ private:
+  GroupId group_;
+  std::vector<std::pair<MessageId, uint64_t>> assignments_;
+};
+
+// Standalone stability gossip: the sender's delivered-vector.
+class AckVector : public net::Payload {
+ public:
+  AckVector(GroupId group, std::map<MemberId, uint64_t> delivered)
+      : group_(group), delivered_(std::move(delivered)) {}
+
+  size_t SizeBytes() const override { return delivered_.size() * VectorClock::kEntryBytes; }
+  std::string Describe() const override { return "ackvec"; }
+
+  GroupId group() const { return group_; }
+  const std::map<MemberId, uint64_t>& delivered() const { return delivered_; }
+
+ private:
+  GroupId group_;
+  std::map<MemberId, uint64_t> delivered_;
+};
+
+// Token for the rotating-sequencer total-order variant. Carries a bounded
+// window of recent assignments so the next holder cannot double-assign a
+// message whose OrderAssignment broadcast is still in flight — and ordering
+// respects causality: each holder sequences every unassigned message it has
+// causally delivered, in its local (causal) delivery order.
+class OrderToken : public net::Payload {
+ public:
+  OrderToken(GroupId group, uint64_t next_total_seq, std::map<MessageId, uint64_t> assignments)
+      : group_(group), next_total_seq_(next_total_seq), assignments_(std::move(assignments)) {}
+
+  size_t SizeBytes() const override { return 12 + assignments_.size() * 20; }
+  std::string Describe() const override { return "token"; }
+
+  GroupId group() const { return group_; }
+  uint64_t next_total_seq() const { return next_total_seq_; }
+  const std::map<MessageId, uint64_t>& assignments() const { return assignments_; }
+
+ private:
+  GroupId group_;
+  uint64_t next_total_seq_;
+  std::map<MessageId, uint64_t> assignments_;
+};
+
+// --- Membership / flush control -------------------------------------------
+
+class Heartbeat : public net::Payload {
+ public:
+  Heartbeat(GroupId group, uint64_t view_id) : group_(group), view_id_(view_id) {}
+  size_t SizeBytes() const override { return 12; }
+  std::string Describe() const override { return "heartbeat"; }
+  GroupId group() const { return group_; }
+  uint64_t view_id() const { return view_id_; }
+
+ private:
+  GroupId group_;
+  uint64_t view_id_;
+};
+
+// A new process asks to be added to the group; routed to the coordinator,
+// which folds the join into a flush so the new view installs consistently.
+class JoinRequest : public net::Payload {
+ public:
+  JoinRequest(GroupId group, MemberId joiner) : group_(group), joiner_(joiner) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "join-request"; }
+  GroupId group() const { return group_; }
+  MemberId joiner() const { return joiner_; }
+
+ private:
+  GroupId group_;
+  MemberId joiner_;
+};
+
+class SuspectNotice : public net::Payload {
+ public:
+  SuspectNotice(GroupId group, MemberId suspect) : group_(group), suspect_(suspect) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "suspect"; }
+  GroupId group() const { return group_; }
+  MemberId suspect() const { return suspect_; }
+
+ private:
+  GroupId group_;
+  MemberId suspect_;
+};
+
+class FlushRequest : public net::Payload {
+ public:
+  FlushRequest(GroupId group, uint64_t new_view_id, std::vector<MemberId> survivors)
+      : group_(group), new_view_id_(new_view_id), survivors_(std::move(survivors)) {}
+  size_t SizeBytes() const override { return 12 + survivors_.size() * 4; }
+  std::string Describe() const override { return "flush-req"; }
+  GroupId group() const { return group_; }
+  uint64_t new_view_id() const { return new_view_id_; }
+  const std::vector<MemberId>& survivors() const { return survivors_; }
+
+ private:
+  GroupId group_;
+  uint64_t new_view_id_;
+  std::vector<MemberId> survivors_;
+};
+
+// A member's flush contribution: its delivered-vector plus copies of every
+// message it holds that is not yet known stable. The coordinator uses these
+// to bring all survivors to a common delivery cut.
+class FlushState : public net::Payload {
+ public:
+  FlushState(GroupId group, uint64_t new_view_id, std::map<MemberId, uint64_t> delivered,
+             std::vector<GroupDataPtr> unstable,
+             std::vector<std::pair<MessageId, uint64_t>> known_assignments,
+             uint64_t next_total_deliver)
+      : group_(group),
+        new_view_id_(new_view_id),
+        delivered_(std::move(delivered)),
+        unstable_(std::move(unstable)),
+        known_assignments_(std::move(known_assignments)),
+        next_total_deliver_(next_total_deliver) {}
+
+  size_t SizeBytes() const override;
+  std::string Describe() const override { return "flush-state"; }
+
+  GroupId group() const { return group_; }
+  uint64_t new_view_id() const { return new_view_id_; }
+  const std::map<MemberId, uint64_t>& delivered() const { return delivered_; }
+  const std::vector<GroupDataPtr>& unstable() const { return unstable_; }
+  const std::vector<std::pair<MessageId, uint64_t>>& known_assignments() const {
+    return known_assignments_;
+  }
+  uint64_t next_total_deliver() const { return next_total_deliver_; }
+
+ private:
+  GroupId group_;
+  uint64_t new_view_id_;
+  std::map<MemberId, uint64_t> delivered_;
+  std::vector<GroupDataPtr> unstable_;
+  std::vector<std::pair<MessageId, uint64_t>> known_assignments_;
+  uint64_t next_total_deliver_;
+};
+
+// Installs the new view; carries any messages a given survivor was missing.
+class ViewInstall : public net::Payload {
+ public:
+  ViewInstall(GroupId group, uint64_t view_id, std::vector<MemberId> members,
+              std::vector<GroupDataPtr> missing,
+              std::vector<std::pair<MessageId, uint64_t>> assignments, uint64_t next_total_seq,
+              std::map<MemberId, uint64_t> final_cut)
+      : group_(group),
+        view_id_(view_id),
+        members_(std::move(members)),
+        missing_(std::move(missing)),
+        assignments_(std::move(assignments)),
+        next_total_seq_(next_total_seq),
+        final_cut_(std::move(final_cut)) {}
+
+  size_t SizeBytes() const override;
+  std::string Describe() const override { return "view-install"; }
+
+  GroupId group() const { return group_; }
+  uint64_t view_id() const { return view_id_; }
+  const std::vector<MemberId>& members() const { return members_; }
+  const std::vector<GroupDataPtr>& missing() const { return missing_; }
+  // Consolidated total-order assignments surviving the view change and the
+  // sequence number at which the new view's sequencer continues.
+  const std::vector<std::pair<MessageId, uint64_t>>& assignments() const { return assignments_; }
+  uint64_t next_total_seq() const { return next_total_seq_; }
+  // The common delivery cut: per sender, the count every survivor must reach.
+  // Messages from *failed* senders beyond this cut are lost — delivery was
+  // atomic but not durable (§2).
+  const std::map<MemberId, uint64_t>& final_cut() const { return final_cut_; }
+
+ private:
+  GroupId group_;
+  uint64_t view_id_;
+  std::vector<MemberId> members_;
+  std::vector<GroupDataPtr> missing_;
+  std::vector<std::pair<MessageId, uint64_t>> assignments_;
+  uint64_t next_total_seq_;
+  std::map<MemberId, uint64_t> final_cut_;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_MESSAGE_H_

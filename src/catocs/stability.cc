@@ -1,0 +1,119 @@
+#include "src/catocs/stability.h"
+
+#include <algorithm>
+
+namespace catocs {
+
+void StabilityTracker::SetMembers(const std::vector<MemberId>& members) {
+  members_ = members;
+  std::sort(members_.begin(), members_.end());
+  // Forget progress reports from departed members so they no longer hold the
+  // minimum down.
+  for (auto it = delivered_by_.begin(); it != delivered_by_.end();) {
+    if (!std::binary_search(members_.begin(), members_.end(), it->first)) {
+      it = delivered_by_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StabilityTracker::UpdateMemberVector(MemberId member,
+                                          const std::map<MemberId, uint64_t>& vec) {
+  auto& mine = delivered_by_[member];
+  for (const auto& [sender, count] : vec) {
+    uint64_t& current = mine[sender];
+    if (count > current) {
+      current = count;
+    }
+  }
+}
+
+void StabilityTracker::UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) {
+  uint64_t& current = delivered_by_[member][sender];
+  if (count > current) {
+    current = count;
+  }
+}
+
+void StabilityTracker::AddToBuffer(const GroupDataPtr& msg) {
+  auto [it, inserted] = buffer_.emplace(msg->id(), msg);
+  (void)it;
+  if (!inserted) {
+    return;
+  }
+  buffered_bytes_ += msg->SizeBytes() + msg->HeaderBytes();
+  peak_count_ = std::max(peak_count_, buffer_.size());
+  peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
+}
+
+std::map<MemberId, uint64_t> StabilityTracker::StableVector() const {
+  std::map<MemberId, uint64_t> stable;
+  bool first = true;
+  for (MemberId member : members_) {
+    auto it = delivered_by_.find(member);
+    if (it == delivered_by_.end()) {
+      // No report from this member yet: nothing is stable.
+      return {};
+    }
+    if (first) {
+      stable = it->second;
+      first = false;
+      continue;
+    }
+    // Pointwise minimum by co-iterating the sorted maps: senders absent from
+    // the member's report have min 0 and are erased.
+    const auto& theirs = it->second;
+    auto mine = stable.begin();
+    auto other = theirs.begin();
+    while (mine != stable.end()) {
+      while (other != theirs.end() && other->first < mine->first) {
+        ++other;
+      }
+      if (other == theirs.end() || other->first != mine->first) {
+        mine = stable.erase(mine);
+        continue;
+      }
+      if (other->second < mine->second) {
+        mine->second = other->second;
+      }
+      ++mine;
+    }
+  }
+  return stable;
+}
+
+void StabilityTracker::Prune() {
+  if (buffer_.empty()) {
+    return;
+  }
+  const std::map<MemberId, uint64_t> stable = StableVector();
+  if (stable.empty()) {
+    return;
+  }
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    auto st = stable.find(it->first.sender);
+    if (st != stable.end() && it->first.seq <= st->second) {
+      buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<GroupDataPtr> StabilityTracker::UnstableMessages() const {
+  std::vector<GroupDataPtr> out;
+  out.reserve(buffer_.size());
+  for (const auto& [id, msg] : buffer_) {
+    out.push_back(msg);
+  }
+  return out;
+}
+
+GroupDataPtr StabilityTracker::Find(const MessageId& id) const {
+  auto it = buffer_.find(id);
+  return it == buffer_.end() ? nullptr : it->second;
+}
+
+}  // namespace catocs

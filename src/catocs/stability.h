@@ -1,0 +1,67 @@
+// Stability tracking and message buffering for atomic delivery.
+//
+// A message is *stable* once every current group member has delivered it;
+// until then each member retains a copy so any member can re-forward it if
+// the original sender fails mid-multicast (§2). Members learn each other's
+// progress from ack vectors piggybacked on data messages and/or periodic
+// gossip. The buffering this forces is the quantity §5 predicts grows
+// quadratically system-wide, so the tracker exposes exact occupancy numbers.
+
+#ifndef REPRO_SRC_CATOCS_STABILITY_H_
+#define REPRO_SRC_CATOCS_STABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/catocs/message.h"
+
+namespace catocs {
+
+class StabilityTracker {
+ public:
+  // The member set over which the stability minimum is taken. Removing a
+  // member (it failed) can only make more messages stable.
+  void SetMembers(const std::vector<MemberId>& members);
+
+  // Records that `member` has contiguously delivered `vec[s]` messages from
+  // each sender s.
+  void UpdateMemberVector(MemberId member, const std::map<MemberId, uint64_t>& vec);
+
+  // Point update: `member` has contiguously delivered `count` messages from
+  // `sender`. O(log n), for the per-delivery hot path.
+  void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count);
+
+  // Adds a delivered (or sent) message to the retention buffer.
+  void AddToBuffer(const GroupDataPtr& msg);
+
+  // Per-sender stability floor: min over members of their delivered count.
+  std::map<MemberId, uint64_t> StableVector() const;
+
+  // Drops every buffered message at or below the stability floor.
+  void Prune();
+
+  // Messages not yet known stable (what a flush contributes).
+  std::vector<GroupDataPtr> UnstableMessages() const;
+
+  // Looks up a buffered message; nullptr when absent (already pruned).
+  GroupDataPtr Find(const MessageId& id) const;
+
+  size_t buffered_count() const { return buffer_.size(); }
+  size_t buffered_bytes() const { return buffered_bytes_; }
+  size_t peak_buffered_count() const { return peak_count_; }
+  size_t peak_buffered_bytes() const { return peak_bytes_; }
+
+ private:
+  std::vector<MemberId> members_;
+  // member -> (sender -> contiguous delivered count)
+  std::map<MemberId, std::map<MemberId, uint64_t>> delivered_by_;
+  std::map<MessageId, GroupDataPtr> buffer_;
+  size_t buffered_bytes_ = 0;
+  size_t peak_count_ = 0;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_STABILITY_H_

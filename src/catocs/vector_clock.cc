@@ -1,0 +1,113 @@
+#include "src/catocs/vector_clock.h"
+
+#include <sstream>
+
+namespace catocs {
+
+const char* ToString(CausalOrder order) {
+  switch (order) {
+    case CausalOrder::kEqual:
+      return "equal";
+    case CausalOrder::kBefore:
+      return "before";
+    case CausalOrder::kAfter:
+      return "after";
+    case CausalOrder::kConcurrent:
+      return "concurrent";
+  }
+  return "?";
+}
+
+uint64_t VectorClock::Get(MemberId member) const {
+  auto it = entries_.find(member);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+void VectorClock::Set(MemberId member, uint64_t value) {
+  if (value == 0) {
+    entries_.erase(member);
+  } else {
+    entries_[member] = value;
+  }
+}
+
+uint64_t VectorClock::Increment(MemberId member) { return ++entries_[member]; }
+
+void VectorClock::Merge(const VectorClock& other) {
+  for (const auto& [member, value] : other.entries_) {
+    uint64_t& mine = entries_[member];
+    if (value > mine) {
+      mine = value;
+    }
+  }
+}
+
+CausalOrder VectorClock::Compare(const VectorClock& other) const {
+  bool less_somewhere = false;   // this < other at some coordinate
+  bool greater_somewhere = false;
+  // Walk the union of keys; both maps are ordered by member id.
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() || b != other.entries_.end()) {
+    uint64_t va = 0;
+    uint64_t vb = 0;
+    if (b == other.entries_.end() || (a != entries_.end() && a->first < b->first)) {
+      va = a->second;
+      ++a;
+    } else if (a == entries_.end() || b->first < a->first) {
+      vb = b->second;
+      ++b;
+    } else {
+      va = a->second;
+      vb = b->second;
+      ++a;
+      ++b;
+    }
+    if (va < vb) {
+      less_somewhere = true;
+    } else if (va > vb) {
+      greater_somewhere = true;
+    }
+  }
+  if (less_somewhere && greater_somewhere) {
+    return CausalOrder::kConcurrent;
+  }
+  if (less_somewhere) {
+    return CausalOrder::kBefore;
+  }
+  if (greater_somewhere) {
+    return CausalOrder::kAfter;
+  }
+  return CausalOrder::kEqual;
+}
+
+bool VectorClock::Dominates(const VectorClock& other) const {
+  for (const auto& [member, value] : other.entries_) {
+    if (Get(member) < value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VectorClock::operator==(const VectorClock& other) const {
+  // Maps may differ in explicit zeros; compare semantically.
+  return Dominates(other) && other.Dominates(*this);
+}
+
+std::string VectorClock::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [member, value] : entries_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << member << ":" << value;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace catocs

@@ -1,0 +1,82 @@
+// Vector clocks over group members, the timestamp carried by causal
+// multicast (Birman–Schiper–Stephenson style). Entries are keyed by member
+// id in an ordered map so iteration — and therefore every simulation that
+// walks a clock — is deterministic.
+
+#ifndef REPRO_SRC_CATOCS_VECTOR_CLOCK_H_
+#define REPRO_SRC_CATOCS_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/net/latency.h"
+
+namespace catocs {
+
+using MemberId = net::NodeId;
+
+// Result of comparing two vector clocks under the happens-before partial
+// order.
+enum class CausalOrder {
+  kEqual,
+  kBefore,      // lhs happens-before rhs
+  kAfter,       // rhs happens-before lhs
+  kConcurrent,  // neither precedes the other
+};
+
+const char* ToString(CausalOrder order);
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  uint64_t Get(MemberId member) const;
+  void Set(MemberId member, uint64_t value);
+  uint64_t Increment(MemberId member);
+
+  // Pointwise maximum.
+  void Merge(const VectorClock& other);
+
+  CausalOrder Compare(const VectorClock& other) const;
+
+  // True iff this >= other pointwise (this has "seen" everything in other).
+  bool Dominates(const VectorClock& other) const;
+
+  bool operator==(const VectorClock& other) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  // Simulated wire size: one (member id, counter) pair per entry.
+  size_t SizeBytes() const { return entries_.size() * kEntryBytes; }
+  static constexpr size_t kEntryBytes = 12;
+
+  const std::map<MemberId, uint64_t>& entries() const { return entries_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<MemberId, uint64_t> entries_;
+};
+
+// Lamport scalar clock, used by the state-level alternatives (commit
+// timestamps, prescriptive sequence numbers).
+class LamportClock {
+ public:
+  // Returns the timestamp for a local event (send).
+  uint64_t Tick() { return ++value_; }
+  // Folds in a received timestamp and returns the updated local value.
+  uint64_t Witness(uint64_t observed) {
+    if (observed > value_) {
+      value_ = observed;
+    }
+    return ++value_;
+  }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_VECTOR_CLOCK_H_

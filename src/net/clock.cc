@@ -1,0 +1,106 @@
+#include "src/net/clock.h"
+
+#include <cassert>
+#include <utility>
+
+namespace net {
+
+namespace {
+
+class ProbePayload : public Payload {
+ public:
+  explicit ProbePayload(uint64_t id) : id_(id) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "clock-probe"; }
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_;
+};
+
+class ReplyPayload : public Payload {
+ public:
+  ReplyPayload(uint64_t id, sim::TimePoint server_time) : id_(id), server_time_(server_time) {}
+  size_t SizeBytes() const override { return 16; }
+  std::string Describe() const override { return "clock-reply"; }
+  uint64_t id() const { return id_; }
+  sim::TimePoint server_time() const { return server_time_; }
+
+ private:
+  uint64_t id_;
+  sim::TimePoint server_time_;
+};
+
+}  // namespace
+
+sim::TimePoint HardwareClock::Now() const {
+  const int64_t t = simulator_->now().nanos();
+  const int64_t drift = static_cast<int64_t>(static_cast<double>(t) * drift_ppm_ * 1e-6);
+  return sim::TimePoint(t + offset_.nanos() + drift);
+}
+
+ClockSyncClient::ClockSyncClient(sim::Simulator* simulator, Transport* transport, NodeId server,
+                                 HardwareClock* hw, SyncedClock* synced, sim::Duration period)
+    : simulator_(simulator), transport_(transport), server_(server), hw_(hw), synced_(synced) {
+  transport_->RegisterReceiver(
+      kPort, [this](NodeId src, uint32_t, const PayloadPtr& p) { OnReply(src, p); });
+  timer_ = std::make_unique<sim::PeriodicTimer>(simulator_, period, [this] { SendProbe(); });
+}
+
+void ClockSyncClient::Start() {
+  timer_->Start(sim::Duration::Zero());
+}
+
+void ClockSyncClient::Stop() { timer_->Stop(); }
+
+void ClockSyncClient::SendProbe() {
+  awaiting_probe_ = ++probe_id_;
+  probe_sent_local_ = hw_->Now();
+  transport_->SendUnreliable(server_, kPort, std::make_shared<ProbePayload>(awaiting_probe_));
+}
+
+void ClockSyncClient::OnReply(NodeId src, const PayloadPtr& payload) {
+  if (src != server_) {
+    return;
+  }
+  const auto* reply = PayloadCast<ReplyPayload>(payload);
+  if (reply == nullptr || reply->id() != awaiting_probe_) {
+    return;  // stale or lost round; the next probe retries
+  }
+  awaiting_probe_ = 0;
+  const sim::TimePoint local_now = hw_->Now();
+  const sim::Duration rtt = local_now - probe_sent_local_;
+  const sim::TimePoint estimate = reply->server_time() + rtt / 2;
+  window_.emplace_back(rtt, estimate - local_now);
+  if (window_.size() > kWindow) {
+    window_.pop_front();
+  }
+  // Apply the correction from the fastest probe in the window: its half-RTT
+  // asymmetry error is the smallest.
+  auto best = window_.front();
+  for (const auto& sample : window_) {
+    if (sample.first < best.first) {
+      best = sample;
+    }
+  }
+  synced_->ApplyCorrection(best.second);
+  error_bound_ = best.first / 2;
+  ++rounds_;
+}
+
+ClockSyncServer::ClockSyncServer(sim::Simulator* simulator, Transport* transport)
+    : simulator_(simulator), transport_(transport) {
+  transport_->RegisterReceiver(ClockSyncClient::kPort,
+                               [this](NodeId src, uint32_t, const PayloadPtr& p) {
+                                 const auto* probe = PayloadCast<ProbePayload>(p);
+                                 if (probe == nullptr) {
+                                   return;
+                                 }
+                                 transport_->SendUnreliable(
+                                     src, ClockSyncClient::kPort,
+                                     std::make_shared<ReplyPayload>(probe->id(),
+                                                                    simulator_->now()));
+                               });
+}
+
+}  // namespace net

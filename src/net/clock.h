@@ -1,0 +1,108 @@
+// Per-node clocks and clock synchronization.
+//
+// Section 4.6 of the paper argues that synchronized real-time clocks provide
+// "temporal precedence" — the ordering relationship real-time systems
+// actually need — with mechanism that is small and off the data path. To
+// evaluate that claim honestly we model imperfect hardware clocks (offset +
+// drift) and implement Cristian-style synchronization against a time server,
+// so timestamp ordering has realistic (bounded, non-zero) error.
+
+#ifndef REPRO_SRC_NET_CLOCK_H_
+#define REPRO_SRC_NET_CLOCK_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace net {
+
+// A free-running hardware clock: reads true simulated time perturbed by a
+// fixed offset and a drift rate (parts per million).
+class HardwareClock {
+ public:
+  HardwareClock(sim::Simulator* simulator, sim::Duration offset, double drift_ppm)
+      : simulator_(simulator), offset_(offset), drift_ppm_(drift_ppm) {}
+
+  // The node's uncorrected local time.
+  sim::TimePoint Now() const;
+
+ private:
+  sim::Simulator* simulator_;
+  sim::Duration offset_;
+  double drift_ppm_;
+};
+
+// A corrected clock: hardware clock plus the correction learned from the
+// sync protocol. Timestamps produced by different nodes' SyncedClocks are
+// comparable up to the sync error bound.
+class SyncedClock {
+ public:
+  explicit SyncedClock(HardwareClock* hw) : hw_(hw) {}
+
+  sim::TimePoint Now() const { return hw_->Now() + correction_; }
+  sim::Duration correction() const { return correction_; }
+  void ApplyCorrection(sim::Duration correction) { correction_ = correction; }
+
+ private:
+  HardwareClock* hw_;
+  sim::Duration correction_ = sim::Duration::Zero();
+};
+
+// Cristian's algorithm with NTP-style minimum-RTT filtering: each round
+// computes correction = server_time + rtt/2 - local_receive_time, and the
+// applied correction comes from the lowest-RTT probe in a sliding window
+// (jittery probes have the largest half-RTT error, so the fastest probe of
+// the window is the best estimate). The server is assumed to be the
+// reference ("true") clock, as an NTP stratum-1 server would be.
+class ClockSyncClient {
+ public:
+  static constexpr uint32_t kPort = 0xC10C;
+
+  ClockSyncClient(sim::Simulator* simulator, Transport* transport, NodeId server,
+                  HardwareClock* hw, SyncedClock* synced, sim::Duration period);
+
+  void Start();
+  void Stop();
+
+  // Half-RTT of the applied (window-minimum) probe: the sync error bound.
+  sim::Duration error_bound() const { return error_bound_; }
+  int rounds_completed() const { return rounds_; }
+
+ private:
+  static constexpr size_t kWindow = 8;
+
+  void SendProbe();
+  void OnReply(NodeId src, const PayloadPtr& payload);
+
+  sim::Simulator* simulator_;
+  Transport* transport_;
+  NodeId server_;
+  HardwareClock* hw_;
+  SyncedClock* synced_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+  sim::TimePoint probe_sent_local_ = sim::TimePoint::Zero();
+  uint64_t probe_id_ = 0;
+  uint64_t awaiting_probe_ = 0;
+  // Recent (rtt, correction) samples; the minimum-RTT one is applied.
+  std::deque<std::pair<sim::Duration, sim::Duration>> window_;
+  sim::Duration error_bound_ = sim::Duration::Zero();
+  int rounds_ = 0;
+};
+
+// The reference time server: replies to probes with true simulated time.
+class ClockSyncServer {
+ public:
+  ClockSyncServer(sim::Simulator* simulator, Transport* transport);
+
+ private:
+  sim::Simulator* simulator_;
+  Transport* transport_;
+};
+
+}  // namespace net
+
+#endif  // REPRO_SRC_NET_CLOCK_H_

@@ -1,0 +1,114 @@
+#include "src/net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace net {
+
+Network::Network(sim::Simulator* simulator, std::unique_ptr<LatencyModel> latency,
+                 NetworkConfig config)
+    : simulator_(simulator), latency_(std::move(latency)), config_(config) {
+  assert(latency_ != nullptr);
+}
+
+void Network::Attach(NodeId node) { endpoints_.try_emplace(node); }
+
+void Network::RegisterHandler(NodeId node, uint32_t port, PacketHandler handler) {
+  Attach(node);
+  endpoints_[node].handlers[port] = std::move(handler);
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  Attach(node);
+  endpoints_[node].up = up;
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  auto it = endpoints_.find(node);
+  return it != endpoints_.end() && it->second.up;
+}
+
+bool Network::Reachable(NodeId src, NodeId dst) const {
+  if (partition_id_.empty()) {
+    return true;
+  }
+  auto a = partition_id_.find(src);
+  auto b = partition_id_.find(dst);
+  // Nodes not named in the partition spec form an implicit extra component.
+  const size_t ca = a == partition_id_.end() ? SIZE_MAX : a->second;
+  const size_t cb = b == partition_id_.end() ? SIZE_MAX : b->second;
+  return ca == cb;
+}
+
+bool Network::Send(NodeId src, NodeId dst, uint32_t port, PayloadPtr payload,
+                   size_t header_bytes) {
+  assert(payload != nullptr);
+  if (!IsNodeUp(src)) {
+    return false;
+  }
+  const size_t total_header = header_bytes + config_.base_header_bytes;
+  ++packets_sent_;
+  header_bytes_sent_ += total_header;
+  payload_bytes_sent_ += payload->SizeBytes();
+  bytes_sent_ += total_header + payload->SizeBytes();
+
+  Packet packet{src, dst, port, std::move(payload), header_bytes, next_packet_id_++};
+
+  if (!Reachable(src, dst) || simulator_->rng().NextBool(config_.drop_probability)) {
+    ++packets_dropped_;
+    return true;
+  }
+  const sim::Duration delay = latency_->SampleDelay(src, dst, simulator_->rng());
+  if (simulator_->rng().NextBool(config_.duplicate_probability)) {
+    const sim::Duration dup_delay = latency_->SampleDelay(src, dst, simulator_->rng());
+    Deliver(packet, dup_delay);
+  }
+  Deliver(std::move(packet), delay);
+  return true;
+}
+
+void Network::Multicast(NodeId src, const std::vector<NodeId>& dsts, uint32_t port,
+                        PayloadPtr payload, size_t header_bytes) {
+  for (NodeId dst : dsts) {
+    if (dst == src) {
+      continue;
+    }
+    Send(src, dst, port, payload, header_bytes);
+  }
+}
+
+void Network::Partition(const std::vector<std::set<NodeId>>& components) {
+  partition_id_.clear();
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (NodeId node : components[i]) {
+      partition_id_[node] = i;
+    }
+  }
+}
+
+void Network::HealPartition() { partition_id_.clear(); }
+
+void Network::Deliver(Packet packet, sim::Duration delay) {
+  simulator_->ScheduleAfter(delay, [this, packet = std::move(packet)] {
+    auto it = endpoints_.find(packet.dst);
+    if (it == endpoints_.end() || !it->second.up) {
+      ++packets_dropped_;
+      return;
+    }
+    // Partitions apply at delivery time too: a packet in flight when the
+    // partition forms is lost, like a cable cut.
+    if (!Reachable(packet.src, packet.dst)) {
+      ++packets_dropped_;
+      return;
+    }
+    auto handler = it->second.handlers.find(packet.port);
+    if (handler == it->second.handlers.end()) {
+      ++packets_dropped_;
+      return;
+    }
+    ++packets_delivered_;
+    handler->second(packet);
+  });
+}
+
+}  // namespace net

@@ -1,0 +1,116 @@
+// The simulated network: an unreliable, unordered datagram service.
+//
+// Packets are delayed per the latency model, dropped with a configurable
+// probability, optionally duplicated, and blocked across partitions. There is
+// no implicit FIFO guarantee between a pair of nodes — exactly the
+// environment that makes ordering protocols non-trivial. Reliability and
+// ordering are built above this in transport.h.
+
+#ifndef REPRO_SRC_NET_NETWORK_H_
+#define REPRO_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/latency.h"
+#include "src/net/payload.h"
+#include "src/sim/simulator.h"
+
+namespace net {
+
+// A packet as seen by a receiving endpoint.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t port = 0;          // demultiplexes protocols within a node
+  PayloadPtr payload;
+  size_t header_bytes = 0;    // protocol header bytes carried by this packet
+  uint64_t packet_id = 0;     // unique per transmission (duplicates share it)
+};
+
+using PacketHandler = std::function<void(const Packet&)>;
+
+struct NetworkConfig {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  // Base IP/UDP-style header charged on every packet in addition to protocol
+  // headers.
+  size_t base_header_bytes = 28;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator* simulator, std::unique_ptr<LatencyModel> latency,
+          NetworkConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // A node must attach before it can send or receive. One handler per
+  // (node, port).
+  void Attach(NodeId node);
+  void RegisterHandler(NodeId node, uint32_t port, PacketHandler handler);
+
+  // Nodes that are down neither send nor receive; packets in flight to a
+  // down node are dropped at delivery time.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  // Sends one datagram. Returns false if it was refused (src down) —
+  // dropped-in-flight packets still return true, as the sender cannot tell.
+  bool Send(NodeId src, NodeId dst, uint32_t port, PayloadPtr payload, size_t header_bytes = 0);
+
+  // Sends the same payload to every destination; per-destination independent
+  // delays (an IP-multicast-like fanout).
+  void Multicast(NodeId src, const std::vector<NodeId>& dsts, uint32_t port, PayloadPtr payload,
+                 size_t header_bytes = 0);
+
+  // --- Partitions -----------------------------------------------------------
+  // Packets between nodes in different components are silently dropped.
+  // An empty partition list means fully connected.
+  void Partition(const std::vector<std::set<NodeId>>& components);
+  void HealPartition();
+
+  // --- Introspection --------------------------------------------------------
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_delivered() const { return packets_delivered_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t header_bytes_sent() const { return header_bytes_sent_; }
+  uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
+
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+  sim::Simulator& simulator() { return *simulator_; }
+
+ private:
+  struct Endpoint {
+    bool up = true;
+    std::unordered_map<uint32_t, PacketHandler> handlers;
+  };
+
+  bool Reachable(NodeId src, NodeId dst) const;
+  void Deliver(Packet packet, sim::Duration delay);
+
+  sim::Simulator* simulator_;
+  std::unique_ptr<LatencyModel> latency_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, Endpoint> endpoints_;
+  // partition_id_[node] -> component index; empty map = fully connected.
+  std::unordered_map<NodeId, size_t> partition_id_;
+
+  uint64_t next_packet_id_ = 1;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_delivered_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t header_bytes_sent_ = 0;
+  uint64_t payload_bytes_sent_ = 0;
+};
+
+}  // namespace net
+
+#endif  // REPRO_SRC_NET_NETWORK_H_

@@ -1,0 +1,55 @@
+// Message payloads.
+//
+// The simulator carries typed C++ objects instead of serialized bytes, but
+// every payload reports a wire size so bandwidth and buffering accounting is
+// faithful. Payloads are immutable once sent and shared by pointer, which
+// models the fact that a multicast puts the same bits on the wire for every
+// destination.
+
+#ifndef REPRO_SRC_NET_PAYLOAD_H_
+#define REPRO_SRC_NET_PAYLOAD_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace net {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  // Simulated size of the application bytes (excludes protocol headers,
+  // which each layer accounts for separately).
+  virtual size_t SizeBytes() const = 0;
+
+  // Short human-readable form for traces.
+  virtual std::string Describe() const { return "payload"; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+// Convenience downcast. Returns nullptr when the payload is not a T.
+template <typename T>
+const T* PayloadCast(const PayloadPtr& p) {
+  return dynamic_cast<const T*>(p.get());
+}
+
+// A free-form payload for tests and simple apps: a tag string plus a nominal
+// size.
+class BlobPayload : public Payload {
+ public:
+  BlobPayload(std::string tag, size_t size_bytes) : tag_(std::move(tag)), size_(size_bytes) {}
+
+  size_t SizeBytes() const override { return size_; }
+  std::string Describe() const override { return tag_; }
+  const std::string& tag() const { return tag_; }
+
+ private:
+  std::string tag_;
+  size_t size_;
+};
+
+}  // namespace net
+
+#endif  // REPRO_SRC_NET_PAYLOAD_H_

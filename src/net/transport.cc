@@ -1,0 +1,184 @@
+#include "src/net/transport.h"
+
+#include <cassert>
+#include <utility>
+
+namespace net {
+
+namespace {
+
+// Network-level ports used internally by the transport.
+constexpr uint32_t kRawPort = 0xFFFF0001;
+constexpr uint32_t kDataPort = 0xFFFF0002;
+constexpr uint32_t kAckPort = 0xFFFF0003;
+
+// Wraps an application payload with transport metadata.
+class SegmentPayload : public Payload {
+ public:
+  SegmentPayload(uint64_t seq, uint32_t app_port, PayloadPtr inner)
+      : seq_(seq), app_port_(app_port), inner_(std::move(inner)) {}
+
+  size_t SizeBytes() const override { return inner_->SizeBytes(); }
+  std::string Describe() const override { return "seg:" + inner_->Describe(); }
+
+  uint64_t seq() const { return seq_; }
+  uint32_t app_port() const { return app_port_; }
+  const PayloadPtr& inner() const { return inner_; }
+
+ private:
+  uint64_t seq_;
+  uint32_t app_port_;
+  PayloadPtr inner_;
+};
+
+// Raw (unreliable) wrapper: just carries the application port.
+class RawPayload : public Payload {
+ public:
+  RawPayload(uint32_t app_port, PayloadPtr inner) : app_port_(app_port), inner_(std::move(inner)) {}
+
+  size_t SizeBytes() const override { return inner_->SizeBytes(); }
+  std::string Describe() const override { return inner_->Describe(); }
+
+  uint32_t app_port() const { return app_port_; }
+  const PayloadPtr& inner() const { return inner_; }
+
+ private:
+  uint32_t app_port_;
+  PayloadPtr inner_;
+};
+
+class AckPayload : public Payload {
+ public:
+  explicit AckPayload(uint64_t cumulative) : cumulative_(cumulative) {}
+
+  size_t SizeBytes() const override { return 0; }
+  std::string Describe() const override { return "ack"; }
+
+  uint64_t cumulative() const { return cumulative_; }
+
+ private:
+  uint64_t cumulative_;
+};
+
+}  // namespace
+
+Transport::Transport(sim::Simulator* simulator, Network* network, NodeId node,
+                     TransportConfig config)
+    : simulator_(simulator), network_(network), node_(node), config_(config) {
+  network_->Attach(node_);
+  network_->RegisterHandler(node_, kRawPort, [this](const Packet& p) {
+    const auto* raw = PayloadCast<RawPayload>(p.payload);
+    assert(raw != nullptr);
+    DeliverUp(p.src, raw->app_port(), raw->inner());
+  });
+  network_->RegisterHandler(node_, kDataPort, [this](const Packet& p) { OnData(p); });
+  network_->RegisterHandler(node_, kAckPort, [this](const Packet& p) { OnAck(p); });
+  retransmit_timer_ = std::make_unique<sim::PeriodicTimer>(
+      simulator_, config_.retransmit_scan_period, [this] { ScanRetransmits(); });
+}
+
+Transport::~Transport() = default;
+
+void Transport::RegisterReceiver(uint32_t app_port, ReceiveFn fn) {
+  receivers_[app_port] = std::move(fn);
+}
+
+void Transport::SendUnreliable(NodeId dst, uint32_t app_port, PayloadPtr payload) {
+  network_->Send(node_, dst, kRawPort, std::make_shared<RawPayload>(app_port, std::move(payload)),
+                 /*header_bytes=*/4);
+}
+
+void Transport::SendReliable(NodeId dst, uint32_t app_port, PayloadPtr payload) {
+  PeerSender& sender = senders_[dst];
+  PendingSegment segment{sender.next_seq++, app_port, std::move(payload), simulator_->now(), 0};
+  TransmitSegment(dst, segment);
+  sender.unacked.emplace(segment.seq, std::move(segment));
+  if (!retransmit_timer_->running()) {
+    retransmit_timer_->Start(config_.retransmit_scan_period);
+  }
+}
+
+void Transport::ResetPeerState() {
+  senders_.clear();
+  peer_receivers_.clear();
+  retransmit_timer_->Stop();
+}
+
+void Transport::TransmitSegment(NodeId dst, const PendingSegment& segment) {
+  ++segments_sent_;
+  network_->Send(node_, dst, kDataPort,
+                 std::make_shared<SegmentPayload>(segment.seq, segment.app_port, segment.payload),
+                 config_.data_header_bytes);
+}
+
+void Transport::SendAck(NodeId dst, uint64_t cumulative) {
+  ++acks_sent_;
+  network_->Send(node_, dst, kAckPort, std::make_shared<AckPayload>(cumulative),
+                 config_.ack_header_bytes);
+}
+
+void Transport::OnData(const Packet& packet) {
+  const auto* segment = PayloadCast<SegmentPayload>(packet.payload);
+  assert(segment != nullptr);
+  PeerReceiver& receiver = peer_receivers_[packet.src];
+  const uint64_t seq = segment->seq();
+  if (seq >= receiver.next_expected) {
+    receiver.buffered.emplace(seq, std::make_pair(segment->app_port(), segment->inner()));
+    // Drain the contiguous prefix.
+    auto it = receiver.buffered.begin();
+    while (it != receiver.buffered.end() && it->first == receiver.next_expected) {
+      DeliverUp(packet.src, it->second.first, it->second.second);
+      ++receiver.next_expected;
+      it = receiver.buffered.erase(it);
+    }
+  }
+  // Cumulative ack for everything contiguously received (covers duplicates
+  // and out-of-order arrivals alike).
+  SendAck(packet.src, receiver.next_expected - 1);
+}
+
+void Transport::OnAck(const Packet& packet) {
+  const auto* ack = PayloadCast<AckPayload>(packet.payload);
+  assert(ack != nullptr);
+  auto it = senders_.find(packet.src);
+  if (it == senders_.end()) {
+    return;
+  }
+  auto& unacked = it->second.unacked;
+  unacked.erase(unacked.begin(), unacked.upper_bound(ack->cumulative()));
+}
+
+void Transport::ScanRetransmits() {
+  bool any_pending = false;
+  const sim::TimePoint now = simulator_->now();
+  for (auto& [dst, sender] : senders_) {
+    for (auto it = sender.unacked.begin(); it != sender.unacked.end();) {
+      PendingSegment& segment = it->second;
+      if (now - segment.last_sent >= config_.retransmit_timeout) {
+        if (segment.retries >= config_.max_retries) {
+          // Give up; the peer is presumed failed.
+          it = sender.unacked.erase(it);
+          continue;
+        }
+        ++segment.retries;
+        ++retransmissions_;
+        segment.last_sent = now;
+        TransmitSegment(dst, segment);
+      }
+      any_pending = true;
+      ++it;
+    }
+  }
+  if (!any_pending) {
+    retransmit_timer_->Stop();
+  }
+}
+
+void Transport::DeliverUp(NodeId src, uint32_t app_port, const PayloadPtr& payload) {
+  auto it = receivers_.find(app_port);
+  if (it != receivers_.end()) {
+    it->second(src, app_port, payload);
+  }
+}
+
+}  // namespace net

@@ -1,0 +1,107 @@
+// Reliable FIFO unicast transport built on the unreliable network.
+//
+// This is the "conventional transport protocol" the paper repeatedly appeals
+// to: per-destination sequence numbers, cumulative acknowledgments,
+// timeout-driven retransmission and duplicate suppression give reliable,
+// sender-ordered delivery between each pair of nodes — and nothing more.
+// CATOCS and the state-level alternatives are both layered on top of this.
+
+#ifndef REPRO_SRC_NET_TRANSPORT_H_
+#define REPRO_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace net {
+
+// Application-level receive callback: (source node, application port,
+// payload).
+using ReceiveFn = std::function<void(NodeId, uint32_t, const PayloadPtr&)>;
+
+struct TransportConfig {
+  sim::Duration retransmit_timeout = sim::Duration::Millis(20);
+  sim::Duration retransmit_scan_period = sim::Duration::Millis(5);
+  // After this many retransmissions of one segment the sender gives up and
+  // drops it (the peer is presumed dead; failure handling lives above).
+  int max_retries = 50;
+  // Wire overhead charged per data segment / ack.
+  size_t data_header_bytes = 16;
+  size_t ack_header_bytes = 12;
+};
+
+class Transport {
+ public:
+  Transport(sim::Simulator* simulator, Network* network, NodeId node,
+            TransportConfig config = {});
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  NodeId node() const { return node_; }
+
+  // At most one receiver per application port.
+  void RegisterReceiver(uint32_t app_port, ReceiveFn fn);
+
+  // Fire-and-forget datagram: may be lost, duplicated, or reordered.
+  void SendUnreliable(NodeId dst, uint32_t app_port, PayloadPtr payload);
+
+  // Reliable, FIFO-per-destination delivery.
+  void SendReliable(NodeId dst, uint32_t app_port, PayloadPtr payload);
+
+  // Drops all in-flight reliable state (used when a process crashes: an
+  // amnesiac restart must not resume old sequence numbers).
+  void ResetPeerState();
+
+  uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t segments_sent() const { return segments_sent_; }
+  uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  struct PendingSegment {
+    uint64_t seq;
+    uint32_t app_port;
+    PayloadPtr payload;
+    sim::TimePoint last_sent;
+    int retries = 0;
+  };
+  struct PeerSender {
+    uint64_t next_seq = 1;
+    std::map<uint64_t, PendingSegment> unacked;
+  };
+  struct PeerReceiver {
+    uint64_t next_expected = 1;
+    // Out-of-order segments waiting for the gap to fill.
+    std::map<uint64_t, std::pair<uint32_t, PayloadPtr>> buffered;
+  };
+
+  void OnData(const Packet& packet);
+  void OnAck(const Packet& packet);
+  void TransmitSegment(NodeId dst, const PendingSegment& segment);
+  void SendAck(NodeId dst, uint64_t cumulative);
+  void ScanRetransmits();
+  void DeliverUp(NodeId src, uint32_t app_port, const PayloadPtr& payload);
+
+  sim::Simulator* simulator_;
+  Network* network_;
+  NodeId node_;
+  TransportConfig config_;
+  std::unordered_map<uint32_t, ReceiveFn> receivers_;
+  std::unordered_map<NodeId, PeerSender> senders_;
+  std::unordered_map<NodeId, PeerReceiver> peer_receivers_;
+  std::unique_ptr<sim::PeriodicTimer> retransmit_timer_;
+
+  uint64_t retransmissions_ = 0;
+  uint64_t segments_sent_ = 0;
+  uint64_t acks_sent_ = 0;
+};
+
+}  // namespace net
+
+#endif  // REPRO_SRC_NET_TRANSPORT_H_

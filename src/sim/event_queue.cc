@@ -1,0 +1,60 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+EventId EventQueue::Schedule(TimePoint when, EventFn fn) {
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, std::move(fn)});
+  ++live_count_;
+  return EventId{seq};
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (!id.valid() || id.seq >= next_seq_) {
+    return false;
+  }
+  // We cannot tell from the id alone whether the event already fired, so the
+  // cancelled set is authoritative: insertion succeeds only once, and PopNext
+  // erases entries as it skips them.
+  auto [it, inserted] = cancelled_.insert(id.seq);
+  (void)it;
+  if (inserted && live_count_ > 0) {
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::NextTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() returns const&; the entry is about to be popped so
+  // moving the closure out is safe.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.when, std::move(top.fn)};
+  heap_.pop();
+  --live_count_;
+  return fired;
+}
+
+}  // namespace sim

@@ -1,0 +1,87 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events are closures keyed by (fire time, insertion sequence). The sequence
+// tiebreak makes execution order fully deterministic when many events share a
+// timestamp. Cancellation is lazy: cancelled entries stay in the heap and are
+// skipped when popped, which keeps Schedule/Cancel O(log n) without a
+// decrease-key structure.
+
+#ifndef REPRO_SRC_SIM_EVENT_QUEUE_H_
+#define REPRO_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+using EventFn = std::function<void()>;
+
+// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  uint64_t seq = 0;
+
+  bool valid() const { return seq != 0; }
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules fn to run at `when`. Events scheduled for the same instant run
+  // in schedule order.
+  EventId Schedule(TimePoint when, EventFn fn);
+
+  // Cancels a pending event. Returns false if it already ran or was already
+  // cancelled.
+  bool Cancel(EventId id);
+
+  // True if no live (non-cancelled) events remain.
+  bool Empty() const { return live_count_ == 0; }
+
+  size_t size() const { return live_count_; }
+
+  // Fire time of the next live event. Must not be called when Empty().
+  TimePoint NextTime();
+
+  // Removes and returns the next live event. Must not be called when Empty().
+  struct Fired {
+    TimePoint when;
+    EventFn fn;
+  };
+  Fired PopNext();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // REPRO_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,161 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sim {
+
+void Gauge::Set(int64_t v) {
+  value_ = v;
+  if (v > peak_) {
+    peak_ = v;
+  }
+}
+
+void Gauge::Observe(double weight) {
+  weighted_sum_ += static_cast<double>(value_) * weight;
+  total_weight_ += weight;
+}
+
+double Gauge::weighted_mean() const {
+  return total_weight_ > 0.0 ? weighted_sum_ / total_weight_ : 0.0;
+}
+
+void Gauge::Reset() {
+  value_ = 0;
+  peak_ = 0;
+  weighted_sum_ = 0.0;
+  total_weight_ = 0.0;
+}
+
+void Histogram::Record(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  sum_sq_ += v * v;
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(v);
+  } else {
+    // Reservoir sampling (algorithm R) with a private splitmix64 stream so
+    // histogram recording never perturbs simulation randomness.
+    reservoir_state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = reservoir_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    uint64_t slot = z % static_cast<uint64_t>(count_);
+    if (slot < kMaxSamples) {
+      samples_[slot] = v;
+    }
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  samples_.clear();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::Report() const {
+  std::ostringstream out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter %-48s %lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out << buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge   %-48s value=%lld peak=%lld\n", name.c_str(),
+                  static_cast<long long>(g->value()), static_cast<long long>(g->peak()));
+    out << buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "hist    %-48s n=%lld mean=%.3f p50=%.3f p99=%.3f max=%.3f\n", name.c_str(),
+                  static_cast<long long>(h->count()), h->mean(), h->Quantile(0.5),
+                  h->Quantile(0.99), h->max());
+    out << buf;
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace sim

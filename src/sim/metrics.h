@@ -1,0 +1,96 @@
+// Lightweight metrics for simulations: counters, gauges (with peak
+// tracking), and value histograms with exact quantiles. A Registry owns
+// metrics by name so benches and tests can look results up after a run.
+
+#ifndef REPRO_SRC_SIM_METRICS_H_
+#define REPRO_SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// A level that moves up and down (e.g. buffer occupancy); remembers its peak.
+class Gauge {
+ public:
+  void Set(int64_t v);
+  void Add(int64_t delta) { Set(value_ + delta); }
+  int64_t value() const { return value_; }
+  int64_t peak() const { return peak_; }
+  // Time-weighted mean requires the caller to feed observation points.
+  void Observe(double weight);
+  double weighted_mean() const;
+  void Reset();
+
+ private:
+  int64_t value_ = 0;
+  int64_t peak_ = 0;
+  double weighted_sum_ = 0.0;
+  double total_weight_ = 0.0;
+};
+
+// Stores samples exactly (doubles). Quantiles are exact; memory is bounded by
+// reservoir sampling past `kMaxSamples`, while count/sum/min/max stay exact.
+class Histogram {
+ public:
+  void Record(double v);
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  // q in [0, 1]. Exact over retained samples.
+  double Quantile(double q) const;
+  double stddev() const;
+  void Reset();
+
+ private:
+  static constexpr size_t kMaxSamples = 1 << 20;
+
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+  uint64_t reservoir_state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // Lookup without creating; nullptr if absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Multi-line human-readable dump, sorted by name.
+  std::string Report() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sim
+
+#endif  // REPRO_SRC_SIM_METRICS_H_

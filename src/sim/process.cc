@@ -1,0 +1,44 @@
+#include "src/sim/process.h"
+
+#include <utility>
+
+namespace sim {
+
+Process::Process(Simulator* simulator, ProcessId id, std::string name)
+    : simulator_(simulator), id_(id), name_(std::move(name)) {}
+
+void Process::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  ++incarnation_;
+  TraceEvent("crash", name_);
+  OnCrash();
+}
+
+void Process::Recover() {
+  if (!crashed_) {
+    return;
+  }
+  crashed_ = false;
+  ++incarnation_;
+  TraceEvent("recover", name_);
+  OnRecover();
+}
+
+EventId Process::ScheduleIfAlive(Duration delay, EventFn fn) {
+  const uint64_t scheduled_incarnation = incarnation_;
+  return simulator_->ScheduleAfter(delay, [this, scheduled_incarnation, fn = std::move(fn)] {
+    if (crashed_ || incarnation_ != scheduled_incarnation) {
+      return;
+    }
+    fn();
+  });
+}
+
+void Process::TraceEvent(const std::string& category, const std::string& detail) {
+  simulator_->trace().Record(simulator_->now(), id_, category, detail);
+}
+
+}  // namespace sim

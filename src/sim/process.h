@@ -1,0 +1,64 @@
+// Process abstraction: a named participant in a simulated distributed
+// system. Concrete protocol roles (group members, servers, clients, sensors)
+// derive from Process and react to scheduled events and delivered messages.
+// Processes can crash and recover; the network refuses traffic to and from
+// crashed processes.
+
+#ifndef REPRO_SRC_SIM_PROCESS_H_
+#define REPRO_SRC_SIM_PROCESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace sim {
+
+using ProcessId = uint32_t;
+
+class Process {
+ public:
+  Process(Simulator* simulator, ProcessId id, std::string name);
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Simulator& simulator() { return *simulator_; }
+  TimePoint now() const { return simulator_->now(); }
+  bool crashed() const { return crashed_; }
+
+  // Called once when the scenario starts the process.
+  virtual void OnStart() {}
+
+  // Crash-stop failure: the process executes nothing until Recover(). Pending
+  // scheduled closures must check crashed() themselves (ScheduleIfAlive does).
+  void Crash();
+  void Recover();
+
+ protected:
+  // Schedules fn, skipped automatically if the process is crashed when it
+  // fires. This is the scheduling call protocol code should use.
+  EventId ScheduleIfAlive(Duration delay, EventFn fn);
+
+  // Hooks for subclasses to release or rebuild state around failures.
+  virtual void OnCrash() {}
+  virtual void OnRecover() {}
+
+  void TraceEvent(const std::string& category, const std::string& detail);
+
+ private:
+  Simulator* simulator_;
+  ProcessId id_;
+  std::string name_;
+  bool crashed_ = false;
+  // Incremented on each crash; closures scheduled before a crash and firing
+  // after a recovery are stale and must not run.
+  uint64_t incarnation_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // REPRO_SRC_SIM_PROCESS_H_

@@ -1,0 +1,83 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::ScheduleAt(TimePoint when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  return queue_.Schedule(when, std::move(fn));
+}
+
+EventId Simulator::ScheduleAfter(Duration delay, EventFn fn) {
+  assert(delay >= Duration::Zero());
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) {
+    return false;
+  }
+  EventQueue::Fired fired = queue_.PopNext();
+  assert(fired.when >= now_);
+  now_ = fired.when;
+  ++events_executed_;
+  fired.fn();
+  return true;
+}
+
+uint64_t Simulator::Run() { return RunUntil(TimePoint::Max()); }
+
+uint64_t Simulator::RunUntil(TimePoint deadline) {
+  stop_requested_ = false;
+  uint64_t executed = 0;
+  while (!stop_requested_ && !queue_.Empty()) {
+    if (queue_.NextTime() > deadline) {
+      break;
+    }
+    if (event_limit_ != 0 && events_executed_ >= event_limit_) {
+      break;
+    }
+    Step();
+    ++executed;
+  }
+  // Advance the clock to the deadline even if the queue drained earlier, so
+  // RunFor(d) always moves time forward by d (bounded deadlines only).
+  if (deadline != TimePoint::Max() && now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator* simulator, Duration period, EventFn fn)
+    : simulator_(simulator), period_(period), fn_(std::move(fn)) {}
+
+PeriodicTimer::~PeriodicTimer() { Stop(); }
+
+void PeriodicTimer::Start(Duration first_delay) {
+  Stop();
+  running_ = true;
+  Arm(first_delay);
+}
+
+void PeriodicTimer::Stop() {
+  if (pending_.valid()) {
+    simulator_->Cancel(pending_);
+    pending_ = EventId{};
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::Arm(Duration delay) {
+  pending_ = simulator_->ScheduleAfter(delay, [this] {
+    pending_ = EventId{};
+    // Re-arm before running the callback so the callback may Stop() us.
+    Arm(period_);
+    fn_();
+  });
+}
+
+}  // namespace sim

@@ -1,0 +1,29 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace sim {
+
+namespace {
+
+std::string FormatNanos(int64_t nanos) {
+  char buf[64];
+  if (nanos % (1000 * 1000 * 1000) == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(nanos / (1000 * 1000 * 1000)));
+  } else if (nanos % (1000 * 1000) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(nanos / (1000 * 1000)));
+  } else if (nanos % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(nanos / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(nanos));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatNanos(nanos_); }
+
+std::string TimePoint::ToString() const { return FormatNanos(nanos_); }
+
+}  // namespace sim

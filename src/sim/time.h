@@ -1,0 +1,86 @@
+// Simulated-time primitives.
+//
+// All simulated time in this project is kept in integral nanoseconds so that
+// event ordering is exact and platform independent. TimePoint is a point on
+// the simulation clock; Duration is a signed span between points. Both are
+// thin strong types over int64_t: cheap to copy, totally ordered, and
+// impossible to mix up with wall-clock types.
+
+#ifndef REPRO_SRC_SIM_TIME_H_
+#define REPRO_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr Duration Nanos(int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000 * 1000); }
+  static constexpr Duration Seconds(int64_t n) { return Duration(n * 1000 * 1000 * 1000); }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr int64_t micros() const { return nanos_ / 1000; }
+  constexpr int64_t millis() const { return nanos_ / (1000 * 1000); }
+  constexpr double seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const { return Duration(nanos_ + other.nanos_); }
+  constexpr Duration operator-(Duration other) const { return Duration(nanos_ - other.nanos_); }
+  constexpr Duration operator-() const { return Duration(-nanos_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(nanos_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(nanos_ / k); }
+  constexpr Duration& operator+=(Duration other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    nanos_ -= other.nanos_;
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr TimePoint Zero() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(nanos_ + d.nanos()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(nanos_ - d.nanos()); }
+  constexpr Duration operator-(TimePoint other) const { return Duration(nanos_ - other.nanos_); }
+  constexpr TimePoint& operator+=(Duration d) {
+    nanos_ += d.nanos();
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // REPRO_SRC_SIM_TIME_H_

@@ -1,0 +1,33 @@
+#include "src/sim/trace.h"
+
+#include <sstream>
+#include <utility>
+
+namespace sim {
+
+void Trace::Record(TimePoint when, uint32_t actor, std::string category, std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  entries_.push_back(TraceEntry{when, actor, std::move(category), std::move(detail)});
+}
+
+std::vector<TraceEntry> Trace::Filter(const std::string& category, int64_t actor) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_) {
+    if (e.category == category && (actor < 0 || e.actor == static_cast<uint32_t>(actor))) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string Trace::ToString() const {
+  std::ostringstream out;
+  for (const auto& e : entries_) {
+    out << e.when.ToString() << " [" << e.actor << "] " << e.category << ": " << e.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sim

@@ -1,0 +1,46 @@
+// Event trace recorder. Scenario tests assert against recorded entries to
+// check delivery orders (e.g. "at process Q the last delivery was 'fire
+// out'"); benches leave it disabled for speed.
+
+#ifndef REPRO_SRC_SIM_TRACE_H_
+#define REPRO_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+struct TraceEntry {
+  TimePoint when;
+  uint32_t actor;        // process/node id the entry is about
+  std::string category;  // e.g. "deliver", "send", "anomaly"
+  std::string detail;
+};
+
+class Trace {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void Record(TimePoint when, uint32_t actor, std::string category, std::string detail);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  // All entries matching a category (and optionally an actor), in time order.
+  std::vector<TraceEntry> Filter(const std::string& category, int64_t actor = -1) const;
+
+  // Multi-line rendering, one entry per line.
+  std::string ToString() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace sim
+
+#endif  // REPRO_SRC_SIM_TRACE_H_

@@ -1,0 +1,72 @@
+#include "src/statelevel/ordered_cache.h"
+
+#include <algorithm>
+
+namespace statelv {
+
+ApplyResult OrderedCache::Apply(const VersionedUpdate& update) {
+  auto it = entries_.find(update.object);
+  if (it != entries_.end() && update.version <= it->second.version) {
+    ++stats_.stale_dropped;
+    return ApplyResult::kStale;
+  }
+  if (!DependencySatisfied(update)) {
+    held_[update.dependency->object].push_back(update);
+    ++stats_.held;
+    ++stats_.held_now;
+    stats_.held_peak = std::max(stats_.held_peak, stats_.held_now);
+    return ApplyResult::kHeld;
+  }
+  Install(update);
+  return ApplyResult::kApplied;
+}
+
+bool OrderedCache::DependencySatisfied(const VersionedUpdate& update) const {
+  if (!update.dependency) {
+    return true;
+  }
+  auto it = entries_.find(update.dependency->object);
+  return it != entries_.end() && it->second.version >= update.dependency->version;
+}
+
+const VersionedUpdate* OrderedCache::Get(const std::string& object) const {
+  auto it = entries_.find(object);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void OrderedCache::Install(const VersionedUpdate& update) {
+  entries_[update.object] = update;
+  ++stats_.applied;
+  if (install_handler_) {
+    install_handler_(update);
+  }
+  ReleaseDependents(update.object);
+}
+
+void OrderedCache::ReleaseDependents(const std::string& object) {
+  auto it = held_.find(object);
+  if (it == held_.end()) {
+    return;
+  }
+  // Pull out releasable updates; installing one may in turn release others,
+  // so work on a drained local list and re-park what is still blocked.
+  std::vector<VersionedUpdate> waiting = std::move(it->second);
+  held_.erase(it);
+  for (auto& update : waiting) {
+    stats_.held_now--;
+    auto entry = entries_.find(update.object);
+    if (entry != entries_.end() && update.version <= entry->second.version) {
+      ++stats_.stale_dropped;
+      continue;
+    }
+    if (DependencySatisfied(update)) {
+      ++stats_.released;
+      Install(update);
+    } else {
+      held_[update.dependency->object].push_back(update);
+      ++stats_.held_now;
+    }
+  }
+}
+
+}  // namespace statelv

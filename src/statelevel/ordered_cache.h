@@ -1,0 +1,75 @@
+// The order-preserving data cache of §4.1.
+//
+// The cache ingests versioned updates arriving in any order and exposes a
+// view that is always semantically consistent:
+//   * an update older than the cached version of its object is dropped
+//     (reordered arrivals cannot roll state back);
+//   * an update whose dependency (base object @ version) has not arrived yet
+//     is held, and released automatically once the base catches up —
+//     so a reader never observes a derived value without its base.
+// This is the paper's state-level fix for both the hidden-channel anomalies
+// (Figs. 2 & 3, via version numbers) and the trading anomaly (Fig. 4, via
+// dependency fields) — and it needs no ordering from the network at all.
+
+#ifndef REPRO_SRC_STATELEVEL_ORDERED_CACHE_H_
+#define REPRO_SRC_STATELEVEL_ORDERED_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/statelevel/version.h"
+
+namespace statelv {
+
+enum class ApplyResult {
+  kApplied,  // installed (possibly releasing held dependents)
+  kStale,    // older than the cached version; dropped
+  kHeld,     // dependency not yet satisfied; parked
+};
+
+struct CacheStats {
+  uint64_t applied = 0;
+  uint64_t stale_dropped = 0;
+  uint64_t held = 0;
+  uint64_t released = 0;
+  size_t held_now = 0;
+  size_t held_peak = 0;
+};
+
+class OrderedCache {
+ public:
+  // Invoked whenever an update is installed (including releases of held
+  // updates), in installation order.
+  using InstallHandler = std::function<void(const VersionedUpdate&)>;
+
+  void SetInstallHandler(InstallHandler handler) { install_handler_ = std::move(handler); }
+
+  // Ingests one update.
+  ApplyResult Apply(const VersionedUpdate& update);
+
+  // Current entry for an object; nullptr if none installed yet.
+  const VersionedUpdate* Get(const std::string& object) const;
+
+  // True when the installed version of `update.dependency` satisfies it.
+  bool DependencySatisfied(const VersionedUpdate& update) const;
+
+  const CacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  void Install(const VersionedUpdate& update);
+  void ReleaseDependents(const std::string& object);
+
+  std::map<std::string, VersionedUpdate> entries_;
+  // Held updates keyed by the object they are waiting on.
+  std::map<std::string, std::vector<VersionedUpdate>> held_;
+  InstallHandler install_handler_;
+  CacheStats stats_;
+};
+
+}  // namespace statelv
+
+#endif  // REPRO_SRC_STATELEVEL_ORDERED_CACHE_H_

@@ -1,0 +1,61 @@
+#include "src/statelevel/prescriptive.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace statelv {
+
+bool PrescriptiveGate::Submit(StreamKey key, std::vector<StreamKey> prerequisites,
+                              net::PayloadPtr payload) {
+  if (delivered_.count(key)) {
+    ++stats_.duplicates;
+    return false;
+  }
+  // Strip already-satisfied prerequisites.
+  prerequisites.erase(
+      std::remove_if(prerequisites.begin(), prerequisites.end(),
+                     [this](const StreamKey& k) { return delivered_.count(k) > 0; }),
+      prerequisites.end());
+  if (prerequisites.empty()) {
+    Deliver(key, payload);
+    return true;
+  }
+  ++stats_.delayed;
+  ++stats_.pending_now;
+  stats_.pending_peak = std::max(stats_.pending_peak, stats_.pending_now);
+  const StreamKey anchor = prerequisites.front();
+  waiting_on_.emplace(anchor, Pending{key, std::move(prerequisites), std::move(payload)});
+  return false;
+}
+
+void PrescriptiveGate::Deliver(const StreamKey& key, const net::PayloadPtr& payload) {
+  delivered_.insert(key);
+  ++stats_.delivered;
+  if (handler_) {
+    handler_(key, payload);
+  }
+  // Wake messages that were anchored on this key; they may re-park on
+  // another unmet prerequisite.
+  auto [begin, end] = waiting_on_.equal_range(key);
+  std::vector<Pending> woken;
+  for (auto it = begin; it != end; ++it) {
+    woken.push_back(std::move(it->second));
+  }
+  waiting_on_.erase(begin, end);
+  for (auto& pending : woken) {
+    --stats_.pending_now;
+    pending.remaining.erase(
+        std::remove_if(pending.remaining.begin(), pending.remaining.end(),
+                       [this](const StreamKey& k) { return delivered_.count(k) > 0; }),
+        pending.remaining.end());
+    if (pending.remaining.empty()) {
+      Deliver(pending.key, pending.payload);
+    } else {
+      ++stats_.pending_now;
+      const StreamKey anchor = pending.remaining.front();
+      waiting_on_.emplace(anchor, std::move(pending));
+    }
+  }
+}
+
+}  // namespace statelv

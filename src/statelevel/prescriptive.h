@@ -1,0 +1,74 @@
+// Prescriptive ordering (§2, §3.1): the sender states the ordering
+// constraints that actually matter — "this message follows sequence n of
+// stream s" / "this message requires those specific predecessors" — and the
+// receiver enforces exactly those, instead of the communication layer
+// guessing from incidental happens-before.
+//
+// PrescriptiveGate is the receiver-side enforcement: submit messages with
+// explicit prerequisite keys; each is delivered once all its prerequisites
+// have been delivered. Only *stated* dependencies ever delay anything, so
+// false causality is impossible by construction.
+
+#ifndef REPRO_SRC_STATELEVEL_PRESCRIPTIVE_H_
+#define REPRO_SRC_STATELEVEL_PRESCRIPTIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/net/payload.h"
+#include "src/sim/time.h"
+
+namespace statelv {
+
+// Identifies a message within a named stream (e.g. a per-object or
+// per-source sequence).
+struct StreamKey {
+  uint64_t stream = 0;
+  uint64_t seq = 0;
+
+  auto operator<=>(const StreamKey&) const = default;
+};
+
+struct GateStats {
+  uint64_t delivered = 0;
+  uint64_t delayed = 0;  // had unmet prerequisites on arrival
+  uint64_t duplicates = 0;
+  size_t pending_now = 0;
+  size_t pending_peak = 0;
+};
+
+class PrescriptiveGate {
+ public:
+  using Handler = std::function<void(const StreamKey&, const net::PayloadPtr&)>;
+
+  explicit PrescriptiveGate(Handler handler) : handler_(std::move(handler)) {}
+
+  // Submits a message with its prerequisite list. Returns true if it was
+  // delivered immediately.
+  bool Submit(StreamKey key, std::vector<StreamKey> prerequisites, net::PayloadPtr payload);
+
+  bool Delivered(const StreamKey& key) const { return delivered_.count(key) > 0; }
+  const GateStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    StreamKey key;
+    std::vector<StreamKey> remaining;
+    net::PayloadPtr payload;
+  };
+
+  void Deliver(const StreamKey& key, const net::PayloadPtr& payload);
+
+  Handler handler_;
+  std::set<StreamKey> delivered_;
+  // Waiting messages indexed by one unmet prerequisite each.
+  std::multimap<StreamKey, Pending> waiting_on_;
+  GateStats stats_;
+};
+
+}  // namespace statelv
+
+#endif  // REPRO_SRC_STATELEVEL_PRESCRIPTIVE_H_

@@ -1,0 +1,57 @@
+// State-level logical clocks: object versions and dependency descriptors.
+//
+// The paper's recurring alternative to CATOCS (§3.1, §4.1): put the ordering
+// information in the *state* — a version number per object, and on every
+// computed object a designated "dependency" field naming the id and version
+// of the base object it was derived from. Recipients order and filter
+// updates using these fields alone; no communication-level ordering needed.
+
+#ifndef REPRO_SRC_STATELEVEL_VERSION_H_
+#define REPRO_SRC_STATELEVEL_VERSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace statelv {
+
+// Names the version of a base object a computed value was derived from.
+struct Dependency {
+  std::string object;
+  uint64_t version = 0;
+
+  bool operator==(const Dependency&) const = default;
+};
+
+// A versioned update to one object, as disseminated by a pricing service or
+// a shop-floor database. `stamped_at` optionally carries a synchronized
+// real-time timestamp (the §4.6 alternative).
+struct VersionedUpdate {
+  std::string object;
+  uint64_t version = 0;
+  double value = 0.0;
+  std::optional<Dependency> dependency;
+  sim::TimePoint stamped_at = sim::TimePoint::Zero();
+
+  // Simulated wire footprint of the state-level ordering fields: version (8)
+  // plus the dependency field when present (id hash 8 + version 8). This is
+  // the number E12 compares against CATOCS's vector-clock headers.
+  size_t OrderingFieldBytes() const { return 8 + (dependency ? 16 : 0); }
+};
+
+// Per-object version counter, e.g. owned by the authoritative pricing
+// service for a security.
+class VersionCounter {
+ public:
+  uint64_t Next() { return ++current_; }
+  uint64_t current() const { return current_; }
+
+ private:
+  uint64_t current_ = 0;
+};
+
+}  // namespace statelv
+
+#endif  // REPRO_SRC_STATELEVEL_VERSION_H_

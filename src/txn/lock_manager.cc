@@ -1,0 +1,140 @@
+#include "src/txn/lock_manager.h"
+
+#include <cassert>
+
+namespace txn {
+
+bool LockManager::Compatible(const Resource& r, TxnId txn, LockMode mode) const {
+  if (r.holders.empty()) {
+    return true;
+  }
+  if (mode == LockMode::kShared) {
+    // Compatible unless someone else holds exclusive.
+    for (const auto& [holder, held_mode] : r.holders) {
+      if (holder != txn && held_mode == LockMode::kExclusive) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Exclusive: compatible only if we are the sole holder (upgrade) or free.
+  return r.holders.size() == 1 && r.holders.begin()->first == txn;
+}
+
+bool LockManager::Acquire(TxnId txn, const std::string& resource, LockMode mode,
+                          GrantFn on_grant) {
+  Resource& r = resources_[resource];
+  auto held = r.holders.find(txn);
+  if (held != r.holders.end()) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      ++stats_.immediate_grants;
+      return true;  // already sufficient
+    }
+    // Upgrade request.
+    if (Compatible(r, txn, LockMode::kExclusive)) {
+      held->second = LockMode::kExclusive;
+      ++stats_.upgrades;
+      ++stats_.immediate_grants;
+      return true;
+    }
+    ++stats_.waits;
+    r.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
+    return false;
+  }
+  // FIFO fairness: do not jump over queued waiters even if compatible,
+  // except that shared requests may join current shared holders when no
+  // exclusive waiter is queued ahead.
+  bool exclusive_waiting = false;
+  for (const auto& waiter : r.queue) {
+    if (waiter.mode == LockMode::kExclusive) {
+      exclusive_waiting = true;
+      break;
+    }
+  }
+  if (Compatible(r, txn, mode) && (r.queue.empty() || (mode == LockMode::kShared &&
+                                                       !exclusive_waiting))) {
+    r.holders[txn] = mode;
+    ++stats_.immediate_grants;
+    return true;
+  }
+  ++stats_.waits;
+  r.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
+  return false;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  ++stats_.releases;
+  for (auto it = resources_.begin(); it != resources_.end();) {
+    Resource& r = it->second;
+    r.holders.erase(txn);
+    for (auto w = r.queue.begin(); w != r.queue.end();) {
+      if (w->txn == txn) {
+        w = r.queue.erase(w);
+      } else {
+        ++w;
+      }
+    }
+    GrantFromQueue(it->first, r);
+    if (r.holders.empty() && r.queue.empty()) {
+      it = resources_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockManager::GrantFromQueue(const std::string& name, Resource& r) {
+  (void)name;
+  // Grant from the front while compatible (a run of shared requests, one
+  // exclusive, or an upgrade that is now possible).
+  while (!r.queue.empty()) {
+    Waiter& head = r.queue.front();
+    auto held = r.holders.find(head.txn);
+    const bool is_upgrade = held != r.holders.end() && head.mode == LockMode::kExclusive;
+    if (is_upgrade) {
+      if (!Compatible(r, head.txn, LockMode::kExclusive)) {
+        return;
+      }
+      held->second = LockMode::kExclusive;
+      ++stats_.upgrades;
+    } else {
+      if (!Compatible(r, head.txn, head.mode)) {
+        return;
+      }
+      r.holders[head.txn] = head.mode;
+    }
+    GrantFn grant = std::move(head.on_grant);
+    r.queue.pop_front();
+    if (grant) {
+      grant();
+    }
+  }
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& resource, LockMode mode) const {
+  auto it = resources_.find(resource);
+  if (it == resources_.end()) {
+    return false;
+  }
+  auto held = it->second.holders.find(txn);
+  if (held == it->second.holders.end()) {
+    return false;
+  }
+  return mode == LockMode::kShared || held->second == LockMode::kExclusive;
+}
+
+std::vector<std::pair<TxnId, TxnId>> LockManager::WaitForEdges() const {
+  std::vector<std::pair<TxnId, TxnId>> edges;
+  for (const auto& [name, r] : resources_) {
+    for (const auto& waiter : r.queue) {
+      for (const auto& [holder, mode] : r.holders) {
+        if (holder != waiter.txn) {
+          edges.emplace_back(waiter.txn, holder);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace txn

@@ -1,0 +1,81 @@
+// Two-phase-locking lock manager (§4.3): shared/exclusive locks with FIFO
+// wait queues and shared→exclusive upgrade. The paper's point is that once
+// an application needs 2PL for serializability, the lock order — not message
+// order — dictates correctness, so CATOCS buys nothing. The manager exports
+// its wait-for edges so deadlock detection (§4.2, Appendix 9.2) can run on
+// top.
+//
+// The API is callback-based to fit the event-driven simulator: Acquire
+// either grants synchronously (returns true) or queues the request and
+// invokes the callback when the lock is granted later.
+
+#ifndef REPRO_SRC_TXN_LOCK_MANAGER_H_
+#define REPRO_SRC_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace txn {
+
+using TxnId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+struct LockStats {
+  uint64_t immediate_grants = 0;
+  uint64_t waits = 0;
+  uint64_t upgrades = 0;
+  uint64_t releases = 0;
+};
+
+class LockManager {
+ public:
+  using GrantFn = std::function<void()>;
+
+  // Requests a lock. Returns true and grants immediately when compatible;
+  // otherwise queues (FIFO) and calls on_grant when granted. Re-acquiring a
+  // mode already held grants immediately; holding shared and requesting
+  // exclusive is an upgrade.
+  bool Acquire(TxnId txn, const std::string& resource, LockMode mode, GrantFn on_grant);
+
+  // Releases everything the transaction holds or waits for, granting
+  // whatever becomes compatible (2PL: called once, at commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  bool Holds(TxnId txn, const std::string& resource, LockMode mode) const;
+
+  // Current wait-for edges (waiter -> holder), the input to deadlock
+  // detection.
+  std::vector<std::pair<TxnId, TxnId>> WaitForEdges() const;
+
+  const LockStats& stats() const { return stats_; }
+  size_t locked_resources() const { return resources_.size(); }
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    GrantFn on_grant;
+  };
+  struct Resource {
+    // Empty => free. Mode is exclusive iff exactly one holder in X.
+    std::map<TxnId, LockMode> holders;
+    std::deque<Waiter> queue;
+  };
+
+  bool Compatible(const Resource& r, TxnId txn, LockMode mode) const;
+  void GrantFromQueue(const std::string& name, Resource& r);
+
+  std::map<std::string, Resource> resources_;
+  LockStats stats_;
+};
+
+}  // namespace txn
+
+#endif  // REPRO_SRC_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,100 @@
+#include "src/txn/occ.h"
+
+#include <algorithm>
+
+namespace txn {
+
+TxnId OccManager::Begin() {
+  const TxnId id = next_txn_++;
+  active_[id].start_seq = commit_seq_;
+  ++stats_.begun;
+  return id;
+}
+
+std::optional<double> OccManager::Read(TxnId txn, const std::string& key) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return std::nullopt;
+  }
+  // Read-your-writes within the transaction.
+  auto w = it->second.write_set.find(key);
+  if (w != it->second.write_set.end()) {
+    return w->second;
+  }
+  it->second.read_set.insert(key);
+  auto s = store_.find(key);
+  return s == store_.end() ? std::nullopt : std::optional<double>(s->second);
+}
+
+void OccManager::Write(TxnId txn, const std::string& key, double value) {
+  auto it = active_.find(txn);
+  if (it != active_.end()) {
+    it->second.write_set[key] = value;
+  }
+}
+
+bool OccManager::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return false;
+  }
+  const Active& a = it->second;
+  // Backward validation: any transaction that committed after we began and
+  // wrote something we read invalidates us. history_ is sorted by
+  // commit_seq, so start at the first record past our start.
+  auto first = std::partition_point(history_.begin(), history_.end(),
+                                    [&a](const Committed& c) {
+                                      return c.commit_seq <= a.start_seq;
+                                    });
+  for (auto c = first; c != history_.end(); ++c) {
+    for (const std::string& key : a.read_set) {
+      if (c->write_set.count(key)) {
+        ++stats_.validation_failures;
+        active_.erase(it);
+        ++stats_.aborted;
+        return false;
+      }
+    }
+  }
+  // Commit point: global order position assigned here.
+  Committed record;
+  record.commit_seq = ++commit_seq_;
+  for (const auto& [key, value] : a.write_set) {
+    store_[key] = value;
+    record.write_set.insert(key);
+  }
+  if (!record.write_set.empty()) {
+    history_.push_back(std::move(record));
+  }
+  active_.erase(it);
+  ++stats_.committed;
+  TrimHistory();
+  return true;
+}
+
+void OccManager::TrimHistory() {
+  // Records no active transaction could conflict with are dead weight.
+  uint64_t oldest_start = commit_seq_;
+  for (const auto& [id, active] : active_) {
+    oldest_start = std::min(oldest_start, active.start_seq);
+  }
+  auto keep_from = std::partition_point(history_.begin(), history_.end(),
+                                        [oldest_start](const Committed& c) {
+                                          return c.commit_seq <= oldest_start;
+                                        });
+  history_.erase(history_.begin(), keep_from);
+}
+
+void OccManager::Abort(TxnId txn) {
+  if (active_.erase(txn) > 0) {
+    ++stats_.aborted;
+    TrimHistory();
+  }
+}
+
+std::optional<double> OccManager::CommittedValue(const std::string& key) const {
+  auto it = store_.find(key);
+  return it == store_.end() ? std::nullopt : std::optional<double>(it->second);
+}
+
+}  // namespace txn

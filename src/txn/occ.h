@@ -1,0 +1,73 @@
+// Optimistic concurrency control (§4.3): transactions execute without locks
+// against a local snapshot, buffering writes; at commit they are ordered by
+// a simple global ordering point (here a commit counter, standing in for the
+// paper's "local timestamp of the coordinator plus node id to break ties")
+// and validated backward against transactions that committed since they
+// began. Conflicts abort — no inter-transaction message ordering, hence no
+// CATOCS, is ever needed.
+
+#ifndef REPRO_SRC_TXN_OCC_H_
+#define REPRO_SRC_TXN_OCC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/txn/lock_manager.h"
+
+namespace txn {
+
+struct OccStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t validation_failures = 0;
+};
+
+class OccManager {
+ public:
+  TxnId Begin();
+
+  // Reads the committed value (and records the read for validation).
+  std::optional<double> Read(TxnId txn, const std::string& key);
+
+  // Buffers the write in the transaction's write set.
+  void Write(TxnId txn, const std::string& key, double value);
+
+  // Validates and atomically applies; false => aborted (conflict).
+  bool Commit(TxnId txn);
+  void Abort(TxnId txn);
+
+  std::optional<double> CommittedValue(const std::string& key) const;
+  const OccStats& stats() const { return stats_; }
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  // Discards committed write-set records that no active transaction can
+  // conflict with, keeping validation O(overlapping transactions).
+  void TrimHistory();
+
+  struct Active {
+    uint64_t start_seq = 0;
+    std::set<std::string> read_set;
+    std::map<std::string, double> write_set;
+  };
+  struct Committed {
+    uint64_t commit_seq = 0;
+    std::set<std::string> write_set;
+  };
+
+  TxnId next_txn_ = 1;
+  uint64_t commit_seq_ = 0;
+  std::map<std::string, double> store_;
+  std::map<TxnId, Active> active_;
+  std::vector<Committed> history_;
+  OccStats stats_;
+};
+
+}  // namespace txn
+
+#endif  // REPRO_SRC_TXN_OCC_H_

@@ -1,0 +1,377 @@
+#include "src/txn/replicated_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace txn {
+
+namespace {
+
+class PrepareMsg : public net::Payload {
+ public:
+  PrepareMsg(uint64_t txn, std::map<std::string, double> writes)
+      : txn_(txn), writes_(std::move(writes)) {}
+  size_t SizeBytes() const override { return 8 + writes_.size() * 24; }
+  std::string Describe() const override { return "prepare"; }
+  uint64_t txn() const { return txn_; }
+  const std::map<std::string, double>& writes() const { return writes_; }
+
+ private:
+  uint64_t txn_;
+  std::map<std::string, double> writes_;
+};
+
+class VoteMsg : public net::Payload {
+ public:
+  VoteMsg(uint64_t txn, bool yes) : txn_(txn), yes_(yes) {}
+  size_t SizeBytes() const override { return 9; }
+  std::string Describe() const override { return yes_ ? "vote-yes" : "vote-no"; }
+  uint64_t txn() const { return txn_; }
+  bool yes() const { return yes_; }
+
+ private:
+  uint64_t txn_;
+  bool yes_;
+};
+
+class DecisionMsg : public net::Payload {
+ public:
+  DecisionMsg(uint64_t txn, bool commit) : txn_(txn), commit_(commit) {}
+  size_t SizeBytes() const override { return 9; }
+  std::string Describe() const override { return commit_ ? "commit" : "abort"; }
+  uint64_t txn() const { return txn_; }
+  bool commit() const { return commit_; }
+
+ private:
+  uint64_t txn_;
+  bool commit_;
+};
+
+class UpdateMsg : public net::Payload {
+ public:
+  UpdateMsg(uint64_t update_id, net::NodeId primary, std::string key, double value)
+      : update_id_(update_id), primary_(primary), key_(std::move(key)), value_(value) {}
+  size_t SizeBytes() const override { return 20 + key_.size(); }
+  std::string Describe() const override { return "update:" + key_; }
+  uint64_t update_id() const { return update_id_; }
+  net::NodeId primary() const { return primary_; }
+  const std::string& key() const { return key_; }
+  double value() const { return value_; }
+
+ private:
+  uint64_t update_id_;
+  net::NodeId primary_;
+  std::string key_;
+  double value_;
+};
+
+class UpdateAckMsg : public net::Payload {
+ public:
+  explicit UpdateAckMsg(uint64_t update_id) : update_id_(update_id) {}
+  size_t SizeBytes() const override { return 8; }
+  std::string Describe() const override { return "update-ack"; }
+  uint64_t update_id() const { return update_id_; }
+
+ private:
+  uint64_t update_id_;
+};
+
+}  // namespace
+
+// --- TxnReplica ----------------------------------------------------------------
+
+TxnReplica::TxnReplica(sim::Simulator* simulator, net::Transport* transport,
+                       sim::Duration wal_flush_delay)
+    : simulator_(simulator), transport_(transport), wal_(simulator, wal_flush_delay) {
+  transport_->RegisterReceiver(kPreparePort,
+                               [this](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
+                                 OnPrepare(src, p);
+                               });
+  transport_->RegisterReceiver(kDecisionPort,
+                               [this](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
+                                 OnDecision(src, p);
+                               });
+}
+
+void TxnReplica::OnPrepare(net::NodeId coordinator, const net::PayloadPtr& payload) {
+  const auto* prepare = net::PayloadCast<PrepareMsg>(payload);
+  assert(prepare != nullptr);
+  ++prepares_seen_;
+  const uint64_t txn = prepare->txn();
+
+  // State-level veto: the replica may refuse (limitation 2 in action — a
+  // receiver can reject an operation regardless of delivery order).
+  if (vote_hook_) {
+    for (const auto& [key, value] : prepare->writes()) {
+      if (!vote_hook_(key)) {
+        transport_->SendReliable(coordinator, kVotePort, std::make_shared<VoteMsg>(txn, false));
+        return;
+      }
+    }
+  }
+
+  PendingTxn& pending = pending_[txn];
+  pending.writes = prepare->writes();
+
+  // Acquire exclusive locks on all keys, then force the WAL record, then
+  // vote YES. Locks are normally uncontended (one coordinator); contention
+  // simply delays the vote.
+  auto continue_after_locks = [this, txn, coordinator] {
+    std::ostringstream record;
+    record << "prepare txn=" << txn;
+    wal_.Append(record.str(), [this, txn, coordinator] {
+      if (!pending_.count(txn)) {
+        return;  // already decided (aborted) before the flush finished
+      }
+      transport_->SendReliable(coordinator, kVotePort, std::make_shared<VoteMsg>(txn, true));
+    });
+  };
+  // Count locks to acquire; grant callback fires when the last is granted.
+  auto remaining = std::make_shared<size_t>(pending.writes.size());
+  bool all_immediate = true;
+  for (const auto& [key, value] : pending.writes) {
+    const bool granted = locks_.Acquire(txn, key, LockMode::kExclusive,
+                                        [remaining, continue_after_locks]() mutable {
+                                          if (--*remaining == 0) {
+                                            continue_after_locks();
+                                          }
+                                        });
+    if (granted) {
+      if (--*remaining == 0 && all_immediate) {
+        continue_after_locks();
+      }
+    } else {
+      all_immediate = false;
+    }
+  }
+  if (pending.writes.empty()) {
+    continue_after_locks();
+  }
+}
+
+void TxnReplica::OnDecision(net::NodeId /*coordinator*/, const net::PayloadPtr& payload) {
+  const auto* decision = net::PayloadCast<DecisionMsg>(payload);
+  assert(decision != nullptr);
+  auto it = pending_.find(decision->txn());
+  if (it == pending_.end()) {
+    return;
+  }
+  if (decision->commit()) {
+    for (const auto& [key, value] : it->second.writes) {
+      store_[key] = value;
+    }
+    std::ostringstream record;
+    record << "commit txn=" << decision->txn();
+    wal_.Append(record.str(), nullptr);
+  }
+  locks_.ReleaseAll(decision->txn());
+  pending_.erase(it);
+}
+
+std::optional<double> TxnReplica::Read(const std::string& key) const {
+  auto it = store_.find(key);
+  return it == store_.end() ? std::nullopt : std::optional<double>(it->second);
+}
+
+// --- TxnCoordinator --------------------------------------------------------------
+
+TxnCoordinator::TxnCoordinator(sim::Simulator* simulator, net::Transport* transport,
+                               std::vector<net::NodeId> replicas, sim::Duration prepare_timeout)
+    : simulator_(simulator),
+      transport_(transport),
+      available_(std::move(replicas)),
+      prepare_timeout_(prepare_timeout) {
+  transport_->RegisterReceiver(TxnReplica::kVotePort,
+                               [this](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
+                                 OnVote(src, p);
+                               });
+}
+
+void TxnCoordinator::WriteMany(std::map<std::string, double> writes, DoneFn done) {
+  const uint64_t txn = next_txn_++;
+  InFlight& flight = in_flight_[txn];
+  flight.writes = writes;
+  flight.participants = available_;
+  flight.done = std::move(done);
+  auto prepare = std::make_shared<PrepareMsg>(txn, std::move(writes));
+  for (net::NodeId replica : flight.participants) {
+    transport_->SendReliable(replica, TxnReplica::kPreparePort, prepare);
+  }
+  flight.timeout = simulator_->ScheduleAfter(prepare_timeout_, [this, txn] {
+    auto it = in_flight_.find(txn);
+    if (it == in_flight_.end() || it->second.decided) {
+      return;
+    }
+    // Write-all-available: replicas that did not answer in time are dropped
+    // from the availability list and the write commits with the rest —
+    // unless someone actually voted NO.
+    std::vector<net::NodeId> slow;
+    bool any_no = false;
+    for (net::NodeId replica : it->second.participants) {
+      auto vote = it->second.votes.find(replica);
+      if (vote == it->second.votes.end()) {
+        slow.push_back(replica);
+      } else if (!vote->second) {
+        any_no = true;
+      }
+    }
+    Decide(txn, !any_no && slow.size() < it->second.participants.size(), slow);
+  });
+}
+
+void TxnCoordinator::OnVote(net::NodeId replica, const net::PayloadPtr& payload) {
+  const auto* vote = net::PayloadCast<VoteMsg>(payload);
+  assert(vote != nullptr);
+  auto it = in_flight_.find(vote->txn());
+  if (it == in_flight_.end() || it->second.decided) {
+    return;
+  }
+  it->second.votes[replica] = vote->yes();
+  MaybeDecide(vote->txn());
+}
+
+void TxnCoordinator::MaybeDecide(uint64_t txn) {
+  InFlight& flight = in_flight_.at(txn);
+  bool all_yes = true;
+  for (net::NodeId replica : flight.participants) {
+    auto vote = flight.votes.find(replica);
+    if (vote == flight.votes.end()) {
+      return;  // still waiting (timeout handles stragglers)
+    }
+    if (!vote->second) {
+      all_yes = false;
+    }
+  }
+  Decide(txn, all_yes, {});
+}
+
+void TxnCoordinator::Decide(uint64_t txn, bool commit, const std::vector<net::NodeId>& slow) {
+  auto it = in_flight_.find(txn);
+  if (it == in_flight_.end() || it->second.decided) {
+    return;
+  }
+  InFlight& flight = it->second;
+  flight.decided = true;
+  simulator_->Cancel(flight.timeout);
+  for (net::NodeId dropped : slow) {
+    available_.erase(std::remove(available_.begin(), available_.end(), dropped),
+                     available_.end());
+    ++stats_.replicas_dropped;
+  }
+  auto decision = std::make_shared<DecisionMsg>(txn, commit);
+  for (net::NodeId replica : flight.participants) {
+    // Dropped replicas get the decision too (best effort); they are simply
+    // no longer counted on.
+    transport_->SendReliable(replica, TxnReplica::kDecisionPort, decision);
+  }
+  if (commit) {
+    ++stats_.committed;
+  } else {
+    ++stats_.aborted;
+  }
+  DoneFn done = std::move(flight.done);
+  in_flight_.erase(it);
+  if (done) {
+    done(commit);
+  }
+}
+
+// --- CatocsReplica ---------------------------------------------------------------
+
+CatocsReplica::CatocsReplica(sim::Simulator* simulator, net::Transport* transport,
+                             catocs::GroupMember* member)
+    : simulator_(simulator), transport_(transport), member_(member) {
+  member_->SetDeliveryHandler([this](const catocs::Delivery& d) { OnDeliver(d); });
+}
+
+void CatocsReplica::OnDeliver(const catocs::Delivery& delivery) {
+  if (const auto* update = net::PayloadCast<UpdateMsg>(delivery.payload)) {
+    store_[update->key()] = update->value();
+    ++updates_applied_;
+    if (update->primary() != transport_->node()) {
+      transport_->SendReliable(update->primary(), kAckPort,
+                               std::make_shared<UpdateAckMsg>(update->update_id()));
+    }
+  }
+  if (observer_) {
+    observer_(delivery);
+  }
+}
+
+std::optional<double> CatocsReplica::Read(const std::string& key) const {
+  auto it = store_.find(key);
+  return it == store_.end() ? std::nullopt : std::optional<double>(it->second);
+}
+
+// --- CatocsPrimary ---------------------------------------------------------------
+
+CatocsPrimary::CatocsPrimary(sim::Simulator* simulator, net::Transport* transport,
+                             catocs::GroupMember* member, int write_safety_level)
+    : simulator_(simulator),
+      transport_(transport),
+      member_(member),
+      write_safety_level_(write_safety_level) {
+  transport_->RegisterReceiver(CatocsReplica::kAckPort,
+                               [this](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
+                                 OnAck(src, p);
+                               });
+}
+
+void CatocsPrimary::Write(const std::string& key, double value, DoneFn done) {
+  const uint64_t update_id = next_update_++;
+  ++stats_.writes_issued;
+  member_->CausalSend(std::make_shared<UpdateMsg>(update_id, transport_->node(), key, value));
+  if (write_safety_level_ <= 0) {
+    // Fully asynchronous: report success immediately — durability be damned.
+    ++stats_.writes_acked;
+    if (done) {
+      done();
+    }
+    return;
+  }
+  awaiting_[update_id] = AwaitingAcks{write_safety_level_, std::move(done)};
+}
+
+void CatocsPrimary::OnAck(net::NodeId /*replica*/, const net::PayloadPtr& payload) {
+  const auto* ack = net::PayloadCast<UpdateAckMsg>(payload);
+  assert(ack != nullptr);
+  auto it = awaiting_.find(ack->update_id());
+  if (it == awaiting_.end()) {
+    return;
+  }
+  if (--it->second.remaining <= 0) {
+    ++stats_.writes_acked;
+    DoneFn done = std::move(it->second.done);
+    awaiting_.erase(it);
+    if (done) {
+      done();
+    }
+  }
+}
+
+std::vector<std::string> DivergentKeys(const std::map<std::string, double>& a,
+                                       const std::map<std::string, double>& b) {
+  std::vector<std::string> out;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      out.push_back(ia->first);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      out.push_back(ib->first);
+      ++ib;
+    } else {
+      if (ia->second != ib->second) {
+        out.push_back(ia->first);
+      }
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace txn

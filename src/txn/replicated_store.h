@@ -1,0 +1,199 @@
+// Replicated key-value stores, both sides of the §4.4 comparison.
+//
+// TxnCoordinator/TxnReplica — the transactional design (HARP-like):
+// two-phase commit over reliable transport with a read-any /
+// write-all-available policy. Every write (or write *group* — "say
+// together") is prepared at all replicas on the availability list; replicas
+// force a WAL record before voting, so a committed write is durable.
+// Replicas may vote NO for state-level reasons (storage, protection — the
+// paper's limitation 2), aborting the group atomically. Replicas that time
+// out during prepare are dropped from the availability list and the write
+// commits with the survivors — matching CATOCS's failure behavior without
+// giving up grouping or durability.
+//
+// CatocsPrimary/CatocsReplica — the CATOCS design (Deceit-like): a single
+// primary updater causally multicasts updates to the replica group and
+// acknowledges the client after `write_safety_level` replica acks. Level 0
+// is fully asynchronous — and loses the update if the primary dies first
+// (non-durability, §2); level >= replicas-1 is effectively synchronous RPC,
+// which is the paper's point about the "asynchrony" claim.
+
+#ifndef REPRO_SRC_TXN_REPLICATED_STORE_H_
+#define REPRO_SRC_TXN_REPLICATED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/catocs/group_member.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/wal.h"
+
+namespace txn {
+
+// --- transactional design ----------------------------------------------------
+
+class TxnReplica {
+ public:
+  static constexpr uint32_t kPreparePort = 0x79000001;
+  static constexpr uint32_t kVotePort = 0x79000002;
+  static constexpr uint32_t kDecisionPort = 0x79000003;
+
+  TxnReplica(sim::Simulator* simulator, net::Transport* transport,
+             sim::Duration wal_flush_delay = sim::Duration::Micros(500));
+
+  // State-level veto (limitation 2): return false to reject a write, e.g.
+  // out of storage or protection failure. Default accepts everything.
+  void SetVoteHook(std::function<bool(const std::string& key)> hook) {
+    vote_hook_ = std::move(hook);
+  }
+
+  std::optional<double> Read(const std::string& key) const;
+  const std::map<std::string, double>& store() const { return store_; }
+  const WriteAheadLog& wal() const { return wal_; }
+  uint64_t prepares_seen() const { return prepares_seen_; }
+
+ private:
+  struct PendingTxn {
+    std::map<std::string, double> writes;
+    bool locks_granted = false;
+  };
+
+  void OnPrepare(net::NodeId coordinator, const net::PayloadPtr& payload);
+  void OnDecision(net::NodeId coordinator, const net::PayloadPtr& payload);
+
+  sim::Simulator* simulator_;
+  net::Transport* transport_;
+  LockManager locks_;
+  WriteAheadLog wal_;
+  std::function<bool(const std::string&)> vote_hook_;
+  std::map<std::string, double> store_;
+  std::map<uint64_t, PendingTxn> pending_;
+  uint64_t prepares_seen_ = 0;
+};
+
+struct CoordinatorStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t replicas_dropped = 0;
+};
+
+class TxnCoordinator {
+ public:
+  using DoneFn = std::function<void(bool committed)>;
+
+  TxnCoordinator(sim::Simulator* simulator, net::Transport* transport,
+                 std::vector<net::NodeId> replicas,
+                 sim::Duration prepare_timeout = sim::Duration::Millis(100));
+
+  // Atomically writes a *group* of keys at all available replicas.
+  void WriteMany(std::map<std::string, double> writes, DoneFn done);
+  void Write(const std::string& key, double value, DoneFn done) {
+    WriteMany({{key, value}}, std::move(done));
+  }
+
+  const std::vector<net::NodeId>& availability_list() const { return available_; }
+  const CoordinatorStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    std::map<std::string, double> writes;
+    std::map<net::NodeId, bool> votes;  // replica -> voted (value = yes)
+    std::vector<net::NodeId> participants;
+    DoneFn done;
+    sim::EventId timeout{};
+    bool decided = false;
+  };
+
+  void OnVote(net::NodeId replica, const net::PayloadPtr& payload);
+  void MaybeDecide(uint64_t txn);
+  void Decide(uint64_t txn, bool commit, const std::vector<net::NodeId>& slow);
+
+  sim::Simulator* simulator_;
+  net::Transport* transport_;
+  std::vector<net::NodeId> available_;
+  sim::Duration prepare_timeout_;
+  std::map<uint64_t, InFlight> in_flight_;
+  uint64_t next_txn_ = 1;
+  CoordinatorStats stats_;
+};
+
+// --- CATOCS design -------------------------------------------------------------
+
+class CatocsReplica {
+ public:
+  static constexpr uint32_t kAckPort = 0x79000010;
+
+  // Attaches to a group member: every delivered update is applied in the
+  // delivery order, and acked back to the update's primary.
+  CatocsReplica(sim::Simulator* simulator, net::Transport* transport,
+                catocs::GroupMember* member);
+
+  std::optional<double> Read(const std::string& key) const;
+  const std::map<std::string, double>& store() const { return store_; }
+  uint64_t updates_applied() const { return updates_applied_; }
+
+  // Chains another handler to observe deliveries (the replica consumes the
+  // member's delivery handler slot).
+  void SetObserver(catocs::DeliveryHandler observer) { observer_ = std::move(observer); }
+
+ private:
+  void OnDeliver(const catocs::Delivery& delivery);
+
+  sim::Simulator* simulator_;
+  net::Transport* transport_;
+  catocs::GroupMember* member_;
+  std::map<std::string, double> store_;
+  catocs::DeliveryHandler observer_;
+  uint64_t updates_applied_ = 0;
+};
+
+struct CatocsPrimaryStats {
+  uint64_t writes_issued = 0;
+  uint64_t writes_acked = 0;
+};
+
+class CatocsPrimary {
+ public:
+  using DoneFn = std::function<void()>;
+
+  // write_safety_level = number of *remote* replica acknowledgments to wait
+  // for before reporting the write complete (Deceit's "k").
+  CatocsPrimary(sim::Simulator* simulator, net::Transport* transport,
+                catocs::GroupMember* member, int write_safety_level);
+
+  void Write(const std::string& key, double value, DoneFn done);
+
+  const CatocsPrimaryStats& stats() const { return stats_; }
+
+ private:
+  struct AwaitingAcks {
+    int remaining;
+    DoneFn done;
+  };
+
+  void OnAck(net::NodeId replica, const net::PayloadPtr& payload);
+
+  sim::Simulator* simulator_;
+  net::Transport* transport_;
+  catocs::GroupMember* member_;
+  int write_safety_level_;
+  std::map<uint64_t, AwaitingAcks> awaiting_;
+  uint64_t next_update_ = 1;
+  CatocsPrimaryStats stats_;
+};
+
+// Keys whose values differ (or exist on one side only) between two replica
+// stores — the §4.4 consistency check after failures.
+std::vector<std::string> DivergentKeys(const std::map<std::string, double>& a,
+                                       const std::map<std::string, double>& b);
+
+}  // namespace txn
+
+#endif  // REPRO_SRC_TXN_REPLICATED_STORE_H_

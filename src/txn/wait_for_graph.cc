@@ -1,0 +1,96 @@
+#include "src/txn/wait_for_graph.h"
+
+#include <algorithm>
+
+namespace txn {
+
+void WaitForGraph::AddEdge(uint64_t waiter, uint64_t holder) {
+  if (waiter != holder) {
+    out_[waiter].insert(holder);
+    out_.try_emplace(holder);
+  }
+}
+
+void WaitForGraph::RemoveEdge(uint64_t waiter, uint64_t holder) {
+  auto it = out_.find(waiter);
+  if (it != out_.end()) {
+    it->second.erase(holder);
+  }
+}
+
+void WaitForGraph::RemoveNode(uint64_t node) {
+  out_.erase(node);
+  for (auto& [n, targets] : out_) {
+    targets.erase(node);
+  }
+}
+
+void WaitForGraph::ReplaceOutEdges(uint64_t waiter, const std::vector<uint64_t>& holders) {
+  auto& targets = out_[waiter];
+  targets.clear();
+  for (uint64_t holder : holders) {
+    if (holder != waiter) {
+      targets.insert(holder);
+      out_.try_emplace(holder);
+    }
+  }
+}
+
+void WaitForGraph::Clear() { out_.clear(); }
+
+bool WaitForGraph::HasEdge(uint64_t waiter, uint64_t holder) const {
+  auto it = out_.find(waiter);
+  return it != out_.end() && it->second.count(holder) > 0;
+}
+
+size_t WaitForGraph::edge_count() const {
+  size_t count = 0;
+  for (const auto& [node, targets] : out_) {
+    count += targets.size();
+  }
+  return count;
+}
+
+std::optional<std::vector<uint64_t>> WaitForGraph::FindCycle() const {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<uint64_t, Color> color;
+  for (const auto& [node, targets] : out_) {
+    color[node] = Color::kWhite;
+  }
+  std::vector<uint64_t> path;
+
+  // Iterative DFS with an explicit stack of (node, next-neighbor iterator).
+  for (const auto& [start, unused] : out_) {
+    if (color[start] != Color::kWhite) {
+      continue;
+    }
+    std::vector<std::pair<uint64_t, std::set<uint64_t>::const_iterator>> stack;
+    color[start] = Color::kGray;
+    path.push_back(start);
+    stack.emplace_back(start, out_.at(start).begin());
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next == out_.at(node).end()) {
+        color[node] = Color::kBlack;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const uint64_t target = *next;
+      ++next;
+      if (color[target] == Color::kGray) {
+        // Found a cycle: extract the path suffix starting at `target`.
+        auto cycle_start = std::find(path.begin(), path.end(), target);
+        return std::vector<uint64_t>(cycle_start, path.end());
+      }
+      if (color[target] == Color::kWhite) {
+        color[target] = Color::kGray;
+        path.push_back(target);
+        stack.emplace_back(target, out_.at(target).begin());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace txn

@@ -1,0 +1,44 @@
+// Wait-for graph with cycle detection — the core of the paper's preferred
+// deadlock detectors (§4.2, Appendix 9.2). Nodes are transaction/RPC
+// instance ids; an edge a→b means "a waits for b". Detection is a DFS; the
+// paper's key observation is that for 2PL the wait-for property is *locally
+// stable*, so edges may be collected in any order, over any channels, with
+// no consistent cut and no CATOCS — cycles found are real deadlocks.
+
+#ifndef REPRO_SRC_TXN_WAIT_FOR_GRAPH_H_
+#define REPRO_SRC_TXN_WAIT_FOR_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace txn {
+
+class WaitForGraph {
+ public:
+  void AddEdge(uint64_t waiter, uint64_t holder);
+  void RemoveEdge(uint64_t waiter, uint64_t holder);
+  // Removes a node and all its edges (transaction finished/aborted).
+  void RemoveNode(uint64_t node);
+  // Replaces every outgoing edge of `waiter` (used when a process re-reports
+  // its current local waits).
+  void ReplaceOutEdges(uint64_t waiter, const std::vector<uint64_t>& holders);
+  void Clear();
+
+  bool HasEdge(uint64_t waiter, uint64_t holder) const;
+  size_t edge_count() const;
+  size_t node_count() const { return out_.size(); }
+
+  // Any cycle, as the ordered node list [a, b, ..., a-waits-for-first];
+  // nullopt when acyclic.
+  std::optional<std::vector<uint64_t>> FindCycle() const;
+
+ private:
+  std::map<uint64_t, std::set<uint64_t>> out_;
+};
+
+}  // namespace txn
+
+#endif  // REPRO_SRC_TXN_WAIT_FOR_GRAPH_H_

@@ -1,0 +1,138 @@
+// Edge-case and robustness tests for the application scenarios beyond the
+// primary shape checks in apps_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/drilling.h"
+#include "src/apps/netnews.h"
+#include "src/apps/oven.h"
+#include "src/apps/rpc_deadlock.h"
+#include "src/apps/shopfloor.h"
+#include "src/apps/trading.h"
+
+namespace apps {
+namespace {
+
+TEST(ShopFloorEdgeTest, WideRequestGapEliminatesAnomalies) {
+  // If the semantic gap dwarfs the jitter, even raw CATOCS delivery looks
+  // fine — the anomaly is a race, not a constant.
+  ShopFloorConfig config;
+  config.rounds = 100;
+  config.request_gap = sim::Duration::Millis(100);
+  config.latency_hi = sim::Duration::Millis(10);
+  config.round_gap = sim::Duration::Millis(250);
+  config.seed = 91;
+  const ShopFloorResult result = RunShopFloorScenario(config);
+  EXPECT_EQ(result.raw_anomalies, 0);
+}
+
+TEST(TradingEdgeTest, ZeroComputeDelayStillRaces) {
+  TradingConfig config;
+  config.price_updates = 400;
+  config.compute_delay = sim::Duration::Zero();
+  config.seed = 92;
+  const TradingResult result = RunTradingScenario(config);
+  // The theo multicast still departs a network hop behind its base, so
+  // inconsistent pairings remain possible...
+  EXPECT_GT(result.raw_inconsistent_displays, 0u);
+  // ...and the paired display stays clean.
+  EXPECT_EQ(result.paired_false_crossings, 0u);
+}
+
+TEST(OvenEdgeTest, MoreChatterSensorsMoreFalseCausality) {
+  OvenConfig quiet;
+  quiet.strategy = OvenStrategy::kCatocsCausal;
+  quiet.chatter_sensors = 0;
+  quiet.drop_probability = 0.10;
+  quiet.duration = sim::Duration::Seconds(10);
+  quiet.seed = 93;
+  OvenConfig noisy = quiet;
+  noisy.chatter_sensors = 8;
+  const OvenResult quiet_result = RunOvenScenario(quiet);
+  const OvenResult noisy_result = RunOvenScenario(noisy);
+  EXPECT_GT(noisy_result.mean_delivery_delay_us, quiet_result.mean_delivery_delay_us)
+      << "unrelated sensors' losses delay the oven readings (false causality)";
+}
+
+TEST(NetnewsEdgeTest, NoBatchingNoReordering) {
+  // With instantaneous forwarding on FIFO links a response can never
+  // overtake its inquiry: the inquiry always flooded first on every link.
+  NetnewsConfig config;
+  config.strategy = NewsStrategy::kFloodingRaw;
+  config.inquiries = 80;
+  config.forward_delay_max = sim::Duration::Zero();
+  config.seed = 94;
+  const NetnewsResult result = RunNetnewsScenario(config);
+  EXPECT_EQ(result.out_of_order_displays, 0);
+}
+
+TEST(NetnewsEdgeTest, LossyCatocsStillOrdersInquiryResponse) {
+  NetnewsConfig config;
+  config.strategy = NewsStrategy::kCatocsGroup;
+  config.inquiries = 60;
+  config.drop_probability = 0.1;
+  config.seed = 95;
+  const NetnewsResult result = RunNetnewsScenario(config);
+  EXPECT_EQ(result.out_of_order_displays, 0);
+  EXPECT_GT(result.responses, 0);
+}
+
+TEST(DrillingEdgeTest, SingleDrillerDegeneratesGracefully) {
+  for (DrillStrategy strategy :
+       {DrillStrategy::kCatocsDistributed, DrillStrategy::kCentralController}) {
+    DrillingConfig config;
+    config.strategy = strategy;
+    config.drillers = 1;
+    config.holes = 10;
+    config.seed = 96;
+    const DrillingResult result = RunDrillingScenario(config);
+    EXPECT_EQ(result.holes_completed, 10) << static_cast<int>(strategy);
+    EXPECT_TRUE(result.all_accounted);
+  }
+}
+
+TEST(DrillingEdgeTest, LateCrashLeavesSmallChecklist) {
+  DrillingConfig config;
+  config.strategy = DrillStrategy::kCatocsDistributed;
+  config.drillers = 4;
+  config.holes = 40;
+  // Crash near the end: most of the victim's holes are already done.
+  config.crash_driller_at = sim::Duration::Millis(350);
+  config.seed = 97;
+  const DrillingResult result = RunDrillingScenario(config);
+  EXPECT_TRUE(result.all_accounted);
+  EXPECT_LE(result.checklist_size, 5);
+  EXPECT_EQ(result.holes_double_drilled, 0);
+}
+
+TEST(RpcDeadlockEdgeTest, NoInjectionsNoDetections) {
+  for (DeadlockDetectorKind kind :
+       {DeadlockDetectorKind::kVanRenesseCausal, DeadlockDetectorKind::kWaitForMulticast}) {
+    RpcDeadlockConfig config;
+    config.detector = kind;
+    config.processes = 5;
+    config.background_calls = 200;
+    config.injected_deadlocks = 0;
+    config.seed = 98;
+    const RpcDeadlockResult result = RunRpcDeadlockScenario(config);
+    EXPECT_EQ(result.detected, 0) << static_cast<int>(kind);
+    EXPECT_EQ(result.false_positives, 0) << static_cast<int>(kind);
+    EXPECT_GT(result.app_calls_completed, 0u);
+  }
+}
+
+TEST(RpcDeadlockEdgeTest, BackToBackDeadlocksAllDetected) {
+  RpcDeadlockConfig config;
+  config.detector = DeadlockDetectorKind::kWaitForMulticast;
+  config.processes = 6;
+  config.background_calls = 100;
+  config.injected_deadlocks = 8;
+  config.injection_spacing = sim::Duration::Millis(300);
+  config.seed = 99;
+  const RpcDeadlockResult result = RunRpcDeadlockScenario(config);
+  EXPECT_EQ(result.detected, 8);
+  EXPECT_EQ(result.false_positives, 0);
+}
+
+}  // namespace
+}  // namespace apps

@@ -1,0 +1,298 @@
+// Scenario tests: each paper figure's anomaly must be reproducible under
+// CATOCS and impossible under the corresponding state-level technique, and
+// the appendix designs must be correct under both strategies. These are the
+// qualitative shape checks behind the benches in bench/.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/drilling.h"
+#include "src/apps/firealarm.h"
+#include "src/apps/netnews.h"
+#include "src/apps/oven.h"
+#include "src/apps/rpc_deadlock.h"
+#include "src/apps/shopfloor.h"
+#include "src/apps/trading.h"
+
+namespace apps {
+namespace {
+
+// --- Figure 2 -----------------------------------------------------------------
+
+TEST(ShopFloorTest, HiddenChannelAnomalyUnderCausalMulticast) {
+  ShopFloorConfig config;
+  config.rounds = 150;
+  config.seed = 11;
+  const ShopFloorResult result = RunShopFloorScenario(config);
+  EXPECT_GT(result.raw_anomalies, 0)
+      << "with 1-10ms jitter and a 5ms request gap, some rounds must reorder";
+  EXPECT_LT(result.raw_anomalies, result.rounds) << "and some must not";
+  EXPECT_EQ(result.filtered_anomalies, 0) << "version numbers repair every case";
+  EXPECT_GE(result.stale_drops, static_cast<uint64_t>(result.raw_anomalies))
+      << "each raw anomaly corresponds to a stale update the cache dropped";
+}
+
+TEST(ShopFloorTest, TotalOrderDoesNotHelp) {
+  ShopFloorConfig config;
+  config.rounds = 150;
+  config.mode = catocs::OrderingMode::kTotal;
+  config.seed = 12;
+  const ShopFloorResult result = RunShopFloorScenario(config);
+  EXPECT_GT(result.raw_anomalies, 0)
+      << "total order agrees on *an* order, not the semantically right one";
+  EXPECT_EQ(result.filtered_anomalies, 0);
+}
+
+TEST(ShopFloorTest, AnomalyRateGrowsWithJitter) {
+  ShopFloorConfig calm;
+  calm.rounds = 150;
+  calm.latency_hi = sim::Duration::Millis(2);
+  calm.seed = 13;
+  ShopFloorConfig wild = calm;
+  wild.latency_hi = sim::Duration::Millis(25);
+  const int calm_anomalies = RunShopFloorScenario(calm).raw_anomalies;
+  const int wild_anomalies = RunShopFloorScenario(wild).raw_anomalies;
+  EXPECT_GT(wild_anomalies, calm_anomalies);
+}
+
+// --- Figure 3 -----------------------------------------------------------------
+
+TEST(FireAlarmTest, ExternalChannelAnomalyUnderCausalMulticast) {
+  FireAlarmConfig config;
+  config.rounds = 150;
+  config.seed = 21;
+  const FireAlarmResult result = RunFireAlarmScenario(config);
+  EXPECT_GT(result.raw_anomalies, 0) << "'fire out' can arrive last";
+  EXPECT_EQ(result.timestamp_anomalies, 0)
+      << "synchronized timestamps order the reports correctly";
+}
+
+TEST(FireAlarmTest, TotalOrderAlsoAnomalous) {
+  FireAlarmConfig config;
+  config.rounds = 150;
+  config.mode = catocs::OrderingMode::kTotal;
+  config.seed = 22;
+  const FireAlarmResult result = RunFireAlarmScenario(config);
+  EXPECT_GT(result.raw_anomalies, 0);
+  EXPECT_EQ(result.timestamp_anomalies, 0);
+}
+
+TEST(FireAlarmTest, ClockSyncErrorIsBounded) {
+  FireAlarmConfig config;
+  config.rounds = 50;
+  config.seed = 23;
+  const FireAlarmResult result = RunFireAlarmScenario(config);
+  // Half-RTT bound with <= 15ms one-way latency.
+  EXPECT_LT(result.clock_error_bound_us, 16'000.0);
+  EXPECT_GT(result.clock_error_bound_us, 0.0);
+}
+
+// --- Figure 4 -----------------------------------------------------------------
+
+TEST(TradingTest, FalseCrossingsUnderCausalMulticast) {
+  TradingConfig config;
+  config.price_updates = 400;
+  config.seed = 31;
+  const TradingResult result = RunTradingScenario(config);
+  EXPECT_GT(result.raw_inconsistent_displays, 0u)
+      << "theo(v) delivered after opt(v+1) must occur";
+  EXPECT_GT(result.raw_false_crossings, 0u) << "and sometimes invert the displayed relation";
+  EXPECT_EQ(result.paired_false_crossings, 0u)
+      << "dependency-paired display can never invert the relation";
+}
+
+TEST(TradingTest, TotalOrderCannotExpressTheConstraint) {
+  TradingConfig config;
+  config.price_updates = 400;
+  config.mode = catocs::OrderingMode::kTotal;
+  config.seed = 32;
+  const TradingResult result = RunTradingScenario(config);
+  EXPECT_GT(result.raw_inconsistent_displays, 0u);
+  EXPECT_EQ(result.paired_false_crossings, 0u);
+}
+
+TEST(TradingTest, PairedDisplayLagsButStaysConsistent) {
+  TradingConfig config;
+  config.price_updates = 300;
+  config.seed = 33;
+  const TradingResult result = RunTradingScenario(config);
+  EXPECT_GT(result.paired_lagging_displays, 0u)
+      << "consistency is paid for in staleness, not wrongness";
+}
+
+// --- §4.6 oven monitoring -------------------------------------------------------
+
+TEST(OvenTest, TimestampFreshestTracksBetterUnderLoss) {
+  OvenConfig catocs_config;
+  catocs_config.strategy = OvenStrategy::kCatocsCausal;
+  catocs_config.duration = sim::Duration::Seconds(10);
+  catocs_config.drop_probability = 0.10;
+  catocs_config.seed = 41;
+  OvenConfig fresh_config = catocs_config;
+  fresh_config.strategy = OvenStrategy::kTimestampFreshest;
+  const OvenResult catocs_result = RunOvenScenario(catocs_config);
+  const OvenResult fresh_result = RunOvenScenario(fresh_config);
+  EXPECT_GT(catocs_result.readings_applied, 0u);
+  EXPECT_GT(fresh_result.readings_applied, 0u);
+  EXPECT_LT(fresh_result.mean_abs_error, catocs_result.mean_abs_error)
+      << "freshest-timestamp delivery tracks the oven better";
+  EXPECT_LT(fresh_result.mean_delivery_delay_us, catocs_result.mean_delivery_delay_us);
+}
+
+TEST(OvenTest, StrategiesComparableWithoutLoss) {
+  OvenConfig catocs_config;
+  catocs_config.strategy = OvenStrategy::kCatocsCausal;
+  catocs_config.duration = sim::Duration::Seconds(5);
+  catocs_config.drop_probability = 0.0;
+  catocs_config.seed = 42;
+  OvenConfig fresh_config = catocs_config;
+  fresh_config.strategy = OvenStrategy::kTimestampFreshest;
+  const OvenResult catocs_result = RunOvenScenario(catocs_config);
+  const OvenResult fresh_result = RunOvenScenario(fresh_config);
+  // Without loss the gap shrinks: CATOCS pays only its ordering machinery.
+  EXPECT_LT(catocs_result.mean_abs_error, 3.0 * fresh_result.mean_abs_error + 1.0);
+}
+
+// --- §4.1 netnews ---------------------------------------------------------------
+
+TEST(NetnewsTest, FloodingShowsResponsesBeforeInquiries) {
+  NetnewsConfig config;
+  config.strategy = NewsStrategy::kFloodingRaw;
+  config.inquiries = 80;
+  config.seed = 51;
+  const NetnewsResult result = RunNetnewsScenario(config);
+  EXPECT_GT(result.responses, 0);
+  EXPECT_GT(result.out_of_order_displays, 0);
+}
+
+TEST(NetnewsTest, ReferencesFieldRepairsOrdering) {
+  NetnewsConfig config;
+  config.strategy = NewsStrategy::kFloodingReferences;
+  config.inquiries = 80;
+  config.seed = 51;  // same workload as the raw run
+  const NetnewsResult result = RunNetnewsScenario(config);
+  EXPECT_EQ(result.out_of_order_displays, 0);
+  EXPECT_GT(result.gate_holds, 0u) << "the gate must actually have repaired something";
+}
+
+TEST(NetnewsTest, CatocsGroupAlsoOrdersButCostsMore) {
+  NetnewsConfig flood;
+  flood.strategy = NewsStrategy::kFloodingRaw;
+  flood.inquiries = 60;
+  flood.seed = 52;
+  NetnewsConfig group = flood;
+  group.strategy = NewsStrategy::kCatocsGroup;
+  const NetnewsResult flood_result = RunNetnewsScenario(flood);
+  const NetnewsResult group_result = RunNetnewsScenario(group);
+  EXPECT_EQ(group_result.out_of_order_displays, 0)
+      << "responses causally follow inquiries in the group";
+  EXPECT_GT(group_result.network_bytes, 0u);
+  EXPECT_GT(flood_result.network_bytes, 0u);
+}
+
+// --- Appendix 9.1 drilling --------------------------------------------------------
+
+TEST(DrillingTest, BothStrategiesDrillEveryHoleOnce) {
+  for (DrillStrategy strategy :
+       {DrillStrategy::kCatocsDistributed, DrillStrategy::kCentralController}) {
+    DrillingConfig config;
+    config.strategy = strategy;
+    config.holes = 60;
+    config.drillers = 4;
+    config.seed = 61;
+    const DrillingResult result = RunDrillingScenario(config);
+    EXPECT_EQ(result.holes_completed, 60) << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(result.holes_double_drilled, 0);
+    EXPECT_EQ(result.checklist_size, 0);
+    EXPECT_TRUE(result.all_accounted);
+  }
+}
+
+TEST(DrillingTest, CrashProducesChecklistNotDoubleDrilling) {
+  for (DrillStrategy strategy :
+       {DrillStrategy::kCatocsDistributed, DrillStrategy::kCentralController}) {
+    DrillingConfig config;
+    config.strategy = strategy;
+    config.holes = 60;
+    config.drillers = 4;
+    config.crash_driller_at = sim::Duration::Millis(200);
+    config.seed = 62;
+    const DrillingResult result = RunDrillingScenario(config);
+    EXPECT_EQ(result.holes_double_drilled, 0) << "strategy " << static_cast<int>(strategy);
+    EXPECT_GT(result.checklist_size, 0);
+    EXPECT_TRUE(result.all_accounted)
+        << "strategy " << static_cast<int>(strategy) << ": completed " << result.holes_completed
+        << " + checklist " << result.checklist_size << " != " << result.holes;
+  }
+}
+
+TEST(DrillingTest, CatocsTrafficExceedsCentral) {
+  DrillingConfig catocs_config;
+  catocs_config.strategy = DrillStrategy::kCatocsDistributed;
+  catocs_config.holes = 60;
+  catocs_config.drillers = 6;
+  catocs_config.seed = 63;
+  DrillingConfig central_config = catocs_config;
+  central_config.strategy = DrillStrategy::kCentralController;
+  const DrillingResult catocs_result = RunDrillingScenario(catocs_config);
+  const DrillingResult central_result = RunDrillingScenario(central_config);
+  EXPECT_GT(catocs_result.app_messages, central_result.app_messages)
+      << "completion multicasts fan out to the whole group";
+}
+
+// --- Appendix 9.2 RPC deadlock ------------------------------------------------------
+
+TEST(RpcDeadlockTest, BothDetectorsFindAllInjectedDeadlocks) {
+  for (DeadlockDetectorKind kind :
+       {DeadlockDetectorKind::kVanRenesseCausal, DeadlockDetectorKind::kWaitForMulticast}) {
+    RpcDeadlockConfig config;
+    config.detector = kind;
+    config.processes = 5;
+    config.background_calls = 150;
+    config.injected_deadlocks = 4;
+    config.seed = 71;
+    const RpcDeadlockResult result = RunRpcDeadlockScenario(config);
+    EXPECT_EQ(result.detected, result.injected) << "detector " << static_cast<int>(kind);
+    EXPECT_EQ(result.false_positives, 0) << "detector " << static_cast<int>(kind);
+    EXPECT_GT(result.mean_detection_latency_ms, 0.0);
+  }
+}
+
+TEST(RpcDeadlockTest, VanRenesseCostsMoreThanWaitForReports) {
+  RpcDeadlockConfig base;
+  base.processes = 5;
+  base.background_calls = 150;
+  base.injected_deadlocks = 3;
+  base.seed = 72;
+  RpcDeadlockConfig none = base;
+  none.detector = DeadlockDetectorKind::kNone;
+  RpcDeadlockConfig vr = base;
+  vr.detector = DeadlockDetectorKind::kVanRenesseCausal;
+  RpcDeadlockConfig wf = base;
+  wf.detector = DeadlockDetectorKind::kWaitForMulticast;
+  const RpcDeadlockResult none_result = RunRpcDeadlockScenario(none);
+  const RpcDeadlockResult vr_result = RunRpcDeadlockScenario(vr);
+  const RpcDeadlockResult wf_result = RunRpcDeadlockScenario(wf);
+  const uint64_t vr_cost = vr_result.network_bytes - none_result.network_bytes;
+  const uint64_t wf_cost = wf_result.network_bytes - none_result.network_bytes;
+  EXPECT_GT(vr_result.network_bytes, none_result.network_bytes);
+  EXPECT_GT(wf_result.network_bytes, none_result.network_bytes);
+  EXPECT_GT(vr_cost, 2 * wf_cost)
+      << "two causal multicasts per RPC dwarf periodic wait-for reports";
+}
+
+TEST(RpcDeadlockTest, UndetectedDeadlocksClearOnlyByRescueTimeout) {
+  RpcDeadlockConfig config;
+  config.detector = DeadlockDetectorKind::kNone;
+  config.processes = 4;
+  config.background_calls = 50;
+  config.injected_deadlocks = 2;
+  config.rescue_timeout = sim::Duration::Seconds(1);
+  config.seed = 73;
+  const RpcDeadlockResult result = RunRpcDeadlockScenario(config);
+  EXPECT_EQ(result.detected, 0);
+  // All calls still complete eventually (the rescue fired).
+  EXPECT_GT(result.app_calls_completed, 50u);
+}
+
+}  // namespace
+}  // namespace apps

@@ -1,0 +1,108 @@
+// Meta-tests: the ordering oracles used throughout the suite must actually
+// detect violations when fed bad histories, or every "invariant holds" test
+// is vacuous.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/catocs/group.h"
+
+namespace catocs {
+namespace {
+
+GroupFabric::Record MakeRecord(MemberId at, MemberId sender, uint64_t seq, OrderingMode mode,
+                               uint64_t total_seq, const VectorClock& vt) {
+  GroupFabric::Record record;
+  record.at = at;
+  record.delivery.id = MessageId{sender, seq};
+  record.delivery.mode = mode;
+  record.delivery.total_seq = total_seq;
+  record.delivery.vt = vt;
+  record.delivery.payload = std::make_shared<net::BlobPayload>("x", 8);
+  return record;
+}
+
+TEST(CheckerTest, CausalCheckerAcceptsGoodHistory) {
+  VectorClock vt1;
+  vt1.Set(1, 1);
+  VectorClock vt2 = vt1;
+  vt2.Set(2, 1);
+  std::vector<GroupFabric::Record> records{
+      MakeRecord(3, 1, 1, OrderingMode::kCausal, 0, vt1),
+      MakeRecord(3, 2, 1, OrderingMode::kCausal, 0, vt2),
+  };
+  EXPECT_EQ(CheckCausalDeliveryInvariant(records), "");
+}
+
+TEST(CheckerTest, CausalCheckerDetectsInversion) {
+  VectorClock vt1;
+  vt1.Set(1, 1);
+  VectorClock vt2 = vt1;
+  vt2.Set(2, 1);  // message 2 happens-after message 1
+  std::vector<GroupFabric::Record> records{
+      MakeRecord(3, 2, 1, OrderingMode::kCausal, 0, vt2),  // delivered first: violation
+      MakeRecord(3, 1, 1, OrderingMode::kCausal, 0, vt1),
+  };
+  EXPECT_NE(CheckCausalDeliveryInvariant(records), "");
+}
+
+TEST(CheckerTest, CausalCheckerIgnoresConcurrentOrder) {
+  VectorClock vta;
+  vta.Set(1, 1);
+  VectorClock vtb;
+  vtb.Set(2, 1);
+  std::vector<GroupFabric::Record> either_order{
+      MakeRecord(3, 2, 1, OrderingMode::kCausal, 0, vtb),
+      MakeRecord(3, 1, 1, OrderingMode::kCausal, 0, vta),
+  };
+  EXPECT_EQ(CheckCausalDeliveryInvariant(either_order), "");
+}
+
+TEST(CheckerTest, FifoCheckerDetectsPerSenderReorder) {
+  VectorClock vt1;
+  vt1.Set(1, 1);
+  VectorClock vt2;
+  vt2.Set(1, 2);
+  std::vector<GroupFabric::Record> records{
+      MakeRecord(3, 1, 2, OrderingMode::kCausal, 0, vt2),
+      MakeRecord(3, 1, 1, OrderingMode::kCausal, 0, vt1),
+  };
+  EXPECT_NE(CheckFifoInvariant(records), "");
+}
+
+TEST(CheckerTest, TotalCheckerDetectsDisagreement) {
+  VectorClock vt;
+  std::vector<GroupFabric::Record> records{
+      MakeRecord(1, 1, 1, OrderingMode::kTotal, 1, vt),
+      MakeRecord(1, 2, 1, OrderingMode::kTotal, 2, vt),
+      // member 2 saw them in the opposite sequence assignment:
+      MakeRecord(2, 2, 1, OrderingMode::kTotal, 1, vt),
+      MakeRecord(2, 1, 1, OrderingMode::kTotal, 2, vt),
+  };
+  EXPECT_NE(CheckTotalOrderInvariant(records), "");
+}
+
+TEST(CheckerTest, TotalCheckerDetectsNonMonotoneDelivery) {
+  VectorClock vt;
+  std::vector<GroupFabric::Record> records{
+      MakeRecord(1, 1, 1, OrderingMode::kTotal, 2, vt),
+      MakeRecord(1, 2, 1, OrderingMode::kTotal, 1, vt),  // delivered later, smaller seq
+  };
+  EXPECT_NE(CheckTotalOrderInvariant(records), "");
+}
+
+TEST(CheckerTest, UnorderedRecordsAreExemptEverywhere) {
+  VectorClock vt1;
+  vt1.Set(1, 5);
+  std::vector<GroupFabric::Record> records{
+      MakeRecord(1, 1, 5, OrderingMode::kUnordered, 0, vt1),
+      MakeRecord(1, 1, 1, OrderingMode::kUnordered, 0, VectorClock{}),
+  };
+  EXPECT_EQ(CheckCausalDeliveryInvariant(records), "");
+  EXPECT_EQ(CheckFifoInvariant(records), "");
+  EXPECT_EQ(CheckTotalOrderInvariant(records), "");
+}
+
+}  // namespace
+}  // namespace catocs

@@ -1,0 +1,175 @@
+// Tests for dynamic group join: a new member joins through the flush
+// protocol, adopts the delivery cut, and participates fully afterwards.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catocs/group.h"
+#include "src/sim/simulator.h"
+
+namespace catocs {
+namespace {
+
+net::PayloadPtr Blob(const std::string& tag) {
+  return std::make_shared<net::BlobPayload>(tag, 32);
+}
+
+std::string TagOf(const Delivery& d) {
+  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload);
+  return blob ? blob->tag() : "?";
+}
+
+// Harness: a 3-member fabric plus a joiner (id 9) on the same network.
+struct JoinRig {
+  sim::Simulator s;
+  GroupFabric fabric;
+  net::Transport joiner_transport;
+  GroupMember joiner;
+
+  static FabricConfig Config() {
+    FabricConfig cfg;
+    cfg.num_members = 3;
+    cfg.group.enable_membership = true;
+    cfg.group.heartbeat_interval = sim::Duration::Millis(20);
+    cfg.group.failure_timeout = sim::Duration::Millis(120);
+    return cfg;
+  }
+
+  explicit JoinRig(uint64_t seed)
+      : s(seed),
+        fabric(&s, Config()),
+        joiner_transport(&s, &fabric.network(), 9),
+        joiner(&s, &joiner_transport, Config().group, 9, {9}) {}
+};
+
+TEST(JoinTest, JoinerInstallsViewWithEveryone) {
+  JoinRig rig(1);
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  rig.s.ScheduleAfter(sim::Duration::Millis(100), [&] { rig.joiner.JoinGroup(1); });
+  rig.s.RunFor(sim::Duration::Seconds(3));
+  EXPECT_EQ(rig.joiner.view().members, (std::vector<MemberId>{1, 2, 3, 9}));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.fabric.member(i).view().members, (std::vector<MemberId>{1, 2, 3, 9}))
+        << "member " << i;
+  }
+}
+
+TEST(JoinTest, JoinerReceivesPostJoinTrafficOnly) {
+  JoinRig rig(2);
+  std::vector<std::string> at_joiner;
+  rig.joiner.SetDeliveryHandler([&](const Delivery& d) { at_joiner.push_back(TagOf(d)); });
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  // Pre-join traffic: history the joiner must never see.
+  for (int k = 0; k < 5; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(10 + k), [&rig, k] {
+      rig.fabric.member(k % 3).CausalSend(Blob("old"));
+    });
+  }
+  rig.s.ScheduleAfter(sim::Duration::Millis(300), [&] { rig.joiner.JoinGroup(2); });
+  // Post-join traffic.
+  for (int k = 0; k < 5; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(900 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 3).CausalSend(Blob("new"));
+    });
+  }
+  rig.s.RunFor(sim::Duration::Seconds(5));
+  int old_count = 0;
+  int new_count = 0;
+  for (const auto& tag : at_joiner) {
+    (tag == "old" ? old_count : new_count)++;
+  }
+  EXPECT_EQ(old_count, 0) << "the joiner adopts the cut; history is the app's problem";
+  EXPECT_EQ(new_count, 5);
+}
+
+TEST(JoinTest, JoinerCanSendAfterJoin) {
+  JoinRig rig(3);
+  std::vector<std::string> at_member0;
+  rig.fabric.member(0).SetDeliveryHandler([&](const Delivery& d) {
+    at_member0.push_back(TagOf(d));
+  });
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  rig.s.ScheduleAfter(sim::Duration::Millis(100), [&] { rig.joiner.JoinGroup(1); });
+  // Send while still joining: must queue, then flow after the view installs.
+  rig.s.ScheduleAfter(sim::Duration::Millis(120), [&] { rig.joiner.CausalSend(Blob("hello")); });
+  rig.s.RunFor(sim::Duration::Seconds(3));
+  ASSERT_EQ(at_member0.size(), 1u);
+  EXPECT_EQ(at_member0[0], "hello");
+}
+
+TEST(JoinTest, InvariantsHoldAcrossJoinMidTraffic) {
+  JoinRig rig(4);
+  std::vector<GroupFabric::Record> records;
+  for (size_t i = 0; i < 3; ++i) {
+    rig.fabric.member(i).SetDeliveryHandler([&records, i](const Delivery& d) {
+      records.push_back({GroupFabric::IdOf(i), d});
+    });
+  }
+  rig.joiner.SetDeliveryHandler([&records](const Delivery& d) { records.push_back({9, d}); });
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  for (int k = 0; k < 30; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(10 * k + 5), [&rig, k] {
+      rig.fabric.member(k % 3).Send(k % 2 == 0 ? OrderingMode::kCausal : OrderingMode::kTotal,
+                                    Blob("t" + std::to_string(k)));
+    });
+  }
+  rig.s.ScheduleAfter(sim::Duration::Millis(150), [&] { rig.joiner.JoinGroup(1); });
+  rig.s.RunFor(sim::Duration::Seconds(5));
+  EXPECT_EQ(CheckCausalDeliveryInvariant(records), "");
+  EXPECT_EQ(CheckFifoInvariant(records), "");
+  EXPECT_EQ(CheckTotalOrderInvariant(records), "");
+}
+
+TEST(JoinTest, StabilityDrainsWithJoinerInTheLoop) {
+  JoinRig rig(5);
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  rig.s.ScheduleAfter(sim::Duration::Millis(100), [&] { rig.joiner.JoinGroup(1); });
+  for (int k = 0; k < 10; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(800 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 3).CausalSend(Blob("m"));
+    });
+  }
+  rig.s.RunFor(sim::Duration::Seconds(5));
+  // With the joiner acking, everything becomes stable and buffers drain.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.fabric.member(i).buffered_messages(), 0u) << "member " << i;
+  }
+  EXPECT_EQ(rig.joiner.buffered_messages(), 0u);
+}
+
+TEST(JoinTest, TwoJoinersBothEndUpInTheView) {
+  JoinRig rig(6);
+  net::Transport second_transport(&rig.s, &rig.fabric.network(), 10);
+  GroupMember second(&rig.s, &second_transport, JoinRig::Config().group, 10, {10});
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  second.Start();
+  rig.s.ScheduleAfter(sim::Duration::Millis(100), [&] { rig.joiner.JoinGroup(1); });
+  rig.s.ScheduleAfter(sim::Duration::Millis(600), [&] { second.JoinGroup(2); });
+  rig.s.RunFor(sim::Duration::Seconds(4));
+  EXPECT_EQ(rig.fabric.member(0).view().members, (std::vector<MemberId>{1, 2, 3, 9, 10}));
+  EXPECT_EQ(rig.joiner.view().members, (std::vector<MemberId>{1, 2, 3, 9, 10}));
+  EXPECT_EQ(second.view().members, (std::vector<MemberId>{1, 2, 3, 9, 10}));
+}
+
+TEST(JoinTest, JoinAndCrashInterleaved) {
+  JoinRig rig(7);
+  rig.fabric.StartAll();
+  rig.joiner.Start();
+  rig.s.ScheduleAfter(sim::Duration::Millis(100), [&] { rig.joiner.JoinGroup(1); });
+  rig.s.ScheduleAfter(sim::Duration::Millis(800), [&] { rig.fabric.CrashMember(2); });
+  rig.s.RunFor(sim::Duration::Seconds(4));
+  EXPECT_EQ(rig.fabric.member(0).view().members, (std::vector<MemberId>{1, 2, 9}));
+  EXPECT_EQ(rig.joiner.view().members, (std::vector<MemberId>{1, 2, 9}));
+}
+
+}  // namespace
+}  // namespace catocs

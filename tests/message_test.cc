@@ -1,0 +1,104 @@
+// Wire-size accounting tests: E12's overhead claims rest on this arithmetic,
+// so it is locked down here. Also covers payload plumbing (piggyback
+// stripping, describe strings, flush message sizing).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/catocs/message.h"
+
+namespace catocs {
+namespace {
+
+net::PayloadPtr Blob(size_t size) { return std::make_shared<net::BlobPayload>("b", size); }
+
+GroupDataPtr MakeData(MemberId sender, uint64_t seq, size_t vt_entries, size_t ack_entries,
+                      size_t payload_bytes) {
+  VectorClock vt;
+  for (MemberId m = 1; m <= vt_entries; ++m) {
+    vt.Set(m, m);
+  }
+  auto data = std::make_shared<GroupData>(1, MessageId{sender, seq}, OrderingMode::kCausal, vt,
+                                          Blob(payload_bytes), sim::TimePoint::Zero());
+  std::map<MemberId, uint64_t> acks;
+  for (MemberId m = 1; m <= ack_entries; ++m) {
+    acks[m] = m;
+  }
+  data->set_acks(acks);
+  return data;
+}
+
+TEST(MessageSizeTest, GroupDataHeaderGrowsLinearlyWithGroupSize) {
+  const auto small = MakeData(1, 1, 4, 4, 100);
+  const auto large = MakeData(1, 1, 64, 64, 100);
+  EXPECT_EQ(small->HeaderBytes(), 17 + 4 * VectorClock::kEntryBytes + 4 * VectorClock::kEntryBytes);
+  EXPECT_EQ(large->HeaderBytes(),
+            17 + 64 * VectorClock::kEntryBytes + 64 * VectorClock::kEntryBytes);
+  // Payload is unaffected by group size.
+  EXPECT_EQ(small->SizeBytes(), large->SizeBytes());
+}
+
+TEST(MessageSizeTest, PiggybackCountsTowardSizeNotHeader) {
+  auto main_msg = MakeData(1, 2, 2, 0, 100);
+  auto predecessor = MakeData(2, 1, 2, 0, 50);
+  auto carrying = std::make_shared<GroupData>(*main_msg);
+  carrying->set_piggyback({predecessor});
+  EXPECT_EQ(carrying->SizeBytes(),
+            100 + 50 + predecessor->HeaderBytes());
+  EXPECT_EQ(carrying->HeaderBytes(), main_msg->HeaderBytes());
+}
+
+TEST(MessageSizeTest, StripPiggybackPreservesEverythingElse) {
+  auto main_msg = MakeData(1, 2, 3, 2, 100);
+  auto predecessor = MakeData(2, 1, 1, 0, 50);
+  auto carrying = std::make_shared<GroupData>(*main_msg);
+  carrying->set_piggyback({predecessor});
+  GroupDataPtr stripped = StripPiggyback(carrying);
+  EXPECT_TRUE(stripped->piggyback().empty());
+  EXPECT_EQ(stripped->id(), main_msg->id());
+  EXPECT_EQ(stripped->SizeBytes(), 100u);
+  EXPECT_EQ(stripped->HeaderBytes(), main_msg->HeaderBytes());
+  EXPECT_EQ(stripped->acks().size(), 2u);
+  // No piggyback -> same object comes back (no needless copies).
+  GroupDataPtr plain = StripPiggyback(stripped);
+  EXPECT_EQ(plain.get(), stripped.get());
+}
+
+TEST(MessageSizeTest, FlushStateChargesUnstableMessagesInFull) {
+  std::vector<GroupDataPtr> unstable{MakeData(1, 1, 2, 0, 100), MakeData(2, 1, 2, 0, 200)};
+  const size_t msg_cost = (100 + unstable[0]->HeaderBytes()) + (200 + unstable[1]->HeaderBytes());
+  FlushState state(1, 2, {{1, 1}, {2, 1}}, unstable, {{MessageId{1, 1}, 1}}, 1);
+  EXPECT_EQ(state.SizeBytes(), 2 * VectorClock::kEntryBytes + 1 * 20 + 8 + msg_cost);
+}
+
+TEST(MessageSizeTest, ViewInstallChargesMissingAndAssignments) {
+  std::vector<GroupDataPtr> missing{MakeData(1, 1, 1, 0, 64)};
+  ViewInstall install(1, 2, {1, 2, 3}, missing, {{MessageId{1, 1}, 1}, {MessageId{2, 1}, 2}}, 3,
+                      {{1, 1}});
+  EXPECT_EQ(install.SizeBytes(),
+            20 + 3 * 4 + 2 * 20 + (64 + missing[0]->HeaderBytes()));
+}
+
+TEST(MessageSizeTest, OrderTokenGrowsWithCarriedAssignments) {
+  OrderToken empty(1, 5, {});
+  EXPECT_EQ(empty.SizeBytes(), 12u);
+  std::map<MessageId, uint64_t> assignments;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    assignments[MessageId{1, i}] = i;
+  }
+  OrderToken loaded(1, 11, assignments);
+  EXPECT_EQ(loaded.SizeBytes(), 12u + 10 * 20);
+}
+
+TEST(MessageDescribeTest, HumanReadableForms) {
+  EXPECT_EQ((MessageId{3, 7}).ToString(), "3#7");
+  auto data = MakeData(3, 7, 1, 0, 10);
+  EXPECT_NE(data->Describe().find("causal"), std::string::npos);
+  EXPECT_NE(data->Describe().find("3#7"), std::string::npos);
+  EXPECT_STREQ(ToString(OrderingMode::kTotal), "total");
+  EXPECT_STREQ(ToString(OrderingMode::kUnordered), "unordered");
+}
+
+}  // namespace
+}  // namespace catocs

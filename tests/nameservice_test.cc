@@ -1,0 +1,75 @@
+// Tests for the §4.5 name service scenario (E14).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/nameservice.h"
+
+namespace apps {
+namespace {
+
+TEST(NameServiceTest, OptimisticConvergesWithoutPartition) {
+  NameServiceConfig config;
+  config.strategy = NameServiceStrategy::kOptimisticAntiEntropy;
+  config.bindings = 150;
+  config.partition_duration = sim::Duration::Zero();
+  config.seed = 1;
+  const NameServiceResult result = RunNameServiceScenario(config);
+  EXPECT_EQ(result.accepted_immediately, result.bindings_attempted);
+  EXPECT_EQ(result.stalled, 0);
+  EXPECT_TRUE(result.converged) << result.divergent_names << " divergent names";
+}
+
+TEST(NameServiceTest, OptimisticStaysAvailableThroughPartitionAndConverges) {
+  NameServiceConfig config;
+  config.strategy = NameServiceStrategy::kOptimisticAntiEntropy;
+  config.bindings = 200;
+  config.partition_start = sim::Duration::Millis(500);
+  config.partition_duration = sim::Duration::Seconds(1);
+  config.seed = 2;
+  const NameServiceResult result = RunNameServiceScenario(config);
+  EXPECT_EQ(result.accepted_immediately, result.bindings_attempted)
+      << "every site keeps accepting bindings locally";
+  EXPECT_TRUE(result.converged) << result.divergent_names << " divergent names after heal";
+}
+
+TEST(NameServiceTest, OptimisticResolvesDuplicateBindingsByUndo) {
+  NameServiceConfig config;
+  config.strategy = NameServiceStrategy::kOptimisticAntiEntropy;
+  config.bindings = 300;
+  config.conflict_fraction = 0.15;  // plenty of deliberate duplicates
+  config.partition_duration = sim::Duration::Zero();
+  config.seed = 3;
+  const NameServiceResult result = RunNameServiceScenario(config);
+  EXPECT_GT(result.conflicts_undone, 0) << "duplicates must actually occur and be undone";
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(NameServiceTest, CatocsNeverUndoesButStallsDuringPartition) {
+  NameServiceConfig config;
+  config.strategy = NameServiceStrategy::kCatocsTotalOrder;
+  config.bindings = 200;
+  config.partition_start = sim::Duration::Millis(500);
+  config.partition_duration = sim::Duration::Seconds(1);
+  config.seed = 4;
+  const NameServiceResult result = RunNameServiceScenario(config);
+  EXPECT_EQ(result.conflicts_undone, 0);
+  EXPECT_GT(result.stalled, 0) << "sites cut off from the sequencer must stall";
+  EXPECT_GT(result.max_stall_ms, 500.0) << "stalls last on the order of the partition";
+  EXPECT_TRUE(result.converged) << "after healing everyone agrees";
+}
+
+TEST(NameServiceTest, CatocsCommitLatencyReflectsOrderingRoundTrips) {
+  NameServiceConfig config;
+  config.strategy = NameServiceStrategy::kCatocsTotalOrder;
+  config.bindings = 100;
+  config.partition_duration = sim::Duration::Zero();
+  config.seed = 5;
+  const NameServiceResult result = RunNameServiceScenario(config);
+  EXPECT_GT(result.mean_commit_latency_ms, 10.0)
+      << "total ordering over a WAN cannot be local-speed";
+  EXPECT_EQ(result.stalled, 0);
+  EXPECT_TRUE(result.converged);
+}
+
+}  // namespace
+}  // namespace apps

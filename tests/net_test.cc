@@ -1,0 +1,289 @@
+// Unit tests for the network model, reliable transport, and clock sync.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/clock.h"
+#include "src/net/network.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace net {
+namespace {
+
+constexpr uint32_t kPort = 7;
+
+std::unique_ptr<Network> MakeNetwork(sim::Simulator* s, NetworkConfig cfg = {}) {
+  return std::make_unique<Network>(
+      s, std::make_unique<UniformLatency>(sim::Duration::Millis(1), sim::Duration::Millis(5)),
+      cfg);
+}
+
+PayloadPtr Blob(const std::string& tag, size_t size = 100) {
+  return std::make_shared<BlobPayload>(tag, size);
+}
+
+TEST(NetworkTest, DeliversToRegisteredHandler) {
+  sim::Simulator s(1);
+  auto network = MakeNetwork(&s);
+  std::vector<std::string> got;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet& p) { got.push_back(p.payload->Describe()); });
+  network->Send(1, 2, kPort, Blob("hello"));
+  s.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "hello");
+}
+
+TEST(NetworkTest, DelayWithinModelBounds) {
+  sim::Simulator s(2);
+  auto network = MakeNetwork(&s);
+  sim::TimePoint delivered_at;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { delivered_at = s.now(); });
+  network->Send(1, 2, kPort, Blob("x"));
+  s.Run();
+  EXPECT_GE(delivered_at, sim::TimePoint::Zero() + sim::Duration::Millis(1));
+  EXPECT_LE(delivered_at, sim::TimePoint::Zero() + sim::Duration::Millis(5));
+}
+
+TEST(NetworkTest, DropsWithProbabilityOne) {
+  sim::Simulator s(3);
+  NetworkConfig cfg;
+  cfg.drop_probability = 1.0;
+  auto network = MakeNetwork(&s, cfg);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  for (int i = 0; i < 10; ++i) {
+    network->Send(1, 2, kPort, Blob("x"));
+  }
+  s.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(network->packets_dropped(), 10u);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  sim::Simulator s(4);
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  auto network = MakeNetwork(&s, cfg);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  network->Send(1, 2, kPort, Blob("x"));
+  s.Run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(NetworkTest, DownNodeCannotSendOrReceive) {
+  sim::Simulator s(5);
+  auto network = MakeNetwork(&s);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  network->SetNodeUp(2, false);
+  network->Send(1, 2, kPort, Blob("x"));
+  s.Run();
+  EXPECT_EQ(got, 0);
+  network->SetNodeUp(1, false);
+  EXPECT_FALSE(network->Send(1, 2, kPort, Blob("x")));
+}
+
+TEST(NetworkTest, PartitionBlocksAcrossComponents) {
+  sim::Simulator s(6);
+  auto network = MakeNetwork(&s);
+  int got12 = 0;
+  int got13 = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got12; });
+  network->RegisterHandler(3, kPort, [&](const Packet&) { ++got13; });
+  network->Partition({{1, 2}, {3}});
+  network->Send(1, 2, kPort, Blob("x"));
+  network->Send(1, 3, kPort, Blob("x"));
+  s.Run();
+  EXPECT_EQ(got12, 1);
+  EXPECT_EQ(got13, 0);
+  network->HealPartition();
+  network->Send(1, 3, kPort, Blob("x"));
+  s.Run();
+  EXPECT_EQ(got13, 1);
+}
+
+TEST(NetworkTest, ByteAccounting) {
+  sim::Simulator s(7);
+  auto network = MakeNetwork(&s);
+  network->Attach(1);
+  network->Attach(2);
+  network->Send(1, 2, kPort, Blob("x", 100), /*header_bytes=*/10);
+  EXPECT_EQ(network->payload_bytes_sent(), 100u);
+  EXPECT_EQ(network->header_bytes_sent(), 10u + 28u);  // +base header
+  EXPECT_EQ(network->bytes_sent(), 138u);
+}
+
+TEST(NetworkTest, MulticastSkipsSelf) {
+  sim::Simulator s(8);
+  auto network = MakeNetwork(&s);
+  int got = 0;
+  for (NodeId n = 1; n <= 4; ++n) {
+    network->RegisterHandler(n, kPort, [&](const Packet&) { ++got; });
+  }
+  network->Multicast(1, {1, 2, 3, 4}, kPort, Blob("x"));
+  s.Run();
+  EXPECT_EQ(got, 3);
+}
+
+// --- transport -------------------------------------------------------------
+
+struct TransportPair {
+  std::unique_ptr<Network> network;
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+};
+
+TransportPair MakePair(sim::Simulator* s, NetworkConfig cfg = {}, TransportConfig tcfg = {}) {
+  TransportPair pair;
+  pair.network = MakeNetwork(s, cfg);
+  pair.a = std::make_unique<Transport>(s, pair.network.get(), 1, tcfg);
+  pair.b = std::make_unique<Transport>(s, pair.network.get(), 2, tcfg);
+  return pair;
+}
+
+TEST(TransportTest, ReliableDeliversInFifoOrderDespiteReordering) {
+  sim::Simulator s(9);
+  auto pair = MakePair(&s);
+  std::vector<std::string> got;
+  pair.b->RegisterReceiver(kPort, [&](NodeId, uint32_t, const PayloadPtr& p) {
+    got.push_back(p->Describe());
+  });
+  for (int i = 0; i < 50; ++i) {
+    pair.a->SendReliable(2, kPort, Blob("m" + std::to_string(i)));
+  }
+  s.Run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(got[i], "m" + std::to_string(i));
+  }
+}
+
+TEST(TransportTest, ReliableSurvivesHeavyLoss) {
+  sim::Simulator s(10);
+  NetworkConfig cfg;
+  cfg.drop_probability = 0.4;
+  auto pair = MakePair(&s, cfg);
+  std::vector<std::string> got;
+  pair.b->RegisterReceiver(kPort, [&](NodeId, uint32_t, const PayloadPtr& p) {
+    got.push_back(p->Describe());
+  });
+  for (int i = 0; i < 100; ++i) {
+    pair.a->SendReliable(2, kPort, Blob("m" + std::to_string(i)));
+  }
+  s.RunFor(sim::Duration::Seconds(30));
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(got[i], "m" + std::to_string(i));
+  }
+  EXPECT_GT(pair.a->retransmissions(), 0u);
+}
+
+TEST(TransportTest, ReliableSuppressesDuplicates) {
+  sim::Simulator s(11);
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 0.5;
+  auto pair = MakePair(&s, cfg);
+  int got = 0;
+  pair.b->RegisterReceiver(kPort, [&](NodeId, uint32_t, const PayloadPtr&) { ++got; });
+  for (int i = 0; i < 50; ++i) {
+    pair.a->SendReliable(2, kPort, Blob("x"));
+  }
+  s.RunFor(sim::Duration::Seconds(10));
+  EXPECT_EQ(got, 50);
+}
+
+TEST(TransportTest, UnreliableMayReorder) {
+  sim::Simulator s(12);
+  auto pair = MakePair(&s);
+  std::vector<std::string> got;
+  pair.b->RegisterReceiver(kPort, [&](NodeId, uint32_t, const PayloadPtr& p) {
+    got.push_back(p->Describe());
+  });
+  for (int i = 0; i < 200; ++i) {
+    pair.a->SendUnreliable(2, kPort, Blob("m" + std::to_string(i)));
+  }
+  s.Run();
+  ASSERT_EQ(got.size(), 200u);
+  bool reordered = false;
+  for (size_t i = 1; i < got.size(); ++i) {
+    if (got[i] < got[i - 1]) {
+      reordered = true;
+    }
+  }
+  EXPECT_TRUE(reordered) << "with 1-5ms jitter, 200 datagrams should reorder";
+}
+
+TEST(TransportTest, GivesUpAfterMaxRetries) {
+  sim::Simulator s(13);
+  TransportConfig tcfg;
+  tcfg.max_retries = 3;
+  auto pair = MakePair(&s, {}, tcfg);
+  pair.network->SetNodeUp(2, false);
+  pair.a->SendReliable(2, kPort, Blob("x"));
+  s.RunFor(sim::Duration::Seconds(5));
+  // All events quiesce: the retransmit timer must have given up.
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_LE(pair.a->retransmissions(), 3u);
+}
+
+TEST(TransportTest, SeparatePortsDemultiplex) {
+  sim::Simulator s(14);
+  auto pair = MakePair(&s);
+  int on7 = 0;
+  int on8 = 0;
+  pair.b->RegisterReceiver(7, [&](NodeId, uint32_t, const PayloadPtr&) { ++on7; });
+  pair.b->RegisterReceiver(8, [&](NodeId, uint32_t, const PayloadPtr&) { ++on8; });
+  pair.a->SendReliable(2, 7, Blob("x"));
+  pair.a->SendReliable(2, 8, Blob("x"));
+  pair.a->SendReliable(2, 8, Blob("x"));
+  s.Run();
+  EXPECT_EQ(on7, 1);
+  EXPECT_EQ(on8, 2);
+}
+
+// --- clocks ------------------------------------------------------------------
+
+TEST(ClockTest, HardwareClockOffsetAndDrift) {
+  sim::Simulator s(15);
+  HardwareClock clock(&s, sim::Duration::Millis(10), /*drift_ppm=*/100.0);
+  s.RunFor(sim::Duration::Seconds(10));
+  // offset 10ms + drift 100ppm * 10s = 1ms.
+  const sim::Duration error = clock.Now() - s.now();
+  EXPECT_EQ(error, sim::Duration::Millis(11));
+}
+
+TEST(ClockTest, CristianSyncBoundsError) {
+  sim::Simulator s(16);
+  auto network = MakeNetwork(&s);
+  Transport server_t(&s, network.get(), 1);
+  Transport client_t(&s, network.get(), 2);
+  ClockSyncServer server(&s, &server_t);
+  HardwareClock hw(&s, sim::Duration::Millis(500), /*drift_ppm=*/200.0);
+  SyncedClock synced(&hw);
+  ClockSyncClient client(&s, &client_t, 1, &hw, &synced, sim::Duration::Seconds(1));
+  client.Start();
+  s.RunUntil(sim::TimePoint::Zero() + sim::Duration::Seconds(10));
+  client.Stop();
+  s.Run();
+  EXPECT_GE(client.rounds_completed(), 9);
+  // After sync, the corrected clock is within half-RTT (<= 2.5ms) + drift
+  // accumulated over one period of true time.
+  const sim::Duration error = synced.Now() - s.now();
+  EXPECT_LE(error.nanos() < 0 ? -error.nanos() : error.nanos(),
+            sim::Duration::Millis(4).nanos());
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,173 @@
+// Tests for the Process abstraction (crash/recover semantics, stale-closure
+// suppression), the Trace recorder, and transport behavior across partitions
+// and node restarts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/transport.h"
+#include "src/sim/process.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+class CountingProcess : public sim::Process {
+ public:
+  CountingProcess(sim::Simulator* s, sim::ProcessId id) : Process(s, id, "counter") {}
+
+  void ScheduleTick(sim::Duration delay) {
+    ScheduleIfAlive(delay, [this] { ++ticks; });
+  }
+
+  int ticks = 0;
+  int crashes_seen = 0;
+  int recoveries_seen = 0;
+
+ protected:
+  void OnCrash() override { ++crashes_seen; }
+  void OnRecover() override { ++recoveries_seen; }
+};
+
+TEST(ProcessTest, ScheduledWorkRunsWhileAlive) {
+  sim::Simulator s(1);
+  CountingProcess p(&s, 1);
+  p.ScheduleTick(sim::Duration::Millis(1));
+  p.ScheduleTick(sim::Duration::Millis(2));
+  s.Run();
+  EXPECT_EQ(p.ticks, 2);
+}
+
+TEST(ProcessTest, CrashSuppressesPendingWork) {
+  sim::Simulator s(2);
+  CountingProcess p(&s, 1);
+  p.ScheduleTick(sim::Duration::Millis(10));
+  s.ScheduleAfter(sim::Duration::Millis(5), [&] { p.Crash(); });
+  s.Run();
+  EXPECT_EQ(p.ticks, 0);
+  EXPECT_TRUE(p.crashed());
+  EXPECT_EQ(p.crashes_seen, 1);
+}
+
+TEST(ProcessTest, WorkScheduledBeforeCrashStaysDeadAfterRecovery) {
+  // A closure from a previous incarnation must not fire after recovery: the
+  // process restarted with fresh state.
+  sim::Simulator s(3);
+  CountingProcess p(&s, 1);
+  p.ScheduleTick(sim::Duration::Millis(10));
+  s.ScheduleAfter(sim::Duration::Millis(2), [&] { p.Crash(); });
+  s.ScheduleAfter(sim::Duration::Millis(5), [&] { p.Recover(); });
+  s.Run();
+  EXPECT_EQ(p.ticks, 0) << "stale incarnation closure must not run";
+  EXPECT_FALSE(p.crashed());
+  EXPECT_EQ(p.recoveries_seen, 1);
+  // New incarnation schedules work normally.
+  p.ScheduleTick(sim::Duration::Millis(1));
+  s.Run();
+  EXPECT_EQ(p.ticks, 1);
+}
+
+TEST(ProcessTest, DoubleCrashIsIdempotent) {
+  sim::Simulator s(4);
+  CountingProcess p(&s, 1);
+  p.Crash();
+  p.Crash();
+  EXPECT_EQ(p.crashes_seen, 1);
+  p.Recover();
+  p.Recover();
+  EXPECT_EQ(p.recoveries_seen, 1);
+}
+
+TEST(TraceTest, RecordsOnlyWhenEnabled) {
+  sim::Simulator s(5);
+  s.trace().Record(s.now(), 1, "cat", "ignored: disabled");
+  EXPECT_TRUE(s.trace().entries().empty());
+  s.trace().set_enabled(true);
+  s.trace().Record(s.now(), 1, "deliver", "m1");
+  s.trace().Record(s.now(), 2, "deliver", "m2");
+  s.trace().Record(s.now(), 1, "send", "m3");
+  EXPECT_EQ(s.trace().entries().size(), 3u);
+  EXPECT_EQ(s.trace().Filter("deliver").size(), 2u);
+  EXPECT_EQ(s.trace().Filter("deliver", 1).size(), 1u);
+  EXPECT_NE(s.trace().ToString().find("m3"), std::string::npos);
+}
+
+TEST(TraceTest, ProcessEventsLandInTrace) {
+  sim::Simulator s(6);
+  s.trace().set_enabled(true);
+  CountingProcess p(&s, 7);
+  p.Crash();
+  p.Recover();
+  EXPECT_EQ(s.trace().Filter("crash", 7).size(), 1u);
+  EXPECT_EQ(s.trace().Filter("recover", 7).size(), 1u);
+}
+
+// --- transport across partitions -------------------------------------------------
+
+TEST(TransportPartitionTest, ReliableTransferResumesAfterHeal) {
+  sim::Simulator s(7);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                                 sim::Duration::Millis(3)));
+  net::TransportConfig cfg;
+  cfg.max_retries = 500;
+  net::Transport a(&s, &network, 1, cfg);
+  net::Transport b(&s, &network, 2, cfg);
+  std::vector<std::string> got;
+  b.RegisterReceiver(4, [&](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+    got.push_back(p->Describe());
+  });
+  network.Partition({{1}, {2}});
+  for (int i = 0; i < 10; ++i) {
+    a.SendReliable(2, 4, std::make_shared<net::BlobPayload>("m" + std::to_string(i), 16));
+  }
+  s.RunFor(sim::Duration::Seconds(1));
+  EXPECT_TRUE(got.empty());
+  network.HealPartition();
+  s.RunFor(sim::Duration::Seconds(5));
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], "m" + std::to_string(i)) << "FIFO across the heal";
+  }
+}
+
+TEST(TransportPartitionTest, TrafficWithinComponentUnaffected) {
+  sim::Simulator s(8);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                                 sim::Duration::Millis(3)));
+  net::Transport a(&s, &network, 1);
+  net::Transport b(&s, &network, 2);
+  net::Transport c(&s, &network, 3);
+  int at_b = 0;
+  b.RegisterReceiver(4, [&](net::NodeId, uint32_t, const net::PayloadPtr&) { ++at_b; });
+  network.Partition({{1, 2}, {3}});
+  for (int i = 0; i < 5; ++i) {
+    a.SendReliable(2, 4, std::make_shared<net::BlobPayload>("x", 8));
+  }
+  s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_EQ(at_b, 5);
+}
+
+TEST(TransportPartitionTest, NodeRestartWithResetStateDoesNotReplayOldSeqs) {
+  sim::Simulator s(9);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                                 sim::Duration::Millis(2)));
+  net::Transport a(&s, &network, 1);
+  net::Transport b(&s, &network, 2);
+  int got = 0;
+  b.RegisterReceiver(4, [&](net::NodeId, uint32_t, const net::PayloadPtr&) { ++got; });
+  a.SendReliable(2, 4, std::make_shared<net::BlobPayload>("one", 8));
+  s.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(got, 1);
+  // a "restarts" amnesiac: sequence numbers reset. The receiver must also be
+  // reset (an amnesiac peer pair), else old state would discard new traffic.
+  a.ResetPeerState();
+  b.ResetPeerState();
+  a.SendReliable(2, 4, std::make_shared<net::BlobPayload>("two", 8));
+  s.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(got, 2);
+}
+
+}  // namespace

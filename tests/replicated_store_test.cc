@@ -1,0 +1,233 @@
+// Tests for the two replicated stores of §4.4: transactional (HARP-like,
+// 2PC + WAL + write-all-available) and CATOCS-based (Deceit-like, primary
+// updater with write-safety levels).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catocs/group.h"
+#include "src/sim/simulator.h"
+#include "src/txn/replicated_store.h"
+
+namespace txn {
+namespace {
+
+// Rig for the transactional store: N replica nodes plus the coordinator
+// co-located with replica node 1.
+struct TxnRig {
+  sim::Simulator s;
+  std::unique_ptr<net::Network> network;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<TxnReplica>> replicas;
+  std::unique_ptr<TxnCoordinator> coordinator;
+
+  explicit TxnRig(size_t n, uint64_t seed = 1) : s(seed) {
+    network = std::make_unique<net::Network>(
+        &s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                  sim::Duration::Millis(5)));
+    std::vector<net::NodeId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(static_cast<net::NodeId>(i + 1));
+      transports.push_back(std::make_unique<net::Transport>(&s, network.get(), ids.back()));
+      replicas.push_back(std::make_unique<TxnReplica>(&s, transports.back().get()));
+    }
+    coordinator = std::make_unique<TxnCoordinator>(&s, transports[0].get(), ids);
+  }
+};
+
+TEST(TxnStoreTest, WriteReachesAllReplicas) {
+  TxnRig rig(3);
+  bool committed = false;
+  rig.coordinator->Write("x", 42.0, [&](bool ok) { committed = ok; });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_TRUE(committed);
+  for (auto& replica : rig.replicas) {
+    EXPECT_EQ(replica->Read("x"), 42.0);
+  }
+  EXPECT_EQ(rig.coordinator->stats().committed, 1u);
+}
+
+TEST(TxnStoreTest, GroupedWritesAreAtomic) {
+  TxnRig rig(3);
+  bool committed = false;
+  rig.coordinator->WriteMany({{"a", 1.0}, {"b", 2.0}, {"c", 3.0}},
+                             [&](bool ok) { committed = ok; });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_TRUE(committed);
+  for (auto& replica : rig.replicas) {
+    EXPECT_EQ(replica->Read("a"), 1.0);
+    EXPECT_EQ(replica->Read("b"), 2.0);
+    EXPECT_EQ(replica->Read("c"), 3.0);
+  }
+}
+
+TEST(TxnStoreTest, ReplicaVetoAbortsEverywhere) {
+  // Limitation 2 ("can't say together"): a replica rejecting for state-level
+  // reasons aborts the whole group atomically — something CATOCS delivery
+  // order cannot express.
+  TxnRig rig(3);
+  rig.replicas[2]->SetVoteHook([](const std::string& key) { return key != "forbidden"; });
+  bool result = true;
+  rig.coordinator->WriteMany({{"ok", 1.0}, {"forbidden", 2.0}}, [&](bool ok) { result = ok; });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_FALSE(result);
+  for (auto& replica : rig.replicas) {
+    EXPECT_FALSE(replica->Read("ok").has_value()) << "no partial application";
+    EXPECT_FALSE(replica->Read("forbidden").has_value());
+  }
+  EXPECT_EQ(rig.coordinator->stats().aborted, 1u);
+}
+
+TEST(TxnStoreTest, FailedReplicaDroppedFromAvailabilityList) {
+  TxnRig rig(3);
+  rig.network->SetNodeUp(3, false);
+  bool committed = false;
+  rig.coordinator->Write("x", 7.0, [&](bool ok) { committed = ok; });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_TRUE(committed) << "write-all-available commits with the survivors";
+  EXPECT_EQ(rig.coordinator->stats().replicas_dropped, 1u);
+  EXPECT_EQ(rig.coordinator->availability_list(), (std::vector<net::NodeId>{1, 2}));
+  EXPECT_EQ(rig.replicas[0]->Read("x"), 7.0);
+  EXPECT_EQ(rig.replicas[1]->Read("x"), 7.0);
+  // Subsequent writes skip the dead replica entirely (no timeout stall).
+  bool second = false;
+  rig.coordinator->Write("y", 8.0, [&](bool ok) { second = ok; });
+  rig.s.RunFor(sim::Duration::Seconds(1));
+  EXPECT_TRUE(second);
+}
+
+TEST(TxnStoreTest, CommittedWritesAreDurableInWal) {
+  TxnRig rig(2);
+  bool committed = false;
+  rig.coordinator->Write("x", 1.0, [&](bool ok) { committed = ok; });
+  rig.s.RunFor(sim::Duration::Seconds(1));
+  ASSERT_TRUE(committed);
+  // Every replica forced a prepare record before voting.
+  for (auto& replica : rig.replicas) {
+    EXPECT_GE(replica->wal().appended(), 1u);
+  }
+}
+
+TEST(TxnStoreTest, SequentialWritesLastValueWins) {
+  TxnRig rig(3);
+  int done = 0;
+  for (int i = 1; i <= 5; ++i) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(50 * i), [&rig, &done, i] {
+      rig.coordinator->Write("x", static_cast<double>(i), [&done](bool) { ++done; });
+    });
+  }
+  rig.s.RunFor(sim::Duration::Seconds(3));
+  EXPECT_EQ(done, 5);
+  for (auto& replica : rig.replicas) {
+    EXPECT_EQ(replica->Read("x"), 5.0);
+  }
+}
+
+// --- CATOCS store -----------------------------------------------------------------
+
+struct CatocsRig {
+  sim::Simulator s;
+  std::unique_ptr<catocs::GroupFabric> fabric;
+  std::vector<std::unique_ptr<CatocsReplica>> replicas;
+  std::unique_ptr<CatocsPrimary> primary;
+
+  CatocsRig(size_t n, int write_safety, uint64_t seed = 1) : s(seed) {
+    catocs::FabricConfig cfg;
+    cfg.num_members = static_cast<uint32_t>(n);
+    fabric = std::make_unique<catocs::GroupFabric>(&s, cfg);
+    for (size_t i = 0; i < n; ++i) {
+      replicas.push_back(
+          std::make_unique<CatocsReplica>(&s, &fabric->transport(i), &fabric->member(i)));
+    }
+    primary = std::make_unique<CatocsPrimary>(&s, &fabric->transport(0), &fabric->member(0),
+                                              write_safety);
+    fabric->StartAll();
+  }
+};
+
+TEST(CatocsStoreTest, UpdatePropagatesToAllReplicas) {
+  CatocsRig rig(3, /*write_safety=*/1);
+  bool acked = false;
+  rig.s.ScheduleAfter(sim::Duration::Millis(1), [&] {
+    rig.primary->Write("x", 5.0, [&] { acked = true; });
+  });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_TRUE(acked);
+  for (auto& replica : rig.replicas) {
+    EXPECT_EQ(replica->Read("x"), 5.0);
+  }
+}
+
+TEST(CatocsStoreTest, WriteSafetyZeroAcksImmediately) {
+  CatocsRig rig(3, /*write_safety=*/0);
+  bool acked = false;
+  rig.s.ScheduleAfter(sim::Duration::Millis(1), [&] {
+    rig.primary->Write("x", 5.0, [&] { acked = true; });
+    EXPECT_TRUE(acked) << "level 0 completes synchronously at the send";
+  });
+  rig.s.RunFor(sim::Duration::Millis(2));
+}
+
+TEST(CatocsStoreTest, HigherSafetyLevelWaitsLonger) {
+  sim::Duration t1;
+  {
+    CatocsRig rig(4, 1, 7);
+    rig.s.ScheduleAfter(sim::Duration::Millis(1), [&] {
+      rig.primary->Write("x", 1.0, [&] { t1 = rig.s.now() - sim::TimePoint::Zero(); });
+    });
+    rig.s.RunFor(sim::Duration::Seconds(2));
+  }
+  sim::Duration t3;
+  {
+    CatocsRig rig(4, 3, 7);
+    rig.s.ScheduleAfter(sim::Duration::Millis(1), [&] {
+      rig.primary->Write("x", 1.0, [&] { t3 = rig.s.now() - sim::TimePoint::Zero(); });
+    });
+    rig.s.RunFor(sim::Duration::Seconds(2));
+  }
+  EXPECT_GT(t3, t1) << "waiting for 3 acks takes longer than for 1";
+}
+
+TEST(CatocsStoreTest, PrimaryCrashWithSafetyZeroLosesUpdate) {
+  // The §2/§4.4 durability hole: ws=0 acknowledges the client, then the
+  // primary dies before any replica received the update.
+  CatocsRig rig(3, /*write_safety=*/0);
+  bool acked = false;
+  rig.s.ScheduleAfter(sim::Duration::Millis(5), [&] {
+    rig.fabric->network().SetNodeUp(1, false);  // isolate the primary first
+    rig.primary->Write("doomed", 9.0, [&] { acked = true; });
+    rig.fabric->CrashMember(0);
+  });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_TRUE(acked) << "the client was told the write succeeded";
+  EXPECT_FALSE(rig.replicas[1]->Read("doomed").has_value()) << "but the data is gone";
+  EXPECT_FALSE(rig.replicas[2]->Read("doomed").has_value());
+}
+
+TEST(CatocsStoreTest, CausalOrderKeepsReplicasConvergent) {
+  CatocsRig rig(3, 1);
+  int done = 0;
+  for (int i = 1; i <= 20; ++i) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(5 * i), [&rig, &done, i] {
+      rig.primary->Write("k" + std::to_string(i % 4), static_cast<double>(i),
+                         [&done] { ++done; });
+    });
+  }
+  rig.s.RunFor(sim::Duration::Seconds(3));
+  EXPECT_EQ(done, 20);
+  EXPECT_TRUE(DivergentKeys(rig.replicas[0]->store(), rig.replicas[1]->store()).empty());
+  EXPECT_TRUE(DivergentKeys(rig.replicas[0]->store(), rig.replicas[2]->store()).empty());
+}
+
+TEST(DivergentKeysTest, ReportsDifferencesAndMissing) {
+  std::map<std::string, double> a{{"x", 1.0}, {"y", 2.0}, {"z", 3.0}};
+  std::map<std::string, double> b{{"x", 1.0}, {"y", 9.0}, {"w", 4.0}};
+  auto diff = DivergentKeys(a, b);
+  EXPECT_EQ(diff, (std::vector<std::string>{"w", "y", "z"}));
+}
+
+}  // namespace
+}  // namespace txn

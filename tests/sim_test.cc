@@ -1,0 +1,327 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(TimeTest, DurationArithmetic) {
+  EXPECT_EQ(Duration::Millis(3).nanos(), 3'000'000);
+  EXPECT_EQ(Duration::Seconds(2) + Duration::Millis(500), Duration::Millis(2500));
+  EXPECT_EQ(Duration::Millis(10) - Duration::Millis(4), Duration::Millis(6));
+  EXPECT_EQ(Duration::Millis(10) * 3, Duration::Millis(30));
+  EXPECT_EQ(Duration::Millis(10) / 2, Duration::Millis(5));
+  EXPECT_LT(Duration::Micros(999), Duration::Millis(1));
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).seconds(), 1.5);
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  TimePoint t = TimePoint::Zero() + Duration::Seconds(1);
+  EXPECT_EQ(t.nanos(), 1'000'000'000);
+  EXPECT_EQ(t - TimePoint::Zero(), Duration::Seconds(1));
+  EXPECT_EQ((t + Duration::Millis(1)) - t, Duration::Millis(1));
+}
+
+TEST(TimeTest, Formatting) {
+  EXPECT_EQ(Duration::Seconds(3).ToString(), "3s");
+  EXPECT_EQ(Duration::Millis(42).ToString(), "42ms");
+  EXPECT_EQ(Duration::Micros(7).ToString(), "7us");
+  EXPECT_EQ(Duration::Nanos(5).ToString(), "5ns");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, BoolProbabilityApprox) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // Child stream differs from parent's subsequent stream.
+  EXPECT_NE(child.NextU64(), parent.NextU64());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(TimePoint(30), [&] { fired.push_back(3); });
+  q.Schedule(TimePoint(10), [&] { fired.push_back(1); });
+  q.Schedule(TimePoint(20), [&] { fired.push_back(2); });
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFifoBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(TimePoint(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(TimePoint(1), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  EventId id = q.Schedule(TimePoint(1), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidId) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(EventId{}));
+  EXPECT_FALSE(q.Cancel(EventId{999}));
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator s;
+  TimePoint seen = TimePoint::Zero();
+  s.ScheduleAfter(Duration::Millis(5), [&] { seen = s.now(); });
+  s.Run();
+  EXPECT_EQ(seen, TimePoint::Zero() + Duration::Millis(5));
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.ScheduleAfter(Duration::Millis(i), [&] { ++count; });
+  }
+  s.RunUntil(TimePoint::Zero() + Duration::Millis(5));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), TimePoint::Zero() + Duration::Millis(5));
+  s.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, RunForAdvancesClockEvenWhenIdle) {
+  Simulator s;
+  s.RunFor(Duration::Seconds(3));
+  EXPECT_EQ(s.now(), TimePoint::Zero() + Duration::Seconds(3));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator s;
+  std::vector<int64_t> times;
+  s.ScheduleAfter(Duration::Millis(1), [&] {
+    times.push_back(s.now().nanos());
+    s.ScheduleAfter(Duration::Millis(1), [&] { times.push_back(s.now().nanos()); });
+  });
+  s.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[1] - times[0], Duration::Millis(1).nanos());
+}
+
+TEST(SimulatorTest, RequestStopEndsRun) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.ScheduleAfter(Duration::Millis(i), [&] {
+      if (++count == 3) {
+        s.RequestStop();
+      }
+    });
+  }
+  s.Run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending_events(), 7u);
+}
+
+TEST(SimulatorTest, EventLimitGuards) {
+  Simulator s;
+  s.set_event_limit(100);
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { s.ScheduleAfter(Duration::Millis(1), loop); };
+  s.ScheduleAfter(Duration::Millis(1), loop);
+  s.Run();
+  EXPECT_EQ(s.events_executed(), 100u);
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedly) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer timer(&s, Duration::Millis(10), [&] { ++fires; });
+  timer.Start(Duration::Millis(10));
+  s.RunUntil(TimePoint::Zero() + Duration::Millis(55));
+  EXPECT_EQ(fires, 5);
+  timer.Stop();
+  s.Run();
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimerTest, StopFromCallback) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer timer(&s, Duration::Millis(10), [&] {
+    if (++fires == 3) {
+      timer.Stop();
+    }
+  });
+  timer.Start(Duration::Zero());
+  s.Run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  registry.GetCounter("x").Add(3);
+  registry.GetCounter("x").Add(4);
+  EXPECT_EQ(registry.GetCounter("x").value(), 7);
+  EXPECT_NE(registry.FindCounter("x"), nullptr);
+  EXPECT_EQ(registry.FindCounter("y"), nullptr);
+}
+
+TEST(MetricsTest, GaugeTracksPeak) {
+  Gauge g;
+  g.Set(5);
+  g.Add(10);
+  g.Add(-12);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 15);
+}
+
+TEST(MetricsTest, HistogramStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.Quantile(0.5), 50.5, 1.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.1);
+  EXPECT_NEAR(h.stddev(), 29.0, 0.5);
+}
+
+TEST(MetricsTest, HistogramEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,211 @@
+// Randomized property tests for the state-level library: the ordered cache
+// under arbitrary interleavings, the prescriptive gate over random dependency
+// DAGs, and Chandy–Lamport snapshots under packet loss and duplication.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/statelevel/ordered_cache.h"
+#include "src/statelevel/prescriptive.h"
+#include "src/statelevel/snapshot.h"
+
+namespace statelv {
+namespace {
+
+// Property: for any arrival order of any update set, the cache (a) never
+// regresses an object's version, (b) never installs a derived value whose
+// base is missing or older than required, and (c) ends at the maximum
+// version of every object whose dependency chain is satisfiable.
+TEST(OrderedCachePropertyTest, RandomInterleavingsConverge) {
+  sim::Rng rng(2718);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Build a ground-truth update set: 3 base objects x versions 1..5, plus
+    // derived objects referencing random base versions.
+    std::vector<VersionedUpdate> updates;
+    for (int object = 0; object < 3; ++object) {
+      for (uint64_t version = 1; version <= 5; ++version) {
+        VersionedUpdate u;
+        u.object = "base" + std::to_string(object);
+        u.version = version;
+        u.value = static_cast<double>(version);
+        updates.push_back(u);
+      }
+    }
+    for (int k = 0; k < 6; ++k) {
+      VersionedUpdate u;
+      u.object = "derived" + std::to_string(k % 3);
+      u.version = static_cast<uint64_t>(k / 3 + 1);
+      u.value = 100.0 + k;
+      u.dependency = Dependency{"base" + std::to_string(rng.NextBelow(3)),
+                                1 + rng.NextBelow(5)};
+      updates.push_back(u);
+    }
+    rng.Shuffle(updates);
+
+    OrderedCache cache;
+    std::map<std::string, uint64_t> last_seen_version;
+    cache.SetInstallHandler([&](const VersionedUpdate& u) {
+      // (a) monotone versions per object.
+      EXPECT_GT(u.version, last_seen_version[u.object]);
+      last_seen_version[u.object] = u.version;
+      // (b) dependency satisfied at install time.
+      if (u.dependency) {
+        const VersionedUpdate* base = cache.Get(u.dependency->object);
+        ASSERT_NE(base, nullptr);
+        EXPECT_GE(base->version, u.dependency->version);
+      }
+    });
+    for (const auto& u : updates) {
+      cache.Apply(u);
+    }
+    // (c) bases converge to version 5; derived objects to their max version.
+    for (int object = 0; object < 3; ++object) {
+      const VersionedUpdate* entry = cache.Get("base" + std::to_string(object));
+      ASSERT_NE(entry, nullptr);
+      EXPECT_EQ(entry->version, 5u);
+    }
+    for (int d = 0; d < 3; ++d) {
+      const VersionedUpdate* entry = cache.Get("derived" + std::to_string(d));
+      ASSERT_NE(entry, nullptr) << "all dependencies are on base versions <= 5, so every "
+                                   "derived update must eventually install";
+      EXPECT_EQ(entry->version, 2u);
+    }
+    EXPECT_EQ(cache.stats().held_now, 0u);
+  }
+}
+
+// Property: the gate delivers a random DAG's messages in a topological order
+// regardless of submission order, and delivers all of them.
+TEST(PrescriptiveGatePropertyTest, RandomDagsDeliverTopologically) {
+  sim::Rng rng(3141);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint64_t n = 5 + rng.NextBelow(15);
+    // Edges only from lower to higher ids: prerequisites are lower ids.
+    std::vector<std::vector<StreamKey>> prereqs(n);
+    for (uint64_t node = 1; node < n; ++node) {
+      const uint64_t count = rng.NextBelow(std::min<uint64_t>(3, node) + 1);
+      std::set<uint64_t> chosen;
+      for (uint64_t c = 0; c < count; ++c) {
+        chosen.insert(rng.NextBelow(node));
+      }
+      for (uint64_t p : chosen) {
+        prereqs[node].push_back(StreamKey{1, p});
+      }
+    }
+    std::vector<uint64_t> order(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      order[i] = i;
+    }
+    rng.Shuffle(order);
+
+    std::set<uint64_t> delivered;
+    PrescriptiveGate gate([&](const StreamKey& key, const net::PayloadPtr&) {
+      for (const StreamKey& p : prereqs[key.seq]) {
+        EXPECT_TRUE(delivered.count(p.seq))
+            << "node " << key.seq << " delivered before prerequisite " << p.seq;
+      }
+      delivered.insert(key.seq);
+    });
+    for (uint64_t node : order) {
+      gate.Submit(StreamKey{1, node}, prereqs[node],
+                  std::make_shared<net::BlobPayload>("n", 8));
+    }
+    EXPECT_EQ(delivered.size(), n);
+    EXPECT_EQ(gate.stats().pending_now, 0u);
+  }
+}
+
+// Property: Chandy–Lamport cuts conserve tokens under loss and duplication
+// (the reliable transport absorbs both), for random snapshot timings.
+class SnapshotHostileTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnapshotHostileTest, CutsConserveTokens) {
+  const uint64_t seed = GetParam();
+  sim::Simulator s(seed);
+  net::NetworkConfig net_config;
+  net_config.drop_probability = 0.15;
+  net_config.duplicate_probability = 0.10;
+  net::Network network(&s,
+                       std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                             sim::Duration::Millis(6)),
+                       net_config);
+  constexpr int kNodes = 5;
+  constexpr int kTokens = 2;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<SnapshotNode>> nodes;
+  std::vector<int64_t> tokens(kNodes, 0);
+  for (int t = 0; t < kTokens; ++t) {
+    tokens[t] = 1;
+  }
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < kNodes; ++i) {
+    ids.push_back(static_cast<net::NodeId>(i + 1));
+  }
+  for (int i = 0; i < kNodes; ++i) {
+    transports.push_back(std::make_unique<net::Transport>(&s, &network, ids[i]));
+    nodes.push_back(std::make_unique<SnapshotNode>(
+        &s, transports[i].get(), ids, [&tokens, i] { return tokens[i]; },
+        [&tokens, i](net::NodeId, const net::PayloadPtr&) { ++tokens[i]; }));
+  }
+  int cuts = 0;
+  for (auto& node : nodes) {
+    node->SetCompleteHandler([](const LocalSnapshot&) {});
+  }
+  // Aggregate at completion via a shared collector-like map.
+  std::map<uint64_t, std::pair<int, int64_t>> sums;
+  for (int i = 0; i < kNodes; ++i) {
+    nodes[static_cast<size_t>(i)]->SetCompleteHandler([&, i](const LocalSnapshot& snap) {
+      auto& [count, sum] = sums[snap.snapshot_id];
+      ++count;
+      sum += snap.state;
+      for (const auto& [channel, msgs] : snap.channel_messages) {
+        sum += static_cast<int64_t>(msgs.size());
+      }
+      if (count == kNodes) {
+        ++cuts;
+        EXPECT_EQ(sum, kTokens) << "snapshot " << snap.snapshot_id;
+      }
+    });
+  }
+
+  // Token movers + randomized snapshot initiations.
+  sim::Rng mover_rng = s.rng().Fork();
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> movers;
+  for (int i = 0; i < kNodes; ++i) {
+    movers.push_back(std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(7), [&, i] {
+      if (tokens[static_cast<size_t>(i)] > 0) {
+        int to = static_cast<int>(mover_rng.NextBelow(kNodes));
+        if (to == i) {
+          to = (to + 1) % kNodes;
+        }
+        --tokens[static_cast<size_t>(i)];
+        nodes[static_cast<size_t>(i)]->SendApp(static_cast<net::NodeId>(to + 1),
+                                               std::make_shared<net::BlobPayload>("tok", 8));
+      }
+    }));
+    movers.back()->Start(sim::Duration::Micros(900 * (i + 1)));
+  }
+  for (uint64_t id = 1; id <= 5; ++id) {
+    const auto when = sim::Duration::Millis(static_cast<int64_t>(50 + s.rng().NextBelow(800)));
+    const size_t initiator = s.rng().NextBelow(kNodes);
+    s.ScheduleAfter(when, [&nodes, initiator, id] { nodes[initiator]->Initiate(id); });
+  }
+  s.RunFor(sim::Duration::Seconds(20));
+  for (auto& mover : movers) {
+    mover->Stop();
+  }
+  EXPECT_EQ(cuts, 5) << "all snapshots must complete despite loss";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotHostileTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace statelv

@@ -1,0 +1,296 @@
+// Tests for the state-level ordering library: versioned updates, the
+// order-preserving cache, the prescriptive gate, and Chandy–Lamport
+// snapshots.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/statelevel/ordered_cache.h"
+#include "src/statelevel/prescriptive.h"
+#include "src/statelevel/snapshot.h"
+#include "src/statelevel/version.h"
+
+namespace statelv {
+namespace {
+
+VersionedUpdate Update(const std::string& object, uint64_t version, double value) {
+  VersionedUpdate u;
+  u.object = object;
+  u.version = version;
+  u.value = value;
+  return u;
+}
+
+VersionedUpdate Derived(const std::string& object, uint64_t version, double value,
+                        const std::string& base, uint64_t base_version) {
+  VersionedUpdate u = Update(object, version, value);
+  u.dependency = Dependency{base, base_version};
+  return u;
+}
+
+TEST(OrderedCacheTest, AppliesFreshUpdate) {
+  OrderedCache cache;
+  EXPECT_EQ(cache.Apply(Update("ibm", 1, 100.0)), ApplyResult::kApplied);
+  ASSERT_NE(cache.Get("ibm"), nullptr);
+  EXPECT_EQ(cache.Get("ibm")->value, 100.0);
+}
+
+TEST(OrderedCacheTest, DropsStaleVersions) {
+  OrderedCache cache;
+  cache.Apply(Update("ibm", 5, 105.0));
+  EXPECT_EQ(cache.Apply(Update("ibm", 3, 103.0)), ApplyResult::kStale);
+  EXPECT_EQ(cache.Apply(Update("ibm", 5, 105.0)), ApplyResult::kStale);
+  EXPECT_EQ(cache.Get("ibm")->value, 105.0);
+  EXPECT_EQ(cache.stats().stale_dropped, 2u);
+}
+
+TEST(OrderedCacheTest, ReorderedArrivalsConvergeToNewest) {
+  // The Figure 2/3 fix: version numbers make arrival order irrelevant.
+  OrderedCache cache;
+  cache.Apply(Update("lot-a", 2, 0.0));  // "stop" arrives first
+  cache.Apply(Update("lot-a", 1, 1.0));  // "start" arrives late -> dropped
+  EXPECT_EQ(cache.Get("lot-a")->version, 2u);
+  EXPECT_EQ(cache.Get("lot-a")->value, 0.0);
+}
+
+TEST(OrderedCacheTest, HoldsDerivedUntilBaseArrives) {
+  // The Figure 4 fix: a theoretical price is never visible without the
+  // option price it was computed from.
+  OrderedCache cache;
+  EXPECT_EQ(cache.Apply(Derived("theo", 1, 26.75, "opt", 2)), ApplyResult::kHeld);
+  EXPECT_EQ(cache.Get("theo"), nullptr);
+  cache.Apply(Update("opt", 1, 25.5));
+  EXPECT_EQ(cache.Get("theo"), nullptr) << "base version 1 < required 2";
+  cache.Apply(Update("opt", 2, 26.0));
+  ASSERT_NE(cache.Get("theo"), nullptr);
+  EXPECT_EQ(cache.Get("theo")->value, 26.75);
+  EXPECT_EQ(cache.stats().released, 1u);
+}
+
+TEST(OrderedCacheTest, ChainedReleases) {
+  OrderedCache cache;
+  cache.Apply(Derived("c", 1, 3.0, "b", 1));
+  cache.Apply(Derived("b", 1, 2.0, "a", 1));
+  EXPECT_EQ(cache.stats().held_now, 2u);
+  cache.Apply(Update("a", 1, 1.0));
+  EXPECT_NE(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().held_now, 0u);
+}
+
+TEST(OrderedCacheTest, HeldUpdateSupersededWhileWaiting) {
+  OrderedCache cache;
+  cache.Apply(Derived("theo", 1, 26.75, "opt", 1));
+  cache.Apply(Derived("theo", 2, 27.00, "opt", 1));  // also waiting
+  cache.Apply(Update("theo", 3, 27.50));             // direct newer version
+  cache.Apply(Update("opt", 1, 26.0));
+  // Both held updates are now stale relative to version 3.
+  EXPECT_EQ(cache.Get("theo")->version, 3u);
+}
+
+TEST(OrderedCacheTest, InstallHandlerFiresInOrder) {
+  OrderedCache cache;
+  std::vector<std::string> installed;
+  cache.SetInstallHandler([&](const VersionedUpdate& u) { installed.push_back(u.object); });
+  cache.Apply(Derived("theo", 1, 1.0, "opt", 1));
+  cache.Apply(Update("opt", 1, 1.0));
+  EXPECT_EQ(installed, (std::vector<std::string>{"opt", "theo"}));
+}
+
+TEST(OrderedCacheTest, OrderingFieldBytes) {
+  EXPECT_EQ(Update("x", 1, 0.0).OrderingFieldBytes(), 8u);
+  EXPECT_EQ(Derived("x", 1, 0.0, "y", 1).OrderingFieldBytes(), 24u);
+}
+
+// --- prescriptive gate --------------------------------------------------------
+
+net::PayloadPtr Blob(const std::string& tag) {
+  return std::make_shared<net::BlobPayload>(tag, 16);
+}
+
+TEST(PrescriptiveGateTest, NoPrereqsDeliversImmediately) {
+  std::vector<uint64_t> got;
+  PrescriptiveGate gate([&](const StreamKey& k, const net::PayloadPtr&) { got.push_back(k.seq); });
+  EXPECT_TRUE(gate.Submit({1, 1}, {}, Blob("a")));
+  EXPECT_EQ(got, (std::vector<uint64_t>{1}));
+}
+
+TEST(PrescriptiveGateTest, WaitsForStatedPrerequisite) {
+  std::vector<uint64_t> got;
+  PrescriptiveGate gate([&](const StreamKey& k, const net::PayloadPtr&) { got.push_back(k.seq); });
+  EXPECT_FALSE(gate.Submit({1, 2}, {{1, 1}}, Blob("response")));
+  EXPECT_TRUE(got.empty());
+  gate.Submit({1, 1}, {}, Blob("inquiry"));
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(gate.stats().delayed, 1u);
+}
+
+TEST(PrescriptiveGateTest, MultiplePrereqsAllRequired) {
+  std::vector<uint64_t> got;
+  PrescriptiveGate gate([&](const StreamKey& k, const net::PayloadPtr&) { got.push_back(k.stream); });
+  gate.Submit({9, 1}, {{1, 1}, {2, 1}}, Blob("joint"));
+  gate.Submit({1, 1}, {}, Blob("a"));
+  EXPECT_EQ(got.size(), 1u);
+  gate.Submit({2, 1}, {}, Blob("b"));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got.back(), 9u);
+}
+
+TEST(PrescriptiveGateTest, ChainsRelease) {
+  std::vector<uint64_t> got;
+  PrescriptiveGate gate([&](const StreamKey& k, const net::PayloadPtr&) { got.push_back(k.seq); });
+  gate.Submit({1, 3}, {{1, 2}}, Blob("c"));
+  gate.Submit({1, 2}, {{1, 1}}, Blob("b"));
+  gate.Submit({1, 1}, {}, Blob("a"));
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(PrescriptiveGateTest, DuplicateSuppressed) {
+  int delivered = 0;
+  PrescriptiveGate gate([&](const StreamKey&, const net::PayloadPtr&) { ++delivered; });
+  gate.Submit({1, 1}, {}, Blob("a"));
+  gate.Submit({1, 1}, {}, Blob("a"));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(gate.stats().duplicates, 1u);
+}
+
+TEST(PrescriptiveGateTest, OnlyStatedDependenciesDelay) {
+  // Messages with no semantic relation are never held back — no false
+  // causality by construction.
+  int delivered = 0;
+  PrescriptiveGate gate([&](const StreamKey&, const net::PayloadPtr&) { ++delivered; });
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_TRUE(gate.Submit({i, 1}, {}, Blob("independent")));
+  }
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(gate.stats().delayed, 0u);
+}
+
+// --- snapshots -----------------------------------------------------------------
+
+struct SnapshotRig {
+  sim::Simulator s{99};
+  std::unique_ptr<net::Network> network;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  std::vector<std::unique_ptr<SnapshotNode>> nodes;
+  std::vector<int64_t> tokens;  // app state: token count per node
+
+  explicit SnapshotRig(size_t n) {
+    network = std::make_unique<net::Network>(
+        &s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                  sim::Duration::Millis(5)));
+    tokens.assign(n, 0);
+    std::vector<net::NodeId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      ids.push_back(static_cast<net::NodeId>(i + 1));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      transports.push_back(std::make_unique<net::Transport>(&s, network.get(), ids[i]));
+      nodes.push_back(std::make_unique<SnapshotNode>(
+          &s, transports[i].get(), ids,
+          [this, i] { return tokens[i]; },
+          [this, i](net::NodeId, const net::PayloadPtr&) { ++tokens[i]; }));
+    }
+  }
+
+  void PassToken(size_t from, size_t to) {
+    --tokens[from];
+    nodes[from]->SendApp(static_cast<net::NodeId>(to + 1),
+                         std::make_shared<net::BlobPayload>("token", 8));
+  }
+};
+
+TEST(SnapshotTest, QuiescentSystemSnapshotsExactState) {
+  SnapshotRig rig(3);
+  rig.tokens = {1, 0, 0};
+  std::vector<LocalSnapshot> locals;
+  for (auto& node : rig.nodes) {
+    node->SetCompleteHandler([&](const LocalSnapshot& snap) { locals.push_back(snap); });
+  }
+  rig.nodes[0]->Initiate(1);
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  ASSERT_EQ(locals.size(), 3u);
+  int64_t total = 0;
+  size_t in_flight = 0;
+  for (const auto& snap : locals) {
+    total += snap.state;
+    for (const auto& [channel, msgs] : snap.channel_messages) {
+      in_flight += msgs.size();
+    }
+  }
+  EXPECT_EQ(total, 1);
+  EXPECT_EQ(in_flight, 0u);
+}
+
+TEST(SnapshotTest, CutIsConsistentWhileTokenMoves) {
+  // Token conservation: state sum + in-flight tokens == 1 in every snapshot,
+  // no matter when the cut is taken relative to token motion.
+  SnapshotRig rig(4);
+  rig.tokens = {1, 0, 0, 0};
+  std::vector<LocalSnapshot> locals;
+  for (auto& node : rig.nodes) {
+    node->SetCompleteHandler([&](const LocalSnapshot& snap) { locals.push_back(snap); });
+  }
+  // Keep the token circulating.
+  size_t holder = 0;
+  sim::PeriodicTimer mover(&rig.s, sim::Duration::Millis(3), [&] {
+    if (rig.tokens[holder] > 0) {
+      const size_t next = (holder + 1) % 4;
+      rig.PassToken(holder, next);
+      holder = next;
+    }
+  });
+  mover.Start(sim::Duration::Millis(3));
+  rig.s.ScheduleAfter(sim::Duration::Millis(10), [&] { rig.nodes[2]->Initiate(7); });
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  mover.Stop();
+
+  ASSERT_EQ(locals.size(), 4u);
+  int64_t total = 0;
+  for (const auto& snap : locals) {
+    total += snap.state;
+    for (const auto& [channel, msgs] : snap.channel_messages) {
+      total += static_cast<int64_t>(msgs.size());
+    }
+  }
+  EXPECT_EQ(total, 1) << "consistent cut must conserve the token";
+}
+
+TEST(SnapshotTest, MarkerCostIsQuadraticInNodesPerSnapshot) {
+  SnapshotRig rig(5);
+  rig.nodes[0]->Initiate(1);
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  uint64_t markers = 0;
+  for (auto& node : rig.nodes) {
+    markers += node->markers_sent();
+  }
+  // Each of 5 nodes sends a marker on each of its 4 outgoing channels.
+  EXPECT_EQ(markers, 20u);
+}
+
+TEST(SnapshotTest, CollectorAssemblesGlobalCut) {
+  SnapshotRig rig(3);
+  rig.tokens = {1, 0, 0};
+  bool got_global = false;
+  SnapshotCollector collector(rig.transports[0].get(), 3, [&](const std::vector<LocalSnapshot>& all) {
+    got_global = true;
+    EXPECT_EQ(all.size(), 3u);
+  });
+  for (size_t i = 0; i < 3; ++i) {
+    auto* transport = rig.transports[i].get();
+    rig.nodes[i]->SetCompleteHandler([transport](const LocalSnapshot& snap) {
+      SnapshotCollector::Report(transport, 1, snap);
+    });
+  }
+  rig.nodes[1]->Initiate(2);
+  rig.s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_TRUE(got_global);
+}
+
+}  // namespace
+}  // namespace statelv

@@ -1,0 +1,171 @@
+// Unit and property tests for vector clocks and the Lamport clock.
+
+#include <gtest/gtest.h>
+
+#include "src/catocs/vector_clock.h"
+#include "src/sim/rng.h"
+
+namespace catocs {
+namespace {
+
+TEST(VectorClockTest, DefaultIsZero) {
+  VectorClock vc;
+  EXPECT_EQ(vc.Get(1), 0u);
+  EXPECT_EQ(vc.entry_count(), 0u);
+  EXPECT_EQ(vc.SizeBytes(), 0u);
+}
+
+TEST(VectorClockTest, IncrementAndGet) {
+  VectorClock vc;
+  EXPECT_EQ(vc.Increment(3), 1u);
+  EXPECT_EQ(vc.Increment(3), 2u);
+  EXPECT_EQ(vc.Get(3), 2u);
+  EXPECT_EQ(vc.Get(4), 0u);
+}
+
+TEST(VectorClockTest, SetZeroErasesEntry) {
+  VectorClock vc;
+  vc.Set(1, 5);
+  EXPECT_EQ(vc.entry_count(), 1u);
+  vc.Set(1, 0);
+  EXPECT_EQ(vc.entry_count(), 0u);
+}
+
+TEST(VectorClockTest, MergeTakesPointwiseMax) {
+  VectorClock a;
+  a.Set(1, 5);
+  a.Set(2, 1);
+  VectorClock b;
+  b.Set(1, 3);
+  b.Set(2, 7);
+  b.Set(3, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(1), 5u);
+  EXPECT_EQ(a.Get(2), 7u);
+  EXPECT_EQ(a.Get(3), 2u);
+}
+
+TEST(VectorClockTest, CompareEqual) {
+  VectorClock a;
+  a.Set(1, 2);
+  VectorClock b;
+  b.Set(1, 2);
+  EXPECT_EQ(a.Compare(b), CausalOrder::kEqual);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(VectorClockTest, CompareBeforeAfter) {
+  VectorClock a;
+  a.Set(1, 1);
+  VectorClock b;
+  b.Set(1, 1);
+  b.Set(2, 1);
+  EXPECT_EQ(a.Compare(b), CausalOrder::kBefore);
+  EXPECT_EQ(b.Compare(a), CausalOrder::kAfter);
+  EXPECT_TRUE(b.Dominates(a));
+  EXPECT_FALSE(a.Dominates(b));
+}
+
+TEST(VectorClockTest, CompareConcurrent) {
+  VectorClock a;
+  a.Set(1, 2);
+  a.Set(2, 1);
+  VectorClock b;
+  b.Set(1, 1);
+  b.Set(2, 2);
+  EXPECT_EQ(a.Compare(b), CausalOrder::kConcurrent);
+  EXPECT_EQ(b.Compare(a), CausalOrder::kConcurrent);
+}
+
+TEST(VectorClockTest, MissingEntriesTreatedAsZero) {
+  VectorClock a;  // empty
+  VectorClock b;
+  b.Set(5, 1);
+  EXPECT_EQ(a.Compare(b), CausalOrder::kBefore);
+  EXPECT_TRUE(b.Dominates(a));
+  EXPECT_TRUE(a.Dominates(a));
+}
+
+TEST(VectorClockTest, SizeBytesPerEntry) {
+  VectorClock vc;
+  vc.Set(1, 1);
+  vc.Set(2, 1);
+  vc.Set(3, 1);
+  EXPECT_EQ(vc.SizeBytes(), 3 * VectorClock::kEntryBytes);
+}
+
+TEST(VectorClockTest, ToStringFormat) {
+  VectorClock vc;
+  vc.Set(2, 3);
+  vc.Set(1, 1);
+  EXPECT_EQ(vc.ToString(), "{1:1,2:3}");
+}
+
+// Property: Compare is antisymmetric and consistent with Merge, over random
+// clocks.
+TEST(VectorClockPropertyTest, CompareAntisymmetricRandomized) {
+  sim::Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    VectorClock a;
+    VectorClock b;
+    for (MemberId m = 1; m <= 4; ++m) {
+      a.Set(m, rng.NextBelow(4));
+      b.Set(m, rng.NextBelow(4));
+    }
+    const CausalOrder ab = a.Compare(b);
+    const CausalOrder ba = b.Compare(a);
+    switch (ab) {
+      case CausalOrder::kEqual:
+        EXPECT_EQ(ba, CausalOrder::kEqual);
+        break;
+      case CausalOrder::kBefore:
+        EXPECT_EQ(ba, CausalOrder::kAfter);
+        break;
+      case CausalOrder::kAfter:
+        EXPECT_EQ(ba, CausalOrder::kBefore);
+        break;
+      case CausalOrder::kConcurrent:
+        EXPECT_EQ(ba, CausalOrder::kConcurrent);
+        break;
+    }
+    // Merge result dominates both inputs.
+    VectorClock merged = a;
+    merged.Merge(b);
+    EXPECT_TRUE(merged.Dominates(a));
+    EXPECT_TRUE(merged.Dominates(b));
+  }
+}
+
+// Property: transitivity of happens-before on random chains.
+TEST(VectorClockPropertyTest, TransitivityRandomized) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    VectorClock a;
+    for (MemberId m = 1; m <= 3; ++m) {
+      a.Set(m, rng.NextBelow(3));
+    }
+    VectorClock b = a;
+    b.Increment(static_cast<MemberId>(1 + rng.NextBelow(3)));
+    VectorClock c = b;
+    c.Increment(static_cast<MemberId>(1 + rng.NextBelow(3)));
+    EXPECT_EQ(a.Compare(b), CausalOrder::kBefore);
+    EXPECT_EQ(b.Compare(c), CausalOrder::kBefore);
+    EXPECT_EQ(a.Compare(c), CausalOrder::kBefore);
+  }
+}
+
+TEST(LamportClockTest, TickIncreases) {
+  LamportClock clock;
+  EXPECT_EQ(clock.Tick(), 1u);
+  EXPECT_EQ(clock.Tick(), 2u);
+}
+
+TEST(LamportClockTest, WitnessJumpsAhead) {
+  LamportClock clock;
+  clock.Tick();
+  EXPECT_EQ(clock.Witness(10), 11u);
+  EXPECT_EQ(clock.Witness(5), 12u);  // lower observation still advances
+}
+
+}  // namespace
+}  // namespace catocs
