@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_membership.dir/bench_e10_membership.cc.o"
+  "CMakeFiles/bench_e10_membership.dir/bench_e10_membership.cc.o.d"
+  "bench_e10_membership"
+  "bench_e10_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

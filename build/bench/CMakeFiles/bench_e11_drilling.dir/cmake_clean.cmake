@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_drilling.dir/bench_e11_drilling.cc.o"
+  "CMakeFiles/bench_e11_drilling.dir/bench_e11_drilling.cc.o.d"
+  "bench_e11_drilling"
+  "bench_e11_drilling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_drilling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_snapshot.dir/bench_e13_snapshot.cc.o"
+  "CMakeFiles/bench_e13_snapshot.dir/bench_e13_snapshot.cc.o.d"
+  "bench_e13_snapshot"
+  "bench_e13_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_nameservice.dir/bench_e14_nameservice.cc.o"
+  "CMakeFiles/bench_e14_nameservice.dir/bench_e14_nameservice.cc.o.d"
+  "bench_e14_nameservice"
+  "bench_e14_nameservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_nameservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

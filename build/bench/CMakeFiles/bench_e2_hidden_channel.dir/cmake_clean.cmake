@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_hidden_channel.dir/bench_e2_hidden_channel.cc.o"
+  "CMakeFiles/bench_e2_hidden_channel.dir/bench_e2_hidden_channel.cc.o.d"
+  "bench_e2_hidden_channel"
+  "bench_e2_hidden_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_hidden_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_external_channel.dir/bench_e3_external_channel.cc.o"
+  "CMakeFiles/bench_e3_external_channel.dir/bench_e3_external_channel.cc.o.d"
+  "bench_e3_external_channel"
+  "bench_e3_external_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_external_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

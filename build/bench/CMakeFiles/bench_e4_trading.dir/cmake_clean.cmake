@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_trading.dir/bench_e4_trading.cc.o"
+  "CMakeFiles/bench_e4_trading.dir/bench_e4_trading.cc.o.d"
+  "bench_e4_trading"
+  "bench_e4_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

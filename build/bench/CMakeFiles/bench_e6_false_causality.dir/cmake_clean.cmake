@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_false_causality.dir/bench_e6_false_causality.cc.o"
+  "CMakeFiles/bench_e6_false_causality.dir/bench_e6_false_causality.cc.o.d"
+  "bench_e6_false_causality"
+  "bench_e6_false_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_false_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

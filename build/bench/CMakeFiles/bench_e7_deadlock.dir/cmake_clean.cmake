@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_deadlock.dir/bench_e7_deadlock.cc.o"
+  "CMakeFiles/bench_e7_deadlock.dir/bench_e7_deadlock.cc.o.d"
+  "bench_e7_deadlock"
+  "bench_e7_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_replication.dir/bench_e8_replication.cc.o"
+  "CMakeFiles/bench_e8_replication.dir/bench_e8_replication.cc.o.d"
+  "bench_e8_replication"
+  "bench_e8_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

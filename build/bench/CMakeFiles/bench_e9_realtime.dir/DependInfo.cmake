@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e9_realtime.cc" "bench/CMakeFiles/bench_e9_realtime.dir/bench_e9_realtime.cc.o" "gcc" "bench/CMakeFiles/bench_e9_realtime.dir/bench_e9_realtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/statelevel/CMakeFiles/statelevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/catocs/CMakeFiles/catocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

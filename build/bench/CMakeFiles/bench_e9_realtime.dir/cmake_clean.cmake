@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_realtime.dir/bench_e9_realtime.cc.o"
+  "CMakeFiles/bench_e9_realtime.dir/bench_e9_realtime.cc.o.d"
+  "bench_e9_realtime"
+  "bench_e9_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

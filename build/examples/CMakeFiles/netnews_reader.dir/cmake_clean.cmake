@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netnews_reader.dir/netnews_reader.cpp.o"
+  "CMakeFiles/netnews_reader.dir/netnews_reader.cpp.o.d"
+  "netnews_reader"
+  "netnews_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netnews_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_change.dir/view_change.cpp.o"
+  "CMakeFiles/view_change.dir/view_change.cpp.o.d"
+  "view_change"
+  "view_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

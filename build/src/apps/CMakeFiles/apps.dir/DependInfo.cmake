@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/drilling.cc" "src/apps/CMakeFiles/apps.dir/drilling.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/drilling.cc.o.d"
+  "/root/repo/src/apps/firealarm.cc" "src/apps/CMakeFiles/apps.dir/firealarm.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/firealarm.cc.o.d"
+  "/root/repo/src/apps/nameservice.cc" "src/apps/CMakeFiles/apps.dir/nameservice.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/nameservice.cc.o.d"
+  "/root/repo/src/apps/netnews.cc" "src/apps/CMakeFiles/apps.dir/netnews.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/netnews.cc.o.d"
+  "/root/repo/src/apps/oven.cc" "src/apps/CMakeFiles/apps.dir/oven.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/oven.cc.o.d"
+  "/root/repo/src/apps/rpc_deadlock.cc" "src/apps/CMakeFiles/apps.dir/rpc_deadlock.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/rpc_deadlock.cc.o.d"
+  "/root/repo/src/apps/shopfloor.cc" "src/apps/CMakeFiles/apps.dir/shopfloor.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/shopfloor.cc.o.d"
+  "/root/repo/src/apps/trading.cc" "src/apps/CMakeFiles/apps.dir/trading.cc.o" "gcc" "src/apps/CMakeFiles/apps.dir/trading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catocs/CMakeFiles/catocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/statelevel/CMakeFiles/statelevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/drilling.cc.o"
+  "CMakeFiles/apps.dir/drilling.cc.o.d"
+  "CMakeFiles/apps.dir/firealarm.cc.o"
+  "CMakeFiles/apps.dir/firealarm.cc.o.d"
+  "CMakeFiles/apps.dir/nameservice.cc.o"
+  "CMakeFiles/apps.dir/nameservice.cc.o.d"
+  "CMakeFiles/apps.dir/netnews.cc.o"
+  "CMakeFiles/apps.dir/netnews.cc.o.d"
+  "CMakeFiles/apps.dir/oven.cc.o"
+  "CMakeFiles/apps.dir/oven.cc.o.d"
+  "CMakeFiles/apps.dir/rpc_deadlock.cc.o"
+  "CMakeFiles/apps.dir/rpc_deadlock.cc.o.d"
+  "CMakeFiles/apps.dir/shopfloor.cc.o"
+  "CMakeFiles/apps.dir/shopfloor.cc.o.d"
+  "CMakeFiles/apps.dir/trading.cc.o"
+  "CMakeFiles/apps.dir/trading.cc.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

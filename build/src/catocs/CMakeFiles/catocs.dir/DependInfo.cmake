@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catocs/group.cc" "src/catocs/CMakeFiles/catocs.dir/group.cc.o" "gcc" "src/catocs/CMakeFiles/catocs.dir/group.cc.o.d"
+  "/root/repo/src/catocs/group_member.cc" "src/catocs/CMakeFiles/catocs.dir/group_member.cc.o" "gcc" "src/catocs/CMakeFiles/catocs.dir/group_member.cc.o.d"
+  "/root/repo/src/catocs/membership.cc" "src/catocs/CMakeFiles/catocs.dir/membership.cc.o" "gcc" "src/catocs/CMakeFiles/catocs.dir/membership.cc.o.d"
+  "/root/repo/src/catocs/message.cc" "src/catocs/CMakeFiles/catocs.dir/message.cc.o" "gcc" "src/catocs/CMakeFiles/catocs.dir/message.cc.o.d"
+  "/root/repo/src/catocs/stability.cc" "src/catocs/CMakeFiles/catocs.dir/stability.cc.o" "gcc" "src/catocs/CMakeFiles/catocs.dir/stability.cc.o.d"
+  "/root/repo/src/catocs/vector_clock.cc" "src/catocs/CMakeFiles/catocs.dir/vector_clock.cc.o" "gcc" "src/catocs/CMakeFiles/catocs.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catocs.dir/group.cc.o"
+  "CMakeFiles/catocs.dir/group.cc.o.d"
+  "CMakeFiles/catocs.dir/group_member.cc.o"
+  "CMakeFiles/catocs.dir/group_member.cc.o.d"
+  "CMakeFiles/catocs.dir/membership.cc.o"
+  "CMakeFiles/catocs.dir/membership.cc.o.d"
+  "CMakeFiles/catocs.dir/message.cc.o"
+  "CMakeFiles/catocs.dir/message.cc.o.d"
+  "CMakeFiles/catocs.dir/stability.cc.o"
+  "CMakeFiles/catocs.dir/stability.cc.o.d"
+  "CMakeFiles/catocs.dir/vector_clock.cc.o"
+  "CMakeFiles/catocs.dir/vector_clock.cc.o.d"
+  "libcatocs.a"
+  "libcatocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

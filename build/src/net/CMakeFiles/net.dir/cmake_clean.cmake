@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net.dir/clock.cc.o"
+  "CMakeFiles/net.dir/clock.cc.o.d"
+  "CMakeFiles/net.dir/network.cc.o"
+  "CMakeFiles/net.dir/network.cc.o.d"
+  "CMakeFiles/net.dir/transport.cc.o"
+  "CMakeFiles/net.dir/transport.cc.o.d"
+  "libnet.a"
+  "libnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/event_queue.cc.o"
+  "CMakeFiles/sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/sim.dir/metrics.cc.o"
+  "CMakeFiles/sim.dir/metrics.cc.o.d"
+  "CMakeFiles/sim.dir/process.cc.o"
+  "CMakeFiles/sim.dir/process.cc.o.d"
+  "CMakeFiles/sim.dir/rng.cc.o"
+  "CMakeFiles/sim.dir/rng.cc.o.d"
+  "CMakeFiles/sim.dir/simulator.cc.o"
+  "CMakeFiles/sim.dir/simulator.cc.o.d"
+  "CMakeFiles/sim.dir/time.cc.o"
+  "CMakeFiles/sim.dir/time.cc.o.d"
+  "CMakeFiles/sim.dir/trace.cc.o"
+  "CMakeFiles/sim.dir/trace.cc.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statelevel/ordered_cache.cc" "src/statelevel/CMakeFiles/statelevel.dir/ordered_cache.cc.o" "gcc" "src/statelevel/CMakeFiles/statelevel.dir/ordered_cache.cc.o.d"
+  "/root/repo/src/statelevel/prescriptive.cc" "src/statelevel/CMakeFiles/statelevel.dir/prescriptive.cc.o" "gcc" "src/statelevel/CMakeFiles/statelevel.dir/prescriptive.cc.o.d"
+  "/root/repo/src/statelevel/snapshot.cc" "src/statelevel/CMakeFiles/statelevel.dir/snapshot.cc.o" "gcc" "src/statelevel/CMakeFiles/statelevel.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statelevel.dir/ordered_cache.cc.o"
+  "CMakeFiles/statelevel.dir/ordered_cache.cc.o.d"
+  "CMakeFiles/statelevel.dir/prescriptive.cc.o"
+  "CMakeFiles/statelevel.dir/prescriptive.cc.o.d"
+  "CMakeFiles/statelevel.dir/snapshot.cc.o"
+  "CMakeFiles/statelevel.dir/snapshot.cc.o.d"
+  "libstatelevel.a"
+  "libstatelevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statelevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/deadlock_detector.cc" "src/txn/CMakeFiles/txn.dir/deadlock_detector.cc.o" "gcc" "src/txn/CMakeFiles/txn.dir/deadlock_detector.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/occ.cc" "src/txn/CMakeFiles/txn.dir/occ.cc.o" "gcc" "src/txn/CMakeFiles/txn.dir/occ.cc.o.d"
+  "/root/repo/src/txn/replicated_store.cc" "src/txn/CMakeFiles/txn.dir/replicated_store.cc.o" "gcc" "src/txn/CMakeFiles/txn.dir/replicated_store.cc.o.d"
+  "/root/repo/src/txn/wait_for_graph.cc" "src/txn/CMakeFiles/txn.dir/wait_for_graph.cc.o" "gcc" "src/txn/CMakeFiles/txn.dir/wait_for_graph.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/txn/CMakeFiles/txn.dir/wal.cc.o" "gcc" "src/txn/CMakeFiles/txn.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catocs/CMakeFiles/catocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

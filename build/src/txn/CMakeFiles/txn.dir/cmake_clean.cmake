@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn.dir/deadlock_detector.cc.o"
+  "CMakeFiles/txn.dir/deadlock_detector.cc.o.d"
+  "CMakeFiles/txn.dir/lock_manager.cc.o"
+  "CMakeFiles/txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/txn.dir/occ.cc.o"
+  "CMakeFiles/txn.dir/occ.cc.o.d"
+  "CMakeFiles/txn.dir/replicated_store.cc.o"
+  "CMakeFiles/txn.dir/replicated_store.cc.o.d"
+  "CMakeFiles/txn.dir/wait_for_graph.cc.o"
+  "CMakeFiles/txn.dir/wait_for_graph.cc.o.d"
+  "CMakeFiles/txn.dir/wal.cc.o"
+  "CMakeFiles/txn.dir/wal.cc.o.d"
+  "libtxn.a"
+  "libtxn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

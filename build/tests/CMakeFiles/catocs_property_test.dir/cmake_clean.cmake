@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catocs_property_test.dir/catocs_property_test.cc.o"
+  "CMakeFiles/catocs_property_test.dir/catocs_property_test.cc.o.d"
+  "catocs_property_test"
+  "catocs_property_test.pdb"
+  "catocs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catocs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catocs_test.dir/catocs_test.cc.o"
+  "CMakeFiles/catocs_test.dir/catocs_test.cc.o.d"
+  "catocs_test"
+  "catocs_test.pdb"
+  "catocs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catocs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

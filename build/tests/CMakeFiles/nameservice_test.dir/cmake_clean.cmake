@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nameservice_test.dir/nameservice_test.cc.o"
+  "CMakeFiles/nameservice_test.dir/nameservice_test.cc.o.d"
+  "nameservice_test"
+  "nameservice_test.pdb"
+  "nameservice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nameservice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

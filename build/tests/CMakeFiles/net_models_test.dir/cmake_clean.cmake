@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_models_test.dir/net_models_test.cc.o"
+  "CMakeFiles/net_models_test.dir/net_models_test.cc.o.d"
+  "net_models_test"
+  "net_models_test.pdb"
+  "net_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

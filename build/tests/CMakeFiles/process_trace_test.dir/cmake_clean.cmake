@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_trace_test.dir/process_trace_test.cc.o"
+  "CMakeFiles/process_trace_test.dir/process_trace_test.cc.o.d"
+  "process_trace_test"
+  "process_trace_test.pdb"
+  "process_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statelevel_test.dir/statelevel_test.cc.o"
+  "CMakeFiles/statelevel_test.dir/statelevel_test.cc.o.d"
+  "statelevel_test"
+  "statelevel_test.pdb"
+  "statelevel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statelevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

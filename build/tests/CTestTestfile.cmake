@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/vector_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/catocs_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/statelevel_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/replicated_store_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/nameservice_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/catocs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/statelevel_property_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_property_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/process_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/message_test[1]_include.cmake")
+include("/root/repo/build/tests/net_models_test[1]_include.cmake")
