@@ -164,7 +164,7 @@ Outcome RunCatocs() {
   std::map<uint64_t, std::pair<int, int64_t>> cut_reports;  // id -> (reports, sum)
   for (int m = 0; m < kNodes; ++m) {
     fabric.member(static_cast<size_t>(m)).SetDeliveryHandler([&, m](const catocs::Delivery& d) {
-      if (const auto* move = net::PayloadCast<TokenMove>(d.payload)) {
+      if (const auto* move = net::PayloadCast<TokenMove>(d.payload())) {
         --counts[m][move->from()];
         ++counts[m][move->to()];
         if (move->from() == m) {
@@ -172,7 +172,7 @@ Outcome RunCatocs() {
         }
         return;
       }
-      if (const auto* snap = net::PayloadCast<SnapNow>(d.payload)) {
+      if (const auto* snap = net::PayloadCast<SnapNow>(d.payload())) {
         // Report own count at the cut (member m's own slot).
         auto& [reports, sum] = cut_reports[snap->id()];
         ++reports;

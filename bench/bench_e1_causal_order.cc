@@ -25,13 +25,13 @@ void Figure1Pattern() {
   // P reacts to m1 by sending m2 (m1 happens-before m2); R and Q emit the
   // concurrent m3/m4 afterwards.
   fabric.member(0).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    if (net::PayloadCast<net::BlobPayload>(d.payload)->tag() == "m1") {
+    if (net::PayloadCast<net::BlobPayload>(d.payload())->tag() == "m1") {
       fabric.member(0).CausalSend(Blob("m2"));
     }
   });
   std::vector<std::pair<uint32_t, std::string>> at_r;
   fabric.member(2).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    at_r.emplace_back(3, net::PayloadCast<net::BlobPayload>(d.payload)->tag());
+    at_r.emplace_back(3, net::PayloadCast<net::BlobPayload>(d.payload())->tag());
   });
   fabric.StartAll();
   s.ScheduleAfter(sim::Duration::Millis(1), [&] { fabric.member(1).CausalSend(Blob("m1")); });

@@ -35,7 +35,7 @@ RunResult RunOne(catocs::OrderingMode mode, double drop, bool piggyback, uint64_
   sim::Histogram latency;
   for (size_t i = 0; i < fabric.size(); ++i) {
     fabric.member(i).SetDeliveryHandler([&latency](const catocs::Delivery& d) {
-      latency.Record(static_cast<double>((d.delivered_at - d.sent_at).nanos()) / 1000.0);
+      latency.Record(static_cast<double>((d.delivered_at - d.sent_at()).nanos()) / 1000.0);
     });
   }
   fabric.StartAll();

@@ -7,14 +7,25 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "src/catocs/group.h"
+#include "src/catocs/stability.h"
 #include "src/catocs/vector_clock.h"
+#include "src/sim/event_queue.h"
 #include "src/statelevel/ordered_cache.h"
 #include "src/txn/lock_manager.h"
 #include "src/txn/occ.h"
 
 namespace {
+
+catocs::VectorClock FullClock(int members, uint64_t base) {
+  catocs::VectorClock vc;
+  for (int m = 0; m < members; ++m) {
+    vc.Set(static_cast<catocs::MemberId>(m + 1), base + static_cast<uint64_t>(m));
+  }
+  return vc;
+}
 
 void BM_VectorClockIncrement(benchmark::State& state) {
   catocs::VectorClock vc;
@@ -55,6 +66,100 @@ void BM_VectorClockMerge(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VectorClockMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VectorClockDominates(benchmark::State& state) {
+  catocs::VectorClock big = FullClock(static_cast<int>(state.range(0)), 2);
+  catocs::VectorClock small = FullClock(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(big.Dominates(small));
+  }
+}
+BENCHMARK(BM_VectorClockDominates)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The per-message receive-path gate: vt[sender] == vd[sender]+1 and
+// vt[m] <= vd[m] elsewhere, fused into one scan.
+void BM_CausallyDeliverable(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  catocs::VectorClock delivered = FullClock(members, 5);
+  catocs::VectorClock vt = delivered;
+  vt.Increment(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catocs::CausallyDeliverable(vt, 1, delivered));
+  }
+}
+BENCHMARK(BM_CausallyDeliverable)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Multicast fan-out: materialise one timestamped message and hand it to N
+// recipients. The shared_ptr-per-delivery design makes this O(N) refcounts
+// rather than O(N) header deep-copies.
+void BM_MulticastFanout(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  auto data = std::make_shared<catocs::GroupData>(
+      1, catocs::MessageId{1, 9}, catocs::OrderingMode::kCausal, FullClock(members, 3),
+      std::make_shared<net::BlobPayload>("b", 256), sim::TimePoint::Zero());
+  std::vector<catocs::Delivery> inboxes(static_cast<size_t>(members));
+  for (auto _ : state) {
+    for (auto& slot : inboxes) {
+      slot.data = data;
+      slot.total_seq = 0;
+    }
+    benchmark::DoNotOptimize(inboxes.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["per_recipient"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * members, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MulticastFanout)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Stability advance: every member reports its delivered vector, then the
+// tracker computes the stable floor and prunes. This is the ack-gossip path
+// that dominates E5's buffering sweep.
+void BM_StabilityAdvance(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  std::vector<catocs::MemberId> ids;
+  for (int m = 0; m < members; ++m) {
+    ids.push_back(static_cast<catocs::MemberId>(m + 1));
+  }
+  uint64_t round = 1;
+  catocs::StabilityTracker tracker;
+  tracker.SetMembers(ids);
+  for (auto _ : state) {
+    catocs::VectorClock report = FullClock(members, round++);
+    for (catocs::MemberId m : ids) {
+      tracker.UpdateMemberVector(m, report);
+    }
+    benchmark::DoNotOptimize(tracker.StableVector());
+    tracker.Prune();
+  }
+}
+BENCHMARK(BM_StabilityAdvance)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Schedule/cancel churn with most timers cancelled before firing — the
+// retransmit-timer pattern that makes heap compaction matter.
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue queue;
+  uint64_t fired = 0;
+  sim::TimePoint now = sim::TimePoint::Zero();
+  for (auto _ : state) {
+    std::vector<sim::EventId> pending;
+    pending.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      now = now + sim::Duration::Micros(1);
+      pending.push_back(queue.Schedule(now, [&fired] { ++fired; }));
+    }
+    // Cancel 15 of every 16 (acks beat the retransmit timer).
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (i % 16 != 0) {
+        queue.Cancel(pending[i]);
+      }
+    }
+    while (!queue.Empty()) {
+      queue.PopNext().fn();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMicrosecond);
 
 // Versus: the state-level "ordering check" is one integer compare.
 void BM_StateLevelVersionCompare(benchmark::State& state) {

@@ -23,7 +23,7 @@ net::PayloadPtr Msg(const std::string& text) {
 }
 
 std::string TextOf(const catocs::Delivery& d) {
-  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload);
+  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload());
   return blob ? blob->tag() : "?";
 }
 
@@ -48,7 +48,7 @@ int main() {
     fabric.member(i).SetDeliveryHandler([&, id, i](const catocs::Delivery& d) {
       if (i == 4) {  // narrate one member's view
         std::printf("  member %u delivered %-22s (mode=%s, waited %s in delay queue)\n", id,
-                    TextOf(d).c_str(), ToString(d.mode), d.causal_delay.ToString().c_str());
+                    TextOf(d).c_str(), ToString(d.mode()), d.causal_delay.ToString().c_str());
       }
       if (i == 0 && TextOf(d) == "question") {
         fabric.member(0).CausalSend(Msg("answer"));  // caused by "question"

@@ -53,7 +53,7 @@ int main() {
   // Theoretical pricer: derive after a 4ms compute, publish with dependency.
   uint64_t theo_version = 0;
   fabric.member(1).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    const auto* update = net::PayloadCast<PriceUpdate>(d.payload);
+    const auto* update = net::PayloadCast<PriceUpdate>(d.payload());
     if (update == nullptr || update->is_theo()) {
       return;
     }
@@ -73,7 +73,7 @@ int main() {
   std::printf("%-10s %-7s | %-9s %-9s %-11s | %-9s %-9s\n", "time", "event", "RAW:opt",
               "RAW:theo", "RAW-status", "PAIR:base", "PAIR:theo");
   fabric.member(2).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    const auto* update = net::PayloadCast<PriceUpdate>(d.payload);
+    const auto* update = net::PayloadCast<PriceUpdate>(d.payload());
     if (update == nullptr) {
       return;
     }

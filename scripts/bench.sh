@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_micro.json: Release build of the microbenchmark suite,
+# run with google-benchmark's JSON reporter. Run on an otherwise idle machine;
+# results land at the repo root so they can be diffed across commits.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-rel}
+OUT=${OUT:-BENCH_micro.json}
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_micro_protocol
+"${BUILD_DIR}/bench/bench_micro_protocol" \
+  --benchmark_out="${OUT}" --benchmark_out_format=json
+echo "wrote ${OUT}"

@@ -132,7 +132,7 @@ DrillingResult RunCatocs(const DrillingConfig& config) {
 
   for (size_t member = 0; member < fabric.size(); ++member) {
     fabric.member(member).SetDeliveryHandler([&, member](const catocs::Delivery& del) {
-      if (const auto* schedule = net::PayloadCast<ScheduleMsg>(del.payload)) {
+      if (const auto* schedule = net::PayloadCast<ScheduleMsg>(del.payload())) {
         // Every driller derives its assignment from the same ordered
         // schedule: hole h belongs to driller h mod D.
         if (member < static_cast<size_t>(drillers)) {
@@ -145,7 +145,7 @@ DrillingResult RunCatocs(const DrillingConfig& config) {
         }
         return;
       }
-      if (const auto* complete = net::PayloadCast<CompleteMsg>(del.payload)) {
+      if (const auto* complete = net::PayloadCast<CompleteMsg>(del.payload())) {
         if (member < static_cast<size_t>(drillers)) {
           states[member].done.insert(complete->hole());
         }

@@ -69,7 +69,7 @@ FireAlarmResult RunFireAlarmScenario(const FireAlarmConfig& config) {
   std::map<int, Belief> ts_belief;   // greatest timestamp wins
 
   fabric.member(2).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    const auto* report = net::PayloadCast<FireReport>(d.payload);
+    const auto* report = net::PayloadCast<FireReport>(d.payload());
     if (report == nullptr) {
       return;
     }

@@ -261,7 +261,7 @@ NameServiceResult RunCatocs(const NameServiceConfig& config) {
 
   for (int i = 0; i < sites; ++i) {
     fabric.member(static_cast<size_t>(i)).SetDeliveryHandler([&, i](const catocs::Delivery& d) {
-      const auto* bind = net::PayloadCast<BindMsg>(d.payload);
+      const auto* bind = net::PayloadCast<BindMsg>(d.payload());
       if (bind == nullptr) {
         return;
       }

@@ -95,7 +95,7 @@ NetnewsResult RunNetnewsScenario(const NetnewsConfig& config) {
 
     for (size_t member = 0; member < fabric.size(); ++member) {
       fabric.member(member).SetDeliveryHandler([&, member](const catocs::Delivery& d) {
-        const auto* article = net::PayloadCast<Article>(d.payload);
+        const auto* article = net::PayloadCast<Article>(d.payload());
         if (article == nullptr) {
           return;
         }

@@ -74,9 +74,9 @@ OvenResult RunOvenScenario(const OvenConfig& config) {
 
   if (config.strategy == OvenStrategy::kCatocsCausal) {
     fabric.member(monitor_index).SetDeliveryHandler([&](const catocs::Delivery& d) {
-      const auto* reading = net::PayloadCast<SensorReading>(d.payload);
+      const auto* reading = net::PayloadCast<SensorReading>(d.payload());
       if (reading != nullptr && reading->sensor() == 0) {
-        apply_reading(*reading, d.sent_at);
+        apply_reading(*reading, d.sent_at());
       }
     });
   } else {

@@ -413,8 +413,12 @@ RpcDeadlockResult RunRpcDeadlockScenario(const RpcDeadlockConfig& config) {
         injection.c2 = engine.ClientCall(b, /*nest_target=*/a);
         // The deadlock is born once both processes are blocked on their
         // nested calls; poll for that instant to record ground truth.
+        // The scheduled closure owns the poll function; the function itself
+        // only holds a weak reference, so the chain frees itself when it
+        // terminates instead of leaking a shared_ptr cycle.
         auto poll = std::make_shared<std::function<void()>>();
-        *poll = [&engine, &injection, &s, poll, a, b] {
+        *poll = [&engine, &injection, &s, weak = std::weak_ptr<std::function<void()>>(poll), a,
+                 b] {
           if (injection.resolved) {
             return;
           }
@@ -423,9 +427,11 @@ RpcDeadlockResult RunRpcDeadlockScenario(const RpcDeadlockConfig& config) {
             injection.born_known = true;
             return;
           }
-          s.ScheduleAfter(sim::Duration::Millis(2), *poll);
+          if (auto self = weak.lock()) {
+            s.ScheduleAfter(sim::Duration::Millis(2), [self] { (*self)(); });
+          }
         };
-        s.ScheduleAfter(sim::Duration::Millis(2), *poll);
+        s.ScheduleAfter(sim::Duration::Millis(2), [poll] { (*poll)(); });
       });
       // Rescue: if never detected, clear it by timeout so the run finishes.
       s.ScheduleAt(at + config.rescue_timeout,
@@ -501,11 +507,11 @@ RpcDeadlockResult RunRpcDeadlockScenario(const RpcDeadlockConfig& config) {
         });
     VanRenesseMonitor monitor(handle_detection);
     fabric.member(monitor_index).SetDeliveryHandler([&monitor](const catocs::Delivery& d) {
-      if (const auto* invoke = net::PayloadCast<InvokeEvent>(d.payload)) {
+      if (const auto* invoke = net::PayloadCast<InvokeEvent>(d.payload())) {
         monitor.OnInvoke(invoke->parent(), invoke->child(), invoke->target());
-      } else if (const auto* serve = net::PayloadCast<ServeEvent>(d.payload)) {
+      } else if (const auto* serve = net::PayloadCast<ServeEvent>(d.payload())) {
         monitor.OnServe(serve->call(), serve->at());
-      } else if (const auto* ret = net::PayloadCast<ReturnEvent>(d.payload)) {
+      } else if (const auto* ret = net::PayloadCast<ReturnEvent>(d.payload())) {
         monitor.OnReturn(ret->call(), ret->at());
       }
     });

@@ -139,11 +139,11 @@ ShopFloorResult RunShopFloorScenario(const ShopFloorConfig& config) {
   uint64_t latency_count = 0;
 
   fabric.member(0).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    const auto* update = net::PayloadCast<LotUpdate>(d.payload);
+    const auto* update = net::PayloadCast<LotUpdate>(d.payload());
     if (update == nullptr) {
       return;
     }
-    latency_sum_us += static_cast<double>((d.delivered_at - d.sent_at).nanos()) / 1000.0;
+    latency_sum_us += static_cast<double>((d.delivered_at - d.sent_at()).nanos()) / 1000.0;
     ++latency_count;
     // Raw CATOCS display: believe deliveries in the order they arrive.
     uint64_t& last = raw_last_version[update->round()];

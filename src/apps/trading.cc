@@ -46,7 +46,7 @@ TradingResult RunTradingScenario(const TradingConfig& config) {
   // compute delay, and publish with the dependency field.
   uint64_t theo_version = 0;
   fabric.member(1).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    const auto* update = net::PayloadCast<PriceUpdate>(d.payload);
+    const auto* update = net::PayloadCast<PriceUpdate>(d.payload());
     if (update == nullptr || update->object() != "opt") {
       return;
     }
@@ -101,7 +101,7 @@ TradingResult RunTradingScenario(const TradingConfig& config) {
   };
 
   fabric.member(2).SetDeliveryHandler([&](const catocs::Delivery& d) {
-    const auto* update = net::PayloadCast<PriceUpdate>(d.payload);
+    const auto* update = net::PayloadCast<PriceUpdate>(d.payload());
     if (update == nullptr) {
       return;
     }

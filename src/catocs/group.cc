@@ -55,7 +55,7 @@ std::vector<MessageId> GroupFabric::DeliveryOrderAt(size_t index) const {
   const MemberId id = IdOf(index);
   for (const auto& record : records_) {
     if (record.at == id) {
-      out.push_back(record.delivery.id);
+      out.push_back(record.delivery.id());
     }
   }
   return out;
@@ -65,7 +65,7 @@ std::string CheckCausalDeliveryInvariant(const std::vector<GroupFabric::Record>&
   // Group records by member, preserving delivery order.
   std::map<MemberId, std::vector<const GroupFabric::Record*>> by_member;
   for (const auto& record : records) {
-    if (record.delivery.mode == OrderingMode::kUnordered) {
+    if (record.delivery.mode() == OrderingMode::kUnordered) {
       continue;
     }
     by_member[record.at].push_back(&record);
@@ -76,11 +76,11 @@ std::string CheckCausalDeliveryInvariant(const std::vector<GroupFabric::Record>&
         // sequence[earlier] was delivered after sequence[later]; it must not
         // happen-before it.
         const CausalOrder order =
-            sequence[earlier]->delivery.vt.Compare(sequence[later]->delivery.vt);
+            sequence[earlier]->delivery.vt().Compare(sequence[later]->delivery.vt());
         if (order == CausalOrder::kBefore) {
           std::ostringstream out;
-          out << "member " << member << ": " << sequence[earlier]->delivery.id.ToString()
-              << " happens-before " << sequence[later]->delivery.id.ToString()
+          out << "member " << member << ": " << sequence[earlier]->delivery.id().ToString()
+              << " happens-before " << sequence[later]->delivery.id().ToString()
               << " but was delivered after it";
           return out.str();
         }
@@ -93,10 +93,10 @@ std::string CheckCausalDeliveryInvariant(const std::vector<GroupFabric::Record>&
 std::string CheckTotalOrderInvariant(const std::vector<GroupFabric::Record>& records) {
   std::map<MemberId, std::vector<std::pair<uint64_t, MessageId>>> by_member;
   for (const auto& record : records) {
-    if (record.delivery.mode != OrderingMode::kTotal) {
+    if (record.delivery.mode() != OrderingMode::kTotal) {
       continue;
     }
-    by_member[record.at].emplace_back(record.delivery.total_seq, record.delivery.id);
+    by_member[record.at].emplace_back(record.delivery.total_seq, record.delivery.id());
   }
   // 1. Each member's total sequence must be strictly increasing (delivery in
   //    sequence order).
@@ -128,17 +128,17 @@ std::string CheckTotalOrderInvariant(const std::vector<GroupFabric::Record>& rec
 std::string CheckFifoInvariant(const std::vector<GroupFabric::Record>& records) {
   std::map<std::pair<MemberId, MemberId>, uint64_t> last_seq;  // (at, sender) -> seq
   for (const auto& record : records) {
-    if (record.delivery.mode == OrderingMode::kUnordered) {
+    if (record.delivery.mode() == OrderingMode::kUnordered) {
       continue;
     }
-    uint64_t& last = last_seq[{record.at, record.delivery.id.sender}];
-    if (record.delivery.id.seq <= last) {
+    uint64_t& last = last_seq[{record.at, record.delivery.id().sender}];
+    if (record.delivery.id().seq <= last) {
       std::ostringstream out;
-      out << "member " << record.at << ": message " << record.delivery.id.ToString()
+      out << "member " << record.at << ": message " << record.delivery.id().ToString()
           << " delivered after seq " << last << " from the same sender";
       return out.str();
     }
-    last = record.delivery.id.seq;
+    last = record.delivery.id().seq;
   }
   return "";
 }

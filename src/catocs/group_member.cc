@@ -123,10 +123,9 @@ void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
 
   const uint64_t seq = ++send_seq_;
   MessageId id{self_, seq};
-  VectorClock vt;
-  for (const auto& [member, count] : vd_) {
-    vt.Set(member, count);
-  }
+  // The message's timestamp is the delivered-vector with our own entry
+  // advanced to this send — one contiguous copy, no per-entry churn.
+  VectorClock vt = vd_;
   vt.Set(self_, seq);
   auto data = std::make_shared<GroupData>(config_.group_id, id, mode, std::move(vt),
                                           std::move(payload), simulator_->now());
@@ -181,9 +180,7 @@ void GroupMember::IngestData(const GroupDataPtr& data) {
   }
 
   // Duplicate suppression: already causally delivered, or already pending.
-  auto it = vd_.find(data->id().sender);
-  const uint64_t delivered = it == vd_.end() ? 0 : it->second;
-  if (data->id().seq <= delivered) {
+  if (data->id().seq <= vd_.Get(data->id().sender)) {
     return;
   }
   if (!pending_ids_.insert(data->id()).second) {
@@ -194,19 +191,7 @@ void GroupMember::IngestData(const GroupDataPtr& data) {
 }
 
 bool GroupMember::CausallyDeliverable(const GroupData& data) const {
-  const MemberId sender = data.id().sender;
-  for (const auto& [member, count] : data.vt().entries()) {
-    auto it = vd_.find(member);
-    const uint64_t have = it == vd_.end() ? 0 : it->second;
-    if (member == sender) {
-      if (count != have + 1) {
-        return false;
-      }
-    } else if (count > have) {
-      return false;
-    }
-  }
-  return true;
+  return catocs::CausallyDeliverable(data.vt(), data.id().sender, vd_);
 }
 
 void GroupMember::TryDeliverPending() {
@@ -229,9 +214,8 @@ void GroupMember::TryDeliverPending() {
 void GroupMember::CausalDeliver(const PendingMessage& pending) {
   const GroupDataPtr& data = pending.data;
   const MemberId sender = data->id().sender;
-  uint64_t& count = vd_[sender];
-  assert(count + 1 == data->id().seq);
-  count = data->id().seq;
+  assert(vd_.Get(sender) + 1 == data->id().seq);
+  vd_.Set(sender, data->id().seq);
   ++stats_.causal_delivered;
 
   const sim::Duration causal_delay = simulator_->now() - pending.arrived_at;
@@ -262,17 +246,9 @@ bool GroupMember::AppDeliverable(const GroupData& data) const {
   // App-level causal clearance: everything that happens-before this message
   // must already be visible to the application (or have been skipped at a
   // view change). Per-sender order is enforced by the FIFO scan in
-  // TryDeliverApp.
-  const MemberId sender = data.id().sender;
-  for (const auto& [member, count] : data.vt().entries()) {
-    if (member == sender) {
-      continue;
-    }
-    auto it = ad_.find(member);
-    const uint64_t have = it == ad_.end() ? 0 : it->second;
-    if (count > have) {
-      return false;
-    }
+  // TryDeliverApp; the gate never waits on the message's own sender entry.
+  if (!DominatesIgnoring(ad_, data.vt(), data.id().sender)) {
+    return false;
   }
   if (data.mode() == OrderingMode::kTotal) {
     auto it = seq_by_id_.find(data.id());
@@ -297,8 +273,7 @@ void GroupMember::TryDeliverApp() {
       }
       AppPending entry = std::move(*it);
       app_pending_.erase(it);
-      uint64_t& delivered = ad_[sender];
-      delivered = std::max(delivered, entry.data->id().seq);
+      ad_.RaiseTo(sender, entry.data->id().seq);
       uint64_t total_seq = 0;
       if (entry.data->mode() == OrderingMode::kTotal) {
         total_seq = next_total_deliver_++;
@@ -317,19 +292,14 @@ void GroupMember::DeliverToApp(const GroupDataPtr& data, uint64_t total_seq,
   if (!delivery_handler_) {
     return;
   }
+  // Shares the one immutable GroupData; nothing per-recipient is copied.
   Delivery delivery;
-  delivery.id = data->id();
-  delivery.mode = data->mode();
+  delivery.data = data;
   delivery.total_seq = total_seq;
-  delivery.payload = data->app_payload();
-  delivery.sent_at = data->sent_at();
   delivery.delivered_at = simulator_->now();
   delivery.causal_delay = causal_delay;
-  delivery.vt = data->vt();
   delivery_handler_(delivery);
 }
-
-std::map<MemberId, uint64_t> GroupMember::DeliveredVector() const { return vd_; }
 
 void GroupMember::NoteLocalProgress(MemberId sender, uint64_t count) {
   stability_.UpdateMemberEntry(self_, sender, count);

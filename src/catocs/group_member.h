@@ -75,18 +75,23 @@ struct View {
   std::vector<MemberId> members;  // sorted
 };
 
-// What the application sees on delivery.
+// What the application sees on delivery. The message itself is the single
+// immutable GroupData shared by every destination (and by the stability
+// buffer) — a delivery adds only the per-receiver facts, so handing a
+// message to N applications never deep-copies its ordering metadata.
 struct Delivery {
-  MessageId id;
-  OrderingMode mode = OrderingMode::kCausal;
+  GroupDataPtr data;
   uint64_t total_seq = 0;  // assigned group-wide sequence; 0 unless kTotal
-  net::PayloadPtr payload;
-  sim::TimePoint sent_at;
   sim::TimePoint delivered_at;
   // Time the message spent waiting in this member's delay queue for causal
   // predecessors (the cost of potential/false causality).
   sim::Duration causal_delay;
-  VectorClock vt;
+
+  const MessageId& id() const { return data->id(); }
+  OrderingMode mode() const { return data->mode(); }
+  const net::PayloadPtr& payload() const { return data->app_payload(); }
+  sim::TimePoint sent_at() const { return data->sent_at(); }
+  const VectorClock& vt() const { return data->vt(); }
 };
 
 using DeliveryHandler = std::function<void(const Delivery&)>;
@@ -187,7 +192,7 @@ class GroupMember {
   bool AppDeliverable(const GroupData& data) const;
   void TryDeliverApp();
   void DeliverToApp(const GroupDataPtr& data, uint64_t total_seq, sim::Duration causal_delay);
-  std::map<MemberId, uint64_t> DeliveredVector() const;
+  const VectorClock& DeliveredVector() const { return vd_; }
   void NoteLocalProgress(MemberId sender, uint64_t count);
 
   // --- total order ---------------------------------------------------------
@@ -230,7 +235,7 @@ class GroupMember {
 
   // Causal machinery (stage 1: the vector-clock condition).
   uint64_t send_seq_ = 0;
-  std::map<MemberId, uint64_t> vd_;  // contiguous causally-delivered count per sender
+  VectorClock vd_;  // contiguous causally-delivered count per sender
   std::deque<PendingMessage> pending_;
   std::set<MessageId> pending_ids_;  // fast duplicate check for pending_
 
@@ -241,7 +246,7 @@ class GroupMember {
     sim::Duration causal_delay;
   };
   std::deque<AppPending> app_pending_;
-  std::map<MemberId, uint64_t> ad_;  // app-delivered (or skipped) count per sender
+  VectorClock ad_;  // app-delivered (or skipped) count per sender
 
   // Total-order machinery.
   uint64_t next_total_assign_ = 1;    // sequencer/token holder only

@@ -237,12 +237,9 @@ void GroupMember::MaybeCompleteFlush() {
   //    survivor or present in the union (if a survivor delivered it and it
   //    was pruned as stable, then by definition of stability everyone
   //    delivered it already).
-  std::map<MemberId, uint64_t> final_cut;
+  VectorClock final_cut;
   for (const auto& [member, state] : flush_states_) {
-    for (const auto& [sender, count] : state.delivered()) {
-      uint64_t& cut = final_cut[sender];
-      cut = std::max(cut, count);
-    }
+    final_cut.Merge(state.delivered());
   }
 
   // 3. Consolidate total-order assignments. Assignments below `base` are
@@ -297,9 +294,7 @@ void GroupMember::MaybeCompleteFlush() {
     const FlushState& state = flush_states_.at(member);
     std::vector<GroupDataPtr> missing;
     for (const auto& [id, msg] : message_union) {
-      auto it = state.delivered().find(id.sender);
-      const uint64_t have = it == state.delivered().end() ? 0 : it->second;
-      if (id.seq > have) {
+      if (id.seq > state.delivered().Get(id.sender)) {
         missing.push_back(msg);
       }
     }
@@ -332,12 +327,8 @@ void GroupMember::OnViewInstall(const ViewInstall& install) {
   // A joiner starts at the group's delivery cut: everything before it is
   // history it never sees (by design); everything after flows normally.
   if (joining_) {
-    for (const auto& [sender, cut] : install.final_cut()) {
-      uint64_t& have = vd_[sender];
-      have = std::max(have, cut);
-      uint64_t& app_have = ad_[sender];
-      app_have = std::max(app_have, cut);
-    }
+    vd_.Merge(install.final_cut());
+    ad_.Merge(install.final_cut());
     next_total_deliver_ = std::max(next_total_deliver_, install.next_total_seq());
     joining_ = false;
   }
@@ -345,22 +336,21 @@ void GroupMember::OnViewInstall(const ViewInstall& install) {
   // Close gaps left by failed senders: messages beyond what any survivor
   // holds are lost for good. Skipping their sequence numbers is the protocol
   // admitting non-durability.
-  for (const auto& [sender, cut] : install.final_cut()) {
+  for (const auto& [sender, cut] : install.final_cut().entries()) {
     if (std::find(install.members().begin(), install.members().end(), sender) !=
         install.members().end()) {
       continue;  // live senders have reliable FIFO channels; no gaps
     }
-    uint64_t& have = vd_[sender];
+    const uint64_t have = vd_.Get(sender);
     if (have < cut) {
       stats_.messages_dropped_at_view_change += cut - have;
-      have = cut;
+      vd_.Set(sender, cut);
     }
     // The app gate must also treat the skipped messages as "seen", or
     // anything causally dependent on them would block forever. Messages from
     // the dead sender still sitting in app_pending_ are unaffected: the gate
     // never compares a message against its own sender's entry.
-    uint64_t& app_have = ad_[sender];
-    app_have = std::max(app_have, cut);
+    ad_.RaiseTo(sender, cut);
     // Pending messages from the failed sender beyond the cut can never be
     // delivered; drop them.
     for (auto it = pending_.begin(); it != pending_.end();) {

@@ -42,7 +42,7 @@ size_t GroupData::SizeBytes() const {
 
 size_t GroupData::HeaderBytes() const {
   // group(4) + sender(4) + seq(8) + mode(1) + timestamps.
-  return 17 + vt_.SizeBytes() + acks_.size() * VectorClock::kEntryBytes;
+  return 17 + vt_.SizeBytes() + acks_.SizeBytes();
 }
 
 std::string GroupData::Describe() const {
@@ -53,7 +53,7 @@ std::string GroupData::Describe() const {
 }
 
 size_t FlushState::SizeBytes() const {
-  size_t total = delivered_.size() * VectorClock::kEntryBytes + known_assignments_.size() * 20 + 8;
+  size_t total = delivered_.SizeBytes() + known_assignments_.size() * 20 + 8;
   for (const auto& msg : unstable_) {
     total += msg->SizeBytes() + msg->HeaderBytes();
   }

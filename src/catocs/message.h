@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/catocs/vector_clock.h"
@@ -68,8 +69,8 @@ class GroupData : public net::Payload {
 
   // Ack vector (the sender's delivered-vector) piggybacked for stability
   // tracking. Set once before first transmission.
-  void set_acks(std::map<MemberId, uint64_t> acks) { acks_ = std::move(acks); }
-  const std::map<MemberId, uint64_t>& acks() const { return acks_; }
+  void set_acks(VectorClock acks) { acks_ = std::move(acks); }
+  const VectorClock& acks() const { return acks_; }
 
   // Footnote-4 variant: copies of causally preceding messages carried along
   // instead of delaying at the receiver.
@@ -85,7 +86,7 @@ class GroupData : public net::Payload {
   VectorClock vt_;
   net::PayloadPtr app_payload_;
   sim::TimePoint sent_at_;
-  std::map<MemberId, uint64_t> acks_;
+  VectorClock acks_;
   std::vector<std::shared_ptr<const GroupData>> piggyback_;
 };
 
@@ -118,18 +119,18 @@ class OrderAssignment : public net::Payload {
 // Standalone stability gossip: the sender's delivered-vector.
 class AckVector : public net::Payload {
  public:
-  AckVector(GroupId group, std::map<MemberId, uint64_t> delivered)
+  AckVector(GroupId group, VectorClock delivered)
       : group_(group), delivered_(std::move(delivered)) {}
 
-  size_t SizeBytes() const override { return delivered_.size() * VectorClock::kEntryBytes; }
+  size_t SizeBytes() const override { return delivered_.SizeBytes(); }
   std::string Describe() const override { return "ackvec"; }
 
   GroupId group() const { return group_; }
-  const std::map<MemberId, uint64_t>& delivered() const { return delivered_; }
+  const VectorClock& delivered() const { return delivered_; }
 
  private:
   GroupId group_;
-  std::map<MemberId, uint64_t> delivered_;
+  VectorClock delivered_;
 };
 
 // Token for the rotating-sequencer total-order variant. Carries a bounded
@@ -219,7 +220,7 @@ class FlushRequest : public net::Payload {
 // to bring all survivors to a common delivery cut.
 class FlushState : public net::Payload {
  public:
-  FlushState(GroupId group, uint64_t new_view_id, std::map<MemberId, uint64_t> delivered,
+  FlushState(GroupId group, uint64_t new_view_id, VectorClock delivered,
              std::vector<GroupDataPtr> unstable,
              std::vector<std::pair<MessageId, uint64_t>> known_assignments,
              uint64_t next_total_deliver)
@@ -235,7 +236,7 @@ class FlushState : public net::Payload {
 
   GroupId group() const { return group_; }
   uint64_t new_view_id() const { return new_view_id_; }
-  const std::map<MemberId, uint64_t>& delivered() const { return delivered_; }
+  const VectorClock& delivered() const { return delivered_; }
   const std::vector<GroupDataPtr>& unstable() const { return unstable_; }
   const std::vector<std::pair<MessageId, uint64_t>>& known_assignments() const {
     return known_assignments_;
@@ -245,7 +246,7 @@ class FlushState : public net::Payload {
  private:
   GroupId group_;
   uint64_t new_view_id_;
-  std::map<MemberId, uint64_t> delivered_;
+  VectorClock delivered_;
   std::vector<GroupDataPtr> unstable_;
   std::vector<std::pair<MessageId, uint64_t>> known_assignments_;
   uint64_t next_total_deliver_;
@@ -257,7 +258,7 @@ class ViewInstall : public net::Payload {
   ViewInstall(GroupId group, uint64_t view_id, std::vector<MemberId> members,
               std::vector<GroupDataPtr> missing,
               std::vector<std::pair<MessageId, uint64_t>> assignments, uint64_t next_total_seq,
-              std::map<MemberId, uint64_t> final_cut)
+              VectorClock final_cut)
       : group_(group),
         view_id_(view_id),
         members_(std::move(members)),
@@ -280,7 +281,7 @@ class ViewInstall : public net::Payload {
   // The common delivery cut: per sender, the count every survivor must reach.
   // Messages from *failed* senders beyond this cut are lost — delivery was
   // atomic but not durable (§2).
-  const std::map<MemberId, uint64_t>& final_cut() const { return final_cut_; }
+  const VectorClock& final_cut() const { return final_cut_; }
 
  private:
   GroupId group_;
@@ -289,7 +290,7 @@ class ViewInstall : public net::Payload {
   std::vector<GroupDataPtr> missing_;
   std::vector<std::pair<MessageId, uint64_t>> assignments_;
   uint64_t next_total_seq_;
-  std::map<MemberId, uint64_t> final_cut_;
+  VectorClock final_cut_;
 };
 
 }  // namespace catocs

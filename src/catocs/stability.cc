@@ -18,22 +18,12 @@ void StabilityTracker::SetMembers(const std::vector<MemberId>& members) {
   }
 }
 
-void StabilityTracker::UpdateMemberVector(MemberId member,
-                                          const std::map<MemberId, uint64_t>& vec) {
-  auto& mine = delivered_by_[member];
-  for (const auto& [sender, count] : vec) {
-    uint64_t& current = mine[sender];
-    if (count > current) {
-      current = count;
-    }
-  }
+void StabilityTracker::UpdateMemberVector(MemberId member, const VectorClock& vec) {
+  delivered_by_[member].Merge(vec);
 }
 
 void StabilityTracker::UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) {
-  uint64_t& current = delivered_by_[member][sender];
-  if (count > current) {
-    current = count;
-  }
+  delivered_by_[member].RaiseTo(sender, count);
 }
 
 void StabilityTracker::AddToBuffer(const GroupDataPtr& msg) {
@@ -47,8 +37,8 @@ void StabilityTracker::AddToBuffer(const GroupDataPtr& msg) {
   peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
 }
 
-std::map<MemberId, uint64_t> StabilityTracker::StableVector() const {
-  std::map<MemberId, uint64_t> stable;
+VectorClock StabilityTracker::StableVector() const {
+  VectorClock stable;
   bool first = true;
   for (MemberId member : members_) {
     auto it = delivered_by_.find(member);
@@ -61,24 +51,9 @@ std::map<MemberId, uint64_t> StabilityTracker::StableVector() const {
       first = false;
       continue;
     }
-    // Pointwise minimum by co-iterating the sorted maps: senders absent from
-    // the member's report have min 0 and are erased.
-    const auto& theirs = it->second;
-    auto mine = stable.begin();
-    auto other = theirs.begin();
-    while (mine != stable.end()) {
-      while (other != theirs.end() && other->first < mine->first) {
-        ++other;
-      }
-      if (other == theirs.end() || other->first != mine->first) {
-        mine = stable.erase(mine);
-        continue;
-      }
-      if (other->second < mine->second) {
-        mine->second = other->second;
-      }
-      ++mine;
-    }
+    // Pointwise minimum: senders absent from the member's report have min 0
+    // and are dropped.
+    stable.MeetMin(it->second);
   }
   return stable;
 }
@@ -87,13 +62,12 @@ void StabilityTracker::Prune() {
   if (buffer_.empty()) {
     return;
   }
-  const std::map<MemberId, uint64_t> stable = StableVector();
+  const VectorClock stable = StableVector();
   if (stable.empty()) {
     return;
   }
   for (auto it = buffer_.begin(); it != buffer_.end();) {
-    auto st = stable.find(it->first.sender);
-    if (st != stable.end() && it->first.seq <= st->second) {
+    if (it->first.seq <= stable.Get(it->first.sender)) {
       buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
       it = buffer_.erase(it);
     } else {

@@ -25,18 +25,19 @@ class StabilityTracker {
   void SetMembers(const std::vector<MemberId>& members);
 
   // Records that `member` has contiguously delivered `vec[s]` messages from
-  // each sender s.
-  void UpdateMemberVector(MemberId member, const std::map<MemberId, uint64_t>& vec);
+  // each sender s. A single linear merge of two flat clocks — the per-data-
+  // message hot path when acks are piggybacked.
+  void UpdateMemberVector(MemberId member, const VectorClock& vec);
 
   // Point update: `member` has contiguously delivered `count` messages from
-  // `sender`. O(log n), for the per-delivery hot path.
+  // `sender`. For the per-delivery hot path.
   void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count);
 
   // Adds a delivered (or sent) message to the retention buffer.
   void AddToBuffer(const GroupDataPtr& msg);
 
   // Per-sender stability floor: min over members of their delivered count.
-  std::map<MemberId, uint64_t> StableVector() const;
+  VectorClock StableVector() const;
 
   // Drops every buffered message at or below the stability floor.
   void Prune();
@@ -54,8 +55,9 @@ class StabilityTracker {
 
  private:
   std::vector<MemberId> members_;
-  // member -> (sender -> contiguous delivered count)
-  std::map<MemberId, std::map<MemberId, uint64_t>> delivered_by_;
+  // member -> (sender -> contiguous delivered count). An entry exists once
+  // the member has reported at all, even if it has delivered nothing yet.
+  std::map<MemberId, VectorClock> delivered_by_;
   std::map<MessageId, GroupDataPtr> buffer_;
   size_t buffered_bytes_ = 0;
   size_t peak_count_ = 0;

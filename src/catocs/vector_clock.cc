@@ -1,8 +1,21 @@
 #include "src/catocs/vector_clock.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace catocs {
+
+namespace {
+
+// Position of `member`'s entry, or of the first larger member id.
+inline VectorClock::Entries::const_iterator Find(const VectorClock::Entries& entries,
+                                                 MemberId member) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), member,
+      [](const ClockEntry& entry, MemberId m) { return entry.member < m; });
+}
+
+}  // namespace
 
 const char* ToString(CausalOrder order) {
   switch (order) {
@@ -19,47 +32,119 @@ const char* ToString(CausalOrder order) {
 }
 
 uint64_t VectorClock::Get(MemberId member) const {
-  auto it = entries_.find(member);
-  return it == entries_.end() ? 0 : it->second;
+  auto it = Find(entries_, member);
+  return it != entries_.end() && it->member == member ? it->value : 0;
 }
 
 void VectorClock::Set(MemberId member, uint64_t value) {
+  auto it = Find(entries_, member);
+  const bool present = it != entries_.end() && it->member == member;
   if (value == 0) {
-    entries_.erase(member);
+    if (present) {
+      entries_.erase(it);
+    }
+  } else if (present) {
+    // const_iterator arithmetic keeps Find shareable; convert for the write.
+    entries_[static_cast<size_t>(it - entries_.begin())].value = value;
   } else {
-    entries_[member] = value;
+    entries_.insert(it, ClockEntry{member, value});
   }
+  CheckCanonical();
 }
 
-uint64_t VectorClock::Increment(MemberId member) { return ++entries_[member]; }
+uint64_t VectorClock::Increment(MemberId member) {
+  auto it = Find(entries_, member);
+  if (it != entries_.end() && it->member == member) {
+    return ++entries_[static_cast<size_t>(it - entries_.begin())].value;
+  }
+  entries_.insert(it, ClockEntry{member, 1});
+  CheckCanonical();
+  return 1;
+}
+
+void VectorClock::RaiseTo(MemberId member, uint64_t value) {
+  if (value == 0) {
+    return;
+  }
+  auto it = Find(entries_, member);
+  if (it != entries_.end() && it->member == member) {
+    size_t index = static_cast<size_t>(it - entries_.begin());
+    if (value > entries_[index].value) {
+      entries_[index].value = value;
+    }
+    return;
+  }
+  entries_.insert(it, ClockEntry{member, value});
+  CheckCanonical();
+}
 
 void VectorClock::Merge(const VectorClock& other) {
-  for (const auto& [member, value] : other.entries_) {
-    uint64_t& mine = entries_[member];
-    if (value > mine) {
-      mine = value;
+  if (other.entries_.empty()) {
+    return;
+  }
+  if (entries_.empty()) {
+    entries_ = other.entries_;
+    return;
+  }
+  Entries merged;
+  merged.reserve(std::max(entries_.size(), other.entries_.size()));
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->member < b->member) {
+      merged.push_back(*a++);
+    } else if (b->member < a->member) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(ClockEntry{a->member, std::max(a->value, b->value)});
+      ++a;
+      ++b;
     }
   }
+  merged.insert(merged.end(), a, entries_.end());
+  merged.insert(merged.end(), b, other.entries_.end());
+  entries_ = std::move(merged);
+  CheckCanonical();
+}
+
+void VectorClock::MeetMin(const VectorClock& other) {
+  Entries met;
+  met.reserve(std::min(entries_.size(), other.entries_.size()));
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->member < b->member) {
+      ++a;  // absent from other: min is 0, drop
+    } else if (b->member < a->member) {
+      ++b;
+    } else {
+      met.push_back(ClockEntry{a->member, std::min(a->value, b->value)});
+      ++a;
+      ++b;
+    }
+  }
+  entries_ = std::move(met);
+  CheckCanonical();
 }
 
 CausalOrder VectorClock::Compare(const VectorClock& other) const {
-  bool less_somewhere = false;   // this < other at some coordinate
+  bool less_somewhere = false;  // this < other at some coordinate
   bool greater_somewhere = false;
-  // Walk the union of keys; both maps are ordered by member id.
+  // One pass over the union of members; both sides are sorted.
   auto a = entries_.begin();
   auto b = other.entries_.begin();
   while (a != entries_.end() || b != other.entries_.end()) {
     uint64_t va = 0;
     uint64_t vb = 0;
-    if (b == other.entries_.end() || (a != entries_.end() && a->first < b->first)) {
-      va = a->second;
+    if (b == other.entries_.end() || (a != entries_.end() && a->member < b->member)) {
+      va = a->value;
       ++a;
-    } else if (a == entries_.end() || b->first < a->first) {
-      vb = b->second;
+    } else if (a == entries_.end() || b->member < a->member) {
+      vb = b->value;
       ++b;
     } else {
-      va = a->second;
-      vb = b->second;
+      va = a->value;
+      vb = b->value;
       ++a;
       ++b;
     }
@@ -82,17 +167,56 @@ CausalOrder VectorClock::Compare(const VectorClock& other) const {
 }
 
 bool VectorClock::Dominates(const VectorClock& other) const {
-  for (const auto& [member, value] : other.entries_) {
-    if (Get(member) < value) {
+  // Single co-scan: every entry of `other` must be matched here with at
+  // least its value (a missing entry means 0 and cannot dominate a stored,
+  // hence nonzero, one).
+  auto a = entries_.begin();
+  for (const ClockEntry& theirs : other.entries_) {
+    while (a != entries_.end() && a->member < theirs.member) {
+      ++a;
+    }
+    if (a == entries_.end() || a->member != theirs.member || a->value < theirs.value) {
       return false;
     }
   }
   return true;
 }
 
-bool VectorClock::operator==(const VectorClock& other) const {
-  // Maps may differ in explicit zeros; compare semantically.
-  return Dominates(other) && other.Dominates(*this);
+bool CausallyDeliverable(const VectorClock& vt, MemberId sender, const VectorClock& delivered) {
+  auto d = delivered.entries().begin();
+  const auto d_end = delivered.entries().end();
+  for (const auto& [member, count] : vt.entries()) {
+    while (d != d_end && d->member < member) {
+      ++d;
+    }
+    const uint64_t have = (d != d_end && d->member == member) ? d->value : 0;
+    if (member == sender) {
+      if (count != have + 1) {
+        return false;
+      }
+    } else if (count > have) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DominatesIgnoring(const VectorClock& delivered, const VectorClock& vt, MemberId skip) {
+  auto d = delivered.entries().begin();
+  const auto d_end = delivered.entries().end();
+  for (const auto& [member, count] : vt.entries()) {
+    if (member == skip) {
+      continue;
+    }
+    while (d != d_end && d->member < member) {
+      ++d;
+    }
+    const uint64_t have = (d != d_end && d->member == member) ? d->value : 0;
+    if (count > have) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string VectorClock::ToString() const {

@@ -1,14 +1,20 @@
 // Vector clocks over group members, the timestamp carried by causal
-// multicast (Birman–Schiper–Stephenson style). Entries are keyed by member
-// id in an ordered map so iteration — and therefore every simulation that
-// walks a clock — is deterministic.
+// multicast (Birman–Schiper–Stephenson style). Entries live in a flat
+// vector sorted by member id: iteration — and therefore every simulation
+// that walks a clock — stays deterministic, and the hot-path operations
+// (merge, compare, dominance, the causal-deliverability check) are linear
+// two-pointer scans over contiguous memory instead of node-per-entry map
+// walks. Zero-valued entries are never stored, so the representation is
+// canonical and equality is a plain vector compare.
 
 #ifndef REPRO_SRC_CATOCS_VECTOR_CLOCK_H_
 #define REPRO_SRC_CATOCS_VECTOR_CLOCK_H_
 
+#include <cassert>
 #include <cstdint>
-#include <map>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "src/net/latency.h"
 
@@ -27,36 +33,86 @@ enum class CausalOrder {
 
 const char* ToString(CausalOrder order);
 
+// One (member, counter) coordinate. Decomposes via structured bindings so
+// range-for loops read exactly like the old map iteration.
+struct ClockEntry {
+  MemberId member = 0;
+  uint64_t value = 0;
+
+  bool operator==(const ClockEntry&) const = default;
+};
+
 class VectorClock {
  public:
+  using Entries = std::vector<ClockEntry>;
+
   VectorClock() = default;
+  // Entries may arrive in any order; zero values are dropped (canonical form).
+  VectorClock(std::initializer_list<ClockEntry> entries) {
+    for (const ClockEntry& entry : entries) {
+      Set(entry.member, entry.value);
+    }
+  }
 
   uint64_t Get(MemberId member) const;
   void Set(MemberId member, uint64_t value);
   uint64_t Increment(MemberId member);
+  // Point update to max(current, value): the ack/stability hot path.
+  void RaiseTo(MemberId member, uint64_t value);
 
   // Pointwise maximum.
   void Merge(const VectorClock& other);
+
+  // Pointwise minimum, dropping members absent from either side (a missing
+  // entry means 0). Used for the stability floor across member reports.
+  void MeetMin(const VectorClock& other);
 
   CausalOrder Compare(const VectorClock& other) const;
 
   // True iff this >= other pointwise (this has "seen" everything in other).
   bool Dominates(const VectorClock& other) const;
 
-  bool operator==(const VectorClock& other) const;
+  // Entries are canonical (sorted, no zeros), so representation equality is
+  // semantic equality.
+  bool operator==(const VectorClock& other) const { return entries_ == other.entries_; }
 
+  bool empty() const { return entries_.empty(); }
   size_t entry_count() const { return entries_.size(); }
   // Simulated wire size: one (member id, counter) pair per entry.
   size_t SizeBytes() const { return entries_.size() * kEntryBytes; }
   static constexpr size_t kEntryBytes = 12;
 
-  const std::map<MemberId, uint64_t>& entries() const { return entries_; }
+  const Entries& entries() const { return entries_; }
 
   std::string ToString() const;
 
  private:
-  std::map<MemberId, uint64_t> entries_;
+  // Representation invariant: strictly ascending member ids, no zero values.
+  // Every mutator re-checks it in debug builds; all the linear scans rely on
+  // it.
+  void CheckCanonical() const {
+#ifndef NDEBUG
+    for (size_t i = 0; i + 1 < entries_.size(); ++i) {
+      assert(entries_[i].member < entries_[i + 1].member && "clock entries out of order");
+    }
+    for (const ClockEntry& entry : entries_) {
+      assert(entry.value != 0 && "zero entry stored in clock");
+    }
+#endif
+  }
+
+  Entries entries_;
 };
+
+// True iff a message stamped `vt` by `sender` satisfies the causal delivery
+// condition at a process whose contiguously-delivered vector is `delivered`:
+// vt[sender] == delivered[sender] + 1 and vt[m] <= delivered[m] for every
+// other member m. Single two-pointer pass over both (sorted) clocks.
+bool CausallyDeliverable(const VectorClock& vt, MemberId sender, const VectorClock& delivered);
+
+// True iff delivered >= vt pointwise on every coordinate except `skip`.
+// (The app-delivery gate: a message never waits on its own sender's entry.)
+bool DominatesIgnoring(const VectorClock& delivered, const VectorClock& vt, MemberId skip);
 
 // Lamport scalar clock, used by the state-level alternatives (commit
 // timestamps, prescriptive sequence numbers).

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,7 +8,8 @@ namespace sim {
 
 EventId EventQueue::Schedule(TimePoint when, EventFn fn) {
   const uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, std::move(fn)});
+  heap_.push_back(Entry{when, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
   return EventId{seq};
 }
@@ -23,36 +25,58 @@ bool EventQueue::Cancel(EventId id) {
   (void)it;
   if (inserted && live_count_ > 0) {
     --live_count_;
+    // Once dead entries dominate, sweep them in one linear pass: their
+    // closures free immediately and the heap stops growing without bound.
+    if (heap_.size() >= kCompactMinEntries && cancelled_.size() > heap_.size() / 2) {
+      Compact();
+    }
     return true;
   }
   return false;
 }
 
+void EventQueue::Compact() {
+  auto keep = heap_.begin();
+  for (auto it = heap_.begin(); it != heap_.end(); ++it) {
+    auto dead = cancelled_.find(it->seq);
+    if (dead != cancelled_.end()) {
+      cancelled_.erase(dead);
+      continue;
+    }
+    if (keep != it) {
+      *keep = std::move(*it);
+    }
+    ++keep;
+  }
+  heap_.erase(keep, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  assert(heap_.size() == live_count_);
+}
+
 void EventQueue::SkipCancelled() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq);
+    auto it = cancelled_.find(heap_.front().seq);
     if (it == cancelled_.end()) {
       return;
     }
     cancelled_.erase(it);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 TimePoint EventQueue::NextTime() {
   SkipCancelled();
   assert(!heap_.empty());
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
   SkipCancelled();
   assert(!heap_.empty());
-  // priority_queue::top() returns const&; the entry is about to be popped so
-  // moving the closure out is safe.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.when, std::move(top.fn)};
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Fired fired{heap_.back().when, std::move(heap_.back().fn)};
+  heap_.pop_back();
   --live_count_;
   return fired;
 }

@@ -4,14 +4,17 @@
 // tiebreak makes execution order fully deterministic when many events share a
 // timestamp. Cancellation is lazy: cancelled entries stay in the heap and are
 // skipped when popped, which keeps Schedule/Cancel O(log n) without a
-// decrease-key structure.
+// decrease-key structure. A compaction pass sweeps the heap whenever lazily
+// cancelled entries outnumber live ones, so long-running simulations (the
+// E5/E6 sweeps schedule and cancel millions of timers) cannot grow the heap
+// unboundedly. Pop order depends only on the (when, seq) comparator, so
+// compaction never perturbs execution order.
 
 #ifndef REPRO_SRC_SIM_EVENT_QUEUE_H_
 #define REPRO_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -30,7 +33,7 @@ struct EventId {
 
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue() { heap_.reserve(kInitialReserve); }
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -47,6 +50,9 @@ class EventQueue {
   bool Empty() const { return live_count_ == 0; }
 
   size_t size() const { return live_count_; }
+  // Total entries physically in the heap, including lazily cancelled ones
+  // (exposed so tests can observe compaction).
+  size_t heap_size() const { return heap_.size(); }
 
   // Fire time of the next live event. Must not be called when Empty().
   TimePoint NextTime();
@@ -64,6 +70,7 @@ class EventQueue {
     uint64_t seq;
     EventFn fn;
   };
+  // Max-heap comparator inverted for earliest-first order.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
@@ -73,10 +80,16 @@ class EventQueue {
     }
   };
 
+  static constexpr size_t kInitialReserve = 1024;
+  // Compact only past this size so small queues never pay for a sweep.
+  static constexpr size_t kCompactMinEntries = 256;
+
   // Drops cancelled entries from the top of the heap.
   void SkipCancelled();
+  // Sweeps all cancelled entries out of the heap and re-heapifies.
+  void Compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;  // std::*_heap ordered by Later
   std::unordered_set<uint64_t> cancelled_;
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;

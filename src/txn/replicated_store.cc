@@ -287,7 +287,7 @@ CatocsReplica::CatocsReplica(sim::Simulator* simulator, net::Transport* transpor
 }
 
 void CatocsReplica::OnDeliver(const catocs::Delivery& delivery) {
-  if (const auto* update = net::PayloadCast<UpdateMsg>(delivery.payload)) {
+  if (const auto* update = net::PayloadCast<UpdateMsg>(delivery.payload())) {
     store_[update->key()] = update->value();
     ++updates_applied_;
     if (update->primary() != transport_->node()) {

@@ -135,7 +135,7 @@ TEST_P(CrashSweepTest, SurvivorsStayConsistent) {
   // message sets (delivery atomicity, not just ordering).
   std::vector<std::set<std::pair<MemberId, uint64_t>>> delivered_sets(5);
   for (const auto& record : survivor_records) {
-    delivered_sets[record.at - 1].insert({record.delivery.id.sender, record.delivery.id.seq});
+    delivered_sets[record.at - 1].insert({record.delivery.id().sender, record.delivery.id().seq});
   }
   for (size_t i = 1; i < 5; ++i) {
     if (i == victim) {
@@ -187,10 +187,10 @@ TEST(MultiGroupTest, GroupsAreIsolatedOnSharedTransports) {
   EXPECT_EQ(deliveries1.size(), 30u);
   EXPECT_EQ(deliveries2.size(), 30u);
   for (const auto& [member, delivery] : deliveries1) {
-    EXPECT_EQ(net::PayloadCast<net::BlobPayload>(delivery.payload)->tag(), "g1");
+    EXPECT_EQ(net::PayloadCast<net::BlobPayload>(delivery.payload())->tag(), "g1");
   }
   for (const auto& [member, delivery] : deliveries2) {
-    EXPECT_EQ(net::PayloadCast<net::BlobPayload>(delivery.payload)->tag(), "g2");
+    EXPECT_EQ(net::PayloadCast<net::BlobPayload>(delivery.payload())->tag(), "g2");
     EXPECT_GT(delivery.total_seq, 0u);
   }
 }

@@ -36,10 +36,26 @@ std::vector<std::string> RunGroupTraffic(uint64_t seed) {
   s.RunFor(sim::Duration::Seconds(10));
   std::vector<std::string> transcript;
   for (const auto& record : fabric.records()) {
-    transcript.push_back(std::to_string(record.at) + ":" + record.delivery.id.ToString() + "@" +
+    transcript.push_back(std::to_string(record.at) + ":" + record.delivery.id().ToString() + "@" +
                          std::to_string(record.delivery.delivered_at.nanos()));
   }
   return transcript;
+}
+
+uint64_t Fnv1a(uint64_t hash, const std::string& s) {
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t TraceHash(const std::vector<std::string>& transcript) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const std::string& line : transcript) {
+    hash = Fnv1a(hash, line);
+  }
+  return hash;
 }
 
 TEST(DeterminismTest, GroupTrafficIsExactlyReproducible) {
@@ -48,6 +64,15 @@ TEST(DeterminismTest, GroupTrafficIsExactlyReproducible) {
   ASSERT_EQ(first.size(), second.size());
   EXPECT_EQ(first, second);
   EXPECT_FALSE(first.empty());
+}
+
+// Golden trace hashes, computed from the std::map-based clock implementation
+// before the flat-vector representation landed. A change here means the
+// simulation itself behaves differently — not just that internals moved
+// around — and invalidates every recorded experiment number.
+TEST(DeterminismTest, TraceHashMatchesGolden) {
+  EXPECT_EQ(TraceHash(RunGroupTraffic(12345)), 601440888793534087ull);
+  EXPECT_EQ(TraceHash(RunGroupTraffic(999)), 12391433873660651454ull);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {

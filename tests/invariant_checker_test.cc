@@ -15,11 +15,12 @@ GroupFabric::Record MakeRecord(MemberId at, MemberId sender, uint64_t seq, Order
                                uint64_t total_seq, const VectorClock& vt) {
   GroupFabric::Record record;
   record.at = at;
-  record.delivery.id = MessageId{sender, seq};
-  record.delivery.mode = mode;
+  // Deliveries share the (one) immutable GroupData, so a synthetic record
+  // fabricates the message itself.
+  record.delivery.data = std::make_shared<GroupData>(
+      1, MessageId{sender, seq}, mode, vt, std::make_shared<net::BlobPayload>("x", 8),
+      sim::TimePoint::Zero());
   record.delivery.total_seq = total_seq;
-  record.delivery.vt = vt;
-  record.delivery.payload = std::make_shared<net::BlobPayload>("x", 8);
   return record;
 }
 

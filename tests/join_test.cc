@@ -18,7 +18,7 @@ net::PayloadPtr Blob(const std::string& tag) {
 }
 
 std::string TagOf(const Delivery& d) {
-  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload);
+  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload());
   return blob ? blob->tag() : "?";
 }
 

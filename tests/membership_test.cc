@@ -21,7 +21,7 @@ net::PayloadPtr Blob(const std::string& tag, size_t size = 64) {
 }
 
 std::string TagOf(const Delivery& d) {
-  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload);
+  const auto* blob = net::PayloadCast<net::BlobPayload>(d.payload());
   return blob ? blob->tag() : "?";
 }
 

@@ -21,11 +21,11 @@ GroupDataPtr MakeData(MemberId sender, uint64_t seq, size_t vt_entries, size_t a
   }
   auto data = std::make_shared<GroupData>(1, MessageId{sender, seq}, OrderingMode::kCausal, vt,
                                           Blob(payload_bytes), sim::TimePoint::Zero());
-  std::map<MemberId, uint64_t> acks;
+  VectorClock acks;
   for (MemberId m = 1; m <= ack_entries; ++m) {
-    acks[m] = m;
+    acks.Set(m, m);
   }
-  data->set_acks(acks);
+  data->set_acks(std::move(acks));
   return data;
 }
 
@@ -59,7 +59,7 @@ TEST(MessageSizeTest, StripPiggybackPreservesEverythingElse) {
   EXPECT_EQ(stripped->id(), main_msg->id());
   EXPECT_EQ(stripped->SizeBytes(), 100u);
   EXPECT_EQ(stripped->HeaderBytes(), main_msg->HeaderBytes());
-  EXPECT_EQ(stripped->acks().size(), 2u);
+  EXPECT_EQ(stripped->acks().entry_count(), 2u);
   // No piggyback -> same object comes back (no needless copies).
   GroupDataPtr plain = StripPiggyback(stripped);
   EXPECT_EQ(plain.get(), stripped.get());

@@ -194,6 +194,42 @@ TEST(EventQueueTest, CancelInvalidId) {
   EXPECT_FALSE(q.Cancel(EventId{999}));
 }
 
+TEST(EventQueueTest, CompactionBoundsHeapUnderCancelChurn) {
+  EventQueue q;
+  // Retransmit-timer pattern: nearly every scheduled event is cancelled
+  // before it fires. The physical heap must stay bounded by the live count,
+  // not by the total ever scheduled.
+  std::vector<EventId> pending;
+  for (int i = 0; i < 100000; ++i) {
+    pending.push_back(q.Schedule(TimePoint(i + 1), [] {}));
+    if (i % 100 != 0) {
+      q.Cancel(pending.back());
+    }
+  }
+  EXPECT_EQ(q.size(), 1000u);
+  EXPECT_LT(q.heap_size(), 10000u);
+  // Surviving events still fire in time order despite the sweeps.
+  TimePoint last = TimePoint::Zero();
+  while (!q.Empty()) {
+    auto fired = q.PopNext();
+    EXPECT_GT(fired.when, last);
+    last = fired.when;
+  }
+}
+
+TEST(EventQueueTest, CancelAllLeavesEmptyQueue) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.Schedule(TimePoint(i + 1), [] {}));
+  }
+  for (EventId id : ids) {
+    EXPECT_TRUE(q.Cancel(id));
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
   Simulator s;
   TimePoint seen = TimePoint::Zero();

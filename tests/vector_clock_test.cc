@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/catocs/vector_clock.h"
 #include "src/sim/rng.h"
 
@@ -151,6 +153,99 @@ TEST(VectorClockPropertyTest, TransitivityRandomized) {
     EXPECT_EQ(a.Compare(b), CausalOrder::kBefore);
     EXPECT_EQ(b.Compare(c), CausalOrder::kBefore);
     EXPECT_EQ(a.Compare(c), CausalOrder::kBefore);
+  }
+}
+
+// --- flat representation vs. naive map reference --------------------------
+//
+// The flat sorted-vector clock must agree operation-for-operation with the
+// obvious std::map implementation it replaced. The reference deliberately
+// mirrors the old code (map, per-key lookups), and the check runs over
+// thousands of randomized clock pairs including sparse clocks, shared and
+// disjoint member sets, and zero writes.
+
+struct MapClock {
+  std::map<MemberId, uint64_t> entries;
+
+  void Set(MemberId m, uint64_t v) {
+    if (v == 0) {
+      entries.erase(m);
+    } else {
+      entries[m] = v;
+    }
+  }
+  uint64_t Get(MemberId m) const {
+    auto it = entries.find(m);
+    return it == entries.end() ? 0 : it->second;
+  }
+  void Merge(const MapClock& other) {
+    for (const auto& [m, v] : other.entries) {
+      if (v > Get(m)) {
+        entries[m] = v;
+      }
+    }
+  }
+  CausalOrder Compare(const MapClock& other) const {
+    bool less = false;
+    bool greater = false;
+    for (const auto& [m, v] : entries) {
+      const uint64_t ov = other.Get(m);
+      less |= v < ov;
+      greater |= v > ov;
+    }
+    for (const auto& [m, ov] : other.entries) {
+      const uint64_t v = Get(m);
+      less |= v < ov;
+      greater |= v > ov;
+    }
+    if (less && greater) return CausalOrder::kConcurrent;
+    if (less) return CausalOrder::kBefore;
+    if (greater) return CausalOrder::kAfter;
+    return CausalOrder::kEqual;
+  }
+  bool Dominates(const MapClock& other) const {
+    for (const auto& [m, ov] : other.entries) {
+      if (Get(m) < ov) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST(VectorClockCrossCheckTest, AgreesWithMapReferenceRandomized) {
+  sim::Rng rng(777);
+  for (int trial = 0; trial < 10000; ++trial) {
+    VectorClock fa;
+    VectorClock fb;
+    MapClock ma;
+    MapClock mb;
+    // Sparse clocks over a 12-member universe; ~1/4 of writes are zeros so
+    // the erase path is exercised too.
+    const int writes = 1 + static_cast<int>(rng.NextBelow(12));
+    for (int w = 0; w < writes; ++w) {
+      const MemberId m = static_cast<MemberId>(1 + rng.NextBelow(12));
+      const uint64_t v = rng.NextBelow(8);
+      if (rng.NextBelow(2) == 0) {
+        fa.Set(m, v);
+        ma.Set(m, v);
+      } else {
+        fb.Set(m, v);
+        mb.Set(m, v);
+      }
+    }
+    ASSERT_EQ(fa.Compare(fb), ma.Compare(mb)) << fa.ToString() << " vs " << fb.ToString();
+    ASSERT_EQ(fa.Dominates(fb), ma.Dominates(mb)) << fa.ToString() << " vs " << fb.ToString();
+    ASSERT_EQ(fb.Dominates(fa), mb.Dominates(ma)) << fb.ToString() << " vs " << fa.ToString();
+
+    VectorClock fmerged = fa;
+    fmerged.Merge(fb);
+    MapClock mmerged = ma;
+    mmerged.Merge(mb);
+    ASSERT_EQ(fmerged.entry_count(), mmerged.entries.size());
+    for (const auto& [m, v] : mmerged.entries) {
+      ASSERT_EQ(fmerged.Get(m), v) << "member " << m << " in " << fmerged.ToString();
+    }
   }
 }
 
