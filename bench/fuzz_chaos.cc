@@ -1,0 +1,176 @@
+// fuzz_chaos — FoundationDB-style deterministic simulation fuzzer for the
+// CATOCS stack. Each seed names one complete chaos run: a generated fault
+// schedule (crashes with rejoin + state transfer, partitions, drop/duplicate
+// bursts, latency spikes) injected into a ChaosRig workload, audited by the
+// InvariantOracle afterwards. With --verify-replay each seed is run twice and
+// the trace hashes must match bit-for-bit, proving the run is reproducible
+// from its seed alone.
+//
+// Exit status: 0 iff every seed passed (no oracle violation, no replay
+// divergence, every crashed slot rejoined).
+//
+// Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
+//                   [--no-verify-replay] [--verbose]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/fault/chaos_rig.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/injector.h"
+#include "src/fault/oracle.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+// Keeps the plan-sampling stream independent of the simulation stream.
+constexpr uint64_t kPlanStream = 0x9e3779b97f4a7c15ull;
+
+struct RunOptions {
+  uint64_t seeds = 50;
+  uint64_t start = 1;
+  size_t slots = 4;
+  int64_t horizon_ms = 4000;
+  bool verify_replay = true;
+  bool verbose = false;
+};
+
+struct RunResult {
+  uint64_t trace_hash = 0;
+  uint64_t events_applied = 0;
+  uint64_t deliveries = 0;
+  uint64_t views = 0;
+  uint64_t rejoins = 0;
+  double max_rejoin_ms = 0.0;  // recover start -> view install with new id
+  fault::OracleReport report;
+};
+
+fault::FaultPlan PlanForSeed(uint64_t seed, const RunOptions& opt) {
+  fault::GeneratorConfig gen_cfg;
+  gen_cfg.num_slots = opt.slots;
+  gen_cfg.horizon = sim::Duration::Millis(opt.horizon_ms);
+  gen_cfg.failure_timeout = sim::Duration::Millis(100);
+  sim::Rng plan_rng(seed ^ kPlanStream);
+  return fault::FaultScheduleGenerator(gen_cfg).Generate(plan_rng);
+}
+
+RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
+  sim::Simulator s(seed);
+  fault::ChaosRigConfig cfg;
+  cfg.num_slots = opt.slots;
+  cfg.group.heartbeat_interval = sim::Duration::Millis(20);
+  cfg.group.failure_timeout = sim::Duration::Millis(100);
+  fault::ChaosRig rig(&s, cfg);
+  fault::FaultInjector injector(&s, &rig);
+
+  const fault::FaultPlan plan = PlanForSeed(seed, opt);
+  injector.Install(plan);
+
+  rig.Start();
+  const sim::Duration horizon = sim::Duration::Millis(opt.horizon_ms);
+  s.ScheduleAfter(horizon, [&rig] { rig.StopWorkload(); });
+  // Drain: retransmission, redelivery, flushes, and the last rejoin all
+  // settle well within two extra simulated seconds.
+  s.RunFor(horizon + sim::Duration::Seconds(2));
+
+  RunResult result;
+  result.trace_hash = rig.TraceHash();
+  result.events_applied = injector.events_applied();
+  result.deliveries = rig.deliveries().size();
+  result.views = rig.views().size();
+  for (const auto& stat : rig.recoveries()) {
+    if (stat.rejoined) {
+      ++result.rejoins;
+      const double ms =
+          static_cast<double>((stat.rejoined_at - stat.recover_started).nanos()) / 1e6;
+      if (ms > result.max_rejoin_ms) {
+        result.max_rejoin_ms = ms;
+      }
+    }
+  }
+  result.report = fault::InvariantOracle().Audit(rig);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> int64_t { return i + 1 < argc ? std::atoll(argv[++i]) : 0; };
+    if (arg == "--seeds") {
+      opt.seeds = static_cast<uint64_t>(next());
+    } else if (arg == "--start") {
+      opt.start = static_cast<uint64_t>(next());
+    } else if (arg == "--slots") {
+      opt.slots = static_cast<size_t>(next());
+    } else if (arg == "--horizon-ms") {
+      opt.horizon_ms = next();
+    } else if (arg == "--no-verify-replay") {
+      opt.verify_replay = false;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  uint64_t failed_seeds = 0;
+  uint64_t replay_mismatches = 0;
+  uint64_t total_violations = 0;
+  uint64_t total_deliveries = 0;
+  uint64_t total_rejoins = 0;
+  double worst_rejoin_ms = 0.0;
+
+  std::printf("fuzz_chaos: %" PRIu64 " seeds [%" PRIu64 "..%" PRIu64 "], %zu slots, %lldms horizon, replay verify %s\n",
+              opt.seeds, opt.start, opt.start + opt.seeds - 1, opt.slots,
+              static_cast<long long>(opt.horizon_ms), opt.verify_replay ? "on" : "off");
+
+  for (uint64_t seed = opt.start; seed < opt.start + opt.seeds; ++seed) {
+    const RunResult result = RunOneSeed(seed, opt);
+    bool seed_ok = result.report.ok();
+    total_violations += result.report.violations.size();
+    total_deliveries += result.deliveries;
+    total_rejoins += result.rejoins;
+    if (result.max_rejoin_ms > worst_rejoin_ms) {
+      worst_rejoin_ms = result.max_rejoin_ms;
+    }
+
+    if (opt.verify_replay) {
+      const RunResult replay = RunOneSeed(seed, opt);
+      if (replay.trace_hash != result.trace_hash) {
+        seed_ok = false;
+        ++replay_mismatches;
+        std::printf("seed %" PRIu64 ": REPLAY DIVERGED hash %016" PRIx64 " vs %016" PRIx64 "\n",
+                    seed, result.trace_hash, replay.trace_hash);
+      }
+    }
+
+    if (!result.report.ok()) {
+      std::printf("seed %" PRIu64 ": %s\n", seed, result.report.Summary().c_str());
+      std::printf("seed %" PRIu64 ": %s\n", seed, PlanForSeed(seed, opt).Describe().c_str());
+    } else if (opt.verbose) {
+      std::printf("seed %" PRIu64 ": ok hash=%016" PRIx64 " faults=%" PRIu64
+                  " deliveries=%" PRIu64 " views=%" PRIu64 " rejoins=%" PRIu64
+                  " max_rejoin=%.1fms\n",
+                  seed, result.trace_hash, result.events_applied, result.deliveries,
+                  result.views, result.rejoins, result.max_rejoin_ms);
+      std::printf("seed %" PRIu64 ": %s\n", seed, PlanForSeed(seed, opt).Describe().c_str());
+    }
+    if (!seed_ok) {
+      ++failed_seeds;
+    }
+  }
+
+  std::printf("fuzz_chaos: %" PRIu64 "/%" PRIu64 " seeds clean, %" PRIu64
+              " violations, %" PRIu64 " replay mismatches, %" PRIu64
+              " deliveries audited, %" PRIu64 " rejoins (worst %.1fms)\n",
+              opt.seeds - failed_seeds, opt.seeds, total_violations, replay_mismatches,
+              total_deliveries, total_rejoins, worst_rejoin_ms);
+  return failed_seeds == 0 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Chaos gate: runs the deterministic simulation fuzzer over 50 generated
+# fault schedules (crashes with rejoin + state transfer, sub-timeout
+# partitions, drop/duplicate bursts, latency spikes), with every seed run
+# twice and required to produce a bit-identical trace hash. Any invariant
+# violation, replay divergence, or wedged rejoin fails the sweep (nonzero
+# exit). Reuses an existing build if one is configured.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SEEDS=${SEEDS:-50}
+START=${START:-1}
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos
+
+"${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}"

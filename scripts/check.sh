@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the whole tree with ASan+UBSan in a separate build
-# directory and runs the full test suite under it. Slower than the default
-# build — use before merging protocol or simulator changes.
+# directory, runs the full test suite under it, then runs the chaos seed
+# sweep (scripts/chaos.sh) against the same sanitized build. Slower than the
+# default build — use before merging protocol or simulator changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,3 +14,7 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+# Chaos smoke under the sanitized binaries: a reduced seed sweep keeps the
+# gate fast while still exercising crash/rejoin/state-transfer under ASan.
+BUILD_DIR="${BUILD_DIR}" SEEDS="${CHAOS_SEEDS:-10}" ./scripts/chaos.sh

@@ -47,8 +47,10 @@ class GroupFabric {
   void StartAll();
 
   // Crash-stop: the node drops off the network and its protocol machinery
-  // halts. (Recovery/rejoin is modeled as a fresh join and is out of scope
-  // for the failure experiments.)
+  // halts. A crashed member can come back by joining under a fresh member id
+  // (GroupMember::JoinGroup), optionally with application state transfer via
+  // SetStateProvider/SetStateApplier — the chaos rig in src/fault/ exercises
+  // exactly that cycle.
   void CrashMember(size_t index);
 
   // A delivery as observed at a particular member.

@@ -99,7 +99,13 @@ void GroupMember::BroadcastReliable(uint32_t port, const net::PayloadPtr& payloa
 // --- data path ---------------------------------------------------------------
 
 void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
-  assert(started_ && "call Start() before sending");
+  // A stopped (crashed) member silently drops sends: callers with periodic
+  // senders keep firing across a crash, and a dead process originating
+  // traffic would be nonsense. Counted so tests can observe the drop.
+  if (!started_) {
+    ++stats_.sends_while_stopped;
+    return;
+  }
   if (flushing_) {
     blocked_sends_.emplace_back(mode, std::move(payload));
     return;

@@ -99,6 +99,7 @@ using ViewHandler = std::function<void(const View&)>;
 
 struct GroupStats {
   uint64_t sent = 0;
+  uint64_t sends_while_stopped = 0;  // dropped: member crashed or not started
   uint64_t causal_delivered = 0;  // passed the vector-clock condition
   uint64_t app_delivered = 0;     // handed to the application
   uint64_t delayed_deliveries = 0;
@@ -110,6 +111,14 @@ struct GroupStats {
   uint64_t piggyback_msgs_carried = 0;
   uint64_t piggyback_bytes = 0;
   uint64_t flushes_completed = 0;
+  // Relayed suspicions rejected because we heard the suspect too recently
+  // (the fresh-evidence veto in HandleSuspicion).
+  uint64_t suspicions_vetoed = 0;
+  // Flush rounds a coordinator refused to complete because its survivor set
+  // was not a primary partition of the departing view (strict majority, or
+  // exactly half holding the lowest member id). The minority side wedges
+  // rather than installing a rival view.
+  uint64_t flushes_blocked_no_quorum = 0;
   uint64_t flush_control_msgs = 0;
   uint64_t flush_payload_bytes = 0;
   sim::Duration blocked_time = sim::Duration::Zero();
@@ -130,6 +139,24 @@ class GroupMember {
   void SetDeliveryHandler(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
   void SetViewHandler(ViewHandler handler) { view_handler_ = std::move(handler); }
 
+  // --- application state transfer (crash-recovery rejoin) -------------------
+  // With a provider set, the flush coordinator snapshots its application
+  // state when admitting a joiner; the joiner's applier installs the snapshot
+  // before any post-snapshot message is delivered, and the joiner's delivery
+  // cut becomes the coordinator's app-delivered vector (everything past it is
+  // re-forwarded through the normal causal path). Snapshot + subsequent
+  // deliveries therefore reproduce the group's application state exactly.
+  // Without a provider, joiners adopt the group cut and see no history.
+  using StateProvider = std::function<net::PayloadPtr()>;
+  using StateApplier = std::function<void(const net::PayloadPtr&)>;
+  void SetStateProvider(StateProvider fn) { state_provider_ = std::move(fn); }
+  void SetStateApplier(StateApplier fn) { state_applier_ = std::move(fn); }
+
+  // Feeds an externally detected failure (e.g. a transport retransmission
+  // give-up) into the membership layer, triggering the same flush a
+  // heartbeat timeout would. No-op for non-members or without membership.
+  void ReportFailure(MemberId suspect);
+
   // Starts background machinery (ack gossip, heartbeats, token circulation).
   // Must be called once before the first Send.
   void Start();
@@ -138,10 +165,11 @@ class GroupMember {
 
   // Joins an existing group through `contact` (any current member). The
   // caller must have been constructed with members = {self} and Start()ed;
-  // sends stay blocked until the join view installs. The joiner adopts the
-  // group's delivery cut: it sees messages sent after the join, not history
-  // (application state transfer is the application's job). A crashed member
-  // must rejoin under a fresh member id.
+  // sends stay blocked until the join view installs. By default the joiner
+  // adopts the group's delivery cut and sees no history; with a state
+  // provider/applier pair configured (see above) it instead receives an
+  // application snapshot plus everything past the snapshot's cut. A crashed
+  // member must rejoin under a fresh member id.
   void JoinGroup(MemberId contact);
 
   // Multicasts to the group. kCausal and kTotal self-deliver per protocol;
@@ -230,6 +258,8 @@ class GroupMember {
   View view_;
   DeliveryHandler delivery_handler_;
   ViewHandler view_handler_;
+  StateProvider state_provider_;
+  StateApplier state_applier_;
   GroupStats stats_;
   bool started_ = false;
 
@@ -280,6 +310,7 @@ class GroupMember {
   std::set<MemberId> suspected_;
   bool flushing_ = false;
   uint64_t flush_view_id_ = 0;
+  uint64_t quorum_blocked_view_ = 0;  // last flush round counted as blocked
   sim::TimePoint flush_started_;
   std::map<MemberId, FlushState> flush_states_;  // coordinator only
   std::set<MemberId> pending_joiners_;           // coordinator only

@@ -115,9 +115,29 @@ void GroupMember::CheckFailures() {
   }
 }
 
+void GroupMember::ReportFailure(MemberId suspect) {
+  if (!config_.enable_membership || !started_ || joining_) {
+    return;
+  }
+  HandleSuspicion(suspect);
+}
+
 void GroupMember::HandleSuspicion(MemberId suspect) {
   if (suspect == self_ ||
       !std::binary_search(view_.members.begin(), view_.members.end(), suspect)) {
+    return;
+  }
+  // Fresh-evidence veto: a relayed suspicion (SuspectNotice hearsay, or a
+  // transport give-up) is rejected while our own ears contradict it — we
+  // heard the suspect within half a failure timeout. Local timeout-driven
+  // suspicion is unaffected (CheckFailures only fires after a full silent
+  // timeout). Without this, one member's lossy inbound path can evict a
+  // member everyone else still hears, and the evicted-but-live member then
+  // installs a rival view — a split brain from a single bad link.
+  auto heard = last_heard_.find(suspect);
+  if (heard != last_heard_.end() &&
+      simulator_->now() - heard->second < config_.failure_timeout / 2) {
+    ++stats_.suspicions_vetoed;
     return;
   }
   if (!suspected_.insert(suspect).second) {
@@ -218,6 +238,29 @@ void GroupMember::MaybeCompleteFlush() {
   if (survivors.empty() || survivors.front() != self_) {
     return;
   }
+
+  // Primary-partition rule for suspicion-driven flushes: only a side holding
+  // a strict majority of the departing view — or exactly half of it AND the
+  // lowest member id as a deterministic tie-break — may install the next
+  // view. The other side wedges in the flush instead of installing a rival
+  // view and running as a split brain: an evicted-but-live member (false
+  // suspicion under lossy links) stops, it does not secede. Pure join/leave
+  // flushes (no suspects) carry the whole view and skip the check.
+  if (!suspected_.empty()) {
+    const size_t old_size = view_.members.size();
+    const bool majority = survivors.size() * 2 > old_size;
+    const bool half_with_anchor =
+        survivors.size() * 2 == old_size &&
+        std::find(survivors.begin(), survivors.end(), view_.members.front()) != survivors.end();
+    if (!majority && !half_with_anchor) {
+      if (flush_view_id_ != quorum_blocked_view_) {
+        quorum_blocked_view_ = flush_view_id_;
+        ++stats_.flushes_blocked_no_quorum;
+      }
+      return;
+    }
+  }
+
   for (MemberId member : survivors) {
     if (!flush_states_.count(member)) {
       return;  // still waiting
@@ -281,9 +324,35 @@ void GroupMember::MaybeCompleteFlush() {
   }
   std::sort(new_members.begin(), new_members.end());
   for (MemberId joiner : pending_joiners_) {
+    // Default join: adopt the group cut, no history, no snapshot.
+    VectorClock joiner_cut = final_cut;
+    std::vector<GroupDataPtr> joiner_missing;
+    uint64_t joiner_next_deliver = next_seq;
+    net::PayloadPtr app_state;
+    if (state_provider_) {
+      // State transfer: snapshot our application state, which corresponds
+      // exactly to our app-delivered vector ad_ (the self-install that would
+      // advance it runs after this loop). Everything past that cut is either
+      // in some survivor's unstable retention buffer (message_union) or in
+      // our own causally-delivered-but-not-yet-app-delivered backlog, so the
+      // two sets together are a complete resend.
+      app_state = state_provider_();
+      joiner_cut = ad_;
+      joiner_next_deliver = next_total_deliver_;
+      std::map<MessageId, GroupDataPtr> beyond = message_union;
+      for (const auto& waiting : app_pending_) {
+        beyond.emplace(waiting.data->id(), waiting.data);
+      }
+      for (const auto& [id, msg] : beyond) {
+        if (id.seq > ad_.Get(id.sender)) {
+          joiner_missing.push_back(StripPiggyback(msg));
+        }
+      }
+    }
     auto install = std::make_shared<ViewInstall>(config_.group_id, new_view_id, new_members,
-                                                 std::vector<GroupDataPtr>{}, merged_vec,
-                                                 next_seq, final_cut);
+                                                 std::move(joiner_missing), merged_vec, next_seq,
+                                                 std::move(joiner_cut), joiner_next_deliver,
+                                                 std::move(app_state));
     ++stats_.flush_control_msgs;
     stats_.flush_payload_bytes += install->SizeBytes();
     transport_->SendReliable(joiner, MembershipPort(config_.group_id), install);
@@ -319,47 +388,58 @@ void GroupMember::OnViewInstall(const ViewInstall& install) {
     return;
   }
 
+  // A joiner starts at the cut its install names: by default the group's
+  // common delivery cut (history it never sees, by design), or — under state
+  // transfer — the coordinator's app-delivered vector, after installing the
+  // snapshot that corresponds to it. The cut merges *before* ingesting below
+  // so the re-forwarded post-cut messages flow through the normal causal
+  // path from exactly where the snapshot left off.
+  const bool was_joining = joining_;
+  if (joining_) {
+    if (install.app_state() != nullptr && state_applier_) {
+      state_applier_(install.app_state());
+    }
+    vd_.Merge(install.final_cut());
+    ad_.Merge(install.final_cut());
+    next_total_deliver_ = std::max(next_total_deliver_, install.next_total_deliver());
+    joining_ = false;
+  }
+
   // Ingest redistributed messages through the normal causal path.
   for (const auto& msg : install.missing()) {
     IngestData(msg);
   }
 
-  // A joiner starts at the group's delivery cut: everything before it is
-  // history it never sees (by design); everything after flows normally.
-  if (joining_) {
-    vd_.Merge(install.final_cut());
-    ad_.Merge(install.final_cut());
-    next_total_deliver_ = std::max(next_total_deliver_, install.next_total_seq());
-    joining_ = false;
-  }
-
-  // Close gaps left by failed senders: messages beyond what any survivor
-  // holds are lost for good. Skipping their sequence numbers is the protocol
-  // admitting non-durability.
-  for (const auto& [sender, cut] : install.final_cut().entries()) {
-    if (std::find(install.members().begin(), install.members().end(), sender) !=
-        install.members().end()) {
-      continue;  // live senders have reliable FIFO channels; no gaps
-    }
-    const uint64_t have = vd_.Get(sender);
-    if (have < cut) {
-      stats_.messages_dropped_at_view_change += cut - have;
-      vd_.Set(sender, cut);
-    }
-    // The app gate must also treat the skipped messages as "seen", or
-    // anything causally dependent on them would block forever. Messages from
-    // the dead sender still sitting in app_pending_ are unaffected: the gate
-    // never compares a message against its own sender's entry.
-    ad_.RaiseTo(sender, cut);
-    // Pending messages from the failed sender beyond the cut can never be
-    // delivered; drop them.
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      if (it->data->id().sender == sender && it->data->id().seq > cut) {
-        ++stats_.messages_dropped_at_view_change;
-        pending_ids_.erase(it->data->id());
-        it = pending_.erase(it);
-      } else {
-        ++it;
+  // Failed-sender cleanup. Messages from a failed sender *beyond* the flush
+  // cut (the furthest any survivor causally delivered) are lost for good: no
+  // survivor holds a copy, and nothing deliverable can depend on them —
+  // a dependent message would have required its own sender to causally
+  // deliver the predecessor first, which would have pulled it into the cut.
+  // Dropping them is the protocol admitting non-durability.
+  //
+  // Everything *at or below* the cut, by the same argument, is locally
+  // present after ingesting `missing` above: if it went stable, every old
+  // member (including us) already delivered it; otherwise it sat in some
+  // survivor's retention buffer and was redistributed. So vd_/ad_ must NOT
+  // be force-raised to the cut — those messages flow through the normal
+  // causal path, and raising the app gate early would let their causal
+  // successors overtake them at the application (a real causal-order
+  // violation the chaos fuzzer caught). A joiner skips this: its install's
+  // cut is the floor it starts from.
+  if (!was_joining) {
+    for (const auto& [sender, cut] : install.final_cut().entries()) {
+      if (std::find(install.members().begin(), install.members().end(), sender) !=
+          install.members().end()) {
+        continue;  // live senders have reliable FIFO channels; no gaps
+      }
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->data->id().sender == sender && it->data->id().seq > cut) {
+          ++stats_.messages_dropped_at_view_change;
+          pending_ids_.erase(it->data->id());
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }

@@ -65,6 +65,9 @@ size_t ViewInstall::SizeBytes() const {
   for (const auto& msg : missing_) {
     total += msg->SizeBytes() + msg->HeaderBytes();
   }
+  if (app_state_ != nullptr) {
+    total += app_state_->SizeBytes();
+  }
   return total;
 }
 

@@ -253,19 +253,25 @@ class FlushState : public net::Payload {
 };
 
 // Installs the new view; carries any messages a given survivor was missing.
+// A joiner's install may additionally carry an application-state snapshot
+// from a live member plus the total-order delivery counter the snapshot
+// corresponds to (state transfer for crash-recovery rejoin).
 class ViewInstall : public net::Payload {
  public:
   ViewInstall(GroupId group, uint64_t view_id, std::vector<MemberId> members,
               std::vector<GroupDataPtr> missing,
               std::vector<std::pair<MessageId, uint64_t>> assignments, uint64_t next_total_seq,
-              VectorClock final_cut)
+              VectorClock final_cut, uint64_t next_total_deliver = 0,
+              net::PayloadPtr app_state = nullptr)
       : group_(group),
         view_id_(view_id),
         members_(std::move(members)),
         missing_(std::move(missing)),
         assignments_(std::move(assignments)),
         next_total_seq_(next_total_seq),
-        final_cut_(std::move(final_cut)) {}
+        final_cut_(std::move(final_cut)),
+        next_total_deliver_(next_total_deliver),
+        app_state_(std::move(app_state)) {}
 
   size_t SizeBytes() const override;
   std::string Describe() const override { return "view-install"; }
@@ -282,6 +288,14 @@ class ViewInstall : public net::Payload {
   // Messages from *failed* senders beyond this cut are lost — delivery was
   // atomic but not durable (§2).
   const VectorClock& final_cut() const { return final_cut_; }
+  // Total-order delivery counter matching final_cut on a joiner's install
+  // (0 = unset; fall back to next_total_seq, the pre-state-transfer rule).
+  uint64_t next_total_deliver() const {
+    return next_total_deliver_ != 0 ? next_total_deliver_ : next_total_seq_;
+  }
+  // Application snapshot for a joiner; null on survivor installs or when no
+  // state provider is configured.
+  const net::PayloadPtr& app_state() const { return app_state_; }
 
  private:
   GroupId group_;
@@ -291,6 +305,8 @@ class ViewInstall : public net::Payload {
   std::vector<std::pair<MessageId, uint64_t>> assignments_;
   uint64_t next_total_seq_;
   VectorClock final_cut_;
+  uint64_t next_total_deliver_ = 0;
+  net::PayloadPtr app_state_;
 };
 
 }  // namespace catocs

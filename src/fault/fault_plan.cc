@@ -1,0 +1,210 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fault {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kDropBurst:
+      return "drop-burst";
+    case FaultKind::kDuplicateBurst:
+      return "dup-burst";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+  }
+  return "?";
+}
+
+std::string FaultEvent::Describe() const {
+  std::ostringstream out;
+  out << at.nanos() / 1000000 << "ms " << ToString(kind);
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRecover:
+      out << " slot=" << slot;
+      break;
+    case FaultKind::kPartition:
+      out << " {";
+      for (size_t c = 0; c < components.size(); ++c) {
+        out << (c ? "|" : "");
+        for (size_t i = 0; i < components[c].size(); ++i) {
+          out << (i ? "," : "") << components[c][i];
+        }
+      }
+      out << "}";
+      break;
+    case FaultKind::kHeal:
+      break;
+    case FaultKind::kDropBurst:
+    case FaultKind::kDuplicateBurst:
+      out << " p=" << value << " for=" << duration.nanos() / 1000000 << "ms";
+      break;
+    case FaultKind::kLatencySpike:
+      out << " x" << value << " for=" << duration.nanos() / 1000000 << "ms";
+      break;
+  }
+  return out.str();
+}
+
+std::string FaultPlan::Describe() const {
+  std::ostringstream out;
+  out << "plan horizon=" << horizon.nanos() / 1000000 << "ms events=" << events.size();
+  for (const auto& event : events) {
+    out << "\n  " << event.Describe();
+  }
+  return out.str();
+}
+
+namespace {
+
+// Sort key making the plan order fully deterministic even for events sampled
+// at the same instant.
+bool EventBefore(const FaultEvent& a, const FaultEvent& b) {
+  if (a.at != b.at) {
+    return a.at < b.at;
+  }
+  if (a.kind != b.kind) {
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+  return a.slot < b.slot;
+}
+
+}  // namespace
+
+FaultPlan FaultScheduleGenerator::Generate(sim::Rng& rng) const {
+  FaultPlan plan;
+  plan.horizon = config_.horizon;
+  const int64_t horizon_ns = config_.horizon.nanos();
+  // Faults land in the middle 10%..60% of the run, leaving the head for the
+  // group to form and the tail for recovery, redelivery, and quiescence.
+  const int64_t fault_lo = horizon_ns / 10;
+  const int64_t fault_hi = (horizon_ns * 6) / 10;
+
+  // --- crash / recover cycles ------------------------------------------------
+  // Slot 0 never crashes. Crash windows are serialized (bounded concurrency
+  // via non-overlapping windows when max_concurrent_crashes == 1): the victim
+  // stays down long enough to be detected and evicted, then rejoins.
+  std::vector<std::pair<int64_t, int64_t>> crash_windows;
+  size_t cycles = 0;
+  for (size_t slot = 1; slot < config_.num_slots; ++slot) {
+    if (!rng.NextBool(config_.crash_probability)) {
+      continue;
+    }
+    const int64_t down_for =
+        config_.failure_timeout.nanos() * 3 +
+        rng.NextInRange(0, config_.failure_timeout.nanos() * 4);
+    bool placed = false;
+    for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+      const int64_t start = rng.NextInRange(fault_lo, fault_hi);
+      const int64_t end = start + down_for;
+      size_t overlapping = 0;
+      for (const auto& [ws, we] : crash_windows) {
+        if (start < we && ws < end) {
+          ++overlapping;
+        }
+      }
+      if (overlapping >= config_.max_concurrent_crashes) {
+        continue;
+      }
+      crash_windows.emplace_back(start, end);
+      FaultEvent crash;
+      crash.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start);
+      crash.kind = FaultKind::kCrash;
+      crash.slot = slot;
+      plan.events.push_back(crash);
+      FaultEvent recover = crash;
+      recover.at = sim::TimePoint::Zero() + sim::Duration::Nanos(end);
+      recover.kind = FaultKind::kRecover;
+      plan.events.push_back(recover);
+      ++cycles;
+      placed = true;
+    }
+  }
+  (void)cycles;
+
+  // --- transient partitions --------------------------------------------------
+  // Strictly shorter than the failure timeout: they strand heartbeats and
+  // in-flight data (retransmission recovers) but never trigger eviction, so
+  // the brain cannot split. Longer partitions are expressible by scripting a
+  // plan by hand — bench_e15_chaos does, to show the oracle catching the
+  // resulting divergence.
+  int64_t last_partition_end = 0;
+  for (size_t i = 0; i < config_.max_partitions; ++i) {
+    if (!rng.NextBool(config_.partition_probability)) {
+      continue;
+    }
+    const int64_t cap = config_.failure_timeout.nanos() / 2;
+    const int64_t duration = rng.NextInRange(cap / 10 + 1, cap);
+    const int64_t start =
+        std::max(rng.NextInRange(fault_lo, fault_hi), last_partition_end + cap);
+    if (start + duration > fault_hi + cap) {
+      continue;
+    }
+    last_partition_end = start + duration;
+    // Random two-way split with both sides non-empty.
+    std::vector<size_t> slots(config_.num_slots);
+    for (size_t s = 0; s < config_.num_slots; ++s) {
+      slots[s] = s;
+    }
+    rng.Shuffle(slots);
+    const size_t left = 1 + static_cast<size_t>(
+                                rng.NextBelow(static_cast<uint64_t>(config_.num_slots - 1)));
+    FaultEvent part;
+    part.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start);
+    part.kind = FaultKind::kPartition;
+    part.components.assign(2, {});
+    part.components[0].assign(slots.begin(), slots.begin() + left);
+    part.components[1].assign(slots.begin() + left, slots.end());
+    std::sort(part.components[0].begin(), part.components[0].end());
+    std::sort(part.components[1].begin(), part.components[1].end());
+    plan.events.push_back(part);
+    FaultEvent heal;
+    heal.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start + duration);
+    heal.kind = FaultKind::kHeal;
+    plan.events.push_back(heal);
+  }
+
+  // --- drop / duplicate bursts and latency spikes ----------------------------
+  // Windows of one kind never overlap (the revert restores the pre-burst
+  // baseline, so overlap would make the restore order-dependent).
+  auto sample_bursts = [&](size_t max_count, FaultKind kind) {
+    int64_t last_end = 0;
+    for (size_t i = 0; i < max_count; ++i) {
+      if (!rng.NextBool(0.5)) {
+        continue;
+      }
+      const int64_t duration = rng.NextInRange(50000000, 300000000);  // 50..300ms
+      const int64_t start = std::max(rng.NextInRange(fault_lo, fault_hi),
+                                     last_end + 10000000);
+      last_end = start + duration;
+      FaultEvent burst;
+      burst.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start);
+      burst.kind = kind;
+      burst.duration = sim::Duration::Nanos(duration);
+      if (kind == FaultKind::kLatencySpike) {
+        burst.value = 2.0 + rng.NextDouble() * (config_.max_latency_scale - 2.0);
+      } else {
+        burst.value = 0.05 + rng.NextDouble() * (config_.max_burst_probability - 0.05);
+      }
+      plan.events.push_back(burst);
+    }
+  };
+  sample_bursts(config_.max_drop_bursts, FaultKind::kDropBurst);
+  sample_bursts(config_.max_duplicate_bursts, FaultKind::kDuplicateBurst);
+  sample_bursts(config_.max_latency_spikes, FaultKind::kLatencySpike);
+
+  std::sort(plan.events.begin(), plan.events.end(), EventBefore);
+  return plan;
+}
+
+}  // namespace fault

@@ -1,0 +1,102 @@
+// Scripted fault schedules for deterministic chaos runs.
+//
+// A FaultPlan is a timeline of adversity — crash/recover, partition/heal,
+// drop/duplicate bursts, latency spikes — expressed against *slots* (logical
+// replicas) rather than node ids, because a recovered replica rejoins under a
+// fresh member id. FaultScheduleGenerator samples random plans from a
+// dedicated deterministic RNG, so a single seed names an entire chaos run:
+// the same seed always yields the same plan, applied at the same simulated
+// instants, over the same workload — a FoundationDB-style simulation fuzzer
+// where every anomaly is reproducible from its seed.
+
+#ifndef REPRO_SRC_FAULT_FAULT_PLAN_H_
+#define REPRO_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace fault {
+
+enum class FaultKind {
+  kCrash,           // crash-stop a slot's current incarnation
+  kRecover,         // bring the slot back: fresh member id, rejoin, state transfer
+  kPartition,       // split slots into disconnected components
+  kHeal,            // remove any partition
+  kDropBurst,       // raise the network drop probability for a window
+  kDuplicateBurst,  // raise the duplicate probability for a window
+  kLatencySpike,    // scale sampled latencies for a window
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  sim::TimePoint at;
+  FaultKind kind = FaultKind::kCrash;
+  size_t slot = 0;  // kCrash / kRecover
+  // kPartition: slot-index components; slots are resolved to the live node
+  // ids at application time (a slot down at that instant is simply absent).
+  std::vector<std::vector<size_t>> components;
+  double value = 0.0;       // burst probability / latency scale factor
+  sim::Duration duration;   // burst window; the injector schedules the revert
+
+  std::string Describe() const;
+};
+
+struct FaultPlan {
+  sim::Duration horizon;            // the run length the plan was sized for
+  std::vector<FaultEvent> events;   // sorted by `at`
+
+  std::string Describe() const;
+};
+
+// Knobs for random plan sampling. Defaults give an eventful but survivable
+// schedule: the group always keeps a live majority anchored at slot 0, crash
+// windows are long enough for the failure detector to evict the victim, and
+// partitions stay shorter than the failure timeout so they stress
+// retransmission without triggering eviction — over-timeout partitions force
+// a membership decision (the flush quorum rule wedges every non-primary
+// side; see bench_e15_chaos for scripted versions of exactly that).
+struct GeneratorConfig {
+  size_t num_slots = 4;
+  sim::Duration horizon = sim::Duration::Seconds(4);
+  // Membership failure timeout of the group under test; recover delays and
+  // partition caps are derived from it.
+  sim::Duration failure_timeout = sim::Duration::Millis(100);
+
+  // Per-eligible-slot probability of one crash/recover cycle (slot 0 never
+  // crashes: it is the rejoin contact and the oracle's reference observer).
+  double crash_probability = 0.7;
+  size_t max_concurrent_crashes = 1;
+
+  double partition_probability = 0.6;  // chance of each potential partition
+  size_t max_partitions = 2;
+
+  size_t max_drop_bursts = 2;
+  size_t max_duplicate_bursts = 2;
+  size_t max_latency_spikes = 2;
+  double max_burst_probability = 0.25;
+  double max_latency_scale = 8.0;
+};
+
+class FaultScheduleGenerator {
+ public:
+  explicit FaultScheduleGenerator(GeneratorConfig config) : config_(config) {}
+
+  // Samples a plan using only `rng` — feed it a generator-private RNG (e.g.
+  // sim::Rng(seed ^ kPlanStream)) so planning draws never perturb the
+  // simulation's own stream.
+  FaultPlan Generate(sim::Rng& rng) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace fault
+
+#endif  // REPRO_SRC_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,77 @@
+#include "src/fault/injector.h"
+
+#include <set>
+
+namespace fault {
+
+void FaultInjector::Install(const FaultPlan& plan) {
+  const sim::TimePoint base = simulator_->now();
+  for (const FaultEvent& event : plan.events) {
+    simulator_->ScheduleAt(base + (event.at - sim::TimePoint::Zero()),
+                           [this, event] { Apply(event); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  ++events_applied_;
+  applied_log_.push_back(event.Describe());
+  net::Network& network = rig_->network();
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      rig_->CrashSlot(event.slot);
+      break;
+    case FaultKind::kRecover:
+      rig_->RecoverSlot(event.slot);
+      break;
+    case FaultKind::kPartition: {
+      // Resolve slots to their node ids as of now. Down slots are omitted;
+      // a slot that recovers mid-partition gets an id unknown to the spec
+      // and lands in the implicit extra component (see network.h).
+      std::vector<std::set<net::NodeId>> components;
+      for (const auto& slots : event.components) {
+        std::set<net::NodeId> ids;
+        for (size_t slot : slots) {
+          if (slot < rig_->num_slots() && rig_->SlotAlive(slot)) {
+            ids.insert(rig_->NodeOf(slot));
+          }
+        }
+        if (!ids.empty()) {
+          components.push_back(std::move(ids));
+        }
+      }
+      if (components.size() >= 2) {
+        network.Partition(components);
+      }
+      break;
+    }
+    case FaultKind::kHeal:
+      network.HealPartition();
+      break;
+    case FaultKind::kDropBurst: {
+      const double baseline = network.drop_probability();
+      network.set_drop_probability(event.value);
+      simulator_->ScheduleAfter(event.duration, [&network, baseline] {
+        network.set_drop_probability(baseline);
+      });
+      break;
+    }
+    case FaultKind::kDuplicateBurst: {
+      const double baseline = network.duplicate_probability();
+      network.set_duplicate_probability(event.value);
+      simulator_->ScheduleAfter(event.duration, [&network, baseline] {
+        network.set_duplicate_probability(baseline);
+      });
+      break;
+    }
+    case FaultKind::kLatencySpike: {
+      const double baseline = network.latency_scale();
+      network.set_latency_scale(event.value);
+      simulator_->ScheduleAfter(event.duration, [&network, baseline] {
+        network.set_latency_scale(baseline);
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace fault

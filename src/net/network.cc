@@ -58,13 +58,22 @@ bool Network::Send(NodeId src, NodeId dst, uint32_t port, PayloadPtr payload,
     ++packets_dropped_;
     return true;
   }
-  const sim::Duration delay = latency_->SampleDelay(src, dst, simulator_->rng());
+  const sim::Duration delay = SampleScaledDelay(src, dst);
   if (simulator_->rng().NextBool(config_.duplicate_probability)) {
-    const sim::Duration dup_delay = latency_->SampleDelay(src, dst, simulator_->rng());
+    const sim::Duration dup_delay = SampleScaledDelay(src, dst);
     Deliver(packet, dup_delay);
   }
   Deliver(std::move(packet), delay);
   return true;
+}
+
+sim::Duration Network::SampleScaledDelay(NodeId src, NodeId dst) {
+  sim::Duration delay = latency_->SampleDelay(src, dst, simulator_->rng());
+  if (latency_scale_ != 1.0) {
+    delay = sim::Duration::Nanos(
+        static_cast<int64_t>(static_cast<double>(delay.nanos()) * latency_scale_));
+  }
+  return delay;
 }
 
 void Network::Multicast(NodeId src, const std::vector<NodeId>& dsts, uint32_t port,

@@ -72,10 +72,26 @@ class Network {
   // --- Partitions -----------------------------------------------------------
   // Packets between nodes in different components are silently dropped.
   // An empty partition list means fully connected.
+  //
+  // In-flight semantics: reachability is checked twice, at send time and at
+  // delivery time, and a packet must pass both checks *at those instants*.
+  //   - Sent before Partition(), delivery falls inside it: DROPPED — forming
+  //     a partition cuts the cable under packets already in flight.
+  //   - Sent while partitioned: dropped immediately at send time, so a later
+  //     HealPartition() never resurrects it, even if the heal lands before
+  //     the packet's would-have-been delivery time.
+  //   - Sent before Partition(), healed before the delivery instant: the
+  //     transient partition is invisible and the packet is DELIVERED (the
+  //     model has no memory of reachability between the two checks).
   void Partition(const std::vector<std::set<NodeId>>& components);
   void HealPartition();
 
   // --- Introspection --------------------------------------------------------
+  // True when src can currently reach dst: both attached and up, and in the
+  // same partition component (see the in-flight semantics above for how this
+  // instant-check composes with packet delays).
+  bool Reachable(NodeId src, NodeId dst) const;
+
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -84,6 +100,13 @@ class Network {
   uint64_t payload_bytes_sent() const { return payload_bytes_sent_; }
 
   void set_drop_probability(double p) { config_.drop_probability = p; }
+  void set_duplicate_probability(double p) { config_.duplicate_probability = p; }
+  double drop_probability() const { return config_.drop_probability; }
+  double duplicate_probability() const { return config_.duplicate_probability; }
+  // Multiplies every subsequently sampled delay — >1.0 models a congestion /
+  // latency spike. Packets already in flight keep their original delay.
+  void set_latency_scale(double scale) { latency_scale_ = scale; }
+  double latency_scale() const { return latency_scale_; }
   sim::Simulator& simulator() { return *simulator_; }
 
  private:
@@ -92,8 +115,8 @@ class Network {
     std::unordered_map<uint32_t, PacketHandler> handlers;
   };
 
-  bool Reachable(NodeId src, NodeId dst) const;
   void Deliver(Packet packet, sim::Duration delay);
+  sim::Duration SampleScaledDelay(NodeId src, NodeId dst);
 
   sim::Simulator* simulator_;
   std::unique_ptr<LatencyModel> latency_;
@@ -101,6 +124,7 @@ class Network {
   std::unordered_map<NodeId, Endpoint> endpoints_;
   // partition_id_[node] -> component index; empty map = fully connected.
   std::unordered_map<NodeId, size_t> partition_id_;
+  double latency_scale_ = 1.0;
 
   uint64_t next_packet_id_ = 1;
   uint64_t packets_sent_ = 0;

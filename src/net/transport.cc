@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <utility>
+#include <vector>
 
 namespace net {
 
@@ -59,6 +60,15 @@ class AckPayload : public Payload {
  private:
   uint64_t cumulative_;
 };
+
+// splitmix64 finalizer: a cheap, well-mixed hash for deriving retransmission
+// jitter without touching any shared RNG stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 
 }  // namespace
 
@@ -148,29 +158,62 @@ void Transport::OnAck(const Packet& packet) {
   unacked.erase(unacked.begin(), unacked.upper_bound(ack->cumulative()));
 }
 
-void Transport::ScanRetransmits() {
-  bool any_pending = false;
-  const sim::TimePoint now = simulator_->now();
-  for (auto& [dst, sender] : senders_) {
-    for (auto it = sender.unacked.begin(); it != sender.unacked.end();) {
-      PendingSegment& segment = it->second;
-      if (now - segment.last_sent >= config_.retransmit_timeout) {
-        if (segment.retries >= config_.max_retries) {
-          // Give up; the peer is presumed failed.
-          it = sender.unacked.erase(it);
-          continue;
-        }
-        ++segment.retries;
-        ++retransmissions_;
-        segment.last_sent = now;
-        TransmitSegment(dst, segment);
-      }
-      any_pending = true;
-      ++it;
+sim::Duration Transport::RetransmitWait(NodeId dst, const PendingSegment& segment) const {
+  double wait_ns = static_cast<double>(config_.retransmit_timeout.nanos());
+  // Iterative multiply (not std::pow) so the schedule is bit-identical
+  // everywhere; retries is bounded by max_retries.
+  for (int i = 0; i < segment.retries; ++i) {
+    wait_ns *= config_.backoff_factor;
+    if (wait_ns >= static_cast<double>(config_.max_retransmit_timeout.nanos())) {
+      wait_ns = static_cast<double>(config_.max_retransmit_timeout.nanos());
+      break;
     }
+  }
+  if (config_.jitter > 0.0) {
+    const uint64_t h = Mix64(node_ ^ Mix64(dst ^ Mix64(segment.seq ^ Mix64(
+                                 static_cast<uint64_t>(segment.retries)))));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    wait_ns *= 1.0 + config_.jitter * unit;
+  }
+  return sim::Duration::Nanos(static_cast<int64_t>(wait_ns));
+}
+
+void Transport::ScanRetransmits() {
+  const sim::TimePoint now = simulator_->now();
+  std::vector<NodeId> failed;
+  for (auto& [dst, sender] : senders_) {
+    for (auto it = sender.unacked.begin(); it != sender.unacked.end(); ++it) {
+      PendingSegment& segment = it->second;
+      if (now - segment.last_sent < RetransmitWait(dst, segment)) {
+        continue;
+      }
+      if (segment.retries >= config_.max_retries) {
+        // Give up on the peer. FIFO forbids delivering past the gap this
+        // segment would leave, so the entire queue goes with it — upper
+        // layers see one ordered failure, not a silent mid-stream hole.
+        sender.unacked.clear();
+        failed.push_back(dst);
+        break;
+      }
+      ++segment.retries;
+      ++retransmissions_;
+      segment.last_sent = now;
+      TransmitSegment(dst, segment);
+    }
+  }
+  bool any_pending = false;
+  for (const auto& [dst, sender] : senders_) {
+    any_pending = any_pending || !sender.unacked.empty();
   }
   if (!any_pending) {
     retransmit_timer_->Stop();
+  }
+  // Notify outside the scan loop: a handler may send (mutating senders_).
+  for (NodeId dst : failed) {
+    ++peer_failures_;
+    if (on_peer_failure_) {
+      on_peer_failure_(dst);
+    }
   }
 }
 

@@ -27,8 +27,19 @@ using ReceiveFn = std::function<void(NodeId, uint32_t, const PayloadPtr&)>;
 struct TransportConfig {
   sim::Duration retransmit_timeout = sim::Duration::Millis(20);
   sim::Duration retransmit_scan_period = sim::Duration::Millis(5);
-  // After this many retransmissions of one segment the sender gives up and
-  // drops it (the peer is presumed dead; failure handling lives above).
+  // A segment that has been retransmitted k times waits
+  // retransmit_timeout * backoff_factor^k (capped at max_retransmit_timeout)
+  // before the next attempt. The default factor of 1.0 keeps the classic
+  // fixed-interval schedule.
+  double backoff_factor = 1.0;
+  sim::Duration max_retransmit_timeout = sim::Duration::Millis(500);
+  // Stretches each wait by up to this fraction, derived from a hash of
+  // (node, peer, seq, retries) — deterministic across runs and drawn from no
+  // shared RNG stream, so enabling it cannot perturb unrelated components.
+  double jitter = 0.0;
+  // After this many retransmissions of one segment the sender gives up on the
+  // peer: the whole per-peer queue is dropped (FIFO forbids skipping the gap)
+  // and the failure handler, if set, is told the peer is presumed dead.
   int max_retries = 50;
   // Wire overhead charged per data segment / ack.
   size_t data_header_bytes = 16;
@@ -49,6 +60,12 @@ class Transport {
   // At most one receiver per application port.
   void RegisterReceiver(uint32_t app_port, ReceiveFn fn);
 
+  // Called when retransmission to a peer is abandoned (a segment exceeded
+  // max_retries). Everything still queued for that peer has already been
+  // dropped together — an ordered failure, never a silent mid-stream hole.
+  using FailureFn = std::function<void(NodeId)>;
+  void SetFailureHandler(FailureFn fn) { on_peer_failure_ = std::move(fn); }
+
   // Fire-and-forget datagram: may be lost, duplicated, or reordered.
   void SendUnreliable(NodeId dst, uint32_t app_port, PayloadPtr payload);
 
@@ -62,6 +79,7 @@ class Transport {
   uint64_t retransmissions() const { return retransmissions_; }
   uint64_t segments_sent() const { return segments_sent_; }
   uint64_t acks_sent() const { return acks_sent_; }
+  uint64_t peer_failures() const { return peer_failures_; }
 
  private:
   struct PendingSegment {
@@ -87,12 +105,15 @@ class Transport {
   void SendAck(NodeId dst, uint64_t cumulative);
   void ScanRetransmits();
   void DeliverUp(NodeId src, uint32_t app_port, const PayloadPtr& payload);
+  // Backed-off, jittered wait before the segment's next retransmission.
+  sim::Duration RetransmitWait(NodeId dst, const PendingSegment& segment) const;
 
   sim::Simulator* simulator_;
   Network* network_;
   NodeId node_;
   TransportConfig config_;
   std::unordered_map<uint32_t, ReceiveFn> receivers_;
+  FailureFn on_peer_failure_;
   std::unordered_map<NodeId, PeerSender> senders_;
   std::unordered_map<NodeId, PeerReceiver> peer_receivers_;
   std::unique_ptr<sim::PeriodicTimer> retransmit_timer_;
@@ -100,6 +121,7 @@ class Transport {
   uint64_t retransmissions_ = 0;
   uint64_t segments_sent_ = 0;
   uint64_t acks_sent_ = 0;
+  uint64_t peer_failures_ = 0;
 };
 
 }  // namespace net

@@ -10,29 +10,24 @@ EventId EventQueue::Schedule(TimePoint when, EventFn fn) {
   const uint64_t seq = next_seq_++;
   heap_.push_back(Entry{when, seq, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_count_;
+  live_.insert(seq);
   return EventId{seq};
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (!id.valid() || id.seq >= next_seq_) {
+  // The live set is authoritative: a seq that already fired or was already
+  // cancelled is absent, and cancelling it must be a no-op. (An event that
+  // cancels its own handle from inside its closure hits this path.)
+  if (!id.valid() || live_.erase(id.seq) == 0) {
     return false;
   }
-  // We cannot tell from the id alone whether the event already fired, so the
-  // cancelled set is authoritative: insertion succeeds only once, and PopNext
-  // erases entries as it skips them.
-  auto [it, inserted] = cancelled_.insert(id.seq);
-  (void)it;
-  if (inserted && live_count_ > 0) {
-    --live_count_;
-    // Once dead entries dominate, sweep them in one linear pass: their
-    // closures free immediately and the heap stops growing without bound.
-    if (heap_.size() >= kCompactMinEntries && cancelled_.size() > heap_.size() / 2) {
-      Compact();
-    }
-    return true;
+  cancelled_.insert(id.seq);
+  // Once dead entries dominate, sweep them in one linear pass: their
+  // closures free immediately and the heap stops growing without bound.
+  if (heap_.size() >= kCompactMinEntries && cancelled_.size() > heap_.size() / 2) {
+    Compact();
   }
-  return false;
+  return true;
 }
 
 void EventQueue::Compact() {
@@ -50,7 +45,7 @@ void EventQueue::Compact() {
   }
   heap_.erase(keep, heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), Later{});
-  assert(heap_.size() == live_count_);
+  assert(heap_.size() == live_.size());
 }
 
 void EventQueue::SkipCancelled() {
@@ -76,8 +71,8 @@ EventQueue::Fired EventQueue::PopNext() {
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Fired fired{heap_.back().when, std::move(heap_.back().fn)};
+  live_.erase(heap_.back().seq);
   heap_.pop_back();
-  --live_count_;
   return fired;
 }
 

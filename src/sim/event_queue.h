@@ -43,13 +43,14 @@ class EventQueue {
   EventId Schedule(TimePoint when, EventFn fn);
 
   // Cancels a pending event. Returns false if it already ran or was already
-  // cancelled.
+  // cancelled — in particular, an event cancelling itself from inside its own
+  // closure (a timeout that fires and then "cancels" its handle) is a no-op.
   bool Cancel(EventId id);
 
   // True if no live (non-cancelled) events remain.
-  bool Empty() const { return live_count_ == 0; }
+  bool Empty() const { return live_.empty(); }
 
-  size_t size() const { return live_count_; }
+  size_t size() const { return live_.size(); }
   // Total entries physically in the heap, including lazily cancelled ones
   // (exposed so tests can observe compaction).
   size_t heap_size() const { return heap_.size(); }
@@ -90,9 +91,13 @@ class EventQueue {
   void Compact();
 
   std::vector<Entry> heap_;  // std::*_heap ordered by Later
+  // Seqs currently in the heap and not cancelled. This is what makes Cancel
+  // exact: a seq that already fired (or was already cancelled) is absent, so
+  // it can never be marked cancelled "in absentia" and corrupt the live
+  // count — the heap and the count can't drift apart.
+  std::unordered_set<uint64_t> live_;
   std::unordered_set<uint64_t> cancelled_;
   uint64_t next_seq_ = 1;
-  size_t live_count_ = 0;
 };
 
 }  // namespace sim

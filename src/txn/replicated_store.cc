@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -286,10 +287,25 @@ CatocsReplica::CatocsReplica(sim::Simulator* simulator, net::Transport* transpor
   member_->SetDeliveryHandler([this](const catocs::Delivery& d) { OnDeliver(d); });
 }
 
+namespace {
+
+// WAL record format for a replicated update: "<key>=<hexfloat value>".
+// Hexfloat round-trips doubles exactly, so replay is bit-faithful.
+std::string EncodeWalUpdate(const std::string& key, double value) {
+  std::ostringstream out;
+  out << key << '=' << std::hexfloat << value;
+  return out.str();
+}
+
+}  // namespace
+
 void CatocsReplica::OnDeliver(const catocs::Delivery& delivery) {
   if (const auto* update = net::PayloadCast<UpdateMsg>(delivery.payload())) {
     store_[update->key()] = update->value();
     ++updates_applied_;
+    if (wal_ != nullptr) {
+      wal_->Append(EncodeWalUpdate(update->key(), update->value()), nullptr);
+    }
     if (update->primary() != transport_->node()) {
       transport_->SendReliable(update->primary(), kAckPort,
                                std::make_shared<UpdateAckMsg>(update->update_id()));
@@ -303,6 +319,21 @@ void CatocsReplica::OnDeliver(const catocs::Delivery& delivery) {
 std::optional<double> CatocsReplica::Read(const std::string& key) const {
   auto it = store_.find(key);
   return it == store_.end() ? std::nullopt : std::optional<double>(it->second);
+}
+
+uint64_t CatocsReplica::RecoverFromWal(const WriteAheadLog& wal, sim::TimePoint crash_time) {
+  store_.clear();
+  uint64_t replayed = 0;
+  for (const LogRecord& record : wal.DurableRecordsAt(crash_time)) {
+    // Keys never contain '='; split on the last one to stay robust anyway.
+    const size_t eq = record.payload.rfind('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    store_[record.payload.substr(0, eq)] = std::strtod(record.payload.c_str() + eq + 1, nullptr);
+    ++replayed;
+  }
+  return replayed;
 }
 
 // --- CatocsPrimary ---------------------------------------------------------------

@@ -139,6 +139,15 @@ class CatocsReplica {
   const std::map<std::string, double>& store() const { return store_; }
   uint64_t updates_applied() const { return updates_applied_; }
 
+  // Optional durability: with a WAL attached, every applied update is
+  // appended (asynchronously flushed) before the ack goes back to the
+  // primary's port handler. RecoverFromWal rebuilds the store from the
+  // records durable at a crash instant — the replay a restarted replica runs
+  // before rejoining the group and requesting a delta via state transfer.
+  // Returns the number of records replayed.
+  void AttachWal(WriteAheadLog* wal) { wal_ = wal; }
+  uint64_t RecoverFromWal(const WriteAheadLog& wal, sim::TimePoint crash_time);
+
   // Chains another handler to observe deliveries (the replica consumes the
   // member's delivery handler slot).
   void SetObserver(catocs::DeliveryHandler observer) { observer_ = std::move(observer); }
@@ -149,6 +158,7 @@ class CatocsReplica {
   sim::Simulator* simulator_;
   net::Transport* transport_;
   catocs::GroupMember* member_;
+  WriteAheadLog* wal_ = nullptr;
   std::map<std::string, double> store_;
   catocs::DeliveryHandler observer_;
   uint64_t updates_applied_ = 0;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -158,6 +160,147 @@ TEST(JoinTest, TwoJoinersBothEndUpInTheView) {
   EXPECT_EQ(rig.fabric.member(0).view().members, (std::vector<MemberId>{1, 2, 3, 9, 10}));
   EXPECT_EQ(rig.joiner.view().members, (std::vector<MemberId>{1, 2, 3, 9, 10}));
   EXPECT_EQ(second.view().members, (std::vector<MemberId>{1, 2, 3, 9, 10}));
+}
+
+// --- crash-recovery with state transfer --------------------------------------
+
+// The workload payload for the state-transfer tests: a unique key mapping to
+// a value, so replica stores are order-insensitive and directly comparable.
+class KvUpdate : public net::Payload {
+ public:
+  KvUpdate(uint64_t key, uint64_t value) : key_(key), value_(value) {}
+  size_t SizeBytes() const override { return 48; }
+  std::string Describe() const override { return "kv-update"; }
+  uint64_t key() const { return key_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t key_;
+  uint64_t value_;
+};
+
+class KvSnapshot : public net::Payload {
+ public:
+  explicit KvSnapshot(std::map<uint64_t, uint64_t> store) : store_(std::move(store)) {}
+  size_t SizeBytes() const override { return 16 * store_.size(); }
+  std::string Describe() const override { return "kv-snapshot"; }
+  const std::map<uint64_t, uint64_t>& store() const { return store_; }
+
+ private:
+  std::map<uint64_t, uint64_t> store_;
+};
+
+// Wires a member to a per-id replicated store with snapshot provider/applier.
+void WireStore(GroupMember& member, std::map<MemberId, std::map<uint64_t, uint64_t>>* stores) {
+  const MemberId id = member.self();
+  member.SetDeliveryHandler([stores, id](const Delivery& d) {
+    if (const auto* update = net::PayloadCast<KvUpdate>(d.payload())) {
+      (*stores)[id][update->key()] = update->value();
+    }
+  });
+  member.SetStateProvider([stores, id]() -> net::PayloadPtr {
+    return std::make_shared<KvSnapshot>((*stores)[id]);
+  });
+  member.SetStateApplier([stores, id](const net::PayloadPtr& payload) {
+    if (const auto* snapshot = net::PayloadCast<KvSnapshot>(payload)) {
+      (*stores)[id] = snapshot->store();
+    }
+  });
+}
+
+// The acceptance scenario for crash recovery: member 3 crashes mid-run, the
+// survivors keep updating, and the crashed slot rejoins under the fresh id 9.
+// The rejoiner must receive a state snapshot covering everything it missed,
+// then track all subsequent updates — ending byte-identical to the survivors.
+TEST(JoinTest, CrashedMemberRejoinsWithStateTransfer) {
+  JoinRig rig(8);
+  std::map<MemberId, std::map<uint64_t, uint64_t>> stores;
+  for (size_t i = 0; i < 3; ++i) {
+    WireStore(rig.fabric.member(i), &stores);
+  }
+  WireStore(rig.joiner, &stores);
+  rig.fabric.StartAll();
+
+  // Phase 1: traffic the whole founding group applies.
+  for (int k = 0; k < 6; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(20 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 3).CausalSend(std::make_shared<KvUpdate>(100 + k, k));
+    });
+  }
+  // Member 3 (index 2) crashes; the survivors evict it.
+  rig.s.ScheduleAfter(sim::Duration::Millis(200), [&] { rig.fabric.CrashMember(2); });
+  // Phase 2: history only the survivors see — the rejoiner must get these
+  // keys via the snapshot, never as deliveries.
+  for (int k = 0; k < 6; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(600 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 2).CausalSend(std::make_shared<KvUpdate>(200 + k, 10 + k));
+    });
+  }
+  // The crashed slot comes back as fresh member 9 and joins through member 1.
+  rig.s.ScheduleAfter(sim::Duration::Millis(900), [&] {
+    rig.joiner.Start();
+    rig.joiner.JoinGroup(1);
+  });
+  // Phase 3: post-rejoin traffic, including sends from the rejoiner itself.
+  for (int k = 0; k < 6; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(2000 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 2).Send(k % 2 == 0 ? OrderingMode::kCausal : OrderingMode::kTotal,
+                                    std::make_shared<KvUpdate>(300 + k, 20 + k));
+    });
+  }
+  rig.s.ScheduleAfter(sim::Duration::Millis(2100), [&] {
+    rig.joiner.CausalSend(std::make_shared<KvUpdate>(400, 30));
+  });
+  rig.s.RunFor(sim::Duration::Seconds(5));
+
+  EXPECT_EQ(rig.joiner.view().members, (std::vector<MemberId>{1, 2, 9}));
+  ASSERT_EQ(stores[1].size(), 19u) << "6 + 6 + 6 + 1 unique keys at a survivor";
+  EXPECT_EQ(stores[2], stores[1]);
+  EXPECT_EQ(stores[9], stores[1])
+      << "the rejoiner's snapshot + post-join deliveries must reproduce the survivors' state";
+}
+
+// Without a state provider the rejoiner still joins cleanly but sees no
+// history — state transfer is opt-in, matching the documented contract.
+TEST(JoinTest, RejoinWithoutProviderAdoptsCutOnly) {
+  JoinRig rig(9);
+  std::map<MemberId, std::map<uint64_t, uint64_t>> stores;
+  // Delivery recording only — no provider/applier anywhere.
+  for (size_t i = 0; i < 3; ++i) {
+    GroupMember& member = rig.fabric.member(i);
+    const MemberId id = member.self();
+    member.SetDeliveryHandler([&stores, id](const Delivery& d) {
+      if (const auto* update = net::PayloadCast<KvUpdate>(d.payload())) {
+        stores[id][update->key()] = update->value();
+      }
+    });
+  }
+  const MemberId joiner_id = rig.joiner.self();
+  rig.joiner.SetDeliveryHandler([&stores, joiner_id](const Delivery& d) {
+    if (const auto* update = net::PayloadCast<KvUpdate>(d.payload())) {
+      stores[joiner_id][update->key()] = update->value();
+    }
+  });
+  rig.fabric.StartAll();
+  for (int k = 0; k < 4; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(20 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 3).CausalSend(std::make_shared<KvUpdate>(k, k));
+    });
+  }
+  rig.s.ScheduleAfter(sim::Duration::Millis(150), [&] { rig.fabric.CrashMember(2); });
+  rig.s.ScheduleAfter(sim::Duration::Millis(700), [&] {
+    rig.joiner.Start();
+    rig.joiner.JoinGroup(1);
+  });
+  for (int k = 0; k < 4; ++k) {
+    rig.s.ScheduleAfter(sim::Duration::Millis(1800 + 10 * k), [&rig, k] {
+      rig.fabric.member(k % 2).CausalSend(std::make_shared<KvUpdate>(50 + k, k));
+    });
+  }
+  rig.s.RunFor(sim::Duration::Seconds(4));
+  EXPECT_EQ(rig.joiner.view().members, (std::vector<MemberId>{1, 2, 9}));
+  EXPECT_EQ(stores[9].size(), 4u) << "post-join keys only; pre-crash history never arrives";
+  EXPECT_EQ(stores[1].size(), 8u);
 }
 
 TEST(JoinTest, JoinAndCrashInterleaved) {

@@ -114,6 +114,122 @@ TEST(NetworkTest, PartitionBlocksAcrossComponents) {
   EXPECT_EQ(got13, 1);
 }
 
+TEST(NetworkTest, PartitionDropsPacketsAlreadyInFlight) {
+  sim::Simulator s(30);
+  auto network = MakeNetwork(&s);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  EXPECT_TRUE(network->Send(1, 2, kPort, Blob("x")));
+  // The partition forms while the packet is still in flight (earliest
+  // delivery is 1ms away): the cable is cut under it.
+  network->Partition({{1}, {2}});
+  s.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(network->packets_dropped(), 1u);
+  EXPECT_EQ(network->packets_delivered(), 0u);
+}
+
+TEST(NetworkTest, HealBeforeDeliveryLetsInFlightPacketThrough) {
+  sim::Simulator s(31);
+  auto network = MakeNetwork(&s);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  network->Send(1, 2, kPort, Blob("x"));
+  network->Partition({{1}, {2}});
+  // Healed before the earliest possible delivery instant: the transient
+  // partition is invisible to the in-flight packet.
+  s.ScheduleAfter(sim::Duration::Micros(500), [&] { network->HealPartition(); });
+  s.Run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(network->packets_dropped(), 0u);
+}
+
+TEST(NetworkTest, HealDoesNotResurrectPacketSentWhilePartitioned) {
+  sim::Simulator s(32);
+  auto network = MakeNetwork(&s);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  network->Partition({{1}, {2}});
+  // Dropped at send time (the sender can't tell: Send still returns true)...
+  EXPECT_TRUE(network->Send(1, 2, kPort, Blob("x")));
+  EXPECT_EQ(network->packets_dropped(), 1u);
+  // ...so healing before the would-have-been delivery resurrects nothing.
+  s.ScheduleAfter(sim::Duration::Micros(100), [&] { network->HealPartition(); });
+  s.Run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(NetworkTest, DuplicateAccountingCountsOneSendTwoDeliveries) {
+  sim::Simulator s(33);
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  auto network = MakeNetwork(&s, cfg);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  for (int i = 0; i < 10; ++i) {
+    network->Send(1, 2, kPort, Blob("x"));
+  }
+  s.Run();
+  EXPECT_EQ(got, 20);
+  EXPECT_EQ(network->packets_sent(), 10u);
+  EXPECT_EQ(network->packets_delivered(), 20u);
+  EXPECT_EQ(network->packets_dropped(), 0u);
+}
+
+TEST(NetworkTest, DuplicatesSharePacketIdAndSetterTakesEffectMidRun) {
+  sim::Simulator s(34);
+  auto network = MakeNetwork(&s);
+  std::vector<uint64_t> ids;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet& p) { ids.push_back(p.packet_id); });
+  network->Send(1, 2, kPort, Blob("x"));
+  s.Run();
+  ASSERT_EQ(ids.size(), 1u);
+  network->set_duplicate_probability(1.0);
+  network->Send(1, 2, kPort, Blob("y"));
+  s.Run();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[1], ids[2]) << "duplicate copies share one transmission id";
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(NetworkTest, DropAccountingTracksEverySend) {
+  sim::Simulator s(35);
+  auto network = MakeNetwork(&s);
+  int got = 0;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { ++got; });
+  network->set_drop_probability(1.0);
+  for (int i = 0; i < 7; ++i) {
+    network->Send(1, 2, kPort, Blob("x"));
+  }
+  EXPECT_EQ(network->packets_sent(), 7u);
+  EXPECT_EQ(network->packets_dropped(), 7u) << "p=1 drops are counted at send time";
+  network->set_drop_probability(0.0);
+  network->Send(1, 2, kPort, Blob("x"));
+  s.Run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(network->packets_dropped(), 7u);
+  EXPECT_EQ(network->packets_delivered(), 1u);
+}
+
+TEST(NetworkTest, LatencySpikeScalesSampledDelays) {
+  sim::Simulator s(36);
+  auto network = MakeNetwork(&s);  // base delay uniform in [1ms, 5ms]
+  sim::TimePoint delivered_at;
+  network->Attach(1);
+  network->RegisterHandler(2, kPort, [&](const Packet&) { delivered_at = s.now(); });
+  network->set_latency_scale(10.0);
+  network->Send(1, 2, kPort, Blob("x"));
+  s.Run();
+  EXPECT_GE(delivered_at - sim::TimePoint::Zero(), sim::Duration::Millis(10));
+  EXPECT_LE(delivered_at - sim::TimePoint::Zero(), sim::Duration::Millis(50));
+}
+
 TEST(NetworkTest, ByteAccounting) {
   sim::Simulator s(7);
   auto network = MakeNetwork(&s);
@@ -236,6 +352,79 @@ TEST(TransportTest, GivesUpAfterMaxRetries) {
   // All events quiesce: the retransmit timer must have given up.
   EXPECT_EQ(s.pending_events(), 0u);
   EXPECT_LE(pair.a->retransmissions(), 3u);
+}
+
+TEST(TransportTest, GiveUpNotifiesHandlerAndDropsWholeQueue) {
+  sim::Simulator s(17);
+  TransportConfig tcfg;
+  tcfg.max_retries = 3;
+  auto pair = MakePair(&s, {}, tcfg);
+  std::vector<NodeId> failed;
+  pair.a->SetFailureHandler([&](NodeId peer) { failed.push_back(peer); });
+  int got = 0;
+  pair.b->RegisterReceiver(kPort, [&](NodeId, uint32_t, const PayloadPtr&) { ++got; });
+  pair.network->SetNodeUp(2, false);
+  for (int i = 0; i < 5; ++i) {
+    pair.a->SendReliable(2, kPort, Blob("m" + std::to_string(i)));
+  }
+  s.RunFor(sim::Duration::Seconds(5));
+  // One ordered failure for the peer, not one per queued segment.
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], NodeId{2});
+  EXPECT_EQ(pair.a->peer_failures(), 1u);
+  EXPECT_EQ(s.pending_events(), 0u) << "retransmit timer must quiesce after give-up";
+
+  // The old stream is dead: a post-failure send must never let the receiver
+  // observe data past the gap the dropped queue left.
+  pair.network->SetNodeUp(2, true);
+  pair.a->SendReliable(2, kPort, Blob("after-gap"));
+  s.RunFor(sim::Duration::Seconds(5));
+  EXPECT_EQ(got, 0);
+  // An explicit reset (what crash handling does) starts a clean stream.
+  pair.a->ResetPeerState();
+  pair.b->ResetPeerState();
+  pair.a->SendReliable(2, kPort, Blob("fresh"));
+  s.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(TransportTest, ExponentialBackoffSpacesRetransmits) {
+  sim::Simulator s(18);
+  TransportConfig tcfg;
+  tcfg.backoff_factor = 2.0;
+  tcfg.max_retries = 20;
+  auto pair = MakePair(&s, {}, tcfg);
+  pair.network->SetNodeUp(2, false);
+  pair.a->SendReliable(2, kPort, Blob("x"));
+  s.RunFor(sim::Duration::Millis(300));
+  // Doubling waits (20, 40, 80, 160ms...) allow only ~4 attempts by 300ms
+  // where the fixed 20ms schedule would have made ~14.
+  const uint64_t early = pair.a->retransmissions();
+  EXPECT_GE(early, 3u);
+  EXPECT_LE(early, 5u);
+  // The 500ms cap keeps the schedule finite: all retries are eventually spent.
+  s.RunFor(sim::Duration::Seconds(20));
+  EXPECT_EQ(pair.a->retransmissions(), 20u);
+}
+
+TEST(TransportTest, JitterIsDeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    sim::Simulator s(seed);
+    TransportConfig tcfg;
+    tcfg.jitter = 0.5;
+    tcfg.max_retries = 10;
+    auto pair = MakePair(&s, {}, tcfg);
+    pair.network->SetNodeUp(2, false);
+    pair.a->SendReliable(2, kPort, Blob("x"));
+    s.RunFor(sim::Duration::Millis(200));
+    return pair.a->retransmissions();
+  };
+  // Identical seeds give identical jittered schedules.
+  EXPECT_EQ(run(21), run(21));
+  // Jitter only ever stretches the wait, so it can't beat the base schedule
+  // (which fits at most ~9 attempts into 200ms).
+  EXPECT_LE(run(21), 9u);
+  EXPECT_GE(run(21), 5u);
 }
 
 TEST(TransportTest, SeparatePortsDemultiplex) {

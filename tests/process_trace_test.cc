@@ -70,6 +70,29 @@ TEST(ProcessTest, WorkScheduledBeforeCrashStaysDeadAfterRecovery) {
   EXPECT_EQ(p.ticks, 1);
 }
 
+TEST(ProcessTest, EpochSeparatesIncarnationsAcrossRepeatedCrashes) {
+  // Interleave stale and fresh closures across two crash/recover cycles: only
+  // closures scheduled by the incarnation that is alive when they fire run.
+  sim::Simulator s(5);
+  CountingProcess p(&s, 1);
+  p.ScheduleTick(sim::Duration::Millis(10));  // incarnation 0 — stale
+  s.ScheduleAfter(sim::Duration::Millis(1), [&] { p.Crash(); });
+  s.ScheduleAfter(sim::Duration::Millis(2), [&] {
+    p.Recover();
+    p.ScheduleTick(sim::Duration::Millis(10));  // incarnation 1 — stale too
+    p.ScheduleTick(sim::Duration::Millis(1));   // incarnation 1 — fires at 3ms
+  });
+  s.ScheduleAfter(sim::Duration::Millis(4), [&] { p.Crash(); });
+  s.ScheduleAfter(sim::Duration::Millis(6), [&] {
+    p.Recover();
+    p.ScheduleTick(sim::Duration::Millis(1));  // incarnation 2 — fires at 7ms
+  });
+  s.Run();
+  EXPECT_EQ(p.ticks, 2) << "both 10ms closures straddle a crash and must stay dead";
+  EXPECT_EQ(p.crashes_seen, 2);
+  EXPECT_EQ(p.recoveries_seen, 2);
+}
+
 TEST(ProcessTest, DoubleCrashIsIdempotent) {
   sim::Simulator s(4);
   CountingProcess p(&s, 1);

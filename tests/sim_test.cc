@@ -217,6 +217,38 @@ TEST(EventQueueTest, CompactionBoundsHeapUnderCancelChurn) {
   }
 }
 
+TEST(EventQueueTest, CancelOfFiredEventIsNoOp) {
+  EventQueue q;
+  EventId id = q.Schedule(TimePoint(1), [] {});
+  q.Schedule(TimePoint(2), [] {});
+  (void)q.PopNext();  // fires `id`
+  // Cancelling the fired event must not eat the remaining live entry.
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.PopNext().when, TimePoint(2));
+}
+
+TEST(SimulatorTest, SelfCancellingTimeoutDoesNotLoseLaterEvents) {
+  // Regression: a timeout that fires and then cancels its own handle (the
+  // 2PC coordinator's decide path) used to corrupt the live-event count,
+  // making the queue report empty while events remained — and a later run
+  // would then pop an event scheduled before the artificially advanced
+  // clock.
+  Simulator s;
+  EventId timeout{};
+  int fired = 0;
+  timeout = s.ScheduleAfter(Duration::Millis(1), [&] { s.Cancel(timeout); });
+  s.ScheduleAfter(Duration::Millis(5), [&] { ++fired; });
+  s.RunFor(Duration::Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending_events(), 0u);
+  // A second run must start from a consistent clock/queue.
+  s.ScheduleAfter(Duration::Millis(1), [&] { ++fired; });
+  s.RunFor(Duration::Millis(10));
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(EventQueueTest, CancelAllLeavesEmptyQueue) {
   EventQueue q;
   std::vector<EventId> ids;
