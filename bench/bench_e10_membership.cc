@@ -26,19 +26,15 @@ int main() {
     catocs::GroupFabric fabric(&s, cfg);
     fabric.StartAll();
     // Background causal traffic so the flush has unstable messages to carry.
-    std::vector<std::unique_ptr<sim::PeriodicTimer>> senders;
-    for (uint32_t m = 0; m < members; ++m) {
-      senders.push_back(
-          std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(15), [&fabric, m] {
-            fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
-          }));
-      senders.back()->Start(sim::Duration::Micros(700 * (m + 1)));
-    }
+    benchutil::StaggeredSenders senders(
+        &s, members, sim::Duration::Millis(15),
+        [](uint32_t m) { return sim::Duration::Micros(700 * (m + 1)); },
+        [&fabric](uint32_t m) {
+          fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
+        });
     s.ScheduleAfter(sim::Duration::Millis(500), [&] { fabric.CrashMember(members - 1); });
     s.RunFor(sim::Duration::Seconds(5));
-    for (auto& sender : senders) {
-      sender->Stop();
-    }
+    senders.StopAll();
     s.RunFor(sim::Duration::Seconds(2));
 
     uint64_t flush_msgs = 0;

@@ -27,18 +27,14 @@ Overhead RunOne(uint32_t members, catocs::OrderingMode mode, catocs::TotalOrderM
   cfg.group.total_order_mode = total_mode;
   catocs::GroupFabric fabric(&s, cfg);
   fabric.StartAll();
-  std::vector<std::unique_ptr<sim::PeriodicTimer>> senders;
-  for (uint32_t m = 0; m < members; ++m) {
-    senders.push_back(
-        std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(40), [&fabric, m, mode] {
-          fabric.member(m).Send(mode, std::make_shared<net::BlobPayload>("t", 200));
-        }));
-    senders.back()->Start(sim::Duration::Micros(900 * (m + 1)));
-  }
+  benchutil::StaggeredSenders senders(
+      &s, members, sim::Duration::Millis(40),
+      [](uint32_t m) { return sim::Duration::Micros(900 * (m + 1)); },
+      [&fabric, mode](uint32_t m) {
+        fabric.member(m).Send(mode, std::make_shared<net::BlobPayload>("t", 200));
+      });
   s.RunFor(sim::Duration::Seconds(10));
-  for (auto& sender : senders) {
-    sender->Stop();
-  }
+  senders.StopAll();
 
   Overhead result;
   uint64_t header_bytes = 0;

@@ -1,0 +1,81 @@
+// E16 — causal-buffer strategy comparison on the E5 workload. The same
+// all-to-all causal traffic over the clustered LAN/WAN topology, run once
+// per retention strategy: the paper-faithful full-vector tracker (throttled
+// matrix-walk pruning) versus the hybrid buffer (incremental per-sender
+// stability floors fed by explicit acks plus causal-timestamp evidence,
+// releasing messages the moment they become stable instead of at the next
+// prune tick). Both see identical traffic — the strategy is local
+// bookkeeping — so per-node occupancy is directly comparable. The hybrid
+// buffer's zero release lag should show up as strictly lower steady-state
+// occupancy once groups are large enough for the prune throttle to matter.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/causal_buffer.h"
+#include "src/catocs/group.h"
+
+namespace {
+
+struct Sample {
+  double per_node_mean = 0;
+  double per_node_peak = 0;
+  double total_mean = 0;
+};
+
+Sample RunOne(uint32_t members, catocs::CausalBufferKind kind) {
+  sim::Simulator s(1000 + members);
+  catocs::FabricConfig cfg;
+  cfg.num_members = members;
+  cfg.group.causal_buffer = kind;
+  catocs::GroupFabric fabric(
+      &s, cfg,
+      benchutil::LanWanLatency(8, sim::Duration::Millis(1), sim::Duration::Millis(5),
+                               sim::Duration::Millis(10), sim::Duration::Millis(30)));
+  fabric.StartAll();
+
+  // Fixed per-process rate: one causal multicast every 25ms (E5's workload).
+  benchutil::StaggeredSenders senders(
+      &s, members, sim::Duration::Millis(25),
+      [](uint32_t m) { return sim::Duration::Micros(500 + 400 * m); },
+      [&fabric](uint32_t m) {
+        fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
+      });
+
+  benchutil::BufferOccupancySampler sampler(&s, &fabric, sim::Duration::Millis(10));
+  s.RunFor(sim::Duration::Seconds(1));
+  sampler.Start();
+  s.RunFor(sim::Duration::Seconds(6));
+  sampler.Stop();
+  senders.StopAll();
+
+  double peak = 0;
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    peak = std::max(peak, static_cast<double>(fabric.member(i).peak_buffered_messages()));
+  }
+  return Sample{sampler.per_node().mean(), peak, sampler.total().mean()};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Header(
+      "E16 — retention-buffer strategies on the E5 workload",
+      "full-vector (throttled prune) vs hybrid (incremental floors + implicit acks): "
+      "same traffic, per-node steady-state occupancy compared");
+  benchutil::Row("%-8s %-16s %-14s %-16s %-14s %s", "N", "full_mean_msgs", "full_peak",
+                 "hybrid_mean_msgs", "hybrid_peak", "hybrid/full");
+  for (uint32_t members : {4u, 8u, 16u, 32u, 48u, 64u}) {
+    const Sample full = RunOne(members, catocs::CausalBufferKind::kFullVector);
+    const Sample hybrid = RunOne(members, catocs::CausalBufferKind::kHybrid);
+    const double ratio = full.per_node_mean > 0 ? hybrid.per_node_mean / full.per_node_mean : 0;
+    benchutil::Row("%-8u %-16.1f %-14.0f %-16.1f %-14.0f %.2f", members, full.per_node_mean,
+                   full.per_node_peak, hybrid.per_node_mean, hybrid.per_node_peak, ratio);
+  }
+  benchutil::Row("");
+  benchutil::Row("hybrid < full expected at larger N: the full-vector tracker holds stable");
+  benchutil::Row("messages until the next prune tick (up to 25ms); the hybrid buffer releases");
+  benchutil::Row("them the moment its per-sender floor advances.");
+  return 0;
+}

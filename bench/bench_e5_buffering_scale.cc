@@ -9,7 +9,6 @@
 
 #include "bench/bench_util.h"
 #include "src/catocs/group.h"
-#include "src/sim/metrics.h"
 
 namespace {
 
@@ -26,48 +25,27 @@ Sample RunOne(uint32_t members, sim::Duration gossip_interval = sim::Duration::M
   catocs::FabricConfig cfg;
   cfg.num_members = members;
   cfg.group.ack_gossip_interval = gossip_interval;
-  // Two-tier topology: clusters of 8 on a fast LAN, 10-30ms between
-  // clusters — the paper's "diameter grows with scale".
-  auto latency = std::make_unique<net::ClusteredLatency>(
-      8, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1), sim::Duration::Millis(5)),
-      std::make_unique<net::UniformLatency>(sim::Duration::Millis(10),
-                                            sim::Duration::Millis(30)));
-  catocs::GroupFabric fabric(&s, cfg, std::move(latency));
+  catocs::GroupFabric fabric(
+      &s, cfg,
+      benchutil::LanWanLatency(8, sim::Duration::Millis(1), sim::Duration::Millis(5),
+                               sim::Duration::Millis(10), sim::Duration::Millis(30)));
   fabric.StartAll();
 
   // Fixed per-process rate: one causal multicast every 25ms.
-  std::vector<std::unique_ptr<sim::PeriodicTimer>> senders;
-  for (uint32_t m = 0; m < members; ++m) {
-    senders.push_back(std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(25), [&fabric,
-                                                                                           m] {
-      fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
-    }));
-    senders.back()->Start(sim::Duration::Micros(500 + 400 * m));
-  }
+  benchutil::StaggeredSenders senders(
+      &s, members, sim::Duration::Millis(25),
+      [](uint32_t m) { return sim::Duration::Micros(500 + 400 * m); },
+      [&fabric](uint32_t m) {
+        fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
+      });
 
-  // Steady-state sampling (skip 2s warmup).
-  sim::Histogram per_node;
-  sim::Histogram total;
-  sim::Histogram total_bytes;
-  sim::PeriodicTimer sampler(&s, sim::Duration::Millis(10), [&] {
-    double run_total = 0;
-    double run_bytes = 0;
-    for (size_t i = 0; i < fabric.size(); ++i) {
-      const double count = static_cast<double>(fabric.member(i).buffered_messages());
-      per_node.Record(count);
-      run_total += count;
-      run_bytes += static_cast<double>(fabric.member(i).buffered_bytes());
-    }
-    total.Record(run_total);
-    total_bytes.Record(run_bytes);
-  });
+  // Steady-state sampling (skip warmup).
+  benchutil::BufferOccupancySampler sampler(&s, &fabric, sim::Duration::Millis(10));
   s.RunFor(sim::Duration::Seconds(1));
-  sampler.Start(sim::Duration::Millis(10));
+  sampler.Start();
   s.RunFor(sim::Duration::Seconds(6));
   sampler.Stop();
-  for (auto& sender : senders) {
-    sender->Stop();
-  }
+  senders.StopAll();
 
   double peak = 0;
   for (size_t i = 0; i < fabric.size(); ++i) {
@@ -76,7 +54,8 @@ Sample RunOne(uint32_t members, sim::Duration gossip_interval = sim::Duration::M
       *ack_msgs += fabric.member(i).stats().ack_msgs_sent;
     }
   }
-  return Sample{per_node.mean(), peak, total.mean(), total_bytes.mean()};
+  return Sample{sampler.per_node().mean(), peak, sampler.total().mean(),
+                sampler.total_bytes().mean()};
 }
 
 }  // namespace

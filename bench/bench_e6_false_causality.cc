@@ -40,18 +40,14 @@ RunResult RunOne(catocs::OrderingMode mode, double drop, bool piggyback, uint64_
   }
   fabric.StartAll();
 
-  std::vector<std::unique_ptr<sim::PeriodicTimer>> senders;
-  for (size_t m = 0; m < fabric.size(); ++m) {
-    senders.push_back(
-        std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(20), [&fabric, m, mode] {
-          fabric.member(m).Send(mode, std::make_shared<net::BlobPayload>("telemetry", 128));
-        }));
-    senders.back()->Start(sim::Duration::Micros(300 + 2100 * m));
-  }
+  benchutil::StaggeredSenders senders(
+      &s, fabric.size(), sim::Duration::Millis(20),
+      [](uint32_t m) { return sim::Duration::Micros(300 + 2100 * m); },
+      [&fabric, mode](uint32_t m) {
+        fabric.member(m).Send(mode, std::make_shared<net::BlobPayload>("telemetry", 128));
+      });
   s.RunFor(sim::Duration::Seconds(20));
-  for (auto& sender : senders) {
-    sender->Stop();
-  }
+  senders.StopAll();
 
   RunResult result;
   result.mean_latency_us = latency.mean();

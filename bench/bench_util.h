@@ -1,5 +1,7 @@
-// Shared table-printing helpers for the experiment benches. Each bench binary
-// regenerates one figure/claim of the paper as a fixed-format table on
+// Shared helpers for the experiment benches: fixed-format table printing,
+// the staggered per-member send loop every fabric bench repeats, the two-tier
+// LAN/WAN topology, and steady-state buffer-occupancy sampling. Each bench
+// binary regenerates one figure/claim of the paper as a fixed-format table on
 // stdout; EXPERIMENTS.md records the expected shapes.
 
 #ifndef REPRO_BENCH_BENCH_UTIL_H_
@@ -8,8 +10,16 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/catocs/group.h"
+#include "src/net/latency.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
 
 namespace benchutil {
 
@@ -27,6 +37,79 @@ inline void Row(const char* fmt, ...) {
   va_end(args);
   std::printf("\n");
 }
+
+// Per-member periodic senders with staggered start offsets — the send-loop
+// boilerplate shared by the fabric benches. Construction creates then starts
+// one timer per member, in member order; timer creation order is part of the
+// deterministic replay, so the helper reproduces exactly the inline
+// create-then-Start sequence the benches originally used.
+class StaggeredSenders {
+ public:
+  StaggeredSenders(sim::Simulator* simulator, size_t members, sim::Duration interval,
+                   const std::function<sim::Duration(uint32_t)>& offset,
+                   std::function<void(uint32_t)> send) {
+    for (uint32_t m = 0; m < members; ++m) {
+      timers_.push_back(
+          std::make_unique<sim::PeriodicTimer>(simulator, interval, [send, m] { send(m); }));
+      timers_.back()->Start(offset(m));
+    }
+  }
+
+  void StopAll() {
+    for (auto& timer : timers_) {
+      timer->Stop();
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> timers_;
+};
+
+// Two-tier topology: clusters of `cluster_size` on a fast LAN, WAN latency
+// between clusters — the paper's "diameter grows with scale".
+inline std::unique_ptr<net::LatencyModel> LanWanLatency(uint32_t cluster_size,
+                                                        sim::Duration lan_lo, sim::Duration lan_hi,
+                                                        sim::Duration wan_lo,
+                                                        sim::Duration wan_hi) {
+  return std::make_unique<net::ClusteredLatency>(
+      cluster_size, std::make_unique<net::UniformLatency>(lan_lo, lan_hi),
+      std::make_unique<net::UniformLatency>(wan_lo, wan_hi));
+}
+
+// Steady-state retention-buffer occupancy over a fabric: per-node message
+// counts, the system-wide total, and total buffered bytes, recorded every
+// `interval` once Start()ed (benches start it after a warmup period).
+class BufferOccupancySampler {
+ public:
+  BufferOccupancySampler(sim::Simulator* simulator, catocs::GroupFabric* fabric,
+                         sim::Duration interval)
+      : interval_(interval), timer_(simulator, interval, [this, fabric] {
+          double run_total = 0;
+          double run_bytes = 0;
+          for (size_t i = 0; i < fabric->size(); ++i) {
+            const double count = static_cast<double>(fabric->member(i).buffered_messages());
+            per_node_.Record(count);
+            run_total += count;
+            run_bytes += static_cast<double>(fabric->member(i).buffered_bytes());
+          }
+          total_.Record(run_total);
+          total_bytes_.Record(run_bytes);
+        }) {}
+
+  void Start() { timer_.Start(interval_); }
+  void Stop() { timer_.Stop(); }
+
+  const sim::Histogram& per_node() const { return per_node_; }
+  const sim::Histogram& total() const { return total_; }
+  const sim::Histogram& total_bytes() const { return total_bytes_; }
+
+ private:
+  sim::Duration interval_;
+  sim::Histogram per_node_;
+  sim::Histogram total_;
+  sim::Histogram total_bytes_;
+  sim::PeriodicTimer timer_;
+};
 
 // Least-squares slope of log(y) on log(x): the growth exponent of y ~ x^k.
 inline double FitGrowthExponent(const std::vector<double>& xs, const std::vector<double>& ys) {

@@ -10,7 +10,7 @@
 // divergence, every crashed slot rejoined).
 //
 // Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
-//                   [--no-verify-replay] [--verbose]
+//                   [--buffer full|hybrid] [--no-verify-replay] [--verbose]
 
 #include <cinttypes>
 #include <cstdio>
@@ -18,6 +18,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/catocs/causal_buffer.h"
 #include "src/fault/chaos_rig.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/injector.h"
@@ -34,6 +35,7 @@ struct RunOptions {
   uint64_t start = 1;
   size_t slots = 4;
   int64_t horizon_ms = 4000;
+  catocs::CausalBufferKind buffer = catocs::CausalBufferKind::kFullVector;
   bool verify_replay = true;
   bool verbose = false;
 };
@@ -63,6 +65,7 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
   cfg.num_slots = opt.slots;
   cfg.group.heartbeat_interval = sim::Duration::Millis(20);
   cfg.group.failure_timeout = sim::Duration::Millis(100);
+  cfg.group.causal_buffer = opt.buffer;
   fault::ChaosRig rig(&s, cfg);
   fault::FaultInjector injector(&s, &rig);
 
@@ -110,6 +113,16 @@ int main(int argc, char** argv) {
       opt.slots = static_cast<size_t>(next());
     } else if (arg == "--horizon-ms") {
       opt.horizon_ms = next();
+    } else if (arg == "--buffer") {
+      const std::string kind = i + 1 < argc ? argv[++i] : "";
+      if (kind == "full") {
+        opt.buffer = catocs::CausalBufferKind::kFullVector;
+      } else if (kind == "hybrid") {
+        opt.buffer = catocs::CausalBufferKind::kHybrid;
+      } else {
+        std::fprintf(stderr, "unknown --buffer kind: %s (want full|hybrid)\n", kind.c_str());
+        return 2;
+      }
     } else if (arg == "--no-verify-replay") {
       opt.verify_replay = false;
     } else if (arg == "--verbose") {
@@ -127,9 +140,11 @@ int main(int argc, char** argv) {
   uint64_t total_rejoins = 0;
   double worst_rejoin_ms = 0.0;
 
-  std::printf("fuzz_chaos: %" PRIu64 " seeds [%" PRIu64 "..%" PRIu64 "], %zu slots, %lldms horizon, replay verify %s\n",
+  std::printf("fuzz_chaos: %" PRIu64 " seeds [%" PRIu64 "..%" PRIu64
+              "], %zu slots, %lldms horizon, %s buffer, replay verify %s\n",
               opt.seeds, opt.start, opt.start + opt.seeds - 1, opt.slots,
-              static_cast<long long>(opt.horizon_ms), opt.verify_replay ? "on" : "off");
+              static_cast<long long>(opt.horizon_ms), catocs::ToString(opt.buffer),
+              opt.verify_replay ? "on" : "off");
 
   for (uint64_t seed = opt.start; seed < opt.start + opt.seeds; ++seed) {
     const RunResult result = RunOneSeed(seed, opt);

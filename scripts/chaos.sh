@@ -4,7 +4,9 @@
 # partitions, drop/duplicate bursts, latency spikes), with every seed run
 # twice and required to produce a bit-identical trace hash. Any invariant
 # violation, replay divergence, or wedged rejoin fails the sweep (nonzero
-# exit). Reuses an existing build if one is configured.
+# exit). The sweep runs once per causal-buffer strategy (full-vector and
+# hybrid) so both retention implementations face the same fault schedules.
+# Reuses an existing build if one is configured.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,10 +14,13 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 SEEDS=${SEEDS:-50}
 START=${START:-1}
+BUFFERS=${BUFFERS:-full hybrid}
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos
 
-"${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}"
+for buffer in ${BUFFERS}; do
+  "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" --buffer "${buffer}"
+done

@@ -7,6 +7,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Cheap gates first: formatting (no-op where clang-format is unavailable).
+./scripts/lint.sh
+
 BUILD_DIR=${BUILD_DIR:-build-asan}
 
 cmake -B "${BUILD_DIR}" -S . \

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format --dry-run over the C++ tree, using the
+# repo-root .clang-format (Google style, 100 cols). Skips with a notice when
+# clang-format is not installed (the reference container does not ship it),
+# so CI environments without the tool still pass the full check pipeline.
+#
+# By default formatting drift is a warning; set LINT_STRICT=1 to make it
+# fail the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "lint: clang-format not found; skipping format check" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src bench tests -name '*.cc' -o -name '*.h' | sort)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "lint: no sources found" >&2
+  exit 1
+fi
+
+echo "lint: clang-format --dry-run over ${#files[@]} files ($(clang-format --version))"
+if clang-format --dry-run -Werror --style=file "${files[@]}"; then
+  echo "lint: clean"
+  exit 0
+fi
+
+if [[ "${LINT_STRICT:-0}" == "1" ]]; then
+  echo "lint: formatting drift (LINT_STRICT=1, failing)" >&2
+  exit 1
+fi
+echo "lint: formatting drift (warning only; run clang-format -i, or set LINT_STRICT=1 to enforce)" >&2
+exit 0

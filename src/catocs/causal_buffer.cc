@@ -1,0 +1,28 @@
+#include "src/catocs/causal_buffer.h"
+
+#include "src/catocs/hybrid_buffer.h"
+#include "src/catocs/stability.h"
+
+namespace catocs {
+
+const char* ToString(CausalBufferKind kind) {
+  switch (kind) {
+    case CausalBufferKind::kFullVector:
+      return "full-vector";
+    case CausalBufferKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::unique_ptr<CausalBufferStrategy> MakeCausalBuffer(CausalBufferKind kind) {
+  switch (kind) {
+    case CausalBufferKind::kFullVector:
+      return std::make_unique<StabilityTracker>();
+    case CausalBufferKind::kHybrid:
+      return std::make_unique<HybridBuffer>();
+  }
+  return std::make_unique<StabilityTracker>();
+}
+
+}  // namespace catocs

@@ -1,0 +1,83 @@
+// Pluggable retention-buffer strategies for atomic delivery.
+//
+// A message is *stable* once every current group member has delivered it;
+// until then each member retains a copy so any member can re-forward it if
+// the original sender fails mid-multicast (§2). How aggressively that
+// retention buffer is trimmed is a strategy decision: the paper-faithful
+// full-vector tracker (stability.h) walks the whole member matrix on a
+// throttled schedule, while the hybrid buffer (hybrid_buffer.h) keeps
+// incremental per-sender floors and mines causal timestamps as implicit
+// acks, after the designs in PAPERS.md (Nédelec et al.'s scalable causal
+// broadcast, Almeida's hybrid buffering). The stability *condition* is
+// identical across strategies — only when buffered copies are released
+// differs — so every strategy is safe to swap under the flush protocol.
+
+#ifndef REPRO_SRC_CATOCS_CAUSAL_BUFFER_H_
+#define REPRO_SRC_CATOCS_CAUSAL_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/catocs/message.h"
+#include "src/catocs/types.h"
+
+namespace catocs {
+
+class CausalBufferStrategy {
+ public:
+  virtual ~CausalBufferStrategy() = default;
+
+  virtual const char* name() const = 0;
+
+  // The member set over which the stability minimum is taken. Removing a
+  // member (it failed) can only make more messages stable.
+  virtual void SetMembers(const std::vector<MemberId>& members) = 0;
+
+  // Records that `member` has contiguously delivered `vec[s]` messages from
+  // each sender s — an ack vector from gossip or piggybacked on data.
+  virtual void UpdateMemberVector(MemberId member, const VectorClock& vec) = 0;
+
+  // Point update: `member` has contiguously delivered `count` messages from
+  // `sender`. The per-delivery hot path.
+  virtual void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) = 0;
+
+  // Optional evidence channel: a delivered message stamped `vt` by `sender`
+  // proves `sender` had causally delivered everything at or below `vt`
+  // before sending. The full-vector tracker ignores this (its release
+  // schedule is the paper's baseline being measured); the hybrid buffer
+  // folds it in as an implicit ack, which is what keeps its occupancy low
+  // even when explicit acks are sparse.
+  virtual void ObserveDeliveredTimestamp(MemberId sender, const VectorClock& vt) {
+    (void)sender;
+    (void)vt;
+  }
+
+  // Adds a delivered (or sent) message to the retention buffer.
+  virtual void AddToBuffer(const GroupDataPtr& msg) = 0;
+
+  // Per-sender stability floor: min over members of their delivered count.
+  virtual VectorClock StableVector() const = 0;
+
+  // Drops every buffered message at or below the stability floor.
+  virtual void Prune() = 0;
+
+  // Messages not yet known stable (what a flush contributes).
+  virtual std::vector<GroupDataPtr> UnstableMessages() const = 0;
+
+  // Looks up a buffered message; nullptr when absent (already pruned).
+  virtual GroupDataPtr Find(const MessageId& id) const = 0;
+
+  virtual size_t buffered_count() const = 0;
+  virtual size_t buffered_bytes() const = 0;
+  virtual size_t peak_buffered_count() const = 0;
+  virtual size_t peak_buffered_bytes() const = 0;
+};
+
+const char* ToString(CausalBufferKind kind);
+
+std::unique_ptr<CausalBufferStrategy> MakeCausalBuffer(CausalBufferKind kind);
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_CAUSAL_BUFFER_H_

@@ -1,0 +1,120 @@
+#include "src/catocs/causal_layer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/catocs/fifo_layer.h"
+#include "src/catocs/stability_layer.h"
+#include "src/catocs/total_order_layer.h"
+
+namespace catocs {
+
+void CausalLayer::OnSend(GroupData& data) {
+  VectorClock vt = vd_;
+  vt.Set(core_->self, data.id().seq);
+  data.set_vt(std::move(vt));
+}
+
+bool CausalLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadPtr& payload) {
+  if (port != GroupPorts::Data(core_->config.group_id)) {
+    return false;
+  }
+  const auto* data = net::PayloadCast<GroupData>(payload);
+  assert(data != nullptr);
+  if (data->group() != core_->config.group_id) {
+    return true;
+  }
+  auto shared = std::static_pointer_cast<const GroupData>(payload);
+  // Piggybacked predecessors are ingested first so this message's causal
+  // condition can be met immediately.
+  for (const auto& predecessor : shared->piggyback()) {
+    Ingest(predecessor);
+  }
+  Ingest(shared);
+  return true;
+}
+
+void CausalLayer::Ingest(const GroupDataPtr& data) {
+  // Stability info rides on every data message.
+  if (!data->acks().empty()) {
+    core_->stability->ObserveAckVector(data->id().sender, data->acks());
+  }
+
+  if (data->mode() == OrderingMode::kUnordered) {
+    core_->fifo->DeliverDirect(data);
+    return;
+  }
+
+  // Duplicate suppression: already causally delivered, or already pending.
+  if (data->id().seq <= vd_.Get(data->id().sender)) {
+    return;
+  }
+  if (!pending_ids_.insert(data->id()).second) {
+    return;
+  }
+  pending_.push_back(PendingMessage{data, core_->simulator->now()});
+  TryDeliverPending();
+}
+
+bool CausalLayer::CausallyDeliverable(const GroupData& data) const {
+  return catocs::CausallyDeliverable(data.vt(), data.id().sender, vd_);
+}
+
+void CausalLayer::TryDeliverPending() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (CausallyDeliverable(*it->data)) {
+        PendingMessage pending = std::move(*it);
+        pending_.erase(it);
+        pending_ids_.erase(pending.data->id());
+        CausalDeliver(pending);
+        progress = true;
+        break;  // iterators invalidated; rescan
+      }
+    }
+  }
+}
+
+void CausalLayer::CausalDeliver(const PendingMessage& pending) {
+  const GroupDataPtr& data = pending.data;
+  const MemberId sender = data->id().sender;
+  assert(vd_.Get(sender) + 1 == data->id().seq);
+  vd_.Set(sender, data->id().seq);
+  ++core_->stats.causal_delivered;
+
+  const sim::Duration causal_delay = core_->simulator->now() - pending.arrived_at;
+  if (causal_delay > sim::Duration::Zero()) {
+    ++core_->stats.delayed_deliveries;
+    core_->stats.total_causal_delay += causal_delay;
+  }
+
+  // Protocol order, preserved from the monolith: retain for atomic delivery,
+  // note our own progress, give the total-order layer its sequencing shot,
+  // then hand the message to the app-side FIFO gate.
+  core_->stability->OnCausalDeliver(data);
+  core_->total->OnCausalDeliver(*data);
+  core_->fifo->Enqueue(data, causal_delay);
+}
+
+void CausalLayer::DropFailedSenderBacklog(const ViewInstall& install) {
+  for (const auto& [sender, cut] : install.final_cut().entries()) {
+    if (std::find(install.members().begin(), install.members().end(), sender) !=
+        install.members().end()) {
+      continue;  // live senders have reliable FIFO channels; no gaps
+    }
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->data->id().sender == sender && it->data->id().seq > cut) {
+        ++core_->stats.messages_dropped_at_view_change;
+        pending_ids_.erase(it->data->id());
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace catocs

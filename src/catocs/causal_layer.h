@@ -1,0 +1,72 @@
+// Causal delivery (cbcast): the Birman–Schiper–Stephenson vector-clock delay
+// queue. Stage 1 of the delivery cascade — a message leaves this layer only
+// when everything that happens-before it has been causally delivered here.
+
+#ifndef REPRO_SRC_CATOCS_CAUSAL_LAYER_H_
+#define REPRO_SRC_CATOCS_CAUSAL_LAYER_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+
+#include "src/catocs/layer.h"
+#include "src/catocs/vector_clock.h"
+
+namespace catocs {
+
+class CausalLayer : public OrderingLayer {
+ public:
+  explicit CausalLayer(GroupCore* core) : OrderingLayer(core) { core->causal = this; }
+
+  const char* name() const override { return "causal"; }
+
+  // Stamps the vector timestamp: the delivered-vector with our own entry
+  // advanced to this send — one contiguous copy, no per-entry churn.
+  void OnSend(GroupData& data) override;
+  bool OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) override;
+  void TryDeliver() override { TryDeliverPending(); }
+
+  // Allocates the per-sender sequence number for an outgoing ordered send.
+  uint64_t AllocateSendSeq() { return ++send_seq_; }
+
+  // Entry point for a data message (local self-delivery, network arrival, or
+  // view-change redistribution): observes piggybacked acks, dedups, queues,
+  // and drives the cascade as far as it will go.
+  void Ingest(const GroupDataPtr& data);
+
+  void TryDeliverPending();
+
+  // Contiguous causally-delivered count per sender.
+  const VectorClock& delivered() const { return vd_; }
+  size_t delay_queue_length() const { return pending_.size(); }
+
+  // Joiner: adopt the group's delivery cut as our floor (history we never
+  // see, by design).
+  void AdoptCut(const VectorClock& cut) { vd_.Merge(cut); }
+
+  // Failed-sender cleanup at a view install: messages from a failed sender
+  // *beyond* the flush cut are lost for good — no survivor holds a copy, and
+  // nothing deliverable can depend on them (a dependent message would have
+  // required its own sender to causally deliver the predecessor first, which
+  // would have pulled it into the cut). Dropping them is the protocol
+  // admitting non-durability.
+  void DropFailedSenderBacklog(const ViewInstall& install);
+
+ private:
+  struct PendingMessage {
+    GroupDataPtr data;
+    sim::TimePoint arrived_at;
+  };
+
+  bool CausallyDeliverable(const GroupData& data) const;
+  void CausalDeliver(const PendingMessage& pending);
+
+  uint64_t send_seq_ = 0;
+  VectorClock vd_;  // contiguous causally-delivered count per sender
+  std::deque<PendingMessage> pending_;
+  std::set<MessageId> pending_ids_;  // fast duplicate check for pending_
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_CAUSAL_LAYER_H_

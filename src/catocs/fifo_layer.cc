@@ -1,0 +1,72 @@
+#include "src/catocs/fifo_layer.h"
+
+#include <set>
+#include <utility>
+
+#include "src/catocs/total_order_layer.h"
+
+namespace catocs {
+
+void FifoLayer::Enqueue(const GroupDataPtr& data, sim::Duration causal_delay) {
+  app_pending_.push_back(AppPending{data, causal_delay});
+  TryDeliverApp();
+}
+
+bool FifoLayer::AppDeliverable(const GroupData& data) const {
+  if (!DominatesIgnoring(ad_, data.vt(), data.id().sender)) {
+    return false;
+  }
+  if (data.mode() == OrderingMode::kTotal) {
+    return core_->total->IsNextToDeliver(data.id());
+  }
+  return true;
+}
+
+void FifoLayer::TryDeliverApp() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::set<MemberId> blocked_senders;
+    for (auto it = app_pending_.begin(); it != app_pending_.end(); ++it) {
+      const MemberId sender = it->data->id().sender;
+      if (blocked_senders.count(sender)) {
+        continue;  // an earlier message from this sender is still gated
+      }
+      if (!AppDeliverable(*it->data)) {
+        blocked_senders.insert(sender);
+        continue;
+      }
+      AppPending entry = std::move(*it);
+      app_pending_.erase(it);
+      ad_.RaiseTo(sender, entry.data->id().seq);
+      uint64_t total_seq = 0;
+      if (entry.data->mode() == OrderingMode::kTotal) {
+        total_seq = core_->total->ConsumeDeliverySlot();
+      }
+      DeliverToApp(entry.data, total_seq, entry.causal_delay);
+      progress = true;
+      break;  // iterators invalidated; rescan
+    }
+  }
+}
+
+void FifoLayer::DeliverDirect(const GroupDataPtr& data) {
+  DeliverToApp(data, 0, sim::Duration::Zero());
+}
+
+void FifoLayer::DeliverToApp(const GroupDataPtr& data, uint64_t total_seq,
+                             sim::Duration causal_delay) {
+  ++core_->stats.app_delivered;
+  if (!core_->delivery_handler) {
+    return;
+  }
+  // Shares the one immutable GroupData; nothing per-recipient is copied.
+  Delivery delivery;
+  delivery.data = data;
+  delivery.total_seq = total_seq;
+  delivery.delivered_at = core_->simulator->now();
+  delivery.causal_delay = causal_delay;
+  core_->delivery_handler(delivery);
+}
+
+}  // namespace catocs

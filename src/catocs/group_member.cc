@@ -4,452 +4,135 @@
 #include <cassert>
 #include <utility>
 
+#include "src/catocs/causal_layer.h"
+#include "src/catocs/fifo_layer.h"
+#include "src/catocs/membership_layer.h"
+#include "src/catocs/stability_layer.h"
+#include "src/catocs/total_order_layer.h"
+
 namespace catocs {
 
 GroupMember::GroupMember(sim::Simulator* simulator, net::Transport* transport, GroupConfig config,
-                         MemberId self, std::vector<MemberId> members)
-    : simulator_(simulator), transport_(transport), config_(config), self_(self) {
-  view_.id = 1;
-  view_.members = std::move(members);
-  std::sort(view_.members.begin(), view_.members.end());
-  assert(std::find(view_.members.begin(), view_.members.end(), self_) != view_.members.end());
-  stability_.SetMembers(view_.members);
+                         MemberId self, std::vector<MemberId> members) {
+  core_.simulator = simulator;
+  core_.transport = transport;
+  core_.config = config;
+  core_.self = self;
+  core_.member = this;
+  core_.view.id = 1;
+  core_.view.members = std::move(members);
+  std::sort(core_.view.members.begin(), core_.view.members.end());
+  assert(std::find(core_.view.members.begin(), core_.view.members.end(), core_.self) !=
+         core_.view.members.end());
 
-  const GroupId g = config_.group_id;
-  transport_->RegisterReceiver(DataPort(g), [this](MemberId src, uint32_t, const net::PayloadPtr& p) {
-    OnData(src, p);
-  });
-  transport_->RegisterReceiver(OrderPort(g), [this](MemberId, uint32_t, const net::PayloadPtr& p) {
-    OnOrder(p);
-  });
-  transport_->RegisterReceiver(AckPort(g), [this](MemberId src, uint32_t, const net::PayloadPtr& p) {
-    OnAckVector(src, p);
-  });
-  transport_->RegisterReceiver(TokenPort(g), [this](MemberId, uint32_t, const net::PayloadPtr& p) {
-    OnToken(p);
-  });
-  transport_->RegisterReceiver(MembershipPort(g),
-                               [this](MemberId src, uint32_t, const net::PayloadPtr& p) {
-                                 OnMembership(src, p);
-                               });
+  pipeline_ = PipelineBuilder(&core_).AddDefaultStack().Build();
+
+  // One dispatcher per group port; the pipeline routes to whichever layer
+  // claims the port.
+  const GroupId g = core_.config.group_id;
+  auto dispatch = [this](MemberId src, uint32_t port, const net::PayloadPtr& p) {
+    pipeline_.Dispatch(src, port, p);
+  };
+  transport->RegisterReceiver(GroupPorts::Data(g), dispatch);
+  transport->RegisterReceiver(GroupPorts::Order(g), dispatch);
+  transport->RegisterReceiver(GroupPorts::Ack(g), dispatch);
+  transport->RegisterReceiver(GroupPorts::Token(g), dispatch);
+  transport->RegisterReceiver(GroupPorts::Membership(g), dispatch);
 }
 
 GroupMember::~GroupMember() = default;
 
+void GroupMember::SetDeliveryHandler(DeliveryHandler handler) {
+  assert(!core_.started && "handlers must be installed before Start()");
+  core_.delivery_handler = std::move(handler);
+}
+
+void GroupMember::SetViewHandler(ViewHandler handler) {
+  assert(!core_.started && "handlers must be installed before Start()");
+  core_.view_handler = std::move(handler);
+}
+
+void GroupMember::SetStateProvider(StateProvider fn) {
+  assert(!core_.started && "handlers must be installed before Start()");
+  core_.state_provider = std::move(fn);
+}
+
+void GroupMember::SetStateApplier(StateApplier fn) {
+  assert(!core_.started && "handlers must be installed before Start()");
+  core_.state_applier = std::move(fn);
+}
+
+void GroupMember::ReportFailure(MemberId suspect) { core_.membership->ReportFailure(suspect); }
+
 void GroupMember::Start() {
-  if (started_) {
+  if (core_.started) {
     return;
   }
-  started_ = true;
-  if (config_.ack_gossip_interval > sim::Duration::Zero()) {
-    gossip_timer_ = std::make_unique<sim::PeriodicTimer>(simulator_, config_.ack_gossip_interval,
-                                                         [this] { GossipAcks(); });
-    gossip_timer_->Start(config_.ack_gossip_interval);
-  }
-  if (config_.enable_membership) {
-    heartbeat_timer_ = std::make_unique<sim::PeriodicTimer>(
-        simulator_, config_.heartbeat_interval, [this] { SendHeartbeats(); });
-    heartbeat_timer_->Start(sim::Duration::Zero());
-    failure_check_timer_ = std::make_unique<sim::PeriodicTimer>(
-        simulator_, config_.heartbeat_interval, [this] { CheckFailures(); });
-    failure_check_timer_->Start(config_.failure_timeout);
-  }
-  if (config_.total_order_mode == TotalOrderMode::kToken && self_ == view_.members.front()) {
-    // Seed the token at the lowest member.
-    holding_token_ = true;
-    simulator_->ScheduleAfter(config_.token_pass_delay, [this] {
-      if (holding_token_) {
-        PassToken(next_total_assign_);
-      }
-    });
-  }
+  core_.started = true;
+  pipeline_.OnStart();
 }
 
 void GroupMember::Stop() {
-  if (gossip_timer_) {
-    gossip_timer_->Stop();
-  }
-  if (heartbeat_timer_) {
-    heartbeat_timer_->Stop();
-  }
-  if (failure_check_timer_) {
-    failure_check_timer_->Stop();
-  }
-  if (holding_token_) {
-    holding_token_ = false;
-  }
-  started_ = false;
+  pipeline_.OnStop();
+  core_.started = false;
 }
 
-bool GroupMember::IsSequencer() const { return self_ == Sequencer(); }
-
-MemberId GroupMember::Sequencer() const {
-  assert(!view_.members.empty());
-  return view_.members.front();
-}
-
-void GroupMember::BroadcastReliable(uint32_t port, const net::PayloadPtr& payload) {
-  for (MemberId member : view_.members) {
-    if (member != self_) {
-      transport_->SendReliable(member, port, payload);
-    }
-  }
-}
-
-// --- data path ---------------------------------------------------------------
+void GroupMember::JoinGroup(MemberId contact) { core_.membership->JoinGroup(contact); }
 
 void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
   // A stopped (crashed) member silently drops sends: callers with periodic
   // senders keep firing across a crash, and a dead process originating
   // traffic would be nonsense. Counted so tests can observe the drop.
-  if (!started_) {
-    ++stats_.sends_while_stopped;
+  if (!core_.started) {
+    ++core_.stats.sends_while_stopped;
     return;
   }
-  if (flushing_) {
-    blocked_sends_.emplace_back(mode, std::move(payload));
+  if (core_.membership->flushing()) {
+    core_.membership->QueueBlockedSend(mode, std::move(payload));
     return;
   }
-  ++stats_.sent;
+  ++core_.stats.sent;
 
   if (mode == OrderingMode::kUnordered) {
     // Plain multicast: unique id for tracing, empty vector time, no delay
     // queue, no stability buffering — and no guarantees.
-    MessageId id{self_, 0};
-    auto data = std::make_shared<GroupData>(config_.group_id, id, mode, VectorClock{},
-                                            std::move(payload), simulator_->now());
-    for (MemberId member : view_.members) {
-      if (member != self_) {
-        transport_->SendUnreliable(member, DataPort(config_.group_id), data);
+    MessageId id{core_.self, 0};
+    auto data = std::make_shared<GroupData>(core_.config.group_id, id, mode, VectorClock{},
+                                            std::move(payload), core_.simulator->now());
+    for (MemberId member : core_.view.members) {
+      if (member != core_.self) {
+        core_.transport->SendUnreliable(member, GroupPorts::Data(core_.config.group_id), data);
       }
     }
-    DeliverToApp(data, 0, sim::Duration::Zero());
+    core_.fifo->DeliverDirect(data);
     return;
   }
 
-  const uint64_t seq = ++send_seq_;
-  MessageId id{self_, seq};
-  // The message's timestamp is the delivered-vector with our own entry
-  // advanced to this send — one contiguous copy, no per-entry churn.
-  VectorClock vt = vd_;
-  vt.Set(self_, seq);
-  auto data = std::make_shared<GroupData>(config_.group_id, id, mode, std::move(vt),
-                                          std::move(payload), simulator_->now());
-  if (config_.piggyback_acks) {
-    data->set_acks(DeliveredVector());
-  }
-  if (config_.piggyback_causal) {
-    // Footnote-4 variant: carry every unstable causal predecessor so the
-    // receiver never has to wait — at the price of (much) larger messages.
-    std::vector<GroupDataPtr> predecessors = stability_.UnstableMessages();
-    stats_.piggyback_msgs_carried += predecessors.size();
-    for (const auto& p : predecessors) {
-      stats_.piggyback_bytes += p->SizeBytes() + p->HeaderBytes();
-    }
-    data->set_piggyback(std::move(predecessors));
-  }
+  const uint64_t seq = core_.causal->AllocateSendSeq();
+  MessageId id{core_.self, seq};
+  auto data = std::make_shared<GroupData>(core_.config.group_id, id, mode, VectorClock{},
+                                          std::move(payload), core_.simulator->now());
+  // Each layer stamps its own header section (vector timestamp, then
+  // acks/piggyback) before the message is shared with anyone.
+  pipeline_.OnSend(*data);
 
-  stats_.ordering_header_bytes +=
-      data->HeaderBytes() * (view_.members.size() - 1);
+  core_.stats.ordering_header_bytes += data->HeaderBytes() * (core_.view.members.size() - 1);
 
   // Self-delivery first (the send is a local event that advances the clock),
   // then fan out.
-  IngestData(data);
-  BroadcastReliable(DataPort(config_.group_id), data);
+  GroupDataPtr shared = std::move(data);
+  core_.causal->Ingest(shared);
+  core_.BroadcastReliable(GroupPorts::Data(core_.config.group_id), shared);
 }
 
-void GroupMember::OnData(MemberId /*src*/, const net::PayloadPtr& payload) {
-  const auto* data = net::PayloadCast<GroupData>(payload);
-  assert(data != nullptr);
-  if (data->group() != config_.group_id) {
-    return;
-  }
-  auto shared = std::static_pointer_cast<const GroupData>(payload);
-  // Piggybacked predecessors are ingested first so this message's causal
-  // condition can be met immediately.
-  for (const auto& predecessor : shared->piggyback()) {
-    IngestData(predecessor);
-  }
-  IngestData(shared);
+bool GroupMember::flush_in_progress() const { return core_.membership->flushing(); }
+size_t GroupMember::delay_queue_length() const { return core_.causal->delay_queue_length(); }
+size_t GroupMember::buffered_messages() const { return core_.stability->buffered_messages(); }
+size_t GroupMember::buffered_bytes() const { return core_.stability->buffered_bytes(); }
+size_t GroupMember::peak_buffered_messages() const {
+  return core_.stability->peak_buffered_messages();
 }
-
-void GroupMember::IngestData(const GroupDataPtr& data) {
-  // Stability info rides on every data message.
-  if (!data->acks().empty()) {
-    stability_.UpdateMemberVector(data->id().sender, data->acks());
-    MaybePrune();
-  }
-
-  if (data->mode() == OrderingMode::kUnordered) {
-    DeliverToApp(data, 0, sim::Duration::Zero());
-    return;
-  }
-
-  // Duplicate suppression: already causally delivered, or already pending.
-  if (data->id().seq <= vd_.Get(data->id().sender)) {
-    return;
-  }
-  if (!pending_ids_.insert(data->id()).second) {
-    return;
-  }
-  pending_.push_back(PendingMessage{data, simulator_->now()});
-  TryDeliverPending();
-}
-
-bool GroupMember::CausallyDeliverable(const GroupData& data) const {
-  return catocs::CausallyDeliverable(data.vt(), data.id().sender, vd_);
-}
-
-void GroupMember::TryDeliverPending() {
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (CausallyDeliverable(*it->data)) {
-        PendingMessage pending = std::move(*it);
-        pending_.erase(it);
-        pending_ids_.erase(pending.data->id());
-        CausalDeliver(pending);
-        progress = true;
-        break;  // iterators invalidated; rescan
-      }
-    }
-  }
-}
-
-void GroupMember::CausalDeliver(const PendingMessage& pending) {
-  const GroupDataPtr& data = pending.data;
-  const MemberId sender = data->id().sender;
-  assert(vd_.Get(sender) + 1 == data->id().seq);
-  vd_.Set(sender, data->id().seq);
-  ++stats_.causal_delivered;
-
-  const sim::Duration causal_delay = simulator_->now() - pending.arrived_at;
-  if (causal_delay > sim::Duration::Zero()) {
-    ++stats_.delayed_deliveries;
-    stats_.total_causal_delay += causal_delay;
-  }
-
-  // Retain for atomic delivery until stable (without any piggybacked
-  // predecessors, which are buffered in their own right).
-  stability_.AddToBuffer(StripPiggyback(data));
-  NoteLocalProgress(sender, data->id().seq);
-
-  if (data->mode() == OrderingMode::kTotal) {
-    if (config_.total_order_mode == TotalOrderMode::kSequencer) {
-      if (IsSequencer() && !seq_by_id_.count(data->id())) {
-        SequencerAssign(data->id());
-      }
-    } else if (!seq_by_id_.count(data->id())) {
-      unassigned_total_.push_back(data->id());
-    }
-  }
-  app_pending_.push_back(AppPending{data, causal_delay});
-  TryDeliverApp();
-}
-
-bool GroupMember::AppDeliverable(const GroupData& data) const {
-  // App-level causal clearance: everything that happens-before this message
-  // must already be visible to the application (or have been skipped at a
-  // view change). Per-sender order is enforced by the FIFO scan in
-  // TryDeliverApp; the gate never waits on the message's own sender entry.
-  if (!DominatesIgnoring(ad_, data.vt(), data.id().sender)) {
-    return false;
-  }
-  if (data.mode() == OrderingMode::kTotal) {
-    auto it = seq_by_id_.find(data.id());
-    return it != seq_by_id_.end() && it->second == next_total_deliver_;
-  }
-  return true;
-}
-
-void GroupMember::TryDeliverApp() {
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    std::set<MemberId> blocked_senders;
-    for (auto it = app_pending_.begin(); it != app_pending_.end(); ++it) {
-      const MemberId sender = it->data->id().sender;
-      if (blocked_senders.count(sender)) {
-        continue;  // an earlier message from this sender is still gated
-      }
-      if (!AppDeliverable(*it->data)) {
-        blocked_senders.insert(sender);
-        continue;
-      }
-      AppPending entry = std::move(*it);
-      app_pending_.erase(it);
-      ad_.RaiseTo(sender, entry.data->id().seq);
-      uint64_t total_seq = 0;
-      if (entry.data->mode() == OrderingMode::kTotal) {
-        total_seq = next_total_deliver_++;
-        order_by_seq_.erase(total_seq);
-      }
-      DeliverToApp(entry.data, total_seq, entry.causal_delay);
-      progress = true;
-      break;  // iterators invalidated; rescan
-    }
-  }
-}
-
-void GroupMember::DeliverToApp(const GroupDataPtr& data, uint64_t total_seq,
-                               sim::Duration causal_delay) {
-  ++stats_.app_delivered;
-  if (!delivery_handler_) {
-    return;
-  }
-  // Shares the one immutable GroupData; nothing per-recipient is copied.
-  Delivery delivery;
-  delivery.data = data;
-  delivery.total_seq = total_seq;
-  delivery.delivered_at = simulator_->now();
-  delivery.causal_delay = causal_delay;
-  delivery_handler_(delivery);
-}
-
-void GroupMember::NoteLocalProgress(MemberId sender, uint64_t count) {
-  stability_.UpdateMemberEntry(self_, sender, count);
-  MaybePrune();
-}
-
-void GroupMember::MaybePrune() {
-  if (simulator_->now() - last_prune_ >= config_.prune_interval) {
-    last_prune_ = simulator_->now();
-    stability_.Prune();
-  }
-}
-
-// --- total order -------------------------------------------------------------
-
-void GroupMember::SequencerAssign(const MessageId& id) {
-  const uint64_t seq = next_total_assign_++;
-  std::vector<std::pair<MessageId, uint64_t>> batch{{id, seq}};
-  auto order = std::make_shared<OrderAssignment>(config_.group_id, batch);
-  ++stats_.order_msgs_sent;
-  BroadcastReliable(OrderPort(config_.group_id), order);
-  ApplyAssignments(batch);
-}
-
-std::vector<std::pair<MessageId, uint64_t>> GroupMember::AssignPendingUnorderedTotals() {
-  // Used at view changes and token turns: sequence every causally delivered
-  // but still unordered kTotal message, in local (causal) delivery order.
-  std::vector<std::pair<MessageId, uint64_t>> batch;
-  for (const auto& entry : app_pending_) {
-    if (entry.data->mode() == OrderingMode::kTotal && !seq_by_id_.count(entry.data->id())) {
-      batch.emplace_back(entry.data->id(), next_total_assign_++);
-    }
-  }
-  return batch;
-}
-
-void GroupMember::OnOrder(const net::PayloadPtr& payload) {
-  const auto* order = net::PayloadCast<OrderAssignment>(payload);
-  assert(order != nullptr);
-  if (order->group() != config_.group_id) {
-    return;
-  }
-  ApplyAssignments(order->assignments());
-}
-
-void GroupMember::ApplyAssignments(const std::vector<std::pair<MessageId, uint64_t>>& assignments) {
-  for (const auto& [id, seq] : assignments) {
-    if (seq_by_id_.emplace(id, seq).second) {
-      order_by_seq_[seq] = id;
-      if (config_.total_order_mode == TotalOrderMode::kToken) {
-        recent_assignments_[seq] = id;
-        while (recent_assignments_.size() > kTokenAssignmentWindow) {
-          recent_assignments_.erase(recent_assignments_.begin());
-        }
-      }
-    }
-  }
-  TryDeliverApp();
-}
-
-void GroupMember::OnToken(const net::PayloadPtr& payload) {
-  const auto* token = net::PayloadCast<OrderToken>(payload);
-  assert(token != nullptr);
-  if (token->group() != config_.group_id || config_.total_order_mode != TotalOrderMode::kToken) {
-    return;
-  }
-  if (!started_) {
-    return;  // stopped member drops the token; membership would regenerate it
-  }
-  holding_token_ = true;
-  next_total_assign_ = std::max(next_total_assign_, token->next_total_seq());
-  // The token's assignment log is authoritative for everything sequenced so
-  // far, including assignments whose broadcasts are still in flight to us.
-  ApplyAssignments(std::vector<std::pair<MessageId, uint64_t>>(token->assignments().begin(),
-                                                               token->assignments().end()));
-
-  // Sequence every message we have causally delivered but that is not yet
-  // ordered, in our causal delivery order. Because causal delivery of m2
-  // implies prior causal delivery of any m1 that happens-before it, this
-  // keeps the total order consistent with causality.
-  std::vector<std::pair<MessageId, uint64_t>> batch;
-  while (!unassigned_total_.empty()) {
-    const MessageId id = unassigned_total_.front();
-    unassigned_total_.pop_front();
-    if (!seq_by_id_.count(id)) {
-      batch.emplace_back(id, next_total_assign_++);
-    }
-  }
-  if (!batch.empty()) {
-    auto order = std::make_shared<OrderAssignment>(config_.group_id, batch);
-    ++stats_.order_msgs_sent;
-    BroadcastReliable(OrderPort(config_.group_id), order);
-    ApplyAssignments(batch);
-  }
-  simulator_->ScheduleAfter(config_.token_pass_delay, [this] {
-    if (holding_token_ && started_) {
-      PassToken(next_total_assign_);
-    }
-  });
-}
-
-void GroupMember::PassToken(uint64_t next_total_seq) {
-  holding_token_ = false;
-  ++stats_.token_passes;
-  // Next member in id order, wrapping.
-  auto it = std::upper_bound(view_.members.begin(), view_.members.end(), self_);
-  const MemberId next = it == view_.members.end() ? view_.members.front() : *it;
-  if (next == self_) {
-    holding_token_ = true;  // sole member keeps the token
-    return;
-  }
-  std::map<MessageId, uint64_t> carried;
-  for (const auto& [seq, id] : recent_assignments_) {
-    carried.emplace(id, seq);
-  }
-  transport_->SendReliable(next, TokenPort(config_.group_id),
-                           std::make_shared<OrderToken>(config_.group_id, next_total_seq,
-                                                        std::move(carried)));
-}
-
-// --- stability ---------------------------------------------------------------
-
-void GroupMember::OnAckVector(MemberId src, const net::PayloadPtr& payload) {
-  const auto* acks = net::PayloadCast<AckVector>(payload);
-  assert(acks != nullptr);
-  if (acks->group() != config_.group_id) {
-    return;
-  }
-  stability_.UpdateMemberVector(src, acks->delivered());
-  MaybePrune();
-}
-
-void GroupMember::GossipAcks() {
-  if (flushing_) {
-    return;
-  }
-  stability_.Prune();
-  auto acks = std::make_shared<AckVector>(config_.group_id, DeliveredVector());
-  for (MemberId member : view_.members) {
-    if (member != self_) {
-      transport_->SendUnreliable(member, AckPort(config_.group_id), acks);
-      ++stats_.ack_msgs_sent;
-    }
-  }
-}
+size_t GroupMember::peak_buffered_bytes() const { return core_.stability->peak_buffered_bytes(); }
+const CausalBufferStrategy& GroupMember::stability() const { return core_.stability->strategy(); }
 
 }  // namespace catocs

@@ -18,114 +18,29 @@
 //
 // Every cost the paper attributes to CATOCS (delay queues, buffering, header
 // bytes, blocked time during flush) is measured and exposed via stats().
+//
+// Since the pipeline refactor this class is a thin facade: the protocol
+// lives in the OrderingLayer stack (causal_layer.h, fifo_layer.h,
+// stability_layer.h, membership_layer.h, total_order_layer.h) assembled by
+// PipelineBuilder; the facade owns the shared GroupCore, wires transport
+// ports to the pipeline dispatcher, and preserves this public API.
 
 #ifndef REPRO_SRC_CATOCS_GROUP_MEMBER_H_
 #define REPRO_SRC_CATOCS_GROUP_MEMBER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
 #include <memory>
-#include <set>
+#include <utility>
 #include <vector>
 
+#include "src/catocs/causal_buffer.h"
 #include "src/catocs/message.h"
-#include "src/catocs/stability.h"
-#include "src/catocs/vector_clock.h"
+#include "src/catocs/pipeline.h"
+#include "src/catocs/types.h"
 #include "src/net/transport.h"
 #include "src/sim/simulator.h"
 
 namespace catocs {
-
-enum class TotalOrderMode {
-  kSequencer,  // fixed sequencer: lowest member id in the current view
-  kToken,      // rotating token assigns sequence numbers
-};
-
-struct GroupConfig {
-  GroupId group_id = 1;
-
-  // Stability: piggyback the sender's delivered-vector on every data message,
-  // and/or gossip it periodically (Zero disables gossip).
-  bool piggyback_acks = true;
-  sim::Duration ack_gossip_interval = sim::Duration::Millis(50);
-
-  // Footnote-4 causal variant: attach unstable causal predecessors to each
-  // message instead of relying on receiver-side delay alone.
-  bool piggyback_causal = false;
-
-  TotalOrderMode total_order_mode = TotalOrderMode::kSequencer;
-  // Delay before the token is passed on (models token processing).
-  sim::Duration token_pass_delay = sim::Duration::Micros(200);
-
-  // How often (in simulated time) a member recomputes stability and prunes
-  // its retention buffer. Pruning walks the member matrix, so it is
-  // throttled off the per-message path.
-  sim::Duration prune_interval = sim::Duration::Millis(25);
-
-  // Membership (off by default; most experiments use static groups).
-  bool enable_membership = false;
-  sim::Duration heartbeat_interval = sim::Duration::Millis(20);
-  sim::Duration failure_timeout = sim::Duration::Millis(100);
-};
-
-struct View {
-  uint64_t id = 1;
-  std::vector<MemberId> members;  // sorted
-};
-
-// What the application sees on delivery. The message itself is the single
-// immutable GroupData shared by every destination (and by the stability
-// buffer) — a delivery adds only the per-receiver facts, so handing a
-// message to N applications never deep-copies its ordering metadata.
-struct Delivery {
-  GroupDataPtr data;
-  uint64_t total_seq = 0;  // assigned group-wide sequence; 0 unless kTotal
-  sim::TimePoint delivered_at;
-  // Time the message spent waiting in this member's delay queue for causal
-  // predecessors (the cost of potential/false causality).
-  sim::Duration causal_delay;
-
-  const MessageId& id() const { return data->id(); }
-  OrderingMode mode() const { return data->mode(); }
-  const net::PayloadPtr& payload() const { return data->app_payload(); }
-  sim::TimePoint sent_at() const { return data->sent_at(); }
-  const VectorClock& vt() const { return data->vt(); }
-};
-
-using DeliveryHandler = std::function<void(const Delivery&)>;
-using ViewHandler = std::function<void(const View&)>;
-
-struct GroupStats {
-  uint64_t sent = 0;
-  uint64_t sends_while_stopped = 0;  // dropped: member crashed or not started
-  uint64_t causal_delivered = 0;  // passed the vector-clock condition
-  uint64_t app_delivered = 0;     // handed to the application
-  uint64_t delayed_deliveries = 0;
-  sim::Duration total_causal_delay = sim::Duration::Zero();
-  uint64_t order_msgs_sent = 0;
-  uint64_t ack_msgs_sent = 0;
-  uint64_t token_passes = 0;
-  uint64_t ordering_header_bytes = 0;  // VT + ack headers on data we sent
-  uint64_t piggyback_msgs_carried = 0;
-  uint64_t piggyback_bytes = 0;
-  uint64_t flushes_completed = 0;
-  // Relayed suspicions rejected because we heard the suspect too recently
-  // (the fresh-evidence veto in HandleSuspicion).
-  uint64_t suspicions_vetoed = 0;
-  // Flush rounds a coordinator refused to complete because its survivor set
-  // was not a primary partition of the departing view (strict majority, or
-  // exactly half holding the lowest member id). The minority side wedges
-  // rather than installing a rival view.
-  uint64_t flushes_blocked_no_quorum = 0;
-  uint64_t flush_control_msgs = 0;
-  uint64_t flush_payload_bytes = 0;
-  sim::Duration blocked_time = sim::Duration::Zero();
-  // Messages from a failed sender abandoned at a view change because no
-  // survivor held a copy (atomic-but-not-durable delivery, §2).
-  uint64_t messages_dropped_at_view_change = 0;
-};
 
 class GroupMember {
  public:
@@ -136,8 +51,11 @@ class GroupMember {
   GroupMember(const GroupMember&) = delete;
   GroupMember& operator=(const GroupMember&) = delete;
 
-  void SetDeliveryHandler(DeliveryHandler handler) { delivery_handler_ = std::move(handler); }
-  void SetViewHandler(ViewHandler handler) { view_handler_ = std::move(handler); }
+  // Handlers and state-transfer hooks must be configured before Start();
+  // layers snapshot nothing, but installing them mid-protocol would make
+  // delivery visibility depend on event timing.
+  void SetDeliveryHandler(DeliveryHandler handler);
+  void SetViewHandler(ViewHandler handler);
 
   // --- application state transfer (crash-recovery rejoin) -------------------
   // With a provider set, the flush coordinator snapshots its application
@@ -147,10 +65,10 @@ class GroupMember {
   // re-forwarded through the normal causal path). Snapshot + subsequent
   // deliveries therefore reproduce the group's application state exactly.
   // Without a provider, joiners adopt the group cut and see no history.
-  using StateProvider = std::function<net::PayloadPtr()>;
-  using StateApplier = std::function<void(const net::PayloadPtr&)>;
-  void SetStateProvider(StateProvider fn) { state_provider_ = std::move(fn); }
-  void SetStateApplier(StateApplier fn) { state_applier_ = std::move(fn); }
+  using StateProvider = catocs::StateProvider;
+  using StateApplier = catocs::StateApplier;
+  void SetStateProvider(StateProvider fn);
+  void SetStateApplier(StateApplier fn);
 
   // Feeds an externally detected failure (e.g. a transport retransmission
   // give-up) into the membership layer, triggering the same flush a
@@ -179,143 +97,28 @@ class GroupMember {
   void CausalSend(net::PayloadPtr payload) { Send(OrderingMode::kCausal, std::move(payload)); }
   void TotalSend(net::PayloadPtr payload) { Send(OrderingMode::kTotal, std::move(payload)); }
 
-  MemberId self() const { return self_; }
-  const View& view() const { return view_; }
-  const GroupStats& stats() const { return stats_; }
-  bool flush_in_progress() const { return flushing_; }
-  size_t delay_queue_length() const { return pending_.size(); }
-  size_t buffered_messages() const { return stability_.buffered_count(); }
-  size_t buffered_bytes() const { return stability_.buffered_bytes(); }
-  size_t peak_buffered_messages() const { return stability_.peak_buffered_count(); }
-  size_t peak_buffered_bytes() const { return stability_.peak_buffered_bytes(); }
-  const StabilityTracker& stability() const { return stability_; }
+  MemberId self() const { return core_.self; }
+  const View& view() const { return core_.view; }
+  const GroupStats& stats() const { return core_.stats; }
+  bool flush_in_progress() const;
+  size_t delay_queue_length() const;
+  size_t buffered_messages() const;
+  size_t buffered_bytes() const;
+  size_t peak_buffered_messages() const;
+  size_t peak_buffered_bytes() const;
+  const CausalBufferStrategy& stability() const;
 
   // Port layout: each group uses a contiguous block so several groups can
-  // share a transport.
-  static uint32_t DataPort(GroupId g) { return 0x0C000000u + g * 8; }
-  static uint32_t OrderPort(GroupId g) { return 0x0C000001u + g * 8; }
-  static uint32_t AckPort(GroupId g) { return 0x0C000002u + g * 8; }
-  static uint32_t TokenPort(GroupId g) { return 0x0C000003u + g * 8; }
-  static uint32_t MembershipPort(GroupId g) { return 0x0C000004u + g * 8; }
+  // share a transport. (The formulas live in GroupPorts; these forward.)
+  static uint32_t DataPort(GroupId g) { return GroupPorts::Data(g); }
+  static uint32_t OrderPort(GroupId g) { return GroupPorts::Order(g); }
+  static uint32_t AckPort(GroupId g) { return GroupPorts::Ack(g); }
+  static uint32_t TokenPort(GroupId g) { return GroupPorts::Token(g); }
+  static uint32_t MembershipPort(GroupId g) { return GroupPorts::Membership(g); }
 
  private:
-  struct PendingMessage {
-    GroupDataPtr data;
-    sim::TimePoint arrived_at;
-  };
-
-  bool IsSequencer() const;
-  MemberId Sequencer() const;
-
-  // --- data path -----------------------------------------------------------
-  void OnData(MemberId src, const net::PayloadPtr& payload);
-  void IngestData(const GroupDataPtr& data);
-  bool CausallyDeliverable(const GroupData& data) const;
-  void TryDeliverPending();
-  void CausalDeliver(const PendingMessage& pending);
-  // Final delivery gate: app delivery respects causality *at the app level*
-  // (a cbcast never overtakes an abcast it depends on), and abcasts deliver
-  // in global sequence order. Deadlock-free because the total order is a
-  // linear extension of happens-before.
-  bool AppDeliverable(const GroupData& data) const;
-  void TryDeliverApp();
-  void DeliverToApp(const GroupDataPtr& data, uint64_t total_seq, sim::Duration causal_delay);
-  const VectorClock& DeliveredVector() const { return vd_; }
-  void NoteLocalProgress(MemberId sender, uint64_t count);
-
-  // --- total order ---------------------------------------------------------
-  void OnOrder(const net::PayloadPtr& payload);
-  void ApplyAssignments(const std::vector<std::pair<MessageId, uint64_t>>& assignments);
-  void SequencerAssign(const MessageId& id);
-  std::vector<std::pair<MessageId, uint64_t>> AssignPendingUnorderedTotals();
-  void OnToken(const net::PayloadPtr& payload);
-  void PassToken(uint64_t next_total_seq);
-
-  // --- stability -----------------------------------------------------------
-  void OnAckVector(MemberId src, const net::PayloadPtr& payload);
-  void GossipAcks();
-
-  // --- membership / flush (membership.cc) -----------------------------------
-  void OnMembership(MemberId src, const net::PayloadPtr& payload);
-  void OnJoinRequest(const JoinRequest& request);
-  void SendHeartbeats();
-  void CheckFailures();
-  void HandleSuspicion(MemberId suspect);
-  void InitiateFlush();
-  void OnFlushRequest(MemberId src, const FlushRequest& req);
-  void OnFlushState(MemberId src, const FlushState& state);
-  void MaybeCompleteFlush();
-  void OnViewInstall(const ViewInstall& install);
-  void SendFlushStateTo(MemberId coordinator, uint64_t new_view_id);
-  void FinishBlockedSends();
-
-  void BroadcastReliable(uint32_t port, const net::PayloadPtr& payload);
-
-  sim::Simulator* simulator_;
-  net::Transport* transport_;
-  GroupConfig config_;
-  MemberId self_;
-  View view_;
-  DeliveryHandler delivery_handler_;
-  ViewHandler view_handler_;
-  StateProvider state_provider_;
-  StateApplier state_applier_;
-  GroupStats stats_;
-  bool started_ = false;
-
-  // Causal machinery (stage 1: the vector-clock condition).
-  uint64_t send_seq_ = 0;
-  VectorClock vd_;  // contiguous causally-delivered count per sender
-  std::deque<PendingMessage> pending_;
-  std::set<MessageId> pending_ids_;  // fast duplicate check for pending_
-
-  // App gate (stage 2): stage-1 output, FIFO per sender, awaiting app-level
-  // causal clearance (and, for kTotal, the global sequence turn).
-  struct AppPending {
-    GroupDataPtr data;
-    sim::Duration causal_delay;
-  };
-  std::deque<AppPending> app_pending_;
-  VectorClock ad_;  // app-delivered (or skipped) count per sender
-
-  // Total-order machinery.
-  uint64_t next_total_assign_ = 1;    // sequencer/token holder only
-  uint64_t next_total_deliver_ = 1;
-  std::map<uint64_t, MessageId> order_by_seq_;
-  std::map<MessageId, uint64_t> seq_by_id_;
-  // Rolling window of recent assignments carried by the token so the next
-  // holder cannot double-assign a message whose OrderAssignment broadcast is
-  // still in flight. Older assignments have long since been delivered by the
-  // reliable broadcast, so a bounded window suffices.
-  static constexpr uint64_t kTokenAssignmentWindow = 512;
-  std::map<uint64_t, MessageId> recent_assignments_;
-  // Causally delivered kTotal messages waiting for their global sequence.
-  // Token mode: causally delivered kTotal messages not yet sequenced, in
-  // local causal delivery order (a linear extension of happens-before).
-  std::deque<MessageId> unassigned_total_;
-  bool holding_token_ = false;
-
-  // Stability. Pruning is throttled on the per-message path (it walks the
-  // whole buffer and the member matrix); the periodic gossip path prunes
-  // unconditionally so buffers always drain at quiescence.
-  void MaybePrune();
-  StabilityTracker stability_;
-  sim::TimePoint last_prune_ = sim::TimePoint::Zero();
-  std::unique_ptr<sim::PeriodicTimer> gossip_timer_;
-
-  // Membership.
-  std::unique_ptr<sim::PeriodicTimer> heartbeat_timer_;
-  std::unique_ptr<sim::PeriodicTimer> failure_check_timer_;
-  std::map<MemberId, sim::TimePoint> last_heard_;
-  std::set<MemberId> suspected_;
-  bool flushing_ = false;
-  uint64_t flush_view_id_ = 0;
-  uint64_t quorum_blocked_view_ = 0;  // last flush round counted as blocked
-  sim::TimePoint flush_started_;
-  std::map<MemberId, FlushState> flush_states_;  // coordinator only
-  std::set<MemberId> pending_joiners_;           // coordinator only
-  bool joining_ = false;                         // joiner side
-  std::deque<std::pair<OrderingMode, net::PayloadPtr>> blocked_sends_;
+  GroupCore core_;
+  Pipeline pipeline_;
 };
 
 }  // namespace catocs

@@ -1,0 +1,171 @@
+#include "src/catocs/hybrid_buffer.h"
+
+#include <algorithm>
+
+namespace catocs {
+
+void HybridBuffer::SetMembers(const std::vector<MemberId>& members) {
+  members_ = members;
+  std::sort(members_.begin(), members_.end());
+  // Forget progress reports from departed members so they no longer hold the
+  // minimum down; keep rows for everyone else (including non-member late
+  // reporters, which simply never count toward the floor).
+  for (auto it = delivered_by_.begin(); it != delivered_by_.end();) {
+    if (!std::binary_search(members_.begin(), members_.end(), it->first)) {
+      it = delivered_by_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reporting_ = 0;
+  for (MemberId member : members_) {
+    if (delivered_by_.count(member)) {
+      ++reporting_;
+    }
+  }
+  RecomputeFloor();
+}
+
+VectorClock& HybridBuffer::Row(MemberId member) {
+  auto [it, inserted] = delivered_by_.try_emplace(member);
+  if (inserted && std::binary_search(members_.begin(), members_.end(), member)) {
+    ++reporting_;
+    if (AllReported()) {
+      // The last holdout just reported: the floor becomes meaningful. The
+      // fresh row is still empty here, so this recompute yields an empty
+      // floor; the caller's updates advance it entry by entry.
+      RecomputeFloor();
+    }
+  }
+  return it->second;
+}
+
+void HybridBuffer::UpdateMemberVector(MemberId member, const VectorClock& vec) {
+  VectorClock& row = Row(member);
+  for (const auto& [sender, count] : vec.entries()) {
+    if (count > row.Get(sender)) {
+      row.RaiseTo(sender, count);
+      if (AllReported()) {
+        RaiseFloorEntry(sender);
+      }
+    }
+  }
+}
+
+void HybridBuffer::UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) {
+  VectorClock& row = Row(member);
+  if (count <= row.Get(sender)) {
+    return;
+  }
+  row.RaiseTo(sender, count);
+  if (AllReported()) {
+    RaiseFloorEntry(sender);
+  }
+}
+
+void HybridBuffer::ObserveDeliveredTimestamp(MemberId sender, const VectorClock& vt) {
+  // The timestamp is a truthful ack vector from the message's sender: to
+  // stamp vt it must have causally delivered vt[m] messages from every m
+  // (including its own message, by self-delivery at send).
+  UpdateMemberVector(sender, vt);
+}
+
+void HybridBuffer::AddToBuffer(const GroupDataPtr& msg) {
+  if (AllReported() && msg->id().seq <= floor_.Get(msg->id().sender)) {
+    return;  // already stable everywhere; nothing to retain
+  }
+  auto [it, inserted] = buffer_.emplace(msg->id(), msg);
+  (void)it;
+  if (!inserted) {
+    return;
+  }
+  buffered_bytes_ += msg->SizeBytes() + msg->HeaderBytes();
+  peak_count_ = std::max(peak_count_, buffer_.size());
+  peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
+}
+
+VectorClock HybridBuffer::StableVector() const {
+  // Mirrors the full tracker's observable semantics: nothing is stable until
+  // every current member has reported.
+  return AllReported() ? floor_ : VectorClock{};
+}
+
+void HybridBuffer::RaiseFloorEntry(MemberId sender) {
+  uint64_t min_count = UINT64_MAX;
+  for (MemberId member : members_) {
+    auto it = delivered_by_.find(member);
+    min_count = std::min(min_count, it->second.Get(sender));
+    if (min_count == 0) {
+      return;
+    }
+  }
+  if (members_.empty() || min_count <= floor_.Get(sender)) {
+    return;
+  }
+  floor_.RaiseTo(sender, min_count);
+  ReleaseStable(sender, min_count);
+}
+
+void HybridBuffer::RecomputeFloor() {
+  floor_ = VectorClock{};
+  if (!AllReported() || members_.empty()) {
+    return;
+  }
+  bool first = true;
+  for (MemberId member : members_) {
+    const VectorClock& row = delivered_by_.at(member);
+    if (first) {
+      floor_ = row;
+      first = false;
+    } else {
+      floor_.MeetMin(row);
+    }
+  }
+  ReleaseAllStable();
+}
+
+void HybridBuffer::ReleaseStable(MemberId sender, uint64_t floor) {
+  auto it = buffer_.lower_bound(MessageId{sender, 0});
+  while (it != buffer_.end() && it->first.sender == sender && it->first.seq <= floor) {
+    buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
+    it = buffer_.erase(it);
+  }
+}
+
+void HybridBuffer::ReleaseAllStable() {
+  if (floor_.empty()) {
+    return;
+  }
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (it->first.seq <= floor_.Get(it->first.sender)) {
+      buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HybridBuffer::Prune() {
+  // Releases happen eagerly as acks arrive; this exists for interface parity
+  // (gossip ticks and view changes call it) and is normally a no-op.
+  if (AllReported()) {
+    ReleaseAllStable();
+  }
+}
+
+std::vector<GroupDataPtr> HybridBuffer::UnstableMessages() const {
+  std::vector<GroupDataPtr> out;
+  out.reserve(buffer_.size());
+  for (const auto& [id, msg] : buffer_) {
+    out.push_back(msg);
+  }
+  return out;
+}
+
+GroupDataPtr HybridBuffer::Find(const MessageId& id) const {
+  auto it = buffer_.find(id);
+  return it == buffer_.end() ? nullptr : it->second;
+}
+
+}  // namespace catocs

@@ -1,0 +1,82 @@
+// Hybrid/dependency-pruned retention buffer: the PAPERS.md-inspired
+// alternative to the full-vector StabilityTracker (same stability condition,
+// different release schedule — see causal_buffer.h).
+//
+// Two ideas, after Nédelec et al.'s scalable causal broadcast and Almeida's
+// hybrid buffering:
+//   1. Incremental floors: instead of a throttled walk of the whole member
+//      matrix, keep the per-sender stability floor up to date as each ack
+//      arrives and release buffered copies the instant their floor passes
+//      them. The full tracker holds stable messages for up to a prune
+//      interval; this one holds them for zero extra time.
+//   2. Causal evidence: a delivered message's vector timestamp proves its
+//      sender had causally delivered everything at or below it, so every
+//      data message doubles as an ack vector even when explicit acks are
+//      sparse (piggybacking off, slow gossip).
+// Both only ever *advance* knowledge of what other members delivered, so the
+// floor never overtakes true stability and no unstable message is dropped:
+// the flush protocol's redistribution argument holds unchanged.
+
+#ifndef REPRO_SRC_CATOCS_HYBRID_BUFFER_H_
+#define REPRO_SRC_CATOCS_HYBRID_BUFFER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/catocs/causal_buffer.h"
+#include "src/catocs/message.h"
+
+namespace catocs {
+
+class HybridBuffer : public CausalBufferStrategy {
+ public:
+  const char* name() const override { return "hybrid"; }
+
+  void SetMembers(const std::vector<MemberId>& members) override;
+  void UpdateMemberVector(MemberId member, const VectorClock& vec) override;
+  void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) override;
+  void ObserveDeliveredTimestamp(MemberId sender, const VectorClock& vt) override;
+  void AddToBuffer(const GroupDataPtr& msg) override;
+  VectorClock StableVector() const override;
+  void Prune() override;
+  std::vector<GroupDataPtr> UnstableMessages() const override;
+  GroupDataPtr Find(const MessageId& id) const override;
+
+  size_t buffered_count() const override { return buffer_.size(); }
+  size_t buffered_bytes() const override { return buffered_bytes_; }
+  size_t peak_buffered_count() const override { return peak_count_; }
+  size_t peak_buffered_bytes() const override { return peak_bytes_; }
+
+ private:
+  // The floor is only meaningful once every current member has reported at
+  // least once (an unreported member pins everything unstable, exactly like
+  // the full tracker's empty-row rule).
+  bool AllReported() const { return reporting_ == members_.size(); }
+  // Returns `member`'s progress row, creating it (and handling the
+  // everyone-has-now-reported transition) on first contact.
+  VectorClock& Row(MemberId member);
+  // Recomputes one sender's floor after a row advanced on that coordinate;
+  // releases newly stable buffered copies immediately.
+  void RaiseFloorEntry(MemberId sender);
+  // Full floor recompute + release, for membership changes and the
+  // all-reported transition.
+  void RecomputeFloor();
+  void ReleaseStable(MemberId sender, uint64_t floor);
+  void ReleaseAllStable();
+
+  std::vector<MemberId> members_;  // sorted
+  // member -> (sender -> contiguous delivered count). Rows may exist for
+  // non-members (late reports from evicted ids); the floor ignores them.
+  std::map<MemberId, VectorClock> delivered_by_;
+  size_t reporting_ = 0;  // how many of members_ have a row
+  VectorClock floor_;     // per-sender stability floor; valid iff AllReported()
+  std::map<MessageId, GroupDataPtr> buffer_;
+  size_t buffered_bytes_ = 0;
+  size_t peak_count_ = 0;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_HYBRID_BUFFER_H_

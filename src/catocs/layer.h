@@ -1,0 +1,131 @@
+// The composable protocol pipeline's building blocks.
+//
+// Each CATOCS concern — causal delay queue, per-sender FIFO app gate, total
+// ordering, stability buffering, view-synchronous membership — lives in its
+// own OrderingLayer. Layers share one GroupCore (identity, view, config,
+// stats, handlers) and reach each other through the core's typed pointers:
+// the delivery cascade is a series of direct, synchronous calls in protocol
+// order (causal -> stability -> total -> fifo -> application), exactly the
+// call graph the monolithic GroupMember had, so behaviour is preserved
+// bit-for-bit while each stage stays independently replaceable.
+//
+// The uniform hooks (OnStart/OnStop/OnSend/OnReceive/TryDeliver/OnViewChange)
+// are what the Pipeline drives generically; protocol-specific cross-layer
+// calls (e.g. the causal layer handing a delivery to the stability layer) go
+// through the typed pointers because their ordering is part of the protocol,
+// not of the stacking.
+
+#ifndef REPRO_SRC_CATOCS_LAYER_H_
+#define REPRO_SRC_CATOCS_LAYER_H_
+
+#include <cassert>
+
+#include "src/catocs/message.h"
+#include "src/catocs/types.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace catocs {
+
+class CausalLayer;
+class FifoLayer;
+class GroupMember;
+class MembershipLayer;
+class StabilityLayer;
+class TotalOrderLayer;
+
+// Port layout: each group uses a contiguous block so several groups can
+// share a transport. (GroupMember re-exports these as its static port
+// accessors; the formulas live here so layers never depend on the facade.)
+struct GroupPorts {
+  static uint32_t Data(GroupId g) { return 0x0C000000u + g * 8; }
+  static uint32_t Order(GroupId g) { return 0x0C000001u + g * 8; }
+  static uint32_t Ack(GroupId g) { return 0x0C000002u + g * 8; }
+  static uint32_t Token(GroupId g) { return 0x0C000003u + g * 8; }
+  static uint32_t Membership(GroupId g) { return 0x0C000004u + g * 8; }
+};
+
+// State and services shared by every layer of one member's pipeline. Owned
+// by the GroupMember facade; layers hold a pointer and register themselves
+// in their constructors.
+struct GroupCore {
+  sim::Simulator* simulator = nullptr;
+  net::Transport* transport = nullptr;
+  GroupConfig config;
+  MemberId self = 0;
+  View view;
+  GroupStats stats;
+  DeliveryHandler delivery_handler;
+  ViewHandler view_handler;
+  StateProvider state_provider;
+  StateApplier state_applier;
+  bool started = false;
+
+  // The facade, for the one genuinely top-level re-entry: releasing sends
+  // that were queued while a flush blocked the group.
+  GroupMember* member = nullptr;
+
+  // Typed siblings, filled in as each layer constructs.
+  CausalLayer* causal = nullptr;
+  FifoLayer* fifo = nullptr;
+  StabilityLayer* stability = nullptr;
+  MembershipLayer* membership = nullptr;
+  TotalOrderLayer* total = nullptr;
+
+  bool IsSequencer() const { return self == Sequencer(); }
+  MemberId Sequencer() const {
+    assert(!view.members.empty());
+    return view.members.front();
+  }
+
+  void BroadcastReliable(uint32_t port, const net::PayloadPtr& payload) {
+    for (MemberId m : view.members) {
+      if (m != self) {
+        transport->SendReliable(m, port, payload);
+      }
+    }
+  }
+};
+
+class OrderingLayer {
+ public:
+  explicit OrderingLayer(GroupCore* core) : core_(core) {}
+  virtual ~OrderingLayer() = default;
+
+  OrderingLayer(const OrderingLayer&) = delete;
+  OrderingLayer& operator=(const OrderingLayer&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Background machinery (timers, token seeding). Called in stack order.
+  virtual void OnStart() {}
+  virtual void OnStop() {}
+
+  // Stamp an outgoing ordered message's headers before first transmission.
+  // Called in stack order; each layer owns a disjoint header section.
+  virtual void OnSend(GroupData& data) { (void)data; }
+
+  // Offer an incoming transport payload. Returns true when this layer owns
+  // the port and consumed the message.
+  virtual bool OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) {
+    (void)src;
+    (void)port;
+    (void)payload;
+    return false;
+  }
+
+  // Re-attempt any deliveries this layer is holding back.
+  virtual void TryDeliver() {}
+
+  // A new view was installed. The membership layer drives the full
+  // view-install sequence itself (its steps interleave with its own state);
+  // this hook is each layer's reaction once the new view is in place.
+  virtual void OnViewChange(const View& view) { (void)view; }
+
+ protected:
+  GroupCore* core_;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_LAYER_H_

@@ -1,85 +1,121 @@
-// View-synchronous membership: heartbeat failure detection and the flush
-// protocol. On suspicion, the surviving member with the lowest id
-// coordinates: all survivors stop sending, contribute their unstable
-// messages and delivery state, the coordinator computes a common delivery
-// cut and redistributes whatever any survivor is missing, and finally a new
-// view is installed consistently everywhere. The cost of all of this —
-// control messages, re-forwarded payload bytes, and the time sends stay
-// blocked — is what experiment E10 measures.
+#include "src/catocs/membership_layer.h"
 
 #include <algorithm>
 #include <cassert>
 #include <utility>
+#include <vector>
 
+#include "src/catocs/causal_layer.h"
+#include "src/catocs/fifo_layer.h"
 #include "src/catocs/group_member.h"
+#include "src/catocs/stability_layer.h"
+#include "src/catocs/total_order_layer.h"
 
 namespace catocs {
 
-void GroupMember::OnMembership(MemberId src, const net::PayloadPtr& payload) {
-  if (const auto* hb = net::PayloadCast<Heartbeat>(payload)) {
-    if (hb->group() == config_.group_id) {
-      last_heard_[src] = simulator_->now();
-    }
-    return;
-  }
-  if (const auto* join = net::PayloadCast<JoinRequest>(payload)) {
-    if (join->group() == config_.group_id) {
-      OnJoinRequest(*join);
-    }
-    return;
-  }
-  if (const auto* suspect = net::PayloadCast<SuspectNotice>(payload)) {
-    if (suspect->group() == config_.group_id) {
-      HandleSuspicion(suspect->suspect());
-    }
-    return;
-  }
-  if (const auto* req = net::PayloadCast<FlushRequest>(payload)) {
-    if (req->group() == config_.group_id) {
-      OnFlushRequest(src, *req);
-    }
-    return;
-  }
-  if (const auto* state = net::PayloadCast<FlushState>(payload)) {
-    if (state->group() == config_.group_id) {
-      OnFlushState(src, *state);
-    }
-    return;
-  }
-  if (const auto* install = net::PayloadCast<ViewInstall>(payload)) {
-    if (install->group() == config_.group_id) {
-      OnViewInstall(*install);
-    }
-    return;
+void MembershipLayer::OnStart() {
+  if (core_->config.enable_membership) {
+    heartbeat_timer_ = std::make_unique<sim::PeriodicTimer>(
+        core_->simulator, core_->config.heartbeat_interval, [this] { SendHeartbeats(); });
+    heartbeat_timer_->Start(sim::Duration::Zero());
+    failure_check_timer_ = std::make_unique<sim::PeriodicTimer>(
+        core_->simulator, core_->config.heartbeat_interval, [this] { CheckFailures(); });
+    failure_check_timer_->Start(core_->config.failure_timeout);
   }
 }
 
-void GroupMember::JoinGroup(MemberId contact) {
+void MembershipLayer::OnStop() {
+  if (heartbeat_timer_) {
+    heartbeat_timer_->Stop();
+  }
+  if (failure_check_timer_) {
+    failure_check_timer_->Stop();
+  }
+}
+
+bool MembershipLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) {
+  if (port != GroupPorts::Membership(core_->config.group_id)) {
+    return false;
+  }
+  if (const auto* hb = net::PayloadCast<Heartbeat>(payload)) {
+    if (hb->group() == core_->config.group_id) {
+      last_heard_[src] = core_->simulator->now();
+    }
+    return true;
+  }
+  if (const auto* join = net::PayloadCast<JoinRequest>(payload)) {
+    if (join->group() == core_->config.group_id) {
+      OnJoinRequest(*join);
+    }
+    return true;
+  }
+  if (const auto* suspect = net::PayloadCast<SuspectNotice>(payload)) {
+    if (suspect->group() == core_->config.group_id) {
+      HandleSuspicion(suspect->suspect());
+    }
+    return true;
+  }
+  if (const auto* req = net::PayloadCast<FlushRequest>(payload)) {
+    if (req->group() == core_->config.group_id) {
+      OnFlushRequest(src, *req);
+    }
+    return true;
+  }
+  if (const auto* state = net::PayloadCast<FlushState>(payload)) {
+    if (state->group() == core_->config.group_id) {
+      OnFlushState(src, *state);
+    }
+    return true;
+  }
+  if (const auto* install = net::PayloadCast<ViewInstall>(payload)) {
+    if (install->group() == core_->config.group_id) {
+      OnViewInstall(*install);
+    }
+    return true;
+  }
+  return true;
+}
+
+void MembershipLayer::JoinGroup(MemberId contact) {
   // Block application sends until the join view installs.
   joining_ = true;
   flushing_ = true;
-  flush_started_ = simulator_->now();
-  transport_->SendReliable(contact, MembershipPort(config_.group_id),
-                           std::make_shared<JoinRequest>(config_.group_id, self_));
+  flush_started_ = core_->simulator->now();
+  core_->transport->SendReliable(
+      contact, GroupPorts::Membership(core_->config.group_id),
+      std::make_shared<JoinRequest>(core_->config.group_id, core_->self));
 }
 
-void GroupMember::OnJoinRequest(const JoinRequest& request) {
-  if (std::binary_search(view_.members.begin(), view_.members.end(), request.joiner())) {
+void MembershipLayer::ReportFailure(MemberId suspect) {
+  if (!core_->config.enable_membership || !core_->started || joining_) {
+    return;
+  }
+  HandleSuspicion(suspect);
+}
+
+void MembershipLayer::QueueBlockedSend(OrderingMode mode, net::PayloadPtr payload) {
+  blocked_sends_.emplace_back(mode, std::move(payload));
+}
+
+void MembershipLayer::OnJoinRequest(const JoinRequest& request) {
+  if (std::binary_search(core_->view.members.begin(), core_->view.members.end(),
+                         request.joiner())) {
     return;  // already a member
   }
   // Route to the coordinator (lowest live member); the coordinator folds the
   // join into a flush among the *current* members.
-  MemberId coordinator = view_.members.front();
-  for (MemberId member : view_.members) {
+  MemberId coordinator = core_->view.members.front();
+  for (MemberId member : core_->view.members) {
     if (!suspected_.count(member)) {
       coordinator = member;
       break;
     }
   }
-  if (coordinator != self_) {
-    ++stats_.flush_control_msgs;
-    transport_->SendReliable(coordinator, MembershipPort(config_.group_id),
-                             std::make_shared<JoinRequest>(config_.group_id, request.joiner()));
+  if (coordinator != core_->self) {
+    ++core_->stats.flush_control_msgs;
+    core_->transport->SendReliable(
+        coordinator, GroupPorts::Membership(core_->config.group_id),
+        std::make_shared<JoinRequest>(core_->config.group_id, request.joiner()));
     return;
   }
   if (pending_joiners_.insert(request.joiner()).second) {
@@ -87,19 +123,19 @@ void GroupMember::OnJoinRequest(const JoinRequest& request) {
   }
 }
 
-void GroupMember::SendHeartbeats() {
-  auto hb = std::make_shared<Heartbeat>(config_.group_id, view_.id);
-  for (MemberId member : view_.members) {
-    if (member != self_) {
-      transport_->SendUnreliable(member, MembershipPort(config_.group_id), hb);
+void MembershipLayer::SendHeartbeats() {
+  auto hb = std::make_shared<Heartbeat>(core_->config.group_id, core_->view.id);
+  for (MemberId member : core_->view.members) {
+    if (member != core_->self) {
+      core_->transport->SendUnreliable(member, GroupPorts::Membership(core_->config.group_id), hb);
     }
   }
 }
 
-void GroupMember::CheckFailures() {
-  const sim::TimePoint now = simulator_->now();
-  for (MemberId member : view_.members) {
-    if (member == self_ || suspected_.count(member)) {
+void MembershipLayer::CheckFailures() {
+  const sim::TimePoint now = core_->simulator->now();
+  for (MemberId member : core_->view.members) {
+    if (member == core_->self || suspected_.count(member)) {
       continue;
     }
     auto it = last_heard_.find(member);
@@ -109,22 +145,15 @@ void GroupMember::CheckFailures() {
       last_heard_[member] = now;
       continue;
     }
-    if (now - it->second > config_.failure_timeout) {
+    if (now - it->second > core_->config.failure_timeout) {
       HandleSuspicion(member);
     }
   }
 }
 
-void GroupMember::ReportFailure(MemberId suspect) {
-  if (!config_.enable_membership || !started_ || joining_) {
-    return;
-  }
-  HandleSuspicion(suspect);
-}
-
-void GroupMember::HandleSuspicion(MemberId suspect) {
-  if (suspect == self_ ||
-      !std::binary_search(view_.members.begin(), view_.members.end(), suspect)) {
+void MembershipLayer::HandleSuspicion(MemberId suspect) {
+  if (suspect == core_->self ||
+      !std::binary_search(core_->view.members.begin(), core_->view.members.end(), suspect)) {
     return;
   }
   // Fresh-evidence veto: a relayed suspicion (SuspectNotice hearsay, or a
@@ -136,71 +165,72 @@ void GroupMember::HandleSuspicion(MemberId suspect) {
   // installs a rival view — a split brain from a single bad link.
   auto heard = last_heard_.find(suspect);
   if (heard != last_heard_.end() &&
-      simulator_->now() - heard->second < config_.failure_timeout / 2) {
-    ++stats_.suspicions_vetoed;
+      core_->simulator->now() - heard->second < core_->config.failure_timeout / 2) {
+    ++core_->stats.suspicions_vetoed;
     return;
   }
   if (!suspected_.insert(suspect).second) {
     return;  // already known
   }
   // Survivor with the lowest id coordinates the flush.
-  MemberId coordinator = self_;
-  for (MemberId member : view_.members) {
+  MemberId coordinator = core_->self;
+  for (MemberId member : core_->view.members) {
     if (!suspected_.count(member)) {
       coordinator = member;
       break;
     }
   }
-  if (coordinator == self_) {
+  if (coordinator == core_->self) {
     InitiateFlush();
   } else {
-    ++stats_.flush_control_msgs;
-    transport_->SendReliable(coordinator, MembershipPort(config_.group_id),
-                             std::make_shared<SuspectNotice>(config_.group_id, suspect));
+    ++core_->stats.flush_control_msgs;
+    core_->transport->SendReliable(coordinator, GroupPorts::Membership(core_->config.group_id),
+                                   std::make_shared<SuspectNotice>(core_->config.group_id,
+                                                                   suspect));
     // Also stop sending application traffic; the flush request will arrive.
   }
 }
 
-void GroupMember::InitiateFlush() {
-  const uint64_t new_view_id = std::max(view_.id, flush_view_id_) + 1;
+void MembershipLayer::InitiateFlush() {
+  const uint64_t new_view_id = std::max(core_->view.id, flush_view_id_) + 1;
   flush_view_id_ = new_view_id;
   if (!flushing_) {
     flushing_ = true;
-    flush_started_ = simulator_->now();
+    flush_started_ = core_->simulator->now();
   }
   flush_states_.clear();
 
   std::vector<MemberId> survivors;
-  for (MemberId member : view_.members) {
+  for (MemberId member : core_->view.members) {
     if (!suspected_.count(member)) {
       survivors.push_back(member);
     }
   }
-  auto req = std::make_shared<FlushRequest>(config_.group_id, new_view_id, survivors);
+  auto req = std::make_shared<FlushRequest>(core_->config.group_id, new_view_id, survivors);
   for (MemberId member : survivors) {
-    if (member != self_) {
-      ++stats_.flush_control_msgs;
-      transport_->SendReliable(member, MembershipPort(config_.group_id), req);
+    if (member != core_->self) {
+      ++core_->stats.flush_control_msgs;
+      core_->transport->SendReliable(member, GroupPorts::Membership(core_->config.group_id), req);
     }
   }
   // Contribute our own state directly.
-  std::vector<std::pair<MessageId, uint64_t>> assignments(seq_by_id_.begin(), seq_by_id_.end());
-  FlushState own(config_.group_id, new_view_id, vd_, stability_.UnstableMessages(),
-                 std::move(assignments), next_total_deliver_);
-  OnFlushState(self_, own);
+  FlushState own(core_->config.group_id, new_view_id, core_->causal->delivered(),
+                 core_->stability->UnstableMessages(), core_->total->KnownAssignments(),
+                 core_->total->next_total_deliver());
+  OnFlushState(core_->self, own);
 }
 
-void GroupMember::OnFlushRequest(MemberId src, const FlushRequest& req) {
-  if (req.new_view_id() <= view_.id) {
+void MembershipLayer::OnFlushRequest(MemberId src, const FlushRequest& req) {
+  if (req.new_view_id() <= core_->view.id) {
     return;  // stale
   }
   flush_view_id_ = std::max(flush_view_id_, req.new_view_id());
   if (!flushing_) {
     flushing_ = true;
-    flush_started_ = simulator_->now();
+    flush_started_ = core_->simulator->now();
   }
   // Adopt the coordinator's suspicion set.
-  for (MemberId member : view_.members) {
+  for (MemberId member : core_->view.members) {
     if (std::find(req.survivors().begin(), req.survivors().end(), member) ==
         req.survivors().end()) {
       suspected_.insert(member);
@@ -209,17 +239,19 @@ void GroupMember::OnFlushRequest(MemberId src, const FlushRequest& req) {
   SendFlushStateTo(src, req.new_view_id());
 }
 
-void GroupMember::SendFlushStateTo(MemberId coordinator, uint64_t new_view_id) {
-  std::vector<std::pair<MessageId, uint64_t>> assignments(seq_by_id_.begin(), seq_by_id_.end());
-  auto state = std::make_shared<FlushState>(config_.group_id, new_view_id, vd_,
-                                            stability_.UnstableMessages(), std::move(assignments),
-                                            next_total_deliver_);
-  ++stats_.flush_control_msgs;
-  stats_.flush_payload_bytes += state->SizeBytes();
-  transport_->SendReliable(coordinator, MembershipPort(config_.group_id), state);
+void MembershipLayer::SendFlushStateTo(MemberId coordinator, uint64_t new_view_id) {
+  auto state = std::make_shared<FlushState>(core_->config.group_id, new_view_id,
+                                            core_->causal->delivered(),
+                                            core_->stability->UnstableMessages(),
+                                            core_->total->KnownAssignments(),
+                                            core_->total->next_total_deliver());
+  ++core_->stats.flush_control_msgs;
+  core_->stats.flush_payload_bytes += state->SizeBytes();
+  core_->transport->SendReliable(coordinator, GroupPorts::Membership(core_->config.group_id),
+                                 state);
 }
 
-void GroupMember::OnFlushState(MemberId src, const FlushState& state) {
+void MembershipLayer::OnFlushState(MemberId src, const FlushState& state) {
   if (state.new_view_id() != flush_view_id_ || !flushing_) {
     return;  // belongs to an abandoned round
   }
@@ -227,15 +259,15 @@ void GroupMember::OnFlushState(MemberId src, const FlushState& state) {
   MaybeCompleteFlush();
 }
 
-void GroupMember::MaybeCompleteFlush() {
+void MembershipLayer::MaybeCompleteFlush() {
   // Only the coordinator aggregates.
   std::vector<MemberId> survivors;
-  for (MemberId member : view_.members) {
+  for (MemberId member : core_->view.members) {
     if (!suspected_.count(member)) {
       survivors.push_back(member);
     }
   }
-  if (survivors.empty() || survivors.front() != self_) {
+  if (survivors.empty() || survivors.front() != core_->self) {
     return;
   }
 
@@ -247,15 +279,16 @@ void GroupMember::MaybeCompleteFlush() {
   // suspicion under lossy links) stops, it does not secede. Pure join/leave
   // flushes (no suspects) carry the whole view and skip the check.
   if (!suspected_.empty()) {
-    const size_t old_size = view_.members.size();
+    const size_t old_size = core_->view.members.size();
     const bool majority = survivors.size() * 2 > old_size;
     const bool half_with_anchor =
         survivors.size() * 2 == old_size &&
-        std::find(survivors.begin(), survivors.end(), view_.members.front()) != survivors.end();
+        std::find(survivors.begin(), survivors.end(), core_->view.members.front()) !=
+            survivors.end();
     if (!majority && !half_with_anchor) {
       if (flush_view_id_ != quorum_blocked_view_) {
         quorum_blocked_view_ = flush_view_id_;
-        ++stats_.flushes_blocked_no_quorum;
+        ++core_->stats.flushes_blocked_no_quorum;
       }
       return;
     }
@@ -329,33 +362,34 @@ void GroupMember::MaybeCompleteFlush() {
     std::vector<GroupDataPtr> joiner_missing;
     uint64_t joiner_next_deliver = next_seq;
     net::PayloadPtr app_state;
-    if (state_provider_) {
+    if (core_->state_provider) {
       // State transfer: snapshot our application state, which corresponds
-      // exactly to our app-delivered vector ad_ (the self-install that would
+      // exactly to our app-delivered vector (the self-install that would
       // advance it runs after this loop). Everything past that cut is either
       // in some survivor's unstable retention buffer (message_union) or in
       // our own causally-delivered-but-not-yet-app-delivered backlog, so the
       // two sets together are a complete resend.
-      app_state = state_provider_();
-      joiner_cut = ad_;
-      joiner_next_deliver = next_total_deliver_;
+      app_state = core_->state_provider();
+      joiner_cut = core_->fifo->app_delivered();
+      joiner_next_deliver = core_->total->next_total_deliver();
       std::map<MessageId, GroupDataPtr> beyond = message_union;
-      for (const auto& waiting : app_pending_) {
+      for (const auto& waiting : core_->fifo->pending()) {
         beyond.emplace(waiting.data->id(), waiting.data);
       }
       for (const auto& [id, msg] : beyond) {
-        if (id.seq > ad_.Get(id.sender)) {
+        if (id.seq > core_->fifo->app_delivered().Get(id.sender)) {
           joiner_missing.push_back(StripPiggyback(msg));
         }
       }
     }
-    auto install = std::make_shared<ViewInstall>(config_.group_id, new_view_id, new_members,
+    auto install = std::make_shared<ViewInstall>(core_->config.group_id, new_view_id, new_members,
                                                  std::move(joiner_missing), merged_vec, next_seq,
                                                  std::move(joiner_cut), joiner_next_deliver,
                                                  std::move(app_state));
-    ++stats_.flush_control_msgs;
-    stats_.flush_payload_bytes += install->SizeBytes();
-    transport_->SendReliable(joiner, MembershipPort(config_.group_id), install);
+    ++core_->stats.flush_control_msgs;
+    core_->stats.flush_payload_bytes += install->SizeBytes();
+    core_->transport->SendReliable(joiner, GroupPorts::Membership(core_->config.group_id),
+                                   install);
   }
   pending_joiners_.clear();
   std::shared_ptr<ViewInstall> own_install;
@@ -367,15 +401,16 @@ void GroupMember::MaybeCompleteFlush() {
         missing.push_back(msg);
       }
     }
-    auto install = std::make_shared<ViewInstall>(config_.group_id, new_view_id, new_members,
+    auto install = std::make_shared<ViewInstall>(core_->config.group_id, new_view_id, new_members,
                                                  std::move(missing), merged_vec, next_seq,
                                                  final_cut);
-    if (member == self_) {
+    if (member == core_->self) {
       own_install = std::move(install);
     } else {
-      ++stats_.flush_control_msgs;
-      stats_.flush_payload_bytes += install->SizeBytes();
-      transport_->SendReliable(member, MembershipPort(config_.group_id), install);
+      ++core_->stats.flush_control_msgs;
+      core_->stats.flush_payload_bytes += install->SizeBytes();
+      core_->transport->SendReliable(member, GroupPorts::Membership(core_->config.group_id),
+                                     install);
     }
   }
   if (own_install) {
@@ -383,8 +418,8 @@ void GroupMember::MaybeCompleteFlush() {
   }
 }
 
-void GroupMember::OnViewInstall(const ViewInstall& install) {
-  if (install.view_id() <= view_.id) {
+void MembershipLayer::OnViewInstall(const ViewInstall& install) {
+  if (install.view_id() <= core_->view.id) {
     return;
   }
 
@@ -396,117 +431,66 @@ void GroupMember::OnViewInstall(const ViewInstall& install) {
   // path from exactly where the snapshot left off.
   const bool was_joining = joining_;
   if (joining_) {
-    if (install.app_state() != nullptr && state_applier_) {
-      state_applier_(install.app_state());
+    if (install.app_state() != nullptr && core_->state_applier) {
+      core_->state_applier(install.app_state());
     }
-    vd_.Merge(install.final_cut());
-    ad_.Merge(install.final_cut());
-    next_total_deliver_ = std::max(next_total_deliver_, install.next_total_deliver());
+    core_->causal->AdoptCut(install.final_cut());
+    core_->fifo->AdoptCut(install.final_cut());
+    core_->total->AdoptJoinerFloor(install.next_total_deliver());
     joining_ = false;
   }
 
   // Ingest redistributed messages through the normal causal path.
   for (const auto& msg : install.missing()) {
-    IngestData(msg);
+    core_->causal->Ingest(msg);
   }
 
-  // Failed-sender cleanup. Messages from a failed sender *beyond* the flush
-  // cut (the furthest any survivor causally delivered) are lost for good: no
-  // survivor holds a copy, and nothing deliverable can depend on them —
-  // a dependent message would have required its own sender to causally
-  // deliver the predecessor first, which would have pulled it into the cut.
-  // Dropping them is the protocol admitting non-durability.
-  //
-  // Everything *at or below* the cut, by the same argument, is locally
-  // present after ingesting `missing` above: if it went stable, every old
-  // member (including us) already delivered it; otherwise it sat in some
-  // survivor's retention buffer and was redistributed. So vd_/ad_ must NOT
-  // be force-raised to the cut — those messages flow through the normal
-  // causal path, and raising the app gate early would let their causal
-  // successors overtake them at the application (a real causal-order
+  // Failed-sender cleanup (see CausalLayer::DropFailedSenderBacklog): vd/ad
+  // must NOT be force-raised to the cut — everything at or below it flows
+  // through the normal causal path, and raising the app gate early would let
+  // causal successors overtake it at the application (a real causal-order
   // violation the chaos fuzzer caught). A joiner skips this: its install's
   // cut is the floor it starts from.
   if (!was_joining) {
-    for (const auto& [sender, cut] : install.final_cut().entries()) {
-      if (std::find(install.members().begin(), install.members().end(), sender) !=
-          install.members().end()) {
-        continue;  // live senders have reliable FIFO channels; no gaps
-      }
-      for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->data->id().sender == sender && it->data->id().seq > cut) {
-          ++stats_.messages_dropped_at_view_change;
-          pending_ids_.erase(it->data->id());
-          it = pending_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
+    core_->causal->DropFailedSenderBacklog(install);
   }
-  TryDeliverPending();
+  core_->causal->TryDeliverPending();
 
-  // Adopt the consolidated total order *authoritatively*. The coordinator
-  // merged every survivor's known assignments (renumbering those at or above
-  // the delivery base to close gaps left by a dead sequencer), so the merged
-  // map supersedes anything we hold — including a stale in-flight assignment
-  // from the old sequencer that the renumbering moved.
-  seq_by_id_.clear();
-  order_by_seq_.clear();
-  recent_assignments_.clear();
-  ApplyAssignments(install.assignments());
-  next_total_assign_ = std::max(next_total_assign_, install.next_total_seq());
+  // Adopt the consolidated total order (supersedes anything we hold).
+  core_->total->AdoptConsolidatedOrder(install);
 
   // Install the view.
-  view_.id = install.view_id();
-  view_.members = install.members();
-  std::sort(view_.members.begin(), view_.members.end());
-  stability_.SetMembers(view_.members);
-  stability_.Prune();
+  core_->view.id = install.view_id();
+  core_->view.members = install.members();
+  std::sort(core_->view.members.begin(), core_->view.members.end());
+  core_->stability->OnViewChange(core_->view);
   for (MemberId gone : suspected_) {
     last_heard_.erase(gone);
   }
   suspected_.clear();
   flush_states_.clear();
 
-  // The new sequencer orders any held messages that lost their assignment
-  // with the old sequencer, in its local causal delivery order.
-  if (config_.total_order_mode == TotalOrderMode::kSequencer && IsSequencer()) {
-    std::vector<std::pair<MessageId, uint64_t>> batch = AssignPendingUnorderedTotals();
-    if (!batch.empty()) {
-      auto order = std::make_shared<OrderAssignment>(config_.group_id, batch);
-      ++stats_.order_msgs_sent;
-      BroadcastReliable(OrderPort(config_.group_id), order);
-      ApplyAssignments(batch);
-    }
-  }
-  // Token regeneration: the lowest survivor re-seeds the token.
-  if (config_.total_order_mode == TotalOrderMode::kToken && IsSequencer() && started_) {
-    holding_token_ = true;
-    simulator_->ScheduleAfter(config_.token_pass_delay, [this] {
-      if (holding_token_ && started_) {
-        PassToken(next_total_assign_);
-      }
-    });
-  }
-  TryDeliverApp();
+  // The total-order layer re-seeds its sequencer/token for the new view.
+  core_->total->OnViewChange(core_->view);
+  core_->fifo->TryDeliverApp();
 
   // Unblock.
   if (flushing_) {
     flushing_ = false;
-    ++stats_.flushes_completed;
-    stats_.blocked_time += simulator_->now() - flush_started_;
+    ++core_->stats.flushes_completed;
+    core_->stats.blocked_time += core_->simulator->now() - flush_started_;
   }
-  if (view_handler_) {
-    view_handler_(view_);
+  if (core_->view_handler) {
+    core_->view_handler(core_->view);
   }
   FinishBlockedSends();
 }
 
-void GroupMember::FinishBlockedSends() {
+void MembershipLayer::FinishBlockedSends() {
   while (!blocked_sends_.empty() && !flushing_) {
     auto [mode, payload] = std::move(blocked_sends_.front());
     blocked_sends_.pop_front();
-    Send(mode, std::move(payload));
+    core_->member->Send(mode, std::move(payload));
   }
 }
 

@@ -40,9 +40,17 @@ size_t GroupData::SizeBytes() const {
   return total;
 }
 
+std::vector<net::HeaderSection> GroupData::HeaderSections() const {
+  // Base frame: group(4) + sender(4) + seq(8) + mode(1).
+  return {{"frame", 17}, {"causal", vt_.SizeBytes()}, {"stability", acks_.SizeBytes()}};
+}
+
 size_t GroupData::HeaderBytes() const {
-  // group(4) + sender(4) + seq(8) + mode(1) + timestamps.
-  return 17 + vt_.SizeBytes() + acks_.SizeBytes();
+  size_t total = 0;
+  for (const auto& section : HeaderSections()) {
+    total += section.bytes;
+  }
+  return total;
 }
 
 std::string GroupData::Describe() const {

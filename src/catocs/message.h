@@ -56,8 +56,11 @@ class GroupData : public net::Payload {
   size_t SizeBytes() const override;
   std::string Describe() const override;
 
-  // Ordering metadata charged as header bytes: message id + mode + vector
-  // timestamp + piggybacked ack vector.
+  // Per-layer header breakdown: the base frame (id + mode), the causal
+  // layer's vector timestamp, the stability layer's piggybacked ack vector.
+  std::vector<net::HeaderSection> HeaderSections() const override;
+
+  // Ordering metadata charged as header bytes: the sum of HeaderSections().
   size_t HeaderBytes() const;
 
   GroupId group() const { return group_; }
@@ -66,6 +69,11 @@ class GroupData : public net::Payload {
   const VectorClock& vt() const { return vt_; }
   const net::PayloadPtr& app_payload() const { return app_payload_; }
   sim::TimePoint sent_at() const { return sent_at_; }
+
+  // Vector timestamp, stamped by the causal layer before first transmission
+  // (the facade constructs ordered messages with an empty clock and runs the
+  // pipeline's OnSend chain over them).
+  void set_vt(VectorClock vt) { vt_ = std::move(vt); }
 
   // Ack vector (the sender's delivered-vector) piggybacked for stability
   // tracking. Set once before first transmission.

@@ -1,0 +1,20 @@
+#include "src/catocs/pipeline.h"
+
+#include "src/catocs/causal_layer.h"
+#include "src/catocs/fifo_layer.h"
+#include "src/catocs/membership_layer.h"
+#include "src/catocs/stability_layer.h"
+#include "src/catocs/total_order_layer.h"
+
+namespace catocs {
+
+PipelineBuilder& PipelineBuilder::AddDefaultStack() {
+  Add(std::make_unique<CausalLayer>(core_));
+  Add(std::make_unique<FifoLayer>(core_));
+  Add(std::make_unique<StabilityLayer>(core_));
+  Add(std::make_unique<MembershipLayer>(core_));
+  Add(std::make_unique<TotalOrderLayer>(core_));
+  return *this;
+}
+
+}  // namespace catocs

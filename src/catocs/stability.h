@@ -1,11 +1,12 @@
-// Stability tracking and message buffering for atomic delivery.
+// Full-vector-clock stability tracking: the paper-faithful baseline
+// retention-buffer strategy (see causal_buffer.h for the interface).
 //
-// A message is *stable* once every current group member has delivered it;
-// until then each member retains a copy so any member can re-forward it if
-// the original sender fails mid-multicast (§2). Members learn each other's
-// progress from ack vectors piggybacked on data messages and/or periodic
-// gossip. The buffering this forces is the quantity §5 predicts grows
-// quadratically system-wide, so the tracker exposes exact occupancy numbers.
+// Members learn each other's progress from ack vectors piggybacked on data
+// messages and/or periodic gossip; the stability floor is recomputed by
+// walking the whole member matrix, so callers throttle Prune() off the
+// per-message path. The buffering this forces is the quantity §5 predicts
+// grows quadratically system-wide, so the tracker exposes exact occupancy
+// numbers.
 
 #ifndef REPRO_SRC_CATOCS_STABILITY_H_
 #define REPRO_SRC_CATOCS_STABILITY_H_
@@ -14,44 +15,28 @@
 #include <map>
 #include <vector>
 
+#include "src/catocs/causal_buffer.h"
 #include "src/catocs/message.h"
 
 namespace catocs {
 
-class StabilityTracker {
+class StabilityTracker : public CausalBufferStrategy {
  public:
-  // The member set over which the stability minimum is taken. Removing a
-  // member (it failed) can only make more messages stable.
-  void SetMembers(const std::vector<MemberId>& members);
+  const char* name() const override { return "full-vector"; }
 
-  // Records that `member` has contiguously delivered `vec[s]` messages from
-  // each sender s. A single linear merge of two flat clocks — the per-data-
-  // message hot path when acks are piggybacked.
-  void UpdateMemberVector(MemberId member, const VectorClock& vec);
+  void SetMembers(const std::vector<MemberId>& members) override;
+  void UpdateMemberVector(MemberId member, const VectorClock& vec) override;
+  void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) override;
+  void AddToBuffer(const GroupDataPtr& msg) override;
+  VectorClock StableVector() const override;
+  void Prune() override;
+  std::vector<GroupDataPtr> UnstableMessages() const override;
+  GroupDataPtr Find(const MessageId& id) const override;
 
-  // Point update: `member` has contiguously delivered `count` messages from
-  // `sender`. For the per-delivery hot path.
-  void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count);
-
-  // Adds a delivered (or sent) message to the retention buffer.
-  void AddToBuffer(const GroupDataPtr& msg);
-
-  // Per-sender stability floor: min over members of their delivered count.
-  VectorClock StableVector() const;
-
-  // Drops every buffered message at or below the stability floor.
-  void Prune();
-
-  // Messages not yet known stable (what a flush contributes).
-  std::vector<GroupDataPtr> UnstableMessages() const;
-
-  // Looks up a buffered message; nullptr when absent (already pruned).
-  GroupDataPtr Find(const MessageId& id) const;
-
-  size_t buffered_count() const { return buffer_.size(); }
-  size_t buffered_bytes() const { return buffered_bytes_; }
-  size_t peak_buffered_count() const { return peak_count_; }
-  size_t peak_buffered_bytes() const { return peak_bytes_; }
+  size_t buffered_count() const override { return buffer_.size(); }
+  size_t buffered_bytes() const override { return buffered_bytes_; }
+  size_t peak_buffered_count() const override { return peak_count_; }
+  size_t peak_buffered_bytes() const override { return peak_bytes_; }
 
  private:
   std::vector<MemberId> members_;

@@ -1,0 +1,102 @@
+#include "src/catocs/stability_layer.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/catocs/causal_layer.h"
+#include "src/catocs/membership_layer.h"
+
+namespace catocs {
+
+StabilityLayer::StabilityLayer(GroupCore* core)
+    : OrderingLayer(core), strategy_(MakeCausalBuffer(core->config.causal_buffer)) {
+  core->stability = this;
+  strategy_->SetMembers(core->view.members);
+}
+
+void StabilityLayer::OnStart() {
+  if (core_->config.ack_gossip_interval > sim::Duration::Zero()) {
+    gossip_timer_ = std::make_unique<sim::PeriodicTimer>(
+        core_->simulator, core_->config.ack_gossip_interval, [this] { GossipAcks(); });
+    gossip_timer_->Start(core_->config.ack_gossip_interval);
+  }
+}
+
+void StabilityLayer::OnStop() {
+  if (gossip_timer_) {
+    gossip_timer_->Stop();
+  }
+}
+
+void StabilityLayer::OnSend(GroupData& data) {
+  if (core_->config.piggyback_acks) {
+    data.set_acks(core_->causal->delivered());
+  }
+  if (core_->config.piggyback_causal) {
+    // Footnote-4 variant: carry every unstable causal predecessor so the
+    // receiver never has to wait — at the price of (much) larger messages.
+    std::vector<GroupDataPtr> predecessors = strategy_->UnstableMessages();
+    core_->stats.piggyback_msgs_carried += predecessors.size();
+    for (const auto& p : predecessors) {
+      core_->stats.piggyback_bytes += p->SizeBytes() + p->HeaderBytes();
+    }
+    data.set_piggyback(std::move(predecessors));
+  }
+}
+
+bool StabilityLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) {
+  if (port != GroupPorts::Ack(core_->config.group_id)) {
+    return false;
+  }
+  const auto* acks = net::PayloadCast<AckVector>(payload);
+  assert(acks != nullptr);
+  if (acks->group() != core_->config.group_id) {
+    return true;
+  }
+  ObserveAckVector(src, acks->delivered());
+  return true;
+}
+
+void StabilityLayer::OnViewChange(const View& view) {
+  strategy_->SetMembers(view.members);
+  strategy_->Prune();
+}
+
+void StabilityLayer::OnCausalDeliver(const GroupDataPtr& data) {
+  // Retain for atomic delivery until stable (without any piggybacked
+  // predecessors, which are buffered in their own right).
+  strategy_->AddToBuffer(StripPiggyback(data));
+  strategy_->UpdateMemberEntry(core_->self, data->id().sender, data->id().seq);
+  // The message's own timestamp is implicit-ack evidence about its sender
+  // (a no-op for the full-vector baseline).
+  strategy_->ObserveDeliveredTimestamp(data->id().sender, data->vt());
+  MaybePrune();
+}
+
+void StabilityLayer::ObserveAckVector(MemberId member, const VectorClock& vec) {
+  strategy_->UpdateMemberVector(member, vec);
+  MaybePrune();
+}
+
+void StabilityLayer::MaybePrune() {
+  if (core_->simulator->now() - last_prune_ >= core_->config.prune_interval) {
+    last_prune_ = core_->simulator->now();
+    strategy_->Prune();
+  }
+}
+
+void StabilityLayer::GossipAcks() {
+  if (core_->membership->flushing()) {
+    return;
+  }
+  strategy_->Prune();
+  auto acks = std::make_shared<AckVector>(core_->config.group_id, core_->causal->delivered());
+  for (MemberId member : core_->view.members) {
+    if (member != core_->self) {
+      core_->transport->SendUnreliable(member, GroupPorts::Ack(core_->config.group_id), acks);
+      ++core_->stats.ack_msgs_sent;
+    }
+  }
+}
+
+}  // namespace catocs

@@ -1,0 +1,61 @@
+// Stability / atomic-delivery layer: owns the retention-buffer strategy
+// (causal_buffer.h), stamps ack vectors onto outgoing data, consumes ack
+// vectors from data and gossip, and runs the periodic ack-gossip timer.
+// Pruning is throttled on the per-message path (the full-vector strategy
+// walks the whole buffer and the member matrix); the periodic gossip path
+// prunes unconditionally so buffers always drain at quiescence.
+
+#ifndef REPRO_SRC_CATOCS_STABILITY_LAYER_H_
+#define REPRO_SRC_CATOCS_STABILITY_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/catocs/causal_buffer.h"
+#include "src/catocs/layer.h"
+
+namespace catocs {
+
+class StabilityLayer : public OrderingLayer {
+ public:
+  explicit StabilityLayer(GroupCore* core);
+
+  const char* name() const override { return "stability"; }
+
+  void OnStart() override;
+  void OnStop() override;
+  // Stamps the piggybacked ack vector and, under the footnote-4 variant, the
+  // unstable causal predecessors.
+  void OnSend(GroupData& data) override;
+  bool OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) override;
+  // New member set: re-anchor the stability minimum and prune.
+  void OnViewChange(const View& view) override;
+
+  // A message passed the causal gate: retain it (stripped of piggyback),
+  // record our own delivery, and feed the strategy's evidence channel.
+  void OnCausalDeliver(const GroupDataPtr& data);
+
+  // An explicit ack vector arrived (piggybacked on data or gossiped).
+  void ObserveAckVector(MemberId member, const VectorClock& vec);
+
+  void Prune() { strategy_->Prune(); }
+  std::vector<GroupDataPtr> UnstableMessages() const { return strategy_->UnstableMessages(); }
+
+  const CausalBufferStrategy& strategy() const { return *strategy_; }
+  size_t buffered_messages() const { return strategy_->buffered_count(); }
+  size_t buffered_bytes() const { return strategy_->buffered_bytes(); }
+  size_t peak_buffered_messages() const { return strategy_->peak_buffered_count(); }
+  size_t peak_buffered_bytes() const { return strategy_->peak_buffered_bytes(); }
+
+ private:
+  void MaybePrune();
+  void GossipAcks();
+
+  std::unique_ptr<CausalBufferStrategy> strategy_;
+  sim::TimePoint last_prune_ = sim::TimePoint::Zero();
+  std::unique_ptr<sim::PeriodicTimer> gossip_timer_;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_STABILITY_LAYER_H_

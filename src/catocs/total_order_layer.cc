@@ -1,0 +1,205 @@
+#include "src/catocs/total_order_layer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/catocs/fifo_layer.h"
+
+namespace catocs {
+
+void TotalOrderLayer::OnStart() {
+  if (core_->config.total_order_mode == TotalOrderMode::kToken &&
+      core_->self == core_->view.members.front()) {
+    // Seed the token at the lowest member.
+    holding_token_ = true;
+    core_->simulator->ScheduleAfter(core_->config.token_pass_delay, [this] {
+      if (holding_token_) {
+        PassToken(next_total_assign_);
+      }
+    });
+  }
+}
+
+bool TotalOrderLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadPtr& payload) {
+  const GroupId g = core_->config.group_id;
+  if (port == GroupPorts::Order(g)) {
+    OnOrder(payload);
+    return true;
+  }
+  if (port == GroupPorts::Token(g)) {
+    OnToken(payload);
+    return true;
+  }
+  return false;
+}
+
+void TotalOrderLayer::OnCausalDeliver(const GroupData& data) {
+  if (data.mode() != OrderingMode::kTotal) {
+    return;
+  }
+  if (core_->config.total_order_mode == TotalOrderMode::kSequencer) {
+    if (core_->IsSequencer() && !seq_by_id_.count(data.id())) {
+      SequencerAssign(data.id());
+    }
+  } else if (!seq_by_id_.count(data.id())) {
+    unassigned_total_.push_back(data.id());
+  }
+}
+
+bool TotalOrderLayer::IsNextToDeliver(const MessageId& id) const {
+  auto it = seq_by_id_.find(id);
+  return it != seq_by_id_.end() && it->second == next_total_deliver_;
+}
+
+uint64_t TotalOrderLayer::ConsumeDeliverySlot() {
+  const uint64_t total_seq = next_total_deliver_++;
+  order_by_seq_.erase(total_seq);
+  return total_seq;
+}
+
+std::vector<std::pair<MessageId, uint64_t>> TotalOrderLayer::KnownAssignments() const {
+  return std::vector<std::pair<MessageId, uint64_t>>(seq_by_id_.begin(), seq_by_id_.end());
+}
+
+void TotalOrderLayer::AdoptJoinerFloor(uint64_t next_deliver) {
+  next_total_deliver_ = std::max(next_total_deliver_, next_deliver);
+}
+
+void TotalOrderLayer::AdoptConsolidatedOrder(const ViewInstall& install) {
+  seq_by_id_.clear();
+  order_by_seq_.clear();
+  recent_assignments_.clear();
+  ApplyAssignments(install.assignments());
+  next_total_assign_ = std::max(next_total_assign_, install.next_total_seq());
+}
+
+void TotalOrderLayer::SequencerAssign(const MessageId& id) {
+  const uint64_t seq = next_total_assign_++;
+  std::vector<std::pair<MessageId, uint64_t>> batch{{id, seq}};
+  auto order = std::make_shared<OrderAssignment>(core_->config.group_id, batch);
+  ++core_->stats.order_msgs_sent;
+  core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
+  ApplyAssignments(batch);
+}
+
+std::vector<std::pair<MessageId, uint64_t>> TotalOrderLayer::AssignPendingUnorderedTotals() {
+  std::vector<std::pair<MessageId, uint64_t>> batch;
+  for (const auto& entry : core_->fifo->pending()) {
+    if (entry.data->mode() == OrderingMode::kTotal && !seq_by_id_.count(entry.data->id())) {
+      batch.emplace_back(entry.data->id(), next_total_assign_++);
+    }
+  }
+  return batch;
+}
+
+void TotalOrderLayer::OnOrder(const net::PayloadPtr& payload) {
+  const auto* order = net::PayloadCast<OrderAssignment>(payload);
+  assert(order != nullptr);
+  if (order->group() != core_->config.group_id) {
+    return;
+  }
+  ApplyAssignments(order->assignments());
+}
+
+void TotalOrderLayer::ApplyAssignments(
+    const std::vector<std::pair<MessageId, uint64_t>>& assignments) {
+  for (const auto& [id, seq] : assignments) {
+    if (seq_by_id_.emplace(id, seq).second) {
+      order_by_seq_[seq] = id;
+      if (core_->config.total_order_mode == TotalOrderMode::kToken) {
+        recent_assignments_[seq] = id;
+        while (recent_assignments_.size() > kTokenAssignmentWindow) {
+          recent_assignments_.erase(recent_assignments_.begin());
+        }
+      }
+    }
+  }
+  core_->fifo->TryDeliverApp();
+}
+
+void TotalOrderLayer::OnToken(const net::PayloadPtr& payload) {
+  const auto* token = net::PayloadCast<OrderToken>(payload);
+  assert(token != nullptr);
+  if (token->group() != core_->config.group_id ||
+      core_->config.total_order_mode != TotalOrderMode::kToken) {
+    return;
+  }
+  if (!core_->started) {
+    return;  // stopped member drops the token; membership would regenerate it
+  }
+  holding_token_ = true;
+  next_total_assign_ = std::max(next_total_assign_, token->next_total_seq());
+  // The token's assignment log is authoritative for everything sequenced so
+  // far, including assignments whose broadcasts are still in flight to us.
+  ApplyAssignments(std::vector<std::pair<MessageId, uint64_t>>(token->assignments().begin(),
+                                                               token->assignments().end()));
+
+  // Sequence every message we have causally delivered but that is not yet
+  // ordered, in our causal delivery order. Because causal delivery of m2
+  // implies prior causal delivery of any m1 that happens-before it, this
+  // keeps the total order consistent with causality.
+  std::vector<std::pair<MessageId, uint64_t>> batch;
+  while (!unassigned_total_.empty()) {
+    const MessageId id = unassigned_total_.front();
+    unassigned_total_.pop_front();
+    if (!seq_by_id_.count(id)) {
+      batch.emplace_back(id, next_total_assign_++);
+    }
+  }
+  if (!batch.empty()) {
+    auto order = std::make_shared<OrderAssignment>(core_->config.group_id, batch);
+    ++core_->stats.order_msgs_sent;
+    core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
+    ApplyAssignments(batch);
+  }
+  core_->simulator->ScheduleAfter(core_->config.token_pass_delay, [this] {
+    if (holding_token_ && core_->started) {
+      PassToken(next_total_assign_);
+    }
+  });
+}
+
+void TotalOrderLayer::PassToken(uint64_t next_total_seq) {
+  holding_token_ = false;
+  ++core_->stats.token_passes;
+  // Next member in id order, wrapping.
+  auto it = std::upper_bound(core_->view.members.begin(), core_->view.members.end(), core_->self);
+  const MemberId next = it == core_->view.members.end() ? core_->view.members.front() : *it;
+  if (next == core_->self) {
+    holding_token_ = true;  // sole member keeps the token
+    return;
+  }
+  std::map<MessageId, uint64_t> carried;
+  for (const auto& [seq, id] : recent_assignments_) {
+    carried.emplace(id, seq);
+  }
+  core_->transport->SendReliable(next, GroupPorts::Token(core_->config.group_id),
+                                 std::make_shared<OrderToken>(core_->config.group_id,
+                                                              next_total_seq, std::move(carried)));
+}
+
+void TotalOrderLayer::OnViewChange(const View& /*view*/) {
+  // The new sequencer orders any held messages that lost their assignment
+  // with the old sequencer, in its local causal delivery order.
+  if (core_->config.total_order_mode == TotalOrderMode::kSequencer && core_->IsSequencer()) {
+    std::vector<std::pair<MessageId, uint64_t>> batch = AssignPendingUnorderedTotals();
+    if (!batch.empty()) {
+      auto order = std::make_shared<OrderAssignment>(core_->config.group_id, batch);
+      ++core_->stats.order_msgs_sent;
+      core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
+      ApplyAssignments(batch);
+    }
+  }
+  // Token regeneration: the lowest survivor re-seeds the token.
+  if (core_->config.total_order_mode == TotalOrderMode::kToken && core_->IsSequencer() &&
+      core_->started) {
+    holding_token_ = true;
+    core_->simulator->ScheduleAfter(core_->config.token_pass_delay, [this] {
+      if (holding_token_ && core_->started) {
+        PassToken(next_total_assign_);
+      }
+    });
+  }
+}
+
+}  // namespace catocs

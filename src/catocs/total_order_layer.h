@@ -1,0 +1,83 @@
+// Total ordering (abcast): a single group-wide sequence consistent with
+// causality, assigned either by a fixed sequencer (lowest member id) or by a
+// rotating token. This layer owns sequence assignment and the delivery
+// counter; the FIFO layer consults it for the "is it my turn" check on every
+// kTotal delivery.
+
+#ifndef REPRO_SRC_CATOCS_TOTAL_ORDER_LAYER_H_
+#define REPRO_SRC_CATOCS_TOTAL_ORDER_LAYER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/catocs/layer.h"
+
+namespace catocs {
+
+class TotalOrderLayer : public OrderingLayer {
+ public:
+  explicit TotalOrderLayer(GroupCore* core) : OrderingLayer(core) { core->total = this; }
+
+  const char* name() const override { return "total-order"; }
+
+  void OnStart() override;
+  void OnStop() override { holding_token_ = false; }
+  bool OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) override;
+  // After a view install: the new sequencer orders any held messages that
+  // lost their assignment with the old sequencer; in token mode the lowest
+  // survivor re-seeds the token.
+  void OnViewChange(const View& view) override;
+
+  // Sequencing hook on the causal-delivery path: the sequencer assigns
+  // immediately; token holders queue until their turn.
+  void OnCausalDeliver(const GroupData& data);
+
+  // --- FIFO-layer gate ------------------------------------------------------
+  bool IsNextToDeliver(const MessageId& id) const;
+  // Claims the next delivery slot for the message being delivered now.
+  uint64_t ConsumeDeliverySlot();
+
+  // --- membership/flush support ---------------------------------------------
+  uint64_t next_total_deliver() const { return next_total_deliver_; }
+  std::vector<std::pair<MessageId, uint64_t>> KnownAssignments() const;
+  // Joiner: start delivering at the cut its install names.
+  void AdoptJoinerFloor(uint64_t next_deliver);
+  // Adopt the coordinator's consolidated total order *authoritatively*. The
+  // coordinator merged every survivor's known assignments (renumbering those
+  // at or above the delivery base to close gaps left by a dead sequencer),
+  // so the merged map supersedes anything we hold — including a stale
+  // in-flight assignment from the old sequencer that the renumbering moved.
+  void AdoptConsolidatedOrder(const ViewInstall& install);
+
+ private:
+  void SequencerAssign(const MessageId& id);
+  // Used at view changes and token turns: sequence every causally delivered
+  // but still unordered kTotal message, in local (causal) delivery order.
+  std::vector<std::pair<MessageId, uint64_t>> AssignPendingUnorderedTotals();
+  void ApplyAssignments(const std::vector<std::pair<MessageId, uint64_t>>& assignments);
+  void OnOrder(const net::PayloadPtr& payload);
+  void OnToken(const net::PayloadPtr& payload);
+  void PassToken(uint64_t next_total_seq);
+
+  uint64_t next_total_assign_ = 1;  // sequencer/token holder only
+  uint64_t next_total_deliver_ = 1;
+  std::map<uint64_t, MessageId> order_by_seq_;
+  std::map<MessageId, uint64_t> seq_by_id_;
+  // Rolling window of recent assignments carried by the token so the next
+  // holder cannot double-assign a message whose OrderAssignment broadcast is
+  // still in flight. Older assignments have long since been delivered by the
+  // reliable broadcast, so a bounded window suffices.
+  static constexpr uint64_t kTokenAssignmentWindow = 512;
+  std::map<uint64_t, MessageId> recent_assignments_;
+  // Token mode: causally delivered kTotal messages not yet sequenced, in
+  // local causal delivery order (a linear extension of happens-before).
+  std::deque<MessageId> unassigned_total_;
+  bool holding_token_ = false;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_TOTAL_ORDER_LAYER_H_

@@ -1,0 +1,128 @@
+// Shared vocabulary of the CATOCS protocol pipeline: the group configuration,
+// the view, what a delivery looks like to the application, the handler
+// signatures, and the cost counters every experiment reads. Split out of
+// group_member.h so the individual ordering layers (src/catocs/*_layer.h) can
+// speak these types without depending on the facade.
+
+#ifndef REPRO_SRC_CATOCS_TYPES_H_
+#define REPRO_SRC_CATOCS_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/catocs/message.h"
+#include "src/catocs/vector_clock.h"
+#include "src/sim/time.h"
+
+namespace catocs {
+
+enum class TotalOrderMode {
+  kSequencer,  // fixed sequencer: lowest member id in the current view
+  kToken,      // rotating token assigns sequence numbers
+};
+
+// Which retention-buffer strategy the causal/stability machinery uses (see
+// causal_buffer.h). The full-vector tracker is the paper-faithful baseline;
+// the hybrid buffer is the PAPERS.md-inspired alternative.
+enum class CausalBufferKind {
+  kFullVector,  // StabilityTracker: throttled matrix-walk pruning
+  kHybrid,      // HybridBuffer: incremental floors + causal-evidence pruning
+};
+
+struct GroupConfig {
+  GroupId group_id = 1;
+
+  // Stability: piggyback the sender's delivered-vector on every data message,
+  // and/or gossip it periodically (Zero disables gossip).
+  bool piggyback_acks = true;
+  sim::Duration ack_gossip_interval = sim::Duration::Millis(50);
+
+  // Footnote-4 causal variant: attach unstable causal predecessors to each
+  // message instead of relying on receiver-side delay alone.
+  bool piggyback_causal = false;
+
+  TotalOrderMode total_order_mode = TotalOrderMode::kSequencer;
+  // Delay before the token is passed on (models token processing).
+  sim::Duration token_pass_delay = sim::Duration::Micros(200);
+
+  // How often (in simulated time) a member recomputes stability and prunes
+  // its retention buffer. Pruning walks the member matrix, so it is
+  // throttled off the per-message path. (Only the full-vector strategy
+  // needs the throttle; the hybrid buffer releases incrementally.)
+  sim::Duration prune_interval = sim::Duration::Millis(25);
+
+  // Retention-buffer strategy for atomic delivery.
+  CausalBufferKind causal_buffer = CausalBufferKind::kFullVector;
+
+  // Membership (off by default; most experiments use static groups).
+  bool enable_membership = false;
+  sim::Duration heartbeat_interval = sim::Duration::Millis(20);
+  sim::Duration failure_timeout = sim::Duration::Millis(100);
+};
+
+struct View {
+  uint64_t id = 1;
+  std::vector<MemberId> members;  // sorted
+};
+
+// What the application sees on delivery. The message itself is the single
+// immutable GroupData shared by every destination (and by the stability
+// buffer) — a delivery adds only the per-receiver facts, so handing a
+// message to N applications never deep-copies its ordering metadata.
+struct Delivery {
+  GroupDataPtr data;
+  uint64_t total_seq = 0;  // assigned group-wide sequence; 0 unless kTotal
+  sim::TimePoint delivered_at;
+  // Time the message spent waiting in this member's delay queue for causal
+  // predecessors (the cost of potential/false causality).
+  sim::Duration causal_delay;
+
+  const MessageId& id() const { return data->id(); }
+  OrderingMode mode() const { return data->mode(); }
+  const net::PayloadPtr& payload() const { return data->app_payload(); }
+  sim::TimePoint sent_at() const { return data->sent_at(); }
+  const VectorClock& vt() const { return data->vt(); }
+};
+
+using DeliveryHandler = std::function<void(const Delivery&)>;
+using ViewHandler = std::function<void(const View&)>;
+
+// Application state transfer for crash-recovery rejoin (see group_member.h
+// for the full contract).
+using StateProvider = std::function<net::PayloadPtr()>;
+using StateApplier = std::function<void(const net::PayloadPtr&)>;
+
+struct GroupStats {
+  uint64_t sent = 0;
+  uint64_t sends_while_stopped = 0;  // dropped: member crashed or not started
+  uint64_t causal_delivered = 0;  // passed the vector-clock condition
+  uint64_t app_delivered = 0;     // handed to the application
+  uint64_t delayed_deliveries = 0;
+  sim::Duration total_causal_delay = sim::Duration::Zero();
+  uint64_t order_msgs_sent = 0;
+  uint64_t ack_msgs_sent = 0;
+  uint64_t token_passes = 0;
+  uint64_t ordering_header_bytes = 0;  // VT + ack headers on data we sent
+  uint64_t piggyback_msgs_carried = 0;
+  uint64_t piggyback_bytes = 0;
+  uint64_t flushes_completed = 0;
+  // Relayed suspicions rejected because we heard the suspect too recently
+  // (the fresh-evidence veto in HandleSuspicion).
+  uint64_t suspicions_vetoed = 0;
+  // Flush rounds a coordinator refused to complete because its survivor set
+  // was not a primary partition of the departing view (strict majority, or
+  // exactly half holding the lowest member id). The minority side wedges
+  // rather than installing a rival view.
+  uint64_t flushes_blocked_no_quorum = 0;
+  uint64_t flush_control_msgs = 0;
+  uint64_t flush_payload_bytes = 0;
+  sim::Duration blocked_time = sim::Duration::Zero();
+  // Messages from a failed sender abandoned at a view change because no
+  // survivor held a copy (atomic-but-not-durable delivery, §2).
+  uint64_t messages_dropped_at_view_change = 0;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_TYPES_H_

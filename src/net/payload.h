@@ -12,8 +12,17 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace net {
+
+// One protocol layer's contribution to a message's header, by name. Framing
+// stays a flat sum of sections, so a pipeline of ordering layers can each
+// own a disjoint slice of the header without knowing about the others.
+struct HeaderSection {
+  const char* layer;
+  size_t bytes;
+};
 
 class Payload {
  public:
@@ -22,6 +31,11 @@ class Payload {
   // Simulated size of the application bytes (excludes protocol headers,
   // which each layer accounts for separately).
   virtual size_t SizeBytes() const = 0;
+
+  // Per-layer header breakdown. Empty for payloads that are pure protocol
+  // control traffic (their whole size is one layer's business) or that carry
+  // no layered headers.
+  virtual std::vector<HeaderSection> HeaderSections() const { return {}; }
 
   // Short human-readable form for traces.
   virtual std::string Describe() const { return "payload"; }

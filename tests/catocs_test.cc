@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/catocs/group.h"
+#include "src/catocs/stability.h"
 #include "src/net/payload.h"
 #include "src/sim/simulator.h"
 

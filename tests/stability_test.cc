@@ -1,0 +1,125 @@
+// Edge cases of the retention-buffer strategies (causal_buffer.h), run
+// against both implementations: the degenerate single-member group, the
+// stability jump when a lagging member is evicted, and the ack "wraparound"
+// hazard on crash-recovery rejoin — a rejoining process must come back under
+// a fresh member id, and stale acks from its dead id must not advance the
+// floor while the fresh id has yet to report.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/catocs/causal_buffer.h"
+#include "src/net/payload.h"
+
+namespace catocs {
+namespace {
+
+GroupDataPtr Msg(MemberId sender, uint64_t seq) {
+  VectorClock vt;
+  vt.Set(sender, seq);
+  return std::make_shared<GroupData>(1, MessageId{sender, seq}, OrderingMode::kCausal,
+                                     std::move(vt), std::make_shared<net::BlobPayload>("t", 64),
+                                     sim::TimePoint::Zero());
+}
+
+class CausalBufferTest : public ::testing::TestWithParam<CausalBufferKind> {
+ protected:
+  CausalBufferTest() : buffer_(MakeCausalBuffer(GetParam())) {}
+  std::unique_ptr<CausalBufferStrategy> buffer_;
+};
+
+TEST_P(CausalBufferTest, FactoryProducesNamedStrategy) {
+  EXPECT_STREQ(GetParam() == CausalBufferKind::kFullVector ? "full-vector" : "hybrid",
+               buffer_->name());
+  EXPECT_STREQ(GetParam() == CausalBufferKind::kFullVector ? "full-vector" : "hybrid",
+               ToString(GetParam()));
+}
+
+TEST_P(CausalBufferTest, SingleMemberGroup) {
+  buffer_->SetMembers({1});
+  buffer_->AddToBuffer(Msg(1, 1));
+  EXPECT_EQ(1u, buffer_->buffered_count());
+  // Even a sole member must report before anything is stable.
+  EXPECT_TRUE(buffer_->StableVector().empty());
+  buffer_->Prune();
+  EXPECT_EQ(1u, buffer_->buffered_count());
+
+  buffer_->UpdateMemberEntry(1, 1, 1);
+  EXPECT_EQ(1u, buffer_->StableVector().Get(1));
+  buffer_->Prune();
+  EXPECT_EQ(0u, buffer_->buffered_count());
+  EXPECT_EQ(0u, buffer_->buffered_bytes());
+  EXPECT_EQ(nullptr, buffer_->Find(MessageId{1, 1}));
+  EXPECT_EQ(1u, buffer_->peak_buffered_count());
+}
+
+TEST_P(CausalBufferTest, StabilityAfterMemberEviction) {
+  buffer_->SetMembers({1, 2, 3});
+  buffer_->AddToBuffer(Msg(1, 1));
+  buffer_->UpdateMemberEntry(1, 1, 1);
+  buffer_->UpdateMemberEntry(2, 1, 1);
+  // Member 3 has reported (an empty ack vector) but delivered nothing, so it
+  // holds the floor at zero.
+  buffer_->UpdateMemberVector(3, VectorClock{});
+  EXPECT_EQ(0u, buffer_->StableVector().Get(1));
+  buffer_->Prune();
+  EXPECT_EQ(1u, buffer_->buffered_count());
+  ASSERT_EQ(1u, buffer_->UnstableMessages().size());
+
+  // Evicting the laggard can only make more messages stable: the floor is
+  // now the minimum over the survivors.
+  buffer_->SetMembers({1, 2});
+  EXPECT_EQ(1u, buffer_->StableVector().Get(1));
+  buffer_->Prune();
+  EXPECT_EQ(0u, buffer_->buffered_count());
+  EXPECT_TRUE(buffer_->UnstableMessages().empty());
+}
+
+TEST_P(CausalBufferTest, AckWraparoundOnRejoinUnderFreshId) {
+  buffer_->SetMembers({1, 2, 3});
+  buffer_->AddToBuffer(Msg(1, 1));
+  buffer_->AddToBuffer(Msg(1, 2));
+  buffer_->UpdateMemberEntry(1, 1, 2);
+  buffer_->UpdateMemberEntry(2, 1, 2);
+  buffer_->UpdateMemberEntry(3, 1, 1);
+  EXPECT_EQ(1u, buffer_->StableVector().Get(1));
+  buffer_->Prune();
+  EXPECT_EQ(1u, buffer_->buffered_count());
+
+  // Member 3 crashes and rejoins under a fresh id (4) — the protocol's rule
+  // for crash recovery, precisely so its old delivery counters cannot be
+  // mistaken for the new incarnation's.
+  buffer_->SetMembers({1, 2, 4});
+  EXPECT_TRUE(buffer_->StableVector().empty());
+
+  // A stale ack from the dead id, claiming everything was delivered, must
+  // not advance the floor: id 3 is no longer a member, and id 4 has not
+  // reported.
+  VectorClock stale;
+  stale.Set(1, 2);
+  buffer_->UpdateMemberVector(3, stale);
+  EXPECT_TRUE(buffer_->StableVector().empty());
+  buffer_->Prune();
+  EXPECT_EQ(1u, buffer_->buffered_count());
+  EXPECT_NE(nullptr, buffer_->Find(MessageId{1, 2}));
+
+  // Only the fresh incarnation's own report completes the member set.
+  VectorClock fresh;
+  fresh.Set(1, 2);
+  buffer_->UpdateMemberVector(4, fresh);
+  EXPECT_EQ(2u, buffer_->StableVector().Get(1));
+  buffer_->Prune();
+  EXPECT_EQ(0u, buffer_->buffered_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, CausalBufferTest,
+                         ::testing::Values(CausalBufferKind::kFullVector,
+                                           CausalBufferKind::kHybrid),
+                         [](const ::testing::TestParamInfo<CausalBufferKind>& info) {
+                           return info.param == CausalBufferKind::kFullVector ? "FullVector"
+                                                                              : "Hybrid";
+                         });
+
+}  // namespace
+}  // namespace catocs
