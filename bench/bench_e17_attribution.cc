@@ -1,0 +1,106 @@
+// E17 — per-layer hold-time attribution on the E16 workload. The same
+// all-to-all causal traffic over the clustered LAN/WAN topology, run with
+// GroupConfig::observability on so every pipeline wait point reports into
+// PipelineStats. The paper's buffering claims (E5/E16) measure *how much* is
+// held; this bench shows *where* and *for how long*: the causal delay queue
+// (happens-before gaps), the FIFO app gate, and the retention buffer
+// (stability lag), per strategy. Observability is record-only — it schedules
+// no simulator events — so the occupancy column reproduces E16's numbers for
+// the same seeds exactly.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/causal_buffer.h"
+#include "src/catocs/group.h"
+#include "src/catocs/pipeline_stats.h"
+
+namespace {
+
+struct Sample {
+  double per_node_mean = 0;
+  catocs::PipelineStats pipeline;
+  std::string metrics_json;
+};
+
+Sample RunOne(uint32_t members, catocs::CausalBufferKind kind) {
+  sim::Simulator s(1000 + members);
+  catocs::FabricConfig cfg;
+  cfg.num_members = members;
+  cfg.group.causal_buffer = kind;
+  cfg.group.observability = true;
+  catocs::GroupFabric fabric(
+      &s, cfg,
+      benchutil::LanWanLatency(8, sim::Duration::Millis(1), sim::Duration::Millis(5),
+                               sim::Duration::Millis(10), sim::Duration::Millis(30)));
+  fabric.StartAll();
+
+  // E16's workload verbatim: one 256-byte causal multicast per member every
+  // 25ms, staggered starts, 1s warmup + 6s sampled at 10ms.
+  benchutil::StaggeredSenders senders(
+      &s, members, sim::Duration::Millis(25),
+      [](uint32_t m) { return sim::Duration::Micros(500 + 400 * m); },
+      [&fabric](uint32_t m) {
+        fabric.member(m).CausalSend(std::make_shared<net::BlobPayload>("t", 256));
+      });
+
+  benchutil::BufferOccupancySampler sampler(&s, &fabric, sim::Duration::Millis(10));
+  s.RunFor(sim::Duration::Seconds(1));
+  sampler.Start();
+  s.RunFor(sim::Duration::Seconds(6));
+  sampler.Stop();
+  senders.StopAll();
+
+  Sample out;
+  out.per_node_mean = sampler.per_node().mean();
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    out.pipeline.Merge(fabric.member(i).pipeline_stats());
+    fabric.member(i).pipeline_stats().ExportTo(s.metrics(), std::to_string(i));
+  }
+  out.metrics_json = s.metrics().ReportJson();
+  return out;
+}
+
+void PrintRow(const char* strategy, uint32_t members, const Sample& sample) {
+  using catocs::HoldReason;
+  const auto& causal = sample.pipeline.reason(HoldReason::kCausalGap);
+  const auto& fifo = sample.pipeline.reason(HoldReason::kFifoGap);
+  const auto& stab = sample.pipeline.reason(HoldReason::kStability);
+  const double total_ms = static_cast<double>(sample.pipeline.TotalHold().nanos()) / 1e6;
+  const double stab_ms = static_cast<double>(stab.total_hold.nanos()) / 1e6;
+  const double stab_frac = total_ms > 0 ? stab_ms / total_ms : 0;
+  benchutil::Row("%-8s %-6u %-10.1f %-11.3f %-11.3f %-11.3f %-10.2f %llu", strategy, members,
+                 sample.per_node_mean, causal.mean_hold_ms(), fifo.mean_hold_ms(),
+                 stab.mean_hold_ms(), stab_frac,
+                 static_cast<unsigned long long>(sample.pipeline.TotalEntered()));
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Header(
+      "E17 — per-layer hold-time attribution (E16 workload, observability on)",
+      "where messages wait: causal delay queue vs fifo gate vs retention buffer, "
+      "mean hold per message and the stability share of total hold time");
+  benchutil::Row("%-8s %-6s %-10s %-11s %-11s %-11s %-10s %s", "strategy", "N", "node_mean",
+                 "causal_ms", "fifo_ms", "stab_ms", "stab_frac", "holds");
+  for (uint32_t members : {4u, 8u, 16u, 32u, 48u, 64u}) {
+    PrintRow("full", members, RunOne(members, catocs::CausalBufferKind::kFullVector));
+    PrintRow("hybrid", members, RunOne(members, catocs::CausalBufferKind::kHybrid));
+  }
+  benchutil::Row("");
+  benchutil::Row("node_mean reproduces E16 per-strategy occupancy (observability adds no");
+  benchutil::Row("events). stab_frac ~1 at scale: retention dominates total hold time; the");
+  benchutil::Row("hybrid buffer's smaller stab_ms is the release-lag gap E16 measures.");
+
+  // Determinism spot check: a same-seed rerun must export byte-identical
+  // metrics JSON (counters, hold totals, occupancy quantiles).
+  const Sample a = RunOne(8, catocs::CausalBufferKind::kHybrid);
+  const Sample b = RunOne(8, catocs::CausalBufferKind::kHybrid);
+  benchutil::Row("json_deterministic=%s (N=8 hybrid rerun, %zu bytes)",
+                 a.metrics_json == b.metrics_json ? "yes" : "NO", a.metrics_json.size());
+  return 0;
+}

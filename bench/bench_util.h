@@ -79,11 +79,25 @@ inline std::unique_ptr<net::LatencyModel> LanWanLatency(uint32_t cluster_size,
 // Steady-state retention-buffer occupancy over a fabric: per-node message
 // counts, the system-wide total, and total buffered bytes, recorded every
 // `interval` once Start()ed (benches start it after a warmup period).
+//
+// Samples land in the simulator's MetricsRegistry under labeled histograms
+// ("buffer_occupancy{scope=...}"), so a bench that also calls ReportJson()
+// gets occupancy for free; the accessors below keep the old direct-member
+// API. A time-anchored gauge tracks the system-wide total between samples —
+// Stop() closes its final interval via Gauge::FinalizeAt so the time-weighted
+// mean covers the whole sampled window (see the Gauge contract in metrics.h).
 class BufferOccupancySampler {
  public:
   BufferOccupancySampler(sim::Simulator* simulator, catocs::GroupFabric* fabric,
                          sim::Duration interval)
-      : interval_(interval), timer_(simulator, interval, [this, fabric] {
+      : simulator_(simulator),
+        interval_(interval),
+        per_node_(simulator->metrics().GetHistogram("buffer_occupancy", {{"scope", "per_node"}})),
+        total_(simulator->metrics().GetHistogram("buffer_occupancy", {{"scope", "total"}})),
+        total_bytes_(
+            simulator->metrics().GetHistogram("buffer_occupancy", {{"scope", "total_bytes"}})),
+        total_gauge_(simulator->metrics().GetGauge("buffer_occupancy_now", {{"scope", "total"}})),
+        timer_(simulator, interval, [this, fabric] {
           double run_total = 0;
           double run_bytes = 0;
           for (size_t i = 0; i < fabric->size(); ++i) {
@@ -94,20 +108,27 @@ class BufferOccupancySampler {
           }
           total_.Record(run_total);
           total_bytes_.Record(run_bytes);
+          total_gauge_.SetAt(static_cast<int64_t>(run_total), simulator_->now());
         }) {}
 
   void Start() { timer_.Start(interval_); }
-  void Stop() { timer_.Stop(); }
+  void Stop() {
+    timer_.Stop();
+    total_gauge_.FinalizeAt(simulator_->now());
+  }
 
   const sim::Histogram& per_node() const { return per_node_; }
   const sim::Histogram& total() const { return total_; }
   const sim::Histogram& total_bytes() const { return total_bytes_; }
+  const sim::Gauge& total_gauge() const { return total_gauge_; }
 
  private:
+  sim::Simulator* simulator_;
   sim::Duration interval_;
-  sim::Histogram per_node_;
-  sim::Histogram total_;
-  sim::Histogram total_bytes_;
+  sim::Histogram& per_node_;
+  sim::Histogram& total_;
+  sim::Histogram& total_bytes_;
+  sim::Gauge& total_gauge_;
   sim::PeriodicTimer timer_;
 };
 

@@ -11,7 +11,16 @@
 //
 // Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
 //                   [--buffer full|hybrid] [--no-verify-replay] [--verbose]
+//                   [--trace]
+//
+// --trace turns on pipeline observability (GroupConfig::observability plus
+// the simulator's span recorder): every run reports per-layer hold counts,
+// and an oracle violation dumps the retained span timeline of the first
+// message named in the violation — where it was stamped, where it waited,
+// who delivered it. Observability is record-only (no simulator events), so
+// tracing never perturbs the run it is diagnosing.
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +28,7 @@
 #include <string>
 
 #include "src/catocs/causal_buffer.h"
+#include "src/catocs/pipeline_stats.h"
 #include "src/fault/chaos_rig.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/injector.h"
@@ -38,6 +48,7 @@ struct RunOptions {
   catocs::CausalBufferKind buffer = catocs::CausalBufferKind::kFullVector;
   bool verify_replay = true;
   bool verbose = false;
+  bool trace = false;
 };
 
 struct RunResult {
@@ -48,7 +59,39 @@ struct RunResult {
   uint64_t rejoins = 0;
   double max_rejoin_ms = 0.0;  // recover start -> view install with new id
   fault::OracleReport report;
+  // --trace only: span/hold totals and, on violation, the offending
+  // message's rendered timeline (built before the simulator is torn down).
+  uint64_t spans_recorded = 0;
+  uint64_t holds_entered = 0;
+  std::string span_dump;
 };
+
+// Finds the first "sender#seq" (MessageId::ToString form) in a violation
+// message so --trace can dump that message's span timeline.
+bool ParseFirstMessageId(const std::string& text, catocs::MessageId* id) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '#') {
+      continue;
+    }
+    size_t begin = i;
+    while (begin > 0 && std::isdigit(static_cast<unsigned char>(text[begin - 1]))) {
+      --begin;
+    }
+    size_t end = i + 1;
+    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    if (begin == i || end == i + 1) {
+      continue;
+    }
+    id->sender =
+        static_cast<catocs::MemberId>(std::strtoull(text.substr(begin, i - begin).c_str(),
+                                                    nullptr, 10));
+    id->seq = std::strtoull(text.substr(i + 1, end - i - 1).c_str(), nullptr, 10);
+    return true;
+  }
+  return false;
+}
 
 fault::FaultPlan PlanForSeed(uint64_t seed, const RunOptions& opt) {
   fault::GeneratorConfig gen_cfg;
@@ -66,6 +109,10 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
   cfg.group.heartbeat_interval = sim::Duration::Millis(20);
   cfg.group.failure_timeout = sim::Duration::Millis(100);
   cfg.group.causal_buffer = opt.buffer;
+  if (opt.trace) {
+    cfg.group.observability = true;
+    s.spans().set_enabled(true);
+  }
   fault::ChaosRig rig(&s, cfg);
   fault::FaultInjector injector(&s, &rig);
 
@@ -95,6 +142,22 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
     }
   }
   result.report = fault::InvariantOracle().Audit(rig);
+  if (opt.trace) {
+    result.spans_recorded = s.spans().total_recorded();
+    result.holds_entered = rig.AggregatePipelineStats().TotalEntered();
+    if (!result.report.ok()) {
+      catocs::MessageId id{0, 0};
+      for (const std::string& violation : result.report.violations) {
+        if (ParseFirstMessageId(violation, &id)) {
+          const auto timeline = s.spans().ForKey(catocs::SpanKey(id), 32);
+          result.span_dump = "trace for " + id.ToString() + " (" +
+                             std::to_string(timeline.size()) + " retained events):\n" +
+                             sim::SpanRecorder::Render(timeline);
+          break;
+        }
+      }
+    }
+  }
   return result;
 }
 
@@ -127,6 +190,8 @@ int main(int argc, char** argv) {
       opt.verify_replay = false;
     } else if (arg == "--verbose") {
       opt.verbose = true;
+    } else if (arg == "--trace") {
+      opt.trace = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -138,6 +203,8 @@ int main(int argc, char** argv) {
   uint64_t total_violations = 0;
   uint64_t total_deliveries = 0;
   uint64_t total_rejoins = 0;
+  uint64_t total_spans = 0;
+  uint64_t total_holds = 0;
   double worst_rejoin_ms = 0.0;
 
   std::printf("fuzz_chaos: %" PRIu64 " seeds [%" PRIu64 "..%" PRIu64
@@ -155,6 +222,8 @@ int main(int argc, char** argv) {
     if (result.max_rejoin_ms > worst_rejoin_ms) {
       worst_rejoin_ms = result.max_rejoin_ms;
     }
+    total_spans += result.spans_recorded;
+    total_holds += result.holds_entered;
 
     if (opt.verify_replay) {
       const RunResult replay = RunOneSeed(seed, opt);
@@ -169,6 +238,10 @@ int main(int argc, char** argv) {
     if (!result.report.ok()) {
       std::printf("seed %" PRIu64 ": %s\n", seed, result.report.Summary().c_str());
       std::printf("seed %" PRIu64 ": %s\n", seed, PlanForSeed(seed, opt).Describe().c_str());
+      // Dump from the first run only; the replay-verify pass would repeat it.
+      if (!result.span_dump.empty()) {
+        std::printf("seed %" PRIu64 ": %s", seed, result.span_dump.c_str());
+      }
     } else if (opt.verbose) {
       std::printf("seed %" PRIu64 ": ok hash=%016" PRIx64 " faults=%" PRIu64
                   " deliveries=%" PRIu64 " views=%" PRIu64 " rejoins=%" PRIu64
@@ -187,5 +260,10 @@ int main(int argc, char** argv) {
               " deliveries audited, %" PRIu64 " rejoins (worst %.1fms)\n",
               opt.seeds - failed_seeds, opt.seeds, total_violations, replay_mismatches,
               total_deliveries, total_rejoins, worst_rejoin_ms);
+  if (opt.trace) {
+    // Deterministic across same-seed invocations: pure function of the runs.
+    std::printf("fuzz_chaos: trace spans=%" PRIu64 " holds=%" PRIu64 "\n", total_spans,
+                total_holds);
+  }
   return failed_seeds == 0 ? 0 : 1;
 }

@@ -21,3 +21,25 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # Chaos smoke under the sanitized binaries: a reduced seed sweep keeps the
 # gate fast while still exercising crash/rejoin/state-transfer under ASan.
 BUILD_DIR="${BUILD_DIR}" SEEDS="${CHAOS_SEEDS:-10}" ./scripts/chaos.sh
+
+# Observability smoke: the traced fuzzer must stay deterministic — two
+# identical --trace invocations produce byte-identical output (span and hold
+# totals included) — and the reduced sweep must come back clean.
+TRACE_SEEDS="${TRACE_SEEDS:-5}"
+trace_a=$("${BUILD_DIR}/bench/fuzz_chaos" --seeds "${TRACE_SEEDS}" --trace)
+trace_b=$("${BUILD_DIR}/bench/fuzz_chaos" --seeds "${TRACE_SEEDS}" --trace)
+if [[ "${trace_a}" != "${trace_b}" ]]; then
+  echo "check.sh: fuzz_chaos --trace output diverged between identical runs" >&2
+  diff <(printf '%s\n' "${trace_a}") <(printf '%s\n' "${trace_b}") >&2 || true
+  exit 1
+fi
+if ! grep -q "trace spans=" <<<"${trace_a}"; then
+  echo "check.sh: fuzz_chaos --trace did not report span totals" >&2
+  exit 1
+fi
+if ! grep -q "${TRACE_SEEDS}/${TRACE_SEEDS} seeds clean" <<<"${trace_a}"; then
+  echo "check.sh: fuzz_chaos --trace sweep reported failures" >&2
+  printf '%s\n' "${trace_a}" >&2
+  exit 1
+fi
+echo "check.sh: fuzz_chaos --trace deterministic over ${TRACE_SEEDS} seeds"

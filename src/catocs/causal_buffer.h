@@ -16,7 +16,9 @@
 #define REPRO_SRC_CATOCS_CAUSAL_BUFFER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/catocs/message.h"
@@ -72,6 +74,23 @@ class CausalBufferStrategy {
   virtual size_t buffered_bytes() const = 0;
   virtual size_t peak_buffered_count() const = 0;
   virtual size_t peak_buffered_bytes() const = 0;
+
+  // Observability hook: called for every buffered copy the strategy releases
+  // as stable (not for view-change resets). Unset by default so the release
+  // paths stay branch-cheap; the stability layer installs one only when the
+  // group runs with observability on.
+  using ReleaseObserver = std::function<void(const GroupDataPtr&)>;
+  void SetReleaseObserver(ReleaseObserver observer) { release_observer_ = std::move(observer); }
+
+ protected:
+  void NotifyRelease(const GroupDataPtr& msg) {
+    if (release_observer_) {
+      release_observer_(msg);
+    }
+  }
+
+ private:
+  ReleaseObserver release_observer_;
 };
 
 const char* ToString(CausalBufferKind kind);

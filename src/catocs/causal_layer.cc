@@ -14,6 +14,7 @@ void CausalLayer::OnSend(GroupData& data) {
   VectorClock vt = vd_;
   vt.Set(core_->self, data.id().seq);
   data.set_vt(std::move(vt));
+  core_->RecordSpan(data.id(), sim::SpanEvent::kStamp, name());
 }
 
 bool CausalLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadPtr& payload) {
@@ -53,6 +54,11 @@ void CausalLayer::Ingest(const GroupDataPtr& data) {
   if (!pending_ids_.insert(data->id()).second) {
     return;
   }
+  if (core_->observing()) {
+    core_->pipeline_stats.RecordEnter(HoldReason::kCausalGap);
+    core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(),
+                      CausallyDeliverable(*data) ? "" : ToString(HoldReason::kCausalGap));
+  }
   pending_.push_back(PendingMessage{data, core_->simulator->now()});
   TryDeliverPending();
 }
@@ -90,6 +96,10 @@ void CausalLayer::CausalDeliver(const PendingMessage& pending) {
     ++core_->stats.delayed_deliveries;
     core_->stats.total_causal_delay += causal_delay;
   }
+  if (core_->observing()) {
+    core_->pipeline_stats.RecordRelease(HoldReason::kCausalGap, causal_delay);
+    core_->RecordSpan(data->id(), sim::SpanEvent::kDeliver, name());
+  }
 
   // Protocol order, preserved from the monolith: retain for atomic delivery,
   // note our own progress, give the total-order layer its sequencing shot,
@@ -108,6 +118,12 @@ void CausalLayer::DropFailedSenderBacklog(const ViewInstall& install) {
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->data->id().sender == sender && it->data->id().seq > cut) {
         ++core_->stats.messages_dropped_at_view_change;
+        if (core_->observing()) {
+          core_->pipeline_stats.RecordRelease(HoldReason::kCausalGap,
+                                              core_->simulator->now() - it->arrived_at);
+          core_->RecordSpan(it->data->id(), sim::SpanEvent::kDrop, name(),
+                            "failed-sender-backlog");
+        }
         pending_ids_.erase(it->data->id());
         it = pending_.erase(it);
       } else {

@@ -8,7 +8,19 @@
 namespace catocs {
 
 void FifoLayer::Enqueue(const GroupDataPtr& data, sim::Duration causal_delay) {
-  app_pending_.push_back(AppPending{data, causal_delay});
+  AppPending entry{data, causal_delay, core_->simulator->now(), HoldReason::kFifoGap};
+  if (core_->observing()) {
+    // Attribute the coming wait to whichever condition blocks *now*: the
+    // app-level causal gate, or (for kTotal, once that gate clears) the
+    // message's global sequence turn.
+    if (DominatesIgnoring(ad_, data->vt(), data->id().sender) &&
+        data->mode() == OrderingMode::kTotal && !core_->total->IsNextToDeliver(data->id())) {
+      entry.gate = HoldReason::kTotalTurn;
+    }
+    core_->pipeline_stats.RecordEnter(entry.gate);
+    core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(), ToString(entry.gate));
+  }
+  app_pending_.push_back(std::move(entry));
   TryDeliverApp();
 }
 
@@ -38,6 +50,11 @@ void FifoLayer::TryDeliverApp() {
       }
       AppPending entry = std::move(*it);
       app_pending_.erase(it);
+      if (core_->observing()) {
+        core_->pipeline_stats.RecordRelease(entry.gate,
+                                            core_->simulator->now() - entry.entered_at);
+        core_->RecordSpan(entry.data->id(), sim::SpanEvent::kDeliver, name());
+      }
       ad_.RaiseTo(sender, entry.data->id().seq);
       uint64_t total_seq = 0;
       if (entry.data->mode() == OrderingMode::kTotal) {

@@ -41,6 +41,10 @@ class FifoLayer : public OrderingLayer {
   struct AppPending {
     GroupDataPtr data;
     sim::Duration causal_delay;
+    // Observability bookkeeping (meaningful only when recorded): when the
+    // message entered the gate and which condition was blocking it then.
+    sim::TimePoint entered_at;
+    HoldReason gate = HoldReason::kFifoGap;
   };
   // Causally delivered messages not yet handed to the app, in causal
   // delivery order (the membership and total-order layers walk this for

@@ -112,6 +112,7 @@ void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
   MessageId id{core_.self, seq};
   auto data = std::make_shared<GroupData>(core_.config.group_id, id, mode, VectorClock{},
                                           std::move(payload), core_.simulator->now());
+  core_.RecordSpan(id, sim::SpanEvent::kSend, "member", ToString(mode));
   // Each layer stamps its own header section (vector timestamp, then
   // acks/piggyback) before the message is shared with anyone.
   pipeline_.OnSend(*data);

@@ -100,6 +100,8 @@ class GroupMember {
   MemberId self() const { return core_.self; }
   const View& view() const { return core_.view; }
   const GroupStats& stats() const { return core_.stats; }
+  // Per-layer hold attribution; all-zero unless GroupConfig::observability.
+  const PipelineStats& pipeline_stats() const { return core_.pipeline_stats; }
   bool flush_in_progress() const;
   size_t delay_queue_length() const;
   size_t buffered_messages() const;

@@ -128,6 +128,7 @@ void HybridBuffer::ReleaseStable(MemberId sender, uint64_t floor) {
   auto it = buffer_.lower_bound(MessageId{sender, 0});
   while (it != buffer_.end() && it->first.sender == sender && it->first.seq <= floor) {
     buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
+    NotifyRelease(it->second);
     it = buffer_.erase(it);
   }
 }
@@ -139,6 +140,7 @@ void HybridBuffer::ReleaseAllStable() {
   for (auto it = buffer_.begin(); it != buffer_.end();) {
     if (it->first.seq <= floor_.Get(it->first.sender)) {
       buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
+      NotifyRelease(it->second);
       it = buffer_.erase(it);
     } else {
       ++it;

@@ -21,6 +21,7 @@
 #include <cassert>
 
 #include "src/catocs/message.h"
+#include "src/catocs/pipeline_stats.h"
 #include "src/catocs/types.h"
 #include "src/net/transport.h"
 #include "src/sim/simulator.h"
@@ -71,6 +72,24 @@ struct GroupCore {
   StabilityLayer* stability = nullptr;
   MembershipLayer* membership = nullptr;
   TotalOrderLayer* total = nullptr;
+
+  // Per-layer hold-time attribution, populated only under
+  // config.observability (see pipeline_stats.h).
+  PipelineStats pipeline_stats;
+
+  bool observing() const { return config.observability; }
+
+  // Span emission helper: no-op unless observability is on AND the
+  // simulator's span recorder is enabled, so layers can call this
+  // unconditionally on instrumented paths.
+  void RecordSpan(const MessageId& id, sim::SpanEvent event, const char* layer,
+                  std::string note = {}) {
+    if (!config.observability) {
+      return;
+    }
+    simulator->spans().Record(SpanKey(id), self, simulator->now(), event, layer,
+                              std::move(note));
+  }
 
   bool IsSequencer() const { return self == Sequencer(); }
   MemberId Sequencer() const {

@@ -94,7 +94,10 @@ void MembershipLayer::ReportFailure(MemberId suspect) {
 }
 
 void MembershipLayer::QueueBlockedSend(OrderingMode mode, net::PayloadPtr payload) {
-  blocked_sends_.emplace_back(mode, std::move(payload));
+  if (core_->observing()) {
+    core_->pipeline_stats.RecordEnter(HoldReason::kFlushBlocked);
+  }
+  blocked_sends_.push_back(BlockedSend{mode, std::move(payload), core_->simulator->now()});
 }
 
 void MembershipLayer::OnJoinRequest(const JoinRequest& request) {
@@ -488,9 +491,13 @@ void MembershipLayer::OnViewInstall(const ViewInstall& install) {
 
 void MembershipLayer::FinishBlockedSends() {
   while (!blocked_sends_.empty() && !flushing_) {
-    auto [mode, payload] = std::move(blocked_sends_.front());
+    BlockedSend blocked = std::move(blocked_sends_.front());
     blocked_sends_.pop_front();
-    core_->member->Send(mode, std::move(payload));
+    if (core_->observing()) {
+      core_->pipeline_stats.RecordRelease(HoldReason::kFlushBlocked,
+                                          core_->simulator->now() - blocked.queued_at);
+    }
+    core_->member->Send(blocked.mode, std::move(blocked.payload));
   }
 }
 

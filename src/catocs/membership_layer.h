@@ -66,7 +66,12 @@ class MembershipLayer : public OrderingLayer {
   std::map<MemberId, FlushState> flush_states_;  // coordinator only
   std::set<MemberId> pending_joiners_;           // coordinator only
   bool joining_ = false;                         // joiner side
-  std::deque<std::pair<OrderingMode, net::PayloadPtr>> blocked_sends_;
+  struct BlockedSend {
+    OrderingMode mode;
+    net::PayloadPtr payload;
+    sim::TimePoint queued_at;  // hold attribution under observability
+  };
+  std::deque<BlockedSend> blocked_sends_;
 };
 
 }  // namespace catocs

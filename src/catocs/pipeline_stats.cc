@@ -1,0 +1,123 @@
+#include "src/catocs/pipeline_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace catocs {
+
+const char* ToString(HoldReason reason) {
+  switch (reason) {
+    case HoldReason::kCausalGap:
+      return "causal-gap";
+    case HoldReason::kFifoGap:
+      return "fifo-gap";
+    case HoldReason::kTotalTurn:
+      return "total-turn";
+    case HoldReason::kOrderAssign:
+      return "order-assign";
+    case HoldReason::kStability:
+      return "stability";
+    case HoldReason::kFlushBlocked:
+      return "flush-blocked";
+  }
+  return "?";
+}
+
+const char* LayerOf(HoldReason reason) {
+  switch (reason) {
+    case HoldReason::kCausalGap:
+      return "causal";
+    case HoldReason::kFifoGap:
+    case HoldReason::kTotalTurn:
+      return "fifo";
+    case HoldReason::kOrderAssign:
+      return "total-order";
+    case HoldReason::kStability:
+      return "stability";
+    case HoldReason::kFlushBlocked:
+      return "membership";
+  }
+  return "?";
+}
+
+void PipelineStats::RecordRelease(HoldReason r, sim::Duration hold) {
+  HoldStat& stat = reason(r);
+  ++stat.released;
+  if (hold > sim::Duration::Zero()) {
+    ++stat.held;
+    stat.total_hold += hold;
+    stat.max_hold = std::max(stat.max_hold, hold);
+  }
+}
+
+void PipelineStats::Merge(const PipelineStats& other) {
+  for (size_t i = 0; i < kNumHoldReasons; ++i) {
+    HoldStat& mine = by_reason[i];
+    const HoldStat& theirs = other.by_reason[i];
+    mine.entered += theirs.entered;
+    mine.released += theirs.released;
+    mine.held += theirs.held;
+    mine.total_hold += theirs.total_hold;
+    mine.max_hold = std::max(mine.max_hold, theirs.max_hold);
+  }
+}
+
+uint64_t PipelineStats::TotalEntered() const {
+  uint64_t total = 0;
+  for (const auto& stat : by_reason) {
+    total += stat.entered;
+  }
+  return total;
+}
+
+uint64_t PipelineStats::TotalReleased() const {
+  uint64_t total = 0;
+  for (const auto& stat : by_reason) {
+    total += stat.released;
+  }
+  return total;
+}
+
+sim::Duration PipelineStats::TotalHold() const {
+  sim::Duration total = sim::Duration::Zero();
+  for (const auto& stat : by_reason) {
+    total += stat.total_hold;
+  }
+  return total;
+}
+
+void PipelineStats::ExportTo(sim::MetricsRegistry& registry, const std::string& node) const {
+  for (size_t i = 0; i < kNumHoldReasons; ++i) {
+    const auto r = static_cast<HoldReason>(i);
+    const HoldStat& stat = by_reason[i];
+    if (stat.entered == 0) {
+      continue;
+    }
+    const sim::MetricsRegistry::Labels labels{
+        {"node", node}, {"layer", LayerOf(r)}, {"reason", ToString(r)}};
+    registry.GetCounter("pipeline_entered", labels).Add(static_cast<int64_t>(stat.entered));
+    registry.GetCounter("pipeline_released", labels).Add(static_cast<int64_t>(stat.released));
+    registry.GetCounter("pipeline_held", labels).Add(static_cast<int64_t>(stat.held));
+    registry.GetCounter("pipeline_hold_us", labels)
+        .Add(stat.total_hold.nanos() / 1000);
+    sim::Gauge& max_us = registry.GetGauge("pipeline_max_hold_us", labels);
+    max_us.Set(std::max(max_us.value(), stat.max_hold.nanos() / 1000));
+  }
+}
+
+std::string PipelineStats::Summary() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < kNumHoldReasons; ++i) {
+    const auto r = static_cast<HoldReason>(i);
+    const HoldStat& stat = by_reason[i];
+    if (stat.entered == 0) {
+      continue;
+    }
+    out << LayerOf(r) << "/" << ToString(r) << ": entered=" << stat.entered
+        << " released=" << stat.released << " held=" << stat.held
+        << " total=" << stat.total_hold.ToString() << " max=" << stat.max_hold.ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace catocs

@@ -69,6 +69,7 @@ void StabilityTracker::Prune() {
   for (auto it = buffer_.begin(); it != buffer_.end();) {
     if (it->first.seq <= stable.Get(it->first.sender)) {
       buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
+      NotifyRelease(it->second);
       it = buffer_.erase(it);
     } else {
       ++it;

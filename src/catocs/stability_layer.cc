@@ -12,6 +12,9 @@ StabilityLayer::StabilityLayer(GroupCore* core)
     : OrderingLayer(core), strategy_(MakeCausalBuffer(core->config.causal_buffer)) {
   core->stability = this;
   strategy_->SetMembers(core->view.members);
+  if (core->config.observability) {
+    strategy_->SetReleaseObserver([this](const GroupDataPtr& msg) { OnBufferRelease(msg); });
+  }
 }
 
 void StabilityLayer::OnStart() {
@@ -63,6 +66,11 @@ void StabilityLayer::OnViewChange(const View& view) {
 }
 
 void StabilityLayer::OnCausalDeliver(const GroupDataPtr& data) {
+  if (core_->observing() && buffered_since_.emplace(data->id(), core_->simulator->now()).second) {
+    core_->pipeline_stats.RecordEnter(HoldReason::kStability);
+    core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(),
+                      ToString(HoldReason::kStability));
+  }
   // Retain for atomic delivery until stable (without any piggybacked
   // predecessors, which are buffered in their own right).
   strategy_->AddToBuffer(StripPiggyback(data));
@@ -83,6 +91,20 @@ void StabilityLayer::MaybePrune() {
     last_prune_ = core_->simulator->now();
     strategy_->Prune();
   }
+}
+
+void StabilityLayer::OnBufferRelease(const GroupDataPtr& msg) {
+  auto it = buffered_since_.find(msg->id());
+  if (it == buffered_since_.end()) {
+    // A copy we retained without causally delivering it ourselves (e.g.
+    // flush redistribution of another member's unstable backlog): released
+    // silently, since we never charged its entry.
+    return;
+  }
+  core_->pipeline_stats.RecordRelease(HoldReason::kStability,
+                                      core_->simulator->now() - it->second);
+  core_->RecordSpan(msg->id(), sim::SpanEvent::kStable, name());
+  buffered_since_.erase(it);
 }
 
 void StabilityLayer::GossipAcks() {

@@ -8,6 +8,7 @@
 #ifndef REPRO_SRC_CATOCS_STABILITY_LAYER_H_
 #define REPRO_SRC_CATOCS_STABILITY_LAYER_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -50,10 +51,15 @@ class StabilityLayer : public OrderingLayer {
  private:
   void MaybePrune();
   void GossipAcks();
+  // Observability: a buffered copy became stable and left the strategy.
+  void OnBufferRelease(const GroupDataPtr& msg);
 
   std::unique_ptr<CausalBufferStrategy> strategy_;
   sim::TimePoint last_prune_ = sim::TimePoint::Zero();
   std::unique_ptr<sim::PeriodicTimer> gossip_timer_;
+  // When each retained copy entered the buffer; maintained only under
+  // observability (empty otherwise).
+  std::map<MessageId, sim::TimePoint> buffered_since_;
 };
 
 }  // namespace catocs

@@ -55,6 +55,13 @@ struct GroupConfig {
   // Retention-buffer strategy for atomic delivery.
   CausalBufferKind causal_buffer = CausalBufferKind::kFullVector;
 
+  // Pipeline observability: when set, each ordering layer reports
+  // enter/exit + hold-reason into the member's PipelineStats and emits
+  // per-message lifecycle spans into the simulator's SpanRecorder (if that
+  // recorder is itself enabled). Off by default so the per-message fast path
+  // and every bench's stdout stay byte-identical.
+  bool observability = false;
+
   // Membership (off by default; most experiments use static groups).
   bool enable_membership = false;
   sim::Duration heartbeat_interval = sim::Duration::Millis(20);

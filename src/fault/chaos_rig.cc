@@ -219,4 +219,14 @@ uint64_t ChaosRig::TraceHash() const {
   return hash;
 }
 
+catocs::PipelineStats ChaosRig::AggregatePipelineStats() const {
+  catocs::PipelineStats merged;
+  for (const Slot& slot : slots_) {
+    for (const auto& inc : slot.incarnations) {
+      merged.Merge(inc->member->pipeline_stats());
+    }
+  }
+  return merged;
+}
+
 }  // namespace fault

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/catocs/group_member.h"
+#include "src/catocs/pipeline_stats.h"
 #include "src/net/network.h"
 #include "src/net/transport.h"
 #include "src/sim/simulator.h"
@@ -110,6 +111,11 @@ class ChaosRig {
   // FNV-1a fingerprint over every delivery, view install, and recovery, in
   // observation order — byte-identical across replays of the same seed.
   uint64_t TraceHash() const;
+
+  // Per-layer hold attribution merged across every incarnation that ever ran
+  // (crashed members keep their stats). All-zero unless the rig was built
+  // with config.group.observability set.
+  catocs::PipelineStats AggregatePipelineStats() const;
 
  private:
   struct Incarnation {

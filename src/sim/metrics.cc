@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 namespace sim {
@@ -19,6 +19,20 @@ void Gauge::Observe(double weight) {
   total_weight_ += weight;
 }
 
+void Gauge::SetAt(int64_t v, TimePoint now) {
+  FinalizeAt(now);
+  timed_ = true;
+  last_at_ = now;
+  Set(v);
+}
+
+void Gauge::FinalizeAt(TimePoint now) {
+  if (timed_ && now > last_at_) {
+    Observe((now - last_at_).seconds());
+    last_at_ = now;
+  }
+}
+
 double Gauge::weighted_mean() const {
   return total_weight_ > 0.0 ? weighted_sum_ / total_weight_ : 0.0;
 }
@@ -28,6 +42,8 @@ void Gauge::Reset() {
   peak_ = 0;
   weighted_sum_ = 0.0;
   total_weight_ = 0.0;
+  last_at_ = TimePoint();
+  timed_ = false;
 }
 
 void Histogram::Record(double v) {
@@ -40,7 +56,12 @@ void Histogram::Record(double v) {
   }
   ++count_;
   sum_ += v;
-  sum_sq_ += v * v;
+  // Welford's online recurrence: numerically stable for any mean/variance
+  // ratio, unlike sum_sq - sum^2/n.
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+  sorted_valid_ = false;
   if (samples_.size() < kMaxSamples) {
     samples_.push_back(v);
   } else {
@@ -62,32 +83,56 @@ double Histogram::Quantile(double q) const {
   if (samples_.empty()) {
     return 0.0;
   }
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
   q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
 double Histogram::stddev() const {
   if (count_ < 2) {
     return 0.0;
   }
-  const double n = static_cast<double>(count_);
-  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
-  return var > 0.0 ? std::sqrt(var) : 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
 }
 
 void Histogram::Reset() {
   count_ = 0;
   sum_ = 0.0;
-  sum_sq_ = 0.0;
+  mean_ = 0.0;
+  m2_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
   samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+std::string MetricsRegistry::LabeledName(const std::string& name, const Labels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -130,25 +175,100 @@ const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
 }
 
 std::string MetricsRegistry::Report() const {
+  // Stream formatting: names longer than the 48-column pad (labeled names
+  // routinely are) print in full instead of being truncated by a fixed
+  // buffer; short names keep the historical aligned layout.
   std::ostringstream out;
-  char buf[256];
+  out << std::fixed << std::setprecision(3);
   for (const auto& [name, c] : counters_) {
-    std::snprintf(buf, sizeof(buf), "counter %-48s %lld\n", name.c_str(),
-                  static_cast<long long>(c->value()));
-    out << buf;
+    out << "counter " << std::left << std::setw(48) << name << ' ' << c->value() << '\n';
   }
   for (const auto& [name, g] : gauges_) {
-    std::snprintf(buf, sizeof(buf), "gauge   %-48s value=%lld peak=%lld\n", name.c_str(),
-                  static_cast<long long>(g->value()), static_cast<long long>(g->peak()));
-    out << buf;
+    out << "gauge   " << std::left << std::setw(48) << name << " value=" << g->value()
+        << " peak=" << g->peak() << '\n';
   }
   for (const auto& [name, h] : histograms_) {
-    std::snprintf(buf, sizeof(buf),
-                  "hist    %-48s n=%lld mean=%.3f p50=%.3f p99=%.3f max=%.3f\n", name.c_str(),
-                  static_cast<long long>(h->count()), h->mean(), h->Quantile(0.5),
-                  h->Quantile(0.99), h->max());
-    out << buf;
+    out << "hist    " << std::left << std::setw(48) << name << " n=" << h->count()
+        << " mean=" << h->mean() << " p50=" << h->Quantile(0.5) << " p99=" << h->Quantile(0.99)
+        << " max=" << h->max() << '\n';
   }
+  return out.str();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+  out << '"';
+}
+
+void AppendJsonDouble(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream num;
+  num << std::setprecision(12) << v;
+  out << num.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ReportJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out << ':' << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out << ":{\"value\":" << g->value() << ",\"peak\":" << g->peak() << ",\"weighted_mean\":";
+    AppendJsonDouble(out, g->weighted_mean());
+    out << '}';
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out << ":{\"count\":" << h->count() << ",\"mean\":";
+    AppendJsonDouble(out, h->mean());
+    out << ",\"stddev\":";
+    AppendJsonDouble(out, h->stddev());
+    out << ",\"min\":";
+    AppendJsonDouble(out, h->min());
+    out << ",\"p50\":";
+    AppendJsonDouble(out, h->Quantile(0.5));
+    out << ",\"p90\":";
+    AppendJsonDouble(out, h->Quantile(0.9));
+    out << ",\"p99\":";
+    AppendJsonDouble(out, h->Quantile(0.99));
+    out << ",\"max\":";
+    AppendJsonDouble(out, h->max());
+    out << '}';
+  }
+  out << "}}";
   return out.str();
 }
 

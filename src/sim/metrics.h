@@ -1,6 +1,8 @@
 // Lightweight metrics for simulations: counters, gauges (with peak
 // tracking), and value histograms with exact quantiles. A Registry owns
-// metrics by name so benches and tests can look results up after a run.
+// metrics by name so benches and tests can look results up after a run;
+// labeled lookups ("name{k=v,...}") give one logical metric per label
+// combination, and ReportJson() exports everything deterministically.
 
 #ifndef REPRO_SRC_SIM_METRICS_H_
 #define REPRO_SRC_SIM_METRICS_H_
@@ -9,7 +11,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/sim/time.h"
 
 namespace sim {
 
@@ -24,14 +29,35 @@ class Counter {
 };
 
 // A level that moves up and down (e.g. buffer occupancy); remembers its peak.
+//
+// Time-weighted mean contract: weighted_mean() averages the gauge's value
+// over the observation weights fed to it. With the raw Observe(weight) API
+// the caller must close each interval itself — including the final one —
+// before reading the mean. The timed API does this bookkeeping: call
+// SetAt(v, now) for every level change and FinalizeAt(now) once after the
+// last change; forgetting FinalizeAt silently drops the entire tail interval
+// (everything after the last change), which under-reports whenever the gauge
+// ends on a long-lived level.
 class Gauge {
  public:
   void Set(int64_t v);
   void Add(int64_t delta) { Set(value_ + delta); }
   int64_t value() const { return value_; }
   int64_t peak() const { return peak_; }
-  // Time-weighted mean requires the caller to feed observation points.
+
+  // Raw observation points: accumulates value*weight. The caller owns all
+  // interval bookkeeping (see the class comment).
   void Observe(double weight);
+
+  // Timed observation: closes the interval since the previous SetAt (or
+  // FinalizeAt) at the old value, then sets the new one. Weights are
+  // simulated seconds.
+  void SetAt(int64_t v, TimePoint now);
+  // Closes the trailing interval up to `now`. Required before reading
+  // weighted_mean() when using SetAt; safe to call repeatedly (subsequent
+  // calls extend the tail at the current value).
+  void FinalizeAt(TimePoint now);
+
   double weighted_mean() const;
   void Reset();
 
@@ -40,10 +66,15 @@ class Gauge {
   int64_t peak_ = 0;
   double weighted_sum_ = 0.0;
   double total_weight_ = 0.0;
+  TimePoint last_at_;
+  bool timed_ = false;  // SetAt/FinalizeAt seen; last_at_ is valid
 };
 
 // Stores samples exactly (doubles). Quantiles are exact; memory is bounded by
 // reservoir sampling past `kMaxSamples`, while count/sum/min/max stay exact.
+// Variance uses Welford's online recurrence, which stays accurate even for
+// large-mean/low-variance series (e.g. nanosecond timestamps) where the
+// textbook sum-of-squares formula catastrophically cancels.
 class Histogram {
  public:
   void Record(double v);
@@ -52,7 +83,9 @@ class Histogram {
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
-  // q in [0, 1]. Exact over retained samples.
+  // q in [0, 1]. Exact over retained samples. The sorted view is cached and
+  // invalidated by Record, so bursts of quantile reads (each Report() line
+  // asks for several) sort at most once.
   double Quantile(double q) const;
   double stddev() const;
   void Reset();
@@ -62,26 +95,51 @@ class Histogram {
 
   int64_t count_ = 0;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;    // Welford sum of squared deviations
   double min_ = 0.0;
   double max_ = 0.0;
   std::vector<double> samples_;
   uint64_t reservoir_state_ = 0x9e3779b97f4a7c15ULL;
+  mutable std::vector<double> sorted_;  // cached sorted view of samples_
+  mutable bool sorted_valid_ = false;
 };
 
 class MetricsRegistry {
  public:
+  // Label set for one metric instance, e.g. {{"layer","causal"}}.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  // Canonical labeled name: "name{k1=v1,k2=v2}" with keys sorted, so the
+  // same label set always resolves to the same metric.
+  static std::string LabeledName(const std::string& name, const Labels& labels);
+
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name, const Labels& labels) {
+    return GetCounter(LabeledName(name, labels));
+  }
+  Gauge& GetGauge(const std::string& name, const Labels& labels) {
+    return GetGauge(LabeledName(name, labels));
+  }
+  Histogram& GetHistogram(const std::string& name, const Labels& labels) {
+    return GetHistogram(LabeledName(name, labels));
+  }
 
   // Lookup without creating; nullptr if absent.
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
 
-  // Multi-line human-readable dump, sorted by name.
+  // Multi-line human-readable dump, sorted by name. Names of any length are
+  // rendered in full (short ones padded to a fixed column).
   std::string Report() const;
+
+  // Deterministic JSON export: objects keyed by metric name, keys in sorted
+  // order, fixed float formatting — two identical runs produce identical
+  // strings.
+  std::string ReportJson() const;
 
   void Reset();
 

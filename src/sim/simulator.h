@@ -14,6 +14,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sim/rng.h"
+#include "src/sim/span.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
 
@@ -31,6 +32,8 @@ class Simulator {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   Trace& trace() { return trace_; }
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
 
   EventId ScheduleAt(TimePoint when, EventFn fn);
   EventId ScheduleAfter(Duration delay, EventFn fn);
@@ -62,6 +65,7 @@ class Simulator {
   Rng rng_;
   MetricsRegistry metrics_;
   Trace trace_;
+  SpanRecorder spans_;
   uint64_t events_executed_ = 0;
   uint64_t event_limit_ = 0;
   bool stop_requested_ = false;

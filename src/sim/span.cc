@@ -1,0 +1,84 @@
+#include "src/sim/span.h"
+
+#include <sstream>
+#include <utility>
+
+namespace sim {
+
+const char* ToString(SpanEvent event) {
+  switch (event) {
+    case SpanEvent::kSend:
+      return "send";
+    case SpanEvent::kStamp:
+      return "stamp";
+    case SpanEvent::kEnter:
+      return "enter";
+    case SpanEvent::kDeliver:
+      return "deliver";
+    case SpanEvent::kStable:
+      return "stable";
+    case SpanEvent::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+std::string SpanRecord::ToString() const {
+  std::ostringstream out;
+  out << when.ToString() << " [" << actor << "] " << sim::ToString(event) << " layer=" << layer;
+  if (!note.empty()) {
+    out << " (" << note << ")";
+  }
+  return out.str();
+}
+
+void SpanRecorder::set_capacity(size_t capacity) {
+  capacity_ = capacity > 0 ? capacity : 1;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+  }
+}
+
+void SpanRecorder::Record(uint64_t key, uint32_t actor, TimePoint when, SpanEvent event,
+                          const char* layer, std::string note) {
+  if (!enabled_) {
+    return;
+  }
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+  }
+  records_.push_back(SpanRecord{key, actor, when, event, layer, std::move(note)});
+  ++total_recorded_;
+}
+
+std::vector<SpanRecord> SpanRecorder::ForKey(uint64_t key, size_t max_events) const {
+  std::vector<SpanRecord> out;
+  for (const auto& record : records_) {
+    if (record.key == key) {
+      out.push_back(record);
+    }
+  }
+  if (out.size() > max_events) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return out;
+}
+
+std::string SpanRecorder::Render(const std::vector<SpanRecord>& records) {
+  std::ostringstream out;
+  for (const auto& record : records) {
+    out << record.ToString() << "\n";
+  }
+  return out.str();
+}
+
+std::string SpanRecorder::ToString() const {
+  return Render(std::vector<SpanRecord>(records_.begin(), records_.end()));
+}
+
+void SpanRecorder::Clear() {
+  records_.clear();
+  total_recorded_ = 0;
+}
+
+}  // namespace sim
