@@ -12,6 +12,9 @@
 #include "src/catocs/group.h"
 #include "src/catocs/stability.h"
 #include "src/catocs/vector_clock.h"
+#include "src/catocs/wire_codec.h"
+#include "src/mem/arena.h"
+#include "src/mem/pool.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/statelevel/ordered_cache.h"
@@ -77,9 +80,28 @@ void BM_VectorClockDominates(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorClockDominates)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
-// The per-message receive-path gate: vt[sender] == vd[sender]+1 and
-// vt[m] <= vd[m] elsewhere, fused into one scan.
+// The per-message receive-path gate, as the raw-speed layer runs it for a
+// delta-stamped frame: vd[sender]+1 == seq, then only the entries that
+// changed since the sender's previous frame. Constant-time for a burst
+// sender (one changed entry) regardless of group size; the O(N) full scan it
+// replaces is kept below as BM_CausallyDeliverableFull.
 void BM_CausallyDeliverable(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  catocs::VectorClock delivered = FullClock(members, 5);
+  const uint64_t seq = delivered.Get(1) + 1;
+  catocs::WireVt wire;
+  wire.keyframe = false;
+  wire.entries = {{1, seq}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(catocs::CausallyDeliverableDelta(wire, 1, seq, delivered));
+  }
+}
+BENCHMARK(BM_CausallyDeliverable)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The pre-delta gate: vt[sender] == vd[sender]+1 and vt[m] <= vd[m]
+// elsewhere, fused into one scan over the full clock. Still the path taken
+// by keyframes and by frames without a wire timestamp.
+void BM_CausallyDeliverableFull(benchmark::State& state) {
   const int members = static_cast<int>(state.range(0));
   catocs::VectorClock delivered = FullClock(members, 5);
   catocs::VectorClock vt = delivered;
@@ -88,12 +110,43 @@ void BM_CausallyDeliverable(benchmark::State& state) {
     benchmark::DoNotOptimize(catocs::CausallyDeliverable(vt, 1, delivered));
   }
 }
-BENCHMARK(BM_CausallyDeliverable)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_CausallyDeliverableFull)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
-// Multicast fan-out: materialise one timestamped message and hand it to N
-// recipients. The shared_ptr-per-delivery design makes this O(N) refcounts
-// rather than O(N) header deep-copies.
+// Multicast fan-out per app message with sender-side batching: 32 sends
+// share one stamped GroupBatch frame, so each app message's share of the
+// wire fan-out is 1/32 of a pointer store per recipient. One iteration is
+// one app message; every 32nd iteration broadcasts the frame. The unbatched
+// O(N)-stores-per-message shape is kept below for contrast.
 void BM_MulticastFanout(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  constexpr uint64_t kBatch = 32;
+  std::vector<catocs::GroupDataPtr> entries;
+  for (uint64_t i = 1; i <= kBatch; ++i) {
+    entries.push_back(mem::MakePooled<catocs::GroupData>(
+        1, catocs::MessageId{1, i}, catocs::OrderingMode::kCausal, FullClock(members, 3),
+        std::make_shared<net::BlobPayload>("b", 256), sim::TimePoint::Zero()));
+  }
+  auto batch = mem::MakePooled<catocs::GroupBatch>(1, std::move(entries));
+  std::vector<net::PayloadPtr> links(static_cast<size_t>(members));
+  uint64_t msg = 0;
+  for (auto _ : state) {
+    if (++msg % kBatch == 0) {
+      for (auto& slot : links) {
+        slot = batch;
+      }
+    }
+    benchmark::DoNotOptimize(links.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["per_recipient"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * members, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MulticastFanout)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Unbatched fan-out: one timestamped message handed to N recipients per
+// iteration. The shared_ptr-per-delivery design makes this O(N) refcounts
+// rather than O(N) header deep-copies.
+void BM_MulticastFanoutUnbatched(benchmark::State& state) {
   const int members = static_cast<int>(state.range(0));
   auto data = std::make_shared<catocs::GroupData>(
       1, catocs::MessageId{1, 9}, catocs::OrderingMode::kCausal, FullClock(members, 3),
@@ -110,7 +163,52 @@ void BM_MulticastFanout(benchmark::State& state) {
   state.counters["per_recipient"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * members, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_MulticastFanout)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_MulticastFanoutUnbatched)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Message allocation churn through the size-class pool: steady-state the
+// pool serves every allocation from its free lists (one fused control+object
+// block, LIFO reuse), versus the general-purpose allocator.
+void BM_PooledMessageChurn(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const catocs::VectorClock vt = FullClock(members, 3);
+  auto payload = std::make_shared<net::BlobPayload>("b", 64);
+  for (auto _ : state) {
+    auto data = mem::MakePooled<catocs::GroupData>(1, catocs::MessageId{1, 9},
+                                                   catocs::OrderingMode::kCausal, vt, payload,
+                                                   sim::TimePoint::Zero());
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_PooledMessageChurn)->Arg(4)->Arg(64);
+
+void BM_HeapMessageChurn(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const catocs::VectorClock vt = FullClock(members, 3);
+  auto payload = std::make_shared<net::BlobPayload>("b", 64);
+  for (auto _ : state) {
+    auto data = std::make_shared<catocs::GroupData>(1, catocs::MessageId{1, 9},
+                                                    catocs::OrderingMode::kCausal, vt, payload,
+                                                    sim::TimePoint::Zero());
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_HeapMessageChurn)->Arg(4)->Arg(64);
+
+// Arena scratch: the token window's merge staging — allocate a run, fill,
+// reset. Steady-state this never touches the heap.
+void BM_ArenaScratchCycle(benchmark::State& state) {
+  mem::Arena arena;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto* slots = static_cast<uint64_t*>(arena.Allocate(n * sizeof(uint64_t), alignof(uint64_t)));
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = i;
+    }
+    benchmark::DoNotOptimize(slots);
+    arena.Reset();
+  }
+}
+BENCHMARK(BM_ArenaScratchCycle)->Arg(64)->Arg(512);
 
 // Stability advance: every member reports its delivered vector, then the
 // tracker computes the stable floor and prunes. This is the ack-gossip path
@@ -274,4 +372,19 @@ BENCHMARK(BM_OccCommitCycle);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Stamped into the JSON context so scripts/bench.sh can refuse to record
+  // BENCH_micro.json from a debug binary.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("repro_build_type", "release");
+#else
+  benchmark::AddCustomContext("repro_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

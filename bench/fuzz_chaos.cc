@@ -10,8 +10,14 @@
 // divergence, every crashed slot rejoined).
 //
 // Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
-//                   [--buffer full|hybrid] [--no-verify-replay] [--verbose]
-//                   [--trace]
+//                   [--buffer full|hybrid] [--batch N] [--no-verify-replay]
+//                   [--verbose] [--trace]
+//
+// --batch N enables sender-side batching (GroupConfig::batching = N) plus
+// delta-encoded timestamps, and has each workload tick issue N back-to-back
+// sends so batches actually form — exercising batch framing,
+// flush-on-view-change, the batch-aware delivery gate, and delta
+// reconstruction under the full fault schedule.
 //
 // --trace turns on pipeline observability (GroupConfig::observability plus
 // the simulator's span recorder): every run reports per-layer hold counts,
@@ -46,6 +52,7 @@ struct RunOptions {
   size_t slots = 4;
   int64_t horizon_ms = 4000;
   catocs::CausalBufferKind buffer = catocs::CausalBufferKind::kFullVector;
+  uint32_t batch = 1;
   bool verify_replay = true;
   bool verbose = false;
   bool trace = false;
@@ -58,6 +65,7 @@ struct RunResult {
   uint64_t views = 0;
   uint64_t rejoins = 0;
   double max_rejoin_ms = 0.0;  // recover start -> view install with new id
+  uint64_t delta_mismatches = 0;  // decode != full vt; must stay 0
   fault::OracleReport report;
   // --trace only: span/hold totals and, on violation, the offending
   // message's rendered timeline (built before the simulator is torn down).
@@ -109,6 +117,11 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
   cfg.group.heartbeat_interval = sim::Duration::Millis(20);
   cfg.group.failure_timeout = sim::Duration::Millis(100);
   cfg.group.causal_buffer = opt.buffer;
+  if (opt.batch > 1) {
+    cfg.group.batching = opt.batch;
+    cfg.group.delta_timestamps = true;  // the batched wire path, complete
+    cfg.workload_burst = opt.batch;
+  }
   if (opt.trace) {
     cfg.group.observability = true;
     s.spans().set_enabled(true);
@@ -140,6 +153,9 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
         result.max_rejoin_ms = ms;
       }
     }
+  }
+  for (size_t slot = 0; slot < opt.slots; ++slot) {
+    result.delta_mismatches += rig.MemberOfSlot(slot).stats().delta_decode_mismatches;
   }
   result.report = fault::InvariantOracle().Audit(rig);
   if (opt.trace) {
@@ -186,6 +202,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown --buffer kind: %s (want full|hybrid)\n", kind.c_str());
         return 2;
       }
+    } else if (arg == "--batch") {
+      opt.batch = static_cast<uint32_t>(next());
+      if (opt.batch < 1) {
+        std::fprintf(stderr, "--batch wants a positive batch size\n");
+        return 2;
+      }
     } else if (arg == "--no-verify-replay") {
       opt.verify_replay = false;
     } else if (arg == "--verbose") {
@@ -212,10 +234,20 @@ int main(int argc, char** argv) {
               opt.seeds, opt.start, opt.start + opt.seeds - 1, opt.slots,
               static_cast<long long>(opt.horizon_ms), catocs::ToString(opt.buffer),
               opt.verify_replay ? "on" : "off");
+  if (opt.batch > 1) {
+    // Printed only in batch mode so default-config stdout stays byte-stable.
+    std::printf("fuzz_chaos: sender batching x%u (burst workload)\n", opt.batch);
+  }
 
   for (uint64_t seed = opt.start; seed < opt.start + opt.seeds; ++seed) {
     const RunResult result = RunOneSeed(seed, opt);
     bool seed_ok = result.report.ok();
+    if (result.delta_mismatches > 0) {
+      seed_ok = false;
+      std::printf("seed %" PRIu64 ": DELTA DECODE MISMATCH x%" PRIu64
+                  " (reconstructed vt != wire vt)\n",
+                  seed, result.delta_mismatches);
+    }
     total_violations += result.report.violations.size();
     total_deliveries += result.deliveries;
     total_rejoins += result.rejoins;

@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_micro.json: Release build of the microbenchmark suite,
-# run with google-benchmark's JSON reporter. Run on an otherwise idle machine;
-# results land at the repo root so they can be diffed across commits.
+# Regenerates BENCH_micro.json: Release build of the microbenchmark suite
+# plus the E18 sustained-throughput bench, run with google-benchmark's JSON
+# reporter and merged into one file. Run on an otherwise idle machine;
+# results land at the repo root so they can be diffed across commits with
+# scripts/bench_compare.py (or the bench-compare cmake target).
+#
+# Numbers recorded from a debug binary are garbage and poison every later
+# comparison, so this script configures Release explicitly and refuses to
+# write the JSON unless the binary itself reports a release build (each
+# bench main stamps "repro_build_type" into the benchmark context from
+# NDEBUG — the truth of how the binary was compiled, not of what cmake was
+# asked for).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,7 +19,44 @@ BUILD_DIR=${BUILD_DIR:-build-rel}
 OUT=${OUT:-BENCH_micro.json}
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_micro_protocol
-"${BUILD_DIR}/bench/bench_micro_protocol" \
-  --benchmark_out="${OUT}" --benchmark_out_format=json
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_micro_protocol bench_e18_throughput
+
+# Runs one bench binary into $2, refusing to keep output from a debug build.
+# The check reads "repro_build_type" — stamped by each bench main from
+# NDEBUG, i.e. how *our* code in the binary was actually compiled. (The
+# library's own "library_build_type" reflects the preinstalled
+# google-benchmark package, which we cannot rebuild and which only does the
+# timing.)
+record() {
+  local bin="$1" out="$2"
+  "${bin}" --benchmark_out="${out}" --benchmark_out_format=json
+  if ! grep -q '"repro_build_type": "release"' "${out}"; then
+    rm -f "${out}"
+    echo "bench.sh: ${bin} is not a release build; refusing to write ${OUT}" >&2
+    echo "bench.sh: (assertions change hot-path costs — rebuild with CMAKE_BUILD_TYPE=Release)" >&2
+    exit 1
+  fi
+}
+
+TMP_MICRO="$(mktemp "${OUT}.micro.XXXXXX")"
+TMP_E18="$(mktemp "${OUT}.e18.XXXXXX")"
+trap 'rm -f "${TMP_MICRO}" "${TMP_E18}"' EXIT
+
+record "${BUILD_DIR}/bench/bench_micro_protocol" "${TMP_MICRO}"
+record "${BUILD_DIR}/bench/bench_e18_throughput" "${TMP_E18}"
+
+# One tracked file: the micro suite's JSON with E18's benchmark entries
+# appended (context comes from the micro run; both were just verified to be
+# release builds of the same tree).
+python3 - "${TMP_MICRO}" "${TMP_E18}" "${OUT}" <<'EOF'
+import json, sys
+micro, e18, out = sys.argv[1:4]
+with open(micro) as f:
+    doc = json.load(f)
+with open(e18) as f:
+    doc["benchmarks"].extend(json.load(f)["benchmarks"])
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
 echo "wrote ${OUT}"

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and fail on regressions.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Benchmarks are matched by name. For each pair the real_time delta is
+reported; any benchmark slower than the threshold (default 10%) fails the
+comparison with exit code 1. Benchmarks present on only one side are listed
+but never fail the run (new benchmarks appear, retired ones disappear —
+that is growth, not regression).
+
+Both files must come from release builds: bench mains stamp
+"repro_build_type" into the context, and comparing debug numbers against
+release numbers (or debug against debug) is meaningless, so anything except
+release/release is rejected.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    build_type = doc.get("context", {}).get("repro_build_type")
+    if build_type != "release":
+        sys.exit(
+            f"bench_compare: {path} was recorded from a "
+            f"{build_type or 'unknown'} build, not release — re-record with "
+            "scripts/bench.sh"
+        )
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs); the raw
+        # iterations carry run_type "iteration" or no run_type at all.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def fmt_time(bench):
+    return f"{bench['real_time']:.1f} {bench.get('time_unit', 'ns')}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when real_time regresses more than PCT percent (default 10)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    shared = sorted(set(base) & set(cur))
+    for name in shared:
+        b, c = base[name], cur[name]
+        if b["real_time"] <= 0:
+            continue
+        delta_pct = (c["real_time"] - b["real_time"]) / b["real_time"] * 100.0
+        marker = " "
+        if delta_pct > args.threshold:
+            marker = "!"
+            regressions.append((name, delta_pct))
+        print(
+            f"{marker} {name:<55} {fmt_time(b):>14} -> {fmt_time(c):>14} "
+            f"({delta_pct:+.1f}%)"
+        )
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"+ {name:<55} {'new':>14} -> {fmt_time(cur[name]):>14}")
+    for name in sorted(set(base) - set(cur)):
+        print(f"- {name:<55} {fmt_time(base[name]):>14} -> {'gone':>14}")
+
+    if not shared:
+        sys.exit("bench_compare: no benchmarks in common — wrong files?")
+    if regressions:
+        print(
+            f"\nbench_compare: {len(regressions)} benchmark(s) regressed "
+            f"more than {args.threshold:.0f}%:",
+            file=sys.stderr,
+        )
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_compare: {len(shared)} shared benchmarks within {args.threshold:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

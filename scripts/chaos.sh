@@ -5,7 +5,9 @@
 # twice and required to produce a bit-identical trace hash. Any invariant
 # violation, replay divergence, or wedged rejoin fails the sweep (nonzero
 # exit). The sweep runs once per causal-buffer strategy (full-vector and
-# hybrid) so both retention implementations face the same fault schedules.
+# hybrid) and once per sender-batching level (unbatched and batch=8, which
+# also turns on delta timestamps and a burst workload) so both retention
+# implementations and both wire paths face the same fault schedules.
 # Reuses an existing build if one is configured.
 set -euo pipefail
 
@@ -15,6 +17,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 SEEDS=${SEEDS:-50}
 START=${START:-1}
 BUFFERS=${BUFFERS:-full hybrid}
+BATCHES=${BATCHES:-1 8}
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S .
@@ -22,5 +25,8 @@ fi
 cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos
 
 for buffer in ${BUFFERS}; do
-  "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" --buffer "${buffer}"
+  for batch in ${BATCHES}; do
+    "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" \
+      --buffer "${buffer}" --batch "${batch}"
+  done
 done

@@ -43,3 +43,8 @@ if ! grep -q "${TRACE_SEEDS}/${TRACE_SEEDS} seeds clean" <<<"${trace_a}"; then
   exit 1
 fi
 echo "check.sh: fuzz_chaos --trace deterministic over ${TRACE_SEEDS} seeds"
+
+# Perf is gated separately (sanitized numbers are meaningless): record with
+# scripts/bench.sh, then diff against the committed baseline via
+# scripts/bench_compare.py or the bench-compare cmake target.
+echo "check.sh: perf not checked here — run scripts/bench.sh + scripts/bench_compare.py (bench-compare target) for the >10% regression gate"

@@ -7,12 +7,29 @@
 #include "src/catocs/fifo_layer.h"
 #include "src/catocs/stability_layer.h"
 #include "src/catocs/total_order_layer.h"
+#include "src/catocs/wire_codec.h"
 
 namespace catocs {
 
 void CausalLayer::OnSend(GroupData& data) {
   VectorClock vt = vd_;
   vt.Set(core_->self, data.id().seq);
+  if (core_->config.delta_timestamps) {
+    // Wire form: only the entries changed since our previous frame (full
+    // clock on keyframes). The receiver reconstructs against its per-sender
+    // reference; see DecodeDeltaFrame.
+    WireVt wire = EncodeVtDelta(encoder_valid_ ? &encoder_prev_ : nullptr, vt);
+    const size_t fanout = core_->view.members.size() - 1;
+    core_->stats.delta_header_bytes_saved += (vt.SizeBytes() - wire.SizeBytes() + 1) * fanout;
+    if (wire.keyframe) {
+      ++core_->stats.delta_keyframes_sent;
+    } else {
+      ++core_->stats.delta_frames_sent;
+    }
+    data.set_wire_vt(std::move(wire));
+    encoder_prev_ = vt;
+    encoder_valid_ = true;
+  }
   data.set_vt(std::move(vt));
   core_->RecordSpan(data.id(), sim::SpanEvent::kStamp, name());
 }
@@ -20,6 +37,28 @@ void CausalLayer::OnSend(GroupData& data) {
 bool CausalLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadPtr& payload) {
   if (port != GroupPorts::Data(core_->config.group_id)) {
     return false;
+  }
+  // Batched frame: unpack and ingest the constituents in their send order
+  // (the batch-aware delivery gate — each constituent keeps its own
+  // identity, timestamp, and delivery obligations).
+  if (const auto* batch = net::PayloadCast<GroupBatch>(payload)) {
+    if (batch->group() != core_->config.group_id) {
+      return true;
+    }
+    const GroupDataPtr& last = batch->entries().back();
+    for (const GroupDataPtr& entry : batch->entries()) {
+      for (const auto& predecessor : entry->piggyback()) {
+        Ingest(predecessor);
+      }
+      if (entry->wire_vt() != nullptr) {
+        DecodeDeltaFrame(*entry);
+      }
+      // One ack observation per frame, not per constituent: acks are
+      // monotone along the sender's stream, so the last vector subsumes the
+      // 31 merges the per-constituent path would have done.
+      Ingest(entry, /*observe_acks=*/entry == last);
+    }
+    return true;
   }
   const auto* data = net::PayloadCast<GroupData>(payload);
   assert(data != nullptr);
@@ -32,13 +71,61 @@ bool CausalLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadP
   for (const auto& predecessor : shared->piggyback()) {
     Ingest(predecessor);
   }
+  if (shared->wire_vt() != nullptr) {
+    DecodeDeltaFrame(*shared);
+  }
   Ingest(shared);
   return true;
 }
 
-void CausalLayer::Ingest(const GroupDataPtr& data) {
+void CausalLayer::DecodeDeltaFrame(const GroupData& data) {
+  const WireVt& wire = *data.wire_vt();
+  const MemberId sender = data.id().sender;
+  auto it = std::lower_bound(delta_refs_.begin(), delta_refs_.end(), sender,
+                             [](const auto& entry, MemberId m) { return entry.first < m; });
+  const bool present = it != delta_refs_.end() && it->first == sender;
+  if (wire.keyframe) {
+    // A keyframe (re)establishes the reference unconditionally — including
+    // a sender we have never heard from, e.g. one that rejoined under a
+    // fresh id after a crash.
+    DeltaRef ref{DecodeVtDelta(VectorClock{}, wire), data.id().seq};
+    if (ref.clock != data.vt()) {
+      ++core_->stats.delta_decode_mismatches;
+    }
+    if (present) {
+      it->second = std::move(ref);
+    } else {
+      delta_refs_.emplace(it, sender, std::move(ref));
+    }
+    return;
+  }
+  // Delta frames advance the reference strictly frame-by-frame. The
+  // transport's per-peer FIFO channel delivers them in encode order; a
+  // frame reaching us out of band (flush redistribution) is simply not
+  // decoded — its full clock travels with it regardless.
+  if (!present || it->second.seq + 1 != data.id().seq) {
+    return;
+  }
+  ApplyVtDelta(it->second.clock, wire);
+  it->second.seq = data.id().seq;
+  if (it->second.clock != data.vt()) {
+    ++core_->stats.delta_decode_mismatches;
+  }
+}
+
+void CausalLayer::OnViewChange(const View& /*view*/) {
+  if (!core_->config.delta_timestamps) {
+    return;
+  }
+  // Resynchronize the codec across the membership change: our next frame is
+  // a keyframe, and stale references must not decode post-view deltas.
+  encoder_valid_ = false;
+  delta_refs_.clear();
+}
+
+void CausalLayer::Ingest(const GroupDataPtr& data, bool observe_acks) {
   // Stability info rides on every data message.
-  if (!data->acks().empty()) {
+  if (observe_acks && !data->acks().empty()) {
     core_->stability->ObserveAckVector(data->id().sender, data->acks());
   }
 
@@ -51,6 +138,21 @@ void CausalLayer::Ingest(const GroupDataPtr& data) {
   if (data->id().seq <= vd_.Get(data->id().sender)) {
     return;
   }
+
+  // Fast path: nothing queued and the causal condition already holds — the
+  // overwhelmingly common case under sustained in-order traffic (every
+  // batch constituent after the first lands here too). Skips the pending
+  // round trip entirely: no dedup-set insert/erase, no deque churn, no
+  // post-delivery rescan (the queue is empty, so nothing can unblock).
+  if (pending_.empty() && CausallyDeliverable(*data)) {
+    if (core_->observing()) {
+      core_->pipeline_stats.RecordEnter(HoldReason::kCausalGap);
+      core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(), "");
+    }
+    CausalDeliver(data, core_->simulator->now());
+    return;
+  }
+
   if (!pending_ids_.insert(data->id()).second) {
     return;
   }
@@ -64,6 +166,14 @@ void CausalLayer::Ingest(const GroupDataPtr& data) {
 }
 
 bool CausalLayer::CausallyDeliverable(const GroupData& data) const {
+  // Delta-stamped frames answer the gate in O(changed entries) rather than
+  // O(N) — see CausallyDeliverableDelta for why skipping unchanged entries
+  // is exact.
+  const WireVt* wire = data.wire_vt();
+  if (wire != nullptr && !wire->keyframe) {
+    ++core_->stats.delta_fast_path_hits;
+    return CausallyDeliverableDelta(*wire, data.id().sender, data.id().seq, vd_);
+  }
   return catocs::CausallyDeliverable(data.vt(), data.id().sender, vd_);
 }
 
@@ -76,7 +186,7 @@ void CausalLayer::TryDeliverPending() {
         PendingMessage pending = std::move(*it);
         pending_.erase(it);
         pending_ids_.erase(pending.data->id());
-        CausalDeliver(pending);
+        CausalDeliver(pending.data, pending.arrived_at);
         progress = true;
         break;  // iterators invalidated; rescan
       }
@@ -84,14 +194,13 @@ void CausalLayer::TryDeliverPending() {
   }
 }
 
-void CausalLayer::CausalDeliver(const PendingMessage& pending) {
-  const GroupDataPtr& data = pending.data;
+void CausalLayer::CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived_at) {
   const MemberId sender = data->id().sender;
   assert(vd_.Get(sender) + 1 == data->id().seq);
   vd_.Set(sender, data->id().seq);
   ++core_->stats.causal_delivered;
 
-  const sim::Duration causal_delay = core_->simulator->now() - pending.arrived_at;
+  const sim::Duration causal_delay = core_->simulator->now() - arrived_at;
   if (causal_delay > sim::Duration::Zero()) {
     ++core_->stats.delayed_deliveries;
     core_->stats.total_causal_delay += causal_delay;

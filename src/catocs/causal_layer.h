@@ -8,6 +8,10 @@
 #include <cstdint>
 #include <deque>
 #include <set>
+#include <utility>
+#include <vector>
+
+#include "src/mem/pool.h"
 
 #include "src/catocs/layer.h"
 #include "src/catocs/vector_clock.h"
@@ -31,8 +35,11 @@ class CausalLayer : public OrderingLayer {
 
   // Entry point for a data message (local self-delivery, network arrival, or
   // view-change redistribution): observes piggybacked acks, dedups, queues,
-  // and drives the cascade as far as it will go.
-  void Ingest(const GroupDataPtr& data);
+  // and drives the cascade as far as it will go. `observe_acks=false` lets
+  // the batch unpacker observe one ack vector per frame instead of one per
+  // constituent (ack vectors are monotone along a sender's stream, so the
+  // last one subsumes the rest).
+  void Ingest(const GroupDataPtr& data, bool observe_acks = true);
 
   void TryDeliverPending();
 
@@ -52,19 +59,46 @@ class CausalLayer : public OrderingLayer {
   // admitting non-durability.
   void DropFailedSenderBacklog(const ViewInstall& install);
 
+  // View change: both delta-codec ends resynchronize on a keyframe (the
+  // encoder's next frame carries the full clock; decoder references reset).
+  void OnViewChange(const View& view) override;
+
  private:
   struct PendingMessage {
     GroupDataPtr data;
     sim::TimePoint arrived_at;
   };
 
+  // Receiver half of the delta codec: the last reconstructed clock per
+  // sender, advanced strictly along each sender's frame stream (the
+  // transport's per-peer FIFO order).
+  struct DeltaRef {
+    VectorClock clock;
+    uint64_t seq = 0;  // seq of the frame `clock` was decoded from
+  };
+
   bool CausallyDeliverable(const GroupData& data) const;
-  void CausalDeliver(const PendingMessage& pending);
+  void CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived_at);
+  // Decodes a delta-stamped frame against the sender's reference and
+  // cross-checks the reconstruction (counted in stats on mismatch).
+  void DecodeDeltaFrame(const GroupData& data);
 
   uint64_t send_seq_ = 0;
   VectorClock vd_;  // contiguous causally-delivered count per sender
   std::deque<PendingMessage> pending_;
-  std::set<MessageId> pending_ids_;  // fast duplicate check for pending_
+  // Fast duplicate check for pending_. Pool-backed: entries come and go once
+  // per out-of-order arrival, and tree nodes are exactly the churn the
+  // size-class pool exists for.
+  std::set<MessageId, std::less<MessageId>, mem::PoolAllocator<MessageId>> pending_ids_;
+
+  // Sender half of the delta codec (config.delta_timestamps): the clock
+  // stamped on our previous frame; invalid forces the next frame to be a
+  // keyframe (stream start, view change).
+  VectorClock encoder_prev_;
+  bool encoder_valid_ = false;
+  // Sorted by member. Flat: one reference per live sender, looked up on
+  // every delta-stamped frame — binary search over a contiguous vector.
+  std::vector<std::pair<MemberId, DeltaRef>> delta_refs_;
 };
 
 }  // namespace catocs

@@ -8,6 +8,26 @@
 namespace catocs {
 
 void FifoLayer::Enqueue(const GroupDataPtr& data, sim::Duration causal_delay) {
+  // Fast path: nothing waiting and the app gate is already clear — skip the
+  // queue round trip (entry construction, deque churn, rescans). When the
+  // gate holds, the hold-reason attribution below would pick kFifoGap (the
+  // kTotalTurn arm requires IsNextToDeliver to be false, which AppDeliverable
+  // just ruled out), so the observability record is identical.
+  if (app_pending_.empty() && AppDeliverable(*data)) {
+    if (core_->observing()) {
+      core_->pipeline_stats.RecordEnter(HoldReason::kFifoGap);
+      core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(), ToString(HoldReason::kFifoGap));
+      core_->pipeline_stats.RecordRelease(HoldReason::kFifoGap, sim::Duration::Zero());
+      core_->RecordSpan(data->id(), sim::SpanEvent::kDeliver, name());
+    }
+    ad_.RaiseTo(data->id().sender, data->id().seq);
+    uint64_t total_seq = 0;
+    if (data->mode() == OrderingMode::kTotal) {
+      total_seq = core_->total->ConsumeDeliverySlot();
+    }
+    DeliverToApp(data, total_seq, causal_delay);
+    return;
+  }
   AppPending entry{data, causal_delay, core_->simulator->now(), HoldReason::kFifoGap};
   if (core_->observing()) {
     // Attribute the coming wait to whichever condition blocks *now*: the

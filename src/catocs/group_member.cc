@@ -7,8 +7,10 @@
 #include "src/catocs/causal_layer.h"
 #include "src/catocs/fifo_layer.h"
 #include "src/catocs/membership_layer.h"
+#include "src/catocs/sender_batch.h"
 #include "src/catocs/stability_layer.h"
 #include "src/catocs/total_order_layer.h"
+#include "src/mem/pool.h"
 
 namespace catocs {
 
@@ -26,6 +28,9 @@ GroupMember::GroupMember(sim::Simulator* simulator, net::Transport* transport, G
          core_.view.members.end());
 
   pipeline_ = PipelineBuilder(&core_).AddDefaultStack().Build();
+  if (core_.config.batching > 1) {
+    batcher_ = std::make_unique<SenderBatcher>(&core_);
+  }
 
   // One dispatcher per group port; the pipeline routes to whichever layer
   // claims the port.
@@ -73,6 +78,11 @@ void GroupMember::Start() {
 }
 
 void GroupMember::Stop() {
+  if (batcher_ != nullptr) {
+    // A stopping (crashing) member abandons its un-broadcast batch, exactly
+    // as it abandons in-flight unbatched frames.
+    batcher_->DropPending();
+  }
   pipeline_.OnStop();
   core_.started = false;
 }
@@ -97,8 +107,8 @@ void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
     // Plain multicast: unique id for tracing, empty vector time, no delay
     // queue, no stability buffering — and no guarantees.
     MessageId id{core_.self, 0};
-    auto data = std::make_shared<GroupData>(core_.config.group_id, id, mode, VectorClock{},
-                                            std::move(payload), core_.simulator->now());
+    auto data = mem::MakePooled<GroupData>(core_.config.group_id, id, mode, VectorClock{},
+                                           std::move(payload), core_.simulator->now());
     for (MemberId member : core_.view.members) {
       if (member != core_.self) {
         core_.transport->SendUnreliable(member, GroupPorts::Data(core_.config.group_id), data);
@@ -110,19 +120,23 @@ void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
 
   const uint64_t seq = core_.causal->AllocateSendSeq();
   MessageId id{core_.self, seq};
-  auto data = std::make_shared<GroupData>(core_.config.group_id, id, mode, VectorClock{},
-                                          std::move(payload), core_.simulator->now());
+  auto data = mem::MakePooled<GroupData>(core_.config.group_id, id, mode, VectorClock{},
+                                         std::move(payload), core_.simulator->now());
   core_.RecordSpan(id, sim::SpanEvent::kSend, "member", ToString(mode));
   // Each layer stamps its own header section (vector timestamp, then
   // acks/piggyback) before the message is shared with anyone.
   pipeline_.OnSend(*data);
 
-  core_.stats.ordering_header_bytes += data->HeaderBytes() * (core_.view.members.size() - 1);
-
   // Self-delivery first (the send is a local event that advances the clock),
-  // then fan out.
+  // then fan out — immediately, or through the batcher, which also owns the
+  // header-byte charge for the coalesced frame.
   GroupDataPtr shared = std::move(data);
   core_.causal->Ingest(shared);
+  if (batcher_ != nullptr) {
+    batcher_->Append(shared);
+    return;
+  }
+  core_.stats.ordering_header_bytes += shared->HeaderBytes() * (core_.view.members.size() - 1);
   core_.BroadcastReliable(GroupPorts::Data(core_.config.group_id), shared);
 }
 

@@ -42,6 +42,8 @@
 
 namespace catocs {
 
+class SenderBatcher;
+
 class GroupMember {
  public:
   GroupMember(sim::Simulator* simulator, net::Transport* transport, GroupConfig config,
@@ -121,6 +123,9 @@ class GroupMember {
  private:
   GroupCore core_;
   Pipeline pipeline_;
+  // Present only when config.batching > 1 (see sender_batch.h); the
+  // unbatched send path is untouched.
+  std::unique_ptr<SenderBatcher> batcher_;
 };
 
 }  // namespace catocs

@@ -10,16 +10,15 @@ void HybridBuffer::SetMembers(const std::vector<MemberId>& members) {
   // Forget progress reports from departed members so they no longer hold the
   // minimum down; keep rows for everyone else (including non-member late
   // reporters, which simply never count toward the floor).
-  for (auto it = delivered_by_.begin(); it != delivered_by_.end();) {
-    if (!std::binary_search(members_.begin(), members_.end(), it->first)) {
-      it = delivered_by_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  delivered_by_.erase(std::remove_if(delivered_by_.begin(), delivered_by_.end(),
+                                     [this](const std::pair<MemberId, VectorClock>& row) {
+                                       return !std::binary_search(members_.begin(),
+                                                                  members_.end(), row.first);
+                                     }),
+                      delivered_by_.end());
   reporting_ = 0;
   for (MemberId member : members_) {
-    if (delivered_by_.count(member)) {
+    if (MatrixRowIfPresent(delivered_by_, member) != nullptr) {
       ++reporting_;
     }
   }
@@ -27,8 +26,9 @@ void HybridBuffer::SetMembers(const std::vector<MemberId>& members) {
 }
 
 VectorClock& HybridBuffer::Row(MemberId member) {
-  auto [it, inserted] = delivered_by_.try_emplace(member);
-  if (inserted && std::binary_search(members_.begin(), members_.end(), member)) {
+  bool created = false;
+  VectorClock& row = MatrixRowCached(delivered_by_, member, row_cache_, &created);
+  if (created && std::binary_search(members_.begin(), members_.end(), member)) {
     ++reporting_;
     if (AllReported()) {
       // The last holdout just reported: the floor becomes meaningful. The
@@ -37,7 +37,7 @@ VectorClock& HybridBuffer::Row(MemberId member) {
       RecomputeFloor();
     }
   }
-  return it->second;
+  return row;
 }
 
 void HybridBuffer::UpdateMemberVector(MemberId member, const VectorClock& vec) {
@@ -74,13 +74,11 @@ void HybridBuffer::AddToBuffer(const GroupDataPtr& msg) {
   if (AllReported() && msg->id().seq <= floor_.Get(msg->id().sender)) {
     return;  // already stable everywhere; nothing to retain
   }
-  auto [it, inserted] = buffer_.emplace(msg->id(), msg);
-  (void)it;
-  if (!inserted) {
+  if (!buffer_.Add(msg)) {
     return;
   }
   buffered_bytes_ += msg->SizeBytes() + msg->HeaderBytes();
-  peak_count_ = std::max(peak_count_, buffer_.size());
+  peak_count_ = std::max(peak_count_, buffer_.count());
   peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
 }
 
@@ -93,8 +91,7 @@ VectorClock HybridBuffer::StableVector() const {
 void HybridBuffer::RaiseFloorEntry(MemberId sender) {
   uint64_t min_count = UINT64_MAX;
   for (MemberId member : members_) {
-    auto it = delivered_by_.find(member);
-    min_count = std::min(min_count, it->second.Get(sender));
+    min_count = std::min(min_count, MatrixRowIfPresent(delivered_by_, member)->Get(sender));
     if (min_count == 0) {
       return;
     }
@@ -113,7 +110,7 @@ void HybridBuffer::RecomputeFloor() {
   }
   bool first = true;
   for (MemberId member : members_) {
-    const VectorClock& row = delivered_by_.at(member);
+    const VectorClock& row = *MatrixRowIfPresent(delivered_by_, member);
     if (first) {
       floor_ = row;
       first = false;
@@ -125,27 +122,20 @@ void HybridBuffer::RecomputeFloor() {
 }
 
 void HybridBuffer::ReleaseStable(MemberId sender, uint64_t floor) {
-  auto it = buffer_.lower_bound(MessageId{sender, 0});
-  while (it != buffer_.end() && it->first.sender == sender && it->first.seq <= floor) {
-    buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
-    NotifyRelease(it->second);
-    it = buffer_.erase(it);
-  }
+  buffer_.Release(sender, floor, [this](const GroupDataPtr& msg) {
+    buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
+    NotifyRelease(msg);
+  });
 }
 
 void HybridBuffer::ReleaseAllStable() {
   if (floor_.empty()) {
     return;
   }
-  for (auto it = buffer_.begin(); it != buffer_.end();) {
-    if (it->first.seq <= floor_.Get(it->first.sender)) {
-      buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
-      NotifyRelease(it->second);
-      it = buffer_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  buffer_.ReleaseStable(floor_, [this](const GroupDataPtr& msg) {
+    buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
+    NotifyRelease(msg);
+  });
 }
 
 void HybridBuffer::Prune() {
@@ -157,17 +147,9 @@ void HybridBuffer::Prune() {
 }
 
 std::vector<GroupDataPtr> HybridBuffer::UnstableMessages() const {
-  std::vector<GroupDataPtr> out;
-  out.reserve(buffer_.size());
-  for (const auto& [id, msg] : buffer_) {
-    out.push_back(msg);
-  }
-  return out;
+  return buffer_.CollectAll();
 }
 
-GroupDataPtr HybridBuffer::Find(const MessageId& id) const {
-  auto it = buffer_.find(id);
-  return it == buffer_.end() ? nullptr : it->second;
-}
+GroupDataPtr HybridBuffer::Find(const MessageId& id) const { return buffer_.Find(id); }
 
 }  // namespace catocs

@@ -26,6 +26,7 @@
 
 #include "src/catocs/causal_buffer.h"
 #include "src/catocs/message.h"
+#include "src/catocs/stability.h"
 
 namespace catocs {
 
@@ -43,7 +44,7 @@ class HybridBuffer : public CausalBufferStrategy {
   std::vector<GroupDataPtr> UnstableMessages() const override;
   GroupDataPtr Find(const MessageId& id) const override;
 
-  size_t buffered_count() const override { return buffer_.size(); }
+  size_t buffered_count() const override { return buffer_.count(); }
   size_t buffered_bytes() const override { return buffered_bytes_; }
   size_t peak_buffered_count() const override { return peak_count_; }
   size_t peak_buffered_bytes() const override { return peak_bytes_; }
@@ -66,12 +67,13 @@ class HybridBuffer : public CausalBufferStrategy {
   void ReleaseAllStable();
 
   std::vector<MemberId> members_;  // sorted
-  // member -> (sender -> contiguous delivered count). Rows may exist for
-  // non-members (late reports from evicted ids); the floor ignores them.
-  std::map<MemberId, VectorClock> delivered_by_;
+  // Rows may exist for non-members (late reports from evicted ids); the
+  // floor ignores them.
+  MemberMatrix delivered_by_;
+  size_t row_cache_ = 0;  // last-touched row index, validated before use
   size_t reporting_ = 0;  // how many of members_ have a row
   VectorClock floor_;     // per-sender stability floor; valid iff AllReported()
-  std::map<MessageId, GroupDataPtr> buffer_;
+  RetentionRing buffer_;  // per-sender lanes, same churn profile as the full tracker
   size_t buffered_bytes_ = 0;
   size_t peak_count_ = 0;
   size_t peak_bytes_ = 0;

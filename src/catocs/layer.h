@@ -32,6 +32,7 @@ class CausalLayer;
 class FifoLayer;
 class GroupMember;
 class MembershipLayer;
+class SenderBatcher;
 class StabilityLayer;
 class TotalOrderLayer;
 
@@ -72,6 +73,9 @@ struct GroupCore {
   StabilityLayer* stability = nullptr;
   MembershipLayer* membership = nullptr;
   TotalOrderLayer* total = nullptr;
+  // Sender-side batcher (config.batching > 1); null on unbatched members so
+  // the default path never even tests a batching branch beyond this pointer.
+  SenderBatcher* batcher = nullptr;
 
   // Per-layer hold-time attribution, populated only under
   // config.observability (see pipeline_stats.h).

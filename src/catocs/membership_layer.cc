@@ -8,10 +8,26 @@
 #include "src/catocs/causal_layer.h"
 #include "src/catocs/fifo_layer.h"
 #include "src/catocs/group_member.h"
+#include "src/catocs/sender_batch.h"
 #include "src/catocs/stability_layer.h"
 #include "src/catocs/total_order_layer.h"
 
 namespace catocs {
+
+namespace {
+
+// Entering a flush must first push out any coalescing batch: its
+// constituents were already self-delivered (they advanced our clock and sit
+// in our flush cut), so splitting or abandoning them here would desync the
+// group. Flushing the batch keeps "batch never spans a view change" an
+// invariant rather than a hope.
+void FlushPendingBatch(GroupCore* core) {
+  if (core->batcher != nullptr) {
+    core->batcher->FlushNow();
+  }
+}
+
+}  // namespace
 
 void MembershipLayer::OnStart() {
   if (core_->config.enable_membership) {
@@ -77,6 +93,7 @@ bool MembershipLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadP
 }
 
 void MembershipLayer::JoinGroup(MemberId contact) {
+  FlushPendingBatch(core_);
   // Block application sends until the join view installs.
   joining_ = true;
   flushing_ = true;
@@ -195,6 +212,7 @@ void MembershipLayer::HandleSuspicion(MemberId suspect) {
 }
 
 void MembershipLayer::InitiateFlush() {
+  FlushPendingBatch(core_);
   const uint64_t new_view_id = std::max(core_->view.id, flush_view_id_) + 1;
   flush_view_id_ = new_view_id;
   if (!flushing_) {
@@ -227,6 +245,7 @@ void MembershipLayer::OnFlushRequest(MemberId src, const FlushRequest& req) {
   if (req.new_view_id() <= core_->view.id) {
     return;  // stale
   }
+  FlushPendingBatch(core_);
   flush_view_id_ = std::max(flush_view_id_, req.new_view_id());
   if (!flushing_) {
     flushing_ = true;

@@ -1,6 +1,10 @@
 #include "src/catocs/message.h"
 
+#include <cassert>
 #include <sstream>
+
+#include "src/catocs/wire_codec.h"
+#include "src/mem/pool.h"
 
 namespace catocs {
 
@@ -26,8 +30,8 @@ GroupDataPtr StripPiggyback(const GroupDataPtr& data) {
   if (data->piggyback().empty()) {
     return data;
   }
-  auto stripped = std::make_shared<GroupData>(data->group(), data->id(), data->mode(), data->vt(),
-                                              data->app_payload(), data->sent_at());
+  auto stripped = mem::MakePooled<GroupData>(data->group(), data->id(), data->mode(), data->vt(),
+                                             data->app_payload(), data->sent_at());
   stripped->set_acks(data->acks());
   return stripped;
 }
@@ -42,15 +46,61 @@ size_t GroupData::SizeBytes() const {
 
 std::vector<net::HeaderSection> GroupData::HeaderSections() const {
   // Base frame: group(4) + sender(4) + seq(8) + mode(1).
-  return {{"frame", 17}, {"causal", vt_.SizeBytes()}, {"stability", acks_.SizeBytes()}};
+  return {{"frame", 17},
+          {"causal", wire_vt_.has_value() ? wire_vt_->SizeBytes() : vt_.SizeBytes()},
+          {"stability", acks_.SizeBytes()}};
 }
 
 size_t GroupData::HeaderBytes() const {
+  // Same arithmetic as HeaderSections(), computed directly: this runs once
+  // per send per destination, and materializing the section vector was
+  // measurable on the fan-out path.
+  return 17 + (wire_vt_.has_value() ? wire_vt_->SizeBytes() : vt_.SizeBytes()) +
+         acks_.SizeBytes();
+}
+
+GroupBatch::GroupBatch(GroupId group, std::vector<GroupDataPtr> entries)
+    : group_(group), entries_(std::move(entries)) {
+  assert(!entries_.empty());
+#ifndef NDEBUG
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    assert(entries_[i]->id().sender == entries_.front()->id().sender &&
+           "batch constituents share one sender");
+    assert(entries_[i]->id().seq == entries_.front()->id().seq + i &&
+           "batch constituents are contiguous");
+  }
+#endif
+  header_bytes_ = kBaseFrameBytes;
+  const VectorClock* prev_vt = nullptr;
+  const VectorClock* prev_acks = nullptr;
+  for (const GroupDataPtr& entry : entries_) {
+    // mode(1) + payload_len(4), then each clock as a delta against the
+    // previous constituent (a flag byte plus the changed entries; the first
+    // constituent's "delta" is its full clock).
+    header_bytes_ += 5;
+    header_bytes_ += 1 + DeltaEntryCount(prev_vt, entry->vt()) * VectorClock::kEntryBytes;
+    header_bytes_ += 1 + DeltaEntryCount(prev_acks, entry->acks()) * VectorClock::kEntryBytes;
+    prev_vt = &entry->vt();
+    prev_acks = &entry->acks();
+  }
+}
+
+size_t GroupBatch::SizeBytes() const {
   size_t total = 0;
-  for (const auto& section : HeaderSections()) {
-    total += section.bytes;
+  for (const GroupDataPtr& entry : entries_) {
+    total += entry->SizeBytes();
   }
   return total;
+}
+
+std::vector<net::HeaderSection> GroupBatch::HeaderSections() const {
+  return {{"frame", kBaseFrameBytes}, {"batch-meta", header_bytes_ - kBaseFrameBytes}};
+}
+
+std::string GroupBatch::Describe() const {
+  std::ostringstream out;
+  out << "batch " << entries_.front()->id().ToString() << "+" << (entries_.size() - 1);
+  return out.str();
 }
 
 std::string GroupData::Describe() const {

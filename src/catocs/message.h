@@ -8,8 +8,8 @@
 #define REPRO_SRC_CATOCS_MESSAGE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +39,20 @@ struct MessageId {
   bool operator==(const MessageId&) const = default;
   auto operator<=>(const MessageId&) const = default;
   std::string ToString() const;
+};
+
+// Delta-encoded vector timestamp as it would travel on the wire: only the
+// entries that changed since the sender's previous frame, plus a flag byte.
+// A keyframe carries the full clock and resets the receiver's per-sender
+// reference (first frame from a sender, and the first frame after a view
+// change). Decoding is wire_codec.h's job; the struct lives here because
+// GroupData carries it.
+struct WireVt {
+  bool keyframe = false;
+  VectorClock::Entries entries;  // changed (member, value) pairs, sorted
+
+  // Flag byte + one (member id, counter) pair per carried entry.
+  size_t SizeBytes() const { return 1 + entries.size() * VectorClock::kEntryBytes; }
 };
 
 // Application data wrapped with CATOCS ordering metadata.
@@ -87,6 +101,14 @@ class GroupData : public net::Payload {
   }
   const std::vector<std::shared_ptr<const GroupData>>& piggyback() const { return piggyback_; }
 
+  // Delta-encoded wire form of the vector timestamp (GroupConfig::
+  // delta_timestamps). When set, the causal header is charged at the delta's
+  // size instead of the full clock's, and receivers reconstruct the full
+  // clock against their per-sender reference (causal_layer.cc). Null in the
+  // default configuration.
+  void set_wire_vt(WireVt wire) { wire_vt_.emplace(std::move(wire)); }
+  const WireVt* wire_vt() const { return wire_vt_.has_value() ? &*wire_vt_ : nullptr; }
+
  private:
   GroupId group_;
   MessageId id_;
@@ -96,6 +118,7 @@ class GroupData : public net::Payload {
   sim::TimePoint sent_at_;
   VectorClock acks_;
   std::vector<std::shared_ptr<const GroupData>> piggyback_;
+  std::optional<WireVt> wire_vt_;
 };
 
 using GroupDataPtr = std::shared_ptr<const GroupData>;
@@ -105,6 +128,45 @@ using GroupDataPtr = std::shared_ptr<const GroupData>;
 // piggyback lists would chain buffered messages into an ever-deepening
 // structure.
 GroupDataPtr StripPiggyback(const GroupDataPtr& data);
+
+// Sender-side batch frame: several consecutive ordered sends from one
+// sender coalesced into a single stamped multicast frame
+// (GroupConfig::batching > 1). Constituents keep their individual identity,
+// timestamps, and delivery obligations — the receiver unpacks and ingests
+// them in order — but the wire pays one base frame plus delta-encoded
+// per-entry metadata instead of a full header per message. Constituent
+// sequence numbers are contiguous starting at first_seq(): only the
+// sender's own ordered sends enter its batcher, in send order.
+class GroupBatch : public net::Payload {
+ public:
+  GroupBatch(GroupId group, std::vector<GroupDataPtr> entries);
+
+  // Sum of the constituents' payload sizes (their ordering headers are
+  // accounted as header bytes, mirroring GroupData).
+  size_t SizeBytes() const override;
+  std::string Describe() const override;
+  std::vector<net::HeaderSection> HeaderSections() const override;
+
+  // Base frame: group(4) + sender(4) + first_seq(8) + count(2). Per entry:
+  // mode(1) + payload_len(4) + vt delta (1 + 12 per changed entry) + ack
+  // delta (1 + 12 per changed entry), each delta taken against the previous
+  // constituent (the first against empty, i.e. full). Precomputed once at
+  // construction; the value is pinned by message_test.
+  size_t HeaderBytes() const { return header_bytes_; }
+  static constexpr size_t kBaseFrameBytes = 18;
+
+  GroupId group() const { return group_; }
+  MemberId sender() const { return entries_.front()->id().sender; }
+  uint64_t first_seq() const { return entries_.front()->id().seq; }
+  const std::vector<GroupDataPtr>& entries() const { return entries_; }
+
+ private:
+  GroupId group_;
+  std::vector<GroupDataPtr> entries_;  // non-empty, contiguous seqs
+  size_t header_bytes_ = 0;
+};
+
+using GroupBatchPtr = std::shared_ptr<const GroupBatch>;
 
 // Total-order assignments from the sequencer (or token holder): a batch of
 // (message id -> global sequence number).
@@ -148,7 +210,12 @@ class AckVector : public net::Payload {
 // causally delivered, in its local (causal) delivery order.
 class OrderToken : public net::Payload {
  public:
-  OrderToken(GroupId group, uint64_t next_total_seq, std::map<MessageId, uint64_t> assignments)
+  // Assignments arrive sorted by MessageId (the token holder's window is
+  // flattened and sorted once per rotation) — the token is re-serialized on
+  // every pass, so the window rides as a flat vector rather than a
+  // node-per-entry map.
+  OrderToken(GroupId group, uint64_t next_total_seq,
+             std::vector<std::pair<MessageId, uint64_t>> assignments)
       : group_(group), next_total_seq_(next_total_seq), assignments_(std::move(assignments)) {}
 
   size_t SizeBytes() const override { return 12 + assignments_.size() * 20; }
@@ -156,12 +223,12 @@ class OrderToken : public net::Payload {
 
   GroupId group() const { return group_; }
   uint64_t next_total_seq() const { return next_total_seq_; }
-  const std::map<MessageId, uint64_t>& assignments() const { return assignments_; }
+  const std::vector<std::pair<MessageId, uint64_t>>& assignments() const { return assignments_; }
 
  private:
   GroupId group_;
   uint64_t next_total_seq_;
-  std::map<MessageId, uint64_t> assignments_;
+  std::vector<std::pair<MessageId, uint64_t>> assignments_;  // sorted by id
 };
 
 // --- Membership / flush control -------------------------------------------

@@ -1,0 +1,65 @@
+#include "src/catocs/sender_batch.h"
+
+#include <utility>
+
+#include "src/mem/pool.h"
+
+namespace catocs {
+
+SenderBatcher::~SenderBatcher() {
+  if (flush_timer_.valid()) {
+    core_->simulator->Cancel(flush_timer_);
+  }
+}
+
+void SenderBatcher::Append(const GroupDataPtr& data) {
+  pending_.push_back(data);
+  if (pending_.size() >= core_->config.batching) {
+    FlushNow();
+    return;
+  }
+  if (!flush_timer_.valid()) {
+    ArmTimer();
+  }
+}
+
+void SenderBatcher::ArmTimer() {
+  flush_timer_ = core_->simulator->ScheduleAfter(core_->config.batch_flush_delay, [this] {
+    flush_timer_ = sim::EventId{};
+    FlushNow();
+  });
+}
+
+void SenderBatcher::FlushNow() {
+  if (flush_timer_.valid()) {
+    core_->simulator->Cancel(flush_timer_);
+    flush_timer_ = sim::EventId{};
+  }
+  if (pending_.empty()) {
+    return;
+  }
+  auto batch = mem::MakePooled<GroupBatch>(core_->config.group_id, std::move(pending_));
+  pending_.clear();  // moved-from: restore to a known-empty state
+
+  ++core_->stats.batches_sent;
+  core_->stats.batched_data_msgs += batch->entries().size();
+  core_->stats.ordering_header_bytes +=
+      batch->HeaderBytes() * (core_->view.members.size() - 1);
+  if (core_->observing()) {
+    for (const GroupDataPtr& entry : batch->entries()) {
+      core_->RecordSpan(entry->id(), sim::SpanEvent::kStamp, "batch",
+                        "flush n=" + std::to_string(batch->entries().size()));
+    }
+  }
+  core_->BroadcastReliable(GroupPorts::Data(core_->config.group_id), batch);
+}
+
+void SenderBatcher::DropPending() {
+  if (flush_timer_.valid()) {
+    core_->simulator->Cancel(flush_timer_);
+    flush_timer_ = sim::EventId{};
+  }
+  pending_.clear();
+}
+
+}  // namespace catocs

@@ -4,36 +4,72 @@
 
 namespace catocs {
 
+VectorClock& MatrixRow(MemberMatrix& matrix, MemberId member) {
+  auto it = std::lower_bound(
+      matrix.begin(), matrix.end(), member,
+      [](const std::pair<MemberId, VectorClock>& row, MemberId m) { return row.first < m; });
+  if (it == matrix.end() || it->first != member) {
+    it = matrix.emplace(it, member, VectorClock{});
+  }
+  return it->second;
+}
+
+const VectorClock* MatrixRowIfPresent(const MemberMatrix& matrix, MemberId member) {
+  auto it = std::lower_bound(
+      matrix.begin(), matrix.end(), member,
+      [](const std::pair<MemberId, VectorClock>& row, MemberId m) { return row.first < m; });
+  return it != matrix.end() && it->first == member ? &it->second : nullptr;
+}
+
+VectorClock& MatrixRowCached(MemberMatrix& matrix, MemberId member, size_t& cache,
+                             bool* created) {
+  if (cache < matrix.size() && matrix[cache].first == member) {
+    if (created != nullptr) {
+      *created = false;
+    }
+    return matrix[cache].second;
+  }
+  auto it = std::lower_bound(
+      matrix.begin(), matrix.end(), member,
+      [](const std::pair<MemberId, VectorClock>& row, MemberId m) { return row.first < m; });
+  const bool miss = it == matrix.end() || it->first != member;
+  if (miss) {
+    it = matrix.emplace(it, member, VectorClock{});
+  }
+  if (created != nullptr) {
+    *created = miss;
+  }
+  cache = static_cast<size_t>(it - matrix.begin());
+  return it->second;
+}
+
 void StabilityTracker::SetMembers(const std::vector<MemberId>& members) {
   members_ = members;
   std::sort(members_.begin(), members_.end());
   // Forget progress reports from departed members so they no longer hold the
   // minimum down.
-  for (auto it = delivered_by_.begin(); it != delivered_by_.end();) {
-    if (!std::binary_search(members_.begin(), members_.end(), it->first)) {
-      it = delivered_by_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  delivered_by_.erase(std::remove_if(delivered_by_.begin(), delivered_by_.end(),
+                                     [this](const std::pair<MemberId, VectorClock>& row) {
+                                       return !std::binary_search(members_.begin(),
+                                                                  members_.end(), row.first);
+                                     }),
+                      delivered_by_.end());
 }
 
 void StabilityTracker::UpdateMemberVector(MemberId member, const VectorClock& vec) {
-  delivered_by_[member].Merge(vec);
+  MatrixRowCached(delivered_by_, member, row_cache_).Merge(vec);
 }
 
 void StabilityTracker::UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) {
-  delivered_by_[member].RaiseTo(sender, count);
+  MatrixRowCached(delivered_by_, member, row_cache_).RaiseTo(sender, count);
 }
 
 void StabilityTracker::AddToBuffer(const GroupDataPtr& msg) {
-  auto [it, inserted] = buffer_.emplace(msg->id(), msg);
-  (void)it;
-  if (!inserted) {
+  if (!buffer_.Add(msg)) {
     return;
   }
   buffered_bytes_ += msg->SizeBytes() + msg->HeaderBytes();
-  peak_count_ = std::max(peak_count_, buffer_.size());
+  peak_count_ = std::max(peak_count_, buffer_.count());
   peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
 }
 
@@ -41,19 +77,19 @@ VectorClock StabilityTracker::StableVector() const {
   VectorClock stable;
   bool first = true;
   for (MemberId member : members_) {
-    auto it = delivered_by_.find(member);
-    if (it == delivered_by_.end()) {
+    const VectorClock* row = MatrixRowIfPresent(delivered_by_, member);
+    if (row == nullptr) {
       // No report from this member yet: nothing is stable.
       return {};
     }
     if (first) {
-      stable = it->second;
+      stable = *row;
       first = false;
       continue;
     }
     // Pointwise minimum: senders absent from the member's report have min 0
     // and are dropped.
-    stable.MeetMin(it->second);
+    stable.MeetMin(*row);
   }
   return stable;
 }
@@ -66,29 +102,16 @@ void StabilityTracker::Prune() {
   if (stable.empty()) {
     return;
   }
-  for (auto it = buffer_.begin(); it != buffer_.end();) {
-    if (it->first.seq <= stable.Get(it->first.sender)) {
-      buffered_bytes_ -= it->second->SizeBytes() + it->second->HeaderBytes();
-      NotifyRelease(it->second);
-      it = buffer_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  buffer_.ReleaseStable(stable, [this](const GroupDataPtr& msg) {
+    buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
+    NotifyRelease(msg);
+  });
 }
 
 std::vector<GroupDataPtr> StabilityTracker::UnstableMessages() const {
-  std::vector<GroupDataPtr> out;
-  out.reserve(buffer_.size());
-  for (const auto& [id, msg] : buffer_) {
-    out.push_back(msg);
-  }
-  return out;
+  return buffer_.CollectAll();
 }
 
-GroupDataPtr StabilityTracker::Find(const MessageId& id) const {
-  auto it = buffer_.find(id);
-  return it == buffer_.end() ? nullptr : it->second;
-}
+GroupDataPtr StabilityTracker::Find(const MessageId& id) const { return buffer_.Find(id); }
 
 }  // namespace catocs

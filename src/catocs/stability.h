@@ -7,18 +7,40 @@
 // per-message path. The buffering this forces is the quantity §5 predicts
 // grows quadratically system-wide, so the tracker exposes exact occupancy
 // numbers.
+//
+// Storage is tuned for the per-delivery hot path: retained copies live in
+// per-sender contiguous lanes (retention_ring.h) instead of one ordered
+// map, and the member matrix is a sorted flat vector of rows — binary
+// search over contiguous memory instead of tree-node chasing.
 
 #ifndef REPRO_SRC_CATOCS_STABILITY_H_
 #define REPRO_SRC_CATOCS_STABILITY_H_
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "src/catocs/causal_buffer.h"
 #include "src/catocs/message.h"
+#include "src/catocs/retention_ring.h"
 
 namespace catocs {
+
+// member -> (sender -> contiguous delivered count), sorted by member. A row
+// exists once the member has reported at all, even if it has delivered
+// nothing yet.
+using MemberMatrix = std::vector<std::pair<MemberId, VectorClock>>;
+
+// The member's row, created in place if absent.
+VectorClock& MatrixRow(MemberMatrix& matrix, MemberId member);
+// The member's row, or nullptr if it has never reported.
+const VectorClock* MatrixRowIfPresent(const MemberMatrix& matrix, MemberId member);
+// MatrixRow with a caller-held index cache. The per-delivery update always
+// touches our own row, so the cached slot hits nearly every time; rows shift
+// on insert/erase, so the slot is validated (member match) before use, never
+// trusted. `created` (optional) reports whether a new row was inserted.
+VectorClock& MatrixRowCached(MemberMatrix& matrix, MemberId member, size_t& cache,
+                             bool* created = nullptr);
 
 class StabilityTracker : public CausalBufferStrategy {
  public:
@@ -33,17 +55,16 @@ class StabilityTracker : public CausalBufferStrategy {
   std::vector<GroupDataPtr> UnstableMessages() const override;
   GroupDataPtr Find(const MessageId& id) const override;
 
-  size_t buffered_count() const override { return buffer_.size(); }
+  size_t buffered_count() const override { return buffer_.count(); }
   size_t buffered_bytes() const override { return buffered_bytes_; }
   size_t peak_buffered_count() const override { return peak_count_; }
   size_t peak_buffered_bytes() const override { return peak_bytes_; }
 
  private:
   std::vector<MemberId> members_;
-  // member -> (sender -> contiguous delivered count). An entry exists once
-  // the member has reported at all, even if it has delivered nothing yet.
-  std::map<MemberId, VectorClock> delivered_by_;
-  std::map<MessageId, GroupDataPtr> buffer_;
+  MemberMatrix delivered_by_;
+  size_t row_cache_ = 0;  // last-touched row index, validated before use
+  RetentionRing buffer_;
   size_t buffered_bytes_ = 0;
   size_t peak_count_ = 0;
   size_t peak_bytes_ = 0;

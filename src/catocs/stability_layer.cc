@@ -5,6 +5,7 @@
 
 #include "src/catocs/causal_layer.h"
 #include "src/catocs/membership_layer.h"
+#include "src/mem/pool.h"
 
 namespace catocs {
 
@@ -72,8 +73,13 @@ void StabilityLayer::OnCausalDeliver(const GroupDataPtr& data) {
                       ToString(HoldReason::kStability));
   }
   // Retain for atomic delivery until stable (without any piggybacked
-  // predecessors, which are buffered in their own right).
-  strategy_->AddToBuffer(StripPiggyback(data));
+  // predecessors, which are buffered in their own right). The empty-piggyback
+  // check here keeps the common case free of a refcount round trip.
+  if (data->piggyback().empty()) {
+    strategy_->AddToBuffer(data);
+  } else {
+    strategy_->AddToBuffer(StripPiggyback(data));
+  }
   strategy_->UpdateMemberEntry(core_->self, data->id().sender, data->id().seq);
   // The message's own timestamp is implicit-ack evidence about its sender
   // (a no-op for the full-vector baseline).
@@ -94,6 +100,9 @@ void StabilityLayer::MaybePrune() {
 }
 
 void StabilityLayer::OnBufferRelease(const GroupDataPtr& msg) {
+  if (buffered_since_.empty()) {
+    return;  // nothing charged (observability off): skip the lookup entirely
+  }
   auto it = buffered_since_.find(msg->id());
   if (it == buffered_since_.end()) {
     // A copy we retained without causally delivering it ourselves (e.g.
@@ -112,7 +121,7 @@ void StabilityLayer::GossipAcks() {
     return;
   }
   strategy_->Prune();
-  auto acks = std::make_shared<AckVector>(core_->config.group_id, core_->causal->delivered());
+  auto acks = mem::MakePooled<AckVector>(core_->config.group_id, core_->causal->delivered());
   for (MemberId member : core_->view.members) {
     if (member != core_->self) {
       core_->transport->SendUnreliable(member, GroupPorts::Ack(core_->config.group_id), acks);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 
 #include "src/catocs/fifo_layer.h"
+#include "src/mem/pool.h"
 
 namespace catocs {
 
@@ -82,7 +84,7 @@ void TotalOrderLayer::AdoptConsolidatedOrder(const ViewInstall& install) {
 void TotalOrderLayer::SequencerAssign(const MessageId& id) {
   const uint64_t seq = next_total_assign_++;
   std::vector<std::pair<MessageId, uint64_t>> batch{{id, seq}};
-  auto order = std::make_shared<OrderAssignment>(core_->config.group_id, batch);
+  auto order = mem::MakePooled<OrderAssignment>(core_->config.group_id, batch);
   ++core_->stats.order_msgs_sent;
   core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
   ApplyAssignments(batch);
@@ -109,6 +111,16 @@ void TotalOrderLayer::OnOrder(const net::PayloadPtr& payload) {
 
 void TotalOrderLayer::ApplyAssignments(
     const std::vector<std::pair<MessageId, uint64_t>>& assignments) {
+  const bool token_mode = core_->config.total_order_mode == TotalOrderMode::kToken;
+  // Newly accepted assignments are staged in arena scratch, then merged into
+  // the sorted window in one pass. The arena is reset before TryDeliverApp so
+  // no scratch pointer survives into (possibly re-entrant) delivery.
+  SeqAssignment* fresh = nullptr;
+  size_t fresh_count = 0;
+  if (token_mode && !assignments.empty()) {
+    fresh = static_cast<SeqAssignment*>(
+        scratch_.Allocate(assignments.size() * sizeof(SeqAssignment), alignof(SeqAssignment)));
+  }
   for (const auto& [id, seq] : assignments) {
     if (seq_by_id_.emplace(id, seq).second) {
       if (core_->observing()) {
@@ -121,15 +133,51 @@ void TotalOrderLayer::ApplyAssignments(
         }
       }
       order_by_seq_[seq] = id;
-      if (core_->config.total_order_mode == TotalOrderMode::kToken) {
-        recent_assignments_[seq] = id;
-        while (recent_assignments_.size() > kTokenAssignmentWindow) {
-          recent_assignments_.erase(recent_assignments_.begin());
-        }
+      if (token_mode) {
+        new (&fresh[fresh_count++]) SeqAssignment(seq, id);
       }
     }
   }
+  if (fresh_count > 0) {
+    MergeRecentAssignments(fresh, fresh_count);
+  }
+  scratch_.Reset();
   core_->fifo->TryDeliverApp();
+}
+
+void TotalOrderLayer::MergeRecentAssignments(SeqAssignment* fresh, size_t n) {
+  // Incoming batches are usually already seq-ascending (a holder assigns
+  // consecutively); consolidated-order adoption is not, so sort — cheap for
+  // the tiny runs this sees.
+  std::sort(fresh, fresh + n);
+  const size_t old_count = recent_assignments_.size();
+  auto* merged = static_cast<SeqAssignment*>(
+      scratch_.Allocate((old_count + n) * sizeof(SeqAssignment), alignof(SeqAssignment)));
+  // Two-pointer merge of the two seq-sorted runs; on a seq collision the
+  // incoming entry wins (the overwrite semantics the old map had).
+  size_t i = 0;
+  size_t j = 0;
+  size_t out = 0;
+  while (i < old_count && j < n) {
+    if (recent_assignments_[i].first < fresh[j].first) {
+      new (&merged[out++]) SeqAssignment(recent_assignments_[i++]);
+    } else if (fresh[j].first < recent_assignments_[i].first) {
+      new (&merged[out++]) SeqAssignment(fresh[j++]);
+    } else {
+      new (&merged[out++]) SeqAssignment(fresh[j++]);
+      ++i;
+    }
+  }
+  while (i < old_count) {
+    new (&merged[out++]) SeqAssignment(recent_assignments_[i++]);
+  }
+  while (j < n) {
+    new (&merged[out++]) SeqAssignment(fresh[j++]);
+  }
+  // Trim the oldest seqs beyond the window, exactly as the map's
+  // erase-from-begin loop did.
+  const size_t keep = std::min<size_t>(out, kTokenAssignmentWindow);
+  recent_assignments_.assign(merged + (out - keep), merged + out);
 }
 
 void TotalOrderLayer::OnToken(const net::PayloadPtr& payload) {
@@ -146,8 +194,7 @@ void TotalOrderLayer::OnToken(const net::PayloadPtr& payload) {
   next_total_assign_ = std::max(next_total_assign_, token->next_total_seq());
   // The token's assignment log is authoritative for everything sequenced so
   // far, including assignments whose broadcasts are still in flight to us.
-  ApplyAssignments(std::vector<std::pair<MessageId, uint64_t>>(token->assignments().begin(),
-                                                               token->assignments().end()));
+  ApplyAssignments(token->assignments());
 
   // Sequence every message we have causally delivered but that is not yet
   // ordered, in our causal delivery order. Because causal delivery of m2
@@ -162,7 +209,7 @@ void TotalOrderLayer::OnToken(const net::PayloadPtr& payload) {
     }
   }
   if (!batch.empty()) {
-    auto order = std::make_shared<OrderAssignment>(core_->config.group_id, batch);
+    auto order = mem::MakePooled<OrderAssignment>(core_->config.group_id, batch);
     ++core_->stats.order_msgs_sent;
     core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
     ApplyAssignments(batch);
@@ -184,13 +231,18 @@ void TotalOrderLayer::PassToken(uint64_t next_total_seq) {
     holding_token_ = true;  // sole member keeps the token
     return;
   }
-  std::map<MessageId, uint64_t> carried;
+  // Re-key the seq-sorted window by MessageId for the token's flat,
+  // id-sorted assignment log. Ids are unique in the window (seq_by_id_
+  // guards acceptance), so a plain sort suffices.
+  std::vector<std::pair<MessageId, uint64_t>> carried;
+  carried.reserve(recent_assignments_.size());
   for (const auto& [seq, id] : recent_assignments_) {
-    carried.emplace(id, seq);
+    carried.emplace_back(id, seq);
   }
+  std::sort(carried.begin(), carried.end());
   core_->transport->SendReliable(next, GroupPorts::Token(core_->config.group_id),
-                                 std::make_shared<OrderToken>(core_->config.group_id,
-                                                              next_total_seq, std::move(carried)));
+                                 mem::MakePooled<OrderToken>(core_->config.group_id,
+                                                             next_total_seq, std::move(carried)));
 }
 
 void TotalOrderLayer::OnViewChange(const View& /*view*/) {
@@ -199,7 +251,7 @@ void TotalOrderLayer::OnViewChange(const View& /*view*/) {
   if (core_->config.total_order_mode == TotalOrderMode::kSequencer && core_->IsSequencer()) {
     std::vector<std::pair<MessageId, uint64_t>> batch = AssignPendingUnorderedTotals();
     if (!batch.empty()) {
-      auto order = std::make_shared<OrderAssignment>(core_->config.group_id, batch);
+      auto order = mem::MakePooled<OrderAssignment>(core_->config.group_id, batch);
       ++core_->stats.order_msgs_sent;
       core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
       ApplyAssignments(batch);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/catocs/layer.h"
+#include "src/mem/arena.h"
 
 namespace catocs {
 
@@ -69,9 +70,17 @@ class TotalOrderLayer : public OrderingLayer {
   // Rolling window of recent assignments carried by the token so the next
   // holder cannot double-assign a message whose OrderAssignment broadcast is
   // still in flight. Older assignments have long since been delivered by the
-  // reliable broadcast, so a bounded window suffices.
+  // reliable broadcast, so a bounded window suffices. Kept as a flat vector
+  // sorted by seq — the window is append-mostly and trimmed from the front,
+  // and every token pass walks it linearly, so a node-per-entry map bought
+  // nothing but cache misses.
   static constexpr uint64_t kTokenAssignmentWindow = 512;
-  std::map<uint64_t, MessageId> recent_assignments_;
+  using SeqAssignment = std::pair<uint64_t, MessageId>;
+  void MergeRecentAssignments(SeqAssignment* fresh, size_t n);
+  std::vector<SeqAssignment> recent_assignments_;  // sorted by seq ascending
+  // Scratch for the merge (and for staging accepted assignments); reset at
+  // the end of every ApplyAssignments, so lifetimes never escape the call.
+  mem::Arena scratch_;
   // Token mode: causally delivered kTotal messages not yet sequenced, in
   // local causal delivery order (a linear extension of happens-before).
   std::deque<MessageId> unassigned_total_;

@@ -55,6 +55,21 @@ struct GroupConfig {
   // Retention-buffer strategy for atomic delivery.
   CausalBufferKind causal_buffer = CausalBufferKind::kFullVector;
 
+  // --- Raw-speed layer (DESIGN.md "Raw-speed layer") ------------------------
+  // Sender-side batching: coalesce up to this many consecutive ordered sends
+  // into one GroupBatch frame. 1 (the default) bypasses the batcher entirely
+  // — the send path is byte-identical to the unbatched stack. A partial
+  // batch flushes after batch_flush_delay, and always before a membership
+  // flush blocks the group (a batch never spans a view change).
+  uint32_t batching = 1;
+  sim::Duration batch_flush_delay = sim::Duration::Millis(1);
+
+  // Delta-encode vector timestamps on the wire: each data frame carries only
+  // the clock entries changed since the sender's previous frame (keyframes
+  // at stream start and after view changes), reconstructed at the receiver
+  // against a per-sender reference clock (wire_codec.h). Off by default.
+  bool delta_timestamps = false;
+
   // Pipeline observability: when set, each ordering layer reports
   // enter/exit + hold-reason into the member's PipelineStats and emits
   // per-message lifecycle spans into the simulator's SpanRecorder (if that
@@ -128,6 +143,21 @@ struct GroupStats {
   // Messages from a failed sender abandoned at a view change because no
   // survivor held a copy (atomic-but-not-durable delivery, §2).
   uint64_t messages_dropped_at_view_change = 0;
+
+  // --- Raw-speed layer ------------------------------------------------------
+  uint64_t batches_sent = 0;          // GroupBatch frames broadcast
+  uint64_t batched_data_msgs = 0;     // constituents carried in those frames
+  uint64_t delta_frames_sent = 0;     // delta-encoded (non-keyframe) frames
+  uint64_t delta_keyframes_sent = 0;  // full-clock frames (stream start/view change)
+  // Header bytes the delta encoding avoided vs. shipping the full clock,
+  // summed over destinations (the honest counterpart of ordering_header_bytes).
+  uint64_t delta_header_bytes_saved = 0;
+  // Receiver-side: frames whose reconstructed clock failed to match (must
+  // stay 0 — cross-checked by tests and the chaos oracle's delivery audit).
+  uint64_t delta_decode_mismatches = 0;
+  // Deliverability checks answered by the O(changed-entries) fast path
+  // instead of a full clock scan.
+  uint64_t delta_fast_path_hits = 0;
 };
 
 }  // namespace catocs

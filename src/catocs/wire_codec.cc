@@ -1,0 +1,83 @@
+#include "src/catocs/wire_codec.h"
+
+#include <cassert>
+#include <utility>
+
+namespace catocs {
+
+size_t DeltaEntryCount(const VectorClock* prev, const VectorClock& cur) {
+  if (prev == nullptr) {
+    return cur.entry_count();
+  }
+  const VectorClock::Entries& a = prev->entries();
+  const VectorClock::Entries& b = cur.entries();
+  size_t changed = 0;
+  size_t i = 0;
+  for (const ClockEntry& entry : b) {
+    while (i < a.size() && a[i].member < entry.member) {
+      ++i;  // clocks never shrink, but stay robust to arbitrary inputs
+    }
+    if (i >= a.size() || a[i].member != entry.member || a[i].value != entry.value) {
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+WireVt EncodeVtDelta(const VectorClock* prev, const VectorClock& cur) {
+  WireVt wire;
+  if (prev == nullptr) {
+    wire.keyframe = true;
+    wire.entries = cur.entries();
+    return wire;
+  }
+  const VectorClock::Entries& a = prev->entries();
+  size_t i = 0;
+  for (const ClockEntry& entry : cur.entries()) {
+    while (i < a.size() && a[i].member < entry.member) {
+      ++i;
+    }
+    if (i >= a.size() || a[i].member != entry.member || a[i].value != entry.value) {
+      wire.entries.push_back(entry);
+    }
+  }
+  return wire;
+}
+
+VectorClock DecodeVtDelta(const VectorClock& reference, const WireVt& wire) {
+  if (wire.keyframe) {
+    VectorClock clock;
+    for (const ClockEntry& entry : wire.entries) {
+      clock.Set(entry.member, entry.value);
+    }
+    return clock;
+  }
+  VectorClock clock = reference;
+  for (const ClockEntry& entry : wire.entries) {
+    clock.Set(entry.member, entry.value);
+  }
+  return clock;
+}
+
+void ApplyVtDelta(VectorClock& reference, const WireVt& wire) {
+  assert(!wire.keyframe);
+  for (const ClockEntry& entry : wire.entries) {
+    reference.Set(entry.member, entry.value);
+  }
+}
+
+bool CausallyDeliverableDelta(const WireVt& wire, MemberId sender, uint64_t seq,
+                              const VectorClock& delivered) {
+  assert(!wire.keyframe);
+  if (delivered.Get(sender) + 1 != seq) {
+    return false;
+  }
+  for (const ClockEntry& entry : wire.entries) {
+    if (entry.member != sender && entry.value > delivered.Get(entry.member)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace catocs

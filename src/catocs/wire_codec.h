@@ -1,0 +1,56 @@
+// Delta encoding of vector timestamps for the wire (§3.4 overhead: the
+// full-clock header is the dominant per-message cost at large N, yet
+// successive frames from one sender differ in only the few entries that
+// sender delivered since its last frame).
+//
+// Encoder (sender side, causal_layer.cc): each frame carries only the
+// entries that changed since the sender's previous frame; the first frame —
+// and the first frame after a view change — is a keyframe carrying the full
+// clock. Decoder (receiver side): a per-sender reference clock, advanced
+// frame by frame. The transport's per-peer reliable FIFO channel is what
+// makes cross-frame deltas safe: frames from one sender are decoded in
+// exactly the order they were encoded, and a sender that crashes and
+// rejoins does so under a fresh member id whose first frame is a keyframe.
+//
+// Clocks only grow, so a delta never removes an entry; decoding is a sorted
+// merge of the reference with the changed entries.
+
+#ifndef REPRO_SRC_CATOCS_WIRE_CODEC_H_
+#define REPRO_SRC_CATOCS_WIRE_CODEC_H_
+
+#include <cstddef>
+
+#include "src/catocs/message.h"
+#include "src/catocs/vector_clock.h"
+
+namespace catocs {
+
+// Number of entries in `cur` that differ from `prev` (null prev = all of
+// them). Two-pointer scan over the sorted entry vectors.
+size_t DeltaEntryCount(const VectorClock* prev, const VectorClock& cur);
+
+// Encodes `cur` as a delta against `prev`; null prev produces a keyframe.
+WireVt EncodeVtDelta(const VectorClock* prev, const VectorClock& cur);
+
+// Reconstructs the full clock from `wire` against the receiver's reference
+// for this sender. A keyframe ignores (and replaces) the reference.
+VectorClock DecodeVtDelta(const VectorClock& reference, const WireVt& wire);
+
+// In-place form for the per-frame decode path: advances `reference` by the
+// delta's changed entries without materializing a copy. Non-keyframes only
+// (a keyframe replaces the reference wholesale — use DecodeVtDelta).
+void ApplyVtDelta(VectorClock& reference, const WireVt& wire);
+
+// O(delta) deliverability for a non-keyframe delta frame, exact (agrees with
+// the full CausallyDeliverable scan in both directions). Soundness of
+// skipping unchanged entries: requiring delivered[sender]+1 == seq means
+// frame (sender, seq-1) was causally delivered *here*, so at that moment
+// every entry of its clock was <= delivered; delivered only grows, and the
+// unchanged entries of frame seq are exactly that clock's entries — only the
+// changed ones can exceed today's delivered vector.
+bool CausallyDeliverableDelta(const WireVt& wire, MemberId sender, uint64_t seq,
+                              const VectorClock& delivered);
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_WIRE_CODEC_H_

@@ -96,12 +96,14 @@ void ChaosRig::WorkloadTick(size_t slot) {
     return;
   }
   Incarnation& inc = current(slot);
-  const uint64_t counter = ++inc.send_counter;
-  const uint64_t key = (static_cast<uint64_t>(inc.id) << 32) | counter;
-  const auto mode =
-      counter % 3 == 0 ? catocs::OrderingMode::kTotal : catocs::OrderingMode::kCausal;
-  ++sends_issued_;
-  inc.member->Send(mode, std::make_shared<ChaosUpdate>(key, counter, config_.payload_bytes));
+  for (size_t i = 0; i < config_.workload_burst; ++i) {
+    const uint64_t counter = ++inc.send_counter;
+    const uint64_t key = (static_cast<uint64_t>(inc.id) << 32) | counter;
+    const auto mode =
+        counter % 3 == 0 ? catocs::OrderingMode::kTotal : catocs::OrderingMode::kCausal;
+    ++sends_issued_;
+    inc.member->Send(mode, std::make_shared<ChaosUpdate>(key, counter, config_.payload_bytes));
+  }
 }
 
 void ChaosRig::CrashSlot(size_t slot) {

@@ -36,9 +36,12 @@ struct ChaosRigConfig {
   sim::Duration latency_hi = sim::Duration::Millis(5);
 
   // Workload: every live slot multicasts a unique-key update each interval;
-  // every third send per slot is totally ordered, the rest causal.
+  // every third send per slot is totally ordered, the rest causal. With
+  // workload_burst > 1 each tick issues that many back-to-back sends — the
+  // traffic shape that actually exercises sender-side batching.
   sim::Duration workload_interval = sim::Duration::Millis(15);
   size_t payload_bytes = 64;
+  size_t workload_burst = 1;
 };
 
 class ChaosRig {

@@ -1,0 +1,102 @@
+// Chunked bump arena for short-lived scratch objects with a common reset
+// point. Allocation is a pointer bump; there is no per-object free. The
+// owner calls Reset() at a quiescent point (a batch flushed, a token built,
+// a bench iteration finished) and every object allocated since is reclaimed
+// at once — which is why only trivially destructible types may be placed
+// here via New<T>.
+//
+// Chunks are retained across Reset, so a steady-state workload reaches its
+// high-water mark once and never allocates from the system again.
+
+#ifndef REPRO_SRC_MEM_ARENA_H_
+#define REPRO_SRC_MEM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mem {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 16384) : chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (chunk_ == nullptr || offset + bytes > chunk_size_) {
+      NextChunk(bytes);
+      offset = 0;  // fresh chunks are max-aligned
+    }
+    void* p = chunk_ + offset;
+    cursor_ = offset + bytes;
+    bytes_used_ += bytes;
+    return p;
+  }
+
+  // Placement-constructs a T in the arena. No destructor ever runs: the
+  // memory is reclaimed wholesale by Reset().
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are reclaimed without running destructors");
+    return ::new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  // Reclaims everything allocated since the last Reset. Chunks are kept.
+  void Reset() {
+    current_ = 0;
+    chunk_ = chunks_.empty() ? nullptr : chunks_.front().get();
+    chunk_size_ = chunks_.empty() ? 0 : chunk_sizes_.front();
+    cursor_ = 0;
+    bytes_used_ = 0;
+  }
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (std::size_t size : chunk_sizes_) {
+      total += size;
+    }
+    return total;
+  }
+
+ private:
+  void NextChunk(std::size_t min_bytes) {
+    // Advance through retained chunks until one fits; grow otherwise.
+    std::size_t next = chunk_ == nullptr ? current_ : current_ + 1;
+    while (next < chunks_.size() && chunk_sizes_[next] < min_bytes) {
+      ++next;  // too small for this request; abandoned until Reset
+    }
+    if (next >= chunks_.size()) {
+      const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+      chunks_.push_back(std::make_unique<std::byte[]>(size));
+      chunk_sizes_.push_back(size);
+      next = chunks_.size() - 1;
+    }
+    current_ = next;
+    chunk_ = chunks_[next].get();
+    chunk_size_ = chunk_sizes_[next];
+    cursor_ = 0;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::size_t> chunk_sizes_;
+  std::size_t current_ = 0;
+  std::byte* chunk_ = nullptr;
+  std::size_t chunk_size_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace mem
+
+#endif  // REPRO_SRC_MEM_ARENA_H_

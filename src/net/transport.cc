@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/mem/pool.h"
+
 namespace net {
 
 namespace {
@@ -94,7 +96,7 @@ void Transport::RegisterReceiver(uint32_t app_port, ReceiveFn fn) {
 }
 
 void Transport::SendUnreliable(NodeId dst, uint32_t app_port, PayloadPtr payload) {
-  network_->Send(node_, dst, kRawPort, std::make_shared<RawPayload>(app_port, std::move(payload)),
+  network_->Send(node_, dst, kRawPort, mem::MakePooled<RawPayload>(app_port, std::move(payload)),
                  /*header_bytes=*/4);
 }
 
@@ -117,13 +119,13 @@ void Transport::ResetPeerState() {
 void Transport::TransmitSegment(NodeId dst, const PendingSegment& segment) {
   ++segments_sent_;
   network_->Send(node_, dst, kDataPort,
-                 std::make_shared<SegmentPayload>(segment.seq, segment.app_port, segment.payload),
+                 mem::MakePooled<SegmentPayload>(segment.seq, segment.app_port, segment.payload),
                  config_.data_header_bytes);
 }
 
 void Transport::SendAck(NodeId dst, uint64_t cumulative) {
   ++acks_sent_;
-  network_->Send(node_, dst, kAckPort, std::make_shared<AckPayload>(cumulative),
+  network_->Send(node_, dst, kAckPort, mem::MakePooled<AckPayload>(cumulative),
                  config_.ack_header_bytes);
 }
 

@@ -14,15 +14,17 @@
 #define REPRO_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
+#include "src/sim/inline_fn.h"
 #include "src/sim/time.h"
 
 namespace sim {
 
-using EventFn = std::function<void()>;
+// Move-only, inline-storage closure: scheduling an event no longer
+// heap-allocates for typical captures (see inline_fn.h).
+using EventFn = InlineFn;
 
 // Opaque handle for cancelling a scheduled event.
 struct EventId {

@@ -29,7 +29,9 @@ void Process::Recover() {
 
 EventId Process::ScheduleIfAlive(Duration delay, EventFn fn) {
   const uint64_t scheduled_incarnation = incarnation_;
-  return simulator_->ScheduleAfter(delay, [this, scheduled_incarnation, fn = std::move(fn)] {
+  // mutable: the captured closure is invoked through InlineFn's non-const
+  // call operator.
+  return simulator_->ScheduleAfter(delay, [this, scheduled_incarnation, fn = std::move(fn)]() mutable {
     if (crashed_ || incarnation_ != scheduled_incarnation) {
       return;
     }

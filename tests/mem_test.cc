@@ -1,0 +1,183 @@
+// Raw-speed allocation primitives: the size-class pool, the bump arena, and
+// the inline event closure. The pool is process-global, so every stats
+// assertion works in deltas; pooled behaviour is skipped in passthrough mode
+// (ASan or REPRO_MEM_PASSTHROUGH=1) where every call is operator new.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/mem/arena.h"
+#include "src/mem/pool.h"
+#include "src/sim/inline_fn.h"
+
+namespace mem {
+namespace {
+
+TEST(PoolTest, RecyclesBlocksThroughFreeLists) {
+  if (SizeClassPool::passthrough()) {
+    GTEST_SKIP() << "pool disabled (ASan / REPRO_MEM_PASSTHROUGH)";
+  }
+  SizeClassPool& pool = SizeClassPool::Instance();
+  const PoolStats before = pool.stats();
+
+  void* a = pool.Allocate(100);  // 128-byte class
+  pool.Deallocate(a, 100);
+  void* b = pool.Allocate(90);  // same class: must pop the parked block
+  EXPECT_EQ(b, a) << "LIFO reuse of the freshly freed block";
+  pool.Deallocate(b, 90);
+
+  const PoolStats after = pool.stats();
+  EXPECT_EQ(after.allocations - before.allocations, 2u);
+  EXPECT_GE(after.pool_hits - before.pool_hits, 1u);
+  EXPECT_EQ(after.frees - before.frees, 2u);
+  EXPECT_EQ(after.live_blocks, before.live_blocks);
+}
+
+TEST(PoolTest, OversizedBlocksBypassTheFreeLists) {
+  SizeClassPool& pool = SizeClassPool::Instance();
+  const PoolStats before = pool.stats();
+  const size_t big = SizeClassPool::kMaxPooledBytes + 1;
+
+  void* p = pool.Allocate(big);
+  ASSERT_NE(p, nullptr);
+  pool.Deallocate(p, big);
+
+  if (!SizeClassPool::passthrough()) {
+    const PoolStats after = pool.stats();
+    EXPECT_EQ(after.fresh_blocks - before.fresh_blocks, 1u)
+        << "above kMaxPooledBytes every allocation is fresh";
+    EXPECT_EQ(after.free_bytes, before.free_bytes) << "oversized frees are not parked";
+  }
+}
+
+TEST(PoolTest, TrimFreeListsReleasesParkedBytes) {
+  if (SizeClassPool::passthrough()) {
+    GTEST_SKIP() << "pool disabled (ASan / REPRO_MEM_PASSTHROUGH)";
+  }
+  SizeClassPool& pool = SizeClassPool::Instance();
+  void* p = pool.Allocate(64);
+  pool.Deallocate(p, 64);
+  EXPECT_GT(pool.stats().free_bytes, 0u);
+  pool.TrimFreeLists();
+  EXPECT_EQ(pool.stats().free_bytes, 0u);
+}
+
+TEST(PoolTest, MakePooledBehavesLikeMakeShared) {
+  struct Payload {
+    uint64_t a;
+    uint64_t b;
+  };
+  std::shared_ptr<Payload> p = MakePooled<Payload>(Payload{7, 9});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->a, 7u);
+  EXPECT_EQ(p->b, 9u);
+  std::weak_ptr<Payload> w = p;
+  p.reset();
+  EXPECT_TRUE(w.expired());
+}
+
+TEST(ArenaTest, BumpAllocatesAndResetsWithoutReleasingChunks) {
+  Arena arena(256);
+  uint64_t* a = arena.New<uint64_t>(11);
+  uint64_t* b = arena.New<uint64_t>(22);
+  EXPECT_EQ(*a, 11u);
+  EXPECT_EQ(*b, 22u);
+  EXPECT_EQ(reinterpret_cast<char*>(b) - reinterpret_cast<char*>(a),
+            static_cast<ptrdiff_t>(sizeof(uint64_t)))
+      << "consecutive same-type allocations are a pure bump";
+  EXPECT_EQ(arena.chunk_count(), 1u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  uint64_t* c = arena.New<uint64_t>(33);
+  EXPECT_EQ(c, a) << "Reset rewinds to the first chunk; no new system allocation";
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(ArenaTest, GrowsByChunksAndReachesSteadyState) {
+  Arena arena(128);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      arena.New<uint64_t>(static_cast<uint64_t>(i));
+    }
+    arena.Reset();
+  }
+  const size_t high_water = arena.chunk_count();
+  EXPECT_GE(high_water, 4u) << "64 x 8 bytes cannot fit one 128-byte chunk";
+  for (int i = 0; i < 64; ++i) {
+    arena.New<uint64_t>(static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(arena.chunk_count(), high_water) << "steady state: chunks are reused, not grown";
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  void* p = arena.Allocate(1000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  arena.Allocate(1, 1);
+  void* p = arena.Allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+}
+
+TEST(InlineFnTest, SmallClosureStaysInline) {
+  int hits = 0;
+  sim::InlineFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFnTest, MovePreservesTheClosure) {
+  int hits = 0;
+  sim::InlineFn a([&hits] { ++hits; });
+  sim::InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): moved-from is empty
+  b();
+  sim::InlineFn c;
+  EXPECT_FALSE(static_cast<bool>(c));
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFnTest, OutsizedCaptureFallsBackToHeap) {
+  // > kInlineBytes of capture: four shared_ptrs plus an array.
+  auto big = std::make_shared<std::vector<int>>(32, 5);
+  uint64_t pad[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t sum = 0;
+  sim::InlineFn fn([big, pad, &sum] {
+    for (uint64_t v : pad) {
+      sum += v;
+    }
+    sum += static_cast<uint64_t>(big->at(0));
+  });
+  static_assert(sizeof(pad) + sizeof(big) + sizeof(&sum) > 64, "capture must exceed inline storage");
+  sim::InlineFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(sum, 36u + 5u);
+  EXPECT_EQ(big.use_count(), 2) << "heap closure owns one reference until destroyed";
+  moved = sim::InlineFn{};
+  EXPECT_EQ(big.use_count(), 1) << "destroying the closure releases the capture";
+}
+
+TEST(InlineFnTest, DestructionRunsCaptureDestructors) {
+  auto token = std::make_shared<int>(1);
+  {
+    sim::InlineFn fn([token] { (void)token; });
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace mem

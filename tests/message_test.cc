@@ -83,12 +83,118 @@ TEST(MessageSizeTest, ViewInstallChargesMissingAndAssignments) {
 TEST(MessageSizeTest, OrderTokenGrowsWithCarriedAssignments) {
   OrderToken empty(1, 5, {});
   EXPECT_EQ(empty.SizeBytes(), 12u);
-  std::map<MessageId, uint64_t> assignments;
+  std::vector<std::pair<MessageId, uint64_t>> assignments;
   for (uint64_t i = 1; i <= 10; ++i) {
-    assignments[MessageId{1, i}] = i;
+    assignments.emplace_back(MessageId{1, i}, i);
   }
-  OrderToken loaded(1, 11, assignments);
+  OrderToken loaded(1, 11, std::move(assignments));
   EXPECT_EQ(loaded.SizeBytes(), 12u + 10 * 20);
+  EXPECT_EQ(loaded.assignments().size(), 10u);
+  EXPECT_EQ(loaded.assignments().front().first, (MessageId{1, 1}));
+}
+
+// --- GroupBatch wire accounting -------------------------------------------
+
+// A constituent the way the batcher produces it: same sender, contiguous
+// seqs, an explicit clock, optionally acks.
+std::shared_ptr<GroupData> BatchEntry(uint64_t seq,
+                                      std::vector<std::pair<MemberId, uint64_t>> vt_entries,
+                                      size_t payload_bytes,
+                                      std::vector<std::pair<MemberId, uint64_t>> ack_entries = {}) {
+  VectorClock vt;
+  for (const auto& [m, v] : vt_entries) {
+    vt.Set(m, v);
+  }
+  auto data = std::make_shared<GroupData>(1, MessageId{1, seq}, OrderingMode::kCausal,
+                                          std::move(vt), Blob(payload_bytes),
+                                          sim::TimePoint::Zero());
+  VectorClock acks;
+  for (const auto& [m, v] : ack_entries) {
+    acks.Set(m, v);
+  }
+  data->set_acks(std::move(acks));
+  return data;
+}
+
+TEST(MessageSizeTest, GroupBatchHeaderBytesPinnedHandComputed) {
+  // Three constituents; the third delivered something from member 2 between
+  // sends, so its vt delta has two changed entries.
+  GroupBatch batch(1, {BatchEntry(1, {{1, 1}}, 100),
+                       BatchEntry(2, {{1, 2}}, 50),
+                       BatchEntry(3, {{1, 3}, {2, 5}}, 25)});
+  // Base frame: group(4) + sender(4) + first_seq(8) + count(2) = 18.
+  // e1: 5 + (1 + 1*12) vt-full + (1 + 0) acks-empty             = 19
+  // e2: 5 + (1 + 1*12) one changed vt entry + (1 + 0)           = 19
+  // e3: 5 + (1 + 2*12) two changed vt entries + (1 + 0)         = 31
+  EXPECT_EQ(batch.HeaderBytes(), 18u + 19u + 19u + 31u);
+  EXPECT_EQ(GroupBatch::kBaseFrameBytes, 18u);
+  EXPECT_EQ(batch.sender(), 1u);
+  EXPECT_EQ(batch.first_seq(), 1u);
+}
+
+TEST(MessageSizeTest, GroupBatchAckDeltasChargeOnlyChanges) {
+  // Acks appear on e2 and are unchanged on e3: one 2-entry delta, then none.
+  GroupBatch batch(1, {BatchEntry(1, {{1, 1}}, 10),
+                       BatchEntry(2, {{1, 2}}, 10, {{1, 1}, {2, 1}}),
+                       BatchEntry(3, {{1, 3}}, 10, {{1, 1}, {2, 1}})});
+  GroupBatch no_acks(1, {BatchEntry(1, {{1, 1}}, 10),
+                         BatchEntry(2, {{1, 2}}, 10),
+                         BatchEntry(3, {{1, 3}}, 10)});
+  EXPECT_EQ(batch.HeaderBytes(), no_acks.HeaderBytes() + 2 * VectorClock::kEntryBytes);
+}
+
+TEST(MessageSizeTest, GroupBatchSizeBytesIsPayloadSum) {
+  GroupBatch batch(1, {BatchEntry(1, {{1, 1}}, 100),
+                       BatchEntry(2, {{1, 2}}, 50),
+                       BatchEntry(3, {{1, 3}}, 25)});
+  EXPECT_EQ(batch.SizeBytes(), 175u);
+  // Header sections split base frame from per-entry metadata.
+  const auto sections = batch.HeaderSections();
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].bytes + sections[1].bytes, batch.HeaderBytes());
+}
+
+TEST(MessageSizeTest, StripPiggybackOnBatchConstituents) {
+  auto entry = BatchEntry(2, {{1, 2}}, 40);
+  auto predecessor = BatchEntry(1, {{1, 1}}, 30);
+  auto carrying = std::make_shared<GroupData>(*entry);
+  carrying->set_piggyback({predecessor});
+  GroupBatch batch(1, {carrying});
+  // The constituent's piggyback rides in the batch's payload accounting...
+  EXPECT_EQ(batch.SizeBytes(), 40u + 30u + predecessor->HeaderBytes());
+  // ...and stripping it for retention keeps identity and header intact.
+  GroupDataPtr stripped = StripPiggyback(batch.entries().front());
+  EXPECT_TRUE(stripped->piggyback().empty());
+  EXPECT_EQ(stripped->id(), entry->id());
+  EXPECT_EQ(stripped->SizeBytes(), 40u);
+  EXPECT_EQ(stripped->HeaderBytes(), entry->HeaderBytes());
+}
+
+TEST(MessageSizeTest, StrippedCopiesDropTheWireDelta) {
+  // A stripped (retention/retransmission) copy must not carry the delta
+  // stamp: it can reach receivers out of band, where no reference clock is
+  // valid — the full vt travels with it and the full-scan gate applies.
+  auto entry = BatchEntry(2, {{1, 2}}, 40);
+  entry->set_wire_vt(WireVt{false, {{1, 2}}});
+  auto carrying = std::make_shared<GroupData>(*entry);
+  carrying->set_piggyback({BatchEntry(1, {{1, 1}}, 30)});
+  ASSERT_NE(carrying->wire_vt(), nullptr);
+  GroupDataPtr stripped = StripPiggyback(carrying);
+  EXPECT_EQ(stripped->wire_vt(), nullptr);
+  EXPECT_EQ(stripped->vt(), entry->vt());
+}
+
+TEST(MessageSizeTest, GroupDataHeaderUsesWireDeltaWhenPresent) {
+  std::vector<std::pair<MemberId, uint64_t>> clock;
+  for (MemberId m = 1; m <= 8; ++m) {
+    clock.emplace_back(m, m);
+  }
+  auto full = BatchEntry(5, clock, 10);
+  auto delta = BatchEntry(5, clock, 10);
+  delta->set_wire_vt(WireVt{false, {{1, 5}}});
+  EXPECT_EQ(full->HeaderBytes(), 17u + 8 * VectorClock::kEntryBytes);
+  EXPECT_EQ(delta->HeaderBytes(), 17u + (1 + 1 * VectorClock::kEntryBytes));
+  EXPECT_LT(delta->HeaderBytes(), full->HeaderBytes());
 }
 
 TEST(MessageDescribeTest, HumanReadableForms) {
