@@ -1,0 +1,229 @@
+// E19 — causal provenance: how much of the ordering CATOCS enforces did the
+// application actually ask for? Three measurements (DESIGN.md §8):
+//   1. trading (E4's workload) and a token-passing workload (E13's traffic
+//      shape) run with the provenance recorder attached, across
+//      {causal+full-vector, total+full-vector, causal+hybrid-buffer} —
+//      reporting the spurious-edge ratio (potential edges with no transitive
+//      semantic backing) and the false-delay fraction (gating hold time that
+//      bought no semantic ordering);
+//   2. a hidden-channel probe inside the chaos rig manufactures known
+//      out-of-band causality; the recorder's miss count is cross-checked
+//      against an independent recount from the rig's delivery records;
+//   3. with --trace-out=FILE, the fixed-seed trading run leaves its Chrome
+//      trace-event export behind for scripts/trace_analyze.py / check.sh.
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/trading.h"
+#include "src/catocs/group.h"
+#include "src/catocs/pipeline_stats.h"
+#include "src/fault/chaos_rig.h"
+#include "src/fault/hidden_probe.h"
+#include "src/obs/provenance.h"
+
+namespace {
+
+struct SweepConfig {
+  const char* name;
+  catocs::OrderingMode mode;
+  catocs::CausalBufferKind buffer;
+};
+
+constexpr SweepConfig kSweep[] = {
+    {"causal+full", catocs::OrderingMode::kCausal, catocs::CausalBufferKind::kFullVector},
+    {"total+full", catocs::OrderingMode::kTotal, catocs::CausalBufferKind::kFullVector},
+    {"causal+hybrid", catocs::OrderingMode::kCausal, catocs::CausalBufferKind::kHybrid},
+};
+
+void ProvenanceRow(const char* config, const obs::ProvenanceRecorder& rec) {
+  const auto& t = rec.totals();
+  benchutil::Row("%-15s %-11llu %-10llu %-10llu %-10llu %-11.3f %-11.2f %-11.2f %.3f", config,
+                 static_cast<unsigned long long>(t.deliveries),
+                 static_cast<unsigned long long>(t.potential_edges),
+                 static_cast<unsigned long long>(t.matched_edges),
+                 static_cast<unsigned long long>(t.spurious_edges), rec.SpuriousEdgeRatio(),
+                 static_cast<double>(t.gating_hold_total.nanos()) / 1e6,
+                 static_cast<double>(t.false_hold_total.nanos()) / 1e6, rec.FalseDelayFraction());
+}
+
+// --- 1a. trading (E4) --------------------------------------------------------
+
+void RunTradingSweep(const std::string& trace_out) {
+  benchutil::Row("%-15s %-11s %-10s %-10s %-10s %-11s %-11s %-11s %s", "config", "deliveries",
+                 "pot_edges", "matched", "spurious", "spur_ratio", "gate_ms", "false_ms",
+                 "false_frac");
+  for (const SweepConfig& sweep : kSweep) {
+    apps::TradingConfig config;
+    config.price_updates = 800;
+    config.mode = sweep.mode;
+    config.causal_buffer = sweep.buffer;
+    config.seed = 7;
+    obs::ProvenanceRecorder rec;
+    config.provenance = &rec;
+    std::string trace;
+    const bool want_trace = !trace_out.empty() && sweep.mode == catocs::OrderingMode::kCausal &&
+                            sweep.buffer == catocs::CausalBufferKind::kFullVector;
+    if (want_trace) {
+      config.trace_json = &trace;
+    }
+    const apps::TradingResult result = RunTradingScenario(config);
+    (void)result;
+    ProvenanceRow(sweep.name, rec);
+    if (want_trace) {
+      std::ofstream out(trace_out, std::ios::binary);
+      out << trace;
+    }
+  }
+}
+
+// --- 1b. token passing (E13's traffic shape) ---------------------------------
+
+class TokenPass : public net::Payload {
+ public:
+  TokenPass(int token, int from, int to) : token_(token), from_(from), to_(to) {}
+  size_t SizeBytes() const override { return 12; }
+  std::string Describe() const override { return "token-pass"; }
+  int token() const { return token_; }
+  int from() const { return from_; }
+  int to() const { return to_; }
+
+ private:
+  int token_;
+  int from_;
+  int to_;
+};
+
+void RunTokenSweep() {
+  constexpr int kNodes = 6;
+  constexpr int kTokens = 3;
+  benchutil::Row("%-15s %-11s %-10s %-10s %-10s %-11s %-11s %-11s %s", "config", "deliveries",
+                 "pot_edges", "matched", "spurious", "spur_ratio", "gate_ms", "false_ms",
+                 "false_frac");
+  for (const SweepConfig& sweep : kSweep) {
+    sim::Simulator s(19);
+    obs::ProvenanceRecorder rec;
+    rec.set_enabled(true);
+    catocs::FabricConfig cfg;
+    cfg.num_members = kNodes;
+    cfg.group.observability = true;
+    cfg.group.provenance = &rec;
+    cfg.group.causal_buffer = sweep.buffer;
+    catocs::GroupFabric fabric(&s, cfg);
+
+    // Each token's only semantic order is its own move chain: move n of token
+    // t depends on move n-1 of token t (the move that handed the sender the
+    // token). Every other ordering the stack enforces is spurious by
+    // construction.
+    std::vector<int> holder(kTokens);
+    std::vector<bool> in_flight(kTokens, false);
+    std::vector<catocs::MessageId> last_move(kTokens, catocs::MessageId{0, 0});
+    for (int t = 0; t < kTokens; ++t) {
+      holder[t] = t % kNodes;
+    }
+    for (int m = 0; m < kNodes; ++m) {
+      fabric.member(static_cast<size_t>(m)).SetDeliveryHandler([&, m](const catocs::Delivery& d) {
+        if (const auto* pass = net::PayloadCast<TokenPass>(d.payload())) {
+          if (pass->to() == m) {
+            holder[pass->token()] = m;
+            last_move[pass->token()] = d.id();
+            in_flight[pass->token()] = false;
+          }
+        }
+      });
+    }
+    fabric.StartAll();
+
+    sim::Rng mover_rng = s.rng().Fork();
+    std::vector<std::unique_ptr<sim::PeriodicTimer>> movers;
+    for (int i = 0; i < kNodes; ++i) {
+      movers.push_back(
+          std::make_unique<sim::PeriodicTimer>(&s, sim::Duration::Millis(8), [&, i, sweep] {
+            for (int t = 0; t < kTokens; ++t) {
+              if (holder[t] != i || in_flight[t]) {
+                continue;
+              }
+              int to = static_cast<int>(mover_rng.NextBelow(kNodes));
+              if (to == i) {
+                to = (to + 1) % kNodes;
+              }
+              catocs::GroupMember& member = fabric.member(static_cast<size_t>(i));
+              member.DeclareDependency(last_move[t]);
+              member.Send(sweep.mode, std::make_shared<TokenPass>(t, i, to));
+              in_flight[t] = true;
+            }
+          }));
+      movers.back()->Start(sim::Duration::Micros(600 * (i + 1)));
+    }
+    s.RunFor(sim::Duration::Seconds(8));
+    for (auto& mover : movers) {
+      mover->Stop();
+    }
+    s.RunFor(sim::Duration::Seconds(1));
+    ProvenanceRow(sweep.name, rec);
+  }
+}
+
+// --- 2. hidden-channel probe + oracle cross-check ----------------------------
+
+void RunProbeSweep() {
+  benchutil::Row("%-10s %-8s %-12s %-10s %-10s %-13s %s", "mode", "rounds", "edges", "checked",
+                 "missed", "oracle_missed", "crosscheck");
+  for (catocs::OrderingMode mode : {catocs::OrderingMode::kCausal, catocs::OrderingMode::kTotal}) {
+    sim::Simulator s(37);
+    obs::ProvenanceRecorder rec;
+    rec.set_enabled(true);
+    fault::ChaosRigConfig cfg;
+    cfg.num_slots = 4;
+    cfg.group.observability = true;
+    cfg.group.provenance = &rec;
+    fault::ChaosRig rig(&s, cfg);
+    fault::HiddenChannelProbe::Config probe_cfg;
+    probe_cfg.mode = mode;
+    fault::HiddenChannelProbe probe(&rig, &rec, probe_cfg);
+    rig.Start();
+    probe.Start();
+    s.RunFor(sim::Duration::Seconds(10));
+    probe.Stop();
+    rig.StopWorkload();
+    s.RunFor(sim::Duration::Seconds(1));
+
+    const uint64_t oracle = fault::CountHiddenMisses(rig.deliveries(), probe.edges());
+    const auto& t = rec.totals();
+    benchutil::Row("%-10s %-8llu %-12llu %-10llu %-10llu %-13llu %s",
+                   mode == catocs::OrderingMode::kCausal ? "causal" : "total",
+                   static_cast<unsigned long long>(probe.rounds()),
+                   static_cast<unsigned long long>(probe.edges_injected()),
+                   static_cast<unsigned long long>(t.hidden_checked),
+                   static_cast<unsigned long long>(t.hidden_missed),
+                   static_cast<unsigned long long>(oracle),
+                   oracle == t.hidden_missed ? "MATCH" : "MISMATCH");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+  }
+  benchutil::Header("E19 — causal provenance: false causality and hidden channels (§2, DESIGN §8)",
+                    "most potential edges are semantically spurious; total order pays extra false "
+                    "delay; hidden-channel misses match an independent delivery-record recount");
+  benchutil::Row("%s", "-- trading (E4 workload): theo depends on its base price, nothing else --");
+  RunTradingSweep(trace_out);
+  benchutil::Row("%s", "");
+  benchutil::Row("%s", "-- token passing (E13 traffic): each move depends on the previous move --");
+  RunTokenSweep();
+  benchutil::Row("%s", "");
+  benchutil::Row("%s", "-- hidden-channel probe (chaos rig): recorder vs delivery-record oracle --");
+  RunProbeSweep();
+  return 0;
+}

@@ -11,7 +11,7 @@
 //
 // Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
 //                   [--buffer full|hybrid] [--batch N] [--no-verify-replay]
-//                   [--verbose] [--trace]
+//                   [--verbose] [--trace] [--probe]
 //
 // --batch N enables sender-side batching (GroupConfig::batching = N) plus
 // delta-encoded timestamps, and has each workload tick issue N back-to-back
@@ -25,20 +25,30 @@
 // message named in the violation — where it was stamped, where it waited,
 // who delivered it. Observability is record-only (no simulator events), so
 // tracing never perturbs the run it is diagnosing.
+//
+// --probe additionally runs the hidden-channel probe (hidden_probe.h) under
+// the fault schedule, with a provenance recorder attached, and cross-checks
+// the recorder's hidden-miss count against an independent recount from the
+// rig's delivery records — a disagreement fails the seed. Unlike --trace,
+// probe tokens are real traffic, so --probe runs have their own trace hashes
+// (still replay-verified).
 
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/catocs/causal_buffer.h"
 #include "src/catocs/pipeline_stats.h"
 #include "src/fault/chaos_rig.h"
 #include "src/fault/fault_plan.h"
+#include "src/fault/hidden_probe.h"
 #include "src/fault/injector.h"
 #include "src/fault/oracle.h"
+#include "src/obs/provenance.h"
 #include "src/sim/simulator.h"
 
 namespace {
@@ -56,6 +66,7 @@ struct RunOptions {
   bool verify_replay = true;
   bool verbose = false;
   bool trace = false;
+  bool probe = false;
 };
 
 struct RunResult {
@@ -72,6 +83,11 @@ struct RunResult {
   uint64_t spans_recorded = 0;
   uint64_t holds_entered = 0;
   std::string span_dump;
+  // --probe only: hidden-channel edge totals and the oracle cross-check.
+  uint64_t hidden_edges = 0;
+  uint64_t hidden_missed = 0;
+  uint64_t hidden_missed_oracle = 0;
+  bool probe_crosscheck_ok = true;
 };
 
 // Finds the first "sender#seq" (MessageId::ToString form) in a violation
@@ -126,15 +142,33 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
     cfg.group.observability = true;
     s.spans().set_enabled(true);
   }
+  obs::ProvenanceRecorder recorder;
+  if (opt.probe) {
+    recorder.set_enabled(true);
+    cfg.group.observability = true;
+    cfg.group.provenance = &recorder;
+  }
   fault::ChaosRig rig(&s, cfg);
   fault::FaultInjector injector(&s, &rig);
+  std::unique_ptr<fault::HiddenChannelProbe> probe;
+  if (opt.probe) {
+    probe = std::make_unique<fault::HiddenChannelProbe>(&rig, &recorder);
+  }
 
   const fault::FaultPlan plan = PlanForSeed(seed, opt);
   injector.Install(plan);
 
   rig.Start();
+  if (probe) {
+    probe->Start();
+  }
   const sim::Duration horizon = sim::Duration::Millis(opt.horizon_ms);
-  s.ScheduleAfter(horizon, [&rig] { rig.StopWorkload(); });
+  s.ScheduleAfter(horizon, [&rig, &probe] {
+    rig.StopWorkload();
+    if (probe) {
+      probe->Stop();
+    }
+  });
   // Drain: retransmission, redelivery, flushes, and the last rejoin all
   // settle well within two extra simulated seconds.
   s.RunFor(horizon + sim::Duration::Seconds(2));
@@ -173,6 +207,12 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
         }
       }
     }
+  }
+  if (probe) {
+    result.hidden_edges = probe->edges_injected();
+    result.hidden_missed = recorder.totals().hidden_missed;
+    result.hidden_missed_oracle = fault::CountHiddenMisses(rig.deliveries(), probe->edges());
+    result.probe_crosscheck_ok = result.hidden_missed == result.hidden_missed_oracle;
   }
   return result;
 }
@@ -214,6 +254,8 @@ int main(int argc, char** argv) {
       opt.verbose = true;
     } else if (arg == "--trace") {
       opt.trace = true;
+    } else if (arg == "--probe") {
+      opt.probe = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -227,6 +269,9 @@ int main(int argc, char** argv) {
   uint64_t total_rejoins = 0;
   uint64_t total_spans = 0;
   uint64_t total_holds = 0;
+  uint64_t total_hidden_edges = 0;
+  uint64_t total_hidden_missed = 0;
+  uint64_t probe_mismatches = 0;
   double worst_rejoin_ms = 0.0;
 
   std::printf("fuzz_chaos: %" PRIu64 " seeds [%" PRIu64 "..%" PRIu64
@@ -256,6 +301,15 @@ int main(int argc, char** argv) {
     }
     total_spans += result.spans_recorded;
     total_holds += result.holds_entered;
+    total_hidden_edges += result.hidden_edges;
+    total_hidden_missed += result.hidden_missed;
+    if (!result.probe_crosscheck_ok) {
+      seed_ok = false;
+      ++probe_mismatches;
+      std::printf("seed %" PRIu64 ": PROBE CROSSCHECK recorder missed %" PRIu64
+                  " vs oracle recount %" PRIu64 "\n",
+                  seed, result.hidden_missed, result.hidden_missed_oracle);
+    }
 
     if (opt.verify_replay) {
       const RunResult replay = RunOneSeed(seed, opt);
@@ -296,6 +350,11 @@ int main(int argc, char** argv) {
     // Deterministic across same-seed invocations: pure function of the runs.
     std::printf("fuzz_chaos: trace spans=%" PRIu64 " holds=%" PRIu64 "\n", total_spans,
                 total_holds);
+  }
+  if (opt.probe) {
+    std::printf("fuzz_chaos: probe hidden_edges=%" PRIu64 " hidden_missed=%" PRIu64
+                " crosscheck_mismatches=%" PRIu64 "\n",
+                total_hidden_edges, total_hidden_missed, probe_mismatches);
   }
   return failed_seeds == 0 ? 0 : 1;
 }

@@ -45,18 +45,33 @@ trap 'rm -f "${TMP_MICRO}" "${TMP_E18}"' EXIT
 record "${BUILD_DIR}/bench/bench_micro_protocol" "${TMP_MICRO}"
 record "${BUILD_DIR}/bench/bench_e18_throughput" "${TMP_E18}"
 
+# Recording identity, stamped into the JSON context alongside the binaries'
+# own repro_build_type: the commit the numbers came from, and the bench
+# configuration knobs (batch/delta/buffer — "sweep" means the suite varies
+# the knob itself; override via BENCH_BATCH/BENCH_DELTA/BENCH_BUFFER when
+# recording a pinned-config run). bench_compare.py refuses to diff files
+# whose configs differ — cross-config deltas are configuration changes, not
+# regressions.
+GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+  GIT_SHA="${GIT_SHA}-dirty"
+fi
+BENCH_CONFIG="batch=${BENCH_BATCH:-sweep};delta=${BENCH_DELTA:-sweep};buffer=${BENCH_BUFFER:-full}"
+
 # One tracked file: the micro suite's JSON with E18's benchmark entries
 # appended (context comes from the micro run; both were just verified to be
 # release builds of the same tree).
-python3 - "${TMP_MICRO}" "${TMP_E18}" "${OUT}" <<'EOF'
+python3 - "${TMP_MICRO}" "${TMP_E18}" "${OUT}" "${GIT_SHA}" "${BENCH_CONFIG}" <<'EOF'
 import json, sys
-micro, e18, out = sys.argv[1:4]
+micro, e18, out, sha, config = sys.argv[1:6]
 with open(micro) as f:
     doc = json.load(f)
 with open(e18) as f:
     doc["benchmarks"].extend(json.load(f)["benchmarks"])
+doc.setdefault("context", {})["repro_git_sha"] = sha
+doc["context"]["repro_bench_config"] = config
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 EOF
-echo "wrote ${OUT}"
+echo "wrote ${OUT} (${GIT_SHA}, ${BENCH_CONFIG})"

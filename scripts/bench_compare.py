@@ -13,6 +13,12 @@ Both files must come from release builds: bench mains stamp
 "repro_build_type" into the context, and comparing debug numbers against
 release numbers (or debug against debug) is meaningless, so anything except
 release/release is rejected.
+
+Files recorded by scripts/bench.sh also stamp "repro_bench_config"
+(batch/delta/buffer knobs) and "repro_git_sha". Two files with different
+configs are never compared — a cross-config delta measures the config, not
+the code. Files recorded before the stamp existed carry no config and are
+tolerated with a warning.
 """
 
 import argparse
@@ -26,7 +32,8 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"bench_compare: cannot read {path}: {err}")
-    build_type = doc.get("context", {}).get("repro_build_type")
+    context = doc.get("context", {})
+    build_type = context.get("repro_build_type")
     if build_type != "release":
         sys.exit(
             f"bench_compare: {path} was recorded from a "
@@ -40,7 +47,33 @@ def load(path):
         if bench.get("run_type", "iteration") != "iteration":
             continue
         out[bench["name"]] = bench
-    return out
+    return out, context
+
+
+def check_configs(baseline_path, base_ctx, current_path, cur_ctx):
+    """Refuse cross-config comparisons; tolerate pre-stamp recordings."""
+    base_cfg = base_ctx.get("repro_bench_config")
+    cur_cfg = cur_ctx.get("repro_bench_config")
+    if base_cfg is None or cur_cfg is None:
+        for path, cfg in ((baseline_path, base_cfg), (current_path, cur_cfg)):
+            if cfg is None:
+                print(
+                    f"bench_compare: warning: {path} predates the config "
+                    "stamp; cannot verify both runs used the same config",
+                    file=sys.stderr,
+                )
+        return
+    if base_cfg != cur_cfg:
+        sys.exit(
+            "bench_compare: refusing cross-config comparison:\n"
+            f"  {baseline_path}: {base_cfg}\n"
+            f"  {current_path}: {cur_cfg}\n"
+            "re-record one side with matching BENCH_BATCH/BENCH_DELTA/"
+            "BENCH_BUFFER"
+        )
+    base_sha = base_ctx.get("repro_git_sha", "unknown")
+    cur_sha = cur_ctx.get("repro_git_sha", "unknown")
+    print(f"config {base_cfg}: {base_sha} -> {cur_sha}")
 
 
 def fmt_time(bench):
@@ -60,8 +93,9 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base, base_ctx = load(args.baseline)
+    cur, cur_ctx = load(args.current)
+    check_configs(args.baseline, base_ctx, args.current, cur_ctx)
 
     regressions = []
     shared = sorted(set(base) & set(cur))

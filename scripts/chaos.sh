@@ -5,9 +5,12 @@
 # twice and required to produce a bit-identical trace hash. Any invariant
 # violation, replay divergence, or wedged rejoin fails the sweep (nonzero
 # exit). The sweep runs once per causal-buffer strategy (full-vector and
-# hybrid) and once per sender-batching level (unbatched and batch=8, which
-# also turns on delta timestamps and a burst workload) so both retention
-# implementations and both wire paths face the same fault schedules.
+# hybrid), once per sender-batching level (unbatched and batch=8, which
+# also turns on delta timestamps and a burst workload), and once per trace
+# mode (observability off and --trace) so the record-only instrumentation
+# faces every buffer x batch combination under the same fault schedules.
+# A final leg runs the hidden-channel probe (--probe), whose per-seed
+# recorder-vs-oracle cross-check fails the sweep on any disagreement.
 # Reuses an existing build if one is configured.
 set -euo pipefail
 
@@ -18,6 +21,7 @@ SEEDS=${SEEDS:-50}
 START=${START:-1}
 BUFFERS=${BUFFERS:-full hybrid}
 BATCHES=${BATCHES:-1 8}
+TRACES=${TRACES:-off on}
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S .
@@ -26,7 +30,18 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos
 
 for buffer in ${BUFFERS}; do
   for batch in ${BATCHES}; do
-    "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" \
-      --buffer "${buffer}" --batch "${batch}"
+    for trace in ${TRACES}; do
+      trace_flag=()
+      if [[ "${trace}" == on ]]; then
+        trace_flag=(--trace)
+      fi
+      "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" \
+        --buffer "${buffer}" --batch "${batch}" "${trace_flag[@]}"
+    done
   done
 done
+
+# Hidden-channel probe under the same fault schedules: probe tokens are real
+# traffic (their own replay-verified trace hashes), and any recorder/oracle
+# hidden-miss disagreement fails the seed.
+"${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" --probe

@@ -44,6 +44,12 @@ if ! grep -q "${TRACE_SEEDS}/${TRACE_SEEDS} seeds clean" <<<"${trace_a}"; then
 fi
 echo "check.sh: fuzz_chaos --trace deterministic over ${TRACE_SEEDS} seeds"
 
+# Provenance gate: the fixed-seed Perfetto export must be byte-deterministic
+# and the offline analyzer's summary hash stable across two independent
+# exports (scripts/trace_analyze.py; DESIGN.md §8, E19) — under the
+# sanitized build, like everything else in this gate.
+BUILD_DIR="${BUILD_DIR}" ./scripts/provenance_gate.sh
+
 # Perf is gated separately (sanitized numbers are meaningless): record with
 # scripts/bench.sh, then diff against the committed baseline via
 # scripts/bench_compare.py or the bench-compare cmake target.

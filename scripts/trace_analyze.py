@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Offline analyzer for the Chrome trace-event exports (DESIGN.md §8, E19).
+
+Usage: trace_analyze.py TRACE.json [TRACE.json ...]
+
+Reads a trace written by Simulator::ExportTraceEvents (e.g. via
+bench_e19_provenance --trace-out=FILE) and recomputes the false-causality
+tax from the trace alone — slices plus provenance flow arrows — without any
+access to the recorder that produced it:
+
+  * every "X" slice in a delivery-gating layer (causal, fifo, total-order,
+    membership) is a wait some message paid at some member;
+  * a wait is *necessary* iff a transitive semantic predecessor of the
+    message (following "semantic" and "hidden" flow arrows) was delivered at
+    that member inside the wait window — the wait bought an ordering the
+    application asked for;
+  * everything else is false causality: the §2 spurious-delay tax.
+
+Prints the tax per layer and per member (pid), the provenance edge counts,
+and a deterministic sha256 over the summary — two runs of the same fixed
+seed must print the same hash (the check.sh provenance gate diffs them).
+"""
+
+import hashlib
+import json
+import sys
+
+GATING_LAYERS = ("causal", "fifo", "total-order", "membership")
+SEMANTIC_KINDS = ("semantic", "hidden")
+
+
+def load_events(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"trace_analyze: cannot read {path}: {err}")
+    events = doc.get("traceEvents")
+    if events is None:
+        sys.exit(f"trace_analyze: {path} has no traceEvents array")
+    return events
+
+
+def nanos(ts_micros):
+    # ts is micros with .001 resolution; recover exact integer nanos.
+    return round(ts_micros * 1000)
+
+
+def analyze(path):
+    events = load_events(path)
+
+    # (key, pid) -> sorted delivery times. Any "deliver" event counts: the
+    # causal layer's stage-1 deliver and fifo's app deliver, matching the
+    # recorder's rule that a wait ending on causal arrival of a predecessor
+    # is necessary even if that predecessor is still gated downstream.
+    deliveries = {}
+    # Gating-layer waits: (key, pid, layer, entered_ns, released_ns).
+    holds = []
+    # dst key -> set of src keys, following semantic + hidden arrows.
+    semantic = {}
+    edge_counts = {}
+
+    for ev in events:
+        ph = ev.get("ph")
+        args = ev.get("args", {})
+        if ph == "s" or ph == "f":
+            kind = ev.get("name", "")
+            if ph == "s":
+                edge_counts[kind] = edge_counts.get(kind, 0) + 1
+                if kind in SEMANTIC_KINDS:
+                    semantic.setdefault(args["dst_key"], set()).add(args["src_key"])
+            continue
+        if ph not in ("X", "i"):
+            continue
+        key = args.get("key")
+        if key is None:
+            continue
+        layer = ev.get("cat", "")
+        pid = ev.get("pid")
+        end_ns = nanos(ev["ts"]) + (nanos(ev.get("dur", 0)) if ph == "X" else 0)
+        if args.get("event") == "deliver":
+            deliveries.setdefault((key, pid), []).append(end_ns)
+        if ph == "X" and layer in GATING_LAYERS and ev.get("dur", 0) > 0:
+            holds.append((key, pid, layer, nanos(ev["ts"]), end_ns))
+
+    for times in deliveries.values():
+        times.sort()
+
+    # Transitive semantic predecessors, memoized per key.
+    closure = {}
+
+    def preds_of(key):
+        done = closure.get(key)
+        if done is not None:
+            return done
+        out = set()
+        stack = list(semantic.get(key, ()))
+        while stack:
+            p = stack.pop()
+            if p in out or p == key:
+                continue
+            out.add(p)
+            stack.extend(semantic.get(p, ()))
+        closure[key] = out
+        return out
+
+    layer_tax = {}  # layer -> [holds, false_holds, hold_ns, false_ns]
+    pid_tax = {}  # pid -> [holds, false_holds, hold_ns, false_ns]
+
+    def delivered_within(pred, pid, lo, hi):
+        for t in deliveries.get((pred, pid), ()):
+            if lo < t <= hi:
+                return True
+        return False
+
+    for key, pid, layer, entered, released in holds:
+        necessary = any(
+            delivered_within(pred, pid, entered, released) for pred in preds_of(key)
+        )
+        dur = released - entered
+        for table, slot in ((layer_tax, layer), (pid_tax, pid)):
+            row = table.setdefault(slot, [0, 0, 0, 0])
+            row[0] += 1
+            row[2] += dur
+            if not necessary:
+                row[1] += 1
+                row[3] += dur
+
+    lines = []
+    lines.append(
+        "edges: "
+        + " ".join(f"{k}={edge_counts.get(k, 0)}" for k in ("semantic", "hidden", "spurious"))
+    )
+    lines.append(
+        f"{'layer':<14} {'holds':>8} {'false':>8} {'hold_ms':>12} {'false_ms':>12} {'false_frac':>10}"
+    )
+
+    def tax_lines(table, label_of):
+        for slot in sorted(table):
+            holds_n, false_n, hold_ns, false_ns = table[slot]
+            frac = (false_ns / hold_ns) if hold_ns else 0.0
+            lines.append(
+                f"{label_of(slot):<14} {holds_n:>8} {false_n:>8} "
+                f"{hold_ns / 1e6:>12.3f} {false_ns / 1e6:>12.3f} {frac:>10.3f}"
+            )
+
+    tax_lines(layer_tax, lambda layer: layer)
+    lines.append(
+        f"{'member':<14} {'holds':>8} {'false':>8} {'hold_ms':>12} {'false_ms':>12} {'false_frac':>10}"
+    )
+    tax_lines(pid_tax, lambda pid: f"pid={pid}")
+
+    total = [0, 0, 0, 0]
+    for row in layer_tax.values():
+        for i in range(4):
+            total[i] += row[i]
+    frac = (total[3] / total[2]) if total[2] else 0.0
+    lines.append(
+        f"total: holds={total[0]} false={total[1]} hold_ms={total[2] / 1e6:.3f} "
+        f"false_ms={total[3] / 1e6:.3f} false_frac={frac:.3f}"
+    )
+    return lines
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip())
+    # The hash covers only the analysis lines, never the file names: the same
+    # trace bytes must hash identically wherever the file happens to live.
+    summary = []
+    for i, path in enumerate(sys.argv[1:]):
+        print(f"== trace {i}: {path} ==")
+        lines = analyze(path)
+        summary.extend(lines)
+        for line in lines:
+            print(line)
+    digest = hashlib.sha256("\n".join(summary).encode("utf-8")).hexdigest()
+    print(f"summary_hash={digest}")
+
+
+if __name__ == "__main__":
+    main()

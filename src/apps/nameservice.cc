@@ -8,6 +8,7 @@
 
 #include "src/catocs/group.h"
 #include "src/catocs/vector_clock.h"
+#include "src/obs/provenance.h"
 #include "src/sim/metrics.h"
 
 namespace apps {
@@ -251,12 +252,21 @@ NameServiceResult RunCatocs(const NameServiceConfig& config) {
   fabric_config.latency_hi = config.latency_hi;
   // The partition outlives the default retransmission budget; keep trying.
   fabric_config.transport.max_retries = 2000;
+  if (config.provenance != nullptr) {
+    fabric_config.group.observability = true;
+    fabric_config.group.provenance = config.provenance;
+    config.provenance->set_enabled(true);
+    s.spans().set_enabled(true);
+  }
   catocs::GroupFabric fabric(&s, fabric_config);
 
   NameServiceResult result;
   result.bindings_attempted = config.bindings;
   const int sites = config.sites;
   std::vector<std::map<std::string, std::string>> directories(sites);
+  // Per site: id of the last delivered binding of each name, the predecessor
+  // a rebind semantically overrides (provenance only).
+  std::vector<std::map<std::string, catocs::MessageId>> last_bound(sites);
   sim::Histogram commit_latency_ms;
 
   for (int i = 0; i < sites; ++i) {
@@ -268,6 +278,9 @@ NameServiceResult RunCatocs(const NameServiceConfig& config) {
       // Applied in total order: later binding of a name wins; no undo
       // concept is needed (or possible) — the order *is* the resolution.
       directories[static_cast<size_t>(i)][bind->name()] = bind->value();
+      if (config.provenance != nullptr) {
+        last_bound[static_cast<size_t>(i)][bind->name()] = d.id();
+      }
       if (i == bind->origin()) {
         const double latency_ms =
             static_cast<double>((s.now() - bind->issued_at()).nanos()) / 1e6;
@@ -290,7 +303,14 @@ NameServiceResult RunCatocs(const NameServiceConfig& config) {
   Workload workload(config, workload_rng);
   for (int k = 0; k < config.bindings; ++k) {
     const auto& op = workload.ops[static_cast<size_t>(k)];
-    s.ScheduleAt(sim::TimePoint::Zero() + config.bind_interval * (k + 1), [&fabric, &s, op] {
+    s.ScheduleAt(sim::TimePoint::Zero() + config.bind_interval * (k + 1),
+                 [&fabric, &config, &last_bound, &s, op] {
+      if (config.provenance != nullptr) {
+        const auto& seen = last_bound[static_cast<size_t>(op.site)];
+        if (auto it = seen.find(op.name); it != seen.end()) {
+          fabric.member(static_cast<size_t>(op.site)).DeclareDependency(it->second);
+        }
+      }
       fabric.member(static_cast<size_t>(op.site))
           .TotalSend(std::make_shared<BindMsg>(op.name, op.value, op.site, s.now()));
     });

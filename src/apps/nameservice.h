@@ -27,6 +27,10 @@
 
 #include "src/sim/time.h"
 
+namespace obs {
+class ProvenanceRecorder;
+}  // namespace obs
+
 namespace apps {
 
 enum class NameServiceStrategy {
@@ -49,6 +53,12 @@ struct NameServiceConfig {
   sim::Duration latency_lo = sim::Duration::Millis(5);
   sim::Duration latency_hi = sim::Duration::Millis(40);
   uint64_t seed = 1;
+
+  // Provenance instrumentation (DESIGN.md §8), CATOCS strategy only: each
+  // binding declares a semantic dependency on the issuing site's previously
+  // delivered binding of the same name — rebinding means overriding what the
+  // site had seen; bindings of unrelated names are semantically concurrent.
+  obs::ProvenanceRecorder* provenance = nullptr;
 };
 
 struct NameServiceResult {

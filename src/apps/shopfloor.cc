@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/catocs/group.h"
+#include "src/obs/provenance.h"
 #include "src/statelevel/ordered_cache.h"
 
 namespace apps {
@@ -91,6 +92,12 @@ ShopFloorResult RunShopFloorScenario(const ShopFloorConfig& config) {
   // deployment — neither SFC instance gets to pre-order its own update.
   catocs::FabricConfig fabric_config;
   fabric_config.num_members = 3;
+  if (config.provenance != nullptr) {
+    fabric_config.group.observability = true;
+    fabric_config.group.provenance = config.provenance;
+    config.provenance->set_enabled(true);
+    s.spans().set_enabled(true);
+  }
   catocs::GroupFabric fabric(&s, fabric_config,
                              std::make_unique<ShopFloorLatency>(
                                  config.latency_lo, config.latency_hi, config.db_latency));
@@ -114,16 +121,30 @@ ShopFloorResult RunShopFloorScenario(const ShopFloorConfig& config) {
 
   // SFC instances (members at indexes 1 and 2): on DB reply, multicast the
   // versioned result to the group.
+  //
+  // Provenance: version 1 ("start") and version 2 ("stop") of a round are
+  // serialized by the database, but that edge crossed the DB link — the
+  // group sees two concurrent multicasts. Record it as a hidden edge.
+  std::map<int, catocs::MessageId> start_ids;
   for (size_t instance = 1; instance <= 2; ++instance) {
     fabric.transport(instance).RegisterReceiver(
-        kDbPort, [&fabric, &config, instance](net::NodeId, uint32_t, const net::PayloadPtr& p) {
+        kDbPort, [&fabric, &config, &start_ids, instance](net::NodeId, uint32_t,
+                                                          const net::PayloadPtr& p) {
           const auto* reply = net::PayloadCast<DbReply>(p);
           if (reply == nullptr) {
             return;
           }
-          fabric.member(instance).Send(
+          const catocs::MessageId id = fabric.member(instance).Send(
               config.mode,
               std::make_shared<LotUpdate>(reply->round(), reply->action(), reply->version()));
+          if (config.provenance != nullptr && id.seq != 0) {
+            if (reply->version() == 1) {
+              start_ids[reply->round()] = id;
+            } else if (auto it = start_ids.find(reply->round()); it != start_ids.end()) {
+              config.provenance->InjectHiddenEdge(catocs::SpanKey(id),
+                                                  catocs::SpanKey(it->second));
+            }
+          }
         });
   }
 

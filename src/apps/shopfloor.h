@@ -23,6 +23,10 @@
 #include "src/catocs/message.h"
 #include "src/sim/time.h"
 
+namespace obs {
+class ProvenanceRecorder;
+}  // namespace obs
+
 namespace apps {
 
 struct ShopFloorConfig {
@@ -38,6 +42,13 @@ struct ShopFloorConfig {
   sim::Duration db_latency = sim::Duration::Micros(300);
   catocs::OrderingMode mode = catocs::OrderingMode::kCausal;
   uint64_t seed = 1;
+
+  // Provenance instrumentation (DESIGN.md §8): each round's stop->start
+  // dependency travels through the database — a channel the group transport
+  // never sees — so it is injected as a *hidden* edge, never declared by the
+  // app (that blindness is the measured point). The recorder's per-member
+  // hidden-miss count at the observer then equals raw_anomalies.
+  obs::ProvenanceRecorder* provenance = nullptr;
 };
 
 struct ShopFloorResult {

@@ -40,6 +40,13 @@ TradingResult RunTradingScenario(const TradingConfig& config) {
   fabric_config.num_members = 3;
   fabric_config.latency_lo = config.latency_lo;
   fabric_config.latency_hi = config.latency_hi;
+  fabric_config.group.causal_buffer = config.causal_buffer;
+  if (config.provenance != nullptr) {
+    fabric_config.group.observability = true;
+    fabric_config.group.provenance = config.provenance;
+    config.provenance->set_enabled(true);
+    s.spans().set_enabled(true);
+  }
   catocs::GroupFabric fabric(&s, fabric_config);
 
   // The theoretical pricer: derive from each delivered option price after a
@@ -52,7 +59,12 @@ TradingResult RunTradingScenario(const TradingConfig& config) {
     }
     const uint64_t base_version = update->version();
     const double theo = update->value() + config.premium;
-    s.ScheduleAfter(config.compute_delay, [&fabric, &config, &theo_version, base_version, theo] {
+    const catocs::MessageId base_id = d.id();
+    s.ScheduleAfter(config.compute_delay, [&fabric, &config, &theo_version, base_version, theo,
+                                           base_id] {
+      // The one ordering the app truly needs — theo after its base price —
+      // is exactly what it declares; every other enforced edge is spurious.
+      fabric.member(1).DeclareDependency(base_id);
       fabric.member(1).Send(config.mode, std::make_shared<PriceUpdate>("theo", ++theo_version,
                                                                        theo, base_version));
     });
@@ -136,6 +148,9 @@ TradingResult RunTradingScenario(const TradingConfig& config) {
     });
   }
   s.RunFor(config.price_interval * config.price_updates + sim::Duration::Seconds(2));
+  if (config.trace_json != nullptr && config.provenance != nullptr) {
+    *config.trace_json = s.ExportTraceEvents(config.provenance->FlowEdges());
+  }
   return result;
 }
 

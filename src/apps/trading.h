@@ -20,8 +20,10 @@
 #define REPRO_SRC_APPS_TRADING_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/catocs/message.h"
+#include "src/catocs/types.h"
 #include "src/sim/time.h"
 
 namespace apps {
@@ -36,6 +38,15 @@ struct TradingConfig {
   catocs::OrderingMode mode = catocs::OrderingMode::kCausal;
   double premium = 0.75;  // true theo = option + premium (> 0)
   uint64_t seed = 1;
+
+  // Retention-buffer strategy for the group (E19 sweeps both).
+  catocs::CausalBufferKind causal_buffer = catocs::CausalBufferKind::kFullVector;
+  // Provenance instrumentation (DESIGN.md §8, E19): with a recorder attached
+  // the fabric runs observability-on, the theoretical pricer declares its
+  // base-price dependency per derived publish, and — when `trace_json` is
+  // also set — the scenario leaves a Chrome trace-event export behind.
+  obs::ProvenanceRecorder* provenance = nullptr;
+  std::string* trace_json = nullptr;
 };
 
 struct TradingResult {

@@ -76,16 +76,19 @@ class CausalBufferStrategy {
   virtual size_t peak_buffered_bytes() const = 0;
 
   // Observability hook: called for every buffered copy the strategy releases
-  // as stable (not for view-change resets). Unset by default so the release
-  // paths stay branch-cheap; the stability layer installs one only when the
-  // group runs with observability on.
-  using ReleaseObserver = std::function<void(const GroupDataPtr&)>;
+  // as stable (not for view-change resets), together with the strategy's
+  // name for the release mechanism ("prune" for the full-vector matrix walk,
+  // "floor"/"floor-sweep" for the hybrid buffer's eager paths) — surfaced as
+  // retention-gap provenance by the stability layer. Unset by default so the
+  // release paths stay branch-cheap; the stability layer installs one only
+  // when the group runs with observability on.
+  using ReleaseObserver = std::function<void(const GroupDataPtr&, const char* cause)>;
   void SetReleaseObserver(ReleaseObserver observer) { release_observer_ = std::move(observer); }
 
  protected:
-  void NotifyRelease(const GroupDataPtr& msg) {
+  void NotifyRelease(const GroupDataPtr& msg, const char* cause) {
     if (release_observer_) {
-      release_observer_(msg);
+      release_observer_(msg, cause);
     }
   }
 

@@ -208,6 +208,12 @@ void CausalLayer::CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived
   if (core_->observing()) {
     core_->pipeline_stats.RecordRelease(HoldReason::kCausalGap, causal_delay);
     core_->RecordSpan(data->id(), sim::SpanEvent::kDeliver, name());
+    if (obs::ProvenanceRecorder* recorder = core_->provenance()) {
+      // Stage-1 arrival first, then the hold: a later message's causal wait
+      // that this delivery unblocks classifies against this arrival time.
+      recorder->RecordCausalDelivery(SpanKey(data->id()), core_->self, core_->simulator->now());
+    }
+    core_->RecordHoldProvenance(data->id(), name(), arrived_at);
   }
 
   // Protocol order, preserved from the monolith: retain for atomic delivery,

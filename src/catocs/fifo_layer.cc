@@ -74,6 +74,7 @@ void FifoLayer::TryDeliverApp() {
         core_->pipeline_stats.RecordRelease(entry.gate,
                                             core_->simulator->now() - entry.entered_at);
         core_->RecordSpan(entry.data->id(), sim::SpanEvent::kDeliver, name());
+        core_->RecordHoldProvenance(entry.data->id(), name(), entry.entered_at);
       }
       ad_.RaiseTo(sender, entry.data->id().seq);
       uint64_t total_seq = 0;
@@ -94,6 +95,13 @@ void FifoLayer::DeliverDirect(const GroupDataPtr& data) {
 void FifoLayer::DeliverToApp(const GroupDataPtr& data, uint64_t total_seq,
                              sim::Duration causal_delay) {
   ++core_->stats.app_delivered;
+  // App-level delivery is the provenance observation point: it is where the
+  // fault rig's delivery records sit, so the hidden-channel oracle can
+  // cross-check the recorder against an independent recount. Unordered
+  // messages carry no timestamp, hence no potential frontier to classify.
+  if (core_->observing() && data->mode() != OrderingMode::kUnordered) {
+    core_->RecordDeliveryProvenance(*data);
+  }
   if (!core_->delivery_handler) {
     return;
   }

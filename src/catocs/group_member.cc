@@ -89,17 +89,28 @@ void GroupMember::Stop() {
 
 void GroupMember::JoinGroup(MemberId contact) { core_.membership->JoinGroup(contact); }
 
-void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
+void GroupMember::DeclareDependency(const MessageId& dep) {
+  // Without a recorder the declaration has no observer; skip the append so
+  // uninstrumented members never grow the pending list. Unordered ids
+  // ({*, 0}) are not individually identifiable — nothing to declare against.
+  if (core_.provenance() == nullptr || dep.sender == 0 || dep.seq == 0) {
+    return;
+  }
+  core_.pending_deps.push_back(dep);
+}
+
+MessageId GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
   // A stopped (crashed) member silently drops sends: callers with periodic
   // senders keep firing across a crash, and a dead process originating
   // traffic would be nonsense. Counted so tests can observe the drop.
   if (!core_.started) {
     ++core_.stats.sends_while_stopped;
-    return;
+    core_.pending_deps.clear();  // the send they were declared for is gone
+    return MessageId{0, 0};
   }
   if (core_.membership->flushing()) {
     core_.membership->QueueBlockedSend(mode, std::move(payload));
-    return;
+    return MessageId{0, 0};
   }
   ++core_.stats.sent;
 
@@ -115,11 +126,22 @@ void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
       }
     }
     core_.fifo->DeliverDirect(data);
-    return;
+    return id;
   }
 
   const uint64_t seq = core_.causal->AllocateSendSeq();
   MessageId id{core_.self, seq};
+  if (!core_.pending_deps.empty()) {
+    // The declared dependencies now have a concrete dependent: feed the
+    // semantic graph (the recorder was non-null when they were declared, but
+    // re-check — a config could have detached it in between).
+    if (obs::ProvenanceRecorder* recorder = core_.provenance()) {
+      for (const MessageId& dep : core_.pending_deps) {
+        recorder->DeclareSemanticDep(SpanKey(id), SpanKey(dep));
+      }
+    }
+    core_.pending_deps.clear();
+  }
   auto data = mem::MakePooled<GroupData>(core_.config.group_id, id, mode, VectorClock{},
                                          std::move(payload), core_.simulator->now());
   core_.RecordSpan(id, sim::SpanEvent::kSend, "member", ToString(mode));
@@ -134,10 +156,11 @@ void GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
   core_.causal->Ingest(shared);
   if (batcher_ != nullptr) {
     batcher_->Append(shared);
-    return;
+    return id;
   }
   core_.stats.ordering_header_bytes += shared->HeaderBytes() * (core_.view.members.size() - 1);
   core_.BroadcastReliable(GroupPorts::Data(core_.config.group_id), shared);
+  return id;
 }
 
 bool GroupMember::flush_in_progress() const { return core_.membership->flushing(); }

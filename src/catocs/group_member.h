@@ -95,9 +95,26 @@ class GroupMember {
   // Multicasts to the group. kCausal and kTotal self-deliver per protocol;
   // kUnordered is a plain multicast with no guarantees. During a flush, sends
   // are queued and released when the new view is installed.
-  void Send(OrderingMode mode, net::PayloadPtr payload);
-  void CausalSend(net::PayloadPtr payload) { Send(OrderingMode::kCausal, std::move(payload)); }
-  void TotalSend(net::PayloadPtr payload) { Send(OrderingMode::kTotal, std::move(payload)); }
+  //
+  // Returns the id the message was sent under: {self, seq} for ordered
+  // sends, {self, 0} for kUnordered (all unordered sends share it), and
+  // {0, 0} when nothing went out yet (stopped member, or queued behind a
+  // flush — the queued send is re-issued on view install and gets its id
+  // then). Callers that feed DeclareDependency keep the returned id.
+  MessageId Send(OrderingMode mode, net::PayloadPtr payload);
+  MessageId CausalSend(net::PayloadPtr payload) {
+    return Send(OrderingMode::kCausal, std::move(payload));
+  }
+  MessageId TotalSend(net::PayloadPtr payload) {
+    return Send(OrderingMode::kTotal, std::move(payload));
+  }
+
+  // Provenance (DESIGN.md §8): declares that this member's *next* ordered
+  // Send semantically depends on the (previously delivered or sent) message
+  // `dep`. Accumulates until a kCausal/kTotal Send attaches the batch to the
+  // allocated id; survives a flush-blocked queue round trip. No-op unless a
+  // ProvenanceRecorder is attached via GroupConfig — record-only either way.
+  void DeclareDependency(const MessageId& dep);
 
   MemberId self() const { return core_.self; }
   const View& view() const { return core_.view; }

@@ -124,7 +124,7 @@ void HybridBuffer::RecomputeFloor() {
 void HybridBuffer::ReleaseStable(MemberId sender, uint64_t floor) {
   buffer_.Release(sender, floor, [this](const GroupDataPtr& msg) {
     buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
-    NotifyRelease(msg);
+    NotifyRelease(msg, "floor");
   });
 }
 
@@ -134,7 +134,7 @@ void HybridBuffer::ReleaseAllStable() {
   }
   buffer_.ReleaseStable(floor_, [this](const GroupDataPtr& msg) {
     buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
-    NotifyRelease(msg);
+    NotifyRelease(msg, "floor-sweep");
   });
 }
 

@@ -19,11 +19,13 @@
 #define REPRO_SRC_CATOCS_LAYER_H_
 
 #include <cassert>
+#include <vector>
 
 #include "src/catocs/message.h"
 #include "src/catocs/pipeline_stats.h"
 #include "src/catocs/types.h"
 #include "src/net/transport.h"
+#include "src/obs/provenance.h"
 #include "src/sim/simulator.h"
 
 namespace catocs {
@@ -81,7 +83,50 @@ struct GroupCore {
   // config.observability (see pipeline_stats.h).
   PipelineStats pipeline_stats;
 
+  // Semantic dependencies declared for this member's next ordered send
+  // (GroupMember::DeclareDependency); attached to the message when its id is
+  // allocated, preserved across a flush-blocked queue round trip.
+  std::vector<MessageId> pending_deps;
+
   bool observing() const { return config.observability; }
+
+  // The provenance recorder, iff this member is actually instrumented.
+  obs::ProvenanceRecorder* provenance() const {
+    return config.observability ? config.provenance : nullptr;
+  }
+
+  // Gap provenance for a wait released at `now`: classifies the hold as
+  // false or necessary causality against the semantic graph (no-op without
+  // a recorder, for zero-length waits, and for unkeyed messages).
+  void RecordHoldProvenance(const MessageId& id, const char* layer, sim::TimePoint entered,
+                            bool gates_delivery = true) {
+    obs::ProvenanceRecorder* recorder = provenance();
+    if (recorder != nullptr) {
+      recorder->RecordHold(SpanKey(id), self, layer, entered, simulator->now(), gates_delivery);
+    }
+  }
+
+  // Delivery provenance: the potential-causality frontier a message's
+  // timestamp implies — the newest predecessor per clock entry, plus the
+  // sender's own previous message (the FIFO edge).
+  void RecordDeliveryProvenance(const GroupData& data) {
+    obs::ProvenanceRecorder* recorder = provenance();
+    if (recorder == nullptr) {
+      return;
+    }
+    std::vector<obs::MsgKey> frontier;
+    frontier.reserve(data.vt().entry_count());
+    for (const auto& [member, value] : data.vt().entries()) {
+      if (member == data.id().sender) {
+        if (data.id().seq > 1) {
+          frontier.push_back(SpanKey(MessageId{member, data.id().seq - 1}));
+        }
+      } else {
+        frontier.push_back(SpanKey(MessageId{member, value}));
+      }
+    }
+    recorder->RecordDelivery(SpanKey(data.id()), self, simulator->now(), frontier);
+  }
 
   // Span emission helper: no-op unless observability is on AND the
   // simulator's span recorder is enabled, so layers can call this

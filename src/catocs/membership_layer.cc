@@ -114,7 +114,12 @@ void MembershipLayer::QueueBlockedSend(OrderingMode mode, net::PayloadPtr payloa
   if (core_->observing()) {
     core_->pipeline_stats.RecordEnter(HoldReason::kFlushBlocked);
   }
-  blocked_sends_.push_back(BlockedSend{mode, std::move(payload), core_->simulator->now()});
+  // Carry any declared-but-unattached dependencies with the queued send so
+  // the flush round trip neither loses them nor leaks them onto whatever the
+  // application sends next.
+  blocked_sends_.push_back(BlockedSend{mode, std::move(payload), core_->simulator->now(),
+                                       std::move(core_->pending_deps)});
+  core_->pending_deps.clear();
 }
 
 void MembershipLayer::OnJoinRequest(const JoinRequest& request) {
@@ -516,7 +521,14 @@ void MembershipLayer::FinishBlockedSends() {
       core_->pipeline_stats.RecordRelease(HoldReason::kFlushBlocked,
                                           core_->simulator->now() - blocked.queued_at);
     }
-    core_->member->Send(blocked.mode, std::move(blocked.payload));
+    core_->pending_deps = std::move(blocked.deps);
+    const MessageId id = core_->member->Send(blocked.mode, std::move(blocked.payload));
+    // Flush-block provenance: the whole group stopped sending, a wait no
+    // per-message semantic dependency asked for. Keyed by the id the send
+    // finally got; zero ids (dropped or re-queued) are skipped.
+    if (id.seq != 0) {
+      core_->RecordHoldProvenance(id, name(), blocked.queued_at);
+    }
   }
 }
 

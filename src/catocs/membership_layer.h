@@ -70,6 +70,10 @@ class MembershipLayer : public OrderingLayer {
     OrderingMode mode;
     net::PayloadPtr payload;
     sim::TimePoint queued_at;  // hold attribution under observability
+    // Semantic dependencies declared before the send hit the flush block;
+    // restored into the core when the send is re-issued so the eventual
+    // message still carries them (see GroupMember::DeclareDependency).
+    std::vector<MessageId> deps;
   };
   std::deque<BlockedSend> blocked_sends_;
 };

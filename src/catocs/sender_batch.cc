@@ -13,6 +13,10 @@ SenderBatcher::~SenderBatcher() {
 }
 
 void SenderBatcher::Append(const GroupDataPtr& data) {
+  // Each constituent opens its own batch-hold span at entry: the time it
+  // spends parked here (waiting for the batch to fill or the timer) is part
+  // of *its* lifecycle, not the frame's.
+  core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, "batch", "");
   pending_.push_back(data);
   if (pending_.size() >= core_->config.batching) {
     FlushNow();
@@ -46,8 +50,10 @@ void SenderBatcher::FlushNow() {
   core_->stats.ordering_header_bytes +=
       batch->HeaderBytes() * (core_->view.members.size() - 1);
   if (core_->observing()) {
+    // Close every constituent's batch-hold span: the frame is leaving now,
+    // so each one records its own (enter -> deliver) wait individually.
     for (const GroupDataPtr& entry : batch->entries()) {
-      core_->RecordSpan(entry->id(), sim::SpanEvent::kStamp, "batch",
+      core_->RecordSpan(entry->id(), sim::SpanEvent::kDeliver, "batch",
                         "flush n=" + std::to_string(batch->entries().size()));
     }
   }
@@ -58,6 +64,9 @@ void SenderBatcher::DropPending() {
   if (flush_timer_.valid()) {
     core_->simulator->Cancel(flush_timer_);
     flush_timer_ = sim::EventId{};
+  }
+  for (const GroupDataPtr& entry : pending_) {
+    core_->RecordSpan(entry->id(), sim::SpanEvent::kDrop, "batch", "sender-stopped");
   }
   pending_.clear();
 }

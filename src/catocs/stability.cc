@@ -104,7 +104,7 @@ void StabilityTracker::Prune() {
   }
   buffer_.ReleaseStable(stable, [this](const GroupDataPtr& msg) {
     buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
-    NotifyRelease(msg);
+    NotifyRelease(msg, "prune");
   });
 }
 

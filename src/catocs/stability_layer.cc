@@ -14,7 +14,8 @@ StabilityLayer::StabilityLayer(GroupCore* core)
   core->stability = this;
   strategy_->SetMembers(core->view.members);
   if (core->config.observability) {
-    strategy_->SetReleaseObserver([this](const GroupDataPtr& msg) { OnBufferRelease(msg); });
+    strategy_->SetReleaseObserver(
+        [this](const GroupDataPtr& msg, const char* cause) { OnBufferRelease(msg, cause); });
   }
 }
 
@@ -99,7 +100,7 @@ void StabilityLayer::MaybePrune() {
   }
 }
 
-void StabilityLayer::OnBufferRelease(const GroupDataPtr& msg) {
+void StabilityLayer::OnBufferRelease(const GroupDataPtr& msg, const char* cause) {
   if (buffered_since_.empty()) {
     return;  // nothing charged (observability off): skip the lookup entirely
   }
@@ -112,7 +113,10 @@ void StabilityLayer::OnBufferRelease(const GroupDataPtr& msg) {
   }
   core_->pipeline_stats.RecordRelease(HoldReason::kStability,
                                       core_->simulator->now() - it->second);
-  core_->RecordSpan(msg->id(), sim::SpanEvent::kStable, name());
+  core_->RecordSpan(msg->id(), sim::SpanEvent::kStable, name(), cause);
+  // Retention provenance: a stability hold costs buffer memory, not delivery
+  // latency, so it is tallied but never classified as false causality.
+  core_->RecordHoldProvenance(msg->id(), name(), it->second, /*gates_delivery=*/false);
   buffered_since_.erase(it);
 }
 

@@ -52,7 +52,9 @@ class StabilityLayer : public OrderingLayer {
   void MaybePrune();
   void GossipAcks();
   // Observability: a buffered copy became stable and left the strategy.
-  void OnBufferRelease(const GroupDataPtr& msg);
+  // `cause` names the release mechanism ("prune", "floor", "floor-sweep") —
+  // it rides into the span note and the retention-hold provenance.
+  void OnBufferRelease(const GroupDataPtr& msg, const char* cause);
 
   std::unique_ptr<CausalBufferStrategy> strategy_;
   sim::TimePoint last_prune_ = sim::TimePoint::Zero();

@@ -129,6 +129,7 @@ void TotalOrderLayer::ApplyAssignments(
                                               core_->simulator->now() - it->second);
           core_->RecordSpan(id, sim::SpanEvent::kStamp, name(),
                             "seq=" + std::to_string(seq));
+          core_->RecordHoldProvenance(id, name(), it->second);
           awaiting_assign_.erase(it);
         }
       }

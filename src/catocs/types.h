@@ -15,6 +15,10 @@
 #include "src/catocs/vector_clock.h"
 #include "src/sim/time.h"
 
+namespace obs {
+class ProvenanceRecorder;
+}  // namespace obs
+
 namespace catocs {
 
 enum class TotalOrderMode {
@@ -76,6 +80,14 @@ struct GroupConfig {
   // recorder is itself enabled). Off by default so the per-message fast path
   // and every bench's stdout stay byte-identical.
   bool observability = false;
+
+  // Causal provenance recording (DESIGN.md §8): with observability on and a
+  // recorder attached, every layer reports per-message gap provenance on
+  // release (false-causality classification), the delivery path reports the
+  // potential-causality frontier, and DeclareDependency feeds the semantic
+  // graph. Record-only, shared across the group's members — nullptr (the
+  // default) costs one pointer test on instrumented paths.
+  obs::ProvenanceRecorder* provenance = nullptr;
 
   // Membership (off by default; most experiments use static groups).
   bool enable_membership = false;

@@ -106,6 +106,18 @@ void ChaosRig::WorkloadTick(size_t slot) {
   }
 }
 
+catocs::MessageId ChaosRig::ProbeSend(size_t slot, catocs::OrderingMode mode) {
+  if (!slots_[slot].alive) {
+    return catocs::MessageId{0, 0};
+  }
+  Incarnation& inc = current(slot);
+  const uint64_t counter = ++probe_counter_;
+  const uint64_t key = (1ull << 63) | counter;
+  ++probe_sends_issued_;
+  return inc.member->Send(mode,
+                          std::make_shared<ChaosUpdate>(key, counter, config_.payload_bytes));
+}
+
 void ChaosRig::CrashSlot(size_t slot) {
   if (!slots_[slot].alive) {
     return;
@@ -136,6 +148,9 @@ void ChaosRig::RecoverSlot(size_t slot) {
       simulator_, inc->transport.get(), config_.group, inc->id,
       std::vector<catocs::MemberId>{inc->id});
   WireIncarnation(slot, *inc);
+  if (incarnation_hook_) {
+    incarnation_hook_(slot, *inc->transport, *inc->member);
+  }
   inc->member->Start();
   // Slot 0 never crashes (the generator guarantees it), so its founding
   // member is always a valid contact — and, as the lowest id, the flush

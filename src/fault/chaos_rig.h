@@ -14,6 +14,7 @@
 #define REPRO_SRC_FAULT_CHAOS_RIG_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,6 +69,21 @@ class ChaosRig {
   net::Network& network() { return *network_; }
   sim::Simulator& simulator() { return *simulator_; }
   size_t num_slots() const { return config_.num_slots; }
+
+  // --- hidden-channel probe surface (see hidden_probe.h) --------------------
+  // Issues one ordered workload-style send from `slot`'s current incarnation
+  // in the probe key space (top bit set, so probe updates never collide with
+  // workload keys and replica stores still converge). Returns the id the
+  // message was sent under — {0, 0} if it was dropped or queued behind a
+  // flush. No-op ({0, 0}) on a dead slot.
+  catocs::MessageId ProbeSend(size_t slot, catocs::OrderingMode mode);
+  // Hook invoked for every incarnation wired *after* installation — i.e.
+  // recovery rejoins — so a probe can re-register its out-of-band token
+  // receiver on the fresh transport. One consumer at a time.
+  using IncarnationHook = std::function<void(size_t, net::Transport&, catocs::GroupMember&)>;
+  void SetIncarnationHook(IncarnationHook hook) { incarnation_hook_ = std::move(hook); }
+  net::Transport& TransportOfSlot(size_t slot) { return *current(slot).transport; }
+  uint64_t probe_sends_issued() const { return probe_sends_issued_; }
 
   // --- observations (consumed by InvariantOracle) ---------------------------
   struct DeliveryRecord {
@@ -147,6 +163,9 @@ class ChaosRig {
   std::vector<Slot> slots_;
   catocs::MemberId next_id_;
   bool workload_running_ = false;
+  IncarnationHook incarnation_hook_;
+  uint64_t probe_counter_ = 0;
+  uint64_t probe_sends_issued_ = 0;
 
   std::vector<DeliveryRecord> deliveries_;
   std::vector<ViewRecord> views_;

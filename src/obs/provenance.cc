@@ -1,0 +1,281 @@
+#include "src/obs/provenance.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+// Iterative DFS over an adjacency map. Visits every key reachable from
+// `start` (excluding `start` itself unless a cycle returns to it) and calls
+// `visit(key)`; stops early when visit returns true.
+template <typename Visit>
+bool WalkDeps(const std::map<MsgKey, std::vector<MsgKey>>& deps, MsgKey start, Visit visit) {
+  std::vector<MsgKey> stack;
+  std::vector<MsgKey> seen;  // sorted; dependency fans are small
+  auto mark = [&seen](MsgKey k) {
+    auto it = std::lower_bound(seen.begin(), seen.end(), k);
+    if (it != seen.end() && *it == k) {
+      return false;
+    }
+    seen.insert(it, k);
+    return true;
+  };
+  stack.push_back(start);
+  mark(start);
+  while (!stack.empty()) {
+    const MsgKey cur = stack.back();
+    stack.pop_back();
+    auto it = deps.find(cur);
+    if (it == deps.end()) {
+      continue;
+    }
+    for (MsgKey next : it->second) {
+      if (!mark(next)) {
+        continue;
+      }
+      if (visit(next)) {
+        return true;
+      }
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+// Returns true when the edge was new (duplicates leave the graph unchanged).
+bool AddEdge(std::map<MsgKey, std::vector<MsgKey>>& deps, MsgKey msg, MsgKey dep) {
+  std::vector<MsgKey>& list = deps[msg];
+  if (std::find(list.begin(), list.end(), dep) != list.end()) {
+    return false;
+  }
+  list.push_back(dep);
+  return true;
+}
+
+}  // namespace
+
+void ProvenanceRecorder::DeclareSemanticDep(MsgKey msg, MsgKey dep) {
+  if (!enabled_ || msg == 0 || dep == 0 || msg == dep) {
+    return;
+  }
+  if (AddEdge(semantic_deps_, msg, dep)) {
+    ++totals_.semantic_edges;
+  }
+}
+
+void ProvenanceRecorder::InjectHiddenEdge(MsgKey msg, MsgKey dep) {
+  if (!enabled_ || msg == 0 || dep == 0 || msg == dep) {
+    return;
+  }
+  if (!AddEdge(hidden_deps_, msg, dep)) {
+    return;  // duplicate injection
+  }
+  ++totals_.hidden_edges;
+  // A hidden edge is real causality the application would have declared had
+  // it known a channel existed; the semantic graph gets it too.
+  if (AddEdge(semantic_deps_, msg, dep)) {
+    ++totals_.semantic_edges;
+  }
+  // Retroactive miss check: the dependent's sender self-delivers *inside*
+  // Send, before its caller can learn the allocated id and inject this edge
+  // — so actors that already delivered `msg` get their per-(msg, actor)
+  // check now, against recorded delivery times. Future deliveries are
+  // checked by RecordDelivery; the two populations are disjoint.
+  for (const auto& [actor, at] : delivered_) {
+    auto mit = at.find(msg);
+    if (mit == at.end()) {
+      continue;
+    }
+    ++totals_.hidden_checked;
+    auto pit = at.find(dep);
+    if (pit == at.end() || pit->second > mit->second) {
+      ++totals_.hidden_missed;
+      ++hidden_missed_by_[actor];
+    }
+  }
+}
+
+bool ProvenanceRecorder::SemanticallyRequires(MsgKey msg, MsgKey pred) const {
+  return WalkDeps(semantic_deps_, msg, [pred](MsgKey k) { return k == pred; });
+}
+
+void ProvenanceRecorder::RecordDelivery(MsgKey msg, uint32_t actor, sim::TimePoint when,
+                                        const std::vector<MsgKey>& potential_frontier) {
+  if (!enabled_ || msg == 0) {
+    return;
+  }
+  auto& at = delivered_[actor];
+  if (!at.emplace(msg, when).second) {
+    return;  // duplicate delivery (should not happen; first observation wins)
+  }
+  ++totals_.deliveries;
+
+  // Hidden-channel check, per (msg, actor): was each out-of-band predecessor
+  // already delivered here? A miss is the ordering anomaly the group's
+  // timestamps cannot prevent.
+  if (auto hit = hidden_deps_.find(msg); hit != hidden_deps_.end()) {
+    for (MsgKey dep : hit->second) {
+      ++totals_.hidden_checked;
+      if (at.find(dep) == at.end()) {
+        ++totals_.hidden_missed;
+        ++hidden_missed_by_[actor];
+      }
+    }
+  }
+
+  // The frontier is a property of the message (its timestamp), identical at
+  // every member: classify its edges once.
+  if (!frontier_classified_.emplace(msg, true).second) {
+    return;
+  }
+  for (MsgKey pred : potential_frontier) {
+    if (pred == 0 || pred == msg) {
+      continue;
+    }
+    ++totals_.potential_edges;
+    if (SemanticallyRequires(msg, pred)) {
+      ++totals_.matched_edges;
+    } else {
+      ++totals_.spurious_edges;
+      spurious_edges_.push_back(sim::FlowEdge{pred, msg, "spurious"});
+    }
+  }
+}
+
+void ProvenanceRecorder::RecordCausalDelivery(MsgKey msg, uint32_t actor, sim::TimePoint when) {
+  if (!enabled_ || msg == 0) {
+    return;
+  }
+  causal_delivered_[actor].emplace(msg, when);  // first observation wins
+}
+
+bool ProvenanceRecorder::DepDeliveredWithin(MsgKey msg, uint32_t actor, sim::TimePoint entered,
+                                            sim::TimePoint released) const {
+  // A hold is necessary if a transitive semantic predecessor *arrived* at
+  // this actor during the wait — at either delivery stage. Causal-gate waits
+  // end on stage-1 arrival; FIFO/total waits end on app delivery; checking
+  // both maps covers both without the recorder knowing which layer asked.
+  auto dit = delivered_.find(actor);
+  const std::map<MsgKey, sim::TimePoint>* app = dit == delivered_.end() ? nullptr : &dit->second;
+  auto cit = causal_delivered_.find(actor);
+  const std::map<MsgKey, sim::TimePoint>* causal =
+      cit == causal_delivered_.end() ? nullptr : &cit->second;
+  if (app == nullptr && causal == nullptr) {
+    return false;
+  }
+  auto within = [entered, released](const std::map<MsgKey, sim::TimePoint>* at, MsgKey dep) {
+    if (at == nullptr) {
+      return false;
+    }
+    auto it = at->find(dep);
+    return it != at->end() && it->second > entered && it->second <= released;
+  };
+  return WalkDeps(semantic_deps_, msg, [&](MsgKey dep) {
+    return within(app, dep) || within(causal, dep);
+  });
+}
+
+void ProvenanceRecorder::RecordHold(MsgKey msg, uint32_t actor, const char* layer,
+                                    sim::TimePoint entered, sim::TimePoint released,
+                                    bool gates_delivery) {
+  if (!enabled_ || released <= entered) {
+    return;
+  }
+  const sim::Duration hold = released - entered;
+  LayerTally& tally = layers_[layer];
+  ++tally.holds;
+  tally.hold_total += hold;
+  if (!gates_delivery) {
+    return;  // retention (stability) holds cost memory, not delivery latency
+  }
+  ++totals_.gating_holds;
+  totals_.gating_hold_total += hold;
+  if (DepDeliveredWithin(msg, actor, entered, released)) {
+    ++tally.necessary_holds;
+  } else {
+    ++tally.false_holds;
+    tally.false_hold_total += hold;
+    ++totals_.false_holds;
+    totals_.false_hold_total += hold;
+  }
+}
+
+std::vector<sim::FlowEdge> ProvenanceRecorder::FlowEdges() const {
+  std::vector<sim::FlowEdge> edges;
+  for (const auto& [msg, deps] : semantic_deps_) {
+    auto hit = hidden_deps_.find(msg);
+    for (MsgKey dep : deps) {
+      const bool hidden = hit != hidden_deps_.end() &&
+                          std::find(hit->second.begin(), hit->second.end(), dep) !=
+                              hit->second.end();
+      if (!hidden) {
+        edges.push_back(sim::FlowEdge{dep, msg, "semantic"});
+      }
+    }
+  }
+  for (const auto& [msg, deps] : hidden_deps_) {
+    for (MsgKey dep : deps) {
+      edges.push_back(sim::FlowEdge{dep, msg, "hidden"});
+    }
+  }
+  edges.insert(edges.end(), spurious_edges_.begin(), spurious_edges_.end());
+  return edges;
+}
+
+void ProvenanceRecorder::ExportTo(sim::MetricsRegistry& registry) const {
+  using Labels = sim::MetricsRegistry::Labels;
+  registry.GetCounter("provenance_deliveries").Add(static_cast<int64_t>(totals_.deliveries));
+  auto edge_counter = [&registry](const char* kind, uint64_t n) {
+    registry.GetCounter("provenance_edges", Labels{{"kind", kind}})
+        .Add(static_cast<int64_t>(n));
+  };
+  edge_counter("potential", totals_.potential_edges);
+  edge_counter("matched", totals_.matched_edges);
+  edge_counter("spurious", totals_.spurious_edges);
+  edge_counter("semantic", totals_.semantic_edges);
+  edge_counter("hidden", totals_.hidden_edges);
+  registry.GetCounter("provenance_hidden_checked")
+      .Add(static_cast<int64_t>(totals_.hidden_checked));
+  registry.GetCounter("provenance_hidden_missed")
+      .Add(static_cast<int64_t>(totals_.hidden_missed));
+  for (const auto& [layer, tally] : layers_) {
+    const Labels labels{{"layer", layer}};
+    registry.GetCounter("provenance_holds", labels).Add(static_cast<int64_t>(tally.holds));
+    registry.GetCounter("provenance_false_holds", labels)
+        .Add(static_cast<int64_t>(tally.false_holds));
+    registry.GetGauge("provenance_hold_us", labels).Set(tally.hold_total.nanos() / 1000);
+    registry.GetGauge("provenance_false_hold_us", labels)
+        .Set(tally.false_hold_total.nanos() / 1000);
+  }
+}
+
+std::string ProvenanceRecorder::Summary() const {
+  std::ostringstream out;
+  out << "deliveries=" << totals_.deliveries << " potential=" << totals_.potential_edges
+      << " matched=" << totals_.matched_edges << " spurious=" << totals_.spurious_edges
+      << " semantic=" << totals_.semantic_edges << " hidden=" << totals_.hidden_edges
+      << " hidden_missed=" << totals_.hidden_missed << "/" << totals_.hidden_checked << "\n";
+  for (const auto& [layer, tally] : layers_) {
+    out << "  " << layer << ": holds=" << tally.holds << " false=" << tally.false_holds
+        << " necessary=" << tally.necessary_holds
+        << " hold_ms=" << static_cast<double>(tally.hold_total.nanos()) / 1e6
+        << " false_ms=" << static_cast<double>(tally.false_hold_total.nanos()) / 1e6 << "\n";
+  }
+  return out.str();
+}
+
+void ProvenanceRecorder::Clear() {
+  semantic_deps_.clear();
+  hidden_deps_.clear();
+  delivered_.clear();
+  causal_delivered_.clear();
+  frontier_classified_.clear();
+  hidden_missed_by_.clear();
+  spurious_edges_.clear();
+  layers_.clear();
+  totals_ = Totals{};
+}
+
+}  // namespace obs

@@ -1,0 +1,171 @@
+// Causal provenance recording: the measured gap between the causality CATOCS
+// *enforces* and the causality the application *means* (DESIGN.md §8).
+//
+// Three edge populations are recorded per message, keyed by the same 64-bit
+// span key the SpanRecorder uses (catocs::SpanKey), so this subsystem depends
+// only on sim:
+//   * potential edges — the predecessor set implied by a delivered message's
+//     vector timestamp: one edge per clock entry, exactly what the causal
+//     gate waits for. Reported by the delivery path (RecordDelivery).
+//   * semantic edges — dependencies the application declared
+//     (GroupMember::DeclareDependency, PrescriptiveGate provenance hook).
+//     These are the orderings that actually matter.
+//   * hidden edges — real causal connections that travelled outside the
+//     group transport (fault::HiddenChannelProbe), which no vector timestamp
+//     can see. A hidden edge is real causality, so it also joins the
+//     semantic graph.
+//
+// From these the recorder derives the paper's §2 quantities:
+//   * spurious-edge ratio — potential edges backed by no (transitive)
+//     semantic requirement: ordering enforced for no reason;
+//   * false-causality delay — hold time at a delivery-gating wait point
+//     during which no semantic predecessor arrived: the latency cost of
+//     those spurious edges;
+//   * hidden-channel misses — per (member, hidden edge): the dependent
+//     message was delivered before its out-of-band predecessor, the anomaly
+//     unrecognized causality permits.
+//
+// Record-only, like SpanRecorder: recording schedules no simulator events
+// and perturbs no protocol state, so instrumented runs replay bit-identically
+// to uninstrumented ones. All containers iterate deterministically.
+
+#ifndef REPRO_SRC_OBS_PROVENANCE_H_
+#define REPRO_SRC_OBS_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/metrics.h"
+#include "src/sim/span.h"
+#include "src/sim/time.h"
+
+namespace obs {
+
+// Caller-encoded message identity; catocs passes SpanKey(id).
+using MsgKey = uint64_t;
+
+class ProvenanceRecorder {
+ public:
+  // Per-layer hold accounting. False/necessary splits are only meaningful
+  // for delivery-gating layers (gates_delivery in RecordHold); retention
+  // holds (stability) are tallied but never classified as false causality —
+  // they cost memory, not delivery latency.
+  struct LayerTally {
+    uint64_t holds = 0;  // strictly positive waits released
+    uint64_t false_holds = 0;
+    uint64_t necessary_holds = 0;
+    sim::Duration hold_total = sim::Duration::Zero();
+    sim::Duration false_hold_total = sim::Duration::Zero();
+  };
+
+  struct Totals {
+    uint64_t deliveries = 0;       // RecordDelivery calls accepted
+    uint64_t potential_edges = 0;  // counted once per message, not per member
+    uint64_t matched_edges = 0;    // potential edges semantically required
+    uint64_t spurious_edges = 0;   // potential edges nothing required
+    uint64_t semantic_edges = 0;   // declared (includes hidden re-declares)
+    uint64_t hidden_edges = 0;     // injected out-of-band edges
+    uint64_t hidden_checked = 0;   // per (delivery, hidden in-edge) checks
+    uint64_t hidden_missed = 0;    // ... where the predecessor was not yet there
+    uint64_t gating_holds = 0;     // positive waits at delivery-gating layers
+    uint64_t false_holds = 0;
+    sim::Duration gating_hold_total = sim::Duration::Zero();
+    sim::Duration false_hold_total = sim::Duration::Zero();
+  };
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // --- sender-side declarations ---------------------------------------------
+  // The application states that `msg` semantically depends on `dep`.
+  void DeclareSemanticDep(MsgKey msg, MsgKey dep);
+  // An out-of-band (hidden-channel) causal edge: `msg` really does depend on
+  // `dep`, but the connection never crossed the group transport. Joins both
+  // the hidden and the semantic graphs.
+  void InjectHiddenEdge(MsgKey msg, MsgKey dep);
+
+  // --- receiver-side observations -------------------------------------------
+  // Application-level delivery of `msg` at `actor`. `potential_frontier`
+  // holds one key per vector-timestamp entry (the newest predecessor per
+  // sender) — the potential-causality frontier the causal gate enforced.
+  // Edge classification runs once per message (the frontier is a property of
+  // the message); hidden-miss checks run per (msg, actor).
+  void RecordDelivery(MsgKey msg, uint32_t actor, sim::TimePoint when,
+                      const std::vector<MsgKey>& potential_frontier);
+  // Stage-1 (causal) delivery of `msg` at `actor`. Feeds only hold
+  // classification: a causal-gate wait that ends when a semantic predecessor
+  // causally arrives is necessary even if that predecessor is still gated
+  // downstream (e.g. a kTotal message awaiting its sequence turn).
+  void RecordCausalDelivery(MsgKey msg, uint32_t actor, sim::TimePoint when);
+  // A strictly positive wait of `msg` at `actor` in `layer` released.
+  // `gates_delivery` says the wait delayed delivery (causal gap, FIFO gap,
+  // total-order turn, flush block) rather than retention (stability). A
+  // gating hold is *necessary* iff some transitive semantic dependency of
+  // `msg` was delivered at `actor` inside (entered, released] — the wait
+  // bought an ordering the application asked for; otherwise it is false
+  // causality, the paper's spurious delay.
+  void RecordHold(MsgKey msg, uint32_t actor, const char* layer, sim::TimePoint entered,
+                  sim::TimePoint released, bool gates_delivery = true);
+
+  // --- queries ---------------------------------------------------------------
+  // Transitive reachability of `pred` from `msg` over the semantic graph.
+  bool SemanticallyRequires(MsgKey msg, MsgKey pred) const;
+
+  const Totals& totals() const { return totals_; }
+  const std::map<std::string, LayerTally>& layers() const { return layers_; }
+  // Hidden-channel misses observed at one actor — e.g. to cross-check the
+  // recorder against an app's own anomaly count at its observer member.
+  uint64_t HiddenMissesAt(uint32_t actor) const {
+    auto it = hidden_missed_by_.find(actor);
+    return it == hidden_missed_by_.end() ? 0 : it->second;
+  }
+  double SpuriousEdgeRatio() const {
+    return totals_.potential_edges == 0 ? 0.0
+                                        : static_cast<double>(totals_.spurious_edges) /
+                                              static_cast<double>(totals_.potential_edges);
+  }
+  // Fraction of delivery-gating hold time that bought no semantic ordering.
+  double FalseDelayFraction() const {
+    return totals_.gating_hold_total == sim::Duration::Zero()
+               ? 0.0
+               : static_cast<double>(totals_.false_hold_total.nanos()) /
+                     static_cast<double>(totals_.gating_hold_total.nanos());
+  }
+
+  // Provenance arrows for Simulator::ExportTraceEvents: semantic edges,
+  // hidden edges, and the spurious potential edges, in deterministic order.
+  std::vector<sim::FlowEdge> FlowEdges() const;
+
+  // Labeled counters/gauges into a registry (explicit — never automatic, so
+  // existing benches' metric output is untouched).
+  void ExportTo(sim::MetricsRegistry& registry) const;
+
+  std::string Summary() const;
+
+  void Clear();
+
+ private:
+  bool DepDeliveredWithin(MsgKey msg, uint32_t actor, sim::TimePoint entered,
+                          sim::TimePoint released) const;
+
+  bool enabled_ = false;
+  // Adjacency lists; std::map keeps FlowEdges() and exports deterministic.
+  std::map<MsgKey, std::vector<MsgKey>> semantic_deps_;
+  std::map<MsgKey, std::vector<MsgKey>> hidden_deps_;
+  // Per actor: app-delivery time of each message delivered there, and the
+  // (earlier) stage-1 causal-delivery time.
+  std::map<uint32_t, std::map<MsgKey, sim::TimePoint>> delivered_;
+  std::map<uint32_t, std::map<MsgKey, sim::TimePoint>> causal_delivered_;
+  // Messages whose potential frontier has been classified already.
+  std::map<MsgKey, bool> frontier_classified_;
+  std::map<uint32_t, uint64_t> hidden_missed_by_;
+  std::vector<sim::FlowEdge> spurious_edges_;
+  std::map<std::string, LayerTally> layers_;
+  Totals totals_;
+};
+
+}  // namespace obs
+
+#endif  // REPRO_SRC_OBS_PROVENANCE_H_

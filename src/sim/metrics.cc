@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -201,9 +202,36 @@ void AppendJsonString(std::ostringstream& out, const std::string& s) {
   out << '"';
   for (char c : s) {
     if (c == '"' || c == '\\') {
-      out << '\\';
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters are never legal raw in a JSON string; the common
+      // ones get their short escapes, the rest the \u00XX form.
+      switch (c) {
+        case '\b':
+          out << "\\b";
+          break;
+        case '\f':
+          out << "\\f";
+          break;
+        case '\n':
+          out << "\\n";
+          break;
+        case '\r':
+          out << "\\r";
+          break;
+        case '\t':
+          out << "\\t";
+          break;
+        default: {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out << buf;
+          break;
+        }
+      }
+    } else {
+      out << c;
     }
-    out << c;
   }
   out << '"';
 }

@@ -10,6 +10,9 @@
 #define REPRO_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
@@ -58,6 +61,17 @@ class Simulator {
   // Guard against runaway simulations (e.g. a retransmit loop that never
   // quiesces). 0 disables the limit.
   void set_event_limit(uint64_t limit) { event_limit_ = limit; }
+
+  // Renders the retained span records (plus optional provenance flow edges)
+  // as a complete Chrome trace-event JSON document, loadable in Perfetto.
+  // Enter->deliver/stable/drop pairs on the same (key, actor, layer) become
+  // duration slices; unmatched events become instants; flow edges become
+  // s/f arrow pairs anchored at the two messages' first retained records.
+  // `namer` labels events from a span key (hex key when omitted). Purely a
+  // function of the retained records, so a deterministic run exports a
+  // byte-identical document.
+  std::string ExportTraceEvents(const std::vector<FlowEdge>& flows = {},
+                                const std::function<std::string(uint64_t)>& namer = {}) const;
 
  private:
   TimePoint now_ = TimePoint::Zero();

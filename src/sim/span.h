@@ -43,6 +43,16 @@ struct SpanRecord {
   std::string ToString() const;
 };
 
+// A directed provenance edge between two span keys, rendered as a flow
+// arrow (predecessor -> dependent) in the Chrome trace-event export. The
+// kind is a static string naming the edge's origin (e.g. "semantic",
+// "hidden", "spurious" — see obs::ProvenanceRecorder::FlowEdges()).
+struct FlowEdge {
+  uint64_t src_key = 0;  // arrow tail: the predecessor message
+  uint64_t dst_key = 0;  // arrow head: the dependent message
+  const char* kind = "";
+};
+
 class SpanRecorder {
  public:
   void set_enabled(bool on) { enabled_ = on; }

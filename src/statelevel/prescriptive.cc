@@ -11,6 +11,14 @@ bool PrescriptiveGate::Submit(StreamKey key, std::vector<StreamKey> prerequisite
     ++stats_.duplicates;
     return false;
   }
+  // Declare every *stated* prerequisite before stripping: a prerequisite
+  // that happens to be satisfied already is still a semantic dependency.
+  if (provenance_ != nullptr && key_mapper_) {
+    const obs::MsgKey dst = key_mapper_(key);
+    for (const StreamKey& p : prerequisites) {
+      provenance_->DeclareSemanticDep(dst, key_mapper_(p));
+    }
+  }
   // Strip already-satisfied prerequisites.
   prerequisites.erase(
       std::remove_if(prerequisites.begin(), prerequisites.end(),

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/net/payload.h"
+#include "src/obs/provenance.h"
 #include "src/sim/time.h"
 
 namespace statelv {
@@ -50,6 +51,17 @@ class PrescriptiveGate {
   // delivered immediately.
   bool Submit(StreamKey key, std::vector<StreamKey> prerequisites, net::PayloadPtr payload);
 
+  // Provenance tap (DESIGN.md §8): with a recorder attached, every Submit
+  // declares its stated prerequisites as semantic edges — prescriptive
+  // ordering is the ground truth the potential-causality frontier is scored
+  // against. `mapper` translates gate keys into the recorder's message keys
+  // (e.g. back to catocs::SpanKey ids). Record-only.
+  using KeyMapper = std::function<obs::MsgKey(const StreamKey&)>;
+  void SetProvenance(obs::ProvenanceRecorder* recorder, KeyMapper mapper) {
+    provenance_ = recorder;
+    key_mapper_ = std::move(mapper);
+  }
+
   bool Delivered(const StreamKey& key) const { return delivered_.count(key) > 0; }
   const GateStats& stats() const { return stats_; }
 
@@ -63,6 +75,8 @@ class PrescriptiveGate {
   void Deliver(const StreamKey& key, const net::PayloadPtr& payload);
 
   Handler handler_;
+  obs::ProvenanceRecorder* provenance_ = nullptr;
+  KeyMapper key_mapper_;
   std::set<StreamKey> delivered_;
   // Waiting messages indexed by one unmet prerequisite each.
   std::multimap<StreamKey, Pending> waiting_on_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/catocs/group.h"
+#include "src/catocs/pipeline_stats.h"
 #include "src/catocs/wire_codec.h"
 #include "src/sim/simulator.h"
 
@@ -244,6 +245,79 @@ TEST(BatchingTest, PiggybackVariantComposesWithBatching) {
   s.RunFor(sim::Duration::Seconds(2));
   for (size_t i = 0; i < fabric.size(); ++i) {
     EXPECT_EQ(fabric.member(i).stats().app_delivered, 12u) << "member " << i;
+  }
+}
+
+// Every batched constituent carries its own full lifecycle span — send,
+// batch hold (enter -> deliver with the flush size), causal delivery — not
+// just the frame's first message. Delta timestamps ride along to cover the
+// full raw-speed wire path.
+TEST(BatchingTest, BatchedConstituentsEachCarryFullLifecycleSpans) {
+  sim::Simulator s(49);
+  FabricConfig cfg = BatchedConfig(4, /*delta=*/true);
+  cfg.group.observability = true;
+  s.spans().set_enabled(true);
+  GroupFabric fabric(&s, cfg);
+  fabric.RecordDeliveries();
+  fabric.StartAll();
+  s.ScheduleAfter(sim::Duration::Millis(10), [&fabric] {
+    for (int k = 0; k < 8; ++k) {
+      fabric.member(0).CausalSend(Blob());
+    }
+  });
+  s.RunFor(sim::Duration::Seconds(1));
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    const uint64_t key = SpanKey(MessageId{1, seq});
+    const auto timeline = s.spans().ForKey(key);
+    ASSERT_FALSE(timeline.empty()) << "constituent seq " << seq << " left no spans";
+    bool batch_entered = false;
+    bool batch_flushed = false;
+    size_t causal_delivers = 0;
+    for (const auto& record : timeline) {
+      if (std::string(record.layer) == "batch") {
+        if (record.event == sim::SpanEvent::kEnter) {
+          batch_entered = true;
+        }
+        if (record.event == sim::SpanEvent::kDeliver) {
+          batch_flushed = true;
+          EXPECT_EQ(record.note, "flush n=4") << "seq " << seq;
+        }
+      }
+      if (std::string(record.layer) == "causal" && record.event == sim::SpanEvent::kDeliver) {
+        ++causal_delivers;
+      }
+    }
+    EXPECT_TRUE(batch_entered) << "seq " << seq << " has no batch-hold entry";
+    EXPECT_TRUE(batch_flushed) << "seq " << seq << " has no batch flush";
+    EXPECT_EQ(causal_delivers, fabric.size()) << "seq " << seq;
+  }
+}
+
+// A partial batch flushed by the timer closes each parked constituent's
+// batch-hold span with the actual (smaller) flush size.
+TEST(BatchingTest, PartialBatchFlushSpansRecordActualSize) {
+  sim::Simulator s(50);
+  FabricConfig cfg = BatchedConfig(4, /*delta=*/true);
+  cfg.group.observability = true;
+  s.spans().set_enabled(true);
+  GroupFabric fabric(&s, cfg);
+  fabric.StartAll();
+  s.ScheduleAfter(sim::Duration::Millis(10), [&fabric] {
+    for (int k = 0; k < 3; ++k) {
+      fabric.member(0).CausalSend(Blob());
+    }
+  });
+  s.RunFor(sim::Duration::Seconds(1));
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    const uint64_t key = SpanKey(MessageId{1, seq});
+    bool batch_flushed = false;
+    for (const auto& record : s.spans().ForKey(key)) {
+      if (std::string(record.layer) == "batch" && record.event == sim::SpanEvent::kDeliver) {
+        batch_flushed = true;
+        EXPECT_EQ(record.note, "flush n=3") << "seq " << seq;
+      }
+    }
+    EXPECT_TRUE(batch_flushed) << "seq " << seq;
   }
 }
 

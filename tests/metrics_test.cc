@@ -172,6 +172,23 @@ TEST(RegistryTest, ReportJsonIsDeterministicAndComplete) {
   EXPECT_NE(a.find("\"delay_ms\""), std::string::npos);
 }
 
+TEST(RegistryTest, ReportJsonEscapesMetricNames) {
+  // Quotes and backslashes were always escaped; control characters must come
+  // out as their short escapes (or \u00XX), never raw — a raw newline or tab
+  // in a label makes the whole document unparseable.
+  MetricsRegistry registry;
+  registry.GetCounter("quote\"and\\slash").Add(1);
+  registry.GetCounter(std::string("tab\tnl\ncr\rbs\bff\f")).Add(2);
+  registry.GetCounter(std::string("nul") + '\x01' + "unit" + '\x1f').Add(3);
+  const std::string json = registry.ReportJson();
+  EXPECT_NE(json.find("\"quote\\\"and\\\\slash\""), std::string::npos);
+  EXPECT_NE(json.find("\"tab\\tnl\\ncr\\rbs\\bff\\f\""), std::string::npos);
+  EXPECT_NE(json.find("\"nul\\u0001unit\\u001f\""), std::string::npos);
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control character in JSON output";
+  }
+}
+
 TEST(TraceTest, FilterByCategoryAndActor) {
   Trace trace;
   trace.set_enabled(true);

@@ -1,0 +1,318 @@
+// Tests for the provenance subsystem (DESIGN.md §8): recorder edge
+// classification and hold accounting in isolation, then cross-checks against
+// the instrumented scenarios — trading (declared deps), shopfloor (hidden
+// database channel vs the app's own anomaly count), the chaos-rig probe
+// (recorder vs an independent recount over the delivery record), and the
+// prescriptive gate's provenance tap. Plus the acceptance property that
+// matters most: attaching a recorder never changes what a scenario computes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/apps/shopfloor.h"
+#include "src/apps/trading.h"
+#include "src/fault/chaos_rig.h"
+#include "src/fault/hidden_probe.h"
+#include "src/net/payload.h"
+#include "src/obs/provenance.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/statelevel/prescriptive.h"
+
+namespace obs {
+namespace {
+
+sim::TimePoint At(int64_t ms) { return sim::TimePoint::Zero() + sim::Duration::Millis(ms); }
+
+// --- recorder unit tests -----------------------------------------------------
+
+TEST(ProvenanceRecorderTest, DisabledRecorderIsInert) {
+  ProvenanceRecorder rec;  // enabled defaults to false
+  rec.DeclareSemanticDep(2, 1);
+  rec.InjectHiddenEdge(3, 1);
+  rec.RecordDelivery(2, 0, At(5), {1});
+  rec.RecordHold(2, 0, "causal", At(1), At(5));
+  EXPECT_EQ(rec.totals().deliveries, 0u);
+  EXPECT_EQ(rec.totals().semantic_edges, 0u);
+  EXPECT_EQ(rec.totals().hidden_edges, 0u);
+  EXPECT_EQ(rec.totals().potential_edges, 0u);
+  EXPECT_EQ(rec.totals().gating_holds, 0u);
+  EXPECT_TRUE(rec.layers().empty());
+}
+
+TEST(ProvenanceRecorderTest, FrontierSplitsIntoMatchedAndSpurious) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.DeclareSemanticDep(2, 1);
+  // Frontier {1, 3}: edge 2->1 is declared, edge 2->3 is pure happens-before.
+  rec.RecordDelivery(2, /*actor=*/0, At(10), {1, 3});
+  EXPECT_EQ(rec.totals().potential_edges, 2u);
+  EXPECT_EQ(rec.totals().matched_edges, 1u);
+  EXPECT_EQ(rec.totals().spurious_edges, 1u);
+  EXPECT_DOUBLE_EQ(rec.SpuriousEdgeRatio(), 0.5);
+
+  // The frontier is a property of the message: a second member delivering the
+  // same message must not classify it again.
+  rec.RecordDelivery(2, /*actor=*/1, At(12), {1, 3});
+  EXPECT_EQ(rec.totals().deliveries, 2u);
+  EXPECT_EQ(rec.totals().potential_edges, 2u);
+
+  // Self-edges and null keys never count.
+  rec.RecordDelivery(4, 0, At(14), {4, 0});
+  EXPECT_EQ(rec.totals().potential_edges, 2u);
+}
+
+TEST(ProvenanceRecorderTest, SemanticRequirementIsTransitive) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.DeclareSemanticDep(3, 2);
+  rec.DeclareSemanticDep(2, 1);
+  EXPECT_TRUE(rec.SemanticallyRequires(3, 1));
+  EXPECT_FALSE(rec.SemanticallyRequires(1, 3)) << "edges are directed";
+  // A frontier edge backed only transitively still counts as matched.
+  rec.RecordDelivery(3, 0, At(10), {1});
+  EXPECT_EQ(rec.totals().matched_edges, 1u);
+  EXPECT_EQ(rec.totals().spurious_edges, 0u);
+}
+
+TEST(ProvenanceRecorderTest, HoldIsFalseWithoutASemanticArrivalInWindow) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.DeclareSemanticDep(2, 1);
+  // Dep 1 delivered at this actor *before* the wait began: the hold bought
+  // nothing the application asked for.
+  rec.RecordDelivery(1, 0, At(1), {});
+  rec.RecordHold(2, 0, "causal", At(5), At(9));
+  ASSERT_EQ(rec.layers().count("causal"), 1u);
+  const auto& causal = rec.layers().at("causal");
+  EXPECT_EQ(causal.holds, 1u);
+  EXPECT_EQ(causal.false_holds, 1u);
+  EXPECT_EQ(causal.necessary_holds, 0u);
+  EXPECT_EQ(rec.totals().false_hold_total, sim::Duration::Millis(4));
+  EXPECT_DOUBLE_EQ(rec.FalseDelayFraction(), 1.0);
+}
+
+TEST(ProvenanceRecorderTest, HoldIsNecessaryWhenDepArrivesDuringWait) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.DeclareSemanticDep(2, 1);
+  rec.RecordDelivery(1, 0, At(7), {});  // inside (5, 9]
+  rec.RecordHold(2, 0, "causal", At(5), At(9));
+  const auto& causal = rec.layers().at("causal");
+  EXPECT_EQ(causal.necessary_holds, 1u);
+  EXPECT_EQ(causal.false_holds, 0u);
+  EXPECT_DOUBLE_EQ(rec.FalseDelayFraction(), 0.0);
+}
+
+TEST(ProvenanceRecorderTest, CausalStageArrivalAloneJustifiesAHold) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.DeclareSemanticDep(2, 1);
+  // The predecessor reached stage-1 causal delivery during the wait but is
+  // still gated downstream (no app delivery): the wait was still necessary.
+  rec.RecordCausalDelivery(1, 0, At(6));
+  rec.RecordHold(2, 0, "causal", At(5), At(9));
+  EXPECT_EQ(rec.layers().at("causal").necessary_holds, 1u);
+  EXPECT_EQ(rec.totals().false_holds, 0u);
+}
+
+TEST(ProvenanceRecorderTest, RetentionHoldsNeverCountAsFalseCausality) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.RecordHold(2, 0, "stability", At(5), At(50), /*gates_delivery=*/false);
+  const auto& stab = rec.layers().at("stability");
+  EXPECT_EQ(stab.holds, 1u);
+  EXPECT_EQ(stab.false_holds, 0u);
+  EXPECT_EQ(rec.totals().gating_holds, 0u);
+  EXPECT_EQ(rec.totals().gating_hold_total, sim::Duration::Zero());
+  // Zero-length waits are not holds at all.
+  rec.RecordHold(3, 0, "causal", At(5), At(5));
+  EXPECT_EQ(rec.layers().count("causal"), 0u);
+}
+
+TEST(ProvenanceRecorderTest, HiddenMissCountedPerActorDeliveryOrder) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.InjectHiddenEdge(2, 1);
+  // Actor 0 sees the dependent before its out-of-band predecessor: miss.
+  rec.RecordDelivery(2, 0, At(10), {});
+  // Actor 1 sees them in the real causal order: checked, not missed.
+  rec.RecordDelivery(1, 1, At(11), {});
+  rec.RecordDelivery(2, 1, At(12), {});
+  EXPECT_EQ(rec.totals().hidden_checked, 2u);
+  EXPECT_EQ(rec.totals().hidden_missed, 1u);
+  EXPECT_EQ(rec.HiddenMissesAt(0), 1u);
+  EXPECT_EQ(rec.HiddenMissesAt(1), 0u);
+  // Hidden edges join the semantic graph.
+  EXPECT_TRUE(rec.SemanticallyRequires(2, 1));
+  EXPECT_EQ(rec.totals().semantic_edges, 1u);
+}
+
+TEST(ProvenanceRecorderTest, RetroactiveHiddenInjectionChecksPastDeliveries) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  // The dependent's sender self-delivers inside Send, before the caller can
+  // inject the edge — the recorder must recheck past deliveries on inject.
+  rec.RecordDelivery(2, 0, At(10), {});
+  rec.RecordDelivery(1, 1, At(9), {});
+  rec.RecordDelivery(2, 1, At(12), {});
+  rec.InjectHiddenEdge(2, 1);
+  EXPECT_EQ(rec.totals().hidden_checked, 2u) << "one check per actor that delivered the dependent";
+  EXPECT_EQ(rec.totals().hidden_missed, 1u);
+  EXPECT_EQ(rec.HiddenMissesAt(0), 1u);
+  EXPECT_EQ(rec.HiddenMissesAt(1), 0u);
+  // Duplicate injection leaves every total unchanged.
+  rec.InjectHiddenEdge(2, 1);
+  EXPECT_EQ(rec.totals().hidden_edges, 1u);
+  EXPECT_EQ(rec.totals().hidden_checked, 2u);
+}
+
+TEST(ProvenanceRecorderTest, FlowEdgesAndClear) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  rec.DeclareSemanticDep(3, 2);
+  rec.InjectHiddenEdge(4, 1);
+  rec.RecordDelivery(5, 0, At(1), {2});  // spurious: nothing declared for 5
+  const std::vector<sim::FlowEdge> edges = rec.FlowEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  std::map<std::string, int> by_kind;
+  for (const auto& e : edges) {
+    ++by_kind[e.kind];
+  }
+  EXPECT_EQ(by_kind["semantic"], 1);
+  EXPECT_EQ(by_kind["hidden"], 1);
+  EXPECT_EQ(by_kind["spurious"], 1);
+
+  sim::MetricsRegistry registry;
+  rec.ExportTo(registry);
+  const sim::Counter* spurious =
+      registry.FindCounter(sim::MetricsRegistry::LabeledName("provenance_edges", {{"kind", "spurious"}}));
+  ASSERT_NE(spurious, nullptr);
+  EXPECT_EQ(spurious->value(), 1);
+
+  rec.Clear();
+  EXPECT_EQ(rec.totals().deliveries, 0u);
+  EXPECT_EQ(rec.totals().semantic_edges, 0u);
+  EXPECT_TRUE(rec.FlowEdges().empty());
+  EXPECT_TRUE(rec.enabled()) << "Clear drops data, not the enable bit";
+}
+
+// --- trading: declared dependencies ------------------------------------------
+
+TEST(ProvenanceScenarioTest, TradingAccountsEveryPotentialEdge) {
+  ProvenanceRecorder rec;
+  apps::TradingConfig config;
+  config.price_updates = 150;
+  config.seed = 11;
+  config.provenance = &rec;
+  const apps::TradingResult result = apps::RunTradingScenario(config);
+  EXPECT_EQ(result.price_updates, 150);
+  const auto& t = rec.totals();
+  EXPECT_GT(t.deliveries, 0u);
+  EXPECT_EQ(t.matched_edges + t.spurious_edges, t.potential_edges);
+  EXPECT_GT(t.matched_edges, 0u) << "every theoretical price declares its base";
+  EXPECT_GT(t.spurious_edges, 0u) << "independent price updates still stamp each other";
+  EXPECT_GE(rec.FalseDelayFraction(), 0.0);
+  EXPECT_LE(rec.FalseDelayFraction(), 1.0);
+}
+
+TEST(ProvenanceScenarioTest, TradingReplaysIdenticallyWithRecorderAttached) {
+  apps::TradingConfig config;
+  config.price_updates = 120;
+  config.seed = 23;
+  const apps::TradingResult plain = apps::RunTradingScenario(config);
+
+  ProvenanceRecorder rec;
+  config.provenance = &rec;
+  const apps::TradingResult instrumented = apps::RunTradingScenario(config);
+
+  EXPECT_EQ(plain.raw_inconsistent_displays, instrumented.raw_inconsistent_displays);
+  EXPECT_EQ(plain.raw_false_crossings, instrumented.raw_false_crossings);
+  EXPECT_EQ(plain.paired_inconsistent_displays, instrumented.paired_inconsistent_displays);
+  EXPECT_EQ(plain.paired_false_crossings, instrumented.paired_false_crossings);
+  EXPECT_EQ(plain.paired_lagging_displays, instrumented.paired_lagging_displays);
+  EXPECT_GT(rec.totals().deliveries, 0u) << "the recorder did observe the instrumented run";
+}
+
+// --- shopfloor: the hidden database channel ----------------------------------
+
+TEST(ProvenanceScenarioTest, ShopFloorHiddenMissesEqualRawAnomalies) {
+  ProvenanceRecorder rec;
+  apps::ShopFloorConfig config;
+  config.rounds = 120;
+  config.seed = 5;
+  config.provenance = &rec;
+  const apps::ShopFloorResult result = apps::RunShopFloorScenario(config);
+  EXPECT_EQ(result.rounds, 120);
+  EXPECT_GT(rec.totals().hidden_edges, 0u);
+  // Member 1 is the observer; a hidden miss there is exactly a raw anomaly.
+  EXPECT_EQ(rec.HiddenMissesAt(1), static_cast<uint64_t>(result.raw_anomalies));
+  EXPECT_GT(result.raw_anomalies, 0) << "seed 5 should reorder at least one round";
+  EXPECT_EQ(rec.totals().semantic_edges, rec.totals().hidden_edges)
+      << "the app declares nothing — the database channel is invisible to it";
+}
+
+// --- chaos rig + probe: recorder vs independent recount ----------------------
+
+TEST(ProvenanceScenarioTest, ProbeMissesMatchDeliveryRecordRecount) {
+  sim::Simulator s(101);
+  fault::ChaosRigConfig cfg;
+  cfg.group.observability = true;
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  cfg.group.provenance = &rec;
+  fault::ChaosRig rig(&s, cfg);
+  fault::HiddenChannelProbe::Config probe_cfg;
+  probe_cfg.interval = sim::Duration::Millis(25);
+  fault::HiddenChannelProbe probe(&rig, &rec, probe_cfg);
+  rig.Start();
+  probe.Start();
+  s.ScheduleAfter(sim::Duration::Seconds(4), [&] {
+    probe.Stop();
+    rig.StopWorkload();
+  });
+  s.RunFor(sim::Duration::Seconds(6));
+
+  EXPECT_GT(probe.rounds(), 0u);
+  EXPECT_GT(probe.edges_injected(), 0u) << "tokens never completed a round";
+  EXPECT_EQ(probe.edges_injected(), rec.totals().hidden_edges);
+  // The ground truth: recount misses directly from the rig's delivery record.
+  const uint64_t oracle = fault::CountHiddenMisses(rig.deliveries(), probe.edges());
+  EXPECT_EQ(oracle, rec.totals().hidden_missed)
+      << "recorder and delivery-record recount disagree on hidden misses";
+}
+
+// --- prescriptive gate: the provenance tap -----------------------------------
+
+TEST(ProvenanceScenarioTest, PrescriptiveGateDeclaresItsPrerequisites) {
+  ProvenanceRecorder rec;
+  rec.set_enabled(true);
+  std::vector<statelv::StreamKey> delivered;
+  statelv::PrescriptiveGate gate(
+      [&delivered](const statelv::StreamKey& key, const net::PayloadPtr&) {
+        delivered.push_back(key);
+      });
+  const auto mapper = [](const statelv::StreamKey& key) -> MsgKey {
+    return key.stream * 1000 + key.seq;
+  };
+  gate.SetProvenance(&rec, mapper);
+
+  auto payload = std::make_shared<net::BlobPayload>("gate-msg", 8);
+  // {1,2} requires {1,1}: submitted out of order, so the gate delays it.
+  EXPECT_FALSE(gate.Submit({1, 2}, {{1, 1}}, payload));
+  EXPECT_TRUE(gate.Submit({1, 1}, {}, payload));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], (statelv::StreamKey{1, 1}));
+  EXPECT_EQ(delivered[1], (statelv::StreamKey{1, 2}));
+
+  // The stated prerequisite is on the semantic graph under the mapped keys.
+  EXPECT_TRUE(rec.SemanticallyRequires(mapper({1, 2}), mapper({1, 1})));
+  EXPECT_EQ(rec.totals().semantic_edges, 1u);
+}
+
+}  // namespace
+}  // namespace obs
