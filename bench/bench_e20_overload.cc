@@ -1,0 +1,175 @@
+// E20 — bounded resources under overload (DESIGN.md §10). One member of the
+// group is a slow receiver (its inbound latency is scaled up), so stability
+// lags and every other member retains unstable messages for longer. The
+// offered load is swept well past the point where retention becomes the
+// dominant cost, once per causal-buffer strategy, in two configurations:
+//
+//   * unbounded (the seed default): no budget, no send window — retention
+//     grows with offered load, exactly the §2.3/§5 failure mode the paper
+//     predicts;
+//   * bounded: a resource budget plus a sender window (throttle policy) —
+//     senders are backpressured instead of buffering without bound, goodput
+//     degrades smoothly, and peak retention stays under the budget.
+//
+// Acceptance (printed as PASS/FAIL lines):
+//   1. bounded peak retention <= budget at every offered load, both
+//      strategies;
+//   2. bounded goodput degrades smoothly: at the highest load (16x base,
+//      far past saturation) it is still >= 30% of its best — no cliff to
+//      zero;
+//   3. unbounded peak retention at the highest load >= 10x its peak at the
+//      base load — the unbounded baseline really does grow with load.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/causal_buffer.h"
+#include "src/catocs/group.h"
+
+namespace {
+
+constexpr uint32_t kMembers = 6;
+constexpr size_t kSlowIndex = kMembers - 1;  // member id 6
+constexpr double kSlowInboundScale = 20.0;
+constexpr size_t kPayloadBytes = 256;
+constexpr size_t kBudgetBytes = 128 * 1024;
+constexpr uint32_t kSendWindow = 32;
+constexpr int64_t kBaseIntervalUs = 24000;  // base load: ~42 msgs/s/member
+
+struct Sample {
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t backpressured = 0;
+  uint64_t slow_deliveries = 0;
+  double goodput_per_s = 0;     // deliveries/s observed at the slow member
+  size_t peak_retained_bytes = 0;  // max over members of peak_buffered_bytes
+};
+
+Sample RunOne(catocs::CausalBufferKind kind, int load_factor, bool bounded) {
+  sim::Simulator s(7000 + load_factor * 10 + (bounded ? 1 : 0));
+  catocs::FabricConfig cfg;
+  cfg.num_members = kMembers;
+  cfg.group.causal_buffer = kind;
+  cfg.latency_lo = sim::Duration::Millis(1);
+  cfg.latency_hi = sim::Duration::Millis(5);
+  // The slow receiver's inbound delay reaches ~100ms; keep the retransmit
+  // schedule above it so the bench measures retention, not spurious resends.
+  cfg.transport.retransmit_timeout = sim::Duration::Millis(150);
+  cfg.transport.max_retries = 500;
+  if (bounded) {
+    cfg.group.budget.max_bytes = kBudgetBytes;
+    cfg.group.send_window = kSendWindow;
+    cfg.group.overload_policy = catocs::OverloadPolicy::kThrottle;
+  }
+  catocs::GroupFabric fabric(&s, cfg);
+
+  Sample sample;
+  fabric.member(kSlowIndex).SetDeliveryHandler(
+      [&sample](const catocs::Delivery&) { ++sample.slow_deliveries; });
+  fabric.StartAll();
+  fabric.network().set_node_inbound_scale(catocs::GroupFabric::IdOf(kSlowIndex),
+                                          kSlowInboundScale);
+
+  const sim::Duration interval = sim::Duration::Micros(kBaseIntervalUs / load_factor);
+  benchutil::StaggeredSenders senders(
+      &s, kMembers, interval,
+      [](uint32_t m) { return sim::Duration::Micros(500 + 400 * m); },
+      [&fabric, &sample](uint32_t m) {
+        ++sample.offered;
+        const catocs::SendResult result = fabric.member(m).TrySend(
+            catocs::OrderingMode::kCausal,
+            std::make_shared<net::BlobPayload>("e20", kPayloadBytes));
+        if (result.status == catocs::SendStatus::kBackpressured) {
+          ++sample.backpressured;
+        } else {
+          ++sample.accepted;
+        }
+      });
+
+  const sim::Duration run_for = sim::Duration::Seconds(4);
+  s.RunFor(run_for);
+  senders.StopAll();
+  s.RunFor(sim::Duration::Seconds(1));  // drain
+
+  sample.goodput_per_s =
+      static_cast<double>(sample.slow_deliveries) /
+      (static_cast<double>(run_for.nanos()) / 1e9);
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    sample.peak_retained_bytes =
+        std::max(sample.peak_retained_bytes, fabric.member(i).peak_buffered_bytes());
+  }
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E20: bounded resources under overload — %u members, slow receiver x%.0f "
+              "(member %u), budget=%zuKiB window=%u, throttle policy\n",
+              kMembers, kSlowInboundScale, static_cast<unsigned>(kSlowIndex + 1),
+              kBudgetBytes / 1024, kSendWindow);
+
+  const int load_factors[] = {1, 2, 4, 8, 16};
+  bool pass_budget = true;
+  bool pass_no_cliff = true;
+  bool pass_unbounded_grows = true;
+
+  for (catocs::CausalBufferKind kind :
+       {catocs::CausalBufferKind::kFullVector, catocs::CausalBufferKind::kHybrid}) {
+    std::printf("\n[%s buffer]\n", catocs::ToString(kind));
+    std::printf("  %-10s %6s %9s %9s %8s %10s %13s\n", "config", "load", "offered",
+                "accepted", "backpr", "goodput/s", "peak_retained");
+    size_t unbounded_base_peak = 0;
+    size_t unbounded_max_peak = 0;
+    double bounded_best_goodput = 0;
+    double bounded_last_goodput = 0;
+    for (const bool bounded : {false, true}) {
+      for (const int load : load_factors) {
+        const Sample sample = RunOne(kind, load, bounded);
+        std::printf("  %-10s %5dx %9llu %9llu %8llu %10.0f %12zuB\n",
+                    bounded ? "bounded" : "unbounded", load,
+                    static_cast<unsigned long long>(sample.offered),
+                    static_cast<unsigned long long>(sample.accepted),
+                    static_cast<unsigned long long>(sample.backpressured),
+                    sample.goodput_per_s, sample.peak_retained_bytes);
+        if (bounded) {
+          if (sample.peak_retained_bytes > kBudgetBytes) {
+            pass_budget = false;
+          }
+          bounded_best_goodput = std::max(bounded_best_goodput, sample.goodput_per_s);
+          bounded_last_goodput = sample.goodput_per_s;
+        } else {
+          if (load == load_factors[0]) {
+            unbounded_base_peak = sample.peak_retained_bytes;
+          }
+          unbounded_max_peak = std::max(unbounded_max_peak, sample.peak_retained_bytes);
+        }
+      }
+    }
+    if (bounded_last_goodput < 0.3 * bounded_best_goodput) {
+      pass_no_cliff = false;
+    }
+    if (unbounded_max_peak < 10 * unbounded_base_peak) {
+      pass_unbounded_grows = false;
+    }
+    std::printf("  unbounded retention growth: %zuB -> %zuB (%.1fx); bounded goodput at "
+                "16x: %.0f/s of best %.0f/s\n",
+                unbounded_base_peak, unbounded_max_peak,
+                unbounded_base_peak
+                    ? static_cast<double>(unbounded_max_peak) /
+                          static_cast<double>(unbounded_base_peak)
+                    : 0.0,
+                bounded_last_goodput, bounded_best_goodput);
+  }
+
+  std::printf("\n%s: bounded peak retention <= %zuKiB budget at every load\n",
+              pass_budget ? "PASS" : "FAIL", kBudgetBytes / 1024);
+  std::printf("%s: bounded goodput degrades smoothly (>= 30%% of best at 16x load)\n",
+              pass_no_cliff ? "PASS" : "FAIL");
+  std::printf("%s: unbounded peak retention grows >= 10x across the sweep\n",
+              pass_unbounded_grows ? "PASS" : "FAIL");
+  return pass_budget && pass_no_cliff && pass_unbounded_grows ? 0 : 1;
+}

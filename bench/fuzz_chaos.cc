@@ -12,6 +12,15 @@
 // Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
 //                   [--buffer full|hybrid] [--batch N] [--no-verify-replay]
 //                   [--verbose] [--trace] [--probe]
+//                   [--overload] [--policy throttle|shed-new|evict-laggard]
+//
+// --overload runs the group with a bounded resource budget (256KiB) and a
+// 64-message send window, and widens the fault schedule with slow receivers,
+// overload bursts, and one over-timeout partition per plan — the adversity
+// DESIGN.md §10 is about. The oracle's bounded-memory invariant then has
+// teeth: budget samples are recorded at every delivery and any cap excess or
+// pressure-signal misbehavior fails the seed. --policy picks the overload
+// policy (default throttle).
 //
 // --batch N enables sender-side batching (GroupConfig::batching = N) plus
 // delta-encoded timestamps, and has each workload tick issue N back-to-back
@@ -67,6 +76,8 @@ struct RunOptions {
   bool verbose = false;
   bool trace = false;
   bool probe = false;
+  bool overload = false;
+  catocs::OverloadPolicy policy = catocs::OverloadPolicy::kThrottle;
 };
 
 struct RunResult {
@@ -88,6 +99,13 @@ struct RunResult {
   uint64_t hidden_missed = 0;
   uint64_t hidden_missed_oracle = 0;
   bool probe_crosscheck_ok = true;
+  // --overload only: flow-control refusals, laggard evictions, and the
+  // budget ledger's high-water mark across every incarnation.
+  uint64_t sends_backpressured = 0;
+  uint64_t sends_shed = 0;
+  uint64_t laggards_reported = 0;
+  uint64_t budget_peak_bytes = 0;
+  uint64_t budget_samples = 0;
 };
 
 // Finds the first "sender#seq" (MessageId::ToString form) in a violation
@@ -122,6 +140,11 @@ fault::FaultPlan PlanForSeed(uint64_t seed, const RunOptions& opt) {
   gen_cfg.num_slots = opt.slots;
   gen_cfg.horizon = sim::Duration::Millis(opt.horizon_ms);
   gen_cfg.failure_timeout = sim::Duration::Millis(100);
+  if (opt.overload) {
+    gen_cfg.max_slow_receivers = 2;
+    gen_cfg.max_overload_bursts = 2;
+    gen_cfg.max_long_partitions = 1;
+  }
   sim::Rng plan_rng(seed ^ kPlanStream);
   return fault::FaultScheduleGenerator(gen_cfg).Generate(plan_rng);
 }
@@ -137,6 +160,11 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
     cfg.group.batching = opt.batch;
     cfg.group.delta_timestamps = true;  // the batched wire path, complete
     cfg.workload_burst = opt.batch;
+  }
+  if (opt.overload) {
+    cfg.group.budget.max_bytes = 256 * 1024;
+    cfg.group.send_window = 64;
+    cfg.group.overload_policy = opt.policy;
   }
   if (opt.trace) {
     cfg.group.observability = true;
@@ -214,6 +242,15 @@ RunResult RunOneSeed(uint64_t seed, const RunOptions& opt) {
     result.hidden_missed_oracle = fault::CountHiddenMisses(rig.deliveries(), probe->edges());
     result.probe_crosscheck_ok = result.hidden_missed == result.hidden_missed_oracle;
   }
+  if (opt.overload) {
+    result.sends_backpressured = rig.sends_backpressured();
+    result.sends_shed = rig.sends_shed();
+    result.budget_samples = rig.budget_samples().size();
+    result.budget_peak_bytes = rig.AggregatePipelineStats().budget.peak_bytes;
+    for (size_t slot = 0; slot < opt.slots; ++slot) {
+      result.laggards_reported += rig.MemberOfSlot(slot).stats().laggards_reported;
+    }
+  }
   return result;
 }
 
@@ -256,6 +293,22 @@ int main(int argc, char** argv) {
       opt.trace = true;
     } else if (arg == "--probe") {
       opt.probe = true;
+    } else if (arg == "--overload") {
+      opt.overload = true;
+    } else if (arg == "--policy") {
+      const std::string policy = i + 1 < argc ? argv[++i] : "";
+      if (policy == "throttle") {
+        opt.policy = catocs::OverloadPolicy::kThrottle;
+      } else if (policy == "shed-new") {
+        opt.policy = catocs::OverloadPolicy::kShedNew;
+      } else if (policy == "evict-laggard") {
+        opt.policy = catocs::OverloadPolicy::kEvictLaggard;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --policy: %s (want throttle|shed-new|evict-laggard)\n",
+                     policy.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -272,6 +325,11 @@ int main(int argc, char** argv) {
   uint64_t total_hidden_edges = 0;
   uint64_t total_hidden_missed = 0;
   uint64_t probe_mismatches = 0;
+  uint64_t total_backpressured = 0;
+  uint64_t total_shed = 0;
+  uint64_t total_laggards = 0;
+  uint64_t total_budget_samples = 0;
+  uint64_t worst_budget_peak = 0;
   double worst_rejoin_ms = 0.0;
 
   std::printf("fuzz_chaos: %" PRIu64 " seeds [%" PRIu64 "..%" PRIu64
@@ -282,6 +340,11 @@ int main(int argc, char** argv) {
   if (opt.batch > 1) {
     // Printed only in batch mode so default-config stdout stays byte-stable.
     std::printf("fuzz_chaos: sender batching x%u (burst workload)\n", opt.batch);
+  }
+  if (opt.overload) {
+    // Same byte-stability discipline: this line exists only under --overload.
+    std::printf("fuzz_chaos: overload adversity on, budget=256KiB window=64 policy=%s\n",
+                catocs::ToString(opt.policy));
   }
 
   for (uint64_t seed = opt.start; seed < opt.start + opt.seeds; ++seed) {
@@ -303,6 +366,13 @@ int main(int argc, char** argv) {
     total_holds += result.holds_entered;
     total_hidden_edges += result.hidden_edges;
     total_hidden_missed += result.hidden_missed;
+    total_backpressured += result.sends_backpressured;
+    total_shed += result.sends_shed;
+    total_laggards += result.laggards_reported;
+    total_budget_samples += result.budget_samples;
+    if (result.budget_peak_bytes > worst_budget_peak) {
+      worst_budget_peak = result.budget_peak_bytes;
+    }
     if (!result.probe_crosscheck_ok) {
       seed_ok = false;
       ++probe_mismatches;
@@ -355,6 +425,14 @@ int main(int argc, char** argv) {
     std::printf("fuzz_chaos: probe hidden_edges=%" PRIu64 " hidden_missed=%" PRIu64
                 " crosscheck_mismatches=%" PRIu64 "\n",
                 total_hidden_edges, total_hidden_missed, probe_mismatches);
+  }
+  if (opt.overload) {
+    // Deterministic across same-seed invocations: pure function of the runs.
+    std::printf("fuzz_chaos: overload backpressured=%" PRIu64 " shed=%" PRIu64
+                " laggards=%" PRIu64 " budget_samples=%" PRIu64 " worst_peak_bytes=%" PRIu64
+                "\n",
+                total_backpressured, total_shed, total_laggards, total_budget_samples,
+                worst_budget_peak);
   }
   return failed_seeds == 0 ? 0 : 1;
 }

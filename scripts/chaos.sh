@@ -11,6 +11,11 @@
 # faces every buffer x batch combination under the same fault schedules.
 # A final leg runs the hidden-channel probe (--probe), whose per-seed
 # recorder-vs-oracle cross-check fails the sweep on any disagreement.
+# An overload leg (--overload) then sweeps the DESIGN §10 overload policies
+# (POLICIES, default all three) per buffer strategy: slow receivers,
+# overload bursts, and a long partition per plan, under a bounded budget +
+# send window, with the oracle auditing every budget sample for cap
+# overruns and pressure-epoch regressions.
 # Reuses an existing build if one is configured.
 set -euo pipefail
 
@@ -22,6 +27,7 @@ START=${START:-1}
 BUFFERS=${BUFFERS:-full hybrid}
 BATCHES=${BATCHES:-1 8}
 TRACES=${TRACES:-off on}
+POLICIES=${POLICIES:-throttle shed-new evict-laggard}
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S .
@@ -45,3 +51,12 @@ done
 # traffic (their own replay-verified trace hashes), and any recorder/oracle
 # hidden-miss disagreement fails the seed.
 "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" --probe
+
+# Overload sweep: bounded budget + send window against slow receivers,
+# overload bursts, and long partitions, once per buffer x overload policy.
+for buffer in ${BUFFERS}; do
+  for policy in ${POLICIES}; do
+    "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" \
+      --buffer "${buffer}" --overload --policy "${policy}"
+  done
+done

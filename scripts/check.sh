@@ -19,8 +19,15 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 # Chaos smoke under the sanitized binaries: a reduced seed sweep keeps the
-# gate fast while still exercising crash/rejoin/state-transfer under ASan.
+# gate fast while still exercising crash/rejoin/state-transfer under ASan —
+# including the overload-policy legs (chaos.sh POLICIES).
 BUILD_DIR="${BUILD_DIR}" SEEDS="${CHAOS_SEEDS:-10}" ./scripts/chaos.sh
+
+# Long-partition soak, reduced for the gate: a couple of stretched-horizon
+# seeds so a partition held past the failure timeout (plus the heal,
+# rejoin, and retention drain after it) runs under ASan with the
+# bounded-memory oracle on.
+BUILD_DIR="${BUILD_DIR}" SEEDS="${SOAK_SEEDS:-2}" ./scripts/soak.sh
 
 # Observability smoke: the traced fuzzer must stay deterministic — two
 # identical --trace invocations produce byte-identical output (span and hold

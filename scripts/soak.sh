@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Long-partition soak (DESIGN.md §10): the chaos fuzzer with overload
+# adversity on a stretched horizon, so each plan's long partition (held for
+# a multiple of the failure timeout before healing) plays out against
+# bounded budgets, a send window, and the crash/rejoin machinery — with
+# room left after the heal for the wedged minority to crash-rejoin and for
+# retention to drain. Every seed replays bit-identically and the oracle
+# audits bounded memory (no cap overruns, no pressure-epoch regressions)
+# alongside the usual ordering/view/state invariants. Reuses an existing
+# build if one is configured.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SEEDS=${SEEDS:-5}
+START=${START:-1}
+HORIZON_MS=${HORIZON_MS:-20000}
+SLOTS=${SLOTS:-4}
+BUFFERS=${BUFFERS:-full hybrid}
+POLICY=${POLICY:-throttle}
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos
+
+for buffer in ${BUFFERS}; do
+  "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" \
+    --slots "${SLOTS}" --horizon-ms "${HORIZON_MS}" \
+    --buffer "${buffer}" --overload --policy "${POLICY}"
+done

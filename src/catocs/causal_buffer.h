@@ -61,6 +61,18 @@ class CausalBufferStrategy {
   // Per-sender stability floor: min over members of their delivered count.
   virtual VectorClock StableVector() const = 0;
 
+  // Stability floor for one sender: min over members of their contiguously
+  // delivered count of `sender`'s messages (0 while any member is
+  // unreported). The flow controller's credit formula reads this per tick,
+  // so strategies override it with an O(members) walk rather than paying for
+  // the full StableVector.
+  virtual uint64_t StableFloorFor(MemberId sender) const { return StableVector().Get(sender); }
+
+  // The member holding that floor down — the slowest receiver of `sender`'s
+  // stream (lowest id on ties; 0 with no members). Drives the evict-laggard
+  // overload policy.
+  virtual MemberId SlowestMemberFor(MemberId sender) const = 0;
+
   // Drops every buffered message at or below the stability floor.
   virtual void Prune() = 0;
 
@@ -85,6 +97,11 @@ class CausalBufferStrategy {
   using ReleaseObserver = std::function<void(const GroupDataPtr&, const char* cause)>;
   void SetReleaseObserver(ReleaseObserver observer) { release_observer_ = std::move(observer); }
 
+  // Bounded-resource accounting (DESIGN.md §10): when a budget is installed
+  // the strategy reports its retention occupancy after every add/release.
+  // Unset by default (one pointer test on those paths).
+  void SetBudget(ResourceBudget* budget) { budget_ = budget; }
+
  protected:
   void NotifyRelease(const GroupDataPtr& msg, const char* cause) {
     if (release_observer_) {
@@ -92,8 +109,15 @@ class CausalBufferStrategy {
     }
   }
 
+  void ChargeBudget(size_t bytes, size_t messages) {
+    if (budget_ != nullptr) {
+      budget_->Set(ResourceBudget::kRetention, bytes, messages);
+    }
+  }
+
  private:
   ReleaseObserver release_observer_;
+  ResourceBudget* budget_ = nullptr;
 };
 
 const char* ToString(CausalBufferKind kind);

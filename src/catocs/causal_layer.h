@@ -32,6 +32,9 @@ class CausalLayer : public OrderingLayer {
 
   // Allocates the per-sender sequence number for an outgoing ordered send.
   uint64_t AllocateSendSeq() { return ++send_seq_; }
+  // Highest sequence allocated so far (the flow controller's credit formula
+  // reads send_seq − stable floor).
+  uint64_t send_seq() const { return send_seq_; }
 
   // Entry point for a data message (local self-delivery, network arrival, or
   // view-change redistribution): observes piggybacked acks, dedups, queues,

@@ -1,0 +1,82 @@
+// Sender-side flow control and overload policy (DESIGN.md §10).
+//
+// The credit formula ties a sender's admission to group-wide stability:
+//
+//   credits = send_window − (send_seq − stable floor for self)
+//
+// where the stable floor for self is the number of this member's own
+// messages every current member has contiguously delivered. The slowest live
+// receiver therefore throttles the sender — exactly the §2.3 buffering
+// quantity, bounded at the source instead of measured after the explosion.
+// A bounded ResourceBudget adds a second admission gate: no new ordered send
+// while the budget sits at critical pressure.
+//
+// What happens on refusal is the GroupConfig::overload_policy: throttle
+// (refuse with kBackpressured + deterministic retry wakeups), shed-new
+// (drop the new message, counted), or evict-laggard (throttle, but hand a
+// persistently slowest receiver to the membership layer's suspicion path).
+//
+// Constructed by GroupMember only when config.send_window > 0 or the budget
+// is bounded; core->flow stays null otherwise, so the default send path pays
+// one pointer test.
+
+#ifndef REPRO_SRC_CATOCS_FLOW_CONTROL_H_
+#define REPRO_SRC_CATOCS_FLOW_CONTROL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/catocs/layer.h"
+
+namespace catocs {
+
+class FlowController {
+ public:
+  explicit FlowController(GroupCore* core);
+  ~FlowController();
+
+  FlowController(const FlowController&) = delete;
+  FlowController& operator=(const FlowController&) = delete;
+
+  // Admission check for one ordered send. kSent admits; kShed and
+  // kBackpressured refuse per the configured policy (kBackpressured also
+  // arms the retry timer).
+  SendStatus Admit();
+
+  // Stability progressed (ack observed, causal delivery, view change): if a
+  // backpressured sender can proceed again, reopen immediately instead of
+  // waiting for the next retry tick.
+  void OnProgress();
+
+  // Member stopped: cancel the retry timer and forget the stall state.
+  void OnStop();
+
+  // Invoked (synchronously, from a retry tick or OnProgress) when the window
+  // reopens after a kBackpressured refusal. Applications re-issue their
+  // throttled sends from here.
+  using SendReadyHandler = std::function<void()>;
+  void SetSendReadyHandler(SendReadyHandler fn) { ready_ = std::move(fn); }
+
+  // Remaining send credits; UINT64_MAX when window flow control is off.
+  uint64_t credits() const;
+  bool backpressured() const { return waiting_; }
+
+ private:
+  bool Admissible() const;
+  void RetryTick();
+  void Reopen();
+
+  GroupCore* core_;
+  std::unique_ptr<sim::PeriodicTimer> retry_timer_;
+  SendReadyHandler ready_;
+  bool waiting_ = false;
+  // Evict-laggard bookkeeping: the slowest receiver seen while stalled and
+  // for how many consecutive retry ticks it has stayed slowest.
+  MemberId last_laggard_ = 0;
+  uint32_t stalled_ticks_ = 0;
+};
+
+}  // namespace catocs
+
+#endif  // REPRO_SRC_CATOCS_FLOW_CONTROL_H_

@@ -6,6 +6,7 @@
 
 #include "src/catocs/causal_layer.h"
 #include "src/catocs/fifo_layer.h"
+#include "src/catocs/flow_control.h"
 #include "src/catocs/membership_layer.h"
 #include "src/catocs/sender_batch.h"
 #include "src/catocs/stability_layer.h"
@@ -30,6 +31,13 @@ GroupMember::GroupMember(sim::Simulator* simulator, net::Transport* transport, G
   pipeline_ = PipelineBuilder(&core_).AddDefaultStack().Build();
   if (core_.config.batching > 1) {
     batcher_ = std::make_unique<SenderBatcher>(&core_);
+  }
+  if (core_.config.budget.bounded()) {
+    core_.budget.Configure(core_.config.budget);
+    core_.budget.BindStats(&core_.pipeline_stats.budget);
+  }
+  if (core_.config.send_window > 0 || core_.config.budget.bounded()) {
+    flow_ = std::make_unique<FlowController>(&core_);
   }
 
   // One dispatcher per group port; the pipeline routes to whichever layer
@@ -83,6 +91,9 @@ void GroupMember::Stop() {
     // as it abandons in-flight unbatched frames.
     batcher_->DropPending();
   }
+  if (flow_ != nullptr) {
+    flow_->OnStop();
+  }
   pipeline_.OnStop();
   core_.started = false;
 }
@@ -99,18 +110,38 @@ void GroupMember::DeclareDependency(const MessageId& dep) {
   core_.pending_deps.push_back(dep);
 }
 
-MessageId GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
+SendResult GroupMember::TrySend(OrderingMode mode, net::PayloadPtr payload) {
+  return SendInternal(mode, std::move(payload), /*admission_exempt=*/false);
+}
+
+SendResult GroupMember::ReissueBlockedSend(OrderingMode mode, net::PayloadPtr payload) {
+  return SendInternal(mode, std::move(payload), /*admission_exempt=*/true);
+}
+
+SendResult GroupMember::SendInternal(OrderingMode mode, net::PayloadPtr payload,
+                                     bool admission_exempt) {
   // A stopped (crashed) member silently drops sends: callers with periodic
   // senders keep firing across a crash, and a dead process originating
   // traffic would be nonsense. Counted so tests can observe the drop.
   if (!core_.started) {
     ++core_.stats.sends_while_stopped;
     core_.pending_deps.clear();  // the send they were declared for is gone
-    return MessageId{0, 0};
+    return SendResult{SendStatus::kStopped, MessageId{0, 0}};
+  }
+  // Flow admission runs before the flush-blocked queue: a sender out of
+  // credits must not grow the blocked queue during a view change — that
+  // queue is the one place overload could still buffer without bound.
+  // Unordered sends bypass admission (they are never retained or windowed);
+  // blocked-send re-issues were admitted when first queued.
+  if (flow_ != nullptr && !admission_exempt && mode != OrderingMode::kUnordered) {
+    const SendStatus admission = flow_->Admit();
+    if (admission != SendStatus::kSent) {
+      return SendResult{admission, MessageId{0, 0}};
+    }
   }
   if (core_.membership->flushing()) {
     core_.membership->QueueBlockedSend(mode, std::move(payload));
-    return MessageId{0, 0};
+    return SendResult{SendStatus::kQueuedBehindFlush, MessageId{0, 0}};
   }
   ++core_.stats.sent;
 
@@ -126,7 +157,7 @@ MessageId GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
       }
     }
     core_.fifo->DeliverDirect(data);
-    return id;
+    return SendResult{SendStatus::kSent, id};
   }
 
   const uint64_t seq = core_.causal->AllocateSendSeq();
@@ -156,12 +187,26 @@ MessageId GroupMember::Send(OrderingMode mode, net::PayloadPtr payload) {
   core_.causal->Ingest(shared);
   if (batcher_ != nullptr) {
     batcher_->Append(shared);
-    return id;
+    core_.SyncTransportBudget();
+    return SendResult{SendStatus::kSent, id};
   }
   core_.stats.ordering_header_bytes += shared->HeaderBytes() * (core_.view.members.size() - 1);
   core_.BroadcastReliable(GroupPorts::Data(core_.config.group_id), shared);
-  return id;
+  core_.SyncTransportBudget();
+  return SendResult{SendStatus::kSent, id};
 }
+
+void GroupMember::SetSendReadyHandler(std::function<void()> fn) {
+  if (flow_ != nullptr) {
+    flow_->SetSendReadyHandler(std::move(fn));
+  }
+}
+
+uint64_t GroupMember::send_credits() const {
+  return flow_ != nullptr ? flow_->credits() : UINT64_MAX;
+}
+
+bool GroupMember::backpressured() const { return flow_ != nullptr && flow_->backpressured(); }
 
 bool GroupMember::flush_in_progress() const { return core_.membership->flushing(); }
 size_t GroupMember::delay_queue_length() const { return core_.causal->delay_queue_length(); }

@@ -42,6 +42,7 @@
 
 namespace catocs {
 
+class FlowController;
 class SenderBatcher;
 
 class GroupMember {
@@ -101,13 +102,35 @@ class GroupMember {
   // {0, 0} when nothing went out yet (stopped member, or queued behind a
   // flush — the queued send is re-issued on view install and gets its id
   // then). Callers that feed DeclareDependency keep the returned id.
-  MessageId Send(OrderingMode mode, net::PayloadPtr payload);
+  MessageId Send(OrderingMode mode, net::PayloadPtr payload) {
+    return TrySend(mode, std::move(payload)).id;
+  }
   MessageId CausalSend(net::PayloadPtr payload) {
     return Send(OrderingMode::kCausal, std::move(payload));
   }
   MessageId TotalSend(net::PayloadPtr payload) {
     return Send(OrderingMode::kTotal, std::move(payload));
   }
+
+  // Send with an explicit outcome (DESIGN.md §10). Identical side effects to
+  // Send; the result distinguishes kSent from the refusal reasons — under
+  // flow control an ordered send can come back kBackpressured (retry when
+  // the SendReadyHandler fires) or kShed (gone for good, by policy).
+  SendResult TrySend(OrderingMode mode, net::PayloadPtr payload);
+
+  // Membership-layer re-issue of a send that was queued behind a completed
+  // flush. Exempt from flow-control admission: the message was admitted when
+  // first queued, and shedding it here would silently lose an accepted send.
+  SendResult ReissueBlockedSend(OrderingMode mode, net::PayloadPtr payload);
+
+  // --- Flow control / bounded resources -------------------------------------
+  // Fires when the send window reopens after a kBackpressured refusal (see
+  // FlowController::SetSendReadyHandler). No-op without flow control.
+  void SetSendReadyHandler(std::function<void()> fn);
+  // Remaining send credits; UINT64_MAX when flow control is off.
+  uint64_t send_credits() const;
+  bool backpressured() const;
+  const ResourceBudget& budget() const { return core_.budget; }
 
   // Provenance (DESIGN.md §8): declares that this member's *next* ordered
   // Send semantically depends on the (previously delivered or sent) message
@@ -138,11 +161,16 @@ class GroupMember {
   static uint32_t MembershipPort(GroupId g) { return GroupPorts::Membership(g); }
 
  private:
+  SendResult SendInternal(OrderingMode mode, net::PayloadPtr payload, bool admission_exempt);
+
   GroupCore core_;
   Pipeline pipeline_;
   // Present only when config.batching > 1 (see sender_batch.h); the
   // unbatched send path is untouched.
   std::unique_ptr<SenderBatcher> batcher_;
+  // Present only when config.send_window > 0 or config.budget is bounded
+  // (see flow_control.h); same null-by-default discipline as the batcher.
+  std::unique_ptr<FlowController> flow_;
 };
 
 }  // namespace catocs

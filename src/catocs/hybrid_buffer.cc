@@ -22,7 +22,15 @@ void HybridBuffer::SetMembers(const std::vector<MemberId>& members) {
       ++reporting_;
     }
   }
+  // Evicted senders can never be acked under their old id again; drop any
+  // non-contiguous overflow strays they left behind (retention_ring.h). A
+  // no-op on the protocol path, where retention is always contiguous.
+  buffer_.PurgeOverflowNotIn(members_, [this](const GroupDataPtr& msg) {
+    buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
+    NotifyRelease(msg, "evicted-sender");
+  });
   RecomputeFloor();
+  ChargeBudget(buffered_bytes_, buffer_.count());
 }
 
 VectorClock& HybridBuffer::Row(MemberId member) {
@@ -80,12 +88,31 @@ void HybridBuffer::AddToBuffer(const GroupDataPtr& msg) {
   buffered_bytes_ += msg->SizeBytes() + msg->HeaderBytes();
   peak_count_ = std::max(peak_count_, buffer_.count());
   peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
+  ChargeBudget(buffered_bytes_, buffer_.count());
 }
 
 VectorClock HybridBuffer::StableVector() const {
   // Mirrors the full tracker's observable semantics: nothing is stable until
   // every current member has reported.
   return AllReported() ? floor_ : VectorClock{};
+}
+
+uint64_t HybridBuffer::StableFloorFor(MemberId sender) const {
+  return AllReported() ? floor_.Get(sender) : 0;
+}
+
+MemberId HybridBuffer::SlowestMemberFor(MemberId sender) const {
+  MemberId slowest = 0;
+  uint64_t lowest = UINT64_MAX;
+  for (MemberId member : members_) {
+    const VectorClock* row = MatrixRowIfPresent(delivered_by_, member);
+    const uint64_t delivered = row == nullptr ? 0 : row->Get(sender);
+    if (delivered < lowest) {
+      lowest = delivered;
+      slowest = member;
+    }
+  }
+  return slowest;
 }
 
 void HybridBuffer::RaiseFloorEntry(MemberId sender) {
@@ -126,6 +153,7 @@ void HybridBuffer::ReleaseStable(MemberId sender, uint64_t floor) {
     buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
     NotifyRelease(msg, "floor");
   });
+  ChargeBudget(buffered_bytes_, buffer_.count());
 }
 
 void HybridBuffer::ReleaseAllStable() {
@@ -136,6 +164,7 @@ void HybridBuffer::ReleaseAllStable() {
     buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
     NotifyRelease(msg, "floor-sweep");
   });
+  ChargeBudget(buffered_bytes_, buffer_.count());
 }
 
 void HybridBuffer::Prune() {

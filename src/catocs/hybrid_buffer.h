@@ -40,6 +40,8 @@ class HybridBuffer : public CausalBufferStrategy {
   void ObserveDeliveredTimestamp(MemberId sender, const VectorClock& vt) override;
   void AddToBuffer(const GroupDataPtr& msg) override;
   VectorClock StableVector() const override;
+  uint64_t StableFloorFor(MemberId sender) const override;
+  MemberId SlowestMemberFor(MemberId sender) const override;
   void Prune() override;
   std::vector<GroupDataPtr> UnstableMessages() const override;
   GroupDataPtr Find(const MessageId& id) const override;

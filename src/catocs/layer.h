@@ -32,6 +32,7 @@ namespace catocs {
 
 class CausalLayer;
 class FifoLayer;
+class FlowController;
 class GroupMember;
 class MembershipLayer;
 class SenderBatcher;
@@ -78,6 +79,15 @@ struct GroupCore {
   // Sender-side batcher (config.batching > 1); null on unbatched members so
   // the default path never even tests a batching branch beyond this pointer.
   SenderBatcher* batcher = nullptr;
+  // Sender-side flow control (config.send_window > 0 or a bounded budget);
+  // null by default, same pointer discipline as the batcher.
+  FlowController* flow = nullptr;
+
+  // Bounded-resource ledger (DESIGN.md §10): charged by the retention
+  // strategy, the batcher, the total-order pending set, and the transport
+  // send queues — only when config.budget is bounded, so the default path
+  // never touches it.
+  ResourceBudget budget;
 
   // Per-layer hold-time attribution, populated only under
   // config.observability (see pipeline_stats.h).
@@ -151,6 +161,16 @@ struct GroupCore {
       if (m != self) {
         transport->SendReliable(m, port, payload);
       }
+    }
+  }
+
+  // Refreshes the transport-queue component of the budget from the
+  // transport's unacked-occupancy counters. Called after reliable sends and
+  // on flow-control ticks; a no-op when the budget is unbounded.
+  void SyncTransportBudget() {
+    if (budget.bounded()) {
+      budget.Set(ResourceBudget::kTransportQueue, transport->queued_bytes(),
+                 transport->queued_segments());
     }
   }
 };

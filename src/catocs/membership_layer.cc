@@ -103,11 +103,11 @@ void MembershipLayer::JoinGroup(MemberId contact) {
       std::make_shared<JoinRequest>(core_->config.group_id, core_->self));
 }
 
-void MembershipLayer::ReportFailure(MemberId suspect) {
+void MembershipLayer::ReportFailure(MemberId suspect, bool deliberate) {
   if (!core_->config.enable_membership || !core_->started || joining_) {
     return;
   }
-  HandleSuspicion(suspect);
+  HandleSuspicion(suspect, deliberate);
 }
 
 void MembershipLayer::QueueBlockedSend(OrderingMode mode, net::PayloadPtr payload) {
@@ -176,7 +176,7 @@ void MembershipLayer::CheckFailures() {
   }
 }
 
-void MembershipLayer::HandleSuspicion(MemberId suspect) {
+void MembershipLayer::HandleSuspicion(MemberId suspect, bool deliberate) {
   if (suspect == core_->self ||
       !std::binary_search(core_->view.members.begin(), core_->view.members.end(), suspect)) {
     return;
@@ -188,8 +188,13 @@ void MembershipLayer::HandleSuspicion(MemberId suspect) {
   // timeout). Without this, one member's lossy inbound path can evict a
   // member everyone else still hears, and the evicted-but-live member then
   // installs a rival view — a split brain from a single bad link.
+  //
+  // A deliberate report bypasses the veto: the evict-laggard policy sheds a
+  // member *because* it is alive but too slow, so "we still hear it" is not
+  // contradicting evidence. The evicted member wedges under the
+  // primary-partition rule like any false suspicion would.
   auto heard = last_heard_.find(suspect);
-  if (heard != last_heard_.end() &&
+  if (!deliberate && heard != last_heard_.end() &&
       core_->simulator->now() - heard->second < core_->config.failure_timeout / 2) {
     ++core_->stats.suspicions_vetoed;
     return;
@@ -522,7 +527,11 @@ void MembershipLayer::FinishBlockedSends() {
                                           core_->simulator->now() - blocked.queued_at);
     }
     core_->pending_deps = std::move(blocked.deps);
-    const MessageId id = core_->member->Send(blocked.mode, std::move(blocked.payload));
+    // Re-issue outside flow admission: the send was admitted when it was
+    // queued, and shedding or backpressuring it now would silently lose an
+    // accepted message.
+    const MessageId id =
+        core_->member->ReissueBlockedSend(blocked.mode, std::move(blocked.payload)).id;
     // Flush-block provenance: the whole group stopped sending, a wait no
     // per-message semantic dependency asked for. Keyed by the id the send
     // finally got; zero ids (dropped or re-queued) are skipped.

@@ -34,9 +34,13 @@ class MembershipLayer : public OrderingLayer {
   void OnStop() override;
   bool OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) override;
 
-  // Facade entry points (see GroupMember for the contracts).
+  // Facade entry points (see GroupMember for the contracts). A deliberate
+  // report is a policy decision about a possibly-alive member (the
+  // evict-laggard overload policy) and skips the fresh-evidence veto that
+  // guards liveness hearsay; the default covers liveness evidence like
+  // transport give-ups.
   void JoinGroup(MemberId contact);
-  void ReportFailure(MemberId suspect);
+  void ReportFailure(MemberId suspect, bool deliberate = false);
 
   bool flushing() const { return flushing_; }
   // Sends issued during a flush are queued here and released on install.
@@ -46,7 +50,7 @@ class MembershipLayer : public OrderingLayer {
   void OnJoinRequest(const JoinRequest& request);
   void SendHeartbeats();
   void CheckFailures();
-  void HandleSuspicion(MemberId suspect);
+  void HandleSuspicion(MemberId suspect, bool deliberate = false);
   void InitiateFlush();
   void OnFlushRequest(MemberId src, const FlushRequest& req);
   void OnFlushState(MemberId src, const FlushState& state);

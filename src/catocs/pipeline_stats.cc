@@ -60,6 +60,11 @@ void PipelineStats::Merge(const PipelineStats& other) {
     mine.total_hold += theirs.total_hold;
     mine.max_hold = std::max(mine.max_hold, theirs.max_hold);
   }
+  budget.pressure_high += other.budget.pressure_high;
+  budget.pressure_critical += other.budget.pressure_critical;
+  budget.pressure_epochs += other.budget.pressure_epochs;
+  budget.peak_bytes = std::max(budget.peak_bytes, other.budget.peak_bytes);
+  budget.peak_messages = std::max(budget.peak_messages, other.budget.peak_messages);
 }
 
 uint64_t PipelineStats::TotalEntered() const {
@@ -103,6 +108,19 @@ void PipelineStats::ExportTo(sim::MetricsRegistry& registry, const std::string& 
     sim::Gauge& max_us = registry.GetGauge("pipeline_max_hold_us", labels);
     max_us.Set(std::max(max_us.value(), stat.max_hold.nanos() / 1000));
   }
+  if (budget.any()) {
+    const sim::MetricsRegistry::Labels labels{{"node", node}};
+    registry.GetCounter("budget_pressure_high", labels)
+        .Add(static_cast<int64_t>(budget.pressure_high));
+    registry.GetCounter("budget_pressure_critical", labels)
+        .Add(static_cast<int64_t>(budget.pressure_critical));
+    registry.GetCounter("budget_pressure_epochs", labels)
+        .Add(static_cast<int64_t>(budget.pressure_epochs));
+    sim::Gauge& peak_b = registry.GetGauge("budget_peak_bytes", labels);
+    peak_b.Set(std::max<int64_t>(peak_b.value(), static_cast<int64_t>(budget.peak_bytes)));
+    sim::Gauge& peak_m = registry.GetGauge("budget_peak_messages", labels);
+    peak_m.Set(std::max<int64_t>(peak_m.value(), static_cast<int64_t>(budget.peak_messages)));
+  }
 }
 
 std::string PipelineStats::Summary() const {
@@ -116,6 +134,11 @@ std::string PipelineStats::Summary() const {
     out << LayerOf(r) << "/" << ToString(r) << ": entered=" << stat.entered
         << " released=" << stat.released << " held=" << stat.held
         << " total=" << stat.total_hold.ToString() << " max=" << stat.max_hold.ToString() << "\n";
+  }
+  if (budget.any()) {
+    out << "budget: peak_bytes=" << budget.peak_bytes << " peak_messages=" << budget.peak_messages
+        << " high=" << budget.pressure_high << " critical=" << budget.pressure_critical
+        << " epochs=" << budget.pressure_epochs << "\n";
   }
   return out.str();
 }

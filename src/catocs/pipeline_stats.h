@@ -56,7 +56,24 @@ struct PipelineStats {
     }
   };
 
+  // Bounded-resource counters (DESIGN.md §10), fed by the group's
+  // ResourceBudget when one is configured; all-zero (and omitted from
+  // export/summary) otherwise.
+  struct BudgetStats {
+    uint64_t pressure_high = 0;      // transitions into high pressure
+    uint64_t pressure_critical = 0;  // transitions into critical pressure
+    uint64_t pressure_epochs = 0;    // completed pressure epochs
+    uint64_t peak_bytes = 0;         // peak charged bytes across components
+    uint64_t peak_messages = 0;      // peak charged messages
+
+    bool any() const {
+      return pressure_high != 0 || pressure_critical != 0 || pressure_epochs != 0 ||
+             peak_bytes != 0 || peak_messages != 0;
+    }
+  };
+
   std::array<HoldStat, kNumHoldReasons> by_reason;
+  BudgetStats budget;
 
   HoldStat& reason(HoldReason r) { return by_reason[static_cast<size_t>(r)]; }
   const HoldStat& reason(HoldReason r) const { return by_reason[static_cast<size_t>(r)]; }

@@ -147,6 +147,26 @@ class RetentionRing {
     return out;
   }
 
+  // Drops every overflow entry whose sender is absent from `members`
+  // (sorted), invoking fn(msg) on each. An evicted sender's floor entry is
+  // pinned at 0 forever — MeetMin drops rows for departed members, and a
+  // rejoiner returns under a fresh id — so non-contiguous strays from
+  // ex-members would otherwise never satisfy a release floor. Lanes need no
+  // sweep: contiguous retention is always covered by the flush cut.
+  template <typename Fn>
+  void PurgeOverflowNotIn(const std::vector<MemberId>& members, Fn&& fn) {
+    for (auto it = overflow_.begin(); it != overflow_.end();) {
+      if (!std::binary_search(members.begin(), members.end(), it->first.sender)) {
+        const GroupDataPtr msg = std::move(it->second);
+        it = overflow_.erase(it);
+        --count_;
+        fn(msg);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   size_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
 

@@ -18,6 +18,8 @@ void SenderBatcher::Append(const GroupDataPtr& data) {
   // of *its* lifecycle, not the frame's.
   core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, "batch", "");
   pending_.push_back(data);
+  pending_bytes_ += data->SizeBytes() + data->HeaderBytes();
+  ChargeBudget();
   if (pending_.size() >= core_->config.batching) {
     FlushNow();
     return;
@@ -44,6 +46,8 @@ void SenderBatcher::FlushNow() {
   }
   auto batch = mem::MakePooled<GroupBatch>(core_->config.group_id, std::move(pending_));
   pending_.clear();  // moved-from: restore to a known-empty state
+  pending_bytes_ = 0;
+  ChargeBudget();
 
   ++core_->stats.batches_sent;
   core_->stats.batched_data_msgs += batch->entries().size();
@@ -58,6 +62,7 @@ void SenderBatcher::FlushNow() {
     }
   }
   core_->BroadcastReliable(GroupPorts::Data(core_->config.group_id), batch);
+  core_->SyncTransportBudget();
 }
 
 void SenderBatcher::DropPending() {
@@ -69,6 +74,8 @@ void SenderBatcher::DropPending() {
     core_->RecordSpan(entry->id(), sim::SpanEvent::kDrop, "batch", "sender-stopped");
   }
   pending_.clear();
+  pending_bytes_ = 0;
+  ChargeBudget();
 }
 
 }  // namespace catocs

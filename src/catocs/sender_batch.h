@@ -51,9 +51,17 @@ class SenderBatcher {
 
  private:
   void ArmTimer();
+  // Reports pending-constituent occupancy to the group budget (no-op when
+  // unbounded).
+  void ChargeBudget() {
+    if (core_->budget.bounded()) {
+      core_->budget.Set(ResourceBudget::kBatcher, pending_bytes_, pending_.size());
+    }
+  }
 
   GroupCore* core_;
   std::vector<GroupDataPtr> pending_;
+  size_t pending_bytes_ = 0;
   sim::EventId flush_timer_{};
 };
 

@@ -54,6 +54,14 @@ void StabilityTracker::SetMembers(const std::vector<MemberId>& members) {
                                                                   members_.end(), row.first);
                                      }),
                       delivered_by_.end());
+  // Evicted senders can never be acked under their old id again; drop any
+  // non-contiguous overflow strays they left behind (retention_ring.h). A
+  // no-op on the protocol path, where retention is always contiguous.
+  buffer_.PurgeOverflowNotIn(members_, [this](const GroupDataPtr& msg) {
+    buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
+    NotifyRelease(msg, "evicted-sender");
+  });
+  ChargeBudget(buffered_bytes_, buffer_.count());
 }
 
 void StabilityTracker::UpdateMemberVector(MemberId member, const VectorClock& vec) {
@@ -71,6 +79,7 @@ void StabilityTracker::AddToBuffer(const GroupDataPtr& msg) {
   buffered_bytes_ += msg->SizeBytes() + msg->HeaderBytes();
   peak_count_ = std::max(peak_count_, buffer_.count());
   peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
+  ChargeBudget(buffered_bytes_, buffer_.count());
 }
 
 VectorClock StabilityTracker::StableVector() const {
@@ -106,6 +115,33 @@ void StabilityTracker::Prune() {
     buffered_bytes_ -= msg->SizeBytes() + msg->HeaderBytes();
     NotifyRelease(msg, "prune");
   });
+  ChargeBudget(buffered_bytes_, buffer_.count());
+}
+
+uint64_t StabilityTracker::StableFloorFor(MemberId sender) const {
+  uint64_t floor = UINT64_MAX;
+  for (MemberId member : members_) {
+    const VectorClock* row = MatrixRowIfPresent(delivered_by_, member);
+    if (row == nullptr) {
+      return 0;  // unreported member: nothing from `sender` is stable yet
+    }
+    floor = std::min(floor, row->Get(sender));
+  }
+  return floor == UINT64_MAX ? 0 : floor;
+}
+
+MemberId StabilityTracker::SlowestMemberFor(MemberId sender) const {
+  MemberId slowest = 0;
+  uint64_t lowest = UINT64_MAX;
+  for (MemberId member : members_) {
+    const VectorClock* row = MatrixRowIfPresent(delivered_by_, member);
+    const uint64_t delivered = row == nullptr ? 0 : row->Get(sender);
+    if (delivered < lowest) {
+      lowest = delivered;
+      slowest = member;
+    }
+  }
+  return slowest;
 }
 
 std::vector<GroupDataPtr> StabilityTracker::UnstableMessages() const {

@@ -51,6 +51,8 @@ class StabilityTracker : public CausalBufferStrategy {
   void UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) override;
   void AddToBuffer(const GroupDataPtr& msg) override;
   VectorClock StableVector() const override;
+  uint64_t StableFloorFor(MemberId sender) const override;
+  MemberId SlowestMemberFor(MemberId sender) const override;
   void Prune() override;
   std::vector<GroupDataPtr> UnstableMessages() const override;
   GroupDataPtr Find(const MessageId& id) const override;

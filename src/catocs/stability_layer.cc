@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/catocs/causal_layer.h"
+#include "src/catocs/flow_control.h"
 #include "src/catocs/membership_layer.h"
 #include "src/mem/pool.h"
 
@@ -12,6 +13,9 @@ namespace catocs {
 StabilityLayer::StabilityLayer(GroupCore* core)
     : OrderingLayer(core), strategy_(MakeCausalBuffer(core->config.causal_buffer)) {
   core->stability = this;
+  if (core->config.budget.bounded()) {
+    strategy_->SetBudget(&core->budget);
+  }
   strategy_->SetMembers(core->view.members);
   if (core->config.observability) {
     strategy_->SetReleaseObserver(
@@ -65,6 +69,9 @@ bool StabilityLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadPt
 void StabilityLayer::OnViewChange(const View& view) {
   strategy_->SetMembers(view.members);
   strategy_->Prune();
+  if (core_->flow != nullptr) {
+    core_->flow->OnProgress();
+  }
 }
 
 void StabilityLayer::OnCausalDeliver(const GroupDataPtr& data) {
@@ -86,11 +93,19 @@ void StabilityLayer::OnCausalDeliver(const GroupDataPtr& data) {
   // (a no-op for the full-vector baseline).
   strategy_->ObserveDeliveredTimestamp(data->id().sender, data->vt());
   MaybePrune();
+  // Every delivery can advance the stability floor — let a backpressured
+  // sender recheck its credits without waiting for the next retry tick.
+  if (core_->flow != nullptr) {
+    core_->flow->OnProgress();
+  }
 }
 
 void StabilityLayer::ObserveAckVector(MemberId member, const VectorClock& vec) {
   strategy_->UpdateMemberVector(member, vec);
   MaybePrune();
+  if (core_->flow != nullptr) {
+    core_->flow->OnProgress();
+  }
 }
 
 void StabilityLayer::MaybePrune() {

@@ -22,6 +22,19 @@ void TotalOrderLayer::OnStart() {
   }
 }
 
+void TotalOrderLayer::SyncBudget() {
+  if (!core_->budget.bounded()) {
+    return;
+  }
+  // Pending set = assignments not yet consumed by delivery plus causally
+  // delivered totals awaiting a sequence. The byte estimate is the map-node
+  // footprint (seq + MessageId + tree overhead), not payload bytes — those
+  // are charged by the retention component.
+  static constexpr size_t kPendingEntryBytes = 64;
+  const size_t entries = order_by_seq_.size() + unassigned_total_.size();
+  core_->budget.Set(ResourceBudget::kTotalPending, entries * kPendingEntryBytes, entries);
+}
+
 bool TotalOrderLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadPtr& payload) {
   const GroupId g = core_->config.group_id;
   if (port == GroupPorts::Order(g)) {
@@ -52,6 +65,7 @@ void TotalOrderLayer::OnCausalDeliver(const GroupData& data) {
   } else if (!seq_by_id_.count(data.id())) {
     unassigned_total_.push_back(data.id());
   }
+  SyncBudget();
 }
 
 bool TotalOrderLayer::IsNextToDeliver(const MessageId& id) const {
@@ -62,6 +76,7 @@ bool TotalOrderLayer::IsNextToDeliver(const MessageId& id) const {
 uint64_t TotalOrderLayer::ConsumeDeliverySlot() {
   const uint64_t total_seq = next_total_deliver_++;
   order_by_seq_.erase(total_seq);
+  SyncBudget();
   return total_seq;
 }
 
@@ -79,6 +94,7 @@ void TotalOrderLayer::AdoptConsolidatedOrder(const ViewInstall& install) {
   recent_assignments_.clear();
   ApplyAssignments(install.assignments());
   next_total_assign_ = std::max(next_total_assign_, install.next_total_seq());
+  SyncBudget();
 }
 
 void TotalOrderLayer::SequencerAssign(const MessageId& id) {
@@ -143,6 +159,7 @@ void TotalOrderLayer::ApplyAssignments(
     MergeRecentAssignments(fresh, fresh_count);
   }
   scratch_.Reset();
+  SyncBudget();
   core_->fifo->TryDeliverApp();
 }
 
@@ -215,6 +232,7 @@ void TotalOrderLayer::OnToken(const net::PayloadPtr& payload) {
     core_->BroadcastReliable(GroupPorts::Order(core_->config.group_id), order);
     ApplyAssignments(batch);
   }
+  SyncBudget();  // the drain alone shrinks unassigned_total_ even with an empty batch
   core_->simulator->ScheduleAfter(core_->config.token_pass_delay, [this] {
     if (holding_token_ && core_->started) {
       PassToken(next_total_assign_);

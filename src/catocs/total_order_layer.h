@@ -62,6 +62,9 @@ class TotalOrderLayer : public OrderingLayer {
   void OnOrder(const net::PayloadPtr& payload);
   void OnToken(const net::PayloadPtr& payload);
   void PassToken(uint64_t next_total_seq);
+  // Reports pending-set occupancy (known-but-undelivered assignments plus
+  // unsequenced totals) to the group budget. No-op when unbounded.
+  void SyncBudget();
 
   uint64_t next_total_assign_ = 1;  // sequencer/token holder only
   uint64_t next_total_deliver_ = 1;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/catocs/message.h"
+#include "src/catocs/resource_budget.h"
 #include "src/catocs/vector_clock.h"
 #include "src/sim/time.h"
 
@@ -32,6 +33,56 @@ enum class TotalOrderMode {
 enum class CausalBufferKind {
   kFullVector,  // StabilityTracker: throttled matrix-walk pruning
   kHybrid,      // HybridBuffer: incremental floors + causal-evidence pruning
+};
+
+// What a sender does when flow control refuses admission (DESIGN.md §10):
+// either the send window is exhausted (a slow receiver holds the stability
+// floor down) or the resource budget is at critical pressure.
+enum class OverloadPolicy : uint8_t {
+  // Refuse the send with kBackpressured and arm a deterministic retry timer;
+  // the caller re-sends when credits reopen (SetSendReadyHandler).
+  kThrottle = 0,
+  // Admission control: drop the new message outright (kShed, counted in
+  // sends_shed). Old traffic drains; new traffic pays the overload cost.
+  kShedNew,
+  // Throttle, but if the same slowest receiver pins the window shut for
+  // laggard_patience consecutive retry ticks, hand it to the membership
+  // layer's suspicion path so the group sheds the laggard and frees its
+  // retention.
+  kEvictLaggard,
+};
+
+inline const char* ToString(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kThrottle:
+      return "throttle";
+    case OverloadPolicy::kShedNew:
+      return "shed-new";
+    case OverloadPolicy::kEvictLaggard:
+      return "evict-laggard";
+  }
+  return "?";
+}
+
+// Outcome of one GroupMember::TrySend. Send() keeps its historical
+// MessageId-only signature (id {0,0} on any refusal).
+enum class SendStatus : uint8_t {
+  kSent = 0,          // broadcast (or handed to the batcher); id is valid
+  kQueuedBehindFlush, // accepted: queued while a view change flushes, re-sent
+                      // on install (id assigned then)
+  kBackpressured,     // refused: no send credits / budget critical (throttle)
+  kShed,              // dropped by the shed-new admission policy
+  kStopped,           // member not started or crashed
+};
+
+struct SendResult {
+  SendStatus status = SendStatus::kSent;
+  MessageId id{0, 0};
+
+  // The message will (eventually) be broadcast.
+  bool accepted() const {
+    return status == SendStatus::kSent || status == SendStatus::kQueuedBehindFlush;
+  }
 };
 
 struct GroupConfig {
@@ -93,6 +144,33 @@ struct GroupConfig {
   bool enable_membership = false;
   sim::Duration heartbeat_interval = sim::Duration::Millis(20);
   sim::Duration failure_timeout = sim::Duration::Millis(100);
+
+  // --- Bounded resources & flow control (DESIGN.md §10) ---------------------
+  // Per-group memory budget charged by the retention strategies, the sender
+  // batcher, the total-order pending set, and the transport send queues.
+  // Unbounded by default: nothing is charged and the pipeline stays
+  // byte-identical.
+  BudgetConfig budget;
+
+  // Sender-side send window: at most this many of a member's own ordered
+  // sends may sit above the group stability floor (credits = send_window −
+  // (send_seq − stable floor for self)), so the slowest live receiver
+  // throttles the sender instead of exploding its retention. 0 disables
+  // window flow control.
+  uint32_t send_window = 0;
+
+  // What to do when admission is refused (window shut or budget critical).
+  OverloadPolicy overload_policy = OverloadPolicy::kThrottle;
+
+  // Deterministic retry cadence while backpressured: each tick re-checks
+  // credits, refreshes the transport charge, and (under evict-laggard)
+  // advances the laggard clock.
+  sim::Duration flow_retry_interval = sim::Duration::Millis(5);
+
+  // Evict-laggard: consecutive retry ticks the same slowest receiver must
+  // pin the window shut before it is reported to membership. Generous enough
+  // to outlast startup ack propagation and ordinary stability lag.
+  uint32_t laggard_patience = 20;
 };
 
 struct View {
@@ -170,6 +248,12 @@ struct GroupStats {
   // Deliverability checks answered by the O(changed-entries) fast path
   // instead of a full clock scan.
   uint64_t delta_fast_path_hits = 0;
+
+  // --- Bounded resources & flow control ------------------------------------
+  uint64_t sends_backpressured = 0;  // refused with kBackpressured
+  uint64_t sends_shed = 0;           // dropped by the shed-new policy
+  uint64_t flow_reopen_wakeups = 0;  // window reopenings (retry tick or ack progress)
+  uint64_t laggards_reported = 0;    // evict-laggard hand-offs to membership
 };
 
 }  // namespace catocs

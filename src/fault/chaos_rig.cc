@@ -43,6 +43,13 @@ void ChaosRig::WireIncarnation(size_t slot, Incarnation& inc) {
     deliveries_.push_back(DeliveryRecord{raw->id, slot, delivery});
     stability_samples_.push_back(StabilitySample{raw->id, raw->member->view().id,
                                                  raw->member->stability().StableVector()});
+    if (config_.group.budget.bounded()) {
+      const catocs::ResourceBudget& budget = raw->member->budget();
+      budget_samples_.push_back(BudgetSample{
+          raw->id, simulator_->now(), budget.pressure_epoch(), budget.pressure(),
+          budget.used_bytes(), budget.used_messages(), config_.group.budget.max_bytes,
+          config_.group.budget.max_messages});
+    }
   });
   member->SetViewHandler([this, raw](const catocs::View& view) {
     views_.push_back(ViewRecord{raw->id, simulator_->now(), view});
@@ -96,13 +103,24 @@ void ChaosRig::WorkloadTick(size_t slot) {
     return;
   }
   Incarnation& inc = current(slot);
-  for (size_t i = 0; i < config_.workload_burst; ++i) {
+  const size_t burst = overload_factor_ == 1.0
+                           ? config_.workload_burst
+                           : static_cast<size_t>(
+                                 static_cast<double>(config_.workload_burst) * overload_factor_ +
+                                 0.5);
+  for (size_t i = 0; i < burst; ++i) {
     const uint64_t counter = ++inc.send_counter;
     const uint64_t key = (static_cast<uint64_t>(inc.id) << 32) | counter;
     const auto mode =
         counter % 3 == 0 ? catocs::OrderingMode::kTotal : catocs::OrderingMode::kCausal;
     ++sends_issued_;
-    inc.member->Send(mode, std::make_shared<ChaosUpdate>(key, counter, config_.payload_bytes));
+    const catocs::SendResult result = inc.member->TrySend(
+        mode, std::make_shared<ChaosUpdate>(key, counter, config_.payload_bytes));
+    if (result.status == catocs::SendStatus::kBackpressured) {
+      ++sends_backpressured_;
+    } else if (result.status == catocs::SendStatus::kShed) {
+      ++sends_shed_;
+    }
   }
 }
 

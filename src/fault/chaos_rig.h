@@ -66,6 +66,10 @@ class ChaosRig {
   bool SlotAlive(size_t slot) const { return slots_[slot].alive; }
   // Current node id of the slot's incarnation (valid even while down).
   net::NodeId NodeOf(size_t slot) const;
+  // Workload multiplier driven by FaultKind::kOverloadBurst: each tick issues
+  // round(workload_burst * factor) sends while the burst window is open.
+  void SetOverloadFactor(double factor) { overload_factor_ = factor; }
+  double overload_factor() const { return overload_factor_; }
   net::Network& network() { return *network_; }
   sim::Simulator& simulator() { return *simulator_; }
   size_t num_slots() const { return config_.num_slots; }
@@ -113,12 +117,30 @@ class ChaosRig {
     sim::TimePoint rejoined_at;  // first view install containing the new id
     bool rejoined = false;
   };
+  // Budget ledger observed at `at` right after a delivery there (recorded
+  // only when the group runs with a bounded budget). The oracle checks that
+  // usage never exceeds the configured caps and that the pressure level is
+  // monotone within a pressure epoch.
+  struct BudgetSample {
+    catocs::MemberId at = 0;
+    sim::TimePoint when;
+    uint64_t epoch = 0;
+    catocs::MemoryPressure level = catocs::MemoryPressure::kNone;
+    size_t used_bytes = 0;
+    size_t used_messages = 0;
+    size_t max_bytes = 0;
+    size_t max_messages = 0;
+  };
 
   const std::vector<DeliveryRecord>& deliveries() const { return deliveries_; }
   const std::vector<ViewRecord>& views() const { return views_; }
   const std::vector<StabilitySample>& stability_samples() const { return stability_samples_; }
   const std::vector<RecoveryStat>& recoveries() const { return recoveries_; }
+  const std::vector<BudgetSample>& budget_samples() const { return budget_samples_; }
   uint64_t sends_issued() const { return sends_issued_; }
+  // Flow-control refusals seen by the workload (zero without flow control).
+  uint64_t sends_backpressured() const { return sends_backpressured_; }
+  uint64_t sends_shed() const { return sends_shed_; }
 
   // Member ids of founding slots that never crashed: the observers for which
   // delivery atomicity must hold unconditionally.
@@ -171,7 +193,11 @@ class ChaosRig {
   std::vector<ViewRecord> views_;
   std::vector<StabilitySample> stability_samples_;
   std::vector<RecoveryStat> recoveries_;
+  std::vector<BudgetSample> budget_samples_;
   uint64_t sends_issued_ = 0;
+  uint64_t sends_backpressured_ = 0;
+  uint64_t sends_shed_ = 0;
+  double overload_factor_ = 1.0;
 };
 
 // The workload's update payload: a unique key per (member, per-slot counter)

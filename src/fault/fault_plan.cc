@@ -21,6 +21,12 @@ const char* ToString(FaultKind kind) {
       return "dup-burst";
     case FaultKind::kLatencySpike:
       return "latency-spike";
+    case FaultKind::kSlowReceiver:
+      return "slow-receiver";
+    case FaultKind::kOverloadBurst:
+      return "overload-burst";
+    case FaultKind::kLongPartition:
+      return "long-partition";
   }
   return "?";
 }
@@ -34,6 +40,7 @@ std::string FaultEvent::Describe() const {
       out << " slot=" << slot;
       break;
     case FaultKind::kPartition:
+    case FaultKind::kLongPartition:
       out << " {";
       for (size_t c = 0; c < components.size(); ++c) {
         out << (c ? "|" : "");
@@ -42,6 +49,9 @@ std::string FaultEvent::Describe() const {
         }
       }
       out << "}";
+      if (kind == FaultKind::kLongPartition) {
+        out << " for=" << duration.nanos() / 1000000 << "ms";
+      }
       break;
     case FaultKind::kHeal:
       break;
@@ -50,7 +60,11 @@ std::string FaultEvent::Describe() const {
       out << " p=" << value << " for=" << duration.nanos() / 1000000 << "ms";
       break;
     case FaultKind::kLatencySpike:
+    case FaultKind::kOverloadBurst:
       out << " x" << value << " for=" << duration.nanos() / 1000000 << "ms";
+      break;
+    case FaultKind::kSlowReceiver:
+      out << " slot=" << slot << " x" << value << " for=" << duration.nanos() / 1000000 << "ms";
       break;
   }
   return out.str();
@@ -202,6 +216,99 @@ FaultPlan FaultScheduleGenerator::Generate(sim::Rng& rng) const {
   sample_bursts(config_.max_drop_bursts, FaultKind::kDropBurst);
   sample_bursts(config_.max_duplicate_bursts, FaultKind::kDuplicateBurst);
   sample_bursts(config_.max_latency_spikes, FaultKind::kLatencySpike);
+
+  // --- overload adversity (DESIGN.md §10) ------------------------------------
+  // Every draw below is new; all knobs default to zero, so plans for
+  // pre-existing configs replay byte-identically.
+
+  // Slow receivers: one slot's inbound latency scales up for a window, making
+  // it the stability laggard everyone else retains for. Slot 0 is exempt
+  // (reference observer and rejoin contact).
+  {
+    int64_t last_end = 0;
+    for (size_t i = 0; i < config_.max_slow_receivers; ++i) {
+      if (!rng.NextBool(0.5)) {
+        continue;
+      }
+      const size_t slot =
+          1 + static_cast<size_t>(rng.NextBelow(static_cast<uint64_t>(config_.num_slots - 1)));
+      const int64_t duration = rng.NextInRange(100000000, 500000000);  // 100..500ms
+      const int64_t start =
+          std::max(rng.NextInRange(fault_lo, fault_hi), last_end + 10000000);
+      last_end = start + duration;
+      FaultEvent slow;
+      slow.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start);
+      slow.kind = FaultKind::kSlowReceiver;
+      slow.slot = slot;
+      slow.value = 2.0 + rng.NextDouble() * (config_.max_slow_receiver_scale - 2.0);
+      slow.duration = sim::Duration::Nanos(duration);
+      plan.events.push_back(slow);
+    }
+  }
+
+  // Overload bursts: the rig multiplies its workload burst size for a
+  // window, driving offered load past what the group absorbs smoothly.
+  {
+    int64_t last_end = 0;
+    for (size_t i = 0; i < config_.max_overload_bursts; ++i) {
+      if (!rng.NextBool(0.5)) {
+        continue;
+      }
+      const int64_t duration = rng.NextInRange(100000000, 400000000);  // 100..400ms
+      const int64_t start =
+          std::max(rng.NextInRange(fault_lo, fault_hi), last_end + 10000000);
+      last_end = start + duration;
+      FaultEvent burst;
+      burst.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start);
+      burst.kind = FaultKind::kOverloadBurst;
+      burst.value = 2.0 + rng.NextDouble() * (config_.max_overload_factor - 2.0);
+      burst.duration = sim::Duration::Nanos(duration);
+      plan.events.push_back(burst);
+    }
+  }
+
+  // Long partitions: strictly over the failure timeout, so the primary side
+  // (slot 0's, always a strict majority) detects and evicts the minority.
+  // The injector schedules the heal itself; the generator then crash-cycles
+  // each minority slot after the heal so it rejoins under a fresh id instead
+  // of staying wedged under the primary-partition rule for the rest of the
+  // run.
+  for (size_t i = 0; i < config_.max_long_partitions; ++i) {
+    if (!rng.NextBool(0.5)) {
+      continue;
+    }
+    const int64_t timeout_ns = config_.failure_timeout.nanos();
+    const int64_t duration = timeout_ns * 2 + rng.NextInRange(0, timeout_ns * 2);
+    const int64_t start = rng.NextInRange(fault_lo, (fault_lo + fault_hi) / 2);
+    // Minority = one non-zero slot (keeps the primary side a strict majority
+    // for any num_slots >= 3; with 2 slots there is no safe minority).
+    if (config_.num_slots < 3) {
+      break;
+    }
+    const size_t minority_slot =
+        1 + static_cast<size_t>(rng.NextBelow(static_cast<uint64_t>(config_.num_slots - 1)));
+    FaultEvent part;
+    part.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start);
+    part.kind = FaultKind::kLongPartition;
+    part.components.assign(2, {});
+    for (size_t s = 0; s < config_.num_slots; ++s) {
+      part.components[s == minority_slot ? 1 : 0].push_back(s);
+    }
+    part.duration = sim::Duration::Nanos(duration);
+    plan.events.push_back(part);
+    // Crash the stranded minority shortly after the heal, then recover it so
+    // the slot rejoins fresh through the primary side.
+    FaultEvent crash;
+    crash.at = sim::TimePoint::Zero() + sim::Duration::Nanos(start + duration + timeout_ns / 2);
+    crash.kind = FaultKind::kCrash;
+    crash.slot = minority_slot;
+    plan.events.push_back(crash);
+    FaultEvent recover = crash;
+    recover.at = crash.at + sim::Duration::Nanos(timeout_ns * 3);
+    recover.kind = FaultKind::kRecover;
+    plan.events.push_back(recover);
+    break;  // at most one long partition per plan: the recovery tail is long
+  }
 
   std::sort(plan.events.begin(), plan.events.end(), EventBefore);
   return plan;

@@ -29,6 +29,9 @@ enum class FaultKind {
   kDropBurst,       // raise the network drop probability for a window
   kDuplicateBurst,  // raise the duplicate probability for a window
   kLatencySpike,    // scale sampled latencies for a window
+  kSlowReceiver,    // scale one slot's *inbound* latency for a window (laggard)
+  kOverloadBurst,   // multiply the rig's workload burst size for a window
+  kLongPartition,   // over-timeout partition: the majority side evicts the rest
 };
 
 const char* ToString(FaultKind kind);
@@ -80,6 +83,18 @@ struct GeneratorConfig {
   size_t max_latency_spikes = 2;
   double max_burst_probability = 0.25;
   double max_latency_scale = 8.0;
+
+  // Overload adversity (DESIGN.md §10). All default to zero so existing
+  // seeds keep producing byte-identical plans; the extra draws happen after
+  // every pre-existing draw for the same reason.
+  size_t max_slow_receivers = 0;    // windows where one slot's inbound slows
+  double max_slow_receiver_scale = 6.0;
+  size_t max_overload_bursts = 0;   // windows of workload-burst multiplication
+  double max_overload_factor = 4.0;
+  // Over-timeout partitions: the primary side (always containing slot 0)
+  // evicts the minority; after the heal the generator crash/recovers the
+  // minority slots so they rejoin fresh instead of wedging forever.
+  size_t max_long_partitions = 0;
 };
 
 class FaultScheduleGenerator {

@@ -23,7 +23,8 @@ void FaultInjector::Apply(const FaultEvent& event) {
     case FaultKind::kRecover:
       rig_->RecoverSlot(event.slot);
       break;
-    case FaultKind::kPartition: {
+    case FaultKind::kPartition:
+    case FaultKind::kLongPartition: {
       // Resolve slots to their node ids as of now. Down slots are omitted;
       // a slot that recovers mid-partition gets an id unknown to the spec
       // and lands in the implicit extra component (see network.h).
@@ -41,6 +42,13 @@ void FaultInjector::Apply(const FaultEvent& event) {
       }
       if (components.size() >= 2) {
         network.Partition(components);
+        if (event.kind == FaultKind::kLongPartition) {
+          // Over-timeout split: the plan carries the heal inside the event
+          // (the paired crash/recover of the evicted minority is scheduled
+          // by the generator, after this heal).
+          simulator_->ScheduleAfter(event.duration,
+                                    [&network] { network.HealPartition(); });
+        }
       }
       break;
     }
@@ -68,6 +76,26 @@ void FaultInjector::Apply(const FaultEvent& event) {
       network.set_latency_scale(event.value);
       simulator_->ScheduleAfter(event.duration, [&network, baseline] {
         network.set_latency_scale(baseline);
+      });
+      break;
+    }
+    case FaultKind::kSlowReceiver: {
+      // Scales the *current incarnation's* inbound latency. If the slot
+      // crashes and rejoins mid-window the fresh id is unaffected — the
+      // laggard died, which is one legitimate way to stop lagging.
+      const net::NodeId node = rig_->NodeOf(event.slot);
+      const double baseline = network.node_inbound_scale(node);
+      network.set_node_inbound_scale(node, event.value);
+      simulator_->ScheduleAfter(event.duration, [&network, node, baseline] {
+        network.set_node_inbound_scale(node, baseline);
+      });
+      break;
+    }
+    case FaultKind::kOverloadBurst: {
+      const double baseline = rig_->overload_factor();
+      rig_->SetOverloadFactor(event.value);
+      simulator_->ScheduleAfter(event.duration, [this, baseline] {
+        rig_->SetOverloadFactor(baseline);
       });
       break;
     }

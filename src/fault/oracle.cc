@@ -51,6 +51,7 @@ OracleReport InvariantOracle::Audit(const ChaosRig& rig) const {
   trace.views = rig.views();
   trace.stability_samples = rig.stability_samples();
   trace.recoveries = rig.recoveries();
+  trace.budget_samples = rig.budget_samples();
   trace.always_live = rig.AlwaysLiveMembers();
   trace.live_stores = rig.LiveStores();
   return Audit(trace);
@@ -239,6 +240,59 @@ OracleReport InvariantOracle::Audit(const TraceObservations& trace) const {
           collect.Add(out.str());
         }
       }
+    }
+  }
+
+  // Bounded memory: no sampled ledger exceeds its configured caps, and the
+  // pressure signal behaves as documented — epochs never regress at a
+  // member, and within one epoch the level is monotone non-decreasing
+  // (escalation is immediate; de-escalation always opens a new epoch).
+  if (config_.check_bounded_memory) {
+    struct LastPressure {
+      uint64_t epoch = 0;
+      int level = 0;
+      bool valid = false;
+    };
+    std::map<MemberId, LastPressure> last_pressure;
+    for (const auto& sample : trace.budget_samples) {
+      if (collect.full()) {
+        break;
+      }
+      if (sample.max_bytes != 0 && sample.used_bytes > sample.max_bytes) {
+        std::ostringstream out;
+        out << "budget-exceeded: member " << sample.at << " at " << sample.when.nanos()
+            << "ns held " << sample.used_bytes << " bytes against a cap of "
+            << sample.max_bytes;
+        collect.Add(out.str());
+      }
+      if (sample.max_messages != 0 && sample.used_messages > sample.max_messages) {
+        std::ostringstream out;
+        out << "budget-exceeded: member " << sample.at << " at " << sample.when.nanos()
+            << "ns held " << sample.used_messages << " messages against a cap of "
+            << sample.max_messages;
+        collect.Add(out.str());
+      }
+      LastPressure& last = last_pressure[sample.at];
+      const int level = static_cast<int>(sample.level);
+      if (last.valid) {
+        if (sample.epoch < last.epoch) {
+          std::ostringstream out;
+          out << "pressure-epoch-regression: member " << sample.at << " at "
+              << sample.when.nanos() << "ns went from epoch " << last.epoch << " back to "
+              << sample.epoch;
+          collect.Add(out.str());
+        } else if (sample.epoch == last.epoch && level < last.level) {
+          std::ostringstream out;
+          out << "pressure-regression: member " << sample.at << " at " << sample.when.nanos()
+              << "ns de-escalated from " << catocs::ToString(
+                     static_cast<catocs::MemoryPressure>(last.level))
+              << " to " << catocs::ToString(sample.level) << " without a new epoch";
+          collect.Add(out.str());
+        }
+      }
+      last.epoch = sample.epoch;
+      last.level = level;
+      last.valid = true;
     }
   }
 

@@ -17,7 +17,12 @@
 //     state-transfer snapshot plus redelivery;
 //   * recovery completion: every recover event ends in an installed view
 //     containing the new incarnation (a wedged rejoin is a finding, not a
-//     timeout to shrug at).
+//     timeout to shrug at);
+//   * bounded memory (only meaningful for runs with a bounded budget): no
+//     sampled ledger ever exceeds the configured byte/message caps, pressure
+//     epochs never regress, and the pressure level is monotone
+//     non-decreasing within one epoch (hysteresis means de-escalation always
+//     starts a new epoch — see resource_budget.h).
 //
 // A violation is a human-readable string naming the observer, the messages,
 // and the instant — enough to replay the seed and break at the moment it
@@ -39,6 +44,8 @@ struct OracleConfig {
   bool check_completeness = true;
   bool check_state_agreement = true;
   bool check_recovery_completed = true;
+  // Vacuous when the run recorded no budget samples (unbounded budget).
+  bool check_bounded_memory = true;
   size_t max_violations = 16;  // stop collecting after this many
 };
 
@@ -59,6 +66,7 @@ struct TraceObservations {
   std::vector<ChaosRig::ViewRecord> views;
   std::vector<ChaosRig::StabilitySample> stability_samples;
   std::vector<ChaosRig::RecoveryStat> recoveries;
+  std::vector<ChaosRig::BudgetSample> budget_samples;
   std::vector<catocs::MemberId> always_live;
   std::map<catocs::MemberId, std::map<uint64_t, uint64_t>> live_stores;
 };

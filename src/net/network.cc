@@ -69,9 +69,13 @@ bool Network::Send(NodeId src, NodeId dst, uint32_t port, PayloadPtr payload,
 
 sim::Duration Network::SampleScaledDelay(NodeId src, NodeId dst) {
   sim::Duration delay = latency_->SampleDelay(src, dst, simulator_->rng());
-  if (latency_scale_ != 1.0) {
-    delay = sim::Duration::Nanos(
-        static_cast<int64_t>(static_cast<double>(delay.nanos()) * latency_scale_));
+  double scale = latency_scale_;
+  if (!inbound_scale_.empty()) {
+    scale *= node_inbound_scale(dst);
+  }
+  if (scale != 1.0) {
+    delay =
+        sim::Duration::Nanos(static_cast<int64_t>(static_cast<double>(delay.nanos()) * scale));
   }
   return delay;
 }

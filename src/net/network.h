@@ -107,6 +107,20 @@ class Network {
   // latency spike. Packets already in flight keep their original delay.
   void set_latency_scale(double scale) { latency_scale_ = scale; }
   double latency_scale() const { return latency_scale_; }
+  // Per-destination inbound multiplier on top of the global scale — a slow
+  // receiver draining its socket late, without slowing anyone else. 1.0
+  // (and an absent entry) = normal.
+  void set_node_inbound_scale(NodeId node, double scale) {
+    if (scale == 1.0) {
+      inbound_scale_.erase(node);
+    } else {
+      inbound_scale_[node] = scale;
+    }
+  }
+  double node_inbound_scale(NodeId node) const {
+    auto it = inbound_scale_.find(node);
+    return it == inbound_scale_.end() ? 1.0 : it->second;
+  }
   sim::Simulator& simulator() { return *simulator_; }
 
  private:
@@ -125,6 +139,8 @@ class Network {
   // partition_id_[node] -> component index; empty map = fully connected.
   std::unordered_map<NodeId, size_t> partition_id_;
   double latency_scale_ = 1.0;
+  // node -> inbound delay multiplier; empty (the default) skips the lookup.
+  std::unordered_map<NodeId, double> inbound_scale_;
 
   uint64_t next_packet_id_ = 1;
   uint64_t packets_sent_ = 0;

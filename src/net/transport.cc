@@ -1,5 +1,6 @@
 #include "src/net/transport.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 #include <vector>
@@ -100,19 +101,31 @@ void Transport::SendUnreliable(NodeId dst, uint32_t app_port, PayloadPtr payload
                  /*header_bytes=*/4);
 }
 
-void Transport::SendReliable(NodeId dst, uint32_t app_port, PayloadPtr payload) {
+bool Transport::SendReliable(NodeId dst, uint32_t app_port, PayloadPtr payload) {
+  if ((config_.max_queued_segments != 0 && queued_segments_ >= config_.max_queued_segments) ||
+      (config_.max_queued_bytes != 0 && queued_bytes_ >= config_.max_queued_bytes)) {
+    ++queue_overflow_drops_;
+    return false;
+  }
   PeerSender& sender = senders_[dst];
-  PendingSegment segment{sender.next_seq++, app_port, std::move(payload), simulator_->now(), 0};
+  PendingSegment segment{sender.next_seq++, app_port, std::move(payload), simulator_->now(), 0, 0};
+  queued_bytes_ += segment.payload->SizeBytes() + config_.data_header_bytes;
+  ++queued_segments_;
+  peak_queued_bytes_ = std::max(peak_queued_bytes_, queued_bytes_);
+  peak_queued_segments_ = std::max(peak_queued_segments_, queued_segments_);
   TransmitSegment(dst, segment);
   sender.unacked.emplace(segment.seq, std::move(segment));
   if (!retransmit_timer_->running()) {
     retransmit_timer_->Start(config_.retransmit_scan_period);
   }
+  return true;
 }
 
 void Transport::ResetPeerState() {
   senders_.clear();
   peer_receivers_.clear();
+  queued_segments_ = 0;
+  queued_bytes_ = 0;
   retransmit_timer_->Stop();
 }
 
@@ -157,14 +170,29 @@ void Transport::OnAck(const Packet& packet) {
     return;
   }
   auto& unacked = it->second.unacked;
-  unacked.erase(unacked.begin(), unacked.upper_bound(ack->cumulative()));
+  const auto acked_end = unacked.upper_bound(ack->cumulative());
+  const bool progressed = acked_end != unacked.begin();
+  for (auto seg = unacked.begin(); seg != acked_end; ++seg) {
+    Discharge(seg->second);
+  }
+  unacked.erase(unacked.begin(), acked_end);
+  if (progressed) {
+    // The peer just proved it is alive and draining: restart the backoff
+    // schedule for everything still queued to it. Without this, the backoff
+    // level reached during one failure episode (say, while the peer was
+    // crashed) leaked into the next, so a fresh loss after recovery started
+    // at the slowest retransmit interval instead of the base timeout.
+    for (auto& [seq, segment] : unacked) {
+      segment.backoff = 0;
+    }
+  }
 }
 
 sim::Duration Transport::RetransmitWait(NodeId dst, const PendingSegment& segment) const {
   double wait_ns = static_cast<double>(config_.retransmit_timeout.nanos());
   // Iterative multiply (not std::pow) so the schedule is bit-identical
-  // everywhere; retries is bounded by max_retries.
-  for (int i = 0; i < segment.retries; ++i) {
+  // everywhere; backoff is bounded by max_retries.
+  for (int i = 0; i < segment.backoff; ++i) {
     wait_ns *= config_.backoff_factor;
     if (wait_ns >= static_cast<double>(config_.max_retransmit_timeout.nanos())) {
       wait_ns = static_cast<double>(config_.max_retransmit_timeout.nanos());
@@ -193,11 +221,15 @@ void Transport::ScanRetransmits() {
         // Give up on the peer. FIFO forbids delivering past the gap this
         // segment would leave, so the entire queue goes with it — upper
         // layers see one ordered failure, not a silent mid-stream hole.
+        for (const auto& [seq, queued] : sender.unacked) {
+          Discharge(queued);
+        }
         sender.unacked.clear();
         failed.push_back(dst);
         break;
       }
       ++segment.retries;
+      ++segment.backoff;
       ++retransmissions_;
       segment.last_sent = now;
       TransmitSegment(dst, segment);

@@ -44,6 +44,13 @@ struct TransportConfig {
   // Wire overhead charged per data segment / ack.
   size_t data_header_bytes = 16;
   size_t ack_header_bytes = 12;
+  // Hard bounds on the total unacked send-queue occupancy across all peers;
+  // a reliable send that would exceed either is refused (SendReliable
+  // returns false, counted in queue_overflow_drops). 0 = unbounded (the
+  // default). Upper layers normally stay below these via flow control; the
+  // bound is the last-resort backstop.
+  size_t max_queued_segments = 0;
+  size_t max_queued_bytes = 0;
 };
 
 class Transport {
@@ -69,8 +76,9 @@ class Transport {
   // Fire-and-forget datagram: may be lost, duplicated, or reordered.
   void SendUnreliable(NodeId dst, uint32_t app_port, PayloadPtr payload);
 
-  // Reliable, FIFO-per-destination delivery.
-  void SendReliable(NodeId dst, uint32_t app_port, PayloadPtr payload);
+  // Reliable, FIFO-per-destination delivery. False iff the segment was
+  // refused because a configured queue bound would be exceeded.
+  bool SendReliable(NodeId dst, uint32_t app_port, PayloadPtr payload);
 
   // Drops all in-flight reliable state (used when a process crashes: an
   // amnesiac restart must not resume old sequence numbers).
@@ -81,6 +89,14 @@ class Transport {
   uint64_t acks_sent() const { return acks_sent_; }
   uint64_t peer_failures() const { return peer_failures_; }
 
+  // Unacked send-queue occupancy across all peers (payload + data header per
+  // segment) — the transport's charge against a group resource budget.
+  size_t queued_segments() const { return queued_segments_; }
+  size_t queued_bytes() const { return queued_bytes_; }
+  size_t peak_queued_segments() const { return peak_queued_segments_; }
+  size_t peak_queued_bytes() const { return peak_queued_bytes_; }
+  uint64_t queue_overflow_drops() const { return queue_overflow_drops_; }
+
  private:
   struct PendingSegment {
     uint64_t seq;
@@ -88,6 +104,11 @@ class Transport {
     PayloadPtr payload;
     sim::TimePoint last_sent;
     int retries = 0;
+    // Backoff level for the wait schedule. Tracks retries except that ack
+    // progress from the peer resets it (the peer is alive again), while
+    // retries keeps counting monotonically for the give-up limit and the
+    // jitter hash.
+    int backoff = 0;
   };
   struct PeerSender {
     uint64_t next_seq = 1;
@@ -118,10 +139,21 @@ class Transport {
   std::unordered_map<NodeId, PeerReceiver> peer_receivers_;
   std::unique_ptr<sim::PeriodicTimer> retransmit_timer_;
 
+  // Occupancy bookkeeping shared by SendReliable/OnAck/give-up/reset.
+  void Discharge(const PendingSegment& segment) {
+    queued_bytes_ -= segment.payload->SizeBytes() + config_.data_header_bytes;
+    --queued_segments_;
+  }
+
   uint64_t retransmissions_ = 0;
   uint64_t segments_sent_ = 0;
   uint64_t acks_sent_ = 0;
   uint64_t peer_failures_ = 0;
+  size_t queued_segments_ = 0;
+  size_t queued_bytes_ = 0;
+  size_t peak_queued_segments_ = 0;
+  size_t peak_queued_bytes_ = 0;
+  uint64_t queue_overflow_drops_ = 0;
 };
 
 }  // namespace net

@@ -80,6 +80,15 @@ TEST(FaultPlanTest, PlansAreWellFormed) {
           EXPECT_GE(event.value, 2.0) << "seed " << seed;
           EXPECT_LE(event.value, cfg.max_latency_scale) << "seed " << seed;
           break;
+        case FaultKind::kSlowReceiver:
+        case FaultKind::kOverloadBurst:
+          // Overload adversity is off by default (see GeneratorConfig); the
+          // default-config plans this test sweeps never contain these.
+          ADD_FAILURE() << "seed " << seed << ": overload event in a default plan";
+          break;
+        case FaultKind::kLongPartition:
+          ADD_FAILURE() << "seed " << seed << ": long partition in a default plan";
+          break;
       }
     }
     EXPECT_EQ(crash_depth, 0) << "seed " << seed << ": every crash needs its recover";
@@ -390,6 +399,55 @@ TEST(OracleTest, DetectsWedgedRejoin) {
   trace.recoveries.push_back(stat);
   const OracleReport report = InvariantOracle().Audit(trace);
   EXPECT_TRUE(AnyViolationContains(report, "wedged-rejoin")) << report.Summary();
+}
+
+TEST(OracleTest, DetectsBudgetExceededAndPressureRegression) {
+  auto sample = [](uint64_t epoch, catocs::MemoryPressure level, size_t used_bytes) {
+    ChaosRig::BudgetSample s;
+    s.at = 1;
+    s.when = sim::TimePoint::Zero() + sim::Duration::Millis(epoch * 10 + used_bytes / 100);
+    s.epoch = epoch;
+    s.level = level;
+    s.used_bytes = used_bytes;
+    s.max_bytes = 1000;
+    return s;
+  };
+
+  // Occupancy above the configured cap is a violation on its own.
+  {
+    TraceObservations trace;
+    trace.budget_samples.push_back(sample(0, catocs::MemoryPressure::kCritical, 1500));
+    const OracleReport report = InvariantOracle().Audit(trace);
+    EXPECT_TRUE(AnyViolationContains(report, "budget-exceeded")) << report.Summary();
+  }
+  // Within one epoch the pressure level must be monotone non-decreasing:
+  // de-escalation without a new epoch breaks the hysteresis contract.
+  {
+    TraceObservations trace;
+    trace.budget_samples.push_back(sample(0, catocs::MemoryPressure::kCritical, 950));
+    trace.budget_samples.push_back(sample(0, catocs::MemoryPressure::kHigh, 750));
+    const OracleReport report = InvariantOracle().Audit(trace);
+    EXPECT_TRUE(AnyViolationContains(report, "pressure-regression")) << report.Summary();
+  }
+  // The epoch counter itself may never run backwards at a member.
+  {
+    TraceObservations trace;
+    trace.budget_samples.push_back(sample(2, catocs::MemoryPressure::kNone, 100));
+    trace.budget_samples.push_back(sample(1, catocs::MemoryPressure::kNone, 100));
+    const OracleReport report = InvariantOracle().Audit(trace);
+    EXPECT_TRUE(AnyViolationContains(report, "pressure-epoch-regression")) << report.Summary();
+  }
+  // The documented legal shape — escalate within an epoch, de-escalate only
+  // by opening a new one — is clean.
+  {
+    TraceObservations trace;
+    trace.budget_samples.push_back(sample(0, catocs::MemoryPressure::kNone, 100));
+    trace.budget_samples.push_back(sample(0, catocs::MemoryPressure::kHigh, 750));
+    trace.budget_samples.push_back(sample(0, catocs::MemoryPressure::kCritical, 950));
+    trace.budget_samples.push_back(sample(1, catocs::MemoryPressure::kNone, 100));
+    const OracleReport report = InvariantOracle().Audit(trace);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+  }
 }
 
 TEST(OracleTest, DetectsStabilityRegression) {

@@ -407,6 +407,40 @@ TEST(TransportTest, ExponentialBackoffSpacesRetransmits) {
   EXPECT_EQ(pair.a->retransmissions(), 20u);
 }
 
+TEST(TransportTest, AckProgressRestartsBackoffForQueuedSegments) {
+  sim::Simulator s(21);
+  TransportConfig tcfg;
+  tcfg.backoff_factor = 2.0;
+  tcfg.max_retransmit_timeout = sim::Duration::Seconds(10);
+  auto pair = MakePair(&s, {}, tcfg);
+  int got = 0;
+  pair.b->RegisterReceiver(kPort, [&](NodeId, uint32_t, const PayloadPtr&) { ++got; });
+
+  // Two segments queued during one long outage, 2.5s apart, so their doubled
+  // schedules drift out of phase: by 8s "one" is next due near 10.2s while
+  // "two" has just missed at ~7.6s and would not try again until ~12.7s.
+  pair.network->SetNodeUp(2, false);
+  pair.a->SendReliable(2, kPort, Blob("one"));
+  s.RunFor(sim::Duration::Millis(2500));
+  pair.a->SendReliable(2, kPort, Blob("two"));
+  s.RunFor(sim::Duration::Millis(5500));
+
+  // The link heals, but neither stale schedule has an attempt due before
+  // ~10.2s — nothing is delivered for the next two seconds.
+  pair.network->SetNodeUp(2, true);
+  s.RunFor(sim::Duration::Seconds(2));
+  EXPECT_EQ(got, 0);
+
+  // "one"'s ~10.2s attempt lands and its ack proves the peer is draining
+  // again. That progress must restart "two" on the 20ms base schedule so it
+  // delivers within milliseconds — not sleep out the rest of its stale ~5s
+  // doubled wait (which would push delivery past 12.7s).
+  s.RunFor(sim::Duration::Seconds(1));
+  EXPECT_EQ(got, 2);
+  s.Run();
+  EXPECT_EQ(s.pending_events(), 0u) << "queue drained and timer quiesced";
+}
+
 TEST(TransportTest, JitterIsDeterministicAcrossRuns) {
   auto run = [](uint64_t seed) {
     sim::Simulator s(seed);

@@ -113,6 +113,38 @@ TEST_P(CausalBufferTest, AckWraparoundOnRejoinUnderFreshId) {
   EXPECT_EQ(0u, buffer_->buffered_count());
 }
 
+TEST_P(CausalBufferTest, EvictedSenderOverflowStraysPurgedOnMemberChange) {
+  buffer_->SetMembers({1, 2, 3});
+  buffer_->AddToBuffer(Msg(3, 1));
+  buffer_->AddToBuffer(Msg(3, 2));
+  // Sequence gap: lands in the retention ring's overflow map (possible only
+  // through direct strategy use, which is exactly what this test is).
+  buffer_->AddToBuffer(Msg(3, 5));
+
+  // Everyone delivered the contiguous prefix; the stray stays retained.
+  VectorClock acked;
+  acked.Set(3, 2);
+  buffer_->UpdateMemberVector(1, acked);
+  buffer_->UpdateMemberVector(2, acked);
+  buffer_->UpdateMemberVector(3, acked);
+  buffer_->Prune();
+  ASSERT_EQ(1u, buffer_->buffered_count());
+
+  // Member 3 is evicted and rejoins under fresh id 4. The old id's floor row
+  // is gone for good (MeetMin drops departed rows; the rejoiner reports under
+  // 4), so without the eviction purge the {3,5} stray would be retained
+  // forever — and its bytes would stay charged against the resource budget.
+  std::vector<std::string> causes;
+  buffer_->SetReleaseObserver(
+      [&causes](const GroupDataPtr&, const char* cause) { causes.emplace_back(cause); });
+  buffer_->SetMembers({1, 2, 4});
+  EXPECT_EQ(0u, buffer_->buffered_count());
+  EXPECT_EQ(0u, buffer_->buffered_bytes());
+  EXPECT_EQ(nullptr, buffer_->Find(MessageId{3, 5}));
+  ASSERT_EQ(1u, causes.size());
+  EXPECT_EQ("evicted-sender", causes[0]);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, CausalBufferTest,
                          ::testing::Values(CausalBufferKind::kFullVector,
                                            CausalBufferKind::kHybrid),
