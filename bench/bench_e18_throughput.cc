@@ -34,9 +34,14 @@ constexpr int64_t kHorizonMillis = 400;   // simulated workload window
 // (the same information) rather than through periodic gossip event churn.
 constexpr int64_t kGossipMillis = 400;
 
-// One complete simulated run; returns app messages delivered at member 0
-// (an observer that never sends).
-uint64_t RunOne(uint32_t batch, size_t payload_bytes, bool delta) {
+struct RunTotals {
+  uint64_t delivered = 0;       // app messages delivered at member 0
+  uint64_t header_bytes = 0;    // ordering headers across all senders
+  uint64_t transmissions = 0;   // data-frame copies those headers rode on
+};
+
+// One complete simulated run; member 0 is an observer that never sends.
+RunTotals RunOne(uint32_t batch, size_t payload_bytes, bool delta) {
   sim::Simulator s(1800 + batch);
   catocs::FabricConfig cfg;
   cfg.num_members = kMembers;
@@ -60,21 +65,36 @@ uint64_t RunOne(uint32_t batch, size_t payload_bytes, bool delta) {
   }
   // Generous drain: every burst delivers well within the extra second.
   s.RunFor(sim::Duration::Millis(kHorizonMillis) + sim::Duration::Seconds(1));
-  return delivered;
+  RunTotals totals;
+  totals.delivered = delivered;
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    totals.header_bytes += fabric.member(i).stats().ordering_header_bytes;
+    totals.transmissions += fabric.member(i).stats().data_transmissions;
+  }
+  return totals;
 }
 
 void BM_SustainedThroughput(benchmark::State& state) {
   const uint32_t batch = static_cast<uint32_t>(state.range(0));
   const size_t payload_bytes = static_cast<size_t>(state.range(1));
   const bool delta = state.range(2) != 0;
-  uint64_t delivered = 0;
+  RunTotals totals;
   for (auto _ : state) {
-    delivered += RunOne(batch, payload_bytes, delta);
+    const RunTotals one = RunOne(batch, payload_bytes, delta);
+    totals.delivered += one.delivered;
+    totals.header_bytes += one.header_bytes;
+    totals.transmissions += one.transmissions;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+  state.SetItemsProcessed(static_cast<int64_t>(totals.delivered));
   state.counters["batch"] = batch;
   state.counters["payload_bytes"] = static_cast<double>(payload_bytes);
   state.counters["delta"] = delta ? 1 : 0;
+  // Ordering metadata per transmitted data copy — the wire-overhead figure
+  // E21 sweeps against N; tracked here so bench_compare.py can flag drift.
+  state.counters["metadata_bytes_per_msg"] =
+      totals.transmissions == 0 ? 0.0
+                                : static_cast<double>(totals.header_bytes) /
+                                      static_cast<double>(totals.transmissions);
 }
 BENCHMARK(BM_SustainedThroughput)
     ->ArgNames({"batch", "payload", "delta"})

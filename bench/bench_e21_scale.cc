@@ -1,0 +1,307 @@
+// E21 — constant-metadata causal broadcast at scale (DESIGN.md §11).
+//
+// The §5-style buffering/overhead sweeps (E5, E10) stop at N=64 because the
+// full-vector protocol's per-message control information — the vector
+// timestamp plus the piggybacked ack vector — grows linearly in the number
+// of senders, and its stability gossip quadratically in N. This bench drives
+// the three causal-buffer strategies through a join/leave churn sweep at
+// N=64..1024 (plus an N=4096 overlay smoke cell) and measures what each
+// actually puts on the wire per transmitted copy:
+//
+//   metadata_bytes_per_msg = ordering_header_bytes / data_transmissions
+//
+// full-vector and hybrid stamp the clock (and acks) on every copy, so the
+// figure grows with the sender count; the overlay path disseminates over the
+// spanning tree with a 9-byte causal section, so it stays constant in N —
+// the acceptance target is >= 50x below full-vector at N=1024. Delivery
+// delay is reported alongside: the tree's ~log4(N) extra hops are the price
+// of the constant header. A linear causal-order audit (watermark form, see
+// group.h) runs inline on every delivery; any violation fails the claim.
+//
+// Churn per cell: one member crashes mid-traffic and is deliberately
+// reported (heartbeats are disabled so the detection path costs the same in
+// every cell), then a fresh member joins through the flush protocol, and a
+// final round of sends crosses the rewired topology.
+//
+// Usage: bench_e21_scale [--smoke]
+//   --smoke: the two overlay-only cells (N=1024 churn, N=4096 quiescent)
+//            wired into scripts/scale_smoke.sh as the CI scale gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/catocs/group.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+struct CellResult {
+  uint64_t sent = 0;
+  uint64_t deliveries = 0;
+  uint64_t violations = 0;
+  double metadata_bytes_per_msg = 0;
+  double delay_mean_ms = 0;
+  double delay_p99_ms = 0;
+  uint64_t ack_msgs = 0;
+  uint64_t overlay_forwards = 0;
+  uint64_t overlay_prebuffered = 0;
+  uint64_t overlay_stale = 0;
+};
+
+// Inline linear causal audit (the watermark form of CheckCausalOrderLinear):
+// at N=1024 a cell sees ~1M deliveries, so records are audited as they
+// happen instead of being retained.
+struct CausalAudit {
+  std::map<catocs::MemberId, catocs::VectorClock> watermark;
+  uint64_t violations = 0;
+
+  void OnDeliver(catocs::MemberId at, const catocs::Delivery& d) {
+    if (d.mode() == catocs::OrderingMode::kUnordered) {
+      return;
+    }
+    catocs::VectorClock& h = watermark[at];
+    if (h.Get(d.id().sender) >= d.id().seq) {
+      ++violations;
+    }
+    h.Merge(d.vt());
+  }
+};
+
+CellResult RunCell(catocs::CausalBufferKind kind, uint32_t n, bool churn) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "[e21] cell %s N=%u churn=%d ...\n", catocs::ToString(kind), n,
+               churn ? 1 : 0);
+  sim::Simulator s(2100 + n + static_cast<uint32_t>(kind));
+  catocs::FabricConfig cfg;
+  cfg.num_members = n;
+  cfg.group.causal_buffer = kind;
+  cfg.group.enable_membership = true;
+  // Failure detection is driven by an explicit deliberate report below, so
+  // heartbeat/failure-check timers are parked beyond the horizon — otherwise
+  // the non-overlay cells pay O(N^2) heartbeat frames per interval and the
+  // comparison measures the detector, not the ordering protocol.
+  cfg.group.heartbeat_interval = sim::Duration::Seconds(3600);
+  cfg.group.failure_timeout = sim::Duration::Seconds(7200);
+  // Slow, honest stability cadence: the full-vector strategy's gossip round
+  // is N^2 ack frames and its prune walks the whole member matrix, which is
+  // exactly the scaling wall being measured — at one round per second the
+  // N=1024 cells stay tractable while every strategy still drains.
+  cfg.group.ack_gossip_interval = sim::Duration::Millis(1000);
+  cfg.group.prune_interval = sim::Duration::Seconds(2);
+  catocs::GroupFabric fabric(&s, cfg);
+
+  const catocs::MemberId joiner_id = n + 100;
+  std::unique_ptr<net::Transport> joiner_transport;
+  std::unique_ptr<catocs::GroupMember> joiner;
+  if (churn) {
+    joiner_transport = std::make_unique<net::Transport>(&s, &fabric.network(), joiner_id);
+    joiner = std::make_unique<catocs::GroupMember>(&s, joiner_transport.get(), cfg.group,
+                                                   joiner_id, std::vector<catocs::MemberId>{
+                                                       joiner_id});
+  }
+
+  CausalAudit audit;
+  uint64_t deliveries = 0;
+  std::vector<double> delays_ms;
+  auto handler = [&audit, &deliveries, &delays_ms](catocs::MemberId at,
+                                                   const catocs::Delivery& d) {
+    ++deliveries;
+    delays_ms.push_back(static_cast<double>((d.delivered_at - d.sent_at()).micros()) / 1000.0);
+    audit.OnDeliver(at, d);
+  };
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    const catocs::MemberId id = catocs::GroupFabric::IdOf(i);
+    fabric.member(i).SetDeliveryHandler(
+        [&handler, id](const catocs::Delivery& d) { handler(id, d); });
+  }
+  if (joiner) {
+    joiner->SetDeliveryHandler(
+        [&handler, joiner_id](const catocs::Delivery& d) { handler(joiner_id, d); });
+  }
+
+  fabric.StartAll();
+  if (joiner) {
+    joiner->Start();
+  }
+
+  // Sender population is capped so the timestamp *entry count* (every
+  // strategy's clocks are sparse) is fixed across the N sweep: what changes
+  // with N is the receiver fan-out, which is exactly the axis under test.
+  const uint32_t senders = std::min(n, 256u);
+  auto payload = [] { return std::make_shared<net::BlobPayload>("t", 256); };
+  for (uint32_t m = 0; m < senders; ++m) {
+    for (int k = 0; k < 4; ++k) {
+      s.ScheduleAfter(sim::Duration::Millis(50 + 75 * k) + sim::Duration::Micros(200 * m),
+                      [&fabric, m, payload] { fabric.member(m).CausalSend(payload()); });
+    }
+  }
+
+  if (churn) {
+    // Leave: the member at index n-2 (id n-1) crashes mid-traffic; the
+    // coordinator reports it deliberately 20ms later and runs the flush.
+    s.ScheduleAfter(sim::Duration::Millis(120), [&fabric, n] { fabric.CrashMember(n - 2); });
+    s.ScheduleAfter(sim::Duration::Millis(140), [&fabric, n] {
+      // Deliberate: detection timers are parked (see above), so this models
+      // an operator eviction rather than a heartbeat timeout.
+      fabric.member(0).ReportFailure(n - 1, /*deliberate=*/true);
+    });
+    // Join: a fresh id enters through the flush; it appends as an overlay
+    // leaf, so only its parent's link set changes.
+    s.ScheduleAfter(sim::Duration::Millis(700), [&joiner] { joiner->JoinGroup(1); });
+    // A final round crosses the twice-rewired topology.
+    for (uint32_t m = 0; m < std::min(senders, 8u); ++m) {
+      s.ScheduleAfter(sim::Duration::Millis(900 + m),
+                      [&fabric, m, payload] { fabric.member(m).CausalSend(payload()); });
+    }
+  }
+
+  // 2.5s covers the send window (~330ms), both churn flushes, and two
+  // stability gossip rounds; each further second costs another N^2 ack round
+  // in the full-vector cells without changing any reported figure.
+  s.RunFor(sim::Duration::Millis(2500));
+
+  CellResult result;
+  uint64_t header_bytes = 0;
+  uint64_t transmissions = 0;
+  auto fold = [&](const catocs::GroupStats& stats) {
+    result.sent += stats.sent;
+    header_bytes += stats.ordering_header_bytes;
+    transmissions += stats.data_transmissions;
+    result.ack_msgs += stats.ack_msgs_sent;
+    result.overlay_forwards += stats.overlay_forwards;
+    result.overlay_prebuffered += stats.overlay_prebuffered;
+    result.overlay_stale += stats.overlay_stale_dropped;
+  };
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    fold(fabric.member(i).stats());
+  }
+  if (joiner) {
+    fold(joiner->stats());
+  }
+  result.deliveries = deliveries;
+  result.violations = audit.violations;
+  result.metadata_bytes_per_msg =
+      transmissions == 0 ? 0.0
+                         : static_cast<double>(header_bytes) / static_cast<double>(transmissions);
+  if (!delays_ms.empty()) {
+    double sum = 0;
+    for (double d : delays_ms) {
+      sum += d;
+    }
+    result.delay_mean_ms = sum / static_cast<double>(delays_ms.size());
+    const size_t p99 = delays_ms.size() * 99 / 100;
+    std::nth_element(delays_ms.begin(), delays_ms.begin() + p99, delays_ms.end());
+    result.delay_p99_ms = delays_ms[p99];
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  uint64_t flushes = 0;
+  uint64_t no_quorum = 0;
+  uint64_t stopped = 0;
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    flushes += fabric.member(i).stats().flushes_completed;
+    no_quorum += fabric.member(i).stats().flushes_blocked_no_quorum;
+    stopped += fabric.member(i).stats().sends_while_stopped;
+  }
+  std::fprintf(stderr,
+               "[e21] cell %s N=%u churn=%d done in %.1fs (%llu deliveries, view0=%llu/%zu "
+               "flushes=%llu no_quorum=%llu sends_stopped=%llu)\n",
+               catocs::ToString(kind), n, churn ? 1 : 0, wall_s,
+               static_cast<unsigned long long>(deliveries),
+               static_cast<unsigned long long>(fabric.member(0).view().id),
+               fabric.member(0).view().members.size(), static_cast<unsigned long long>(flushes),
+               static_cast<unsigned long long>(no_quorum),
+               static_cast<unsigned long long>(stopped));
+  return result;
+}
+
+void PrintRow(const char* buffer, uint32_t n, bool churn, const CellResult& r) {
+  benchutil::Row("%-12s %-6u %-6s %-8llu %-11llu %-18.1f %-12.1f %-12.1f %-10llu %llu",
+                 buffer, n, churn ? "yes" : "no", static_cast<unsigned long long>(r.sent),
+                 static_cast<unsigned long long>(r.deliveries), r.metadata_bytes_per_msg,
+                 r.delay_mean_ms, r.delay_p99_ms, static_cast<unsigned long long>(r.ack_msgs),
+                 static_cast<unsigned long long>(r.violations));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--cell") == 0 && i + 3 < argc) {
+      // Debug escape hatch: run one cell and exit (not part of the sweep).
+      const std::string kind_name = argv[i + 1];
+      const auto kind = kind_name == "overlay" ? catocs::CausalBufferKind::kOverlay
+                        : kind_name == "hybrid" ? catocs::CausalBufferKind::kHybrid
+                                                : catocs::CausalBufferKind::kFullVector;
+      const uint32_t n = static_cast<uint32_t>(std::atoi(argv[i + 2]));
+      const bool churn = std::atoi(argv[i + 3]) != 0;
+      const CellResult r = RunCell(kind, n, churn);
+      PrintRow(catocs::ToString(kind), n, churn, r);
+      return 0;
+    }
+  }
+
+  benchutil::Header(
+      "E21 — constant-metadata causal broadcast at scale (DESIGN.md §11)",
+      "overlay dissemination keeps ordering metadata O(1) bytes per transmitted copy "
+      "through join/leave churn; full-vector grows with the sender count");
+  benchutil::Row("%-12s %-6s %-6s %-8s %-11s %-18s %-12s %-12s %-10s %s", "buffer", "N", "churn",
+                 "sent", "deliveries", "metadata_B_per_msg", "delay_ms", "delay_p99", "ack_msgs",
+                 "violations");
+
+  if (smoke) {
+    // The CI gate: the overlay cells alone, at and beyond the sweep ceiling.
+    const CellResult churn_cell = RunCell(catocs::CausalBufferKind::kOverlay, 1024, true);
+    PrintRow("overlay", 1024, true, churn_cell);
+    const CellResult quiet_cell = RunCell(catocs::CausalBufferKind::kOverlay, 4096, false);
+    PrintRow("overlay", 4096, false, quiet_cell);
+    benchutil::Row("");
+    const bool ok = churn_cell.violations == 0 && quiet_cell.violations == 0 &&
+                    churn_cell.metadata_bytes_per_msg <= 32.0 &&
+                    quiet_cell.metadata_bytes_per_msg <= 32.0;
+    benchutil::Row("smoke: %s (violations=0, metadata <= 32 B/msg at N=1024 and N=4096)",
+                   ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
+  std::map<std::pair<int, uint32_t>, CellResult> cells;
+  const catocs::CausalBufferKind kinds[] = {catocs::CausalBufferKind::kFullVector,
+                                            catocs::CausalBufferKind::kHybrid,
+                                            catocs::CausalBufferKind::kOverlay};
+  for (const auto kind : kinds) {
+    for (uint32_t n : {64u, 256u, 1024u}) {
+      const CellResult r = RunCell(kind, n, /*churn=*/true);
+      cells[{static_cast<int>(kind), n}] = r;
+      PrintRow(catocs::ToString(kind), n, true, r);
+    }
+  }
+
+  benchutil::Row("");
+  const auto& overlay_64 = cells[{static_cast<int>(catocs::CausalBufferKind::kOverlay), 64}];
+  const auto& overlay_1k = cells[{static_cast<int>(catocs::CausalBufferKind::kOverlay), 1024}];
+  const auto& full_1k = cells[{static_cast<int>(catocs::CausalBufferKind::kFullVector), 1024}];
+  benchutil::Row("overlay metadata N=64 -> N=1024: %.1f -> %.1f B/msg (constant in N)",
+                 overlay_64.metadata_bytes_per_msg, overlay_1k.metadata_bytes_per_msg);
+  const double ratio = overlay_1k.metadata_bytes_per_msg == 0
+                           ? 0
+                           : full_1k.metadata_bytes_per_msg / overlay_1k.metadata_bytes_per_msg;
+  benchutil::Row("full-vector / overlay metadata at N=1024: %.0fx (target >= 50x)", ratio);
+  uint64_t violations = 0;
+  for (const auto& [key, cell] : cells) {
+    violations += cell.violations;
+  }
+  benchutil::Row("causal-order violations across all cells: %llu",
+                 static_cast<unsigned long long>(violations));
+  return (violations == 0 && ratio >= 50.0) ? 0 : 1;
+}

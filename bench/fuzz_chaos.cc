@@ -10,7 +10,7 @@
 // divergence, every crashed slot rejoined).
 //
 // Usage: fuzz_chaos [--seeds N] [--start S] [--slots K] [--horizon-ms MS]
-//                   [--buffer full|hybrid] [--batch N] [--no-verify-replay]
+//                   [--buffer full|hybrid|overlay] [--batch N] [--no-verify-replay]
 //                   [--verbose] [--trace] [--probe]
 //                   [--overload] [--policy throttle|shed-new|evict-laggard]
 //
@@ -275,8 +275,11 @@ int main(int argc, char** argv) {
         opt.buffer = catocs::CausalBufferKind::kFullVector;
       } else if (kind == "hybrid") {
         opt.buffer = catocs::CausalBufferKind::kHybrid;
+      } else if (kind == "overlay") {
+        opt.buffer = catocs::CausalBufferKind::kOverlay;
       } else {
-        std::fprintf(stderr, "unknown --buffer kind: %s (want full|hybrid)\n", kind.c_str());
+        std::fprintf(stderr, "unknown --buffer kind: %s (want full|hybrid|overlay)\n",
+                     kind.c_str());
         return 2;
       }
     } else if (arg == "--batch") {

@@ -9,6 +9,12 @@ comparison with exit code 1. Benchmarks present on only one side are listed
 but never fail the run (new benchmarks appear, retired ones disappear —
 that is growth, not regression).
 
+Benchmarks that report a metadata_bytes_per_msg counter (E18, tracking the
+wire overhead figure E21 sweeps against N) get a second check: the counter
+is a deterministic byte count, not a timing, so it is held to a tight 1%
+growth bound — header-format regressions hide inside timing noise but not
+inside byte counts.
+
 Both files must come from release builds: bench mains stamp
 "repro_build_type" into the context, and comparing debug numbers against
 release numbers (or debug against debug) is meaningless, so anything except
@@ -112,6 +118,21 @@ def main():
             f"{marker} {name:<55} {fmt_time(b):>14} -> {fmt_time(c):>14} "
             f"({delta_pct:+.1f}%)"
         )
+        # Deterministic wire-overhead counter: any growth beyond rounding is
+        # a header-format change, so the bound is 1% regardless of the
+        # timing threshold.
+        b_meta = b.get("metadata_bytes_per_msg")
+        c_meta = c.get("metadata_bytes_per_msg")
+        if b_meta and c_meta:
+            meta_pct = (c_meta - b_meta) / b_meta * 100.0
+            meta_marker = " "
+            if meta_pct > 1.0:
+                meta_marker = "!"
+                regressions.append((f"{name} [metadata_bytes_per_msg]", meta_pct))
+            print(
+                f"{meta_marker} {name + ' [metadata B/msg]':<55} "
+                f"{b_meta:>14.1f} -> {c_meta:>14.1f} ({meta_pct:+.1f}%)"
+            )
 
     for name in sorted(set(cur) - set(base)):
         print(f"+ {name:<55} {'new':>14} -> {fmt_time(cur[name]):>14}")

@@ -4,8 +4,10 @@
 # partitions, drop/duplicate bursts, latency spikes), with every seed run
 # twice and required to produce a bit-identical trace hash. Any invariant
 # violation, replay divergence, or wedged rejoin fails the sweep (nonzero
-# exit). The sweep runs once per causal-buffer strategy (full-vector and
-# hybrid), once per sender-batching level (unbatched and batch=8, which
+# exit). The sweep runs once per causal-buffer strategy (full-vector,
+# hybrid, and the constant-metadata overlay path, which forces a
+# causal-only workload — kTotal is outside its contract — and ignores the
+# batching knob), once per sender-batching level (unbatched and batch=8, which
 # also turns on delta timestamps and a burst workload), and once per trace
 # mode (observability off and --trace) so the record-only instrumentation
 # faces every buffer x batch combination under the same fault schedules.
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 SEEDS=${SEEDS:-50}
 START=${START:-1}
-BUFFERS=${BUFFERS:-full hybrid}
+BUFFERS=${BUFFERS:-full hybrid overlay}
 BATCHES=${BATCHES:-1 8}
 TRACES=${TRACES:-off on}
 POLICIES=${POLICIES:-throttle shed-new evict-laggard}

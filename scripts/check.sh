@@ -29,6 +29,13 @@ BUILD_DIR="${BUILD_DIR}" SEEDS="${CHAOS_SEEDS:-10}" ./scripts/chaos.sh
 # bounded-memory oracle on.
 BUILD_DIR="${BUILD_DIR}" SEEDS="${SOAK_SEEDS:-2}" ./scripts/soak.sh
 
+# Scale smoke: the overlay causal path at N=1024 under churn and N=4096
+# quiescent (E21 acceptance cells). Deliberately NOT under the sanitized
+# build — at a million deliveries per cell ASan turns minutes into hours —
+# so it uses the default build directory; the protocol logic it runs is
+# identical to what the sanitized ctest suite already covered at small N.
+./scripts/scale_smoke.sh
+
 # Observability smoke: the traced fuzzer must stay deterministic — two
 # identical --trace invocations produce byte-identical output (span and hold
 # totals included) — and the reduced sweep must come back clean.

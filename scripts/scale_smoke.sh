@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Scale gate: runs the E21 smoke cells — the overlay causal path at N=1024
+# with join/leave churn, and N=4096 quiescent — against a normal (non-
+# sanitized) build. bench_e21_scale --smoke exits nonzero if any causal-order
+# violation is observed or the ordering metadata exceeds 32 bytes per
+# transmitted copy, so this catches both correctness and metadata-growth
+# regressions in the constant-metadata path at sizes the unit tests never
+# reach. Wall-clock budget is a few minutes (the N=4096 cell dominates).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_e21_scale
+
+"${BUILD_DIR}/bench/bench_e21_scale" --smoke

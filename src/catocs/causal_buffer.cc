@@ -1,6 +1,7 @@
 #include "src/catocs/causal_buffer.h"
 
 #include "src/catocs/hybrid_buffer.h"
+#include "src/catocs/overlay_buffer.h"
 #include "src/catocs/stability.h"
 
 namespace catocs {
@@ -11,6 +12,8 @@ const char* ToString(CausalBufferKind kind) {
       return "full-vector";
     case CausalBufferKind::kHybrid:
       return "hybrid";
+    case CausalBufferKind::kOverlay:
+      return "overlay";
   }
   return "?";
 }
@@ -21,6 +24,8 @@ std::unique_ptr<CausalBufferStrategy> MakeCausalBuffer(CausalBufferKind kind) {
       return std::make_unique<StabilityTracker>();
     case CausalBufferKind::kHybrid:
       return std::make_unique<HybridBuffer>();
+    case CausalBufferKind::kOverlay:
+      return std::make_unique<OverlayCausalStrategy>();
   }
   return std::make_unique<StabilityTracker>();
 }

@@ -14,6 +14,17 @@ namespace catocs {
 void CausalLayer::OnSend(GroupData& data) {
   VectorClock vt = vd_;
   vt.Set(core_->self, data.id().seq);
+  if (core_->overlay_mode()) {
+    // Constant-metadata wire form: the frame carries only the sender's view
+    // id (kOverlayHeaderBytes); causal order comes from FIFO tree links, not
+    // from shipping a clock, so delta encoding is moot here. The clock is
+    // still stamped below as internal bookkeeping — it backs the delivery
+    // gate and the invariant oracles but is never charged on the wire.
+    data.set_overlay_view(core_->view.id);
+    data.set_vt(std::move(vt));
+    core_->RecordSpan(data.id(), sim::SpanEvent::kStamp, name());
+    return;
+  }
   if (core_->config.delta_timestamps) {
     // Wire form: only the entries changed since our previous frame (full
     // clock on keyframes). The receiver reconstructs against its per-sender
@@ -34,7 +45,7 @@ void CausalLayer::OnSend(GroupData& data) {
   core_->RecordSpan(data.id(), sim::SpanEvent::kStamp, name());
 }
 
-bool CausalLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadPtr& payload) {
+bool CausalLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadPtr& payload) {
   if (port != GroupPorts::Data(core_->config.group_id)) {
     return false;
   }
@@ -74,7 +85,7 @@ bool CausalLayer::OnReceive(MemberId /*src*/, uint32_t port, const net::PayloadP
   if (shared->wire_vt() != nullptr) {
     DecodeDeltaFrame(*shared);
   }
-  Ingest(shared);
+  Ingest(shared, /*observe_acks=*/true, src);
   return true;
 }
 
@@ -113,17 +124,31 @@ void CausalLayer::DecodeDeltaFrame(const GroupData& data) {
   }
 }
 
-void CausalLayer::OnViewChange(const View& /*view*/) {
-  if (!core_->config.delta_timestamps) {
-    return;
+void CausalLayer::OnViewChange(const View& view) {
+  if (core_->config.delta_timestamps) {
+    // Resynchronize the codec across the membership change: our next frame
+    // is a keyframe, and stale references must not decode post-view deltas.
+    encoder_valid_ = false;
+    delta_refs_.clear();
   }
-  // Resynchronize the codec across the membership change: our next frame is
-  // a keyframe, and stale references must not decode post-view deltas.
-  encoder_valid_ = false;
-  delta_refs_.clear();
+  if (!pre_view_.empty()) {
+    // The stashed frames' view just installed here (the membership layer
+    // already ingested the redistribution, so any causal gap between the
+    // views is closed). Re-ingest in arrival order with their original
+    // arrival links, so delivery re-forwards them down the *new* tree.
+    std::deque<PendingMessage> stash = std::move(pre_view_);
+    pre_view_.clear();
+    for (PendingMessage& held : stash) {
+      if (held.data->overlay_view() > view.id) {
+        pre_view_.push_back(std::move(held));  // still ahead; keep waiting
+      } else {
+        Ingest(held.data, /*observe_acks=*/false, held.from);
+      }
+    }
+  }
 }
 
-void CausalLayer::Ingest(const GroupDataPtr& data, bool observe_acks) {
+void CausalLayer::Ingest(const GroupDataPtr& data, bool observe_acks, MemberId from) {
   // Stability info rides on every data message.
   if (observe_acks && !data->acks().empty()) {
     core_->stability->ObserveAckVector(data->id().sender, data->acks());
@@ -131,6 +156,26 @@ void CausalLayer::Ingest(const GroupDataPtr& data, bool observe_acks) {
 
   if (data->mode() == OrderingMode::kUnordered) {
     core_->fifo->DeliverDirect(data);
+    return;
+  }
+
+  // Overlay view gating (buffering-during-churn, DESIGN.md §11). Applied to
+  // frames off a link (from != 0), never to the view-install redistribution.
+  if (data->is_overlay() && from != 0 && data->overlay_view() != core_->view.id) {
+    if (data->overlay_view() > core_->view.id) {
+      // Sent under a view we have not installed yet: hold it until the
+      // install (and its redistribution) arrives, then re-ingest.
+      ++core_->stats.overlay_prebuffered;
+      pre_view_.push_back(PendingMessage{data, core_->simulator->now(), from});
+    } else {
+      // Sent under a view we have already left. View synchrony makes this a
+      // provable duplicate-or-loss: if any survivor of that view delivered
+      // it, it reached us in the flush cut's redistribution (and dedups
+      // below); if none did, its sender failed and the message is gone
+      // beyond the cut — the same non-durability the direct path admits in
+      // DropFailedSenderBacklog.
+      ++core_->stats.overlay_stale_dropped;
+    }
     return;
   }
 
@@ -149,7 +194,7 @@ void CausalLayer::Ingest(const GroupDataPtr& data, bool observe_acks) {
       core_->pipeline_stats.RecordEnter(HoldReason::kCausalGap);
       core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(), "");
     }
-    CausalDeliver(data, core_->simulator->now());
+    CausalDeliver(data, core_->simulator->now(), from);
     return;
   }
 
@@ -161,7 +206,7 @@ void CausalLayer::Ingest(const GroupDataPtr& data, bool observe_acks) {
     core_->RecordSpan(data->id(), sim::SpanEvent::kEnter, name(),
                       CausallyDeliverable(*data) ? "" : ToString(HoldReason::kCausalGap));
   }
-  pending_.push_back(PendingMessage{data, core_->simulator->now()});
+  pending_.push_back(PendingMessage{data, core_->simulator->now(), from});
   TryDeliverPending();
 }
 
@@ -186,7 +231,7 @@ void CausalLayer::TryDeliverPending() {
         PendingMessage pending = std::move(*it);
         pending_.erase(it);
         pending_ids_.erase(pending.data->id());
-        CausalDeliver(pending.data, pending.arrived_at);
+        CausalDeliver(pending.data, pending.arrived_at, pending.from);
         progress = true;
         break;  // iterators invalidated; rescan
       }
@@ -194,11 +239,20 @@ void CausalLayer::TryDeliverPending() {
   }
 }
 
-void CausalLayer::CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived_at) {
+void CausalLayer::CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived_at,
+                                MemberId from) {
   const MemberId sender = data->id().sender;
   assert(vd_.Get(sender) + 1 == data->id().seq);
   vd_.Set(sender, data->id().seq);
   ++core_->stats.causal_delivered;
+
+  // Overlay dissemination happens here, not at OnSend: forwarding *in causal
+  // delivery order* over per-link FIFO channels is what lets receivers order
+  // frames without any clock on the wire. from == 0 (redistribution) frames
+  // are not re-forwarded — the coordinator served every survivor directly.
+  if (data->is_overlay() && from != 0 && core_->overlay_mode()) {
+    ForwardOnOverlay(data, from);
+  }
 
   const sim::Duration causal_delay = core_->simulator->now() - arrived_at;
   if (causal_delay > sim::Duration::Zero()) {
@@ -222,6 +276,26 @@ void CausalLayer::CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived
   core_->stability->OnCausalDeliver(data);
   core_->total->OnCausalDeliver(*data);
   core_->fifo->Enqueue(data, causal_delay);
+}
+
+void CausalLayer::ForwardOnOverlay(const GroupDataPtr& data, MemberId from) {
+  const uint32_t port = GroupPorts::Data(core_->config.group_id);
+  size_t links = 0;
+  for (MemberId neighbor : core_->overlay.neighbors()) {
+    if (neighbor == from) {
+      continue;  // never echo a frame back up its arrival link
+    }
+    core_->transport->SendReliable(neighbor, port, data);
+    ++links;
+  }
+  if (links > 0) {
+    // Header accounting lives at the transmission site: a tree crosses each
+    // edge once, so summing links across members matches the direct path's
+    // per-send (N−1) charge — same totals, constant per-transmission cost.
+    core_->stats.overlay_forwards += links;
+    core_->stats.data_transmissions += links;
+    core_->stats.ordering_header_bytes += data->HeaderBytes() * links;
+  }
 }
 
 void CausalLayer::DropFailedSenderBacklog(const ViewInstall& install) {

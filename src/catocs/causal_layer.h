@@ -42,7 +42,14 @@ class CausalLayer : public OrderingLayer {
   // the batch unpacker observe one ack vector per frame instead of one per
   // constituent (ack vectors are monotone along a sender's stream, so the
   // last one subsumes the rest).
-  void Ingest(const GroupDataPtr& data, bool observe_acks = true);
+  //
+  // `from` matters only on the overlay path: the link the frame arrived on
+  // (or self for an origin send), so forward-on-delivery floods to every
+  // overlay neighbor *except* that link. 0 — the default, used by the
+  // view-install redistribution path — means "local": no view gating and no
+  // re-forwarding (everyone on the new view received the same redistribution
+  // directly from the coordinator).
+  void Ingest(const GroupDataPtr& data, bool observe_acks = true, MemberId from = 0);
 
   void TryDeliverPending();
 
@@ -63,13 +70,15 @@ class CausalLayer : public OrderingLayer {
   void DropFailedSenderBacklog(const ViewInstall& install);
 
   // View change: both delta-codec ends resynchronize on a keyframe (the
-  // encoder's next frame carries the full clock; decoder references reset).
+  // encoder's next frame carries the full clock; decoder references reset),
+  // and the overlay path re-ingests frames stashed for the new view.
   void OnViewChange(const View& view) override;
 
  private:
   struct PendingMessage {
     GroupDataPtr data;
     sim::TimePoint arrived_at;
+    MemberId from = 0;  // overlay arrival link; see Ingest
   };
 
   // Receiver half of the delta codec: the last reconstructed clock per
@@ -81,14 +90,23 @@ class CausalLayer : public OrderingLayer {
   };
 
   bool CausallyDeliverable(const GroupData& data) const;
-  void CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived_at);
+  void CausalDeliver(const GroupDataPtr& data, sim::TimePoint arrived_at, MemberId from = 0);
   // Decodes a delta-stamped frame against the sender's reference and
   // cross-checks the reconstruction (counted in stats on mismatch).
   void DecodeDeltaFrame(const GroupData& data);
+  // Overlay forward-on-delivery: push the just-delivered frame onto every
+  // tree link except the one it arrived on, in causal delivery order — the
+  // per-link FIFO discipline the constant-metadata path's correctness rests
+  // on (DESIGN.md §11).
+  void ForwardOnOverlay(const GroupDataPtr& data, MemberId from);
 
   uint64_t send_seq_ = 0;
   VectorClock vd_;  // contiguous causally-delivered count per sender
   std::deque<PendingMessage> pending_;
+  // Buffering-during-churn (overlay): frames tagged with a view id ahead of
+  // ours, held until that view installs here — the install's redistribution
+  // closes any causal gap before these re-enter Ingest.
+  std::deque<PendingMessage> pre_view_;
   // Fast duplicate check for pending_. Pool-backed: entries come and go once
   // per out-of-order arrival, and tree nodes are exactly the churn the
   // size-class pool exists for.

@@ -90,6 +90,27 @@ std::string CheckCausalDeliveryInvariant(const std::vector<GroupFabric::Record>&
   return "";
 }
 
+std::string CheckCausalOrderLinear(const std::vector<GroupFabric::Record>& records) {
+  std::map<MemberId, VectorClock> watermark;  // per member: max over delivered vts
+  for (const auto& record : records) {
+    if (record.delivery.mode() == OrderingMode::kUnordered) {
+      continue;
+    }
+    const MessageId id = record.delivery.id();
+    VectorClock& h = watermark[record.at];
+    // Check before merging: the message's own timestamp counts itself.
+    if (h.Get(id.sender) >= id.seq) {
+      std::ostringstream out;
+      out << "member " << record.at << ": " << id.ToString()
+          << " delivered after a message that already counted it (watermark "
+          << h.Get(id.sender) << " >= seq " << id.seq << ")";
+      return out.str();
+    }
+    h.Merge(record.delivery.vt());
+  }
+  return "";
+}
+
 std::string CheckTotalOrderInvariant(const std::vector<GroupFabric::Record>& records) {
   std::map<MemberId, std::vector<std::pair<uint64_t, MessageId>>> by_member;
   for (const auto& record : records) {

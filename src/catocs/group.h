@@ -82,6 +82,14 @@ class GroupFabric {
 // string on success, else a description of the first violation.
 std::string CheckCausalDeliveryInvariant(const std::vector<GroupFabric::Record>& records);
 
+// Same invariant, checked in O(records · clock entries) instead of O(records²)
+// — the form the N=1k–10k scale sweeps can afford. Exact, not a relaxation:
+// per member it keeps a watermark H = pointwise max over delivered timestamps;
+// delivering (q, s) while H[q] >= s means some already-delivered message
+// counted (q, s) in its causal past — precisely a causal inversion — and
+// H[q] < s for all prior deliveries means none did.
+std::string CheckCausalOrderLinear(const std::vector<GroupFabric::Record>& records);
+
 // Total-order agreement: the sequence of kTotal deliveries (by total_seq) is
 // a prefix-consistent identical sequence at every member. Empty string on
 // success.

@@ -28,8 +28,12 @@ GroupMember::GroupMember(sim::Simulator* simulator, net::Transport* transport, G
   assert(std::find(core_.view.members.begin(), core_.view.members.end(), core_.self) !=
          core_.view.members.end());
 
+  core_.RebuildOverlay();
   pipeline_ = PipelineBuilder(&core_).AddDefaultStack().Build();
-  if (core_.config.batching > 1) {
+  // No sender batching in overlay mode: coalescing happens per-link on the
+  // tree (every forward is a single frame to O(1) neighbors already), and the
+  // batcher's direct-broadcast flush would bypass the overlay entirely.
+  if (core_.config.batching > 1 && !core_.overlay_mode()) {
     batcher_ = std::make_unique<SenderBatcher>(&core_);
   }
   if (core_.config.budget.bounded()) {
@@ -75,7 +79,9 @@ void GroupMember::SetStateApplier(StateApplier fn) {
   core_.state_applier = std::move(fn);
 }
 
-void GroupMember::ReportFailure(MemberId suspect) { core_.membership->ReportFailure(suspect); }
+void GroupMember::ReportFailure(MemberId suspect, bool deliberate) {
+  core_.membership->ReportFailure(suspect, deliberate);
+}
 
 void GroupMember::Start() {
   if (core_.started) {
@@ -184,6 +190,16 @@ SendResult GroupMember::SendInternal(OrderingMode mode, net::PayloadPtr payload,
   // then fan out — immediately, or through the batcher, which also owns the
   // header-byte charge for the coalesced frame.
   GroupDataPtr shared = std::move(data);
+  if (core_.overlay_mode()) {
+    // Constant-metadata path: no direct multicast. Self-delivery with
+    // from=self runs forward-on-delivery, which pushes the frame onto every
+    // overlay link in causal delivery order (DESIGN.md §11) — the per-link
+    // transmission and header charges happen there, one hop at a time.
+    assert(mode != OrderingMode::kTotal && "overlay path orders causally only");
+    core_.causal->Ingest(shared, /*observe_acks=*/true, core_.self);
+    core_.SyncTransportBudget();
+    return SendResult{SendStatus::kSent, id};
+  }
   core_.causal->Ingest(shared);
   if (batcher_ != nullptr) {
     batcher_->Append(shared);
@@ -191,6 +207,7 @@ SendResult GroupMember::SendInternal(OrderingMode mode, net::PayloadPtr payload,
     return SendResult{SendStatus::kSent, id};
   }
   core_.stats.ordering_header_bytes += shared->HeaderBytes() * (core_.view.members.size() - 1);
+  core_.stats.data_transmissions += core_.view.members.size() - 1;
   core_.BroadcastReliable(GroupPorts::Data(core_.config.group_id), shared);
   core_.SyncTransportBudget();
   return SendResult{SendStatus::kSent, id};

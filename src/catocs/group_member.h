@@ -76,7 +76,10 @@ class GroupMember {
   // Feeds an externally detected failure (e.g. a transport retransmission
   // give-up) into the membership layer, triggering the same flush a
   // heartbeat timeout would. No-op for non-members or without membership.
-  void ReportFailure(MemberId suspect);
+  // A deliberate report (operator eviction, laggard shedding) bypasses the
+  // fresh-evidence veto: hearing from the member recently is not contradicting
+  // evidence when the point is to evict it while alive.
+  void ReportFailure(MemberId suspect, bool deliberate = false);
 
   // Starts background machinery (ack gossip, heartbeats, token circulation).
   // Must be called once before the first Send.

@@ -50,11 +50,16 @@ VectorClock& HybridBuffer::Row(MemberId member) {
 
 void HybridBuffer::UpdateMemberVector(MemberId member, const VectorClock& vec) {
   VectorClock& row = Row(member);
+  // Only raises to a current member's row can move a per-sender minimum;
+  // non-member rows (late reports from evicted ids) never count toward it.
+  const bool counted =
+      AllReported() && std::binary_search(members_.begin(), members_.end(), member);
   for (const auto& [sender, count] : vec.entries()) {
-    if (count > row.Get(sender)) {
+    const uint64_t old_value = row.Get(sender);
+    if (count > old_value) {
       row.RaiseTo(sender, count);
-      if (AllReported()) {
-        RaiseFloorEntry(sender);
+      if (counted) {
+        NoteRowRaise(sender, old_value);
       }
     }
   }
@@ -62,12 +67,13 @@ void HybridBuffer::UpdateMemberVector(MemberId member, const VectorClock& vec) {
 
 void HybridBuffer::UpdateMemberEntry(MemberId member, MemberId sender, uint64_t count) {
   VectorClock& row = Row(member);
-  if (count <= row.Get(sender)) {
+  const uint64_t old_value = row.Get(sender);
+  if (count <= old_value) {
     return;
   }
   row.RaiseTo(sender, count);
-  if (AllReported()) {
-    RaiseFloorEntry(sender);
+  if (AllReported() && std::binary_search(members_.begin(), members_.end(), member)) {
+    NoteRowRaise(sender, old_value);
   }
 }
 
@@ -115,23 +121,47 @@ MemberId HybridBuffer::SlowestMemberFor(MemberId sender) const {
   return slowest;
 }
 
-void HybridBuffer::RaiseFloorEntry(MemberId sender) {
-  uint64_t min_count = UINT64_MAX;
-  for (MemberId member : members_) {
-    min_count = std::min(min_count, MatrixRowIfPresent(delivered_by_, member)->Get(sender));
-    if (min_count == 0) {
-      return;
-    }
+void HybridBuffer::NoteRowRaise(MemberId sender, uint64_t old_value) {
+  auto it = floor_min_.find(sender);
+  if (it == floor_min_.end()) {
+    // First raise on this column since the cache was (in)validated: pay the
+    // scan once, then stay incremental.
+    it = floor_min_.emplace(sender, ScanMin(sender)).first;
+  } else if (old_value > it->second.value) {
+    return;  // the advanced row sat above the minimum; it is unchanged
+  } else if (--it->second.rows_at_value > 0) {
+    return;  // other rows still hold the old minimum
+  } else {
+    // The last row at the minimum advanced, so the column minimum moved —
+    // the rescan is amortized against this floor advance.
+    it->second = ScanMin(sender);
   }
-  if (members_.empty() || min_count <= floor_.Get(sender)) {
+  const uint64_t min_count = it->second.value;
+  if (min_count <= floor_.Get(sender)) {
     return;
   }
   floor_.RaiseTo(sender, min_count);
   ReleaseStable(sender, min_count);
 }
 
+HybridBuffer::FloorMin HybridBuffer::ScanMin(MemberId sender) const {
+  // Callers guarantee members_ is non-empty (the raised row belongs to a
+  // current member) and every member has a row (AllReported()).
+  FloorMin min{UINT64_MAX, 0};
+  for (MemberId member : members_) {
+    const uint64_t value = MatrixRowIfPresent(delivered_by_, member)->Get(sender);
+    if (value < min.value) {
+      min = {value, 1};
+    } else if (value == min.value) {
+      ++min.rows_at_value;
+    }
+  }
+  return min;
+}
+
 void HybridBuffer::RecomputeFloor() {
   floor_ = VectorClock{};
+  floor_min_.clear();
   if (!AllReported() || members_.empty()) {
     return;
   }

@@ -59,9 +59,26 @@ class HybridBuffer : public CausalBufferStrategy {
   // Returns `member`'s progress row, creating it (and handling the
   // everyone-has-now-reported transition) on first contact.
   VectorClock& Row(MemberId member);
-  // Recomputes one sender's floor after a row advanced on that coordinate;
-  // releases newly stable buffered copies immediately.
-  void RaiseFloorEntry(MemberId sender);
+  // Incremental per-sender minimum over the member rows. Without it every
+  // advanced coordinate pays an O(N) column rescan, and since every causal
+  // delivery feeds ObserveDeliveredTimestamp the per-delivery cost becomes
+  // O(N * entries) — at N=1024 that turns the E21 sweep from seconds into
+  // hours. Rows only ever advance, so the cached minimum stays exact: a
+  // raise from above the minimum cannot move it, and the column is rescanned
+  // only when the last row holding the minimum leaves it — which is exactly
+  // a floor advance, so rescans amortize against messages sent. Valid only
+  // while AllReported(); rebuilt lazily per sender and invalidated wholesale
+  // by RecomputeFloor() (membership changes, all-reported transitions).
+  struct FloorMin {
+    uint64_t value = 0;
+    size_t rows_at_value = 0;
+  };
+  // A current member's row just advanced on `sender`'s coordinate from
+  // `old_value`: update the cached minimum and, if it moved, raise the floor
+  // and release newly stable buffered copies immediately.
+  void NoteRowRaise(MemberId sender, uint64_t old_value);
+  // Authoritative O(N log N) rescan of `sender`'s column over member rows.
+  FloorMin ScanMin(MemberId sender) const;
   // Full floor recompute + release, for membership changes and the
   // all-reported transition.
   void RecomputeFloor();
@@ -75,6 +92,8 @@ class HybridBuffer : public CausalBufferStrategy {
   size_t row_cache_ = 0;  // last-touched row index, validated before use
   size_t reporting_ = 0;  // how many of members_ have a row
   VectorClock floor_;     // per-sender stability floor; valid iff AllReported()
+  // Cached per-sender column minimum backing floor_ (see FloorMin above).
+  std::map<MemberId, FloorMin> floor_min_;
   RetentionRing buffer_;  // per-sender lanes, same churn profile as the full tracker
   size_t buffered_bytes_ = 0;
   size_t peak_count_ = 0;

@@ -24,6 +24,7 @@
 #include "src/catocs/message.h"
 #include "src/catocs/pipeline_stats.h"
 #include "src/catocs/types.h"
+#include "src/net/overlay.h"
 #include "src/net/transport.h"
 #include "src/obs/provenance.h"
 #include "src/sim/simulator.h"
@@ -97,6 +98,23 @@ struct GroupCore {
   // (GroupMember::DeclareDependency); attached to the message when its id is
   // allocated, preserved across a flush-blocked queue round trip.
   std::vector<MessageId> pending_deps;
+
+  // Spanning overlay for the constant-metadata dissemination path
+  // (DESIGN.md §11). Only meaningful in overlay mode; rebuilt from the
+  // sorted member list at construction and at every view install, so every
+  // member computes the same tree without negotiation.
+  net::SpanningOverlay overlay;
+
+  // Overlay mode changes the send path itself (tree flooding instead of
+  // direct multicast), not just the retention strategy — layers branch on
+  // this, and everything behind it is unreachable at the default config.
+  bool overlay_mode() const { return config.causal_buffer == CausalBufferKind::kOverlay; }
+
+  void RebuildOverlay() {
+    if (overlay_mode()) {
+      overlay.Rebuild(view.members, self);
+    }
+  }
 
   bool observing() const { return config.observability; }
 

@@ -150,6 +150,17 @@ void MembershipLayer::OnJoinRequest(const JoinRequest& request) {
 
 void MembershipLayer::SendHeartbeats() {
   auto hb = std::make_shared<Heartbeat>(core_->config.group_id, core_->view.id);
+  if (core_->overlay_mode()) {
+    // Overlay mode heartbeats only the tree links: those are the links whose
+    // failure actually partitions dissemination, and all-to-all heartbeating
+    // is O(N²) frames per interval — the other scaling wall at N=10k. A
+    // detected neighbor failure still triggers the global flush protocol.
+    for (MemberId neighbor : core_->overlay.neighbors()) {
+      core_->transport->SendUnreliable(neighbor, GroupPorts::Membership(core_->config.group_id),
+                                       hb);
+    }
+    return;
+  }
   for (MemberId member : core_->view.members) {
     if (member != core_->self) {
       core_->transport->SendUnreliable(member, GroupPorts::Membership(core_->config.group_id), hb);
@@ -161,6 +172,12 @@ void MembershipLayer::CheckFailures() {
   const sim::TimePoint now = core_->simulator->now();
   for (MemberId member : core_->view.members) {
     if (member == core_->self || suspected_.count(member)) {
+      continue;
+    }
+    // Overlay mode: we only *expect* heartbeats from tree neighbors, so
+    // silence from anyone else is not evidence (SuspectNotice floods still
+    // propagate remote suspicions group-wide).
+    if (core_->overlay_mode() && !core_->overlay.IsNeighbor(member)) {
       continue;
     }
     auto it = last_heard_.find(member);
@@ -495,7 +512,12 @@ void MembershipLayer::OnViewInstall(const ViewInstall& install) {
   core_->view.id = install.view_id();
   core_->view.members = install.members();
   std::sort(core_->view.members.begin(), core_->view.members.end());
+  // The overlay is a pure function of the (sorted) member list — rebuild
+  // before the layers react so stability's report set and causal's stash
+  // drain both see the new tree.
+  core_->RebuildOverlay();
   core_->stability->OnViewChange(core_->view);
+  core_->causal->OnViewChange(core_->view);
   for (MemberId gone : suspected_) {
     last_heard_.erase(gone);
   }

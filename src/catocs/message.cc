@@ -33,6 +33,9 @@ GroupDataPtr StripPiggyback(const GroupDataPtr& data) {
   auto stripped = mem::MakePooled<GroupData>(data->group(), data->id(), data->mode(), data->vt(),
                                              data->app_payload(), data->sent_at());
   stripped->set_acks(data->acks());
+  if (data->is_overlay()) {
+    stripped->set_overlay_view(data->overlay_view());
+  }
   return stripped;
 }
 
@@ -45,18 +48,24 @@ size_t GroupData::SizeBytes() const {
 }
 
 std::vector<net::HeaderSection> GroupData::HeaderSections() const {
-  // Base frame: group(4) + sender(4) + seq(8) + mode(1).
-  return {{"frame", 17},
-          {"causal", wire_vt_.has_value() ? wire_vt_->SizeBytes() : vt_.SizeBytes()},
-          {"stability", acks_.SizeBytes()}};
+  // Base frame: group(4) + sender(4) + seq(8) + mode(1). The causal section
+  // is whichever wire form the frame travels under: the constant overlay
+  // header, the delta/keyframe encoding, or the full clock.
+  return {{"frame", 17}, {"causal", CausalHeaderBytes()}, {"stability", acks_.SizeBytes()}};
+}
+
+size_t GroupData::CausalHeaderBytes() const {
+  if (overlay_view_ != 0) {
+    return kOverlayHeaderBytes;
+  }
+  return wire_vt_.has_value() ? wire_vt_->SizeBytes() : vt_.SizeBytes();
 }
 
 size_t GroupData::HeaderBytes() const {
   // Same arithmetic as HeaderSections(), computed directly: this runs once
   // per send per destination, and materializing the section vector was
   // measurable on the fan-out path.
-  return 17 + (wire_vt_.has_value() ? wire_vt_->SizeBytes() : vt_.SizeBytes()) +
-         acks_.SizeBytes();
+  return 17 + CausalHeaderBytes() + acks_.SizeBytes();
 }
 
 GroupBatch::GroupBatch(GroupId group, std::vector<GroupDataPtr> entries)

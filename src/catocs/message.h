@@ -76,6 +76,8 @@ class GroupData : public net::Payload {
 
   // Ordering metadata charged as header bytes: the sum of HeaderSections().
   size_t HeaderBytes() const;
+  // Just the causal section: overlay header, wire delta, or full clock.
+  size_t CausalHeaderBytes() const;
 
   GroupId group() const { return group_; }
   const MessageId& id() const { return id_; }
@@ -109,6 +111,16 @@ class GroupData : public net::Payload {
   void set_wire_vt(WireVt wire) { wire_vt_.emplace(std::move(wire)); }
   const WireVt* wire_vt() const { return wire_vt_.has_value() ? &*wire_vt_ : nullptr; }
 
+  // Overlay dissemination (CausalBufferKind::kOverlay): the frame travels
+  // over the spanning overlay and its causal header is the constant-size
+  // overlay form — the view id the sender stamped it in — instead of any
+  // clock (wire_codec.h's kOverlayHeaderBytes). View ids start at 1, so 0
+  // doubles as "not an overlay frame". The internal vt_ is still stamped for
+  // the invariant oracles but is never charged or consulted on the wire.
+  void set_overlay_view(uint64_t view_id) { overlay_view_ = view_id; }
+  bool is_overlay() const { return overlay_view_ != 0; }
+  uint64_t overlay_view() const { return overlay_view_; }
+
  private:
   GroupId group_;
   MessageId id_;
@@ -119,6 +131,7 @@ class GroupData : public net::Payload {
   VectorClock acks_;
   std::vector<std::shared_ptr<const GroupData>> piggyback_;
   std::optional<WireVt> wire_vt_;
+  uint64_t overlay_view_ = 0;  // 0 = not an overlay frame
 };
 
 using GroupDataPtr = std::shared_ptr<const GroupData>;
@@ -201,6 +214,38 @@ class AckVector : public net::Payload {
  private:
   GroupId group_;
   VectorClock delivered_;
+};
+
+// Tree-aggregated stability traffic for the overlay path (DESIGN.md §11).
+// Two directions share the frame: an up-report carries the minimum of the
+// sender's own delivered-vector and its children's last up-reports (its
+// subtree's delivery floor), sent to its overlay parent; an announcement is
+// the root's global minimum flooded down the tree, which every member adopts
+// as its release floor. Per gossip round each member sends O(1) of these
+// (degree ≤ arity+1), vs. the N ack-vectors of flat gossip.
+// Every frame is tagged with the sender's view id: subtree floors are only
+// meaningful against the tree both ends computed from the same view, so
+// receivers drop mismatches and aggregation restarts from same-view evidence
+// after every rewire (overlay_buffer.h).
+class StabilityFloor : public net::Payload {
+ public:
+  StabilityFloor(GroupId group, uint64_t view_id, bool announce, VectorClock floor)
+      : group_(group), view_id_(view_id), announce_(announce), floor_(std::move(floor)) {}
+
+  // view id(8) + direction flag(1) + the carried clock.
+  size_t SizeBytes() const override { return 9 + floor_.SizeBytes(); }
+  std::string Describe() const override { return announce_ ? "floor-announce" : "floor-up"; }
+
+  GroupId group() const { return group_; }
+  uint64_t view_id() const { return view_id_; }
+  bool announce() const { return announce_; }
+  const VectorClock& floor() const { return floor_; }
+
+ private:
+  GroupId group_;
+  uint64_t view_id_;
+  bool announce_;
+  VectorClock floor_;
 };
 
 // Token for the rotating-sequencer total-order variant. Carries a bounded

@@ -53,6 +53,7 @@ void SenderBatcher::FlushNow() {
   core_->stats.batched_data_msgs += batch->entries().size();
   core_->stats.ordering_header_bytes +=
       batch->HeaderBytes() * (core_->view.members.size() - 1);
+  core_->stats.data_transmissions += core_->view.members.size() - 1;
   if (core_->observing()) {
     // Close every constituent's batch-hold span: the frame is leaving now,
     // so each one records its own (enter -> deliver) wait individually.

@@ -1,11 +1,13 @@
 #include "src/catocs/stability_layer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 #include "src/catocs/causal_layer.h"
 #include "src/catocs/flow_control.h"
 #include "src/catocs/membership_layer.h"
+#include "src/catocs/overlay_buffer.h"
 #include "src/mem/pool.h"
 
 namespace catocs {
@@ -16,7 +18,16 @@ StabilityLayer::StabilityLayer(GroupCore* core)
   if (core->config.budget.bounded()) {
     strategy_->SetBudget(&core->budget);
   }
+  if (core->overlay_mode()) {
+    overlay_strategy_ = static_cast<OverlayCausalStrategy*>(strategy_.get());
+  }
   strategy_->SetMembers(core->view.members);
+  if (overlay_strategy_ != nullptr) {
+    // The founding view's tree is already built (the facade rebuilds the
+    // overlay before assembling the pipeline); later rewires come through
+    // OnViewChange.
+    overlay_strategy_->SetReportSet(core->self, core->overlay.children());
+  }
   if (core->config.observability) {
     strategy_->SetReleaseObserver(
         [this](const GroupDataPtr& msg, const char* cause) { OnBufferRelease(msg, cause); });
@@ -38,7 +49,10 @@ void StabilityLayer::OnStop() {
 }
 
 void StabilityLayer::OnSend(GroupData& data) {
-  if (core_->config.piggyback_acks) {
+  // Overlay mode: no piggybacked ack vectors — a per-message delivered-vector
+  // is exactly the O(N) header the constant-metadata path forbids. Stability
+  // evidence travels on the tree floor frames instead.
+  if (core_->config.piggyback_acks && !core_->overlay_mode()) {
     data.set_acks(core_->causal->delivered());
   }
   if (core_->config.piggyback_causal) {
@@ -57,6 +71,12 @@ bool StabilityLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadPt
   if (port != GroupPorts::Ack(core_->config.group_id)) {
     return false;
   }
+  if (const auto* floor = net::PayloadCast<StabilityFloor>(payload)) {
+    if (floor->group() == core_->config.group_id) {
+      OnStabilityFloor(src, *floor);
+    }
+    return true;
+  }
   const auto* acks = net::PayloadCast<AckVector>(payload);
   assert(acks != nullptr);
   if (acks->group() != core_->config.group_id) {
@@ -66,8 +86,50 @@ bool StabilityLayer::OnReceive(MemberId src, uint32_t port, const net::PayloadPt
   return true;
 }
 
+void StabilityLayer::OnStabilityFloor(MemberId src, const StabilityFloor& frame) {
+  // A floor computed against another tree must not be read against ours:
+  // subtrees are a pure function of the view, so a view-id mismatch means the
+  // evidence sets don't line up (see overlay_buffer.h). Drop it; aggregation
+  // re-converges from same-view reports within ~depth gossip rounds.
+  if (overlay_strategy_ == nullptr || frame.view_id() != core_->view.id) {
+    return;
+  }
+  if (frame.announce()) {
+    // Root's global floor flooding down: adopt, release, relay to our own
+    // children (same frame — the view id still matches by construction).
+    if (overlay_strategy_->AdoptFloor(frame.floor())) {
+      ++core_->stats.overlay_floor_updates;
+      if (core_->flow != nullptr) {
+        core_->flow->OnProgress();
+      }
+    }
+    for (MemberId child : core_->overlay.children()) {
+      core_->transport->SendUnreliable(child, GroupPorts::Ack(core_->config.group_id),
+                                       mem::MakePooled<StabilityFloor>(
+                                           core_->config.group_id, frame.view_id(),
+                                           /*announce=*/true, frame.floor()));
+      ++core_->stats.ack_msgs_sent;
+    }
+    return;
+  }
+  // A child's subtree floor: fold it into the aggregation matrix. It only
+  // counts if src actually is one of our children under this tree — a frame
+  // from anyone else raced a rewire and its subtree claim is meaningless.
+  const auto& children = core_->overlay.children();
+  if (std::find(children.begin(), children.end(), src) != children.end()) {
+    overlay_strategy_->UpdateMemberVector(src, frame.floor());
+  }
+}
+
 void StabilityLayer::OnViewChange(const View& view) {
   strategy_->SetMembers(view.members);
+  if (overlay_strategy_ != nullptr) {
+    // New tree, new aggregation set: forget child reports from the old tree
+    // (their subtree claims no longer describe our subtrees) and restart from
+    // same-view evidence. The adopted release floor survives — see
+    // overlay_buffer.h for why that stays safe across views.
+    overlay_strategy_->SetReportSet(core_->self, core_->overlay.children());
+  }
   strategy_->Prune();
   if (core_->flow != nullptr) {
     core_->flow->OnProgress();
@@ -139,6 +201,10 @@ void StabilityLayer::GossipAcks() {
   if (core_->membership->flushing()) {
     return;
   }
+  if (overlay_strategy_ != nullptr) {
+    GossipOverlayFloor();
+    return;
+  }
   strategy_->Prune();
   auto acks = mem::MakePooled<AckVector>(core_->config.group_id, core_->causal->delivered());
   for (MemberId member : core_->view.members) {
@@ -146,6 +212,37 @@ void StabilityLayer::GossipAcks() {
       core_->transport->SendUnreliable(member, GroupPorts::Ack(core_->config.group_id), acks);
       ++core_->stats.ack_msgs_sent;
     }
+  }
+}
+
+void StabilityLayer::GossipOverlayFloor() {
+  // Refresh our own row (self's delivered-vector is always honest evidence
+  // about self's subtree leaf contribution), then fold in the children's
+  // last up-reports.
+  overlay_strategy_->UpdateMemberVector(core_->self, core_->causal->delivered());
+  VectorClock subtree = overlay_strategy_->SubtreeFloor();
+  if (core_->overlay.is_root()) {
+    // Our subtree is the whole view: the subtree floor IS the global floor.
+    if (overlay_strategy_->AdoptFloor(subtree)) {
+      ++core_->stats.overlay_floor_updates;
+      if (core_->flow != nullptr) {
+        core_->flow->OnProgress();
+      }
+    }
+    const VectorClock global = overlay_strategy_->StableVector();
+    for (MemberId child : core_->overlay.children()) {
+      core_->transport->SendUnreliable(
+          child, GroupPorts::Ack(core_->config.group_id),
+          mem::MakePooled<StabilityFloor>(core_->config.group_id, core_->view.id,
+                                          /*announce=*/true, global));
+      ++core_->stats.ack_msgs_sent;
+    }
+  } else if (core_->overlay.in_overlay() && subtree.entry_count() > 0) {
+    core_->transport->SendUnreliable(
+        core_->overlay.parent(), GroupPorts::Ack(core_->config.group_id),
+        mem::MakePooled<StabilityFloor>(core_->config.group_id, core_->view.id,
+                                        /*announce=*/false, std::move(subtree)));
+    ++core_->stats.ack_msgs_sent;
   }
 }
 

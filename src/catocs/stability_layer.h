@@ -17,6 +17,8 @@
 
 namespace catocs {
 
+class OverlayCausalStrategy;
+
 class StabilityLayer : public OrderingLayer {
  public:
   explicit StabilityLayer(GroupCore* core);
@@ -51,12 +53,20 @@ class StabilityLayer : public OrderingLayer {
  private:
   void MaybePrune();
   void GossipAcks();
+  // Overlay replacement for flat ack gossip: up-report the subtree floor to
+  // the overlay parent, or (at the root) adopt it and flood the announcement
+  // down. O(degree) frames per member per round instead of O(N).
+  void GossipOverlayFloor();
+  void OnStabilityFloor(MemberId src, const StabilityFloor& frame);
   // Observability: a buffered copy became stable and left the strategy.
   // `cause` names the release mechanism ("prune", "floor", "floor-sweep") —
   // it rides into the span note and the retention-hold provenance.
   void OnBufferRelease(const GroupDataPtr& msg, const char* cause);
 
   std::unique_ptr<CausalBufferStrategy> strategy_;
+  // Downcast view of strategy_ when the group runs the overlay path; null
+  // otherwise, so non-overlay code never even branches past the pointer.
+  OverlayCausalStrategy* overlay_strategy_ = nullptr;
   sim::TimePoint last_prune_ = sim::TimePoint::Zero();
   std::unique_ptr<sim::PeriodicTimer> gossip_timer_;
   // When each retained copy entered the buffer; maintained only under

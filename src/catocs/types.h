@@ -33,6 +33,11 @@ enum class TotalOrderMode {
 enum class CausalBufferKind {
   kFullVector,  // StabilityTracker: throttled matrix-walk pruning
   kHybrid,      // HybridBuffer: incremental floors + causal-evidence pruning
+  // OverlayCausalStrategy + the spanning-overlay dissemination path
+  // (DESIGN.md §11): O(1) control bytes per message, FIFO flooding over
+  // src/net/overlay.h, tree-aggregated stability. Selecting it changes the
+  // send path itself, not just retention — see GroupCore::overlay_mode().
+  kOverlay,
 };
 
 // What a sender does when flow control refuses admission (DESIGN.md §10):
@@ -216,6 +221,11 @@ struct GroupStats {
   uint64_t ack_msgs_sent = 0;
   uint64_t token_passes = 0;
   uint64_t ordering_header_bytes = 0;  // VT + ack headers on data we sent
+  // Data-frame transmissions those header bytes rode on (N−1 per direct
+  // multicast, one per overlay forward, fanout per batch frame) —
+  // ordering_header_bytes / data_transmissions is the metadata bytes/msg
+  // figure E21 and bench.sh report.
+  uint64_t data_transmissions = 0;
   uint64_t piggyback_msgs_carried = 0;
   uint64_t piggyback_bytes = 0;
   uint64_t flushes_completed = 0;
@@ -254,6 +264,12 @@ struct GroupStats {
   uint64_t sends_shed = 0;           // dropped by the shed-new policy
   uint64_t flow_reopen_wakeups = 0;  // window reopenings (retry tick or ack progress)
   uint64_t laggards_reported = 0;    // evict-laggard hand-offs to membership
+
+  // --- Overlay dissemination (DESIGN.md §11) --------------------------------
+  uint64_t overlay_forwards = 0;      // data frames pushed onto tree links
+  uint64_t overlay_prebuffered = 0;   // frames stashed until their view installed
+  uint64_t overlay_stale_dropped = 0; // old-view frames dropped (provable dups)
+  uint64_t overlay_floor_updates = 0; // release-floor announcements adopted
 };
 
 }  // namespace catocs

@@ -25,6 +25,17 @@
 
 namespace catocs {
 
+// The third wire form, next to the full clock and the keyframe/delta pair:
+// the overlay path's constant-size causal header (DESIGN.md §11). A frame
+// disseminated over the spanning overlay carries no clock at all — causal
+// order falls out of FIFO links plus forward-in-delivery-order — only the
+// sender's view id (8) and a flag byte (1), so the causal header is O(1) in
+// both group size and delivery history. GroupData::HeaderSections charges
+// this instead of the clock when the overlay header is set; the clock the
+// simulator still stamps internally is bookkeeping for the oracles and is
+// never transmitted.
+constexpr size_t kOverlayHeaderBytes = 9;
+
 // Number of entries in `cur` that differ from `prev` (null prev = all of
 // them). Two-pointer scan over the sorted entry vectors.
 size_t DeltaEntryCount(const VectorClock* prev, const VectorClock& cur);

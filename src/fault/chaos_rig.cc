@@ -10,6 +10,9 @@ ChaosRig::ChaosRig(sim::Simulator* simulator, ChaosRigConfig config)
     : simulator_(simulator), config_(std::move(config)) {
   assert(config_.num_slots >= 2);
   config_.group.enable_membership = true;
+  if (config_.group.causal_buffer == catocs::CausalBufferKind::kOverlay) {
+    config_.causal_only = true;
+  }
   network_ = std::make_unique<net::Network>(
       simulator_, std::make_unique<net::UniformLatency>(config_.latency_lo, config_.latency_hi),
       config_.network);
@@ -111,8 +114,8 @@ void ChaosRig::WorkloadTick(size_t slot) {
   for (size_t i = 0; i < burst; ++i) {
     const uint64_t counter = ++inc.send_counter;
     const uint64_t key = (static_cast<uint64_t>(inc.id) << 32) | counter;
-    const auto mode =
-        counter % 3 == 0 ? catocs::OrderingMode::kTotal : catocs::OrderingMode::kCausal;
+    const auto mode = (!config_.causal_only && counter % 3 == 0) ? catocs::OrderingMode::kTotal
+                                                                 : catocs::OrderingMode::kCausal;
     ++sends_issued_;
     const catocs::SendResult result = inc.member->TrySend(
         mode, std::make_shared<ChaosUpdate>(key, counter, config_.payload_bytes));

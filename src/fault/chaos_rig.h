@@ -43,6 +43,9 @@ struct ChaosRigConfig {
   sim::Duration workload_interval = sim::Duration::Millis(15);
   size_t payload_bytes = 64;
   size_t workload_burst = 1;
+  // Keep every send causal (no total-order thirds). Forced on for the
+  // overlay buffer, whose dissemination path orders causally only.
+  bool causal_only = false;
 };
 
 class ChaosRig {

@@ -1,5 +1,6 @@
 #include "src/net/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -11,11 +12,23 @@ Network::Network(sim::Simulator* simulator, std::unique_ptr<LatencyModel> latenc
   assert(latency_ != nullptr);
 }
 
-void Network::Attach(NodeId node) { endpoints_.try_emplace(node); }
+void Network::Attach(NodeId node) {
+  if (node >= endpoints_.size()) {
+    endpoints_.resize(node + 1);
+  }
+  endpoints_[node].attached = true;
+}
 
 void Network::RegisterHandler(NodeId node, uint32_t port, PacketHandler handler) {
   Attach(node);
-  endpoints_[node].handlers[port] = std::move(handler);
+  auto& handlers = endpoints_[node].handlers;
+  auto it = std::lower_bound(handlers.begin(), handlers.end(), port,
+                             [](const auto& entry, uint32_t p) { return entry.first < p; });
+  if (it != handlers.end() && it->first == port) {
+    it->second = std::move(handler);
+  } else {
+    handlers.insert(it, {port, std::move(handler)});
+  }
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {
@@ -23,21 +36,13 @@ void Network::SetNodeUp(NodeId node, bool up) {
   endpoints_[node].up = up;
 }
 
-bool Network::IsNodeUp(NodeId node) const {
-  auto it = endpoints_.find(node);
-  return it != endpoints_.end() && it->second.up;
-}
-
-bool Network::Reachable(NodeId src, NodeId dst) const {
-  if (partition_id_.empty()) {
-    return true;
+const PacketHandler* Network::FindHandler(const Endpoint& endpoint, uint32_t port) const {
+  auto it = std::lower_bound(endpoint.handlers.begin(), endpoint.handlers.end(), port,
+                             [](const auto& entry, uint32_t p) { return entry.first < p; });
+  if (it == endpoint.handlers.end() || it->first != port) {
+    return nullptr;
   }
-  auto a = partition_id_.find(src);
-  auto b = partition_id_.find(dst);
-  // Nodes not named in the partition spec form an implicit extra component.
-  const size_t ca = a == partition_id_.end() ? SIZE_MAX : a->second;
-  const size_t cb = b == partition_id_.end() ? SIZE_MAX : b->second;
-  return ca == cb;
+  return &it->second;
 }
 
 bool Network::Send(NodeId src, NodeId dst, uint32_t port, PayloadPtr payload,
@@ -70,7 +75,7 @@ bool Network::Send(NodeId src, NodeId dst, uint32_t port, PayloadPtr payload,
 sim::Duration Network::SampleScaledDelay(NodeId src, NodeId dst) {
   sim::Duration delay = latency_->SampleDelay(src, dst, simulator_->rng());
   double scale = latency_scale_;
-  if (!inbound_scale_.empty()) {
+  if (inbound_scaled_count_ > 0) {
     scale *= node_inbound_scale(dst);
   }
   if (scale != 1.0) {
@@ -90,21 +95,42 @@ void Network::Multicast(NodeId src, const std::vector<NodeId>& dsts, uint32_t po
   }
 }
 
-void Network::Partition(const std::vector<std::set<NodeId>>& components) {
-  partition_id_.clear();
-  for (size_t i = 0; i < components.size(); ++i) {
-    for (NodeId node : components[i]) {
-      partition_id_[node] = i;
+void Network::set_node_inbound_scale(NodeId node, double scale) {
+  if (node >= inbound_scale_.size()) {
+    if (scale == 1.0) {
+      return;
     }
+    inbound_scale_.resize(node + 1, 1.0);
+  }
+  const bool was_scaled = inbound_scale_[node] != 1.0;
+  const bool now_scaled = scale != 1.0;
+  inbound_scale_[node] = scale;
+  if (was_scaled != now_scaled) {
+    inbound_scaled_count_ += now_scaled ? 1 : -1;
   }
 }
 
-void Network::HealPartition() { partition_id_.clear(); }
+void Network::Partition(const std::vector<std::set<NodeId>>& components) {
+  partition_id_.assign(partition_id_.size(), SIZE_MAX);
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (NodeId node : components[i]) {
+      if (node >= partition_id_.size()) {
+        partition_id_.resize(node + 1, SIZE_MAX);
+      }
+      partition_id_[node] = i;
+    }
+  }
+  partition_active_ = !components.empty();
+}
+
+void Network::HealPartition() {
+  partition_id_.assign(partition_id_.size(), SIZE_MAX);
+  partition_active_ = false;
+}
 
 void Network::Deliver(Packet packet, sim::Duration delay) {
   simulator_->ScheduleAfter(delay, [this, packet = std::move(packet)] {
-    auto it = endpoints_.find(packet.dst);
-    if (it == endpoints_.end() || !it->second.up) {
+    if (!IsNodeUp(packet.dst)) {
       ++packets_dropped_;
       return;
     }
@@ -114,13 +140,13 @@ void Network::Deliver(Packet packet, sim::Duration delay) {
       ++packets_dropped_;
       return;
     }
-    auto handler = it->second.handlers.find(packet.port);
-    if (handler == it->second.handlers.end()) {
+    const PacketHandler* handler = FindHandler(endpoints_[packet.dst], packet.port);
+    if (handler == nullptr) {
       ++packets_dropped_;
       return;
     }
     ++packets_delivered_;
-    handler->second(packet);
+    (*handler)(packet);
   });
 }
 

@@ -5,6 +5,13 @@
 // no implicit FIFO guarantee between a pair of nodes — exactly the
 // environment that makes ordering protocols non-trivial. Reliability and
 // ordering are built above this in transport.h.
+//
+// Node ids are small dense integers (fabrics hand them out sequentially, and
+// rejoining incarnations take the next id), so every per-node table here is a
+// flat id-indexed vector rather than a hash map: Send and Deliver are on the
+// per-packet hot path and at N=10k the map lookups dominated the routing
+// cost. Port handlers per node are few (one per protocol layer), so they live
+// in a small sorted vector searched by binary search.
 
 #ifndef REPRO_SRC_NET_NETWORK_H_
 #define REPRO_SRC_NET_NETWORK_H_
@@ -13,7 +20,7 @@
 #include <functional>
 #include <memory>
 #include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/net/latency.h"
@@ -58,7 +65,9 @@ class Network {
   // Nodes that are down neither send nor receive; packets in flight to a
   // down node are dropped at delivery time.
   void SetNodeUp(NodeId node, bool up);
-  bool IsNodeUp(NodeId node) const;
+  bool IsNodeUp(NodeId node) const {
+    return node < endpoints_.size() && endpoints_[node].attached && endpoints_[node].up;
+  }
 
   // Sends one datagram. Returns false if it was refused (src down) —
   // dropped-in-flight packets still return true, as the sender cannot tell.
@@ -90,7 +99,12 @@ class Network {
   // True when src can currently reach dst: both attached and up, and in the
   // same partition component (see the in-flight semantics above for how this
   // instant-check composes with packet delays).
-  bool Reachable(NodeId src, NodeId dst) const;
+  bool Reachable(NodeId src, NodeId dst) const {
+    if (!partition_active_) {
+      return true;
+    }
+    return ComponentOf(src) == ComponentOf(dst);
+  }
 
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
@@ -110,37 +124,42 @@ class Network {
   // Per-destination inbound multiplier on top of the global scale — a slow
   // receiver draining its socket late, without slowing anyone else. 1.0
   // (and an absent entry) = normal.
-  void set_node_inbound_scale(NodeId node, double scale) {
-    if (scale == 1.0) {
-      inbound_scale_.erase(node);
-    } else {
-      inbound_scale_[node] = scale;
-    }
-  }
+  void set_node_inbound_scale(NodeId node, double scale);
   double node_inbound_scale(NodeId node) const {
-    auto it = inbound_scale_.find(node);
-    return it == inbound_scale_.end() ? 1.0 : it->second;
+    return node < inbound_scale_.size() ? inbound_scale_[node] : 1.0;
   }
   sim::Simulator& simulator() { return *simulator_; }
 
  private:
   struct Endpoint {
+    bool attached = false;
     bool up = true;
-    std::unordered_map<uint32_t, PacketHandler> handlers;
+    // Sorted by port; a node registers one handler per protocol layer, so
+    // binary search over a handful of entries beats any hash.
+    std::vector<std::pair<uint32_t, PacketHandler>> handlers;
   };
 
   void Deliver(Packet packet, sim::Duration delay);
   sim::Duration SampleScaledDelay(NodeId src, NodeId dst);
+  const PacketHandler* FindHandler(const Endpoint& endpoint, uint32_t port) const;
+  // Nodes not named in the partition spec form an implicit extra component.
+  size_t ComponentOf(NodeId node) const {
+    return node < partition_id_.size() ? partition_id_[node] : SIZE_MAX;
+  }
 
   sim::Simulator* simulator_;
   std::unique_ptr<LatencyModel> latency_;
   NetworkConfig config_;
-  std::unordered_map<NodeId, Endpoint> endpoints_;
-  // partition_id_[node] -> component index; empty map = fully connected.
-  std::unordered_map<NodeId, size_t> partition_id_;
+  std::vector<Endpoint> endpoints_;  // indexed by NodeId, lazily grown
+  // partition_id_[node] -> component index; SIZE_MAX = unnamed. Only
+  // consulted while partition_active_.
+  std::vector<size_t> partition_id_;
+  bool partition_active_ = false;
   double latency_scale_ = 1.0;
-  // node -> inbound delay multiplier; empty (the default) skips the lookup.
-  std::unordered_map<NodeId, double> inbound_scale_;
+  // Indexed by NodeId; inbound_scaled_count_ keeps the no-laggards fast path
+  // a single integer test.
+  std::vector<double> inbound_scale_;
+  size_t inbound_scaled_count_ = 0;
 
   uint64_t next_packet_id_ = 1;
   uint64_t packets_sent_ = 0;

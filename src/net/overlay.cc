@@ -1,0 +1,44 @@
+#include "src/net/overlay.h"
+
+#include <algorithm>
+
+namespace net {
+
+void SpanningOverlay::Rebuild(const std::vector<NodeId>& sorted_members, NodeId self) {
+  parent_ = 0;
+  depth_ = 0;
+  children_.clear();
+  neighbors_.clear();
+  auto it = std::lower_bound(sorted_members.begin(), sorted_members.end(), self);
+  if (it == sorted_members.end() || *it != self) {
+    in_overlay_ = false;
+    return;
+  }
+  in_overlay_ = true;
+  const size_t index = static_cast<size_t>(it - sorted_members.begin());
+  if (index > 0) {
+    parent_ = sorted_members[(index - 1) / kArity];
+    neighbors_.push_back(parent_);
+    // depth(i) = 1 + depth(parent(i)); closed form by walking up.
+    for (size_t i = index; i > 0; i = (i - 1) / kArity) {
+      ++depth_;
+    }
+  }
+  const size_t first_child = index * kArity + 1;
+  for (size_t c = first_child; c < first_child + kArity && c < sorted_members.size(); ++c) {
+    children_.push_back(sorted_members[c]);
+    neighbors_.push_back(sorted_members[c]);
+  }
+}
+
+bool SpanningOverlay::IsNeighbor(NodeId node) const {
+  // Degree is at most kArity + 1; a scan beats any structure.
+  for (NodeId neighbor : neighbors_) {
+    if (neighbor == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace net

@@ -1,0 +1,58 @@
+// A deterministic spanning overlay over a group's member set.
+//
+// The constant-metadata causal path (DESIGN.md §11) disseminates messages by
+// flooding them over a spanning tree instead of direct N-way multicast, so
+// each frame carries O(1) control bytes no matter how large the group is.
+// The tree is not negotiated: every member computes the same shape locally
+// from the sorted member list, so a view install *is* the rewiring protocol.
+//
+// Shape: a complete k-ary tree (k = 4) over the member list's sorted index —
+// parent(i) = (i-1)/k, root = index 0 (the lowest id, which is also the
+// membership layer's flush coordinator). Joins append at the end of the
+// sorted order (fresh incarnations take the next id), so a join only adds a
+// leaf; a leave compacts the indices, shifting at most the tail's links.
+// Degree is bounded by k+1 = 5 and depth by ~log4(N), which keeps both the
+// per-member heartbeat load and the delivery depth small at N=10k.
+
+#ifndef REPRO_SRC_NET_OVERLAY_H_
+#define REPRO_SRC_NET_OVERLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/net/latency.h"
+
+namespace net {
+
+class SpanningOverlay {
+ public:
+  static constexpr size_t kArity = 4;
+
+  // Recomputes this member's links from a member list sorted ascending by
+  // id. If self is absent (evicted, or not yet admitted) the overlay is
+  // empty: no parent, no children.
+  void Rebuild(const std::vector<NodeId>& sorted_members, NodeId self);
+
+  // The root (lowest id) has no parent; 0 means none.
+  NodeId parent() const { return parent_; }
+  bool is_root() const { return in_overlay_ && parent_ == 0; }
+  bool in_overlay() const { return in_overlay_; }
+  const std::vector<NodeId>& children() const { return children_; }
+  // parent (if any) followed by children, ascending.
+  const std::vector<NodeId>& neighbors() const { return neighbors_; }
+  bool IsNeighbor(NodeId node) const;
+
+  // Depth of self below the root (root = 0); 0 when not in the overlay.
+  size_t depth() const { return depth_; }
+
+ private:
+  bool in_overlay_ = false;
+  NodeId parent_ = 0;
+  size_t depth_ = 0;
+  std::vector<NodeId> children_;
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace net
+
+#endif  // REPRO_SRC_NET_OVERLAY_H_

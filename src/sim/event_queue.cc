@@ -1,78 +1,172 @@
 #include "src/sim/event_queue.h"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace sim {
 
+EventQueue::~EventQueue() = default;
+
+EventQueue::Node* EventQueue::AllocNode() {
+  if (free_list_ == nullptr) {
+    blocks_.push_back(std::make_unique<Node[]>(kNodesPerBlock));
+    Node* block = blocks_.back().get();
+    for (size_t i = kNodesPerBlock; i-- > 0;) {
+      block[i].sibling = free_list_;
+      free_list_ = &block[i];
+    }
+  }
+  Node* node = free_list_;
+  free_list_ = node->sibling;
+  node->child = nullptr;
+  node->sibling = nullptr;
+  node->dead = false;
+  return node;
+}
+
+void EventQueue::FreeNode(Node* node) {
+  node->seq = 0;
+  node->fn = EventFn{};
+  node->child = nullptr;
+  node->sibling = free_list_;
+  free_list_ = node;
+}
+
+EventQueue::Node* EventQueue::Meld(Node* a, Node* b) {
+  if (a == nullptr) {
+    return b;
+  }
+  if (b == nullptr) {
+    return a;
+  }
+  if (Before(b, a)) {
+    std::swap(a, b);
+  }
+  b->sibling = a->child;
+  a->child = b;
+  return a;
+}
+
+EventQueue::Node* EventQueue::MeldChildren(Node* root) {
+  // Standard two-pass pairing: meld children pairwise left to right, then
+  // fold the pairs right to left. Iterative (explicit scratch list) so a
+  // degenerate child chain cannot overflow the stack.
+  scratch_.clear();
+  Node* child = root->child;
+  root->child = nullptr;
+  while (child != nullptr) {
+    Node* a = child;
+    Node* b = a->sibling;
+    child = (b != nullptr) ? b->sibling : nullptr;
+    a->sibling = nullptr;
+    if (b != nullptr) {
+      b->sibling = nullptr;
+    }
+    scratch_.push_back(Meld(a, b));
+  }
+  Node* merged = nullptr;
+  for (size_t i = scratch_.size(); i-- > 0;) {
+    merged = Meld(scratch_[i], merged);
+  }
+  scratch_.clear();
+  return merged;
+}
+
 EventId EventQueue::Schedule(TimePoint when, EventFn fn) {
-  const uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{when, seq, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(seq);
-  return EventId{seq};
+  Node* node = AllocNode();
+  node->when = when;
+  node->seq = next_seq_++;
+  node->fn = std::move(fn);
+  root_ = Meld(root_, node);
+  ++live_;
+  return EventId{node->seq, node};
 }
 
 bool EventQueue::Cancel(EventId id) {
-  // The live set is authoritative: a seq that already fired or was already
-  // cancelled is absent, and cancelling it must be a no-op. (An event that
-  // cancels its own handle from inside its closure hits this path.)
-  if (!id.valid() || live_.erase(id.seq) == 0) {
+  // The node's sequence number is authoritative: an event that already fired
+  // or was already cancelled has seq 0 (or a newer seq after pool reuse), so
+  // a stale handle — including an event cancelling itself from inside its
+  // own closure — is always a no-op. Sequence numbers are never reused, so
+  // the check can't be fooled.
+  if (!id.valid() || id.node == nullptr) {
     return false;
   }
-  cancelled_.insert(id.seq);
-  // Once dead entries dominate, sweep them in one linear pass: their
-  // closures free immediately and the heap stops growing without bound.
-  if (heap_.size() >= kCompactMinEntries && cancelled_.size() > heap_.size() / 2) {
+  Node* node = static_cast<Node*>(id.node);
+  if (node->seq != id.seq) {
+    return false;
+  }
+  node->seq = 0;
+  node->dead = true;
+  node->fn = EventFn{};  // free the closure now, not at pop time
+  --live_;
+  ++dead_;
+  // Adaptive compaction: sweep once the dead outnumber the live (never below
+  // the small-queue floor). Churn-heavy large runs amortize the rebuild over
+  // at least live_ cancellations; small queues never pay at all.
+  if (dead_ > kCompactMinDead && dead_ > live_) {
     Compact();
   }
   return true;
 }
 
 void EventQueue::Compact() {
-  auto keep = heap_.begin();
-  for (auto it = heap_.begin(); it != heap_.end(); ++it) {
-    auto dead = cancelled_.find(it->seq);
-    if (dead != cancelled_.end()) {
-      cancelled_.erase(dead);
-      continue;
-    }
-    if (keep != it) {
-      *keep = std::move(*it);
-    }
-    ++keep;
+  // Walk the whole tree iteratively, unlink live nodes, free dead ones, then
+  // remeld the live nodes. Pop order depends only on (when, seq), so the
+  // rebuilt shape is irrelevant to replay.
+  std::vector<Node*> stack;
+  std::vector<Node*> survivors;
+  survivors.reserve(live_);
+  if (root_ != nullptr) {
+    stack.push_back(root_);
   }
-  heap_.erase(keep, heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
-  assert(heap_.size() == live_.size());
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (node->child != nullptr) {
+      stack.push_back(node->child);
+    }
+    if (node->sibling != nullptr) {
+      stack.push_back(node->sibling);
+    }
+    node->child = nullptr;
+    node->sibling = nullptr;
+    if (node->dead) {
+      FreeNode(node);
+    } else {
+      survivors.push_back(node);
+    }
+  }
+  root_ = nullptr;
+  for (Node* node : survivors) {
+    root_ = Meld(root_, node);
+  }
+  dead_ = 0;
+  assert(survivors.size() == live_);
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().seq);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+void EventQueue::SkipDead() {
+  while (root_ != nullptr && root_->dead) {
+    Node* dead_root = root_;
+    root_ = MeldChildren(dead_root);
+    FreeNode(dead_root);
+    --dead_;
   }
 }
 
 TimePoint EventQueue::NextTime() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  return heap_.front().when;
+  SkipDead();
+  assert(root_ != nullptr);
+  return root_->when;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Fired fired{heap_.back().when, std::move(heap_.back().fn)};
-  live_.erase(heap_.back().seq);
-  heap_.pop_back();
+  SkipDead();
+  assert(root_ != nullptr);
+  Node* top = root_;
+  Fired fired{top->when, std::move(top->fn)};
+  root_ = MeldChildren(top);
+  FreeNode(top);
+  --live_;
   return fired;
 }
 

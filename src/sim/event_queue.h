@@ -1,20 +1,27 @@
 // Pending-event set for the discrete-event simulator.
 //
 // Events are closures keyed by (fire time, insertion sequence). The sequence
-// tiebreak makes execution order fully deterministic when many events share a
-// timestamp. Cancellation is lazy: cancelled entries stay in the heap and are
-// skipped when popped, which keeps Schedule/Cancel O(log n) without a
-// decrease-key structure. A compaction pass sweeps the heap whenever lazily
-// cancelled entries outnumber live ones, so long-running simulations (the
-// E5/E6 sweeps schedule and cancel millions of timers) cannot grow the heap
-// unboundedly. Pop order depends only on the (when, seq) comparator, so
-// compaction never perturbs execution order.
+// tiebreak makes (when, seq) a strict total order, so execution order is
+// fully deterministic when many events share a timestamp — and independent
+// of the heap's internal shape.
+//
+// The structure is a pairing heap over pool-allocated nodes. An EventId
+// carries a direct node pointer, so Cancel is O(1): mark the node dead and
+// free its closure immediately — no hash lookup, no decrease-key. Dead nodes
+// stay linked until they surface at the root or a compaction pass rebuilds
+// the heap; the compaction threshold is adaptive to the live-set size
+// (churn-heavy runs at N=10k cancel far more events than they fire, and a
+// fixed threshold either thrashes small queues or lets huge ones bloat).
+// Nodes are recycled through a free list and never returned to the
+// allocator, which makes the stale-pointer check in Cancel safe: a node
+// reached through an old EventId is always readable, and its (never reused)
+// sequence number proves whether the event is still the one the id named.
 
 #ifndef REPRO_SRC_SIM_EVENT_QUEUE_H_
 #define REPRO_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "src/sim/inline_fn.h"
@@ -26,16 +33,21 @@ namespace sim {
 // heap-allocates for typical captures (see inline_fn.h).
 using EventFn = InlineFn;
 
-// Opaque handle for cancelling a scheduled event.
+// Opaque handle for cancelling a scheduled event. The sequence number is the
+// identity (never reused); the node pointer is a location hint that lets
+// Cancel skip any lookup. A handle with a stale or null pointer simply fails
+// to cancel, it can never cancel the wrong event.
 struct EventId {
   uint64_t seq = 0;
+  void* node = nullptr;
 
   bool valid() const { return seq != 0; }
 };
 
 class EventQueue {
  public:
-  EventQueue() { heap_.reserve(kInitialReserve); }
+  EventQueue() = default;
+  ~EventQueue();
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -50,12 +62,12 @@ class EventQueue {
   bool Cancel(EventId id);
 
   // True if no live (non-cancelled) events remain.
-  bool Empty() const { return live_.empty(); }
+  bool Empty() const { return live_ == 0; }
 
-  size_t size() const { return live_.size(); }
-  // Total entries physically in the heap, including lazily cancelled ones
+  size_t size() const { return live_; }
+  // Total nodes physically in the heap, including lazily cancelled ones
   // (exposed so tests can observe compaction).
-  size_t heap_size() const { return heap_.size(); }
+  size_t heap_size() const { return live_ + dead_; }
 
   // Fire time of the next live event. Must not be called when Empty().
   TimePoint NextTime();
@@ -68,38 +80,52 @@ class EventQueue {
   Fired PopNext();
 
  private:
-  struct Entry {
+  struct Node {
     TimePoint when;
-    uint64_t seq;
+    uint64_t seq = 0;  // 0 = free or cancelled; live seqs are never reused
+    bool dead = false;
+    Node* child = nullptr;    // leftmost child
+    Node* sibling = nullptr;  // next sibling (free-list link when pooled)
     EventFn fn;
   };
-  // Max-heap comparator inverted for earliest-first order.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+
+  // (when, seq) strict weak — in fact total — order: the root of a melded
+  // heap is always the unique minimum, so pop order equals sorted order
+  // regardless of tree shape. Compaction therefore never perturbs replay.
+  static bool Before(const Node* a, const Node* b) {
+    if (a->when != b->when) {
+      return a->when < b->when;
     }
-  };
+    return a->seq < b->seq;
+  }
 
-  static constexpr size_t kInitialReserve = 1024;
-  // Compact only past this size so small queues never pay for a sweep.
-  static constexpr size_t kCompactMinEntries = 256;
+  static constexpr size_t kNodesPerBlock = 256;
+  // Never compact below this many dead nodes: small queues shouldn't pay for
+  // rebuild passes. Above it, compact once the dead outnumber the live —
+  // the threshold scales with the live set, so a 10k-process run tolerates
+  // proportionally more lazy garbage before sweeping.
+  static constexpr size_t kCompactMinDead = 128;
 
-  // Drops cancelled entries from the top of the heap.
-  void SkipCancelled();
-  // Sweeps all cancelled entries out of the heap and re-heapifies.
+  static Node* Meld(Node* a, Node* b);
+  // Detaches the root's children and melds them pairwise (two-pass).
+  Node* MeldChildren(Node* root);
+
+  Node* AllocNode();
+  void FreeNode(Node* node);
+  // Pops dead roots until the root is live (or the heap is empty).
+  void SkipDead();
+  // Rebuilds the heap from its live nodes only, freeing every dead node.
   void Compact();
 
-  std::vector<Entry> heap_;  // std::*_heap ordered by Later
-  // Seqs currently in the heap and not cancelled. This is what makes Cancel
-  // exact: a seq that already fired (or was already cancelled) is absent, so
-  // it can never be marked cancelled "in absentia" and corrupt the live
-  // count — the heap and the count can't drift apart.
-  std::unordered_set<uint64_t> live_;
-  std::unordered_set<uint64_t> cancelled_;
+  Node* root_ = nullptr;
+  Node* free_list_ = nullptr;
+  std::vector<std::unique_ptr<Node[]>> blocks_;
+  size_t live_ = 0;
+  size_t dead_ = 0;
   uint64_t next_seq_ = 1;
+  // Scratch for the pairwise meld and compaction walks; member so repeated
+  // pops reuse its capacity.
+  std::vector<Node*> scratch_;
 };
 
 }  // namespace sim
