@@ -360,6 +360,26 @@ void BM_LockManagerAcquireRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_LockManagerAcquireRelease);
 
+// ReleaseAll cost against table size: Arg(0) resources are held by a
+// bystander transaction while the measured transaction acquires and releases
+// two of its own. With the per-transaction resource index this is O(holds);
+// the seed scanned the whole table, so the per-op time grew with Arg(0).
+void BM_LockManagerReleaseAllManyResources(benchmark::State& state) {
+  txn::LockManager lm;
+  const int64_t background = state.range(0);
+  for (int64_t r = 0; r < background; ++r) {
+    lm.Acquire(1, "bg" + std::to_string(r), txn::LockMode::kShared, nullptr);
+  }
+  txn::TxnId id = 2;
+  for (auto _ : state) {
+    lm.Acquire(id, "mine_a", txn::LockMode::kExclusive, nullptr);
+    lm.Acquire(id, "mine_b", txn::LockMode::kExclusive, nullptr);
+    lm.ReleaseAll(id);
+    ++id;
+  }
+}
+BENCHMARK(BM_LockManagerReleaseAllManyResources)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_OccCommitCycle(benchmark::State& state) {
   txn::OccManager occ;
   for (auto _ : state) {

@@ -15,6 +15,14 @@ is a deterministic byte count, not a timing, so it is held to a tight 1%
 growth bound — header-format regressions hide inside timing noise but not
 inside byte counts.
 
+Benchmarks that report abort_rate / commits_per_s counters (E22, the
+concurrency-control contention sweep) are gated on those too: the simulator
+is deterministic, so a drift beyond the threshold in EITHER direction of
+abort_rate means the conflict-resolution behavior changed, and a
+commits_per_s drop beyond the threshold is a throughput regression even
+when the latency column stays flat (commits can slow down collectively
+without moving the per-commit mean).
+
 Both files must come from release builds: bench mains stamp
 "repro_build_type" into the context, and comparing debug numbers against
 release numbers (or debug against debug) is meaningless, so anything except
@@ -132,6 +140,34 @@ def main():
             print(
                 f"{meta_marker} {name + ' [metadata B/msg]':<55} "
                 f"{b_meta:>14.1f} -> {c_meta:>14.1f} ({meta_pct:+.1f}%)"
+            )
+        # E22 contention counters. abort_rate drift in either direction is a
+        # behavior change (the sim is deterministic); commits_per_s only
+        # regresses downward.
+        b_ab, c_ab = b.get("abort_rate"), c.get("abort_rate")
+        if b_ab is not None and c_ab is not None:
+            if b_ab > 0:
+                ab_pct = (c_ab - b_ab) / b_ab * 100.0
+            else:
+                ab_pct = 0.0 if c_ab == 0 else float("inf")
+            ab_marker = " "
+            if abs(ab_pct) > args.threshold:
+                ab_marker = "!"
+                regressions.append((f"{name} [abort_rate]", ab_pct))
+            print(
+                f"{ab_marker} {name + ' [abort rate]':<55} "
+                f"{b_ab:>14.4f} -> {c_ab:>14.4f} ({ab_pct:+.1f}%)"
+            )
+        b_tp, c_tp = b.get("commits_per_s"), c.get("commits_per_s")
+        if b_tp and c_tp is not None:
+            tp_pct = (c_tp - b_tp) / b_tp * 100.0
+            tp_marker = " "
+            if tp_pct < -args.threshold:
+                tp_marker = "!"
+                regressions.append((f"{name} [commits_per_s]", tp_pct))
+            print(
+                f"{tp_marker} {name + ' [commits/s]':<55} "
+                f"{b_tp:>14.1f} -> {c_tp:>14.1f} ({tp_pct:+.1f}%)"
             )
 
     for name in sorted(set(cur) - set(base)):

@@ -18,6 +18,11 @@
 # overload bursts, and a long partition per plan, under a bounded budget +
 # send window, with the oracle auditing every budget sample for cap
 # overruns and pressure-epoch regressions.
+# A transactional leg (bench_e22_contention --chaos) then crashes one
+# replica mid-run under each deadlock policy (TXN_POLICIES); the oracle
+# replays the coordinators' commit log against every surviving replica's
+# store, so a lost, phantom, or duplicated commit — or a txn that never
+# decides — fails the seed. Each seed runs twice and must match.
 # Reuses an existing build if one is configured.
 set -euo pipefail
 
@@ -30,11 +35,13 @@ BUFFERS=${BUFFERS:-full hybrid overlay}
 BATCHES=${BATCHES:-1 8}
 TRACES=${TRACES:-off on}
 POLICIES=${POLICIES:-throttle shed-new evict-laggard}
+TXN_SEEDS=${TXN_SEEDS:-10}
+TXN_POLICIES=${TXN_POLICIES:-detect wait-die starvation-free}
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S .
 fi
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target fuzz_chaos bench_e22_contention
 
 for buffer in ${BUFFERS}; do
   for batch in ${BATCHES}; do
@@ -61,4 +68,11 @@ for buffer in ${BUFFERS}; do
     "${BUILD_DIR}/bench/fuzz_chaos" --seeds "${SEEDS}" --start "${START}" \
       --buffer "${buffer}" --overload --policy "${policy}"
   done
+done
+
+# Transactional crash sweep: every deadlock policy must decide every txn and
+# leave every surviving replica's store equal to the commit-log replay.
+for policy in ${TXN_POLICIES}; do
+  "${BUILD_DIR}/bench/bench_e22_contention" --chaos --seeds "${TXN_SEEDS}" \
+    --policy "${policy}"
 done

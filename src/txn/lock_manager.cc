@@ -4,6 +4,13 @@
 
 namespace txn {
 
+void LockManager::BeginTxn(TxnId txn, uint64_t timestamp) { timestamps_[txn] = timestamp; }
+
+uint64_t LockManager::TsOf(TxnId txn) const {
+  auto it = timestamps_.find(txn);
+  return it != timestamps_.end() ? it->second : txn;
+}
+
 bool LockManager::Compatible(const Resource& r, TxnId txn, LockMode mode) const {
   if (r.holders.empty()) {
     return true;
@@ -21,50 +28,222 @@ bool LockManager::Compatible(const Resource& r, TxnId txn, LockMode mode) const 
   return r.holders.size() == 1 && r.holders.begin()->first == txn;
 }
 
-bool LockManager::Acquire(TxnId txn, const std::string& resource, LockMode mode,
-                          GrantFn on_grant) {
+AcquireResult LockManager::AcquireEx(TxnId txn, const std::string& resource, LockMode mode,
+                                     GrantFn on_grant) {
   Resource& r = resources_[resource];
   auto held = r.holders.find(txn);
   if (held != r.holders.end()) {
     if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
       ++stats_.immediate_grants;
-      return true;  // already sufficient
+      return AcquireResult::kGranted;  // already sufficient
     }
-    // Upgrade request.
+    // Upgrade request. A sole holder upgrades in place, ahead of any queued
+    // waiters: none of them could have been granted while we hold shared, so
+    // no grant is being stolen.
     if (Compatible(r, txn, LockMode::kExclusive)) {
       held->second = LockMode::kExclusive;
       ++stats_.upgrades;
       ++stats_.immediate_grants;
-      return true;
+      return AcquireResult::kGranted;
+    }
+    // Other sharers present: the upgrade must wait for them (or, under a
+    // prevention policy, settle the conflict by timestamp now).
+    std::vector<TxnId> victims;
+    const uint64_t ts = TsOf(txn);
+    if (policy_ == DeadlockPolicy::kWaitDie) {
+      for (const auto& [holder, held_mode] : r.holders) {
+        (void)held_mode;
+        if (holder != txn && ts > TsOf(holder)) {
+          ++stats_.wait_die_aborts;
+          return AcquireResult::kAborted;  // younger than a co-sharer: die
+        }
+      }
+    } else if (policy_ == DeadlockPolicy::kStarvationFree) {
+      for (const auto& [holder, held_mode] : r.holders) {
+        (void)held_mode;
+        if (holder == txn || ts >= TsOf(holder)) {
+          continue;  // older co-sharer: wait (young→old edge)
+        }
+        if (IsPinned(holder)) {
+          // A younger co-sharer that already voted YES cannot be wounded,
+          // and waiting on it would invert the edge direction the global
+          // no-deadlock argument rests on — so the upgrader dies instead
+          // (see the fresh-request path below for the full argument).
+          ++stats_.wait_die_aborts;
+          return AcquireResult::kAborted;
+        }
+        victims.push_back(holder);
+      }
     }
     ++stats_.waits;
-    r.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
-    return false;
+    Index(txn, resource);
+    // Front of the queue, always: every waiter behind is blocked by our
+    // shared hold regardless, and GrantFromQueue's upgrade scan must find us.
+    r.queue.push_front(Waiter{txn, LockMode::kExclusive, /*upgrade=*/true, std::move(on_grant)});
+    // Wounding releases the victims' locks, which re-runs GrantFromQueue on
+    // this resource and may complete the upgrade synchronously (the grant
+    // callback fires before we return kQueued — documented convention).
+    for (TxnId victim : victims) {
+      Wound(victim);
+    }
+    return AcquireResult::kQueued;
   }
-  // FIFO fairness: do not jump over queued waiters even if compatible,
-  // except that shared requests may join current shared holders when no
-  // exclusive waiter is queued ahead.
-  bool exclusive_waiting = false;
-  for (const auto& waiter : r.queue) {
-    if (waiter.mode == LockMode::kExclusive) {
-      exclusive_waiting = true;
-      break;
+
+  // Fresh request. Decide whether an immediately-compatible request may be
+  // granted past the queue; the rule is the policy's fairness contract.
+  const bool compatible = Compatible(r, txn, mode);
+  bool may_bypass = false;
+  if (compatible) {
+    switch (policy_) {
+      case DeadlockPolicy::kDetect: {
+        // Seed rule: FIFO, except shared may join current sharers when no
+        // exclusive waiter is queued ahead.
+        bool exclusive_waiting = false;
+        for (const auto& waiter : r.queue) {
+          if (waiter.mode == LockMode::kExclusive) {
+            exclusive_waiting = true;
+            break;
+          }
+        }
+        may_bypass = r.queue.empty() || (mode == LockMode::kShared && !exclusive_waiting);
+        break;
+      }
+      case DeadlockPolicy::kWaitDie: {
+        // Never jump an incompatible waiter: the invariant is that every
+        // waiter is older than every conflicting holder, and a joining
+        // holder younger than a queued waiter would break it (a later
+        // request by that waiter against us could then close a cycle).
+        may_bypass = true;
+        for (const auto& waiter : r.queue) {
+          if (Conflicts(mode, waiter.mode)) {
+            may_bypass = false;
+            break;
+          }
+        }
+        break;
+      }
+      case DeadlockPolicy::kStarvationFree: {
+        // May jump only YOUNGER incompatible waiters (age outranks queue
+        // position; a younger waiter waiting on an older holder is the
+        // invariant direction).
+        const uint64_t ts = TsOf(txn);
+        may_bypass = true;
+        for (const auto& waiter : r.queue) {
+          if (Conflicts(mode, waiter.mode) && TsOf(waiter.txn) < ts) {
+            may_bypass = false;
+            break;
+          }
+        }
+        break;
+      }
     }
   }
-  if (Compatible(r, txn, mode) && (r.queue.empty() || (mode == LockMode::kShared &&
-                                                       !exclusive_waiting))) {
+  if (compatible && may_bypass) {
     r.holders[txn] = mode;
+    Index(txn, resource);
     ++stats_.immediate_grants;
-    return true;
+    return AcquireResult::kGranted;
+  }
+
+  std::vector<TxnId> victims;
+  const uint64_t ts = TsOf(txn);
+  if (policy_ == DeadlockPolicy::kWaitDie) {
+    // Die if younger than ANY blocker — conflicting holder or queued
+    // incompatible waiter. Every wait edge then points old→young, which is
+    // acyclic; and while an old waiter is queued, younger conflicting
+    // requesters die instead of crowding ahead of it, so the oldest
+    // transaction in the system is never starved.
+    for (const auto& [holder, held_mode] : r.holders) {
+      if (holder != txn && Conflicts(mode, held_mode) && ts > TsOf(holder)) {
+        ++stats_.wait_die_aborts;
+        return AcquireResult::kAborted;
+      }
+    }
+    for (const auto& waiter : r.queue) {
+      if (Conflicts(mode, waiter.mode) && ts > TsOf(waiter.txn)) {
+        ++stats_.wait_die_aborts;
+        return AcquireResult::kAborted;
+      }
+    }
+  } else if (policy_ == DeadlockPolicy::kStarvationFree) {
+    // Wound every younger conflicting holder that has not voted in 2PC; wait
+    // for older ones (a young→old edge, the invariant direction). A younger
+    // holder that IS pinned — prepared, YES already sent — can be neither
+    // wounded (the replica promised commit) nor waited on: an old→young wait
+    // edge here deadlocks ACROSS replicas even though each local graph looks
+    // fine (each of two transactions prepared first at one replica, pinned
+    // there, and waits at the other — the classic 2PC prepared-state
+    // inversion). So the requester dies and retries with its retained
+    // timestamp; the pinned holder's decision arrives in bounded time, which
+    // bounds the retry. Every wait edge then points young→old at EVERY
+    // replica, and no union of such edges can form a cycle.
+    for (const auto& [holder, held_mode] : r.holders) {
+      if (holder == txn || !Conflicts(mode, held_mode) || ts >= TsOf(holder)) {
+        continue;
+      }
+      if (IsPinned(holder)) {
+        ++stats_.wait_die_aborts;
+        return AcquireResult::kAborted;
+      }
+      victims.push_back(holder);
+    }
   }
   ++stats_.waits;
-  r.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
-  return false;
+  Index(txn, resource);
+  Enqueue(r, Waiter{txn, mode, /*upgrade=*/false, std::move(on_grant)});
+  // As above: wounds may free the resource and fire our grant callback
+  // before AcquireEx returns.
+  for (TxnId victim : victims) {
+    Wound(victim);
+  }
+  return AcquireResult::kQueued;
+}
+
+void LockManager::Enqueue(Resource& r, Waiter waiter) {
+  if (policy_ == DeadlockPolicy::kDetect) {
+    r.queue.push_back(std::move(waiter));  // FIFO (seed behavior)
+    return;
+  }
+  // Prevention policies keep the queue timestamp-sorted so front-first
+  // granting preserves the waiter/holder age invariant: wait-die grants
+  // youngest-first (remaining, older waiters stay older than the new
+  // holder), wound-wait oldest-first (remaining, younger waiters stay
+  // younger). Upgrade entries stay pinned at the very front either way.
+  const uint64_t ts = TsOf(waiter.txn);
+  auto it = r.queue.begin();
+  if (policy_ == DeadlockPolicy::kWaitDie) {
+    while (it != r.queue.end() && (it->upgrade || TsOf(it->txn) >= ts)) {
+      ++it;
+    }
+  } else {
+    while (it != r.queue.end() && (it->upgrade || TsOf(it->txn) <= ts)) {
+      ++it;
+    }
+  }
+  r.queue.insert(it, std::move(waiter));
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
   ++stats_.releases;
-  for (auto it = resources_.begin(); it != resources_.end();) {
+  ReleaseAllInternal(txn);
+  timestamps_.erase(txn);
+  pinned_.erase(txn);
+}
+
+void LockManager::ReleaseAllInternal(TxnId txn) {
+  auto idx = txn_resources_.find(txn);
+  if (idx == txn_resources_.end()) {
+    return;
+  }
+  // Detach the index first: grant callbacks fired below may re-enter the
+  // manager (e.g. the granted transaction acquires its next key).
+  std::set<std::string> names = std::move(idx->second);
+  txn_resources_.erase(idx);
+  for (const auto& name : names) {
+    auto it = resources_.find(name);
+    if (it == resources_.end()) {
+      continue;
+    }
     Resource& r = it->second;
     r.holders.erase(txn);
     for (auto w = r.queue.begin(); w != r.queue.end();) {
@@ -74,19 +253,54 @@ void LockManager::ReleaseAll(TxnId txn) {
         ++w;
       }
     }
-    GrantFromQueue(it->first, r);
+    GrantFromQueue(name, r);
     if (r.holders.empty() && r.queue.empty()) {
-      it = resources_.erase(it);
-    } else {
-      ++it;
+      resources_.erase(it);
     }
+  }
+}
+
+void LockManager::Wound(TxnId victim) {
+  ++stats_.wounds;
+  // Release first, notify second: by the time the abort handler runs (and,
+  // say, votes NO / schedules the restart) the victim holds nothing, so a
+  // re-entrant ReleaseAll from the handler is a harmless no-op.
+  ReleaseAllInternal(victim);
+  timestamps_.erase(victim);
+  if (abort_handler_) {
+    abort_handler_(victim);
   }
 }
 
 void LockManager::GrantFromQueue(const std::string& name, Resource& r) {
   (void)name;
-  // Grant from the front while compatible (a run of shared requests, one
-  // exclusive, or an upgrade that is now possible).
+  // Pending upgrades first, wherever they sit: an upgrader still holds
+  // shared, so nothing incompatible can be granted past it anyway, and a
+  // front-only scan would wedge behind an incompatible front waiter (the
+  // seed's upgrade-stall bug).
+  bool granted_upgrade = true;
+  while (granted_upgrade) {
+    granted_upgrade = false;
+    for (auto it = r.queue.begin(); it != r.queue.end(); ++it) {
+      if (!it->upgrade) {
+        continue;
+      }
+      if (!Compatible(r, it->txn, LockMode::kExclusive)) {
+        continue;
+      }
+      r.holders[it->txn] = LockMode::kExclusive;
+      ++stats_.upgrades;
+      GrantFn grant = std::move(it->on_grant);
+      r.queue.erase(it);
+      if (grant) {
+        grant();
+      }
+      granted_upgrade = true;
+      break;  // iterator invalidated (and state changed): rescan
+    }
+  }
+  // Then grant from the front while compatible (a run of shared requests or
+  // one exclusive).
   while (!r.queue.empty()) {
     Waiter& head = r.queue.front();
     auto held = r.holders.find(head.txn);
@@ -126,10 +340,20 @@ bool LockManager::Holds(TxnId txn, const std::string& resource, LockMode mode) c
 std::vector<std::pair<TxnId, TxnId>> LockManager::WaitForEdges() const {
   std::vector<std::pair<TxnId, TxnId>> edges;
   for (const auto& [name, r] : resources_) {
-    for (const auto& waiter : r.queue) {
+    for (auto w = r.queue.begin(); w != r.queue.end(); ++w) {
       for (const auto& [holder, mode] : r.holders) {
-        if (holder != waiter.txn) {
-          edges.emplace_back(waiter.txn, holder);
+        (void)mode;
+        if (holder != w->txn) {
+          edges.emplace_back(w->txn, holder);
+        }
+      }
+      // A queued-ahead incompatible waiter blocks us exactly like a holder:
+      // we may not overtake it. Without these edges a waiter whose only
+      // blocker is another waiter (e.g. an upgrader wedged behind a queued
+      // exclusive) produces no cycle at the monitor.
+      for (auto ahead = r.queue.begin(); ahead != w; ++ahead) {
+        if (ahead->txn != w->txn && Conflicts(w->mode, ahead->mode)) {
+          edges.emplace_back(w->txn, ahead->txn);
         }
       }
     }

@@ -1,13 +1,43 @@
-// Two-phase-locking lock manager (§4.3): shared/exclusive locks with FIFO
-// wait queues and shared→exclusive upgrade. The paper's point is that once
-// an application needs 2PL for serializability, the lock order — not message
+// Two-phase-locking lock manager (§4.3): shared/exclusive locks with wait
+// queues and shared→exclusive upgrade. The paper's point is that once an
+// application needs 2PL for serializability, the lock order — not message
 // order — dictates correctness, so CATOCS buys nothing. The manager exports
 // its wait-for edges so deadlock detection (§4.2, Appendix 9.2) can run on
-// top.
+// top, and — behind the DeadlockPolicy seam (txn_policy.h, DESIGN §12) —
+// can instead PREVENT deadlock with wait-die or 2PLSF-style wound-wait.
 //
-// The API is callback-based to fit the event-driven simulator: Acquire
-// either grants synchronously (returns true) or queues the request and
-// invokes the callback when the lock is granted later.
+// The API is callback-based to fit the event-driven simulator: AcquireEx
+// either grants synchronously (kGranted), queues the request and invokes the
+// callback when the lock is granted later (kQueued), or — under a
+// prevention policy — refuses it outright (kAborted: the requester must
+// ReleaseAll and restart with its retained timestamp).
+//
+// Upgrade requests take priority over ordinary waiters: a sole-holder
+// upgrade is granted immediately in AcquireEx, and a pending upgrade is
+// queued at the FRONT of the wait queue and re-checked by GrantFromQueue
+// before any front-of-queue grant. (The seed queued upgrades at the back,
+// where the front-only grant scan could never reach them past an
+// incompatible waiter — T1 wedged forever while holding the lock T3 was
+// queued on, invisible to the deadlock monitor.)
+//
+// Queue discipline per policy:
+//  - kDetect: FIFO (seed behavior).
+//  - kWaitDie: sorted youngest-first. Every waiter is older than every
+//    incompatible holder (requesters younger than a conflicting holder die),
+//    and granting the youngest waiter first preserves that invariant — all
+//    wait edges point old→young, so no cycle can ever form, and each grant
+//    makes the holder set strictly older, so the oldest waiter is reached in
+//    finitely many grants.
+//  - kStarvationFree: sorted oldest-first (the mirror image): every waiter
+//    is younger than every holder (older requesters wound younger holders
+//    instead of waiting), so wait edges point young→old at every replica
+//    and no union of local graphs can form a cycle. A younger holder that
+//    is PINNED (prepared in 2PC, YES vote sent) can be neither wounded nor
+//    waited on — waiting on it would add an old→young edge, and two
+//    transactions each pinned at one replica while waiting at the other
+//    deadlock across replicas with no local graph showing a cycle — so the
+//    older requester dies and retries with its retained timestamp, bounded
+//    by the pinned holder's imminent decision.
 
 #ifndef REPRO_SRC_TXN_LOCK_MANAGER_H_
 #define REPRO_SRC_TXN_LOCK_MANAGER_H_
@@ -21,37 +51,84 @@
 #include <utility>
 #include <vector>
 
+#include "src/txn/txn_policy.h"
+
 namespace txn {
 
 using TxnId = uint64_t;
 
 enum class LockMode { kShared, kExclusive };
 
+enum class AcquireResult { kGranted, kQueued, kAborted };
+
 struct LockStats {
   uint64_t immediate_grants = 0;
   uint64_t waits = 0;
   uint64_t upgrades = 0;
   uint64_t releases = 0;
+  uint64_t wait_die_aborts = 0;  // requester died (wait-die age rule, or
+                                 // wound-wait against a pinned holder)
+  uint64_t wounds = 0;           // holder wounded (starvation-free)
 };
 
 class LockManager {
  public:
   using GrantFn = std::function<void()>;
+  using AbortFn = std::function<void(TxnId)>;
 
-  // Requests a lock. Returns true and grants immediately when compatible;
-  // otherwise queues (FIFO) and calls on_grant when granted. Re-acquiring a
-  // mode already held grants immediately; holding shared and requesting
-  // exclusive is an upgrade.
-  bool Acquire(TxnId txn, const std::string& resource, LockMode mode, GrantFn on_grant);
+  LockManager() = default;
+  explicit LockManager(DeadlockPolicy policy) : policy_(policy) {}
+
+  DeadlockPolicy policy() const { return policy_; }
+
+  // Registers the transaction's timestamp (age) before its first acquire.
+  // Required for the prevention policies; a restarted transaction MUST
+  // re-register its original timestamp. Without registration the txn id
+  // doubles as the timestamp (ids are issue-ordered in every caller).
+  void BeginTxn(TxnId txn, uint64_t timestamp);
+
+  // Called when a transaction is wounded (kStarvationFree): its locks are
+  // already released when the handler runs; the handler's job is the
+  // transaction-level abort (vote NO, schedule the restart). Wait-die deaths
+  // are reported synchronously via kAborted instead.
+  void SetAbortHandler(AbortFn handler) { abort_handler_ = std::move(handler); }
+
+  // Marks a transaction non-woundable (it voted YES in 2PC and may no longer
+  // abort unilaterally). Older requesters then wait for it; since a pinned
+  // transaction never waits on locks itself, it cannot extend a cycle.
+  void Pin(TxnId txn) { pinned_.insert(txn); }
+  bool IsPinned(TxnId txn) const { return pinned_.count(txn) != 0; }
+
+  // Requests a lock. kGranted: the lock is held on return (on_grant is NOT
+  // called). kQueued: on_grant fires when granted — possibly synchronously
+  // before AcquireEx returns, when a wound frees the resource. kAborted:
+  // the requester lost a timestamp fight (wait-die); it still holds whatever
+  // it held before and must ReleaseAll + restart. Re-acquiring a mode
+  // already held grants immediately; holding shared and requesting exclusive
+  // is an upgrade.
+  AcquireResult AcquireEx(TxnId txn, const std::string& resource, LockMode mode,
+                          GrantFn on_grant);
+
+  // Seed-compatible wrapper: true iff granted immediately. Under kDetect a
+  // request never aborts, so the two-way result is faithful.
+  bool Acquire(TxnId txn, const std::string& resource, LockMode mode, GrantFn on_grant) {
+    return AcquireEx(txn, resource, mode, std::move(on_grant)) == AcquireResult::kGranted;
+  }
 
   // Releases everything the transaction holds or waits for, granting
-  // whatever becomes compatible (2PL: called once, at commit/abort).
+  // whatever becomes compatible (2PL: called once, at commit/abort). O(locks
+  // held or waited on by txn) via the txn→resources index, not O(total
+  // resources in the manager).
   void ReleaseAll(TxnId txn);
 
   bool Holds(TxnId txn, const std::string& resource, LockMode mode) const;
 
-  // Current wait-for edges (waiter -> holder), the input to deadlock
-  // detection.
+  // Current wait-for edges (waiter → blocker), the input to deadlock
+  // detection. Emits waiter→holder edges AND waiter→queued-ahead-
+  // incompatible-waiter edges: a waiter is equally blocked by an
+  // incompatible waiter it may not overtake, and a (sole-holder) upgrader's
+  // only blocker can be such a waiter — the seed emitted holder edges only,
+  // so those stalls produced no cycle at the monitor.
   std::vector<std::pair<TxnId, TxnId>> WaitForEdges() const;
 
   const LockStats& stats() const { return stats_; }
@@ -61,6 +138,7 @@ class LockManager {
   struct Waiter {
     TxnId txn;
     LockMode mode;
+    bool upgrade;
     GrantFn on_grant;
   };
   struct Resource {
@@ -70,9 +148,26 @@ class LockManager {
   };
 
   bool Compatible(const Resource& r, TxnId txn, LockMode mode) const;
+  static bool Conflicts(LockMode a, LockMode b) {
+    return a == LockMode::kExclusive || b == LockMode::kExclusive;
+  }
+  // Timestamp (age) of a transaction; falls back to the id for unregistered
+  // transactions so detect-mode callers need no ceremony.
+  uint64_t TsOf(TxnId txn) const;
+  void Enqueue(Resource& r, Waiter waiter);
   void GrantFromQueue(const std::string& name, Resource& r);
+  void Index(TxnId txn, const std::string& resource) { txn_resources_[txn].insert(resource); }
+  // Releases a wounded victim's locks and notifies the abort handler.
+  void Wound(TxnId victim);
+  void ReleaseAllInternal(TxnId txn);
 
+  DeadlockPolicy policy_ = DeadlockPolicy::kDetect;
   std::map<std::string, Resource> resources_;
+  // Every resource a transaction holds or waits on — the ReleaseAll index.
+  std::map<TxnId, std::set<std::string>> txn_resources_;
+  std::map<TxnId, uint64_t> timestamps_;
+  std::set<TxnId> pinned_;
+  AbortFn abort_handler_;
   LockStats stats_;
 };
 

@@ -12,15 +12,20 @@ namespace {
 
 class PrepareMsg : public net::Payload {
  public:
-  PrepareMsg(uint64_t txn, std::map<std::string, double> writes)
-      : txn_(txn), writes_(std::move(writes)) {}
+  PrepareMsg(uint64_t txn, uint64_t ts, std::map<std::string, double> writes)
+      : txn_(txn), ts_(ts), writes_(std::move(writes)) {}
+  // Sim-level wire-size approximation; the timestamp rides in the same
+  // header word as the txn id (both derive from one 64-bit id in a real
+  // encoding), so the formula matches the seed byte for byte.
   size_t SizeBytes() const override { return 8 + writes_.size() * 24; }
   std::string Describe() const override { return "prepare"; }
   uint64_t txn() const { return txn_; }
+  uint64_t ts() const { return ts_; }
   const std::map<std::string, double>& writes() const { return writes_; }
 
  private:
   uint64_t txn_;
+  uint64_t ts_;
   std::map<std::string, double> writes_;
 };
 
@@ -85,7 +90,18 @@ class UpdateAckMsg : public net::Payload {
 
 TxnReplica::TxnReplica(sim::Simulator* simulator, net::Transport* transport,
                        sim::Duration wal_flush_delay)
-    : simulator_(simulator), transport_(transport), wal_(simulator, wal_flush_delay) {
+    : TxnReplica(simulator, transport,
+                 TxnReplicaConfig{DeadlockPolicy::kDetect, wal_flush_delay}) {}
+
+TxnReplica::TxnReplica(sim::Simulator* simulator, net::Transport* transport,
+                       const TxnReplicaConfig& config)
+    : simulator_(simulator),
+      transport_(transport),
+      locks_(config.policy),
+      wal_(simulator, config.wal_flush_delay) {
+  // Wound victims (starvation-free policy): locks are already released when
+  // the handler runs; all that is left is the 2PC-level abort.
+  locks_.SetAbortHandler([this](TxnId txn) { AbortLocal(txn); });
   transport_->RegisterReceiver(kPreparePort,
                                [this](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
                                  OnPrepare(src, p);
@@ -115,41 +131,73 @@ void TxnReplica::OnPrepare(net::NodeId coordinator, const net::PayloadPtr& paylo
 
   PendingTxn& pending = pending_[txn];
   pending.writes = prepare->writes();
+  pending.coordinator = coordinator;
+  locks_.BeginTxn(txn, prepare->ts());
 
   // Acquire exclusive locks on all keys, then force the WAL record, then
-  // vote YES. Locks are normally uncontended (one coordinator); contention
-  // simply delays the vote.
+  // vote YES (and pin: a YES-voted transaction may no longer abort
+  // unilaterally, so it must not be woundable). Contention delays the vote;
+  // under a prevention policy it may instead abort the transaction here.
   auto continue_after_locks = [this, txn, coordinator] {
     std::ostringstream record;
     record << "prepare txn=" << txn;
     wal_.Append(record.str(), [this, txn, coordinator] {
-      if (!pending_.count(txn)) {
+      auto it = pending_.find(txn);
+      if (it == pending_.end()) {
         return;  // already decided (aborted) before the flush finished
       }
+      it->second.voted = true;
+      locks_.Pin(txn);
       transport_->SendReliable(coordinator, kVotePort, std::make_shared<VoteMsg>(txn, true));
     });
   };
   // Count locks to acquire; grant callback fires when the last is granted.
-  auto remaining = std::make_shared<size_t>(pending.writes.size());
-  bool all_immediate = true;
+  // Iterate a copy of the key list: a wait-die refusal (or a wound during a
+  // cascading grant) can erase the pending entry mid-loop.
+  std::vector<std::string> keys;
+  keys.reserve(pending.writes.size());
   for (const auto& [key, value] : pending.writes) {
-    const bool granted = locks_.Acquire(txn, key, LockMode::kExclusive,
-                                        [remaining, continue_after_locks]() mutable {
-                                          if (--*remaining == 0) {
-                                            continue_after_locks();
-                                          }
-                                        });
-    if (granted) {
-      if (--*remaining == 0 && all_immediate) {
+    keys.push_back(key);
+  }
+  auto remaining = std::make_shared<size_t>(keys.size());
+  for (const std::string& key : keys) {
+    const AcquireResult result =
+        locks_.AcquireEx(txn, key, LockMode::kExclusive,
+                         [remaining, continue_after_locks]() mutable {
+                           if (--*remaining == 0) {
+                             continue_after_locks();
+                           }
+                         });
+    if (result == AcquireResult::kAborted) {
+      AbortLocal(txn);  // younger than a conflicting holder: die, vote NO
+      return;
+    }
+    if (result == AcquireResult::kGranted) {
+      if (--*remaining == 0) {
         continue_after_locks();
       }
-    } else {
-      all_immediate = false;
+    }
+    if (!pending_.count(txn)) {
+      return;  // wounded while acquiring (a later key's grant cascade)
     }
   }
-  if (pending.writes.empty()) {
+  if (keys.empty()) {
     continue_after_locks();
   }
+}
+
+void TxnReplica::AbortLocal(uint64_t txn) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end() || it->second.voted) {
+    return;  // unknown, or YES already sent — only the coordinator may abort
+  }
+  const net::NodeId coordinator = it->second.coordinator;
+  // Erase before releasing: the WAL-flush callback checks pending_ and must
+  // not send a stale YES after this NO.
+  pending_.erase(it);
+  locks_.ReleaseAll(txn);
+  ++local_aborts_;
+  transport_->SendReliable(coordinator, kVotePort, std::make_shared<VoteMsg>(txn, false));
 }
 
 void TxnReplica::OnDecision(net::NodeId /*coordinator*/, const net::PayloadPtr& payload) {
@@ -180,10 +228,17 @@ std::optional<double> TxnReplica::Read(const std::string& key) const {
 
 TxnCoordinator::TxnCoordinator(sim::Simulator* simulator, net::Transport* transport,
                                std::vector<net::NodeId> replicas, sim::Duration prepare_timeout)
+    : TxnCoordinator(simulator, transport, std::move(replicas),
+                     CoordinatorConfig{prepare_timeout}) {}
+
+TxnCoordinator::TxnCoordinator(sim::Simulator* simulator, net::Transport* transport,
+                               std::vector<net::NodeId> replicas,
+                               const CoordinatorConfig& config)
     : simulator_(simulator),
       transport_(transport),
       available_(std::move(replicas)),
-      prepare_timeout_(prepare_timeout) {
+      config_(config),
+      timestamps_(config.id_namespace) {
   transport_->RegisterReceiver(TxnReplica::kVotePort,
                                [this](net::NodeId src, uint32_t, const net::PayloadPtr& p) {
                                  OnVote(src, p);
@@ -191,18 +246,43 @@ TxnCoordinator::TxnCoordinator(sim::Simulator* simulator, net::Transport* transp
 }
 
 void TxnCoordinator::WriteMany(std::map<std::string, double> writes, DoneFn done) {
-  const uint64_t txn = next_txn_++;
+  // One timestamp per LOGICAL transaction, retained across every retry: the
+  // prevention policies' no-starvation guarantee is exactly that a restarted
+  // transaction keeps its age and so only ever gains priority.
+  StartAttempt(std::move(writes), std::move(done), timestamps_.Issue(simulator_->now()), 1);
+}
+
+void TxnCoordinator::StartAttempt(std::map<std::string, double> writes, DoneFn done,
+                                  uint64_t ts, uint32_t attempt) {
+  const uint64_t txn = (config_.id_namespace << 40) | next_txn_++;
   InFlight& flight = in_flight_[txn];
   flight.writes = writes;
   flight.participants = available_;
   flight.done = std::move(done);
-  auto prepare = std::make_shared<PrepareMsg>(txn, std::move(writes));
+  flight.ts = ts;
+  flight.attempt = attempt;
+  if (flight.participants.empty()) {
+    // Every replica has been dropped: there is nobody to prepare at, and
+    // retrying cannot repopulate the availability list, so fail the
+    // transaction now instead of burning a timeout per attempt.
+    flight.attempt = config_.max_attempts;
+    simulator_->ScheduleAfter(sim::Duration::Zero(), [this, txn] { Decide(txn, false, {}); });
+    return;
+  }
+  auto prepare = std::make_shared<PrepareMsg>(txn, ts, std::move(writes));
   for (net::NodeId replica : flight.participants) {
     transport_->SendReliable(replica, TxnReplica::kPreparePort, prepare);
   }
-  flight.timeout = simulator_->ScheduleAfter(prepare_timeout_, [this, txn] {
+  flight.timeout = simulator_->ScheduleAfter(config_.prepare_timeout, [this, txn] {
     auto it = in_flight_.find(txn);
     if (it == in_flight_.end() || it->second.decided) {
+      return;
+    }
+    if (!config_.drop_slow_on_timeout) {
+      // A slow vote under contention means lock waits, not a dead replica:
+      // abort the attempt (and retry per config) instead of shrinking the
+      // availability list.
+      Decide(txn, false, {});
       return;
     }
     // Write-all-available: replicas that did not answer in time are dropped
@@ -222,6 +302,15 @@ void TxnCoordinator::WriteMany(std::map<std::string, double> writes, DoneFn done
   });
 }
 
+bool TxnCoordinator::AbortInFlight(uint64_t txn) {
+  auto it = in_flight_.find(txn);
+  if (it == in_flight_.end() || it->second.decided) {
+    return false;
+  }
+  Decide(txn, false, {});
+  return true;
+}
+
 void TxnCoordinator::OnVote(net::NodeId replica, const net::PayloadPtr& payload) {
   const auto* vote = net::PayloadCast<VoteMsg>(payload);
   assert(vote != nullptr);
@@ -230,6 +319,13 @@ void TxnCoordinator::OnVote(net::NodeId replica, const net::PayloadPtr& payload)
     return;
   }
   it->second.votes[replica] = vote->yes();
+  if (!vote->yes()) {
+    // One NO settles the outcome. Deciding now matters under contention:
+    // the replicas that have not voted yet may be queued behind this very
+    // transaction's locks, and the abort decision is what frees them.
+    Decide(vote->txn(), false, {});
+    return;
+  }
   MaybeDecide(vote->txn());
 }
 
@@ -269,11 +365,32 @@ void TxnCoordinator::Decide(uint64_t txn, bool commit, const std::vector<net::No
   }
   if (commit) {
     ++stats_.committed;
+    if (commit_observer_) {
+      commit_observer_(txn, flight.writes, flight.participants);
+    }
   } else {
     ++stats_.aborted;
   }
   DoneFn done = std::move(flight.done);
+  std::map<std::string, double> writes = std::move(flight.writes);
+  const uint64_t ts = flight.ts;
+  const uint32_t attempt = flight.attempt;
   in_flight_.erase(it);
+  if (!commit && attempt < config_.max_attempts) {
+    ++stats_.retries;
+    // Deterministic backoff, linear in the attempt number; the retry keeps
+    // the original timestamp but gets a fresh uid (replicas may still hold
+    // late state under the old one).
+    simulator_->ScheduleAfter(
+        config_.retry_backoff * static_cast<int64_t>(attempt),
+        [this, writes = std::move(writes), done = std::move(done), ts, attempt]() mutable {
+          StartAttempt(std::move(writes), std::move(done), ts, attempt + 1);
+        });
+    return;
+  }
+  if (!commit) {
+    ++stats_.failed;
+  }
   if (done) {
     done(commit);
   }

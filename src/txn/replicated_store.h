@@ -39,6 +39,13 @@ namespace txn {
 
 // --- transactional design ----------------------------------------------------
 
+struct TxnReplicaConfig {
+  // How lock conflicts are resolved (DESIGN §12): detect leaves deadlocks to
+  // the wait-for monitor, the other two prevent them by timestamp order.
+  DeadlockPolicy policy = DeadlockPolicy::kDetect;
+  sim::Duration wal_flush_delay = sim::Duration::Micros(500);
+};
+
 class TxnReplica {
  public:
   static constexpr uint32_t kPreparePort = 0x79000001;
@@ -47,6 +54,8 @@ class TxnReplica {
 
   TxnReplica(sim::Simulator* simulator, net::Transport* transport,
              sim::Duration wal_flush_delay = sim::Duration::Micros(500));
+  TxnReplica(sim::Simulator* simulator, net::Transport* transport,
+             const TxnReplicaConfig& config);
 
   // State-level veto (limitation 2): return false to reject a write, e.g.
   // out of storage or protection failure. Default accepts everything.
@@ -59,14 +68,28 @@ class TxnReplica {
   const WriteAheadLog& wal() const { return wal_; }
   uint64_t prepares_seen() const { return prepares_seen_; }
 
+  // Prepared-but-undecided transactions this replica aborted on its own
+  // (wait-die refusal or wound) — each one went back to its coordinator as a
+  // NO vote.
+  uint64_t local_aborts() const { return local_aborts_; }
+
+  // The replica's lock manager, exposed so a WaitForReporter can feed its
+  // WaitForEdges to the deadlock monitor (detect policy) and so benches can
+  // read prevention-side counters.
+  LockManager& lock_manager() { return locks_; }
+
  private:
   struct PendingTxn {
     std::map<std::string, double> writes;
-    bool locks_granted = false;
+    net::NodeId coordinator = 0;
+    bool voted = false;  // YES sent — abort only via coordinator decision
   };
 
   void OnPrepare(net::NodeId coordinator, const net::PayloadPtr& payload);
   void OnDecision(net::NodeId coordinator, const net::PayloadPtr& payload);
+  // Unilateral local abort before voting: release locks, vote NO. No-op for
+  // unknown or already-voted transactions.
+  void AbortLocal(uint64_t txn);
 
   sim::Simulator* simulator_;
   net::Transport* transport_;
@@ -76,12 +99,33 @@ class TxnReplica {
   std::map<std::string, double> store_;
   std::map<uint64_t, PendingTxn> pending_;
   uint64_t prepares_seen_ = 0;
+  uint64_t local_aborts_ = 0;
 };
 
 struct CoordinatorStats {
   uint64_t committed = 0;
-  uint64_t aborted = 0;
+  uint64_t aborted = 0;  // abort decisions, counting every attempt
   uint64_t replicas_dropped = 0;
+  uint64_t retries = 0;  // aborted attempts re-issued with retained timestamp
+  uint64_t failed = 0;   // logical transactions given up (attempts exhausted)
+};
+
+struct CoordinatorConfig {
+  sim::Duration prepare_timeout = sim::Duration::Millis(100);
+  // Tags transaction ids (uid = namespace<<40 | seq) and timestamp low bits
+  // so concurrent coordinators never collide. 0 reproduces the seed's ids.
+  uint64_t id_namespace = 0;
+  // Write-all-available (seed behavior): replicas that miss the prepare
+  // timeout are dropped and the write commits with the survivors. When
+  // false, a timeout aborts the attempt instead (contention benches: a slow
+  // vote means lock waits, not a dead replica).
+  bool drop_slow_on_timeout = true;
+  // Aborted attempts (NO vote, wait-die death, wound, deadlock victim) are
+  // retried up to this many attempts total, after a deterministic linear
+  // backoff, with the ORIGINAL timestamp and a fresh uid — retained age is
+  // what makes the prevention policies starvation-free.
+  uint32_t max_attempts = 1;
+  sim::Duration retry_backoff = sim::Duration::Millis(5);
 };
 
 class TxnCoordinator {
@@ -91,12 +135,30 @@ class TxnCoordinator {
   TxnCoordinator(sim::Simulator* simulator, net::Transport* transport,
                  std::vector<net::NodeId> replicas,
                  sim::Duration prepare_timeout = sim::Duration::Millis(100));
+  TxnCoordinator(sim::Simulator* simulator, net::Transport* transport,
+                 std::vector<net::NodeId> replicas, const CoordinatorConfig& config);
 
-  // Atomically writes a *group* of keys at all available replicas.
+  // Atomically writes a *group* of keys at all available replicas. done
+  // fires once per logical transaction, after the final attempt.
   void WriteMany(std::map<std::string, double> writes, DoneFn done);
   void Write(const std::string& key, double value, DoneFn done) {
     WriteMany({{key, value}}, std::move(done));
   }
+
+  // Aborts a live attempt by uid (the deadlock monitor's victim kill). The
+  // abort decision releases the victim's locks at every participant; the
+  // attempt then retries per config. False if the uid is not in flight.
+  bool AbortInFlight(uint64_t txn);
+
+  // Observation hook, fired once per COMMIT decision with the write set and
+  // the participant set the transaction committed with. Commit decisions for
+  // the same key are serialized by 2PL (a later writer's prepare cannot be
+  // granted anywhere until the earlier decision arrived there), so the call
+  // order is the per-key serialization order — what a chaos oracle needs to
+  // compute the exact expected store of every surviving replica.
+  using CommitObserver = std::function<void(uint64_t txn, const std::map<std::string, double>& writes,
+                                            const std::vector<net::NodeId>& participants)>;
+  void SetCommitObserver(CommitObserver observer) { commit_observer_ = std::move(observer); }
 
   const std::vector<net::NodeId>& availability_list() const { return available_; }
   const CoordinatorStats& stats() const { return stats_; }
@@ -109,8 +171,12 @@ class TxnCoordinator {
     DoneFn done;
     sim::EventId timeout{};
     bool decided = false;
+    uint64_t ts = 0;       // retained across attempts
+    uint32_t attempt = 1;  // 1-based
   };
 
+  void StartAttempt(std::map<std::string, double> writes, DoneFn done, uint64_t ts,
+                    uint32_t attempt);
   void OnVote(net::NodeId replica, const net::PayloadPtr& payload);
   void MaybeDecide(uint64_t txn);
   void Decide(uint64_t txn, bool commit, const std::vector<net::NodeId>& slow);
@@ -118,10 +184,12 @@ class TxnCoordinator {
   sim::Simulator* simulator_;
   net::Transport* transport_;
   std::vector<net::NodeId> available_;
-  sim::Duration prepare_timeout_;
+  CoordinatorConfig config_;
+  TimestampAuthority timestamps_;
   std::map<uint64_t, InFlight> in_flight_;
   uint64_t next_txn_ = 1;
   CoordinatorStats stats_;
+  CommitObserver commit_observer_;
 };
 
 // --- CATOCS design -------------------------------------------------------------

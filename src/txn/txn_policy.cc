@@ -1,0 +1,30 @@
+#include "src/txn/txn_policy.h"
+
+namespace txn {
+
+const char* DeadlockPolicyName(DeadlockPolicy policy) {
+  switch (policy) {
+    case DeadlockPolicy::kDetect:
+      return "detect";
+    case DeadlockPolicy::kWaitDie:
+      return "wait-die";
+    case DeadlockPolicy::kStarvationFree:
+      return "starvation-free";
+  }
+  return "unknown";
+}
+
+bool ParseDeadlockPolicy(const std::string& name, DeadlockPolicy* policy) {
+  if (name == "detect") {
+    *policy = DeadlockPolicy::kDetect;
+  } else if (name == "wait-die") {
+    *policy = DeadlockPolicy::kWaitDie;
+  } else if (name == "starvation-free") {
+    *policy = DeadlockPolicy::kStarvationFree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace txn

@@ -1,0 +1,78 @@
+// Concurrency-control policy seam for the transactional competitor (§4.4).
+//
+// The lock manager resolves lock conflicts under one of three deadlock
+// policies:
+//
+//  - kDetect: conflicts wait in FIFO order; deadlocks are left standing and
+//    found by the distributed wait-for monitor (Appendix 9.2), which then
+//    kills a victim. This is the seed behavior, with the upgrade-stall and
+//    missing-edge bugs fixed.
+//  - kWaitDie: timestamp-ordered prevention (Rosenkrantz et al., after
+//    starpos/oltp-cc-bench wait_die.hpp). A requester older than every
+//    conflicting holder waits; a younger requester dies immediately and
+//    restarts with its ORIGINAL timestamp, so it ages relative to fresh
+//    transactions and eventually becomes the oldest — old transactions are
+//    never starved, and no wait-for cycle can form (every wait edge points
+//    from an older to a younger transaction).
+//  - kStarvationFree: 2PLSF-style wound-wait with priority inheritance. A
+//    requester older than a conflicting holder wounds (aborts) the younger
+//    holder unless that holder is pinned (already voted in 2PC); a younger
+//    requester waits. Restarted transactions inherit their original
+//    timestamp, so every transaction's relative priority rises monotonically
+//    and every transaction eventually commits.
+//
+// Timestamps are assigned once per logical transaction by a
+// TimestampAuthority and RETAINED across abort/restart; smaller timestamp ==
+// older == higher priority. Uniqueness across coordinators comes from a
+// namespace tag in the low bits.
+
+#ifndef REPRO_SRC_TXN_TXN_POLICY_H_
+#define REPRO_SRC_TXN_TXN_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace txn {
+
+enum class DeadlockPolicy { kDetect, kWaitDie, kStarvationFree };
+
+// Canonical names used by bench/fuzz command lines and config dumps.
+const char* DeadlockPolicyName(DeadlockPolicy policy);
+
+// Parses "detect", "wait-die", "starvation-free". Returns false on unknown
+// names and leaves *policy untouched.
+bool ParseDeadlockPolicy(const std::string& name, DeadlockPolicy* policy);
+
+// Issues globally unique, time-ordered transaction timestamps. The high bits
+// follow the simulator clock at issue time (so concurrently active
+// coordinators get interleaved, arrival-ordered ages — not one coordinator
+// persistently older than another); the low byte is the coordinator's
+// namespace, which breaks same-instant ties across coordinators. Issue() is
+// strictly monotone per authority, so a restarted transaction that retains
+// its original timestamp is always older than any transaction issued later
+// — the wait-die/wound-wait no-starvation argument rests on exactly this.
+class TimestampAuthority {
+ public:
+  explicit TimestampAuthority(uint64_t name_space) : namespace_(name_space & 0xFF) {}
+
+  uint64_t Issue(sim::TimePoint now) {
+    uint64_t ts = (static_cast<uint64_t>(now.nanos()) << 8) | namespace_;
+    if (ts <= last_issued_) {
+      ts = last_issued_ + 256;  // keep the namespace byte intact
+    }
+    last_issued_ = ts;
+    return ts;
+  }
+
+  uint64_t last_issued() const { return last_issued_; }
+
+ private:
+  uint64_t namespace_;
+  uint64_t last_issued_ = 0;
+};
+
+}  // namespace txn
+
+#endif  // REPRO_SRC_TXN_TXN_POLICY_H_

@@ -1,0 +1,113 @@
+#include "src/txn/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace txn {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<std::string> TxnSpec::WriteKeys() const {
+  std::vector<std::string> keys;
+  for (const Op& op : ops) {
+    if (op.is_write && std::find(keys.begin(), keys.end(), op.key) == keys.end()) {
+      keys.push_back(op.key);
+    }
+  }
+  return keys;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config, uint64_t seed, bool sort_keys)
+    : config_(config), rng_(seed), sort_keys_(sort_keys) {
+  if (config_.num_keys == 0) {
+    config_.num_keys = 1;
+  }
+  if (config_.zipf_theta > 0.0) {
+    zeta_n_ = Zeta(config_.num_keys, config_.zipf_theta);
+    zeta_2_ = Zeta(2, config_.zipf_theta);
+    alpha_ = 1.0 / (1.0 - config_.zipf_theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(config_.num_keys),
+                           1.0 - config_.zipf_theta)) /
+           (1.0 - zeta_2_ / zeta_n_);
+  }
+  uint64_t n = config_.num_keys - 1;
+  while (n >= 10) {
+    ++key_digits_;
+    n /= 10;
+  }
+}
+
+uint64_t WorkloadGenerator::ZipfDraw() {
+  if (config_.zipf_theta <= 0.0) {
+    return rng_.NextBelow(config_.num_keys);
+  }
+  // Gray et al. "Quickly generating billion-record synthetic databases";
+  // identical draw to DBx1000's zipf().
+  const double u = rng_.NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, config_.zipf_theta)) {
+    return 1;
+  }
+  const double raw = static_cast<double>(config_.num_keys) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t key = static_cast<uint64_t>(raw);
+  if (key >= config_.num_keys) {
+    key = config_.num_keys - 1;
+  }
+  return key;
+}
+
+std::string WorkloadGenerator::KeyName(uint64_t index) const {
+  std::string digits = std::to_string(index);
+  std::string name = "k";
+  name.append(static_cast<size_t>(key_digits_) - std::min<size_t>(digits.size(), key_digits_),
+              '0');
+  name += digits;
+  return name;
+}
+
+TxnSpec WorkloadGenerator::NextTxn() {
+  TxnSpec spec;
+  spec.is_long = rng_.NextBool(config_.long_txn_fraction);
+  uint32_t want = spec.is_long ? config_.long_ops : config_.short_ops;
+  if (want > config_.num_keys) {
+    want = static_cast<uint32_t>(config_.num_keys);
+  }
+  if (want == 0) {
+    want = 1;
+  }
+  std::vector<uint64_t> indices;
+  while (indices.size() < want) {
+    uint64_t k = ZipfDraw();
+    if (std::find(indices.begin(), indices.end(), k) == indices.end()) {
+      indices.push_back(k);
+    }
+  }
+  if (sort_keys_) {
+    std::sort(indices.begin(), indices.end());
+  }
+  // Every transaction writes at least one key (a pure-read txn never reaches
+  // 2PC in our store and would dilute the abort/commit accounting).
+  size_t forced_write = rng_.NextBelow(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    Op op;
+    op.key = KeyName(indices[i]);
+    op.is_write = i == forced_write || !rng_.NextBool(config_.read_fraction);
+    spec.ops.push_back(std::move(op));
+  }
+  return spec;
+}
+
+}  // namespace txn

@@ -1,0 +1,85 @@
+// DBx1000-style contention workload generator (after SNIPPETS 1, dl_detect.h
+// benchmarks): Zipfian hot keys, a long/short transaction mix, and a
+// read/write ratio knob. Shared by the CC tests and bench_e22_contention so
+// both sides of a policy comparison see byte-identical access sequences.
+//
+// Determinism: all draws go through sim::Rng, so a (seed, config) pair
+// produces the same transaction stream on every platform — policies are
+// compared on identical workloads, and chaos runs replay exactly.
+
+#ifndef REPRO_SRC_TXN_WORKLOAD_H_
+#define REPRO_SRC_TXN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace txn {
+
+struct WorkloadConfig {
+  uint64_t num_keys = 64;
+  // Zipfian skew: 0 = uniform; 0.8 ≈ moderate; 1.2 = heavy hot-key traffic
+  // (a handful of keys absorb most accesses). Standard DBx1000/YCSB theta.
+  double zipf_theta = 0.0;
+  // Probability that an individual operation is a read (shared lock).
+  double read_fraction = 0.5;
+  // Fraction of transactions that are "long" (touch long_ops keys); the
+  // rest touch short_ops. Long transactions hold locks across more acquires
+  // and are the main deadlock/wound fodder.
+  double long_txn_fraction = 0.2;
+  uint32_t short_ops = 2;
+  uint32_t long_ops = 8;
+};
+
+struct Op {
+  std::string key;
+  bool is_write = false;
+};
+
+struct TxnSpec {
+  std::vector<Op> ops;
+  bool is_long = false;
+
+  // Keys this transaction writes (deduplicated, generation order) — the
+  // write set handed to TxnCoordinator::WriteMany.
+  std::vector<std::string> WriteKeys() const;
+};
+
+// Draws Zipf(theta)-distributed keys over [0, num_keys) using the standard
+// Gray et al. zeta/eta rejection-free formula (the one DBx1000 uses), then
+// assembles per-transaction op lists. Keys within one transaction are
+// distinct (duplicates redrawn) and sorted ascending — sorted acquisition is
+// the usual benchmark convention and keeps deadlocks coming from the
+// S/X-upgrade and cross-coordinator interleavings rather than trivial
+// reversed-pair orderings. Set sort_keys=false to allow reversed orders (the
+// detect-mode deadlock stressor).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& config, uint64_t seed, bool sort_keys = true);
+
+  TxnSpec NextTxn();
+
+  // The underlying key universe, "k<index>" zero-padded for stable ordering.
+  std::string KeyName(uint64_t index) const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  uint64_t ZipfDraw();
+
+  WorkloadConfig config_;
+  sim::Rng rng_;
+  bool sort_keys_;
+  // Precomputed constants for the Zipf draw.
+  double zeta_n_ = 0.0;    // zeta(num_keys, theta)
+  double zeta_2_ = 0.0;    // zeta(2, theta)
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  int key_digits_ = 1;
+};
+
+}  // namespace txn
+
+#endif  // REPRO_SRC_TXN_WORKLOAD_H_

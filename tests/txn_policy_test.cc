@@ -1,0 +1,562 @@
+// Tests for the concurrency-control policy seam (DESIGN §12): the
+// upgrade-stall and missing-edge regressions, wait-die and starvation-free
+// (wound-wait) unit semantics, a randomized cross-check of all three
+// policies against a reference model, and the shared contention workload
+// generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/txn/deadlock_detector.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/txn_policy.h"
+#include "src/txn/workload.h"
+
+namespace txn {
+namespace {
+
+// --- upgrade-stall regressions (satellite 1) ---------------------------------------
+
+// The ISSUE's two-transaction form: a sole-holder upgrade must be granted
+// immediately even with an exclusive waiter queued (the waiter could never
+// have been granted while our shared lock stands).
+TEST(UpgradeRegressionTest, SoleHolderUpgradeGrantsAheadOfQueuedExclusive) {
+  LockManager lm;
+  lm.Acquire(1, "x", LockMode::kShared, nullptr);
+  bool t2_granted = false;
+  lm.Acquire(2, "x", LockMode::kExclusive, [&] { t2_granted = true; });
+  EXPECT_TRUE(lm.Acquire(1, "x", LockMode::kExclusive, nullptr))
+      << "sole-holder upgrade must not queue behind an exclusive waiter";
+  EXPECT_TRUE(lm.Holds(1, "x", LockMode::kExclusive));
+  EXPECT_FALSE(t2_granted);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(t2_granted);
+}
+
+// The eternal-stall wedge the seed actually produced: two sharers, a queued
+// exclusive, then one sharer upgrades. The seed queued the upgrade at the
+// BACK; when the other sharer released, the front-only grant scan stopped at
+// the incompatible exclusive (the upgrader still holds shared), the upgrade
+// stayed unreachable behind it, and — since the upgrader's only blocker was
+// a fellow WAITER — WaitForEdges showed no cycle: wedged forever, invisible
+// to the monitor.
+TEST(UpgradeRegressionTest, UpgradeBehindQueuedExclusiveIsNotWedged) {
+  LockManager lm;
+  lm.Acquire(1, "x", LockMode::kShared, nullptr);
+  lm.Acquire(2, "x", LockMode::kShared, nullptr);
+  bool t3_granted = false;
+  lm.Acquire(3, "x", LockMode::kExclusive, [&] { t3_granted = true; });
+  bool t1_upgraded = false;
+  EXPECT_FALSE(lm.Acquire(1, "x", LockMode::kExclusive, [&] { t1_upgraded = true; }));
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(t1_upgraded) << "upgrade must be scanned ahead of front-of-queue grants";
+  EXPECT_TRUE(lm.Holds(1, "x", LockMode::kExclusive));
+  EXPECT_FALSE(t3_granted);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(t3_granted);
+}
+
+// --- missing wait-for edges (satellite 2) ------------------------------------------
+
+TEST(WaitForEdgeTest, QueuedAheadIncompatibleWaitersProduceEdges) {
+  LockManager lm;
+  lm.Acquire(1, "x", LockMode::kExclusive, nullptr);
+  lm.Acquire(2, "x", LockMode::kExclusive, nullptr);
+  lm.Acquire(3, "x", LockMode::kExclusive, nullptr);
+  auto edges = lm.WaitForEdges();
+  auto has = [&](TxnId w, TxnId b) {
+    return std::find(edges.begin(), edges.end(), std::make_pair(w, b)) != edges.end();
+  };
+  EXPECT_TRUE(has(2, 1));
+  EXPECT_TRUE(has(3, 1));
+  EXPECT_TRUE(has(3, 2)) << "T3 may not overtake T2: that dependency must be visible";
+}
+
+TEST(WaitForEdgeTest, CompatibleQueuedAheadWaitersProduceNoEdge) {
+  LockManager lm;
+  lm.Acquire(1, "x", LockMode::kExclusive, nullptr);
+  lm.Acquire(2, "x", LockMode::kShared, nullptr);
+  lm.Acquire(3, "x", LockMode::kShared, nullptr);
+  // T3 is not blocked by T2 (both shared): no false edge, no false deadlock.
+  auto edges = lm.WaitForEdges();
+  EXPECT_EQ(std::count(edges.begin(), edges.end(), std::make_pair(TxnId{3}, TxnId{2})), 0);
+}
+
+// A genuine deadlock whose only cycle runs through a waiter→waiter edge:
+// T2 and T3 both wait for x (T3 queued behind T2), T3 holds y, and T2 then
+// requests y. T2→T3 (holder edge) plus T3→T2 (queue-order edge) is a cycle
+// RIGHT NOW — but the seed emitted holder edges only (T2→T1, T3→T1, T2→T3,
+// no T3→T2), so as long as T1 kept x the monitor saw no cycle and the victim
+// kill never fired. The detector must see it without T1 releasing anything.
+TEST(WaitForEdgeTest, DetectorFindsWaiterWaiterCycleEndToEnd) {
+  sim::Simulator s(7);
+  net::Network network(&s, std::make_unique<net::UniformLatency>(sim::Duration::Millis(1),
+                                                                 sim::Duration::Millis(5)));
+  net::Transport ta(&s, &network, 1);
+  net::Transport tm(&s, &network, 9);
+  LockManager lm;
+  lm.Acquire(1, "x", LockMode::kExclusive, nullptr);
+  lm.Acquire(3, "y", LockMode::kExclusive, nullptr);
+  lm.Acquire(2, "x", LockMode::kExclusive, nullptr);
+  lm.Acquire(3, "x", LockMode::kExclusive, nullptr);
+  lm.Acquire(2, "y", LockMode::kExclusive, nullptr);
+  WaitForReporter reporter(&s, &ta, {9}, sim::Duration::Millis(10),
+                           [&] { return lm.WaitForEdges(); });
+  DeadlockMonitor monitor(&s, &tm);
+  std::vector<uint64_t> cycle;
+  monitor.SetDeadlockHandler([&](const std::vector<uint64_t>& c) { cycle = c; });
+  reporter.Start();
+  s.RunFor(sim::Duration::Millis(100));
+  reporter.Stop();
+  ASSERT_FALSE(cycle.empty()) << "deadlock through a queue-order dependency went undetected";
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), 2u) != cycle.end());
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), 3u) != cycle.end());
+}
+
+// --- ReleaseAll index (satellite 3) ------------------------------------------------
+
+TEST(ReleaseIndexTest, ReleaseOnlyTouchesOwnResources) {
+  LockManager lm;
+  // Another transaction's wait must survive an unrelated txn's ReleaseAll.
+  lm.Acquire(1, "a", LockMode::kExclusive, nullptr);
+  bool granted = false;
+  lm.Acquire(2, "a", LockMode::kExclusive, [&] { granted = true; });
+  lm.Acquire(3, "b", LockMode::kExclusive, nullptr);
+  lm.ReleaseAll(3);
+  EXPECT_FALSE(granted);
+  EXPECT_TRUE(lm.Holds(1, "a", LockMode::kExclusive));
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(granted);
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.locked_resources(), 0u);
+}
+
+// --- wait-die (satellite 4) --------------------------------------------------------
+
+TEST(WaitDieTest, OlderRequesterWaits) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  lm.BeginTxn(1, 100);  // older (smaller timestamp)
+  lm.BeginTxn(2, 200);  // younger
+  EXPECT_EQ(lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr), AcquireResult::kGranted);
+  bool granted = false;
+  EXPECT_EQ(lm.AcquireEx(1, "x", LockMode::kExclusive, [&] { granted = true; }),
+            AcquireResult::kQueued);
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(granted);
+}
+
+TEST(WaitDieTest, YoungerRequesterDies) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  EXPECT_EQ(lm.AcquireEx(1, "x", LockMode::kExclusive, nullptr), AcquireResult::kGranted);
+  EXPECT_EQ(lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr), AcquireResult::kAborted);
+  EXPECT_EQ(lm.stats().wait_die_aborts, 1u);
+  // The holder is untouched; the dead transaction holds nothing.
+  EXPECT_TRUE(lm.Holds(1, "x", LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, "x", LockMode::kExclusive));
+}
+
+TEST(WaitDieTest, RetainedTimestampOutranksFreshTransactions) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.AcquireEx(1, "x", LockMode::kExclusive, nullptr);
+  ASSERT_EQ(lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr), AcquireResult::kAborted);
+  lm.ReleaseAll(2);
+  lm.ReleaseAll(1);
+  // The victim restarts (fresh uid, SAME timestamp) and meets a fresh,
+  // younger transaction: now it is the older one and waits instead of dying
+  // — retained age is the no-starvation mechanism.
+  lm.BeginTxn(3, 300);
+  lm.BeginTxn(22, 200);  // txn 2 reborn
+  lm.AcquireEx(3, "x", LockMode::kExclusive, nullptr);
+  bool granted = false;
+  EXPECT_EQ(lm.AcquireEx(22, "x", LockMode::kExclusive, [&] { granted = true; }),
+            AcquireResult::kQueued);
+  lm.ReleaseAll(3);
+  EXPECT_TRUE(granted);
+}
+
+TEST(WaitDieTest, YoungerUpgraderDiesOlderUpgraderWaits) {
+  LockManager lm(DeadlockPolicy::kWaitDie);
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.AcquireEx(1, "x", LockMode::kShared, nullptr);
+  lm.AcquireEx(2, "x", LockMode::kShared, nullptr);
+  // The classic upgrade deadlock, settled by age: the younger upgrader dies
+  // on the spot, the older one waits and gets the lock.
+  bool upgraded = false;
+  EXPECT_EQ(lm.AcquireEx(1, "x", LockMode::kExclusive, [&] { upgraded = true; }),
+            AcquireResult::kQueued);
+  EXPECT_EQ(lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr), AcquireResult::kAborted);
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(lm.Holds(1, "x", LockMode::kExclusive));
+}
+
+TEST(WaitDieTest, NoTimestampReuseByAuthority) {
+  TimestampAuthority authority(3);
+  std::set<uint64_t> seen;
+  // Same instant, repeated issues: every timestamp distinct, monotone, and
+  // namespace-tagged (no cross-coordinator collision).
+  for (int i = 0; i < 100; ++i) {
+    uint64_t ts = authority.Issue(sim::TimePoint::Zero() + sim::Duration::Micros(5));
+    EXPECT_TRUE(seen.insert(ts).second) << "timestamp reused";
+    EXPECT_EQ(ts & 0xFF, 3u);
+  }
+  TimestampAuthority other(4);
+  uint64_t ts_other = other.Issue(sim::TimePoint::Zero() + sim::Duration::Micros(5));
+  EXPECT_EQ(seen.count(ts_other), 0u);
+}
+
+// --- starvation-free / wound-wait (tentpole) ---------------------------------------
+
+TEST(StarvationFreeTest, OlderRequesterWoundsYoungerHolder) {
+  LockManager lm(DeadlockPolicy::kStarvationFree);
+  std::vector<TxnId> wounded;
+  lm.SetAbortHandler([&](TxnId t) { wounded.push_back(t); });
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr);
+  bool granted = false;
+  // The wound releases the victim synchronously; our grant callback fires
+  // before AcquireEx returns (kQueued + callback-already-fired convention).
+  EXPECT_EQ(lm.AcquireEx(1, "x", LockMode::kExclusive, [&] { granted = true; }),
+            AcquireResult::kQueued);
+  EXPECT_TRUE(granted);
+  ASSERT_EQ(wounded.size(), 1u);
+  EXPECT_EQ(wounded[0], 2u);
+  EXPECT_EQ(lm.stats().wounds, 1u);
+  EXPECT_TRUE(lm.Holds(1, "x", LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, "x", LockMode::kExclusive));
+}
+
+TEST(StarvationFreeTest, YoungerRequesterWaits) {
+  LockManager lm(DeadlockPolicy::kStarvationFree);
+  std::vector<TxnId> wounded;
+  lm.SetAbortHandler([&](TxnId t) { wounded.push_back(t); });
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.AcquireEx(1, "x", LockMode::kExclusive, nullptr);
+  bool granted = false;
+  EXPECT_EQ(lm.AcquireEx(2, "x", LockMode::kExclusive, [&] { granted = true; }),
+            AcquireResult::kQueued);
+  EXPECT_TRUE(wounded.empty());
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(granted);
+}
+
+TEST(StarvationFreeTest, PinnedHolderIsNotWounded) {
+  // An older requester meeting a pinned (YES-voted) younger holder can
+  // neither wound it nor wait on it (an old→young wait edge deadlocks across
+  // replicas): it dies and retries with its retained timestamp.
+  LockManager lm(DeadlockPolicy::kStarvationFree);
+  std::vector<TxnId> wounded;
+  lm.SetAbortHandler([&](TxnId t) { wounded.push_back(t); });
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr);
+  lm.Pin(2);  // voted YES in 2PC: no longer allowed to abort unilaterally
+  EXPECT_EQ(lm.AcquireEx(1, "x", LockMode::kExclusive, nullptr), AcquireResult::kAborted);
+  EXPECT_TRUE(wounded.empty());
+  EXPECT_TRUE(lm.Holds(2, "x", LockMode::kExclusive));
+  EXPECT_EQ(lm.stats().wait_die_aborts, 1u);
+}
+
+TEST(StarvationFreeTest, YoungerRequesterWaitsOnPinnedOlderHolder) {
+  // The invariant direction: a young→old wait edge is always safe, pinned
+  // holder or not.
+  LockManager lm(DeadlockPolicy::kStarvationFree);
+  std::vector<TxnId> wounded;
+  lm.SetAbortHandler([&](TxnId t) { wounded.push_back(t); });
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.AcquireEx(1, "x", LockMode::kExclusive, nullptr);
+  lm.Pin(1);
+  bool granted = false;
+  EXPECT_EQ(lm.AcquireEx(2, "x", LockMode::kExclusive, [&] { granted = true; }),
+            AcquireResult::kQueued);
+  EXPECT_TRUE(wounded.empty());
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(1);  // the coordinator's decision arrives
+  EXPECT_TRUE(granted);
+}
+
+TEST(StarvationFreeTest, WoundReleasesVictimEverywhere) {
+  LockManager lm(DeadlockPolicy::kStarvationFree);
+  std::vector<TxnId> wounded;
+  lm.SetAbortHandler([&](TxnId t) { wounded.push_back(t); });
+  lm.BeginTxn(1, 100);
+  lm.BeginTxn(2, 200);
+  lm.BeginTxn(3, 300);
+  lm.AcquireEx(2, "x", LockMode::kExclusive, nullptr);
+  lm.AcquireEx(2, "y", LockMode::kExclusive, nullptr);
+  bool t3_granted = false;
+  lm.AcquireEx(3, "y", LockMode::kExclusive, [&] { t3_granted = true; });
+  // Wounding 2 on "x" must free "y" too (transaction-granular abort), which
+  // unblocks the unrelated waiter 3.
+  lm.AcquireEx(1, "x", LockMode::kExclusive, nullptr);
+  ASSERT_EQ(wounded.size(), 1u);
+  EXPECT_TRUE(t3_granted);
+  EXPECT_FALSE(lm.Holds(2, "y", LockMode::kExclusive));
+}
+
+// --- randomized cross-check against a reference model (satellite 4) ----------------
+
+struct ModelTxn {
+  uint64_t ts = 0;
+  std::map<std::string, LockMode> holds;
+  std::set<std::string> waiting;
+  bool dead = false;
+  bool pinned = false;
+};
+
+bool EdgesAcyclic(const std::vector<std::pair<TxnId, TxnId>>& edges) {
+  std::map<TxnId, std::vector<TxnId>> adj;
+  std::set<TxnId> nodes;
+  for (const auto& [w, b] : edges) {
+    adj[w].push_back(b);
+    nodes.insert(w);
+    nodes.insert(b);
+  }
+  std::set<TxnId> done, path;
+  std::function<bool(TxnId)> dfs = [&](TxnId n) {
+    if (path.count(n)) return false;
+    if (done.count(n)) return true;
+    path.insert(n);
+    for (TxnId next : adj[n]) {
+      if (!dfs(next)) return false;
+    }
+    path.erase(n);
+    done.insert(n);
+    return true;
+  };
+  for (TxnId n : nodes) {
+    if (!dfs(n)) return false;
+  }
+  return true;
+}
+
+void RunPropertyRound(DeadlockPolicy policy, uint64_t seed) {
+  LockManager lm(policy);
+  std::map<TxnId, ModelTxn> model;
+  lm.SetAbortHandler([&](TxnId t) {
+    ModelTxn& m = model.at(t);
+    EXPECT_FALSE(m.pinned) << "pinned transaction wounded";
+    EXPECT_FALSE(m.dead) << "transaction wounded twice";
+    m.dead = true;
+    m.holds.clear();
+    m.waiting.clear();
+  });
+  sim::Rng rng(seed);
+  const std::vector<std::string> keys = {"a", "b", "c", "d"};
+  TxnId next_txn = 1;
+  std::vector<TxnId> alive;
+
+  auto check_invariants = [&] {
+    // Grant-set correctness: the manager agrees with the model, and no two
+    // transactions hold conflicting locks.
+    std::map<std::string, std::vector<std::pair<TxnId, LockMode>>> per_key;
+    for (const auto& [t, m] : model) {
+      if (m.dead) continue;
+      for (const auto& [key, mode] : m.holds) {
+        EXPECT_TRUE(lm.Holds(t, key, mode)) << "txn " << t << " lost " << key;
+        per_key[key].emplace_back(t, mode);
+      }
+    }
+    for (const auto& [key, holders] : per_key) {
+      size_t exclusive = 0;
+      for (const auto& [t, mode] : holders) {
+        if (mode == LockMode::kExclusive) ++exclusive;
+      }
+      if (exclusive > 0) {
+        EXPECT_EQ(holders.size(), 1u) << "conflicting grant on " << key;
+      }
+    }
+    if (policy != DeadlockPolicy::kDetect) {
+      EXPECT_TRUE(EdgesAcyclic(lm.WaitForEdges()))
+          << "prevention policy allowed a wait-for cycle (seed " << seed << ")";
+    }
+  };
+
+  for (int op = 0; op < 300; ++op) {
+    const uint64_t kind = rng.NextBelow(10);
+    if (kind < 3 || alive.empty()) {
+      TxnId t = next_txn++;
+      model[t].ts = t * 10;
+      lm.BeginTxn(t, t * 10);
+      alive.push_back(t);
+    } else if (kind < 8) {
+      TxnId t = alive[rng.NextBelow(alive.size())];
+      ModelTxn& m = model[t];
+      // Dead transactions are gone; pinned ones have voted and never acquire
+      // again (that contract is what keeps wound-wait deadlock-free).
+      if (m.dead || m.pinned) continue;
+      const std::string& key = keys[rng.NextBelow(keys.size())];
+      LockMode mode = rng.NextBool(0.5) ? LockMode::kShared : LockMode::kExclusive;
+      if (m.waiting.count(key)) continue;  // one outstanding request per key
+      auto held = m.holds.find(key);
+      const LockMode granted_mode =
+          (held != m.holds.end() && held->second == LockMode::kExclusive)
+              ? LockMode::kExclusive
+              : mode;
+      m.waiting.insert(key);
+      AcquireResult result = lm.AcquireEx(t, key, mode, [&model, t, key, granted_mode] {
+        ModelTxn& mt = model.at(t);
+        EXPECT_TRUE(mt.waiting.count(key)) << "grant callback fired twice";
+        mt.waiting.erase(key);
+        mt.holds[key] = granted_mode;
+      });
+      if (result == AcquireResult::kGranted) {
+        ModelTxn& mt = model.at(t);  // map may have rehashed via callbacks
+        EXPECT_TRUE(mt.waiting.count(key)) << "kGranted after callback already fired";
+        mt.waiting.erase(key);
+        mt.holds[key] = granted_mode;
+      } else if (result == AcquireResult::kAborted) {
+        // wait-die: younger than a blocker. wound-wait: conflicting pinned
+        // younger holder. Detect never aborts.
+        EXPECT_NE(policy, DeadlockPolicy::kDetect);
+        ModelTxn& mt = model.at(t);
+        mt.waiting.erase(key);
+        mt.dead = true;
+        mt.holds.clear();
+        mt.waiting.clear();
+        lm.ReleaseAll(t);
+      }
+    } else if (kind == 8 && policy == DeadlockPolicy::kStarvationFree) {
+      TxnId t = alive[rng.NextBelow(alive.size())];
+      if (!model[t].dead && !model[t].holds.empty() && model[t].waiting.empty()) {
+        lm.Pin(t);
+        model[t].pinned = true;
+      }
+    } else {
+      size_t i = rng.NextBelow(alive.size());
+      TxnId t = alive[i];
+      alive.erase(alive.begin() + static_cast<long>(i));
+      lm.ReleaseAll(t);
+      model[t].dead = true;
+      model[t].holds.clear();
+      model[t].waiting.clear();
+    }
+    check_invariants();
+  }
+  // Drain: releasing every live transaction must grant every survivor's
+  // pending request and empty the manager.
+  while (!alive.empty()) {
+    TxnId t = alive.front();
+    alive.erase(alive.begin());
+    lm.ReleaseAll(t);
+    model[t].dead = true;
+    model[t].holds.clear();
+    model[t].waiting.clear();
+    check_invariants();
+  }
+  EXPECT_EQ(lm.locked_resources(), 0u) << "locks leaked after drain (seed " << seed << ")";
+}
+
+TEST(LockPolicyPropertyTest, RandomSchedulesMatchReferenceModel) {
+  for (DeadlockPolicy policy : {DeadlockPolicy::kDetect, DeadlockPolicy::kWaitDie,
+                                DeadlockPolicy::kStarvationFree}) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      RunPropertyRound(policy, seed);
+    }
+  }
+}
+
+// --- workload generator ------------------------------------------------------------
+
+TEST(WorkloadTest, DeterministicAcrossInstances) {
+  WorkloadConfig config;
+  config.num_keys = 32;
+  config.zipf_theta = 0.8;
+  WorkloadGenerator a(config, 42), b(config, 42);
+  for (int i = 0; i < 50; ++i) {
+    TxnSpec sa = a.NextTxn(), sb = b.NextTxn();
+    ASSERT_EQ(sa.ops.size(), sb.ops.size());
+    for (size_t j = 0; j < sa.ops.size(); ++j) {
+      EXPECT_EQ(sa.ops[j].key, sb.ops[j].key);
+      EXPECT_EQ(sa.ops[j].is_write, sb.ops[j].is_write);
+    }
+  }
+}
+
+TEST(WorkloadTest, RespectsSizesAndAlwaysWrites) {
+  WorkloadConfig config;
+  config.num_keys = 16;
+  config.short_ops = 2;
+  config.long_ops = 8;
+  config.long_txn_fraction = 0.5;
+  WorkloadGenerator gen(config, 7);
+  bool saw_short = false, saw_long = false;
+  for (int i = 0; i < 200; ++i) {
+    TxnSpec spec = gen.NextTxn();
+    EXPECT_EQ(spec.ops.size(), spec.is_long ? 8u : 2u);
+    (spec.is_long ? saw_long : saw_short) = true;
+    EXPECT_FALSE(spec.WriteKeys().empty()) << "every txn must reach 2PC";
+    std::set<std::string> distinct;
+    for (const Op& op : spec.ops) {
+      EXPECT_TRUE(distinct.insert(op.key).second) << "duplicate key in one txn";
+    }
+    EXPECT_TRUE(std::is_sorted(spec.ops.begin(), spec.ops.end(),
+                               [](const Op& x, const Op& y) { return x.key < y.key; }));
+  }
+  EXPECT_TRUE(saw_short);
+  EXPECT_TRUE(saw_long);
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesOnHotKeys) {
+  WorkloadConfig config;
+  config.num_keys = 64;
+  config.short_ops = 1;
+  config.long_txn_fraction = 0.0;
+  config.zipf_theta = 1.2;
+  WorkloadGenerator hot(config, 11);
+  std::map<std::string, int> counts;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[hot.NextTxn().ops[0].key] += 1;
+  }
+  int max_count = 0;
+  for (const auto& [key, n] : counts) {
+    max_count = std::max(max_count, n);
+  }
+  // Uniform share would be ~31 of 2000; heavy skew concentrates far more.
+  EXPECT_GT(max_count, kDraws / 8) << "theta=1.2 should hammer a hot key";
+
+  config.zipf_theta = 0.0;
+  WorkloadGenerator uniform(config, 11);
+  counts.clear();
+  for (int i = 0; i < kDraws; ++i) {
+    counts[uniform.NextTxn().ops[0].key] += 1;
+  }
+  for (const auto& [key, n] : counts) {
+    EXPECT_LT(n, kDraws / 8) << "uniform draw unexpectedly skewed at " << key;
+  }
+}
+
+TEST(PolicyNameTest, RoundTrips) {
+  for (DeadlockPolicy policy : {DeadlockPolicy::kDetect, DeadlockPolicy::kWaitDie,
+                                DeadlockPolicy::kStarvationFree}) {
+    DeadlockPolicy parsed;
+    ASSERT_TRUE(ParseDeadlockPolicy(DeadlockPolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  DeadlockPolicy unused;
+  EXPECT_FALSE(ParseDeadlockPolicy("bogus", &unused));
+}
+
+}  // namespace
+}  // namespace txn
